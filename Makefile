@@ -1,0 +1,39 @@
+# mogis — standard workflows.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments experiments-full fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table in EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/mobench
+
+experiments-full:
+	$(GO) run ./cmd/mobench -full
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

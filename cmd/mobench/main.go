@@ -1,0 +1,75 @@
+// Command mobench regenerates every experiment indexed in DESIGN.md
+// and recorded in EXPERIMENTS.md: the paper-artifact reproductions
+// E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4 example
+// queries, the Section-5 Piet-QL pipeline) and the performance
+// studies P1–P7.
+//
+// Usage:
+//
+//	mobench            # run everything
+//	mobench -exp E4    # run one experiment
+//	mobench -list      # list experiment ids
+//	mobench -full      # larger sweeps for the P-experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mogis/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E6, P1..P7)")
+	list := flag.Bool("list", false, "list experiment ids")
+	full := flag.Bool("full", false, "run the performance studies at full size")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *exp != "" {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(r)
+		if !r.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reports []experiments.Report
+	if *full {
+		reports = []experiments.Report{
+			experiments.E1(), experiments.E2(), experiments.E3(),
+			experiments.E4(), experiments.E5(), experiments.E6(),
+			experiments.P1([]int{4, 8, 16, 32}, 200),
+			experiments.P2(),
+			experiments.P3([]int{100, 400, 1600, 6400}),
+			experiments.P4([]int{10000, 40000, 160000, 640000}, 200),
+			experiments.P5([]int{1000, 4000, 16000, 64000}),
+			experiments.P6([]int{10000, 40000, 160000, 640000}, 200),
+			experiments.P7([]int{100, 400, 1600}),
+		}
+	} else {
+		reports = experiments.All()
+	}
+	failed := false
+	for _, r := range reports {
+		fmt.Println(r)
+		if !r.Pass {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command moviz renders the paper's Figure 1 (the six-bus moving
+// objects example) as an ASCII map or an SVG document, and prints the
+// Figure-2 GIS dimension schema.
+//
+// Usage:
+//
+//	moviz              # ASCII map of Figure 1
+//	moviz -width 120   # wider ASCII map
+//	moviz -svg out.svg # write an SVG rendering
+//	moviz -schema      # print the Figure-2 dimension schema
+//	moviz -table       # print Table 1 (the FMbus fact table)
+//	moviz -load data/ -svg out.svg  # render a dataset written by mogen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/render"
+	"mogis/internal/scenario"
+	"mogis/internal/store"
+)
+
+func main() {
+	width := flag.Int("width", 80, "ASCII map width in characters")
+	svgPath := flag.String("svg", "", "write an SVG rendering to this file")
+	schema := flag.Bool("schema", false, "print the Figure-2 GIS dimension schema")
+	table := flag.Bool("table", false, "print Table 1 (FMbus)")
+	load := flag.String("load", "", "render a dataset directory (written by mogen) instead of the paper scenario")
+	flag.Parse()
+
+	if *load != "" {
+		if *svgPath == "" {
+			fmt.Fprintln(os.Stderr, "moviz: -load requires -svg <file>")
+			os.Exit(2)
+		}
+		if err := renderDataset(*load, *svgPath); err != nil {
+			fmt.Fprintf(os.Stderr, "moviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+		return
+	}
+
+	s := scenario.New()
+
+	switch {
+	case *schema:
+		fmt.Print(s.GIS.Schema().Describe())
+	case *table:
+		fmt.Print(s.FMbus.String())
+	case *svgPath != "":
+		if err := os.WriteFile(*svgPath, []byte(s.RenderSVG()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "moviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	default:
+		fmt.Print(s.RenderASCII(*width))
+	}
+}
+
+// renderDataset draws a stored dataset as SVG, shading neighborhoods
+// by income (darker = poorer).
+func renderDataset(dir, out string) error {
+	ds, err := store.Load(dir)
+	if err != nil {
+		return err
+	}
+	shade := func(id layer.Gid) float64 {
+		name, ok := ds.Ln.AlphaInverse("neighb", id)
+		if !ok {
+			return 0
+		}
+		v, ok := ds.Neighborhoods.Attr("neighborhood", olap.Member(name), "income")
+		if !ok {
+			return 0
+		}
+		income, _ := v.Num()
+		if income < 1500 {
+			return 0.8
+		}
+		return 0.1
+	}
+	var pls, nds []*layer.Layer
+	if ds.Lr != nil {
+		pls = append(pls, ds.Lr)
+	}
+	if ds.Lh != nil {
+		pls = append(pls, ds.Lh)
+	}
+	if ds.Ls != nil {
+		nds = append(nds, ds.Ls)
+	}
+	if ds.Lstores != nil {
+		nds = append(nds, ds.Lstores)
+	}
+	svg := render.SVG(ds.Ln, pls, nds, ds.FM, render.Options{Shade: shade})
+	return os.WriteFile(out, []byte(svg), 0o644)
+}

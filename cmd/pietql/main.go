@@ -1,0 +1,248 @@
+// Command pietql runs Piet-QL queries (Section 5 of the paper)
+// against either the paper's running example or a generated synthetic
+// city. Queries are read from -query, from files given as arguments,
+// or interactively from stdin (terminated by a blank line).
+//
+// Usage:
+//
+//	pietql -query "SELECT layer.Ln; FROM PietSchema;"
+//	pietql query.pql
+//	pietql -city -grid 8          # synthetic city instead of the paper scenario
+//	echo "..." | pietql -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/layer"
+	"mogis/internal/mdx"
+	"mogis/internal/olap"
+	"mogis/internal/overlay"
+	"mogis/internal/pietql"
+	"mogis/internal/scenario"
+	"mogis/internal/store"
+	"mogis/internal/workload"
+)
+
+func main() {
+	query := flag.String("query", "", "run one query and exit")
+	load := flag.String("load", "", "load a dataset directory written by mogen instead of the paper scenario")
+	useCity := flag.Bool("city", false, "use a generated synthetic city instead of the paper scenario")
+	grid := flag.Int("grid", 8, "synthetic city grid dimension")
+	objects := flag.Int("objects", 100, "synthetic moving objects")
+	seed := flag.Int64("seed", 1, "synthetic generator seed")
+	noOverlay := flag.Bool("no-overlay", false, "disable the precomputed overlay (naive geometry)")
+	flag.Parse()
+
+	var sys *pietql.System
+	var err error
+	if *load != "" {
+		sys, err = loadSystem(*load, !*noOverlay)
+	} else {
+		sys, err = buildSystem(*useCity, *grid, *objects, *seed, !*noOverlay)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *query != "":
+		runQuery(sys, *query)
+	case flag.NArg() > 0:
+		for _, arg := range flag.Args() {
+			var text []byte
+			var err error
+			if arg == "-" {
+				text, err = readAll(os.Stdin)
+			} else {
+				text, err = os.ReadFile(arg)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
+				os.Exit(1)
+			}
+			runQuery(sys, string(text))
+		}
+	default:
+		repl(sys)
+	}
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), sc.Err()
+}
+
+func runQuery(sys *pietql.System, q string) {
+	out, err := sys.Run(q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(pietql.FormatOutcome(out))
+}
+
+func repl(sys *pietql.System) {
+	fmt.Println("Piet-QL — enter a query, finish with a blank line (Ctrl-D to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			if q := strings.TrimSpace(buf.String()); q != "" {
+				runQuery(sys, q)
+			}
+			buf.Reset()
+			fmt.Print("> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	if q := strings.TrimSpace(buf.String()); q != "" {
+		runQuery(sys, q)
+	}
+}
+
+// loadSystem wires a Piet-QL system over a dataset directory written
+// by mogen (package store formats).
+func loadSystem(dir string, withOverlay bool) (*pietql.System, error) {
+	ds, err := store.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, eng, err := ds.Context()
+	if err != nil {
+		return nil, err
+	}
+	kinds := map[string]layer.Kind{"Ln": layer.KindPolygon}
+	layers := map[string]*layer.Layer{"Ln": ds.Ln}
+	if ds.Lr != nil {
+		kinds["Lr"] = layer.KindPolyline
+		layers["Lr"] = ds.Lr
+	}
+	if ds.Lh != nil {
+		kinds["Lh"] = layer.KindPolyline
+		layers["Lh"] = ds.Lh
+	}
+	if ds.Ls != nil {
+		kinds["Ls"] = layer.KindNode
+		layers["Ls"] = ds.Ls
+	}
+	if ds.Lstores != nil {
+		kinds["Lstores"] = layer.KindNode
+		layers["Lstores"] = ds.Lstores
+	}
+	sys := &pietql.System{
+		Ctx: ctx, Engine: eng, Kinds: kinds, SchemaName: "PietSchema",
+		Cubes: mdx.Catalog{"CityCube": &mdx.Cube{Name: "CityCube", Fact: populationCube(ds.Neighborhoods)}},
+	}
+	if withOverlay {
+		refN := overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}
+		var pairs []overlay.Pair
+		for name, kind := range kinds {
+			if name == "Ln" {
+				continue
+			}
+			pairs = append(pairs, overlay.Pair{A: refN, B: overlay.Ref{Layer: name, Kind: kind}})
+		}
+		ov, err := overlay.Precompute(layers, pairs)
+		if err != nil {
+			return nil, err
+		}
+		sys.Overlay = ov
+	}
+	return sys, nil
+}
+
+// buildSystem wires a Piet-QL system over either the paper scenario
+// or a synthetic city.
+func buildSystem(useCity bool, grid, objects int, seed int64, withOverlay bool) (*pietql.System, error) {
+	if !useCity {
+		s := scenario.New()
+		sys := &pietql.System{
+			Ctx: s.Ctx, Engine: s.Engine,
+			Kinds: map[string]layer.Kind{
+				"Ln": layer.KindPolygon, "Lr": layer.KindPolyline,
+				"Ls": layer.KindNode, "Lstores": layer.KindNode, "Lh": layer.KindPolyline,
+			},
+			SchemaName: "PietSchema",
+			Cubes:      mdx.Catalog{},
+		}
+		sys.Cubes["CityCube"] = &mdx.Cube{Name: "CityCube", Fact: populationCube(s.Neighborhoods)}
+		if withOverlay {
+			ov, err := overlay.Precompute(map[string]*layer.Layer{
+				"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
+			}, defaultPairs())
+			if err != nil {
+				return nil, err
+			}
+			sys.Overlay = ov
+		}
+		return sys, nil
+	}
+
+	city := workload.GenCity(workload.CityConfig{Seed: seed, Cols: grid, Rows: grid})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: seed, Objects: objects})
+	var ctx *fo.Context
+	var eng *core.Engine
+	ctx, eng = city.Context(fm)
+	sys := &pietql.System{
+		Ctx: ctx, Engine: eng,
+		Kinds: map[string]layer.Kind{
+			"Ln": layer.KindPolygon, "Lr": layer.KindPolyline,
+			"Ls": layer.KindNode, "Lstores": layer.KindNode, "Lh": layer.KindPolyline,
+		},
+		SchemaName: "PietSchema",
+		Cubes:      mdx.Catalog{"CityCube": &mdx.Cube{Name: "CityCube", Fact: populationCube(city.Neighborhoods)}},
+	}
+	if withOverlay {
+		ov, err := overlay.Precompute(city.Layers(), defaultPairs())
+		if err != nil {
+			return nil, err
+		}
+		sys.Overlay = ov
+	}
+	return sys, nil
+}
+
+func defaultPairs() []overlay.Pair {
+	refN := overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}
+	return []overlay.Pair{
+		{A: refN, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
+		{A: refN, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
+		{A: refN, B: overlay.Ref{Layer: "Ls", Kind: layer.KindNode}},
+		{A: refN, B: overlay.Ref{Layer: "Lh", Kind: layer.KindPolyline}},
+	}
+}
+
+func populationCube(dim *olap.Dimension) *olap.FactTable {
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims:     []olap.DimCol{{Name: "place", Dimension: dim, Level: "neighborhood"}},
+		Measures: []string{"population", "income"},
+	})
+	for _, m := range dim.Members("neighborhood") {
+		pop, inc := 0.0, 0.0
+		if v, ok := dim.Attr("neighborhood", m, "population"); ok {
+			pop, _ = v.Num()
+		}
+		if v, ok := dim.Attr("neighborhood", m, "income"); ok {
+			inc, _ = v.Num()
+		}
+		ft.MustAdd([]olap.Member{m}, []float64{pop, inc})
+	}
+	return ft
+}

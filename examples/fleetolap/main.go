@@ -1,0 +1,127 @@
+// Fleetolap: the warehousing side of the model — GIS fact tables
+// (Definition 3) holding measures at the polygon level, classical
+// fact tables in the application part, rollup aggregation along the
+// geometric dimension (neighborhood → city) and along the Time
+// dimension, geometric aggregation of a density (Definition 4) with
+// its summable rewriting, and an MDX query over the resulting cube.
+//
+// Run with: go run ./examples/fleetolap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/mdx"
+	"mogis/internal/olap"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+func main() {
+	city := workload.GenCity(workload.CityConfig{Seed: 77, Cols: 4, Rows: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{
+		Seed: 77, Objects: 80, Samples: 90, Step: 60, Speed: 2,
+	})
+	_, eng := city.Context(fm)
+
+	// --- A GIS fact table at the polygon level (Definition 3) -------
+	gft := gis.NewFactTable(gis.FactSchema{
+		Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"},
+	})
+	for _, m := range city.Neighborhoods.Members("neighborhood") {
+		v, _ := city.Neighborhoods.Attr("neighborhood", m, "population")
+		p, _ := v.Num()
+		_, id, _ := city.Ln.Alpha("neighb", string(m))
+		gft.MustSet(id, p)
+	}
+
+	// Summable rewriting: population of the low-income region is a
+	// plain sum over geometry ids — no integration (Section 5).
+	lowPop, err := eng.SummableOverIDs(city.LowIncomeIDs, gft, "population")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population of low-income neighborhoods (summable Σ h'(g)): %.0f\n", lowPop)
+
+	// The same number via Definition 4's integral of a uniform density
+	// over each polygon.
+	var integrated float64
+	for _, id := range city.LowIncomeIDs {
+		pg, _ := city.Ln.Polygon(id)
+		pop, _ := gft.Measure(id, "population")
+		v, err := eng.GeometricAggregate(gis.Aggregation{
+			C: gis.Region{Polygons: []geom.Polygon{pg}},
+			H: gis.ConstDensity(pop / pg.Area()),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		integrated += v
+	}
+	fmt.Printf("same via Definition-4 integration of the density:        %.0f\n\n", integrated)
+
+	// --- A classical fact table from the MOFT ------------------------
+	// Fact rows: (neighborhood, hour) → sample count; built by rolling
+	// every MOFT tuple through the geometric and Time dimensions.
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims: []olap.DimCol{
+			{Name: "place", Dimension: city.Neighborhoods, Level: "neighborhood"},
+			{Name: "hour", Level: "hour"},
+		},
+		Measures: []string{"samples"},
+	})
+	rel, err := eng.RegionC(fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+		&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
+		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},
+		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
+	)), []fo.Var{"o", "t", "nb", "h"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := rel.GroupAggregate(olap.Count, "", []fo.Var{"nb", "h"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range counts.Rows {
+		ft.MustAdd([]olap.Member{row.Group[0], row.Group[1]}, []float64{row.Value})
+	}
+	fmt.Printf("fact table: %d (neighborhood, hour) cells from %d MOFT tuples\n\n", ft.Len(), fm.Len())
+
+	// --- Rollup along the geometric dimension -------------------------
+	byCity, err := ft.RollupAggregate(olap.Sum, "samples", []olap.GroupSpec{
+		{DimName: "place", ToLevel: "city"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("samples rolled up neighborhood → city:")
+	fmt.Print(byCity)
+	fmt.Println()
+
+	// --- Slice + per-hour drilldown -----------------------------------
+	byHour, err := ft.Gamma(olap.Sum, "samples", []string{"hour"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("samples per hour (Time dimension):")
+	fmt.Print(byHour)
+	fmt.Println()
+
+	// --- MDX over the cube ---------------------------------------------
+	cat := mdx.Catalog{"Fleet": &mdx.Cube{Name: "Fleet", Fact: ft}}
+	res, err := mdx.Run(cat, `
+		SELECT {[Measures].[samples]} ON COLUMNS,
+		       {[place].[neighborhood].Members} ON ROWS
+		FROM [Fleet]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MDX: samples per neighborhood:")
+	fmt.Print(res)
+}

@@ -1,0 +1,3 @@
+module mogis
+
+go 1.22

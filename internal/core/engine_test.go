@@ -1,0 +1,392 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/scenario"
+	"mogis/internal/timedim"
+)
+
+func sc(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	return scenario.New()
+}
+
+// --- Type 1: spatial aggregation -------------------------------------
+
+func TestType1GeometricAggregate(t *testing.T) {
+	s := sc(t)
+	meir, _ := s.Ln.Polygon(scenario.PgMeir)
+	// Population as a density of 400 people per unit² over Meir
+	// (area 150) → 60000.
+	v, err := s.Engine.GeometricAggregate(gis.Aggregation{
+		C: gis.Region{Polygons: []geom.Polygon{meir}},
+		H: gis.ConstDensity(400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-60000) > 1e-6 {
+		t.Errorf("integrated population = %v, want 60000", v)
+	}
+}
+
+// --- Type 2: summable rewriting --------------------------------------
+
+func TestType2Summable(t *testing.T) {
+	s := sc(t)
+	ft := gis.NewFactTable(gis.FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"}})
+	ft.MustSet(scenario.PgMeir, 60000)
+	ft.MustSet(scenario.PgDam, 45000)
+	ft.MustSet(scenario.PgZuid, 30000)
+	v, err := s.Engine.SummableOverIDs([]layer.Gid{scenario.PgMeir, scenario.PgDam}, ft, "population")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 105000 {
+		t.Errorf("summable = %v", v)
+	}
+}
+
+// --- Type 3: pure trajectory-sample aggregation ----------------------
+
+func TestType3MaxBusesPerHour(t *testing.T) {
+	s := sc(t)
+	// "Maximum number of buses per hour on Monday morning": group the
+	// morning samples per hour, take the max count.
+	f := fo.And(
+		&fo.Fact{Table: "FMbus", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.TimeRollup{Cat: timedim.CatTimeOfDay, T: fo.V("t"), V: fo.CStr(timedim.Morning)},
+		&fo.TimeRollup{Cat: timedim.CatDayOfWeek, T: fo.V("t"), V: fo.CStr("Monday")},
+		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
+	)
+	res, err := s.Engine.AggregateRegion(f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Morning samples: 9h: O1; 10h: O1,O2,O6; 11h: O1,O2,O5,O6.
+	maxN := 0.0
+	for _, row := range res.Rows {
+		if row.Value > maxN {
+			maxN = row.Value
+		}
+	}
+	if maxN != 4 {
+		t.Errorf("max buses per hour = %v, want 4:\n%v", maxN, res)
+	}
+}
+
+// --- Type 4: samples under geometric conditions ----------------------
+
+func TestType4RegionalCount(t *testing.T) {
+	s := sc(t)
+	// "Number of buses in the southern region in the morning" (Q1
+	// pattern): south = Meir+Dam+Zuid.
+	f := fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+		&fo.Fact{Table: "FMbus", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.TimeRollup{Cat: timedim.CatTimeOfDay, T: fo.V("t"), V: fo.CStr(timedim.Morning)},
+		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
+		&fo.GeomIn{G: fo.V("pg"), IDs: []layer.Gid{scenario.PgMeir, scenario.PgDam, scenario.PgZuid}},
+	))
+	rel, err := s.Engine.RegionC(f, []fo.Var{"o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objects with morning samples in the south: O1, O2, O6 (at 11h in
+	// Zuid). O5 is in Berchem (north).
+	if rel.Len() != 3 {
+		t.Errorf("southern objects = %v", rel)
+	}
+}
+
+// --- Type 5: second-order region -------------------------------------
+
+func TestType5SecondOrderRegion(t *testing.T) {
+	s := sc(t)
+	// "Neighborhoods where the number of people with income < 1500 is
+	// larger than 50,000": population integrated as a density per
+	// polygon, gated at 50k, intersected with the low-income set.
+	popDensity := map[layer.Gid]float64{
+		scenario.PgMeir: 400, // area 150 → 60000
+		scenario.PgDam:  300, // area 150 → 45000
+	}
+	inner := func(id layer.Gid) (float64, error) {
+		d, ok := popDensity[id]
+		if !ok {
+			return 0, nil // high-income: not counted
+		}
+		pg, _ := s.Ln.Polygon(id)
+		return s.Engine.GeometricAggregate(gis.Aggregation{
+			C: gis.Region{Polygons: []geom.Polygon{pg}},
+			H: gis.ConstDensity(d),
+		})
+	}
+	ids, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, inner, fo.GT, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != scenario.PgMeir {
+		t.Fatalf("gated neighborhoods = %v, want [Meir]", ids)
+	}
+	// Now the Type-4 count over that region: morning buses in Meir.
+	f := fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+		&fo.Fact{Table: "FMbus", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.TimeRollup{Cat: timedim.CatTimeOfDay, T: fo.V("t"), V: fo.CStr(timedim.Morning)},
+		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
+		&fo.GeomIn{G: fo.V("pg"), IDs: ids},
+	))
+	n, err := s.Engine.CountRegion(f, []fo.Var{"o", "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // O1's three morning samples
+		t.Errorf("second-order count = %d, want 3", n)
+	}
+}
+
+func TestFilterGeometriesOps(t *testing.T) {
+	s := sc(t)
+	area := func(id layer.Gid) (float64, error) {
+		pg, _ := s.Ln.Polygon(id)
+		return pg.Area(), nil
+	}
+	cases := []struct {
+		op   fo.CmpOp
+		th   float64
+		want int
+	}{
+		{fo.GT, 200, 3}, // Zuid, Linkeroever, Berchem (300 each)
+		{fo.GE, 150, 5}, // all
+		{fo.LT, 200, 2}, // Meir, Dam
+		{fo.LE, 150, 2}, // Meir, Dam
+		{fo.EQ, 300, 3}, // the three 300s
+		{fo.NE, 300, 2}, // the two 150s
+	}
+	for _, c := range cases {
+		ids, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, area, c.op, c.th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != c.want {
+			t.Errorf("op %v threshold %v: %d ids, want %d", c.op, c.th, len(ids), c.want)
+		}
+	}
+	if _, err := s.Engine.FilterGeometriesByAggregate("Lzz", layer.KindPolygon, area, fo.GT, 0); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	bad := func(layer.Gid) (float64, error) { return 0, errFixture }
+	if _, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, bad, fo.GT, 0); err == nil {
+		t.Error("inner error swallowed")
+	}
+}
+
+var errFixture = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "fixture error" }
+
+// --- Type 6: trajectory as a static object ---------------------------
+
+func TestType6Snapshot(t *testing.T) {
+	s := sc(t)
+	berchem, _ := s.Ln.Polygon(scenario.PgBerchem)
+	// At T(3) = 11:00, O5 is sampled at (30,20) in Berchem.
+	got, err := s.Engine.ObjectsSampledAt("FMbus", scenario.T(3), berchem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("sampled at 11:00 in Berchem = %v", got)
+	}
+	// No samples at 11:30 — the sample-level query returns nothing,
+	// but O2 (moving Dam→Zuid) has an interpolated position.
+	tMid := scenario.T(3) + 1800
+	got, err = s.Engine.ObjectsSampledAt("FMbus", tMid, berchem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("sampled at 11:30 = %v", got)
+	}
+	zuid, _ := s.Ln.Polygon(scenario.PgZuid)
+	interp, err := s.Engine.ObjectsInterpolatedAt("FMbus", tMid, zuid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2 is halfway from (15,5) to (25,8) → (20,6.5), on the Dam/Zuid
+	// border; O6's domain ended at 11:00.
+	found := false
+	for _, oid := range interp {
+		if oid == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interpolated at 11:30 in Zuid = %v, want O2 included", interp)
+	}
+}
+
+// --- Type 7: interpolation-aware queries ------------------------------
+
+func TestType7PassingThroughVsSampled(t *testing.T) {
+	s := sc(t)
+	dam, _ := s.Ln.Polygon(scenario.PgDam)
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+
+	sampled, err := s.Engine.ObjectsSampledInside("FMbus", dam, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passing, err := s.Engine.ObjectsPassingThrough("FMbus", dam, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2 is sampled in Dam; O6 only passes through. The difference is
+	// exactly the paper's O6 discussion.
+	if len(sampled) != 1 || sampled[0] != 2 {
+		t.Errorf("sampled in Dam = %v", sampled)
+	}
+	if len(passing) != 2 || passing[0] != 2 || passing[1] != 6 {
+		t.Errorf("passing through Dam = %v", passing)
+	}
+}
+
+func TestType7TimeSpentInside(t *testing.T) {
+	s := sc(t)
+	meir, _ := s.Ln.Polygon(scenario.PgMeir)
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+	spent, err := s.Engine.TimeSpentInside("FMbus", meir, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O1 spends its whole 3-hour domain inside Meir.
+	if math.Abs(spent[1]-3*3600) > 1e-6 {
+		t.Errorf("O1 time in Meir = %v, want %v", spent[1], 3*3600)
+	}
+	// O6 crosses Meir briefly; positive but far below an hour.
+	if spent[6] <= 0 || spent[6] >= 3600 {
+		t.Errorf("O6 time in Meir = %v", spent[6])
+	}
+	// O5 never touches Meir.
+	if _, ok := spent[5]; ok {
+		t.Error("O5 should not appear")
+	}
+}
+
+func TestType7WithinRadius(t *testing.T) {
+	s := sc(t)
+	school, _ := s.Ls.Node(1) // (5,10) in Meir
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+	within, err := s.Engine.ObjectsEverWithinRadius("FMbus", school, 5, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O1 moves along the diagonal of Meir; closest approach to (5,10)
+	// is ~3.54 at (6.5,6.5)... distance from (6,6) to (5,10) is
+	// sqrt(1+16)=4.12 ≤ 5, so O1 qualifies. O6 crosses Meir around
+	// (8.33,15)..(10,14); distance to (5,10) ≥ 5? (10,14): 6.4; (8.33,15):
+	// 6.0 — outside. So only O1.
+	if len(within) != 1 {
+		t.Fatalf("within radius = %v", within)
+	}
+	if _, ok := within[1]; !ok {
+		t.Errorf("O1 missing: %v", within)
+	}
+	if within[1] <= 0 {
+		t.Errorf("O1 duration = %v", within[1])
+	}
+}
+
+func TestCountPassingThroughGeometries(t *testing.T) {
+	s := sc(t)
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+	// Low-income region = Meir + Dam: O1 (inside), O2 (samples in
+	// Dam), O6 (crosses) → 3 objects.
+	n, err := s.Engine.CountPassingThroughGeometries("FMbus", "Ln",
+		[]layer.Gid{scenario.PgMeir, scenario.PgDam}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("passing through low-income = %d, want 3", n)
+	}
+	// Errors.
+	if _, err := s.Engine.CountPassingThroughGeometries("FMbus", "Lzz", nil, window); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if _, err := s.Engine.CountPassingThroughGeometries("FMbus", "Ln", []layer.Gid{99}, window); err == nil {
+		t.Error("unknown polygon accepted")
+	}
+	if _, err := s.Engine.CountPassingThroughGeometries("nope", "Ln", nil, window); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// --- Type 8: trajectory aggregation -----------------------------------
+
+func TestType8TrajectoryAggregate(t *testing.T) {
+	s := sc(t)
+	st, err := s.Engine.TrajectoryAggregate("FMbus", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 6 * math.Sqrt2 // (2,2)→(8,8) along the diagonal
+	if math.Abs(st.Length-wantLen) > 1e-9 {
+		t.Errorf("O1 length = %v, want %v", st.Length, wantLen)
+	}
+	if st.Duration != 3*3600 {
+		t.Errorf("O1 duration = %v", st.Duration)
+	}
+	if math.Abs(st.AvgSpeed-wantLen/(3*3600)) > 1e-15 {
+		t.Errorf("O1 avg speed = %v", st.AvgSpeed)
+	}
+	if st.Samples != 4 || st.Closed {
+		t.Errorf("O1 stats = %+v", st)
+	}
+	if st.MaxSpeed < st.AvgSpeed {
+		t.Errorf("max < avg: %+v", st)
+	}
+	if _, err := s.Engine.TrajectoryAggregate("FMbus", 99); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if _, err := s.Engine.TrajectoryAggregate("nope", 1); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestTrajectoriesCacheInvalidation(t *testing.T) {
+	s := sc(t)
+	l1, err := s.Engine.Trajectories("FMbus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := s.Engine.Trajectories("FMbus")
+	if &l1 == &l2 {
+		t.Log("maps compared by pointer identity only")
+	}
+	if len(l1) != 6 {
+		t.Errorf("trajectories = %d", len(l1))
+	}
+	s.Engine.InvalidateTrajectories("FMbus")
+	l3, err := s.Engine.Trajectories("FMbus")
+	if err != nil || len(l3) != 6 {
+		t.Errorf("after invalidation: %v, %d", err, len(l3))
+	}
+}
+
+func TestRatePerHour(t *testing.T) {
+	if core.RatePerHour(4, 3) != 4.0/3 {
+		t.Error("rate")
+	}
+	if core.RatePerHour(4, 0) != 0 {
+		t.Error("zero hours")
+	}
+}

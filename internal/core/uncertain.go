@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/timedim"
+	"mogis/internal/traj"
+)
+
+// Uncertainty-aware query evaluation using the Hornsby–Egenhofer
+// lifeline-bead model the paper cites in Section 2: between two
+// observations the object may be anywhere reachable at its maximum
+// speed, so "possibly passed through" is a superset of the
+// linear-interpolation answer, which in turn is a superset of the
+// sampled-inside answer.
+
+// PossiblyResult classifies objects for an uncertainty-aware
+// passes-through query.
+type PossiblyResult struct {
+	// Definite objects have a raw sample inside the region.
+	Definite []moft.Oid
+	// Likely objects enter under linear interpolation but have no
+	// sample inside.
+	Likely []moft.Oid
+	// Possible objects only qualify under the bead model (some bead's
+	// projection may intersect the region at speed vmax).
+	Possible []moft.Oid
+}
+
+// ObjectsPossiblyPassingThrough stratifies the objects of a table by
+// their relation to polygon pg during iv: definitely inside (sampled),
+// likely inside (interpolated crossing), or possibly inside (lifeline
+// bead at speedFactor × the object's maximum observed leg speed).
+func (e *Engine) ObjectsPossiblyPassingThrough(table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (PossiblyResult, error) {
+	if speedFactor < 1 {
+		return PossiblyResult{}, fmt.Errorf("core: speed factor must be ≥ 1, got %g", speedFactor)
+	}
+	lits, err := e.Trajectories(table)
+	if err != nil {
+		return PossiblyResult{}, err
+	}
+	sampled, err := e.ObjectsSampledInside(table, pg, iv)
+	if err != nil {
+		return PossiblyResult{}, err
+	}
+	sampledSet := make(map[moft.Oid]bool, len(sampled))
+	for _, o := range sampled {
+		sampledSet[o] = true
+	}
+	interp, err := e.ObjectsPassingThrough(table, pg, iv)
+	if err != nil {
+		return PossiblyResult{}, err
+	}
+	interpSet := make(map[moft.Oid]bool, len(interp))
+	for _, o := range interp {
+		interpSet[o] = true
+	}
+
+	var res PossiblyResult
+	res.Definite = sampled
+	for _, o := range interp {
+		if !sampledSet[o] {
+			res.Likely = append(res.Likely, o)
+		}
+	}
+	for oid, l := range lits {
+		if interpSet[oid] {
+			continue
+		}
+		vmax := l.MaxSpeed() * speedFactor
+		if vmax == 0 {
+			continue
+		}
+		for _, b := range traj.Beads(l, vmax) {
+			if b.T2 < float64(iv.Lo) || b.T1 > float64(iv.Hi) {
+				continue
+			}
+			if b.MayIntersectPolygon(pg, 32) {
+				res.Possible = append(res.Possible, oid)
+				break
+			}
+		}
+	}
+	sort.Slice(res.Likely, func(i, j int) bool { return res.Likely[i] < res.Likely[j] })
+	sort.Slice(res.Possible, func(i, j int) bool { return res.Possible[i] < res.Possible[j] })
+	return res, nil
+}

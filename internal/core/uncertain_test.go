@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"mogis/internal/scenario"
+	"mogis/internal/timedim"
+)
+
+func TestObjectsPossiblyPassingThrough(t *testing.T) {
+	s := sc(t)
+	dam, _ := s.Ln.Polygon(scenario.PgDam)
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+
+	res, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2 is sampled inside Dam → definite.
+	if len(res.Definite) != 1 || res.Definite[0] != 2 {
+		t.Errorf("definite = %v", res.Definite)
+	}
+	// O6 crosses Dam only under interpolation → likely.
+	if len(res.Likely) != 1 || res.Likely[0] != 6 {
+		t.Errorf("likely = %v", res.Likely)
+	}
+	// The three strata are disjoint.
+	seen := map[int64]int{}
+	for _, o := range res.Definite {
+		seen[int64(o)]++
+	}
+	for _, o := range res.Likely {
+		seen[int64(o)]++
+	}
+	for _, o := range res.Possible {
+		seen[int64(o)]++
+	}
+	for oid, c := range seen {
+		if c > 1 {
+			t.Errorf("object %d appears in %d strata", oid, c)
+		}
+	}
+	// Monotonicity in the speed factor: a larger factor can only add
+	// possible objects.
+	res2, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Possible) < len(res.Possible) {
+		t.Errorf("possible shrank with larger speed factor: %v vs %v", res2.Possible, res.Possible)
+	}
+	// Bad factor errors.
+	if _, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 0.5); err == nil {
+		t.Error("speed factor < 1 accepted")
+	}
+	if _, err := s.Engine.ObjectsPossiblyPassingThrough("nope", dam, window, 2); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,537 @@
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/timedim"
+)
+
+// termVars adds the variables among terms to set.
+func termVars(set varset, terms ...Term) {
+	for _, t := range terms {
+		if t.IsVar {
+			set[t.V] = true
+		}
+	}
+}
+
+// termsBound reports whether every term is a constant or bound.
+func termsBound(bound varset, terms ...Term) bool {
+	for _, t := range terms {
+		if t.IsVar && !bound[t.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// bindTerms adds all variable terms to the set (they become bound).
+func bindTerms(bound varset, terms ...Term) varset {
+	out := bound.clone()
+	for _, t := range terms {
+		if t.IsVar {
+			out[t.V] = true
+		}
+	}
+	return out
+}
+
+// Fact is the MOFT membership atom FM(Oid, t, x, y): a generator over
+// the tuples of the named fact table. Bound terms act as selections.
+type Fact struct {
+	Table      string
+	O, T, X, Y Term
+}
+
+func (a *Fact) freeVars(set varset) { termVars(set, a.O, a.T, a.X, a.Y) }
+
+func (a *Fact) binds(bound varset) (varset, bool) {
+	return bindTerms(bound, a.O, a.T, a.X, a.Y), true
+}
+
+func (a *Fact) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	tbl, err := ctx.Table(a.Table)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Env
+	for _, env := range envs {
+		// Selection push-down: a bound object narrows the scan.
+		if ov, ok := env.resolve(a.O); ok {
+			for _, tp := range tbl.ObjectTuples(ov.Obj()) {
+				if e, ok := matchFact(env, a, VObj(tp.Oid), VTime(tp.T), VReal(tp.X), VReal(tp.Y)); ok {
+					out = append(out, e)
+				}
+			}
+			continue
+		}
+		for _, tp := range tbl.Tuples() {
+			if e, ok := matchFact(env, a, VObj(tp.Oid), VTime(tp.T), VReal(tp.X), VReal(tp.Y)); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
+}
+
+func matchFact(env *Env, a *Fact, o, t, x, y Val) (*Env, bool) {
+	e, ok := env.bindOrCheck(a.O, o)
+	if !ok {
+		return nil, false
+	}
+	if e, ok = e.bindOrCheck(a.T, t); !ok {
+		return nil, false
+	}
+	if e, ok = e.bindOrCheck(a.X, x); !ok {
+		return nil, false
+	}
+	if e, ok = e.bindOrCheck(a.Y, y); !ok {
+		return nil, false
+	}
+	return e, true
+}
+
+// PointIn is the geometric rollup atom r^{Pt,Kind}_L(x, y, g): point
+// (x, y) belongs to geometry g of the given kind in the given layer.
+// Directions supported: (x, y) bound → generate or check g; g bound
+// with (x, y) unbound → generate the point only for node geometries
+// (other kinds have infinitely many points).
+type PointIn struct {
+	Layer   string
+	Kind    layer.Kind
+	X, Y, G Term
+}
+
+func (a *PointIn) freeVars(set varset) { termVars(set, a.X, a.Y, a.G) }
+
+func (a *PointIn) binds(bound varset) (varset, bool) {
+	if termsBound(bound, a.X, a.Y) {
+		return bindTerms(bound, a.G), true
+	}
+	if a.Kind == layer.KindNode && termsBound(bound, a.G) {
+		return bindTerms(bound, a.X, a.Y), true
+	}
+	return nil, false
+}
+
+func (a *PointIn) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		xv, xok := env.resolve(a.X)
+		yv, yok := env.resolve(a.Y)
+		switch {
+		case xok && yok:
+			x, ok1 := xv.Real()
+			y, ok2 := yv.Real()
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("fo: r^{Pt,%s}_%s: non-numeric coordinates", a.Kind, a.Layer)
+			}
+			for _, gid := range ctx.GIS().PointRollup(a.Layer, a.Kind, geom.Pt(x, y)) {
+				if e, ok := env.bindOrCheck(a.G, VGeom(gid)); ok {
+					out = append(out, e)
+				}
+			}
+		default:
+			gv, gok := env.resolve(a.G)
+			if !gok || a.Kind != layer.KindNode {
+				return nil, &ErrNotRangeRestricted{Detail: fmt.Sprintf("r^{Pt,%s}_%s with unbound point", a.Kind, a.Layer)}
+			}
+			l, ok := ctx.GIS().Layer(a.Layer)
+			if !ok {
+				return nil, fmt.Errorf("fo: unknown layer %q", a.Layer)
+			}
+			p, ok := l.Node(gv.Geom())
+			if !ok {
+				continue
+			}
+			e, ok := env.bindOrCheck(a.X, VReal(p.X))
+			if !ok {
+				continue
+			}
+			if e, ok = e.bindOrCheck(a.Y, VReal(p.Y)); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Alpha is the attribute-function atom α^{A,G}_L(a) = g. When the
+// concept term is bound it resolves the geometry; when the geometry
+// is bound it inverts α; when neither is bound it enumerates the
+// binding pairs.
+type Alpha struct {
+	Attr string
+	A    Term // concept member (string sort)
+	G    Term // geometry id
+}
+
+func (a *Alpha) freeVars(set varset) { termVars(set, a.A, a.G) }
+
+func (a *Alpha) binds(bound varset) (varset, bool) {
+	return bindTerms(bound, a.A, a.G), true
+}
+
+func (a *Alpha) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	b, ok := ctx.GIS().Schema().Attr(a.Attr)
+	if !ok {
+		return nil, fmt.Errorf("fo: unknown attribute binding %q", a.Attr)
+	}
+	l, ok := ctx.GIS().Layer(b.LayerName)
+	if !ok {
+		return nil, fmt.Errorf("fo: layer %q for attribute %q not attached", b.LayerName, a.Attr)
+	}
+	var out []*Env
+	for _, env := range envs {
+		if av, ok := env.resolve(a.A); ok {
+			member, sok := av.Str()
+			if !sok {
+				return nil, fmt.Errorf("fo: α_%s applied to non-string", a.Attr)
+			}
+			_, gid, found := l.Alpha(a.Attr, member)
+			if !found {
+				continue
+			}
+			if e, ok := env.bindOrCheck(a.G, VGeom(gid)); ok {
+				out = append(out, e)
+			}
+			continue
+		}
+		if gv, ok := env.resolve(a.G); ok {
+			member, found := l.AlphaInverse(a.Attr, gv.Geom())
+			if !found {
+				continue
+			}
+			if e, ok := env.bindOrCheck(a.A, VStr(member)); ok {
+				out = append(out, e)
+			}
+			continue
+		}
+		for _, member := range l.AlphaMembers(a.Attr) {
+			_, gid, _ := l.Alpha(a.Attr, member)
+			e, ok := env.bindOrCheck(a.A, VStr(member))
+			if !ok {
+				continue
+			}
+			if e, ok = e.bindOrCheck(a.G, VGeom(gid)); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TimeRollup is the time-dimension rollup atom R^cat_timeId(t) = v.
+// It requires t bound and generates or checks v.
+type TimeRollup struct {
+	Cat timedim.Category
+	T   Term
+	V   Term
+}
+
+func (a *TimeRollup) freeVars(set varset) { termVars(set, a.T, a.V) }
+
+func (a *TimeRollup) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.T) {
+		return nil, false
+	}
+	return bindTerms(bound, a.V), true
+}
+
+func (a *TimeRollup) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		tv, ok := env.resolve(a.T)
+		if !ok {
+			return nil, &ErrNotRangeRestricted{Detail: fmt.Sprintf("R^%s_timeId with unbound instant", a.Cat)}
+		}
+		if tv.Sort != SortTime {
+			return nil, fmt.Errorf("fo: R^%s_timeId applied to non-instant", a.Cat)
+		}
+		member, ok := timedim.Rollup(a.Cat, tv.Time())
+		if !ok {
+			return nil, fmt.Errorf("fo: unknown time category %q", a.Cat)
+		}
+		if e, ok := env.bindOrCheck(a.V, VStr(member)); ok {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// MemberOf is the domain atom "n ∈ concept": it enumerates the
+// members of a bound application concept (e.g. n ∈ neighb in the
+// paper's motivating query).
+type MemberOf struct {
+	Concept string
+	M       Term
+}
+
+func (a *MemberOf) freeVars(set varset) { termVars(set, a.M) }
+
+func (a *MemberOf) binds(bound varset) (varset, bool) {
+	return bindTerms(bound, a.M), true
+}
+
+func (a *MemberOf) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	cb, err := ctx.Concept(a.Concept)
+	if err != nil {
+		return nil, err
+	}
+	members := cb.Dim.Members(cb.Level)
+	var out []*Env
+	for _, env := range envs {
+		if mv, ok := env.resolve(a.M); ok {
+			s, sok := mv.Str()
+			if sok && cb.Dim.HasMember(cb.Level, olap.Member(s)) {
+				out = append(out, env)
+			}
+			continue
+		}
+		for _, m := range members {
+			out = append(out, env.Bind(a.M.V, VStr(string(m))))
+		}
+	}
+	return out, nil
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators of the language (<, ≤, =, ≠, ≥, >).
+const (
+	LT CmpOp = iota
+	LE
+	EQ
+	NE
+	GE
+	GT
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"<", "<=", "=", "!=", ">=", ">"}[o]
+}
+
+func (o CmpOp) holds(cmp int) bool {
+	switch o {
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case GE:
+		return cmp >= 0
+	default:
+		return cmp > 0
+	}
+}
+
+// Cmp is the comparison atom l op r. Both terms must be bound; values
+// compare numerically when both have numeric sorts, as strings when
+// both are strings.
+type Cmp struct {
+	L  Term
+	Op CmpOp
+	R  Term
+}
+
+func (a *Cmp) freeVars(set varset) { termVars(set, a.L, a.R) }
+
+func (a *Cmp) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.L, a.R) {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (a *Cmp) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		lv, lok := env.resolve(a.L)
+		rv, rok := env.resolve(a.R)
+		if !lok || !rok {
+			return nil, &ErrNotRangeRestricted{Detail: "comparison over unbound terms"}
+		}
+		cmp, ok := compareVals(lv, rv)
+		if !ok {
+			return nil, fmt.Errorf("fo: incomparable values %v %s %v", lv, a.Op, rv)
+		}
+		if a.Op.holds(cmp) {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+func compareVals(l, r Val) (int, bool) {
+	if lf, ok := l.Real(); ok {
+		rf, ok2 := r.Real()
+		if !ok2 {
+			return 0, false
+		}
+		switch {
+		case lf < rf:
+			return -1, true
+		case lf > rf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	ls, _ := l.Str()
+	rs, ok := r.Str()
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case ls < rs:
+		return -1, true
+	case ls > rs:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// AttrCmp is the member-attribute comparison atom, e.g.
+// n.income < 1500: the concept member bound to M has its attribute
+// compared against the value of Rhs. Members lacking the attribute
+// fail the atom.
+type AttrCmp struct {
+	Concept string
+	M       Term
+	Attr    string
+	Op      CmpOp
+	Rhs     Term
+}
+
+func (a *AttrCmp) freeVars(set varset) { termVars(set, a.M, a.Rhs) }
+
+func (a *AttrCmp) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.M, a.Rhs) {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (a *AttrCmp) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	cb, err := ctx.Concept(a.Concept)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Env
+	for _, env := range envs {
+		mv, ok := env.resolve(a.M)
+		if !ok {
+			return nil, &ErrNotRangeRestricted{Detail: "attribute of unbound member"}
+		}
+		member, sok := mv.Str()
+		if !sok {
+			return nil, fmt.Errorf("fo: attribute access on non-member value %v", mv)
+		}
+		attr, ok := cb.Dim.Attr(cb.Level, olap.Member(member), a.Attr)
+		if !ok {
+			continue
+		}
+		rv, ok := env.resolve(a.Rhs)
+		if !ok {
+			return nil, &ErrNotRangeRestricted{Detail: "attribute comparison with unbound rhs"}
+		}
+		var av Val
+		if n, isNum := attr.Num(); isNum {
+			av = VReal(n)
+		} else if s, isStr := attr.Str(); isStr {
+			av = VStr(s)
+		} else {
+			continue
+		}
+		cmp, ok := compareVals(av, rv)
+		if !ok {
+			return nil, fmt.Errorf("fo: incomparable attribute %s.%s", member, a.Attr)
+		}
+		if a.Op.holds(cmp) {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+// DistLE is the distance constraint (x1-x2)² + (y1-y2)² ≤ r², the
+// form used in queries Q6 and Q7. All coordinate terms must be
+// bound.
+type DistLE struct {
+	X1, Y1, X2, Y2 Term
+	R              float64
+}
+
+func (a *DistLE) freeVars(set varset) { termVars(set, a.X1, a.Y1, a.X2, a.Y2) }
+
+func (a *DistLE) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.X1, a.Y1, a.X2, a.Y2) {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (a *DistLE) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		vals := make([]float64, 4)
+		for i, t := range []Term{a.X1, a.Y1, a.X2, a.Y2} {
+			v, ok := env.resolve(t)
+			if !ok {
+				return nil, &ErrNotRangeRestricted{Detail: "distance over unbound terms"}
+			}
+			f, ok := v.Real()
+			if !ok {
+				return nil, fmt.Errorf("fo: non-numeric distance operand %v", v)
+			}
+			vals[i] = f
+		}
+		dx, dy := vals[0]-vals[2], vals[1]-vals[3]
+		if dx*dx+dy*dy <= a.R*a.R {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+// GeomIn is the domain atom "g ∈ ids": it restricts or generates a
+// geometry variable over an explicit finite id set, the bridge from a
+// Piet-QL geometric sub-query result into the moving-objects part
+// (Section 5).
+type GeomIn struct {
+	G   Term
+	IDs []layer.Gid
+}
+
+func (a *GeomIn) freeVars(set varset) { termVars(set, a.G) }
+
+func (a *GeomIn) binds(bound varset) (varset, bool) {
+	return bindTerms(bound, a.G), true
+}
+
+func (a *GeomIn) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		if gv, ok := env.resolve(a.G); ok {
+			for _, id := range a.IDs {
+				if VGeom(id) == gv {
+					out = append(out, env)
+					break
+				}
+			}
+			continue
+		}
+		for _, id := range a.IDs {
+			out = append(out, env.Bind(a.G.V, VGeom(id)))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/moft"
+	"mogis/internal/timedim"
+	"mogis/internal/traj"
+)
+
+// InterpFact is the interpolated counterpart of the Fact atom: it
+// realizes the paper's Q5/Q6 interpolation equations
+//
+//	x = ((t2-t)·x1 + (t-t1)·x2)/(t2-t1),  y analogous,
+//
+// as a generator over an explicit, finite set of instants. For every
+// object of the table and every instant in Times within the object's
+// time domain, it generates (Oid, t, x, y) with the linearly
+// interpolated position. Discretizing the continuous t keeps the
+// formula range-restricted, so the whole query machinery (negation,
+// aggregation, joins with rollup atoms) applies unchanged; the
+// continuous-interval semantics live in the engine (package core).
+type InterpFact struct {
+	Table      string
+	Times      []timedim.Instant
+	O, T, X, Y Term
+}
+
+func (a *InterpFact) freeVars(set varset) { termVars(set, a.O, a.T, a.X, a.Y) }
+
+func (a *InterpFact) binds(bound varset) (varset, bool) {
+	return bindTerms(bound, a.O, a.T, a.X, a.Y), true
+}
+
+func (a *InterpFact) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	if len(a.Times) == 0 {
+		return nil, fmt.Errorf("fo: InterpFact needs at least one instant")
+	}
+	lits, err := ctx.trajectories(a.Table)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Env
+	for _, env := range envs {
+		emit := func(oid moft.Oid, l *traj.LIT) {
+			for _, ts := range a.Times {
+				p, ok := l.AtInstant(ts)
+				if !ok {
+					continue
+				}
+				e, ok := env.bindOrCheck(a.O, VObj(oid))
+				if !ok {
+					continue
+				}
+				if e, ok = e.bindOrCheck(a.T, VTime(ts)); !ok {
+					continue
+				}
+				if e, ok = e.bindOrCheck(a.X, VReal(p.X)); !ok {
+					continue
+				}
+				if e, ok = e.bindOrCheck(a.Y, VReal(p.Y)); !ok {
+					continue
+				}
+				out = append(out, e)
+			}
+		}
+		if ov, ok := env.resolve(a.O); ok {
+			if l, found := lits[ov.Obj()]; found {
+				emit(ov.Obj(), l)
+			}
+			continue
+		}
+		for oid, l := range lits {
+			emit(oid, l)
+		}
+	}
+	return out, nil
+}
+
+// trajectories lazily builds and caches per-object interpolated
+// trajectories for a table.
+func (c *Context) trajectories(table string) (map[moft.Oid]*traj.LIT, error) {
+	if c.lits == nil {
+		c.lits = make(map[string]map[moft.Oid]*traj.LIT)
+	}
+	if cached, ok := c.lits[table]; ok {
+		return cached, nil
+	}
+	tbl, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[moft.Oid]*traj.LIT)
+	for _, oid := range tbl.Objects() {
+		tps := tbl.ObjectTuples(oid)
+		s := make(traj.Sample, len(tps))
+		for i, tp := range tps {
+			s[i] = traj.TimePoint{T: tp.T, P: tp.Point()}
+		}
+		l, err := traj.NewLIT(s)
+		if err != nil {
+			return nil, fmt.Errorf("fo: object O%d: %w", oid, err)
+		}
+		out[oid] = l
+	}
+	c.lits[table] = out
+	return out, nil
+}
+
+// Instants builds an inclusive instant range with the given step —
+// the discretization grid InterpFact queries typically use.
+func Instants(lo, hi timedim.Instant, step int64) []timedim.Instant {
+	if step <= 0 || hi < lo {
+		return nil
+	}
+	var out []timedim.Instant
+	for t := lo; t <= hi; t += timedim.Instant(step) {
+		out = append(out, t)
+	}
+	return out
+}

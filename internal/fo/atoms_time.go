@@ -1,0 +1,79 @@
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/timedim"
+)
+
+// TimeBetween is the interval constraint Lo ≤ t ≤ Hi over a time-sort
+// term — the clean form of the paper's Q7 condition "h ≥ 8 ∧ h ≤ 10"
+// (the hour comparisons are instant-range constraints; comparing the
+// string members of the hour category would order them
+// lexicographically).
+type TimeBetween struct {
+	T      Term
+	Lo, Hi timedim.Instant
+}
+
+func (a *TimeBetween) freeVars(set varset) { termVars(set, a.T) }
+
+func (a *TimeBetween) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.T) {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (a *TimeBetween) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		tv, ok := env.resolve(a.T)
+		if !ok {
+			return nil, &ErrNotRangeRestricted{Detail: "TimeBetween over unbound term"}
+		}
+		if tv.Sort != SortTime {
+			return nil, fmt.Errorf("fo: TimeBetween applied to non-instant %v", tv)
+		}
+		t := tv.Time()
+		if t >= a.Lo && t <= a.Hi {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+// HourOfDayBetween constrains the clock hour of a time-sort term:
+// loHour ≤ hourOf(t) ≤ hiHour, matching the paper's Q7 "between 8:00
+// and 10:00 on weekday mornings" across any number of days.
+type HourOfDayBetween struct {
+	T      Term
+	Lo, Hi int // clock hours 0..23, inclusive
+}
+
+func (a *HourOfDayBetween) freeVars(set varset) { termVars(set, a.T) }
+
+func (a *HourOfDayBetween) binds(bound varset) (varset, bool) {
+	if !termsBound(bound, a.T) {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (a *HourOfDayBetween) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		tv, ok := env.resolve(a.T)
+		if !ok {
+			return nil, &ErrNotRangeRestricted{Detail: "HourOfDayBetween over unbound term"}
+		}
+		if tv.Sort != SortTime {
+			return nil, fmt.Errorf("fo: HourOfDayBetween applied to non-instant %v", tv)
+		}
+		h := tv.Time().HourOfDay()
+		if h >= a.Lo && h <= a.Hi {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}

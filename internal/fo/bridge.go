@@ -1,0 +1,90 @@
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/olap"
+)
+
+// ColumnSpec describes how one relation column becomes a fact-table
+// dimension column: the variable, the dimension instance it belongs
+// to (nil for degenerate dimensions like raw time buckets), and its
+// level.
+type ColumnSpec struct {
+	Var       Var
+	Dimension *olap.Dimension
+	Level     olap.Level
+}
+
+// ToFactTable materializes a region-C relation as a classical OLAP
+// fact table: the dims columns become dimension coordinates and each
+// measure column becomes a measure (non-numeric measure values are an
+// error). This closes the paper's loop — a spatio-temporal region
+// computed from the MOFT and the GIS becomes a fact table in the
+// application part, ready for cube materialization and MDX.
+func (r *Relation) ToFactTable(dims []ColumnSpec, measures []Var) (*olap.FactTable, error) {
+	dimCols := make([]olap.DimCol, len(dims))
+	dimIdx := make([]int, len(dims))
+	for i, d := range dims {
+		j, err := r.Col(d.Var)
+		if err != nil {
+			return nil, err
+		}
+		dimIdx[i] = j
+		dimCols[i] = olap.DimCol{Name: string(d.Var), Dimension: d.Dimension, Level: d.Level}
+	}
+	mIdx := make([]int, len(measures))
+	mNames := make([]string, len(measures))
+	for i, m := range measures {
+		j, err := r.Col(m)
+		if err != nil {
+			return nil, err
+		}
+		mIdx[i] = j
+		mNames[i] = string(m)
+	}
+	ft := olap.NewFactTable(olap.FactSchema{Dims: dimCols, Measures: mNames})
+	for _, tup := range r.Tuples {
+		coords := make([]olap.Member, len(dimIdx))
+		for i, j := range dimIdx {
+			coords[i] = olap.Member(tup[j].String())
+		}
+		ms := make([]float64, len(mIdx))
+		for i, j := range mIdx {
+			f, ok := tup[j].Real()
+			if !ok {
+				return nil, fmt.Errorf("fo: measure column %q holds non-numeric value %v", measures[i], tup[j])
+			}
+			ms[i] = f
+		}
+		if err := ft.Add(coords, ms); err != nil {
+			return nil, err
+		}
+	}
+	return ft, nil
+}
+
+// CountsToFactTable groups the relation by the dims columns and
+// materializes the group counts as a single-measure fact table named
+// "count" — the common "number of objects per bucket" shape.
+func (r *Relation) CountsToFactTable(dims []ColumnSpec) (*olap.FactTable, error) {
+	groupBy := make([]Var, len(dims))
+	for i, d := range dims {
+		groupBy[i] = d.Var
+	}
+	res, err := r.GroupAggregate(olap.Count, "", groupBy)
+	if err != nil {
+		return nil, err
+	}
+	dimCols := make([]olap.DimCol, len(dims))
+	for i, d := range dims {
+		dimCols[i] = olap.DimCol{Name: string(d.Var), Dimension: d.Dimension, Level: d.Level}
+	}
+	ft := olap.NewFactTable(olap.FactSchema{Dims: dimCols, Measures: []string{"count"}})
+	for _, row := range res.Rows {
+		if err := ft.Add(row.Group, []float64{row.Value}); err != nil {
+			return nil, err
+		}
+	}
+	return ft, nil
+}

@@ -1,0 +1,74 @@
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/gis"
+	"mogis/internal/moft"
+	"mogis/internal/olap"
+	"mogis/internal/traj"
+)
+
+// ConceptBinding links an application concept (e.g. "neighb") to a
+// level of an application-part OLAP dimension, so formulas can
+// enumerate its members (n ∈ neighb) and read their attributes
+// (n.income).
+type ConceptBinding struct {
+	Dim   *olap.Dimension
+	Level olap.Level
+}
+
+// Context is the model instance formulas evaluate against: the MOFTs,
+// the GIS dimension (layers, α, geometric rollups), and the concept
+// bindings for application attributes.
+type Context struct {
+	tables   map[string]*moft.Table
+	gisDim   *gis.Dimension
+	concepts map[string]ConceptBinding
+	// lits caches per-table interpolated trajectories for InterpFact.
+	lits map[string]map[moft.Oid]*traj.LIT
+}
+
+// NewContext creates a context over a GIS dimension instance.
+func NewContext(g *gis.Dimension) *Context {
+	return &Context{
+		tables:   make(map[string]*moft.Table),
+		gisDim:   g,
+		concepts: make(map[string]ConceptBinding),
+	}
+}
+
+// AddTable registers a moving-object fact table under its name.
+// Re-registering a name drops the cached trajectories for it.
+func (c *Context) AddTable(t *moft.Table) *Context {
+	c.tables[t.Name()] = t
+	delete(c.lits, t.Name())
+	return c
+}
+
+// Table resolves a registered MOFT.
+func (c *Context) Table(name string) (*moft.Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("fo: unknown fact table %q", name)
+	}
+	return t, nil
+}
+
+// GIS returns the GIS dimension instance.
+func (c *Context) GIS() *gis.Dimension { return c.gisDim }
+
+// BindConcept registers a concept name.
+func (c *Context) BindConcept(name string, dim *olap.Dimension, level olap.Level) *Context {
+	c.concepts[name] = ConceptBinding{Dim: dim, Level: level}
+	return c
+}
+
+// Concept resolves a concept binding.
+func (c *Context) Concept(name string) (ConceptBinding, error) {
+	b, ok := c.concepts[name]
+	if !ok {
+		return ConceptBinding{}, fmt.Errorf("fo: unknown concept %q", name)
+	}
+	return b, nil
+}

@@ -1,0 +1,49 @@
+package fo
+
+// Env is an immutable variable binding environment, represented as a
+// linked list so that extension is O(1) and environments share
+// structure across the search tree.
+type Env struct {
+	parent *Env
+	v      Var
+	val    Val
+}
+
+// EmptyEnv is the environment with no bindings.
+var EmptyEnv *Env
+
+// Bind returns env extended with v = val.
+func (e *Env) Bind(v Var, val Val) *Env {
+	return &Env{parent: e, v: v, val: val}
+}
+
+// Lookup returns the binding of v.
+func (e *Env) Lookup(v Var) (Val, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.v == v {
+			return cur.val, true
+		}
+	}
+	return Val{}, false
+}
+
+// resolve evaluates a term under the environment.
+func (e *Env) resolve(t Term) (Val, bool) {
+	if !t.IsVar {
+		return t.C, true
+	}
+	return e.Lookup(t.V)
+}
+
+// bindOrCheck extends the environment with t = val when t is an
+// unbound variable, checks equality when t is bound or constant, and
+// reports whether the (possibly extended) environment is consistent.
+func (e *Env) bindOrCheck(t Term, val Val) (*Env, bool) {
+	if !t.IsVar {
+		return e, t.C == val
+	}
+	if cur, ok := e.Lookup(t.V); ok {
+		return e, cur == val
+	}
+	return e.Bind(t.V, val), true
+}

@@ -1,0 +1,119 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a formula in the paper's notation (∃, ∧, ∨, ¬,
+// FM(...), r^{Pt,G}_L(...), α_A(...) = g, R^cat(t) = v).
+func Describe(f Formula) string {
+	switch v := f.(type) {
+	case *conj:
+		if len(v.parts) == 0 {
+			return "⊤"
+		}
+		parts := make([]string, len(v.parts))
+		for i, p := range v.parts {
+			parts[i] = Describe(p)
+		}
+		return "(" + strings.Join(parts, " ∧ ") + ")"
+	case *disj:
+		parts := make([]string, len(v.parts))
+		for i, p := range v.parts {
+			parts[i] = Describe(p)
+		}
+		return "(" + strings.Join(parts, " ∨ ") + ")"
+	case *neg:
+		return "¬" + Describe(v.f)
+	case *exists:
+		vars := make([]string, len(v.vars))
+		for i, vr := range v.vars {
+			vars[i] = string(vr)
+		}
+		return "∃" + strings.Join(vars, ",") + ". " + Describe(v.f)
+	case *Fact:
+		return fmt.Sprintf("%s(%s, %s, %s, %s)", v.Table,
+			describeTerm(v.O), describeTerm(v.T), describeTerm(v.X), describeTerm(v.Y))
+	case *InterpFact:
+		return fmt.Sprintf("%s~interp[%d](%s, %s, %s, %s)", v.Table, len(v.Times),
+			describeTerm(v.O), describeTerm(v.T), describeTerm(v.X), describeTerm(v.Y))
+	case *PointIn:
+		return fmt.Sprintf("r^{Pt,%s}_%s(%s, %s, %s)", v.Kind, v.Layer,
+			describeTerm(v.X), describeTerm(v.Y), describeTerm(v.G))
+	case *Alpha:
+		return fmt.Sprintf("α_%s(%s) = %s", v.Attr, describeTerm(v.A), describeTerm(v.G))
+	case *TimeRollup:
+		return fmt.Sprintf("R^%s(%s) = %s", v.Cat, describeTerm(v.T), describeTerm(v.V))
+	case *MemberOf:
+		return fmt.Sprintf("%s ∈ %s", describeTerm(v.M), v.Concept)
+	case *Cmp:
+		return fmt.Sprintf("%s %s %s", describeTerm(v.L), v.Op, describeTerm(v.R))
+	case *AttrCmp:
+		return fmt.Sprintf("%s.%s %s %s", describeTerm(v.M), v.Attr, v.Op, describeTerm(v.Rhs))
+	case *DistLE:
+		return fmt.Sprintf("(%s-%s)² + (%s-%s)² ≤ %g²",
+			describeTerm(v.X1), describeTerm(v.X2), describeTerm(v.Y1), describeTerm(v.Y2), v.R)
+	case *GeomIn:
+		return fmt.Sprintf("%s ∈ {%d ids}", describeTerm(v.G), len(v.IDs))
+	case *TimeBetween:
+		return fmt.Sprintf("%s ≤ %s ≤ %s", v.Lo, describeTerm(v.T), v.Hi)
+	case *HourOfDayBetween:
+		return fmt.Sprintf("%d ≤ hourOf(%s) ≤ %d", v.Lo, describeTerm(v.T), v.Hi)
+	default:
+		return fmt.Sprintf("%T", f)
+	}
+}
+
+func describeTerm(t Term) string {
+	if t.IsVar {
+		return string(t.V)
+	}
+	return t.C.String()
+}
+
+// Explain returns the evaluation plan of a formula: for conjunctions,
+// the greedy schedule (generators interleaved with filters) the
+// evaluator will follow given the initially bound variables; for
+// other formulas, a single step. It fails where evaluation would:
+// when the formula is not range-restricted.
+func Explain(f Formula) ([]string, error) {
+	return explainWith(f, varset{})
+}
+
+func explainWith(f Formula, bound varset) ([]string, error) {
+	switch v := f.(type) {
+	case *conj:
+		order, _, err := v.plan(bound)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(order))
+		b := bound.clone()
+		for i, p := range order {
+			nb, _ := p.binds(b)
+			role := "filter"
+			if len(nb) > len(b) {
+				role = "generate"
+			}
+			out[i] = fmt.Sprintf("%d. [%s] %s", i+1, role, Describe(p))
+			b = nb
+		}
+		return out, nil
+	case *exists:
+		inner, err := explainWith(v.f, bound)
+		if err != nil {
+			return nil, err
+		}
+		vars := make([]string, len(v.vars))
+		for i, vr := range v.vars {
+			vars[i] = string(vr)
+		}
+		return append(inner, fmt.Sprintf("%d. project out ∃%s", len(inner)+1, strings.Join(vars, ","))), nil
+	default:
+		if _, ok := f.binds(bound); !ok {
+			return nil, &ErrNotRangeRestricted{Detail: "formula cannot be evaluated bottom-up"}
+		}
+		return []string{"1. " + Describe(f)}, nil
+	}
+}

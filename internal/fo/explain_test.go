@@ -1,0 +1,92 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/layer"
+	"mogis/internal/timedim"
+)
+
+func TestDescribeMotivating(t *testing.T) {
+	s := Describe(motivating())
+	for _, want := range []string{
+		"∃x,y,pg,n", "n ∈ neighb", `R^timeOfDay(t) = Morning`,
+		"FM(o, t, x, y)", "r^{Pt,polygon}_Ln(x, y, pg)",
+		"α_neighb(n) = pg", "n.income < 1500",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDescribeOtherAtoms(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{TrueFormula(), "⊤"},
+		{Not(&Cmp{L: V("a"), Op: LT, R: CReal(5)}), "¬a < 5"},
+		{Or(&Cmp{L: V("a"), Op: EQ, R: CReal(1)}, &Cmp{L: V("a"), Op: EQ, R: CReal(2)}), "∨"},
+		{&DistLE{X1: V("x"), Y1: V("y"), X2: CReal(0), Y2: CReal(0), R: 5}, "≤ 5²"},
+		{&GeomIn{G: V("g"), IDs: []layer.Gid{1, 2, 3}}, "g ∈ {3 ids}"},
+		{&TimeBetween{T: V("t"), Lo: 0, Hi: 60}, "≤ t ≤"},
+		{&HourOfDayBetween{T: V("t"), Lo: 8, Hi: 10}, "8 ≤ hourOf(t) ≤ 10"},
+		{&InterpFact{Table: "FM", Times: []timedim.Instant{1, 2}, O: V("o"), T: V("t"), X: V("x"), Y: V("y")}, "FM~interp[2]"},
+	}
+	for _, c := range cases {
+		if got := Describe(c.f); !strings.Contains(got, c.want) {
+			t.Errorf("Describe = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+func TestExplainPlanOrder(t *testing.T) {
+	steps, err := Explain(motivating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("empty plan")
+	}
+	// The last step is the existential projection.
+	if !strings.Contains(steps[len(steps)-1], "project out") {
+		t.Errorf("last step = %q", steps[len(steps)-1])
+	}
+	// MemberOf and Fact are generators; the income filter runs after
+	// its member variable is bound.
+	var memberIdx, incomeIdx int
+	for i, s := range steps {
+		if strings.Contains(s, "∈ neighb") {
+			memberIdx = i
+		}
+		if strings.Contains(s, "income") {
+			incomeIdx = i
+		}
+	}
+	if incomeIdx < memberIdx {
+		t.Errorf("income filter scheduled before its generator:\n%s", strings.Join(steps, "\n"))
+	}
+	// Generators and filters are labeled.
+	joined := strings.Join(steps, "\n")
+	if !strings.Contains(joined, "[generate]") || !strings.Contains(joined, "[filter]") {
+		t.Errorf("missing role labels:\n%s", joined)
+	}
+}
+
+func TestExplainUnsafe(t *testing.T) {
+	if _, err := Explain(&Cmp{L: V("a"), Op: LT, R: V("b")}); err == nil {
+		t.Error("unsafe formula explained without error")
+	}
+	if _, err := Explain(And(&Cmp{L: V("a"), Op: LT, R: V("b")})); err == nil {
+		t.Error("unsafe conjunction explained without error")
+	}
+}
+
+func TestExplainSingleAtom(t *testing.T) {
+	steps, err := Explain(&Fact{Table: "FM", O: V("o"), T: V("t"), X: V("x"), Y: V("y")})
+	if err != nil || len(steps) != 1 {
+		t.Errorf("steps = %v, %v", steps, err)
+	}
+}

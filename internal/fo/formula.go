@@ -1,0 +1,324 @@
+package fo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Formula is a formula of the language L. Formulas are evaluated with
+// safe-range semantics: a formula must be range-restricted so that
+// its result is a finite relation over its free variables.
+type Formula interface {
+	// freeVars adds the formula's free variables to set.
+	freeVars(set varset)
+	// binds returns the variables guaranteed bound after evaluating
+	// the formula when the variables in bound are already bound, and
+	// ok=false when the formula cannot be evaluated yet (its inputs
+	// are not bound).
+	binds(bound varset) (varset, bool)
+	// eval filters/extends each input environment.
+	eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error)
+}
+
+// ErrNotRangeRestricted is wrapped by evaluation errors for unsafe
+// formulas.
+type ErrNotRangeRestricted struct {
+	Detail string
+}
+
+func (e *ErrNotRangeRestricted) Error() string {
+	return "fo: formula not range-restricted: " + e.Detail
+}
+
+// FreeVars returns the free variables of f, sorted.
+func FreeVars(f Formula) []Var {
+	set := varset{}
+	f.freeVars(set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// And builds the conjunction of parts.
+func And(parts ...Formula) Formula { return &conj{parts: parts} }
+
+// Or builds the disjunction of parts.
+func Or(parts ...Formula) Formula { return &disj{parts: parts} }
+
+// Not builds the (safe) negation of f: every free variable of f must
+// be bound by the enclosing conjunction.
+func Not(f Formula) Formula { return &neg{f: f} }
+
+// Exists quantifies vars existentially in f.
+func Exists(vars []Var, f Formula) Formula { return &exists{vars: vars, f: f} }
+
+type conj struct {
+	parts []Formula
+}
+
+func (c *conj) freeVars(set varset) {
+	for _, p := range c.parts {
+		p.freeVars(set)
+	}
+}
+
+// plan orders the parts greedily: at each step pick the first part
+// evaluable under the current bound set, preferring pure filters
+// (parts that bind nothing new) so generators run as late as
+// possible.
+func (c *conj) plan(bound varset) ([]Formula, varset, error) {
+	remaining := append([]Formula(nil), c.parts...)
+	b := bound.clone()
+	var order []Formula
+	for len(remaining) > 0 {
+		pick := -1
+		var pickBinds varset
+		for i, p := range remaining {
+			nb, ok := p.binds(b)
+			if !ok {
+				continue
+			}
+			if len(nb) == len(b) { // pure filter: take immediately
+				pick, pickBinds = i, nb
+				break
+			}
+			if pick < 0 {
+				pick, pickBinds = i, nb
+			}
+		}
+		if pick < 0 {
+			return nil, nil, &ErrNotRangeRestricted{
+				Detail: fmt.Sprintf("%d conjunct(s) cannot be scheduled", len(remaining)),
+			}
+		}
+		order = append(order, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		b = pickBinds
+	}
+	return order, b, nil
+}
+
+func (c *conj) binds(bound varset) (varset, bool) {
+	_, b, err := c.plan(bound)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (c *conj) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	order, _, err := c.plan(bound)
+	if err != nil {
+		return nil, err
+	}
+	b := bound.clone()
+	for _, p := range order {
+		envs, err = p.eval(ctx, envs, b)
+		if err != nil {
+			return nil, err
+		}
+		nb, _ := p.binds(b)
+		b = nb
+		if len(envs) == 0 {
+			return envs, nil
+		}
+	}
+	return envs, nil
+}
+
+type disj struct {
+	parts []Formula
+}
+
+func (d *disj) freeVars(set varset) {
+	for _, p := range d.parts {
+		p.freeVars(set)
+	}
+}
+
+func (d *disj) binds(bound varset) (varset, bool) {
+	if len(d.parts) == 0 {
+		return bound, true
+	}
+	// All disjuncts must be evaluable and bind the same variable set
+	// (union semantics needs compatible schemas).
+	common, ok := d.parts[0].binds(bound)
+	if !ok {
+		return nil, false
+	}
+	for _, p := range d.parts[1:] {
+		nb, ok := p.binds(bound)
+		if !ok {
+			return nil, false
+		}
+		if len(nb) != len(common) {
+			return nil, false
+		}
+		for v := range nb {
+			if !common[v] {
+				return nil, false
+			}
+		}
+	}
+	return common, true
+}
+
+func (d *disj) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	nb, ok := d.binds(bound)
+	if !ok {
+		return nil, &ErrNotRangeRestricted{Detail: "disjuncts bind incompatible variable sets"}
+	}
+	// New variables introduced by the disjunction, in stable order.
+	var newVars []Var
+	for v := range nb {
+		if !bound[v] {
+			newVars = append(newVars, v)
+		}
+	}
+	sort.Slice(newVars, func(i, j int) bool { return newVars[i] < newVars[j] })
+
+	var out []*Env
+	for _, env := range envs {
+		seen := make(map[string]bool)
+		for _, p := range d.parts {
+			sub, err := p.eval(ctx, []*Env{env}, bound)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range sub {
+				key := fingerprint(e, newVars)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, rebase(env, e, newVars))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// fingerprint serializes the bindings of vars in e.
+func fingerprint(e *Env, vars []Var) string {
+	key := ""
+	for _, v := range vars {
+		val, _ := e.Lookup(v)
+		key += val.String() + "\x1f"
+	}
+	return key
+}
+
+// rebase builds base extended with the bindings of vars taken from e,
+// discarding any other bindings e accumulated.
+func rebase(base, e *Env, vars []Var) *Env {
+	out := base
+	for _, v := range vars {
+		if val, ok := e.Lookup(v); ok {
+			out = out.Bind(v, val)
+		}
+	}
+	return out
+}
+
+type neg struct {
+	f Formula
+}
+
+func (n *neg) freeVars(set varset) { n.f.freeVars(set) }
+
+func (n *neg) binds(bound varset) (varset, bool) {
+	// Safe negation: every free variable of the negated formula must
+	// already be bound (otherwise ¬ would see generator bindings that
+	// belong to the inner scope), and the inner formula must be
+	// evaluable. The negation itself binds nothing.
+	free := varset{}
+	n.f.freeVars(free)
+	for v := range free {
+		if !bound[v] {
+			return nil, false
+		}
+	}
+	if _, ok := n.f.binds(bound); !ok {
+		return nil, false
+	}
+	return bound, true
+}
+
+func (n *neg) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	var out []*Env
+	for _, env := range envs {
+		sub, err := n.f.eval(ctx, []*Env{env}, bound)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) == 0 {
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}
+
+type exists struct {
+	vars []Var
+	f    Formula
+}
+
+func (x *exists) freeVars(set varset) {
+	inner := varset{}
+	x.f.freeVars(inner)
+	for _, v := range x.vars {
+		delete(inner, v)
+	}
+	set.addAll(inner)
+}
+
+func (x *exists) binds(bound varset) (varset, bool) {
+	nb, ok := x.f.binds(bound)
+	if !ok {
+		return nil, false
+	}
+	out := nb.clone()
+	for _, v := range x.vars {
+		if !bound[v] {
+			delete(out, v)
+		}
+	}
+	return out, true
+}
+
+func (x *exists) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	nb, ok := x.binds(bound)
+	if !ok {
+		return nil, &ErrNotRangeRestricted{Detail: "existential body cannot be evaluated"}
+	}
+	var keepVars []Var
+	for v := range nb {
+		if !bound[v] {
+			keepVars = append(keepVars, v)
+		}
+	}
+	sort.Slice(keepVars, func(i, j int) bool { return keepVars[i] < keepVars[j] })
+
+	var out []*Env
+	for _, env := range envs {
+		sub, err := x.f.eval(ctx, []*Env{env}, bound)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool)
+		for _, e := range sub {
+			key := fingerprint(e, keepVars)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, rebase(env, e, keepVars))
+			}
+		}
+	}
+	return out, nil
+}
+
+// TrueFormula is the neutral conjunction (always satisfied, binds
+// nothing).
+func TrueFormula() Formula { return &conj{} }

@@ -1,0 +1,168 @@
+// Package fo implements the multi-sorted first-order constraint
+// language L of the paper (Definition 4 and Section 3.1): formulas
+// over the sorts object-id, time instant, real coordinate, geometry
+// id and string, with the atoms the paper's queries use — MOFT
+// membership FM(Oid,t,x,y), geometric rollup relations
+// r^{Pt,G}_L(x,y,g), attribute functions α^{A,G}_L(a)=g, time rollups
+// R^j_timeId(t)=v, member attributes (n.income), arithmetic
+// comparisons and distance constraints — closed under ∧, ∨, ¬ and ∃.
+// Formulas are evaluated with safe-range (range-restricted)
+// semantics into finite relations, over which any aggregation of
+// Definition 7 can then be computed; this is exactly how the paper
+// expresses its spatio-temporal region C.
+package fo
+
+import (
+	"fmt"
+
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/timedim"
+)
+
+// Sort enumerates the sorts of the multi-sorted logic.
+type Sort int
+
+// The sorts of L.
+const (
+	SortObject Sort = iota // moving-object identifiers
+	SortTime               // time instants (timeId members)
+	SortReal               // real coordinates and measures
+	SortGeom               // geometry identifiers
+	SortString             // application-part members and category values
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortObject:
+		return "object"
+	case SortTime:
+		return "time"
+	case SortReal:
+		return "real"
+	case SortGeom:
+		return "geometry"
+	case SortString:
+		return "string"
+	default:
+		return "unknown"
+	}
+}
+
+// Val is a value of some sort. Vals are comparable and hence usable
+// as map keys.
+type Val struct {
+	Sort Sort
+	I    int64   // object, time, geometry payload
+	F    float64 // real payload
+	S    string  // string payload
+}
+
+// Constructors for each sort.
+
+// VObj wraps a moving-object id.
+func VObj(o moft.Oid) Val { return Val{Sort: SortObject, I: int64(o)} }
+
+// VTime wraps a time instant.
+func VTime(t timedim.Instant) Val { return Val{Sort: SortTime, I: int64(t)} }
+
+// VReal wraps a real number.
+func VReal(f float64) Val { return Val{Sort: SortReal, F: f} }
+
+// VGeom wraps a geometry id.
+func VGeom(g layer.Gid) Val { return Val{Sort: SortGeom, I: int64(g)} }
+
+// VStr wraps a string.
+func VStr(s string) Val { return Val{Sort: SortString, S: s} }
+
+// Obj extracts an object id (panics on sort mismatch; formulas are
+// sort-checked before evaluation touches payloads).
+func (v Val) Obj() moft.Oid { return moft.Oid(v.I) }
+
+// Time extracts a time instant.
+func (v Val) Time() timedim.Instant { return timedim.Instant(v.I) }
+
+// Real extracts a real number; integral sorts coerce to their numeric
+// value so comparisons like t1 < t2 work uniformly.
+func (v Val) Real() (float64, bool) {
+	switch v.Sort {
+	case SortReal:
+		return v.F, true
+	case SortTime, SortObject, SortGeom:
+		return float64(v.I), true
+	default:
+		return 0, false
+	}
+}
+
+// Geom extracts a geometry id.
+func (v Val) Geom() layer.Gid { return layer.Gid(v.I) }
+
+// Str extracts a string.
+func (v Val) Str() (string, bool) { return v.S, v.Sort == SortString }
+
+// String renders the value for display.
+func (v Val) String() string {
+	switch v.Sort {
+	case SortObject:
+		return fmt.Sprintf("O%d", v.I)
+	case SortTime:
+		return fmt.Sprintf("t%d", v.I)
+	case SortReal:
+		return fmt.Sprintf("%g", v.F)
+	case SortGeom:
+		return fmt.Sprintf("g%d", v.I)
+	default:
+		return v.S
+	}
+}
+
+// Var is a variable name.
+type Var string
+
+// Term is a variable or a constant.
+type Term struct {
+	IsVar bool
+	V     Var
+	C     Val
+}
+
+// V makes a variable term.
+func V(name Var) Term { return Term{IsVar: true, V: name} }
+
+// C makes a constant term.
+func C(v Val) Term { return Term{C: v} }
+
+// CReal, CStr, CTime, CObj and CGeom are constant-term shorthands.
+
+// CReal makes a real constant term.
+func CReal(f float64) Term { return C(VReal(f)) }
+
+// CStr makes a string constant term.
+func CStr(s string) Term { return C(VStr(s)) }
+
+// CTime makes a time constant term.
+func CTime(t timedim.Instant) Term { return C(VTime(t)) }
+
+// CObj makes an object constant term.
+func CObj(o moft.Oid) Term { return C(VObj(o)) }
+
+// CGeom makes a geometry constant term.
+func CGeom(g layer.Gid) Term { return C(VGeom(g)) }
+
+// varset is a set of variables.
+type varset map[Var]bool
+
+func (s varset) clone() varset {
+	out := make(varset, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+func (s varset) addAll(o varset) {
+	for v := range o {
+		s[v] = true
+	}
+}

@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned bounding rectangle, closed on all sides.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyBBox returns the identity element for Union: a box that
+// contains nothing and leaves any box unchanged when united with it.
+func EmptyBBox() BBox {
+	return BBox{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// NewBBox returns the bounding box of the given points.
+func NewBBox(pts ...Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b = b.ExtendPoint(p)
+	}
+	return b
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b BBox) IsEmpty() bool { return b.MinX > b.MaxX || b.MinY > b.MaxY }
+
+// Width returns the horizontal extent (0 for an empty box).
+func (b BBox) Width() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return b.MaxX - b.MinX
+}
+
+// Height returns the vertical extent (0 for an empty box).
+func (b BBox) Height() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return b.MaxY - b.MinY
+}
+
+// Area returns the area of the box (0 for an empty box).
+func (b BBox) Area() float64 { return b.Width() * b.Height() }
+
+// Perimeter returns half the perimeter (the usual R-tree margin metric
+// uses this; full perimeter is 2*Perimeter).
+func (b BBox) Perimeter() float64 { return b.Width() + b.Height() }
+
+// Center returns the box center. It is undefined for empty boxes.
+func (b BBox) Center() Point { return Point{(b.MinX + b.MaxX) / 2, (b.MinY + b.MaxY) / 2} }
+
+// ContainsPoint reports whether p lies inside or on the boundary of b.
+func (b BBox) ContainsPoint(p Point) bool {
+	return b.MinX <= p.X && p.X <= b.MaxX && b.MinY <= p.Y && p.Y <= b.MaxY
+}
+
+// Contains reports whether b fully contains o.
+func (b BBox) Contains(o BBox) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	return b.MinX <= o.MinX && o.MaxX <= b.MaxX && b.MinY <= o.MinY && o.MaxY <= b.MaxY
+}
+
+// Intersects reports whether b and o share at least one point.
+func (b BBox) Intersects(o BBox) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.MinX <= o.MaxX && o.MinX <= b.MaxX && b.MinY <= o.MaxY && o.MinY <= b.MaxY
+}
+
+// Intersection returns the common region of b and o (possibly empty).
+func (b BBox) Intersection(o BBox) BBox {
+	r := BBox{
+		MinX: maxf(b.MinX, o.MinX), MinY: maxf(b.MinY, o.MinY),
+		MaxX: minf(b.MaxX, o.MaxX), MaxY: minf(b.MaxY, o.MaxY),
+	}
+	if r.IsEmpty() {
+		return EmptyBBox()
+	}
+	return r
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return BBox{
+		MinX: minf(b.MinX, o.MinX), MinY: minf(b.MinY, o.MinY),
+		MaxX: maxf(b.MaxX, o.MaxX), MaxY: maxf(b.MaxY, o.MaxY),
+	}
+}
+
+// ExtendPoint returns b grown to include p.
+func (b BBox) ExtendPoint(p Point) BBox {
+	return b.Union(BBox{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+}
+
+// Expand returns b grown by margin d on every side.
+func (b BBox) Expand(d float64) BBox {
+	if b.IsEmpty() {
+		return b
+	}
+	return BBox{MinX: b.MinX - d, MinY: b.MinY - d, MaxX: b.MaxX + d, MaxY: b.MaxY + d}
+}
+
+// Corners returns the four corners in counterclockwise order starting
+// at (MinX, MinY).
+func (b BBox) Corners() [4]Point {
+	return [4]Point{
+		{b.MinX, b.MinY}, {b.MaxX, b.MinY}, {b.MaxX, b.MaxY}, {b.MinX, b.MaxY},
+	}
+}
+
+// AsPolygon returns the box as a counterclockwise rectangle polygon.
+func (b BBox) AsPolygon() Polygon {
+	c := b.Corners()
+	return Polygon{Shell: Ring{c[0], c[1], c[2], c[3]}}
+}
+
+// String formats the box as "[minx,miny..maxx,maxy]".
+func (b BBox) String() string {
+	return fmt.Sprintf("[%g,%g..%g,%g]", b.MinX, b.MinY, b.MaxX, b.MaxY)
+}

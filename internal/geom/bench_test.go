@@ -1,0 +1,84 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkOrientFastPath measures the float filter on well-separated
+// points (the common case: no exact fallback).
+func BenchmarkOrientFastPath(b *testing.B) {
+	a, c, d := Pt(0.1, 0.2), Pt(10.3, 7.9), Pt(3.7, 9.1)
+	for i := 0; i < b.N; i++ {
+		Orient(a, c, d)
+	}
+}
+
+// BenchmarkOrientExactFallback measures degenerate inputs that force
+// the big.Rat path (ablation for DESIGN.md decision 1).
+func BenchmarkOrientExactFallback(b *testing.B) {
+	a, c, d := Pt(1e16, 1e16), Pt(2e16, 2e16), Pt(3e16, 3e16)
+	for i := 0; i < b.N; i++ {
+		Orient(a, c, d)
+	}
+}
+
+func benchRing(n int) Ring {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, n*3)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return ConvexHull(pts)
+}
+
+func BenchmarkPointInPolygon(b *testing.B) {
+	r := benchRing(64)
+	p := r.Centroid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Locate(p)
+	}
+}
+
+func BenchmarkTriangulateRing64(b *testing.B) {
+	r := benchRing(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TriangulateRing(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntersectionArea(b *testing.B) {
+	p := Polygon{Shell: benchRing(32)}
+	q := Polygon{Shell: benchRing(24)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectionArea(p, q)
+	}
+}
+
+func BenchmarkSegmentInsideIntervals(b *testing.B) {
+	pg := Polygon{Shell: benchRing(48)}
+	s := Seg(Pt(-100, 500), Pt(1100, 480))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.SegmentInsideIntervals(s)
+	}
+}
+
+func BenchmarkSimplifyPolyline(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var pl Polyline
+	p := Pt(0, 0)
+	for i := 0; i < 1000; i++ {
+		p = p.Add(Pt(rng.Float64()*3, rng.Float64()*2-1))
+		pl = append(pl, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimplifyPolyline(pl, 2)
+	}
+}

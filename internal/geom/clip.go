@@ -1,0 +1,179 @@
+package geom
+
+// ClipRingConvex clips subject against the convex ring clip using
+// Sutherland–Hodgman. The clip ring must be convex and
+// counterclockwise; the subject may be any (weakly) simple ring of
+// either winding. The result is a ring whose shoelace area equals the
+// intersection area; for non-convex subjects it may contain
+// zero-width bridges, which do not affect area or containment tests
+// by midpoint classification.
+func ClipRingConvex(subject, clip Ring) Ring {
+	out := subject.Clone()
+	if !out.IsCCW() {
+		out = out.Reverse()
+	}
+	n := len(clip)
+	for i := 0; i < n && len(out) > 0; i++ {
+		a, b := clip[i], clip[(i+1)%n]
+		out = clipAgainstEdge(out, a, b)
+	}
+	return out
+}
+
+// clipAgainstEdge keeps the parts of ring on the left side (inclusive)
+// of the directed line a→b.
+func clipAgainstEdge(ring Ring, a, b Point) Ring {
+	var out Ring
+	n := len(ring)
+	if n == 0 {
+		return out
+	}
+	inside := func(p Point) bool { return Orient(a, b, p) != Clockwise }
+	cross := func(p, q Point) Point {
+		// Intersection of segment pq with the infinite line ab.
+		d1 := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+		d2 := (b.X-a.X)*(q.Y-a.Y) - (b.Y-a.Y)*(q.X-a.X)
+		t := d1 / (d1 - d2)
+		return p.Lerp(q, t)
+	}
+	prev := ring[n-1]
+	prevIn := inside(prev)
+	for _, cur := range ring {
+		curIn := inside(cur)
+		switch {
+		case prevIn && curIn:
+			out = append(out, cur)
+		case prevIn && !curIn:
+			out = append(out, cross(prev, cur))
+		case !prevIn && curIn:
+			out = append(out, cross(prev, cur), cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	return out
+}
+
+// IntersectionArea returns the area of the intersection of two
+// polygons (holes respected). It triangulates one polygon and clips
+// the other's rings against each (convex) triangle, summing signed
+// areas: shell contributions add, hole contributions subtract on both
+// sides via inclusion–exclusion over ring pairs.
+func IntersectionArea(p, q Polygon) float64 {
+	if !p.BBox().Intersects(q.BBox()) {
+		return 0
+	}
+	p = p.Normalize()
+	q = q.Normalize()
+	total := ringIntersectionArea(p.Shell, q.Shell)
+	for _, hq := range q.Holes {
+		total -= ringIntersectionArea(p.Shell, hq)
+	}
+	for _, hp := range p.Holes {
+		total -= ringIntersectionArea(hp, q.Shell)
+		for _, hq := range q.Holes {
+			total += ringIntersectionArea(hp, hq)
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// ringIntersectionArea returns the area of intersection of the regions
+// enclosed by two simple rings.
+func ringIntersectionArea(a, b Ring) float64 {
+	tris, err := TriangulateRing(a)
+	if err != nil {
+		return 0
+	}
+	var sum float64
+	bb := b.BBox()
+	for _, t := range tris {
+		if !t.AsRing().BBox().Intersects(bb) {
+			continue
+		}
+		tri := t.AsRing()
+		if !tri.IsCCW() {
+			tri = tri.Reverse()
+		}
+		clipped := ClipRingConvex(b, tri)
+		sum += clipped.Area()
+	}
+	return sum
+}
+
+// IntersectionCells returns, for the intersection of two polygons, a
+// set of convex cells whose areas sum to the intersection area and
+// whose centroids are representative interior points. Both polygons
+// are triangulated (holes respected via bridging) and triangle pairs
+// are clipped convex-against-convex, so every cell is exact. Overlay
+// precomputation (Section 5 of the paper) stores these cells.
+func IntersectionCells(p, q Polygon) []Ring {
+	if !p.BBox().Intersects(q.BBox()) {
+		return nil
+	}
+	pt, err := Triangulate(p)
+	if err != nil {
+		return nil
+	}
+	qt, err := Triangulate(q)
+	if err != nil {
+		return nil
+	}
+	var cells []Ring
+	for _, tp := range pt {
+		rp := ccwTriangle(tp)
+		bp := rp.BBox()
+		for _, tq := range qt {
+			rq := ccwTriangle(tq)
+			if !bp.Intersects(rq.BBox()) {
+				continue
+			}
+			clipped := ClipRingConvex(rq, rp)
+			if clipped.Area() > 0 {
+				cells = append(cells, clipped)
+			}
+		}
+	}
+	return cells
+}
+
+func ccwTriangle(t Triangle) Ring {
+	r := t.AsRing()
+	if !r.IsCCW() {
+		r = r.Reverse()
+	}
+	return r
+}
+
+// ClipPolylineToPolygon returns the pieces of the chain inside the
+// closed polygon as a set of sub-chains.
+func ClipPolylineToPolygon(pl Polyline, pg Polygon) []Polyline {
+	var out []Polyline
+	var cur Polyline
+	flush := func() {
+		if len(cur) >= 2 {
+			out = append(out, cur)
+		}
+		cur = nil
+	}
+	for i := 0; i < pl.NumSegments(); i++ {
+		s := pl.Segment(i)
+		ivs := pg.SegmentInsideIntervals(s)
+		for _, iv := range ivs {
+			a, b := s.At(iv.Lo), s.At(iv.Hi)
+			if len(cur) > 0 && cur[len(cur)-1].NearEq(a, 1e-9) {
+				cur = append(cur, b)
+			} else {
+				flush()
+				cur = Polyline{a, b}
+			}
+		}
+		if len(ivs) == 0 || ivs[len(ivs)-1].Hi < 1-1e-12 {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClipRingConvexBasic(t *testing.T) {
+	subject := square(0, 0, 10)
+	clip := square(5, 5, 10)
+	out := ClipRingConvex(subject, clip)
+	if math.Abs(out.Area()-25) > 1e-9 {
+		t.Errorf("clip area = %v, want 25", out.Area())
+	}
+}
+
+func TestClipRingConvexDisjoint(t *testing.T) {
+	out := ClipRingConvex(square(0, 0, 1), square(5, 5, 1))
+	if out.Area() != 0 {
+		t.Errorf("disjoint clip area = %v", out.Area())
+	}
+}
+
+func TestClipRingConvexContained(t *testing.T) {
+	// Subject inside clip: unchanged area.
+	out := ClipRingConvex(square(2, 2, 2), square(0, 0, 10))
+	if math.Abs(out.Area()-4) > 1e-12 {
+		t.Errorf("contained clip area = %v", out.Area())
+	}
+	// Clip inside subject: result is the clip.
+	out = ClipRingConvex(square(0, 0, 10), square(2, 2, 2))
+	if math.Abs(out.Area()-4) > 1e-12 {
+		t.Errorf("containing clip area = %v", out.Area())
+	}
+}
+
+func TestClipRingConvexConcaveSubject(t *testing.T) {
+	u := Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(4, 6), Pt(4, 2), Pt(2, 2), Pt(2, 6), Pt(0, 6)}
+	// Clip with a rectangle covering the upper half (y ≥ 3): the notch
+	// splits the region into two arms of area 2*3 each.
+	clip := Ring{Pt(-1, 3), Pt(7, 3), Pt(7, 7), Pt(-1, 7)}
+	out := ClipRingConvex(u, clip)
+	if math.Abs(out.Area()-12) > 1e-9 {
+		t.Errorf("concave clip area = %v, want 12", out.Area())
+	}
+}
+
+func TestIntersectionAreaBasic(t *testing.T) {
+	a := Polygon{Shell: square(0, 0, 10)}
+	b := Polygon{Shell: square(5, 5, 10)}
+	if got := IntersectionArea(a, b); math.Abs(got-25) > 1e-9 {
+		t.Errorf("IntersectionArea = %v, want 25", got)
+	}
+	if got := IntersectionArea(b, a); math.Abs(got-25) > 1e-9 {
+		t.Errorf("IntersectionArea symmetric = %v, want 25", got)
+	}
+}
+
+func TestIntersectionAreaDisjointAndNested(t *testing.T) {
+	a := Polygon{Shell: square(0, 0, 10)}
+	if got := IntersectionArea(a, Polygon{Shell: square(20, 20, 5)}); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	if got := IntersectionArea(a, Polygon{Shell: square(2, 2, 3)}); math.Abs(got-9) > 1e-9 {
+		t.Errorf("nested = %v, want 9", got)
+	}
+	if got := IntersectionArea(a, a); math.Abs(got-100) > 1e-9 {
+		t.Errorf("self = %v, want 100", got)
+	}
+}
+
+func TestIntersectionAreaWithHoles(t *testing.T) {
+	// a: 10x10 with a 2x2 hole at (4,4); b: right half plane rectangle.
+	a := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	b := Polygon{Shell: square(5, 0, 10)}
+	// Intersection: x in [5,10] → 50 minus hole part x in [5,6], y in [4,6] → 2.
+	if got := IntersectionArea(a, b); math.Abs(got-48) > 1e-9 {
+		t.Errorf("hole case = %v, want 48", got)
+	}
+	// Symmetric argument order.
+	if got := IntersectionArea(b, a); math.Abs(got-48) > 1e-9 {
+		t.Errorf("hole case sym = %v, want 48", got)
+	}
+	// Both with holes.
+	c := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(1, 1, 2)}}
+	got := IntersectionArea(a, c)
+	// area = 100 - hole(a)=4 - hole(c)=4 (holes disjoint) = 92.
+	if math.Abs(got-92) > 1e-9 {
+		t.Errorf("both holes = %v, want 92", got)
+	}
+}
+
+func TestIntersectionAreaConcave(t *testing.T) {
+	u := Polygon{Shell: Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(4, 6), Pt(4, 2), Pt(2, 2), Pt(2, 6), Pt(0, 6)}}
+	band := Polygon{Shell: Ring{Pt(-1, 3), Pt(7, 3), Pt(7, 7), Pt(-1, 7)}}
+	if got := IntersectionArea(u, band); math.Abs(got-12) > 1e-9 {
+		t.Errorf("concave = %v, want 12", got)
+	}
+}
+
+// TestIntersectionAreaRandom cross-checks triangulated clipping against
+// Monte Carlo estimation on random convex polygons.
+func TestIntersectionAreaRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 10; iter++ {
+		a := Polygon{Shell: randomConvex(rng, 0, 0, 60)}
+		b := Polygon{Shell: randomConvex(rng, 30, 30, 60)}
+		got := IntersectionArea(a, b)
+
+		// Monte Carlo estimate.
+		box := a.BBox().Intersection(b.BBox())
+		if box.IsEmpty() {
+			if got > 1e-9 {
+				t.Errorf("iter %d: empty bbox but area %v", iter, got)
+			}
+			continue
+		}
+		const n = 20000
+		hits := 0
+		for i := 0; i < n; i++ {
+			p := Pt(box.MinX+rng.Float64()*box.Width(), box.MinY+rng.Float64()*box.Height())
+			if a.ContainsPoint(p) && b.ContainsPoint(p) {
+				hits++
+			}
+		}
+		est := float64(hits) / n * box.Area()
+		tol := 0.05*box.Area() + 1e-9
+		if math.Abs(got-est) > tol {
+			t.Errorf("iter %d: clip area %v vs Monte Carlo %v (tol %v)", iter, got, est, tol)
+		}
+	}
+}
+
+func randomConvex(rng *rand.Rand, ox, oy, size float64) Ring {
+	pts := make([]Point, 24)
+	for i := range pts {
+		pts[i] = Pt(ox+rng.Float64()*size, oy+rng.Float64()*size)
+	}
+	return ConvexHull(pts)
+}
+
+func TestIntersectionCells(t *testing.T) {
+	a := Polygon{Shell: square(0, 0, 10)}
+	b := Polygon{Shell: square(5, 5, 10)}
+	cells := IntersectionCells(a, b)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += c.Area()
+		// Cell centroids must lie in both polygons.
+		ct := c.Centroid()
+		if !a.ContainsPoint(ct) || !b.ContainsPoint(ct) {
+			t.Errorf("cell centroid %v outside intersection", ct)
+		}
+	}
+	if math.Abs(sum-25) > 1e-9 {
+		t.Errorf("cell area sum = %v, want 25", sum)
+	}
+}
+
+func TestIntersectionCellsWithHole(t *testing.T) {
+	a := Polygon{Shell: square(0, 0, 10)}
+	b := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	cells := IntersectionCells(a, b)
+	var sum float64
+	for _, c := range cells {
+		sum += c.Area()
+	}
+	if math.Abs(sum-96) > 0.5 {
+		t.Errorf("cell area sum = %v, want ≈96", sum)
+	}
+}
+
+func TestClipPolylineToPolygon(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10)}
+	pl := Polyline{Pt(-5, 5), Pt(5, 5), Pt(5, 15)}
+	pieces := ClipPolylineToPolygon(pl, pg)
+	if len(pieces) != 1 {
+		t.Fatalf("pieces = %d, want 1 (connected path inside)", len(pieces))
+	}
+	if math.Abs(pieces[0].Length()-10) > 1e-9 {
+		t.Errorf("clipped length = %v, want 10", pieces[0].Length())
+	}
+	// A chain that leaves and re-enters yields two pieces.
+	pl2 := Polyline{Pt(2, 5), Pt(15, 5), Pt(15, 2), Pt(2, 2)}
+	pieces2 := ClipPolylineToPolygon(pl2, pg)
+	if len(pieces2) != 2 {
+		t.Fatalf("pieces2 = %d, want 2", len(pieces2))
+	}
+	total := pieces2[0].Length() + pieces2[1].Length()
+	if math.Abs(total-16) > 1e-9 {
+		t.Errorf("total clipped length = %v, want 16", total)
+	}
+}

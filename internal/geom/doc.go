@@ -1,0 +1,15 @@
+// Package geom provides the computational-geometry substrate for the
+// moving-objects GIS-OLAP model: points, segments, polylines, polygons
+// with holes, bounding boxes, robust predicates with an exact
+// rational fallback, area and length measures, triangulation,
+// clipping, and polygon overlay primitives.
+//
+// Coordinates are float64. Predicates (orientation, segment
+// intersection, point-in-polygon) use a floating-point fast path and
+// fall back to exact math/big.Rat arithmetic when the floating-point
+// result is within an error bound of zero, following the spirit of
+// Shewchuk's adaptive predicates. The paper assumes rational
+// coordinates (Section 1.2); float64 values are exactly representable
+// rationals, so the exact fallback decides every degenerate case
+// correctly.
+package geom

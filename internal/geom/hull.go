@@ -1,0 +1,53 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points as a
+// counterclockwise ring without repeated first vertex (Andrew's
+// monotone chain). Collinear points on the hull boundary are dropped.
+// Degenerate inputs (all points equal or collinear) return rings with
+// fewer than three vertices.
+func ConvexHull(pts []Point) Ring {
+	if len(pts) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Remove duplicates.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	n := len(ps)
+	if n < 3 {
+		return Ring(ps)
+	}
+
+	hull := make([]Point, 0, 2*n)
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Ring(hull[:len(hull)-1])
+}

@@ -1,0 +1,67 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10),
+		Pt(5, 5), Pt(2, 3), Pt(7, 8), // interior
+		Pt(5, 0), Pt(10, 5), // on edges
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(hull), hull)
+	}
+	if !hull.IsCCW() {
+		t.Error("hull should be counterclockwise")
+	}
+	if hull.Area() != 100 {
+		t.Errorf("hull area = %v", hull.Area())
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Errorf("empty = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("single = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("duplicates = %v", h)
+	}
+	h := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(h) != 2 {
+		t.Errorf("collinear = %v", h)
+	}
+}
+
+func TestConvexHullRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 30; iter++ {
+		pts := make([]Point, 100)
+		for i := range pts {
+			pts[i] = Pt(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("iter %d: degenerate hull from random points", iter)
+		}
+		// Convexity: every corner is a strict left turn.
+		n := len(hull)
+		for i := 0; i < n; i++ {
+			if Orient(hull[i], hull[(i+1)%n], hull[(i+2)%n]) != CounterClockwise {
+				t.Fatalf("iter %d: hull not strictly convex at %d", iter, i)
+			}
+		}
+		// Containment: every input point inside or on the hull.
+		for _, p := range pts {
+			if hull.Locate(p) == Outside {
+				t.Fatalf("iter %d: point %v outside hull", iter, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the vector sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 { return p.Sub(q).Norm2() }
+
+// Lerp linearly interpolates between p (t=0) and q (t=1).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Eq reports whether p and q are the same point (exact comparison;
+// coordinates are rationals per the paper's model, so equality is
+// meaningful).
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// NearEq reports whether p and q coincide within absolute tolerance eps.
+func (p Point) NearEq(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// String formats the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// MidPoint returns the midpoint of p and q.
+func MidPoint(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }

@@ -1,0 +1,112 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(0, 0).Dist2(Pt(3, 4)); d != 25 {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+	if n := Pt(-3, 4).Norm(); n != 5 {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); !got.Eq(a) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.Eq(b) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestPointNearEq(t *testing.T) {
+	if !Pt(1, 1).NearEq(Pt(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("NearEq should accept within tolerance")
+	}
+	if Pt(1, 1).NearEq(Pt(1.1, 1), 1e-9) {
+		t.Error("NearEq should reject beyond tolerance")
+	}
+}
+
+func TestMidPoint(t *testing.T) {
+	if got := MidPoint(Pt(0, 0), Pt(2, 4)); !got.Eq(Pt(1, 2)) {
+		t.Errorf("MidPoint = %v", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(1.5, -2).String(); s != "(1.5, -2)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: Lerp midpoint equals MidPoint; Dist is symmetric and obeys
+// the triangle inequality on finite samples.
+func TestPointProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by float64) bool {
+		a, b := sanePt(ax, ay), sanePt(bx, by)
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-12
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := sanePt(ax, ay), sanePt(bx, by), sanePt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+	addSubRoundtrip := func(ax, ay, bx, by float64) bool {
+		a, b := sanePt(ax, ay), sanePt(bx, by)
+		return a.Add(b).Sub(b).NearEq(a, 1e-6*(1+a.Norm()+b.Norm()))
+	}
+	if err := quick.Check(addSubRoundtrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanePt maps arbitrary quick-generated floats into a bounded,
+// NaN-free coordinate range.
+func sanePt(x, y float64) Point {
+	return Point{saneF(x), saneF(y)}
+}
+
+func saneF(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}

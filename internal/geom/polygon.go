@@ -1,0 +1,459 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Ring is a closed sequence of vertices. The closing edge from the
+// last vertex back to the first is implicit; the first vertex is not
+// repeated at the end.
+type Ring []Point
+
+// Polygon is a simple polygon with optional holes, the geometry the
+// paper uses for neighborhoods and cities ("regions can have holes",
+// Section 2).
+type Polygon struct {
+	Shell Ring
+	Holes []Ring
+}
+
+// ErrNotSimple is returned when a ring self-intersects.
+var ErrNotSimple = errors.New("geom: ring is not simple")
+
+// NumVertices returns the number of ring vertices.
+func (r Ring) NumVertices() int { return len(r) }
+
+// Segment returns the i-th boundary segment (0-based, including the
+// implicit closing segment).
+func (r Ring) Segment(i int) Segment {
+	return Segment{A: r[i], B: r[(i+1)%len(r)]}
+}
+
+// SignedArea returns the area with positive sign for counterclockwise
+// rings (shoelace formula).
+func (r Ring) SignedArea() float64 {
+	var sum float64
+	n := len(r)
+	if n < 3 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return sum / 2
+}
+
+// Area returns the absolute enclosed area.
+func (r Ring) Area() float64 { return math.Abs(r.SignedArea()) }
+
+// IsCCW reports whether the ring winds counterclockwise.
+func (r Ring) IsCCW() bool { return r.SignedArea() > 0 }
+
+// Reverse returns the ring with opposite winding.
+func (r Ring) Reverse() Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[len(r)-1-i] = p
+	}
+	return out
+}
+
+// Clone returns a deep copy of the ring.
+func (r Ring) Clone() Ring {
+	out := make(Ring, len(r))
+	copy(out, r)
+	return out
+}
+
+// BBox returns the bounding box of the ring.
+func (r Ring) BBox() BBox { return NewBBox(r...) }
+
+// Centroid returns the area centroid of the ring.
+func (r Ring) Centroid() Point {
+	var cx, cy, a float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cross := r[i].X*r[j].Y - r[j].X*r[i].Y
+		cx += (r[i].X + r[j].X) * cross
+		cy += (r[i].Y + r[j].Y) * cross
+		a += cross
+	}
+	if a == 0 {
+		// Degenerate ring: fall back to the vertex mean.
+		var m Point
+		for _, p := range r {
+			m = m.Add(p)
+		}
+		return m.Scale(1 / float64(len(r)))
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// Perimeter returns the boundary length of the ring.
+func (r Ring) Perimeter() float64 {
+	var sum float64
+	for i := range r {
+		sum += r.Segment(i).Length()
+	}
+	return sum
+}
+
+// PointLocation classifies a point relative to a ring or polygon.
+type PointLocation int
+
+// Point-in-polygon classifications.
+const (
+	Outside PointLocation = iota
+	OnBoundary
+	Inside
+)
+
+func (l PointLocation) String() string {
+	switch l {
+	case Inside:
+		return "inside"
+	case OnBoundary:
+		return "boundary"
+	default:
+		return "outside"
+	}
+}
+
+// Locate classifies p against the ring using the winding/crossing
+// method with the robust orientation predicate, so boundary cases are
+// exact.
+func (r Ring) Locate(p Point) PointLocation {
+	n := len(r)
+	if n == 0 {
+		return Outside
+	}
+	if n == 1 {
+		if r[0].Eq(p) {
+			return OnBoundary
+		}
+		return Outside
+	}
+	inside := false
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if OnSegment(a, b, p) {
+			return OnBoundary
+		}
+		// Crossing test on the upward/downward edge.
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			o := Orient(a, b, p)
+			if b.Y > a.Y {
+				if o == CounterClockwise {
+					inside = !inside
+				}
+			} else {
+				if o == Clockwise {
+					inside = !inside
+				}
+			}
+		}
+	}
+	if inside {
+		return Inside
+	}
+	return Outside
+}
+
+// IsSimple reports whether the ring has no self-intersections other
+// than shared vertices of consecutive edges.
+func (r Ring) IsSimple() bool {
+	n := len(r)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		si := r.Segment(i)
+		for j := i + 1; j < n; j++ {
+			// Skip adjacent edges (they share a vertex by construction).
+			if j == i+1 || (i == 0 && j == n-1) {
+				continue
+			}
+			if si.Intersects(r.Segment(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks vertex count, simplicity of the shell and holes,
+// and that every hole lies inside the shell.
+func (pg Polygon) Validate() error {
+	if len(pg.Shell) < 3 {
+		return ErrTooFewPoints
+	}
+	if !pg.Shell.IsSimple() {
+		return ErrNotSimple
+	}
+	for _, h := range pg.Holes {
+		if len(h) < 3 {
+			return ErrTooFewPoints
+		}
+		if !h.IsSimple() {
+			return ErrNotSimple
+		}
+		for _, p := range h {
+			if pg.Shell.Locate(p) == Outside {
+				return errors.New("geom: hole vertex outside shell")
+			}
+		}
+	}
+	return nil
+}
+
+// Normalize returns the polygon with the shell wound counterclockwise
+// and holes clockwise, the orientation convention used throughout.
+func (pg Polygon) Normalize() Polygon {
+	out := Polygon{Shell: pg.Shell.Clone()}
+	if !out.Shell.IsCCW() {
+		out.Shell = out.Shell.Reverse()
+	}
+	for _, h := range pg.Holes {
+		hh := h.Clone()
+		if hh.IsCCW() {
+			hh = hh.Reverse()
+		}
+		out.Holes = append(out.Holes, hh)
+	}
+	return out
+}
+
+// Area returns the enclosed area (shell minus holes).
+func (pg Polygon) Area() float64 {
+	a := pg.Shell.Area()
+	for _, h := range pg.Holes {
+		a -= h.Area()
+	}
+	return a
+}
+
+// Perimeter returns the total boundary length including holes.
+func (pg Polygon) Perimeter() float64 {
+	sum := pg.Shell.Perimeter()
+	for _, h := range pg.Holes {
+		sum += h.Perimeter()
+	}
+	return sum
+}
+
+// BBox returns the bounding box of the polygon.
+func (pg Polygon) BBox() BBox { return pg.Shell.BBox() }
+
+// Centroid returns the area centroid accounting for holes.
+func (pg Polygon) Centroid() Point {
+	if len(pg.Holes) == 0 {
+		return pg.Shell.Centroid()
+	}
+	ca := pg.Shell.Centroid()
+	aa := pg.Shell.Area()
+	sx, sy, at := ca.X*aa, ca.Y*aa, aa
+	for _, h := range pg.Holes {
+		c := h.Centroid()
+		a := h.Area()
+		sx -= c.X * a
+		sy -= c.Y * a
+		at -= a
+	}
+	if at == 0 {
+		return ca
+	}
+	return Point{sx / at, sy / at}
+}
+
+// Locate classifies p against the polygon: inside the shell and
+// outside every hole is Inside; on any ring is OnBoundary.
+func (pg Polygon) Locate(p Point) PointLocation {
+	loc := pg.Shell.Locate(p)
+	if loc != Inside {
+		return loc
+	}
+	for _, h := range pg.Holes {
+		switch h.Locate(p) {
+		case Inside:
+			return Outside
+		case OnBoundary:
+			return OnBoundary
+		}
+	}
+	return Inside
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary,
+// matching the paper's closed-region semantics for the rollup
+// relation r^{Pt,Pg} (a point may belong to two adjacent polygons).
+func (pg Polygon) ContainsPoint(p Point) bool { return pg.Locate(p) != Outside }
+
+// ContainsPointStrict reports whether p lies strictly inside.
+func (pg Polygon) ContainsPointStrict(p Point) bool { return pg.Locate(p) == Inside }
+
+// Rings returns the shell followed by the holes.
+func (pg Polygon) Rings() []Ring {
+	out := make([]Ring, 0, 1+len(pg.Holes))
+	out = append(out, pg.Shell)
+	out = append(out, pg.Holes...)
+	return out
+}
+
+// boundarySegments calls f for every boundary segment of the polygon.
+func (pg Polygon) boundarySegments(f func(Segment) bool) {
+	for _, r := range pg.Rings() {
+		for i := range r {
+			if !f(r.Segment(i)) {
+				return
+			}
+		}
+	}
+}
+
+// IntersectsSegment reports whether s shares any point with the closed
+// polygon (its interior or boundary).
+func (pg Polygon) IntersectsSegment(s Segment) bool {
+	if pg.ContainsPoint(s.A) || pg.ContainsPoint(s.B) {
+		return true
+	}
+	hit := false
+	pg.boundarySegments(func(b Segment) bool {
+		if b.Intersects(s) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// IntersectsPolyline reports whether the chain shares any point with
+// the closed polygon. This is the predicate behind the paper's
+// "cities crossed by a river" (Section 5).
+func (pg Polygon) IntersectsPolyline(pl Polyline) bool {
+	if !pg.BBox().Intersects(pl.BBox()) {
+		return false
+	}
+	for i := 0; i < pl.NumSegments(); i++ {
+		if pg.IntersectsSegment(pl.Segment(i)) {
+			return true
+		}
+	}
+	return len(pl) == 1 && pg.ContainsPoint(pl[0])
+}
+
+// IntersectsPolygon reports whether the two closed polygons share any
+// point.
+func (pg Polygon) IntersectsPolygon(o Polygon) bool {
+	if !pg.BBox().Intersects(o.BBox()) {
+		return false
+	}
+	if len(o.Shell) > 0 && pg.ContainsPoint(o.Shell[0]) {
+		return true
+	}
+	if len(pg.Shell) > 0 && o.ContainsPoint(pg.Shell[0]) {
+		return true
+	}
+	hit := false
+	pg.boundarySegments(func(a Segment) bool {
+		o.boundarySegments(func(b Segment) bool {
+			if a.Intersects(b) {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return !hit
+	})
+	return hit
+}
+
+// ContainsPolygon reports whether o lies entirely inside pg (boundary
+// contact allowed). Used for CONTAINS in Piet-QL.
+func (pg Polygon) ContainsPolygon(o Polygon) bool {
+	for _, p := range o.Shell {
+		if pg.Locate(p) == Outside {
+			return false
+		}
+	}
+	// Edges of o must not cross into a hole or outside: check that no
+	// boundary segment of o properly crosses a boundary segment of pg,
+	// and that hole interiors do not swallow o.
+	crossed := false
+	o.boundarySegments(func(s Segment) bool {
+		mid := s.Midpoint()
+		if pg.Locate(mid) == Outside {
+			crossed = true
+			return false
+		}
+		return true
+	})
+	return !crossed
+}
+
+// Interval is a closed sub-interval [Lo, Hi] of a segment's [0,1]
+// parameter range.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// SegmentInsideIntervals returns the parameter intervals of segment s
+// (t ∈ [0,1]) that lie inside or on the boundary of the polygon,
+// merged and sorted. It cuts s at every boundary crossing and
+// classifies each piece by its midpoint. This powers the paper's
+// trajectory queries (Q5: time spent inside a city; Q2: road length
+// in a region).
+func (pg Polygon) SegmentInsideIntervals(s Segment) []Interval {
+	if s.IsDegenerate() {
+		if pg.ContainsPoint(s.A) {
+			return []Interval{{0, 1}}
+		}
+		return nil
+	}
+	cuts := []float64{0, 1}
+	dir := s.B.Sub(s.A)
+	l2 := dir.Norm2()
+	pg.boundarySegments(func(b Segment) bool {
+		iv := s.Intersect(b)
+		switch iv.Kind {
+		case PointIntersection:
+			cuts = append(cuts, clamp01(iv.P.Sub(s.A).Dot(dir)/l2))
+		case OverlapIntersection:
+			cuts = append(cuts,
+				clamp01(iv.Overlap.A.Sub(s.A).Dot(dir)/l2),
+				clamp01(iv.Overlap.B.Sub(s.A).Dot(dir)/l2))
+		}
+		return true
+	})
+	sort.Float64s(cuts)
+	var out []Interval
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi-lo < 1e-12 {
+			continue
+		}
+		mid := s.At((lo + hi) / 2)
+		if pg.ContainsPoint(mid) {
+			if n := len(out); n > 0 && out[n-1].Hi >= lo-1e-12 {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, Interval{lo, hi})
+			}
+		}
+	}
+	return out
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}

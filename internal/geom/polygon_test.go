@@ -1,0 +1,364 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unitSquare returns the CCW unit square [0,1]².
+func unitSquare() Ring {
+	return Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+}
+
+// square returns a CCW axis-aligned square with corner (x,y) and side s.
+func square(x, y, s float64) Ring {
+	return Ring{Pt(x, y), Pt(x+s, y), Pt(x+s, y+s), Pt(x, y+s)}
+}
+
+func TestRingArea(t *testing.T) {
+	sq := unitSquare()
+	if a := sq.SignedArea(); a != 1 {
+		t.Errorf("SignedArea = %v", a)
+	}
+	if a := sq.Reverse().SignedArea(); a != -1 {
+		t.Errorf("reversed SignedArea = %v", a)
+	}
+	if !sq.IsCCW() || sq.Reverse().IsCCW() {
+		t.Error("IsCCW mismatch")
+	}
+	tri := Ring{Pt(0, 0), Pt(4, 0), Pt(0, 3)}
+	if a := tri.Area(); a != 6 {
+		t.Errorf("triangle Area = %v", a)
+	}
+}
+
+func TestRingCentroid(t *testing.T) {
+	if c := unitSquare().Centroid(); !c.NearEq(Pt(0.5, 0.5), 1e-12) {
+		t.Errorf("Centroid = %v", c)
+	}
+	tri := Ring{Pt(0, 0), Pt(3, 0), Pt(0, 3)}
+	if c := tri.Centroid(); !c.NearEq(Pt(1, 1), 1e-12) {
+		t.Errorf("triangle Centroid = %v", c)
+	}
+	// Degenerate ring falls back to the vertex mean.
+	deg := Ring{Pt(0, 0), Pt(2, 0), Pt(4, 0)}
+	if c := deg.Centroid(); !c.NearEq(Pt(2, 0), 1e-12) {
+		t.Errorf("degenerate Centroid = %v", c)
+	}
+}
+
+func TestRingPerimeter(t *testing.T) {
+	if p := unitSquare().Perimeter(); p != 4 {
+		t.Errorf("Perimeter = %v", p)
+	}
+}
+
+func TestRingLocate(t *testing.T) {
+	sq := unitSquare()
+	tests := []struct {
+		p    Point
+		want PointLocation
+	}{
+		{Pt(0.5, 0.5), Inside},
+		{Pt(0, 0), OnBoundary},
+		{Pt(0.5, 0), OnBoundary},
+		{Pt(1, 1), OnBoundary},
+		{Pt(1.0001, 0.5), Outside},
+		{Pt(-0.1, 0.5), Outside},
+		{Pt(0.5, 2), Outside},
+	}
+	for _, tt := range tests {
+		if got := sq.Locate(tt.p); got != tt.want {
+			t.Errorf("Locate(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRingLocateConcave(t *testing.T) {
+	// A "U" shape: the notch interior is outside.
+	u := Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(4, 6), Pt(4, 2), Pt(2, 2), Pt(2, 6), Pt(0, 6)}
+	if got := u.Locate(Pt(3, 4)); got != Outside {
+		t.Errorf("notch point = %v, want outside", got)
+	}
+	if got := u.Locate(Pt(1, 4)); got != Inside {
+		t.Errorf("left arm point = %v, want inside", got)
+	}
+	if got := u.Locate(Pt(3, 1)); got != Inside {
+		t.Errorf("base point = %v, want inside", got)
+	}
+	if got := u.Locate(Pt(3, 2)); got != OnBoundary {
+		t.Errorf("notch floor point = %v, want boundary", got)
+	}
+}
+
+// TestRingLocateRayThroughVertex guards the classic ray-casting bug
+// when the test point is horizontally aligned with vertices.
+func TestRingLocateRayThroughVertex(t *testing.T) {
+	diamond := Ring{Pt(0, -2), Pt(2, 0), Pt(0, 2), Pt(-2, 0)}
+	if got := diamond.Locate(Pt(0, 0)); got != Inside {
+		t.Errorf("center = %v", got)
+	}
+	if got := diamond.Locate(Pt(-3, 0)); got != Outside {
+		t.Errorf("left of diamond aligned with vertices = %v", got)
+	}
+	if got := diamond.Locate(Pt(3, 0)); got != Outside {
+		t.Errorf("right of diamond aligned with vertices = %v", got)
+	}
+	if got := diamond.Locate(Pt(2, 0)); got != OnBoundary {
+		t.Errorf("vertex = %v", got)
+	}
+}
+
+func TestRingIsSimple(t *testing.T) {
+	if !unitSquare().IsSimple() {
+		t.Error("square should be simple")
+	}
+	bow := Ring{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}
+	if bow.IsSimple() {
+		t.Error("bowtie should not be simple")
+	}
+	if (Ring{Pt(0, 0), Pt(1, 1)}).IsSimple() {
+		t.Error("two-point ring is not simple")
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	ok := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(2, 2, 2)}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	bad := Polygon{Shell: Ring{Pt(0, 0), Pt(1, 1)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for 2-vertex shell")
+	}
+	holeOut := Polygon{Shell: square(0, 0, 1), Holes: []Ring{square(5, 5, 1)}}
+	if err := holeOut.Validate(); err == nil {
+		t.Error("expected error for hole outside shell")
+	}
+	bowtie := Polygon{Shell: Ring{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}}
+	if err := bowtie.Validate(); err == nil {
+		t.Error("expected error for self-intersecting shell")
+	}
+}
+
+func TestPolygonAreaWithHoles(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(1, 1, 2), square(5, 5, 3)}}
+	want := 100.0 - 4 - 9
+	if a := pg.Area(); a != want {
+		t.Errorf("Area = %v, want %v", a, want)
+	}
+	if p := pg.Perimeter(); p != 40+8+12 {
+		t.Errorf("Perimeter = %v", p)
+	}
+}
+
+func TestPolygonLocateWithHole(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	tests := []struct {
+		p    Point
+		want PointLocation
+	}{
+		{Pt(1, 1), Inside},
+		{Pt(5, 5), Outside},    // inside the hole
+		{Pt(4, 5), OnBoundary}, // on the hole boundary
+		{Pt(0, 5), OnBoundary},
+		{Pt(-1, 5), Outside},
+	}
+	for _, tt := range tests {
+		if got := pg.Locate(tt.p); got != tt.want {
+			t.Errorf("Locate(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !pg.ContainsPoint(Pt(0, 5)) {
+		t.Error("boundary should count as contained (closed semantics)")
+	}
+	if pg.ContainsPointStrict(Pt(0, 5)) {
+		t.Error("boundary is not strictly inside")
+	}
+}
+
+func TestPolygonNormalize(t *testing.T) {
+	pg := Polygon{
+		Shell: square(0, 0, 10).Reverse(), // clockwise shell
+		Holes: []Ring{square(2, 2, 2)},    // counterclockwise hole
+	}
+	n := pg.Normalize()
+	if !n.Shell.IsCCW() {
+		t.Error("shell should be CCW after Normalize")
+	}
+	if n.Holes[0].IsCCW() {
+		t.Error("hole should be CW after Normalize")
+	}
+	if n.Area() != pg.Area() {
+		t.Error("Normalize must preserve area")
+	}
+}
+
+func TestPolygonCentroidWithHole(t *testing.T) {
+	// Symmetric hole keeps the centroid at the center.
+	pg := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	if c := pg.Centroid(); !c.NearEq(Pt(5, 5), 1e-9) {
+		t.Errorf("Centroid = %v", c)
+	}
+	// Asymmetric hole shifts it away from the hole.
+	pg2 := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(6, 6, 3)}}
+	c := pg2.Centroid()
+	if !(c.X < 5 && c.Y < 5) {
+		t.Errorf("Centroid should shift away from hole, got %v", c)
+	}
+}
+
+func TestPolygonIntersectsSegment(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10)}
+	tests := []struct {
+		s    Segment
+		want bool
+	}{
+		{Seg(Pt(2, 2), Pt(3, 3)), true},   // fully inside
+		{Seg(Pt(-5, 5), Pt(15, 5)), true}, // crosses
+		{Seg(Pt(-5, -5), Pt(-1, -1)), false},
+		{Seg(Pt(-5, 0), Pt(15, 0)), true}, // along the edge
+		{Seg(Pt(-1, 11), Pt(11, 11)), false},
+	}
+	for _, tt := range tests {
+		if got := pg.IntersectsSegment(tt.s); got != tt.want {
+			t.Errorf("IntersectsSegment(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestPolygonIntersectsPolyline(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10)}
+	crossing := Polyline{Pt(-5, -5), Pt(5, 5), Pt(20, 5)}
+	if !pg.IntersectsPolyline(crossing) {
+		t.Error("crossing polyline should intersect")
+	}
+	outside := Polyline{Pt(-5, -5), Pt(-5, 20), Pt(-2, 20)}
+	if pg.IntersectsPolyline(outside) {
+		t.Error("outside polyline should not intersect")
+	}
+	// Both endpoints outside but passing through the polygon.
+	through := Polyline{Pt(-5, 5), Pt(15, 5)}
+	if !pg.IntersectsPolyline(through) {
+		t.Error("pass-through polyline should intersect")
+	}
+}
+
+func TestPolygonIntersectsPolygon(t *testing.T) {
+	a := Polygon{Shell: square(0, 0, 10)}
+	tests := []struct {
+		name string
+		b    Polygon
+		want bool
+	}{
+		{"overlap", Polygon{Shell: square(5, 5, 10)}, true},
+		{"contained", Polygon{Shell: square(2, 2, 2)}, true},
+		{"containing", Polygon{Shell: square(-5, -5, 30)}, true},
+		{"disjoint", Polygon{Shell: square(20, 20, 3)}, false},
+		{"edge touch", Polygon{Shell: square(10, 0, 5)}, true},
+		{"corner touch", Polygon{Shell: square(10, 10, 5)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.IntersectsPolygon(tt.b); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+			if got := tt.b.IntersectsPolygon(a); got != tt.want {
+				t.Errorf("symmetric: got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonContainsPolygon(t *testing.T) {
+	outer := Polygon{Shell: square(0, 0, 10)}
+	if !outer.ContainsPolygon(Polygon{Shell: square(2, 2, 3)}) {
+		t.Error("inner square should be contained")
+	}
+	if outer.ContainsPolygon(Polygon{Shell: square(8, 8, 5)}) {
+		t.Error("overlapping square is not contained")
+	}
+	if outer.ContainsPolygon(Polygon{Shell: square(20, 20, 2)}) {
+		t.Error("disjoint square is not contained")
+	}
+	// Contained in shell but inside a hole → not contained.
+	holed := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(3, 3, 4)}}
+	if holed.ContainsPolygon(Polygon{Shell: square(4, 4, 1)}) {
+		t.Error("square inside hole is not contained")
+	}
+}
+
+func TestSegmentInsideIntervals(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10)}
+	// Fully inside.
+	ivs := pg.SegmentInsideIntervals(Seg(Pt(2, 5), Pt(8, 5)))
+	if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != 1 {
+		t.Errorf("inside: %+v", ivs)
+	}
+	// Crossing: inside fraction should be 1/2 (from x=-5 to 15, inside 0..10).
+	ivs = pg.SegmentInsideIntervals(Seg(Pt(-5, 5), Pt(15, 5)))
+	if len(ivs) != 1 {
+		t.Fatalf("crossing: %+v", ivs)
+	}
+	if math.Abs(ivs[0].Lo-0.25) > 1e-9 || math.Abs(ivs[0].Hi-0.75) > 1e-9 {
+		t.Errorf("crossing interval = %+v", ivs[0])
+	}
+	// Fully outside.
+	if ivs = pg.SegmentInsideIntervals(Seg(Pt(-5, -5), Pt(-1, -5))); len(ivs) != 0 {
+		t.Errorf("outside: %+v", ivs)
+	}
+	// Degenerate segment.
+	if ivs = pg.SegmentInsideIntervals(Seg(Pt(5, 5), Pt(5, 5))); len(ivs) != 1 {
+		t.Errorf("degenerate inside: %+v", ivs)
+	}
+	if ivs = pg.SegmentInsideIntervals(Seg(Pt(50, 5), Pt(50, 5))); len(ivs) != 0 {
+		t.Errorf("degenerate outside: %+v", ivs)
+	}
+}
+
+func TestSegmentInsideIntervalsWithHole(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	// Horizontal line through the hole: inside pieces are [0,4] and [6,10].
+	ivs := pg.SegmentInsideIntervals(Seg(Pt(0, 5), Pt(10, 5)))
+	if len(ivs) != 2 {
+		t.Fatalf("want 2 intervals, got %+v", ivs)
+	}
+	var total float64
+	for _, iv := range ivs {
+		total += iv.Hi - iv.Lo
+	}
+	if math.Abs(total-0.8) > 1e-9 {
+		t.Errorf("inside fraction = %v, want 0.8", total)
+	}
+}
+
+func TestLengthInside(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10)}
+	pl := Polyline{Pt(-5, 5), Pt(5, 5), Pt(5, 15)}
+	// Inside pieces: x from 0..5 (len 5) and y from 5..10 (len 5).
+	if got := pl.LengthInside(pg); math.Abs(got-10) > 1e-9 {
+		t.Errorf("LengthInside = %v, want 10", got)
+	}
+}
+
+// Property: polygon containment of a point is invariant under ring
+// rotation (starting vertex choice).
+func TestLocateRotationInvariance(t *testing.T) {
+	ring := Ring{Pt(0, 0), Pt(8, 1), Pt(10, 6), Pt(5, 9), Pt(1, 6)}
+	f := func(px, py float64, rot uint8) bool {
+		p := Point{math.Mod(saneF(px), 12), math.Mod(saneF(py), 12)}
+		k := int(rot) % len(ring)
+		rotated := append(ring[k:].Clone(), ring[:k]...)
+		return ring.Locate(p) == rotated.Locate(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointLocationString(t *testing.T) {
+	if Inside.String() != "inside" || Outside.String() != "outside" || OnBoundary.String() != "boundary" {
+		t.Error("PointLocation.String mismatch")
+	}
+}

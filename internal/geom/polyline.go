@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Polyline is an open chain of straight segments through consecutive
+// vertices. The paper models rivers, highways and streets as
+// polylines (Section 1.1).
+type Polyline []Point
+
+// ErrTooFewPoints is returned when a polyline or ring has fewer
+// vertices than its definition requires.
+var ErrTooFewPoints = errors.New("geom: too few points")
+
+// Validate checks the polyline has at least two vertices.
+func (pl Polyline) Validate() error {
+	if len(pl) < 2 {
+		return ErrTooFewPoints
+	}
+	return nil
+}
+
+// NumSegments returns the number of segments in the chain.
+func (pl Polyline) NumSegments() int {
+	if len(pl) < 2 {
+		return 0
+	}
+	return len(pl) - 1
+}
+
+// Segment returns the i-th segment (0-based).
+func (pl Polyline) Segment(i int) Segment { return Segment{A: pl[i], B: pl[i+1]} }
+
+// Length returns the total chain length.
+func (pl Polyline) Length() float64 {
+	var sum float64
+	for i := 0; i < pl.NumSegments(); i++ {
+		sum += pl.Segment(i).Length()
+	}
+	return sum
+}
+
+// BBox returns the bounding box of the chain.
+func (pl Polyline) BBox() BBox { return NewBBox(pl...) }
+
+// At returns the point at arc-length parameter s ∈ [0, Length()].
+// Values outside the range clamp to the endpoints.
+func (pl Polyline) At(s float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if s <= 0 {
+		return pl[0]
+	}
+	for i := 0; i < pl.NumSegments(); i++ {
+		seg := pl.Segment(i)
+		l := seg.Length()
+		if s <= l && l > 0 {
+			return seg.At(s / l)
+		}
+		s -= l
+	}
+	return pl[len(pl)-1]
+}
+
+// DistToPoint returns the minimum distance from p to the chain.
+func (pl Polyline) DistToPoint(p Point) float64 {
+	if len(pl) == 1 {
+		return pl[0].Dist(p)
+	}
+	d := math.Inf(1)
+	for i := 0; i < pl.NumSegments(); i++ {
+		if v := pl.Segment(i).DistToPoint(p); v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+// ContainsPoint reports whether p lies on the chain.
+func (pl Polyline) ContainsPoint(p Point) bool {
+	if len(pl) == 1 {
+		return pl[0].Eq(p)
+	}
+	for i := 0; i < pl.NumSegments(); i++ {
+		if pl.Segment(i).ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsSegment reports whether any chain segment meets s.
+func (pl Polyline) IntersectsSegment(s Segment) bool {
+	for i := 0; i < pl.NumSegments(); i++ {
+		if pl.Segment(i).Intersects(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsPolyline reports whether the two chains share any point.
+func (pl Polyline) IntersectsPolyline(o Polyline) bool {
+	if !pl.BBox().Intersects(o.BBox()) {
+		return false
+	}
+	for i := 0; i < pl.NumSegments(); i++ {
+		s := pl.Segment(i)
+		sb := s.BBox()
+		for j := 0; j < o.NumSegments(); j++ {
+			if sb.Intersects(o.Segment(j).BBox()) && s.Intersects(o.Segment(j)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reverse returns the chain traversed backwards.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// Clone returns a deep copy of the chain.
+func (pl Polyline) Clone() Polyline {
+	out := make(Polyline, len(pl))
+	copy(out, pl)
+	return out
+}
+
+// IsClosed reports whether the first and last vertices coincide.
+func (pl Polyline) IsClosed() bool {
+	return len(pl) >= 2 && pl[0].Eq(pl[len(pl)-1])
+}
+
+// LengthInside returns the total arc length of the chain that lies
+// inside polygon pg (boundary counts as inside).
+func (pl Polyline) LengthInside(pg Polygon) float64 {
+	var sum float64
+	for i := 0; i < pl.NumSegments(); i++ {
+		for _, iv := range pg.SegmentInsideIntervals(pl.Segment(i)) {
+			sum += (iv.Hi - iv.Lo) * pl.Segment(i).Length()
+		}
+	}
+	return sum
+}

@@ -1,0 +1,160 @@
+package geom
+
+import "math/big"
+
+// Orientation classifies the turn formed by the ordered triple
+// (a, b, c).
+type Orientation int
+
+// Possible turn directions.
+const (
+	Clockwise        Orientation = -1
+	Collinear        Orientation = 0
+	CounterClockwise Orientation = 1
+)
+
+func (o Orientation) String() string {
+	switch o {
+	case Clockwise:
+		return "clockwise"
+	case CounterClockwise:
+		return "counterclockwise"
+	default:
+		return "collinear"
+	}
+}
+
+// orientEps is the relative error bound for the floating-point
+// orientation determinant. The 3x3 orientation determinant computed
+// with float64 has a forward error below 4·u·(|terms|) with unit
+// roundoff u = 2^-53; we use a slightly conservative constant.
+const orientEps = 8.8872057372592758e-16 // (3 + 16*u) * u
+
+// Orient returns the orientation of the triple (a, b, c): whether c
+// lies to the left of (counterclockwise), to the right of (clockwise),
+// or on the directed line a→b. It uses a floating-point filter and
+// falls back to exact rational arithmetic when the filter cannot
+// certify the sign.
+func Orient(a, b, c Point) Orientation {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+
+	var detSum float64
+	switch {
+	case detLeft > 0:
+		if detRight <= 0 {
+			return signToOrientation(det)
+		}
+		detSum = detLeft + detRight
+	case detLeft < 0:
+		if detRight >= 0 {
+			return signToOrientation(det)
+		}
+		detSum = -detLeft - detRight
+	default:
+		return signToOrientation(-detRight)
+	}
+
+	errBound := orientEps * detSum
+	if det >= errBound || -det >= errBound {
+		return signToOrientation(det)
+	}
+	return orientExact(a, b, c)
+}
+
+func signToOrientation(v float64) Orientation {
+	switch {
+	case v > 0:
+		return CounterClockwise
+	case v < 0:
+		return Clockwise
+	default:
+		return Collinear
+	}
+}
+
+// orientExact computes the orientation determinant with exact rational
+// arithmetic. float64 values are dyadic rationals, so the computation
+// is error-free.
+func orientExact(a, b, c Point) Orientation {
+	ax := new(big.Rat).SetFloat64(a.X)
+	ay := new(big.Rat).SetFloat64(a.Y)
+	bx := new(big.Rat).SetFloat64(b.X)
+	by := new(big.Rat).SetFloat64(b.Y)
+	cx := new(big.Rat).SetFloat64(c.X)
+	cy := new(big.Rat).SetFloat64(c.Y)
+
+	// (ax-cx)*(by-cy) - (ay-cy)*(bx-cx)
+	l := new(big.Rat).Sub(ax, cx)
+	l.Mul(l, new(big.Rat).Sub(by, cy))
+	r := new(big.Rat).Sub(ay, cy)
+	r.Mul(r, new(big.Rat).Sub(bx, cx))
+	l.Sub(l, r)
+	return Orientation(l.Sign())
+}
+
+// InCircle reports whether point d lies strictly inside the circle
+// through a, b, c (which must be in counterclockwise order). It uses
+// exact arithmetic directly; this predicate is used rarely (Delaunay
+// refinement helpers) so the filter is unnecessary.
+func InCircle(a, b, c, d Point) bool {
+	adx := new(big.Rat).SetFloat64(a.X - d.X)
+	ady := new(big.Rat).SetFloat64(a.Y - d.Y)
+	bdx := new(big.Rat).SetFloat64(b.X - d.X)
+	bdy := new(big.Rat).SetFloat64(b.Y - d.Y)
+	cdx := new(big.Rat).SetFloat64(c.X - d.X)
+	cdy := new(big.Rat).SetFloat64(c.Y - d.Y)
+
+	ad2 := new(big.Rat).Mul(adx, adx)
+	ad2.Add(ad2, new(big.Rat).Mul(ady, ady))
+	bd2 := new(big.Rat).Mul(bdx, bdx)
+	bd2.Add(bd2, new(big.Rat).Mul(bdy, bdy))
+	cd2 := new(big.Rat).Mul(cdx, cdx)
+	cd2.Add(cd2, new(big.Rat).Mul(cdy, cdy))
+
+	// | adx ady ad2 |
+	// | bdx bdy bd2 |
+	// | cdx cdy cd2 |
+	det := new(big.Rat)
+	term := new(big.Rat).Mul(bdy, cd2)
+	term.Sub(term, new(big.Rat).Mul(cdy, bd2))
+	term.Mul(term, adx)
+	det.Add(det, term)
+
+	term = new(big.Rat).Mul(bdx, cd2)
+	term.Sub(term, new(big.Rat).Mul(cdx, bd2))
+	term.Mul(term, ady)
+	det.Sub(det, term)
+
+	term = new(big.Rat).Mul(bdx, cdy)
+	term.Sub(term, new(big.Rat).Mul(cdx, bdy))
+	term.Mul(term, ad2)
+	det.Add(det, term)
+
+	return det.Sign() > 0
+}
+
+// OnSegment reports whether point p lies on the closed segment ab
+// (including its endpoints).
+func OnSegment(a, b, p Point) bool {
+	if Orient(a, b, p) != Collinear {
+		return false
+	}
+	return minf(a.X, b.X) <= p.X && p.X <= maxf(a.X, b.X) &&
+		minf(a.Y, b.Y) <= p.Y && p.Y <= maxf(a.Y, b.Y)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

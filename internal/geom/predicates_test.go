@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientBasic(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c Point
+		want    Orientation
+	}{
+		{"left turn", Pt(0, 0), Pt(1, 0), Pt(1, 1), CounterClockwise},
+		{"right turn", Pt(0, 0), Pt(1, 0), Pt(1, -1), Clockwise},
+		{"collinear ahead", Pt(0, 0), Pt(1, 0), Pt(2, 0), Collinear},
+		{"collinear behind", Pt(0, 0), Pt(1, 0), Pt(-5, 0), Collinear},
+		{"coincident", Pt(1, 1), Pt(1, 1), Pt(1, 1), Collinear},
+		{"vertical left", Pt(0, 0), Pt(0, 1), Pt(-1, 0.5), CounterClockwise},
+		{"vertical right", Pt(0, 0), Pt(0, 1), Pt(1, 0.5), Clockwise},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Orient(tt.a, tt.b, tt.c); got != tt.want {
+				t.Errorf("Orient(%v,%v,%v) = %v, want %v", tt.a, tt.b, tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestOrientDegenerate exercises the exact fallback with nearly (and
+// exactly) collinear points at coordinates that defeat naive
+// floating-point evaluation.
+func TestOrientDegenerate(t *testing.T) {
+	// Exactly collinear points with large coordinates: the naive
+	// determinant is dominated by rounding.
+	a := Pt(1e16, 1e16)
+	b := Pt(2e16, 2e16)
+	c := Pt(3e16, 3e16)
+	if got := Orient(a, b, c); got != Collinear {
+		t.Errorf("large collinear: got %v", got)
+	}
+	// A point one ulp off the line must be classified consistently with
+	// the exact computation.
+	d := Pt(3e16, 3.0000000000000004e16)
+	got1 := Orient(a, b, d)
+	got2 := orientExact(a, b, d)
+	if got1 != got2 {
+		t.Errorf("filter disagrees with exact: %v vs %v", got1, got2)
+	}
+	if got1 == Collinear {
+		t.Errorf("perturbed point classified collinear")
+	}
+}
+
+// Property: Orient is antisymmetric under swapping a and b, and
+// invariant under cyclic rotation.
+func TestOrientProperties(t *testing.T) {
+	cyc := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := sanePt(ax, ay), sanePt(bx, by), sanePt(cx, cy)
+		return Orient(a, b, c) == Orient(b, c, a) && Orient(b, c, a) == Orient(c, a, b)
+	}
+	if err := quick.Check(cyc, nil); err != nil {
+		t.Error(err)
+	}
+	anti := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := sanePt(ax, ay), sanePt(bx, by), sanePt(cx, cy)
+		return Orient(a, b, c) == -Orient(b, a, c)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnSegment(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 10)
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},
+		{Pt(10, 10), true},
+		{Pt(11, 11), false}, // collinear but beyond
+		{Pt(-1, -1), false},
+		{Pt(5, 5.0001), false},
+	}
+	for _, tt := range tests {
+		if got := OnSegment(a, b, tt.p); got != tt.want {
+			t.Errorf("OnSegment(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestInCircle(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0) (counterclockwise).
+	a, b, c := Pt(1, 0), Pt(0, 1), Pt(-1, 0)
+	if !InCircle(a, b, c, Pt(0, 0)) {
+		t.Error("center should be inside")
+	}
+	if InCircle(a, b, c, Pt(2, 2)) {
+		t.Error("far point should be outside")
+	}
+	if InCircle(a, b, c, Pt(0, -1)) {
+		t.Error("cocircular point should not be strictly inside")
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if Clockwise.String() != "clockwise" || CounterClockwise.String() != "counterclockwise" ||
+		Collinear.String() != "collinear" {
+		t.Error("Orientation.String mismatch")
+	}
+}

@@ -1,0 +1,177 @@
+package geom
+
+import "math"
+
+// Segment is a closed straight line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// BBox returns the bounding box of the segment.
+func (s Segment) BBox() BBox { return NewBBox(s.A, s.B) }
+
+// At returns the point at parameter t ∈ [0,1] along the segment.
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return MidPoint(s.A, s.B) }
+
+// IsDegenerate reports whether both endpoints coincide.
+func (s Segment) IsDegenerate() bool { return s.A.Eq(s.B) }
+
+// Reverse returns the segment with endpoints swapped.
+func (s Segment) Reverse() Segment { return Segment{A: s.B, B: s.A} }
+
+// ContainsPoint reports whether p lies on the closed segment.
+func (s Segment) ContainsPoint(p Point) bool { return OnSegment(s.A, s.B, p) }
+
+// ClosestParam returns the parameter t ∈ [0,1] of the point on the
+// segment closest to p.
+func (s Segment) ClosestParam(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 == 0 {
+		return 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	return math.Max(0, math.Min(1, t))
+}
+
+// ClosestPoint returns the point on the closed segment closest to p.
+func (s Segment) ClosestPoint(p Point) Point { return s.At(s.ClosestParam(p)) }
+
+// DistToPoint returns the distance from p to the closed segment.
+func (s Segment) DistToPoint(p Point) float64 { return s.ClosestPoint(p).Dist(p) }
+
+// IntersectKind classifies how two segments meet.
+type IntersectKind int
+
+// Segment intersection classifications.
+const (
+	NoIntersection      IntersectKind = iota // disjoint
+	PointIntersection                        // a single point (crossing or touch)
+	OverlapIntersection                      // a shared collinear sub-segment
+)
+
+// SegmentIntersection describes the intersection of two segments.
+type SegmentIntersection struct {
+	Kind IntersectKind
+	// P is the intersection point when Kind == PointIntersection.
+	P Point
+	// Overlap is the shared sub-segment when Kind == OverlapIntersection.
+	Overlap Segment
+}
+
+// Intersect computes the intersection of segments s and o using the
+// robust orientation predicate for classification and floating-point
+// arithmetic for the crossing coordinates.
+func (s Segment) Intersect(o Segment) SegmentIntersection {
+	d1 := Orient(o.A, o.B, s.A)
+	d2 := Orient(o.A, o.B, s.B)
+	d3 := Orient(s.A, s.B, o.A)
+	d4 := Orient(s.A, s.B, o.B)
+
+	// Proper crossing: each segment's endpoints straddle the other's line.
+	if d1 != d2 && d3 != d4 && d1 != Collinear && d2 != Collinear &&
+		d3 != Collinear && d4 != Collinear {
+		return SegmentIntersection{Kind: PointIntersection, P: s.crossPoint(o)}
+	}
+
+	if d1 == Collinear && d2 == Collinear && d3 == Collinear && d4 == Collinear {
+		return s.collinearOverlap(o)
+	}
+
+	// Touching cases: one endpoint on the other segment.
+	switch {
+	case d1 == Collinear && OnSegment(o.A, o.B, s.A):
+		return SegmentIntersection{Kind: PointIntersection, P: s.A}
+	case d2 == Collinear && OnSegment(o.A, o.B, s.B):
+		return SegmentIntersection{Kind: PointIntersection, P: s.B}
+	case d3 == Collinear && OnSegment(s.A, s.B, o.A):
+		return SegmentIntersection{Kind: PointIntersection, P: o.A}
+	case d4 == Collinear && OnSegment(s.A, s.B, o.B):
+		return SegmentIntersection{Kind: PointIntersection, P: o.B}
+	}
+	return SegmentIntersection{Kind: NoIntersection}
+}
+
+// crossPoint returns the crossing point of two properly intersecting
+// segments.
+func (s Segment) crossPoint(o Segment) Point {
+	r := s.B.Sub(s.A)
+	q := o.B.Sub(o.A)
+	denom := r.Cross(q)
+	if denom == 0 {
+		// Callers guarantee a proper crossing; guard anyway.
+		return s.A
+	}
+	t := o.A.Sub(s.A).Cross(q) / denom
+	return s.At(t)
+}
+
+// collinearOverlap resolves the intersection of two collinear segments.
+func (s Segment) collinearOverlap(o Segment) SegmentIntersection {
+	// Project onto the dominant axis of s to order endpoints.
+	useX := math.Abs(s.B.X-s.A.X) >= math.Abs(s.B.Y-s.A.Y)
+	if s.IsDegenerate() {
+		useX = math.Abs(o.B.X-o.A.X) >= math.Abs(o.B.Y-o.A.Y)
+	}
+	key := func(p Point) float64 {
+		if useX {
+			return p.X
+		}
+		return p.Y
+	}
+	sa, sb := s.A, s.B
+	if key(sa) > key(sb) {
+		sa, sb = sb, sa
+	}
+	oa, ob := o.A, o.B
+	if key(oa) > key(ob) {
+		oa, ob = ob, oa
+	}
+	lo, hi := sa, sb
+	if key(oa) > key(lo) {
+		lo = oa
+	}
+	if key(ob) < key(hi) {
+		hi = ob
+	}
+	switch {
+	case key(lo) > key(hi):
+		return SegmentIntersection{Kind: NoIntersection}
+	case lo.Eq(hi):
+		return SegmentIntersection{Kind: PointIntersection, P: lo}
+	default:
+		return SegmentIntersection{Kind: OverlapIntersection, Overlap: Segment{A: lo, B: hi}}
+	}
+}
+
+// Intersects reports whether the two closed segments share any point.
+func (s Segment) Intersects(o Segment) bool {
+	return s.Intersect(o).Kind != NoIntersection
+}
+
+// SegSegDist returns the minimum distance between two closed segments.
+func SegSegDist(s, o Segment) float64 {
+	if s.Intersects(o) {
+		return 0
+	}
+	d := s.DistToPoint(o.A)
+	if v := s.DistToPoint(o.B); v < d {
+		d = v
+	}
+	if v := o.DistToPoint(s.A); v < d {
+		d = v
+	}
+	if v := o.DistToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}

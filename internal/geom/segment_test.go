@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if s.Length() != 5 {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if !s.At(0.5).Eq(Pt(1.5, 2)) {
+		t.Errorf("At(0.5) = %v", s.At(0.5))
+	}
+	if !s.Midpoint().Eq(Pt(1.5, 2)) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if s.IsDegenerate() {
+		t.Error("not degenerate")
+	}
+	if !Seg(Pt(1, 1), Pt(1, 1)).IsDegenerate() {
+		t.Error("degenerate")
+	}
+	if r := s.Reverse(); !r.A.Eq(s.B) || !r.B.Eq(s.A) {
+		t.Error("Reverse mismatch")
+	}
+	want := BBox{0, 0, 3, 4}
+	if s.BBox() != want {
+		t.Errorf("BBox = %v", s.BBox())
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		p    Point
+		want Point
+		dist float64
+	}{
+		{Pt(5, 3), Pt(5, 0), 3},
+		{Pt(-2, 0), Pt(0, 0), 2},
+		{Pt(14, 3), Pt(10, 0), 5},
+		{Pt(7, 0), Pt(7, 0), 0},
+	}
+	for _, tt := range tests {
+		if got := s.ClosestPoint(tt.p); !got.NearEq(tt.want, 1e-12) {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+		if got := s.DistToPoint(tt.p); math.Abs(got-tt.dist) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.dist)
+		}
+	}
+	// Degenerate segment distance is point distance.
+	d := Seg(Pt(1, 1), Pt(1, 1)).DistToPoint(Pt(4, 5))
+	if d != 5 {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+}
+
+func TestSegmentIntersectProper(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 10))
+	o := Seg(Pt(0, 10), Pt(10, 0))
+	iv := s.Intersect(o)
+	if iv.Kind != PointIntersection {
+		t.Fatalf("Kind = %v", iv.Kind)
+	}
+	if !iv.P.NearEq(Pt(5, 5), 1e-12) {
+		t.Errorf("P = %v", iv.P)
+	}
+}
+
+func TestSegmentIntersectTouch(t *testing.T) {
+	// Endpoint of one on the interior of the other.
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	o := Seg(Pt(5, 0), Pt(5, 7))
+	iv := s.Intersect(o)
+	if iv.Kind != PointIntersection || !iv.P.Eq(Pt(5, 0)) {
+		t.Errorf("touch: %+v", iv)
+	}
+	// Shared endpoint.
+	o2 := Seg(Pt(10, 0), Pt(12, 5))
+	iv2 := s.Intersect(o2)
+	if iv2.Kind != PointIntersection || !iv2.P.Eq(Pt(10, 0)) {
+		t.Errorf("shared endpoint: %+v", iv2)
+	}
+}
+
+func TestSegmentIntersectCollinear(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		name string
+		o    Segment
+		want IntersectKind
+	}{
+		{"overlap middle", Seg(Pt(3, 0), Pt(7, 0)), OverlapIntersection},
+		{"overlap partial", Seg(Pt(7, 0), Pt(15, 0)), OverlapIntersection},
+		{"touch at endpoint", Seg(Pt(10, 0), Pt(20, 0)), PointIntersection},
+		{"disjoint collinear", Seg(Pt(11, 0), Pt(20, 0)), NoIntersection},
+		{"identical", Seg(Pt(0, 0), Pt(10, 0)), OverlapIntersection},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			iv := s.Intersect(tt.o)
+			if iv.Kind != tt.want {
+				t.Errorf("Kind = %v, want %v", iv.Kind, tt.want)
+			}
+		})
+	}
+	// Vertical collinear overlap exercises the Y-projection path.
+	v := Seg(Pt(0, 0), Pt(0, 10))
+	iv := v.Intersect(Seg(Pt(0, 5), Pt(0, 20)))
+	if iv.Kind != OverlapIntersection {
+		t.Errorf("vertical overlap Kind = %v", iv.Kind)
+	}
+	if !iv.Overlap.A.Eq(Pt(0, 5)) || !iv.Overlap.B.Eq(Pt(0, 10)) {
+		t.Errorf("vertical overlap = %+v", iv.Overlap)
+	}
+}
+
+func TestSegmentIntersectDisjoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 1))
+	o := Seg(Pt(5, 5), Pt(6, 7))
+	if s.Intersects(o) {
+		t.Error("disjoint segments reported intersecting")
+	}
+	// Parallel non-collinear.
+	o2 := Seg(Pt(0, 1), Pt(1, 2))
+	if s.Intersects(o2) {
+		t.Error("parallel segments reported intersecting")
+	}
+}
+
+func TestSegSegDist(t *testing.T) {
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 3), Pt(10, 3))); d != 3 {
+		t.Errorf("parallel dist = %v", d)
+	}
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0))); d != 0 {
+		t.Errorf("crossing dist = %v", d)
+	}
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(4, 4), Pt(5, 4))); math.Abs(d-5) > 1e-12 {
+		t.Errorf("corner dist = %v", d)
+	}
+}
+
+// Property: segment intersection is symmetric in its arguments.
+func TestSegmentIntersectSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s := Seg(sanePt(ax, ay), sanePt(bx, by))
+		o := Seg(sanePt(cx, cy), sanePt(dx, dy))
+		return s.Intersects(o) == o.Intersects(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported crossing point lies on (or extremely near)
+// both segments.
+func TestSegmentIntersectPointOnBoth(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s := Seg(sanePt(ax, ay), sanePt(bx, by))
+		o := Seg(sanePt(cx, cy), sanePt(dx, dy))
+		iv := s.Intersect(o)
+		if iv.Kind != PointIntersection {
+			return true
+		}
+		scale := 1 + s.Length() + o.Length()
+		return s.DistToPoint(iv.P) < 1e-6*scale && o.DistToPoint(iv.P) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package geom
+
+// SimplifyPolyline reduces the chain with the Ramer–Douglas–Peucker
+// algorithm: the result is a subsequence containing both endpoints,
+// and every dropped vertex lies within epsilon of the simplified
+// chain's corresponding segment.
+func SimplifyPolyline(pl Polyline, epsilon float64) Polyline {
+	if len(pl) <= 2 {
+		return pl.Clone()
+	}
+	keep := make([]bool, len(pl))
+	keep[0], keep[len(pl)-1] = true, true
+	rdp(pl, 0, len(pl)-1, epsilon, keep)
+	out := make(Polyline, 0, len(pl))
+	for i, k := range keep {
+		if k {
+			out = append(out, pl[i])
+		}
+	}
+	return out
+}
+
+func rdp(pl Polyline, first, last int, epsilon float64, keep []bool) {
+	if last-first < 2 {
+		return
+	}
+	seg := Segment{A: pl[first], B: pl[last]}
+	worst, worstD := -1, epsilon
+	for i := first + 1; i < last; i++ {
+		if d := seg.DistToPoint(pl[i]); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	keep[worst] = true
+	rdp(pl, first, worst, epsilon, keep)
+	rdp(pl, worst, last, epsilon, keep)
+}
+
+// SimplifyRing reduces a ring with Douglas–Peucker while keeping it a
+// valid ring: the two vertices farthest apart are pinned as anchors
+// and the two arcs between them are simplified independently. When
+// simplification would produce a degenerate (< 3 vertices) or
+// self-intersecting ring, the original is returned unchanged.
+func SimplifyRing(r Ring, epsilon float64) Ring {
+	n := len(r)
+	if n <= 4 {
+		return r.Clone()
+	}
+	// Anchors: vertex 0 and the vertex farthest from it.
+	far, farD := 0, -1.0
+	for i := 1; i < n; i++ {
+		if d := r[0].Dist2(r[i]); d > farD {
+			far, farD = i, d
+		}
+	}
+	arc1 := append(Polyline{}, r[:far+1]...)
+	arc2 := append(append(Polyline{}, r[far:]...), r[0])
+	s1 := SimplifyPolyline(arc1, epsilon)
+	s2 := SimplifyPolyline(arc2, epsilon)
+	out := make(Ring, 0, len(s1)+len(s2)-2)
+	out = append(out, s1...)
+	out = append(out, s2[1:len(s2)-1]...)
+	if len(out) < 3 || !out.IsSimple() {
+		return r.Clone()
+	}
+	return out
+}
+
+// SimplifyPolygon simplifies the shell and every hole. Holes that
+// collapse below three vertices are dropped; a shell that cannot be
+// simplified safely stays unchanged (see SimplifyRing).
+func SimplifyPolygon(pg Polygon, epsilon float64) Polygon {
+	out := Polygon{Shell: SimplifyRing(pg.Shell, epsilon)}
+	for _, h := range pg.Holes {
+		sh := SimplifyRing(h, epsilon)
+		if len(sh) >= 3 {
+			out.Holes = append(out.Holes, sh)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyPolylineStraight(t *testing.T) {
+	var pl Polyline
+	for i := 0; i <= 50; i++ {
+		pl = append(pl, Pt(float64(i), 0))
+	}
+	s := SimplifyPolyline(pl, 0.01)
+	if len(s) != 2 {
+		t.Errorf("straight line simplified to %d points", len(s))
+	}
+	if !s[0].Eq(pl[0]) || !s[1].Eq(pl[50]) {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestSimplifyPolylineKeepsFeatures(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(5, 0), Pt(5, 5), Pt(10, 5)}
+	s := SimplifyPolyline(pl, 0.5)
+	if len(s) != 4 {
+		t.Errorf("corners dropped: %d of 4", len(s))
+	}
+	// A huge epsilon collapses everything to endpoints.
+	s = SimplifyPolyline(pl, 100)
+	if len(s) != 2 {
+		t.Errorf("collapse = %d points", len(s))
+	}
+	// Tiny inputs are returned as copies.
+	if got := SimplifyPolyline(Polyline{Pt(0, 0), Pt(1, 1)}, 1); len(got) != 2 {
+		t.Errorf("two points = %d", len(got))
+	}
+}
+
+func TestSimplifyPolylineErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		var pl Polyline
+		p := Pt(0, 0)
+		for i := 0; i < 200; i++ {
+			p = p.Add(Pt(rng.Float64()*3, rng.Float64()*2-1))
+			pl = append(pl, p)
+		}
+		const eps = 2.0
+		s := SimplifyPolyline(pl, eps)
+		if len(s) >= len(pl) {
+			t.Fatalf("trial %d: no simplification", trial)
+		}
+		// Every original vertex is within eps of the simplified chain.
+		for _, v := range pl {
+			if d := s.DistToPoint(v); d > eps+1e-9 {
+				t.Fatalf("trial %d: vertex %v deviates %v > %v", trial, v, d, eps)
+			}
+		}
+	}
+}
+
+func TestSimplifyRing(t *testing.T) {
+	// A square with redundant edge midpoints simplifies back to 4
+	// vertices.
+	r := Ring{
+		Pt(0, 0), Pt(5, 0), Pt(10, 0), Pt(10, 5), Pt(10, 10),
+		Pt(5, 10), Pt(0, 10), Pt(0, 5),
+	}
+	s := SimplifyRing(r, 0.1)
+	if len(s) != 4 {
+		t.Errorf("square simplified to %d vertices: %v", len(s), s)
+	}
+	if math.Abs(s.Area()-100) > 1e-9 {
+		t.Errorf("area = %v", s.Area())
+	}
+	// Small rings pass through.
+	tri := Ring{Pt(0, 0), Pt(4, 0), Pt(0, 4)}
+	if got := SimplifyRing(tri, 10); len(got) != 3 {
+		t.Errorf("triangle = %d", len(got))
+	}
+}
+
+func TestSimplifyRingNoisyCircle(t *testing.T) {
+	// A noisy circle: simplification preserves area within a few
+	// percent and stays simple.
+	rng := rand.New(rand.NewSource(5))
+	var r Ring
+	const n = 360
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / n
+		rad := 100 + rng.Float64()*0.5
+		r = append(r, Pt(rad*math.Cos(a), rad*math.Sin(a)))
+	}
+	s := SimplifyRing(r, 1)
+	if len(s) >= len(r) {
+		t.Fatal("no simplification")
+	}
+	if !s.IsSimple() {
+		t.Fatal("simplified ring self-intersects")
+	}
+	if math.Abs(s.Area()-r.Area())/r.Area() > 0.03 {
+		t.Errorf("area %v vs %v", s.Area(), r.Area())
+	}
+}
+
+func TestSimplifyPolygon(t *testing.T) {
+	pg := Polygon{
+		Shell: Ring{
+			Pt(0, 0), Pt(5, 0.01), Pt(10, 0), Pt(10, 10), Pt(5, 9.99), Pt(0, 10),
+		},
+		Holes: []Ring{
+			{Pt(4, 4), Pt(5, 4.001), Pt(6, 4), Pt(6, 6), Pt(4, 6)},
+		},
+	}
+	s := SimplifyPolygon(pg, 0.1)
+	if len(s.Shell) != 4 {
+		t.Errorf("shell = %d vertices", len(s.Shell))
+	}
+	if len(s.Holes) != 1 || len(s.Holes[0]) != 4 {
+		t.Errorf("hole = %+v", s.Holes)
+	}
+}

@@ -1,0 +1,264 @@
+package geom
+
+import "errors"
+
+// Triangle is a triangle given by its three corners.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Area returns the absolute area of the triangle.
+func (t Triangle) Area() float64 {
+	return Ring{t.A, t.B, t.C}.Area()
+}
+
+// AsRing returns the triangle as a ring in its stored order.
+func (t Triangle) AsRing() Ring { return Ring{t.A, t.B, t.C} }
+
+// ContainsPoint reports whether p is inside or on the triangle.
+func (t Triangle) ContainsPoint(p Point) bool {
+	return t.AsRing().Locate(p) != Outside
+}
+
+// Centroid returns the triangle centroid.
+func (t Triangle) Centroid() Point {
+	return Point{(t.A.X + t.B.X + t.C.X) / 3, (t.A.Y + t.B.Y + t.C.Y) / 3}
+}
+
+// ErrTriangulate is returned when ear clipping cannot make progress,
+// which indicates a non-simple input ring.
+var ErrTriangulate = errors.New("geom: cannot triangulate (non-simple ring?)")
+
+// TriangulateRing decomposes a simple ring into triangles by ear
+// clipping. The ring may have either winding. O(n²) worst case, which
+// is fine for the polygon sizes in GIS layers (tens to hundreds of
+// vertices).
+func TriangulateRing(r Ring) ([]Triangle, error) {
+	work, err := prepRing(r)
+	if err != nil {
+		return nil, err
+	}
+	if !work.IsSimple() {
+		return nil, ErrNotSimple
+	}
+	return earClip(work)
+}
+
+// prepRing normalizes a ring for ear clipping: counterclockwise
+// winding, no consecutive duplicate vertices.
+func prepRing(r Ring) (Ring, error) {
+	if len(r) < 3 {
+		return nil, ErrTooFewPoints
+	}
+	work := r.Clone()
+	if !work.IsCCW() {
+		work = work.Reverse()
+	}
+	work = dedupRing(work)
+	if len(work) < 3 {
+		return nil, ErrTooFewPoints
+	}
+	return work, nil
+}
+
+// earClip triangulates a counterclockwise, dedup'd ring. The ring may
+// be weakly simple (coincident bridge edges from hole splicing).
+func earClip(work Ring) ([]Triangle, error) {
+	idx := make([]int, len(work))
+	for i := range idx {
+		idx[i] = i
+	}
+	var tris []Triangle
+	guard := 0
+	for len(idx) > 3 {
+		clipped := false
+		m := len(idx)
+		for i := 0; i < m; i++ {
+			ia, ib, ic := idx[(i+m-1)%m], idx[i], idx[(i+1)%m]
+			a, b, c := work[ia], work[ib], work[ic]
+			if Orient(a, b, c) != CounterClockwise {
+				continue // reflex or degenerate corner
+			}
+			if earContainsOther(work, idx, ia, ib, ic) {
+				continue
+			}
+			tris = append(tris, Triangle{A: a, B: b, C: c})
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if clipped {
+			guard = 0
+			continue
+		}
+		guard++
+		if guard > 2 {
+			return nil, ErrTriangulate
+		}
+		// Tolerate collinear corners: drop one; the zero-area sliver
+		// does not change the cover.
+		m = len(idx)
+		removed := false
+		for i := 0; i < m; i++ {
+			ia, ib, ic := idx[(i+m-1)%m], idx[i], idx[(i+1)%m]
+			if Orient(work[ia], work[ib], work[ic]) == Collinear {
+				idx = append(idx[:i], idx[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return nil, ErrTriangulate
+		}
+	}
+	tris = append(tris, Triangle{A: work[idx[0]], B: work[idx[1]], C: work[idx[2]]})
+	return tris, nil
+}
+
+// earContainsOther reports whether any remaining vertex, other than
+// the ear corners or duplicates of them (hole bridges duplicate
+// vertices), lies strictly inside the candidate ear or on its
+// diagonal.
+func earContainsOther(work Ring, idx []int, ia, ib, ic int) bool {
+	a, b, c := work[ia], work[ib], work[ic]
+	tri := Ring{a, b, c}
+	for _, j := range idx {
+		if j == ia || j == ib || j == ic {
+			continue
+		}
+		p := work[j]
+		if p.Eq(a) || p.Eq(b) || p.Eq(c) {
+			continue
+		}
+		if tri.Locate(p) == Inside {
+			return true
+		}
+		// A vertex exactly on the diagonal (a-c edge) also blocks the ear.
+		if OnSegment(a, c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupRing(r Ring) Ring {
+	out := r[:0:0]
+	for i, p := range r {
+		if i > 0 && p.Eq(out[len(out)-1]) {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) > 1 && out[0].Eq(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// Triangulate decomposes a polygon into triangles. Holes are handled
+// by connecting each hole to the shell with a bridge edge (the
+// standard cut method), producing a single weakly simple ring that is
+// then ear-clipped.
+func Triangulate(pg Polygon) ([]Triangle, error) {
+	if len(pg.Holes) == 0 {
+		return TriangulateRing(pg.Shell)
+	}
+	ring, err := bridgeHoles(pg.Normalize())
+	if err != nil {
+		return nil, err
+	}
+	work, err := prepRing(ring)
+	if err != nil {
+		return nil, err
+	}
+	return earClip(work)
+}
+
+// bridgeHoles merges holes into the shell via mutually visible vertex
+// pairs found by brute force.
+func bridgeHoles(pg Polygon) (Ring, error) {
+	shell := pg.Shell.Clone()
+	holes := make([]Ring, len(pg.Holes))
+	for i, h := range pg.Holes {
+		holes[i] = h.Clone() // clockwise after Normalize
+	}
+	for len(holes) > 0 {
+		merged := false
+		for hi, h := range holes {
+			si, hj, ok := findBridge(shell, h, holes, hi)
+			if !ok {
+				continue
+			}
+			shell = spliceHole(shell, si, h, hj)
+			holes = append(holes[:hi], holes[hi+1:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			return nil, ErrTriangulate
+		}
+	}
+	return shell, nil
+}
+
+// findBridge returns indices (into shell and hole) of a mutually
+// visible vertex pair: the connecting segment crosses no edge of the
+// shell, the candidate hole, or any other remaining hole.
+func findBridge(shell, hole Ring, holes []Ring, skip int) (int, int, bool) {
+	blocked := func(s Segment) bool {
+		if ringBlocks(shell, s) || ringBlocks(hole, s) {
+			return true
+		}
+		for i, other := range holes {
+			if i == skip {
+				continue
+			}
+			if ringBlocks(other, s) {
+				return true
+			}
+		}
+		return false
+	}
+	for si, sp := range shell {
+		for hj, hp := range hole {
+			s := Segment{A: sp, B: hp}
+			if !blocked(s) {
+				return si, hj, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// ringBlocks reports whether segment s properly crosses any edge of r
+// or passes through any vertex of r other than its own endpoints.
+func ringBlocks(r Ring, s Segment) bool {
+	for i := range r {
+		e := r.Segment(i)
+		iv := s.Intersect(e)
+		switch iv.Kind {
+		case NoIntersection:
+			continue
+		case OverlapIntersection:
+			return true
+		case PointIntersection:
+			if !iv.P.Eq(s.A) && !iv.P.Eq(s.B) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spliceHole inserts the hole ring into the shell at the bridge,
+// duplicating the bridge endpoints, yielding one weakly simple ring.
+func spliceHole(shell Ring, si int, hole Ring, hj int) Ring {
+	out := make(Ring, 0, len(shell)+len(hole)+2)
+	out = append(out, shell[:si+1]...)
+	for k := 0; k <= len(hole); k++ {
+		out = append(out, hole[(hj+k)%len(hole)])
+	}
+	out = append(out, shell[si])
+	out = append(out, shell[si+1:]...)
+	return out
+}

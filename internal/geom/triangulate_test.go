@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func triArea(tris []Triangle) float64 {
+	var sum float64
+	for _, t := range tris {
+		sum += t.Area()
+	}
+	return sum
+}
+
+func TestTriangulateSquare(t *testing.T) {
+	tris, err := TriangulateRing(unitSquare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Errorf("triangle count = %d", len(tris))
+	}
+	if math.Abs(triArea(tris)-1) > 1e-12 {
+		t.Errorf("area = %v", triArea(tris))
+	}
+}
+
+func TestTriangulateClockwiseInput(t *testing.T) {
+	tris, err := TriangulateRing(unitSquare().Reverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(triArea(tris)-1) > 1e-12 {
+		t.Errorf("area = %v", triArea(tris))
+	}
+}
+
+func TestTriangulateConcave(t *testing.T) {
+	u := Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(4, 6), Pt(4, 2), Pt(2, 2), Pt(2, 6), Pt(0, 6)}
+	tris, err := TriangulateRing(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(triArea(tris)-u.Area()) > 1e-9 {
+		t.Errorf("area = %v, want %v", triArea(tris), u.Area())
+	}
+	if len(tris) != len(u)-2 {
+		t.Errorf("triangle count = %d, want %d", len(tris), len(u)-2)
+	}
+	// No triangle centroid may fall outside the ring.
+	for _, tr := range tris {
+		if tr.Area() > 1e-12 && u.Locate(tr.Centroid()) == Outside {
+			t.Errorf("triangle centroid %v outside ring", tr.Centroid())
+		}
+	}
+}
+
+func TestTriangulateCollinearVertices(t *testing.T) {
+	// Square with redundant midpoints on each edge.
+	r := Ring{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(2, 1), Pt(2, 2), Pt(1, 2), Pt(0, 2), Pt(0, 1)}
+	tris, err := TriangulateRing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(triArea(tris)-4) > 1e-9 {
+		t.Errorf("area = %v, want 4", triArea(tris))
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := TriangulateRing(Ring{Pt(0, 0), Pt(1, 1)}); err == nil {
+		t.Error("want error for 2 points")
+	}
+	bow := Ring{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}
+	if _, err := TriangulateRing(bow); err == nil {
+		t.Error("want error for bowtie")
+	}
+}
+
+func TestTriangulatePolygonWithHole(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 10), Holes: []Ring{square(4, 4, 2)}}
+	tris, err := Triangulate(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(triArea(tris)-96) > 1e-9 {
+		t.Errorf("area = %v, want 96", triArea(tris))
+	}
+	for _, tr := range tris {
+		if tr.Area() < 1e-12 {
+			continue
+		}
+		c := tr.Centroid()
+		if pg.Locate(c) == Outside {
+			t.Errorf("triangle centroid %v outside polygon", c)
+		}
+	}
+}
+
+func TestTriangulatePolygonTwoHoles(t *testing.T) {
+	pg := Polygon{Shell: square(0, 0, 20), Holes: []Ring{square(2, 2, 3), square(10, 10, 4)}}
+	tris, err := Triangulate(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400.0 - 9 - 16
+	if math.Abs(triArea(tris)-want) > 1e-9 {
+		t.Errorf("area = %v, want %v", triArea(tris), want)
+	}
+}
+
+// TestTriangulateRandomConvex checks area preservation on random
+// convex polygons built from convex hulls.
+func TestTriangulateRandomConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		pts := make([]Point, 20)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		tris, err := TriangulateRing(hull)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if math.Abs(triArea(tris)-hull.Area()) > 1e-6 {
+			t.Fatalf("iter %d: area %v want %v", iter, triArea(tris), hull.Area())
+		}
+	}
+}
+
+func TestTriangleHelpers(t *testing.T) {
+	tr := Triangle{Pt(0, 0), Pt(4, 0), Pt(0, 4)}
+	if tr.Area() != 8 {
+		t.Errorf("Area = %v", tr.Area())
+	}
+	if !tr.ContainsPoint(Pt(1, 1)) {
+		t.Error("ContainsPoint interior")
+	}
+	if !tr.ContainsPoint(Pt(2, 0)) {
+		t.Error("ContainsPoint boundary")
+	}
+	if tr.ContainsPoint(Pt(3, 3)) {
+		t.Error("ContainsPoint outside")
+	}
+	if !tr.Centroid().NearEq(Pt(4.0/3, 4.0/3), 1e-12) {
+		t.Errorf("Centroid = %v", tr.Centroid())
+	}
+}

@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WKT renders common geometry values in Well-Known Text, the
+// interchange format GIS layers conventionally use.
+func WKT(g any) string {
+	switch v := g.(type) {
+	case Point:
+		return fmt.Sprintf("POINT (%s %s)", fmtF(v.X), fmtF(v.Y))
+	case Segment:
+		return fmt.Sprintf("LINESTRING (%s %s, %s %s)",
+			fmtF(v.A.X), fmtF(v.A.Y), fmtF(v.B.X), fmtF(v.B.Y))
+	case Polyline:
+		return "LINESTRING " + wktCoords([]Point(v), false)
+	case Ring:
+		return "POLYGON (" + wktCoords([]Point(v), true) + ")"
+	case Polygon:
+		var sb strings.Builder
+		sb.WriteString("POLYGON (")
+		sb.WriteString(wktCoords([]Point(v.Shell), true))
+		for _, h := range v.Holes {
+			sb.WriteString(", ")
+			sb.WriteString(wktCoords([]Point(h), true))
+		}
+		sb.WriteString(")")
+		return sb.String()
+	case BBox:
+		return WKT(v.AsPolygon())
+	default:
+		return fmt.Sprintf("UNKNOWN (%v)", g)
+	}
+}
+
+func wktCoords(pts []Point, closeRing bool) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtF(p.X))
+		sb.WriteByte(' ')
+		sb.WriteString(fmtF(p.Y))
+	}
+	if closeRing && len(pts) > 0 && !pts[0].Eq(pts[len(pts)-1]) {
+		sb.WriteString(", ")
+		sb.WriteString(fmtF(pts[0].X))
+		sb.WriteByte(' ')
+		sb.WriteString(fmtF(pts[0].Y))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParseWKTPoint parses "POINT (x y)".
+func ParseWKTPoint(s string) (Point, error) {
+	s = strings.TrimSpace(s)
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "POINT") {
+		return Point{}, fmt.Errorf("geom: not a WKT point: %q", s)
+	}
+	body := strings.TrimSpace(s[len("POINT"):])
+	body = strings.TrimPrefix(body, "(")
+	body = strings.TrimSuffix(body, ")")
+	fs := strings.Fields(body)
+	if len(fs) != 2 {
+		return Point{}, fmt.Errorf("geom: malformed WKT point: %q", s)
+	}
+	x, err := strconv.ParseFloat(fs[0], 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("geom: bad x in %q: %w", s, err)
+	}
+	y, err := strconv.ParseFloat(fs[1], 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("geom: bad y in %q: %w", s, err)
+	}
+	return Point{x, y}, nil
+}

@@ -1,0 +1,56 @@
+package geom
+
+import "testing"
+
+func TestWKT(t *testing.T) {
+	tests := []struct {
+		g    any
+		want string
+	}{
+		{Pt(1, 2.5), "POINT (1 2.5)"},
+		{Seg(Pt(0, 0), Pt(1, 1)), "LINESTRING (0 0, 1 1)"},
+		{Polyline{Pt(0, 0), Pt(1, 0), Pt(1, 1)}, "LINESTRING (0 0, 1 0, 1 1)"},
+		{Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1)}, "POLYGON ((0 0, 1 0, 1 1, 0 0))"},
+		{
+			Polygon{Shell: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}, Holes: []Ring{{Pt(1, 1), Pt(2, 1), Pt(2, 2)}}},
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 1))",
+		},
+		{BBox{0, 0, 2, 3}, "POLYGON ((0 0, 2 0, 2 3, 0 3, 0 0))"},
+		{42, "UNKNOWN (42)"},
+	}
+	for _, tt := range tests {
+		if got := WKT(tt.g); got != tt.want {
+			t.Errorf("WKT(%v) = %q, want %q", tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestParseWKTPoint(t *testing.T) {
+	p, err := ParseWKTPoint("POINT (3.5 -2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Eq(Pt(3.5, -2)) {
+		t.Errorf("parsed %v", p)
+	}
+	if _, err := ParseWKTPoint("LINESTRING (0 0, 1 1)"); err == nil {
+		t.Error("want error for non-point")
+	}
+	if _, err := ParseWKTPoint("POINT (1)"); err == nil {
+		t.Error("want error for arity")
+	}
+	if _, err := ParseWKTPoint("POINT (a b)"); err == nil {
+		t.Error("want error for non-numeric")
+	}
+}
+
+func TestWKTRoundtripPoint(t *testing.T) {
+	orig := Pt(12.25, -0.5)
+	p, err := ParseWKTPoint(WKT(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Eq(orig) {
+		t.Errorf("roundtrip %v -> %v", orig, p)
+	}
+}

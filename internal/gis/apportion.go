@@ -1,0 +1,69 @@
+package gis
+
+import (
+	"fmt"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+)
+
+// Apportion estimates the value of an additive polygon-level measure
+// over an arbitrary query region by areal interpolation: each source
+// polygon contributes its measure scaled by the fraction of its area
+// inside the region. This is exactly how Type-1 queries like "total
+// population of provinces crossed by a river" are answered when the
+// measure is stored per polygon (Definition 3) but the query region
+// cuts polygons: the uniform-density assumption turns the fact table
+// into the density h of Definition 4, and the areal share equals the
+// integral of h over the intersection.
+func Apportion(l *layer.Layer, ft *FactTable, measure string, region geom.Polygon) (float64, error) {
+	if ft.Schema().Kind != layer.KindPolygon {
+		return 0, fmt.Errorf("gis: Apportion needs a polygon-level fact table, got %s", ft.Schema().Kind)
+	}
+	var total float64
+	for _, id := range ft.IDs() {
+		pg, ok := l.Polygon(id)
+		if !ok {
+			return 0, fmt.Errorf("gis: fact table references missing polygon %d", id)
+		}
+		v, ok := ft.Measure(id, measure)
+		if !ok {
+			// IDs() only returns mapped ids, so this is a bad measure
+			// name.
+			return 0, fmt.Errorf("gis: fact table has no measure %q", measure)
+		}
+		area := pg.Area()
+		if area <= 0 {
+			continue
+		}
+		inter := geom.IntersectionArea(pg, region)
+		if inter > 0 {
+			total += v * inter / area
+		}
+	}
+	return total, nil
+}
+
+// ApportionToCells distributes a polygon-level measure over the
+// precomputed intersection cells of an overlay: each cell receives
+// value × cellArea / polygonArea. Returning the per-cell shares lets
+// callers re-aggregate to any target zoning (the areal-weighting
+// step of spatial OLAP re-apportionment).
+type CellShare struct {
+	Ring  geom.Ring
+	Value float64
+}
+
+// ApportionCells computes the shares for one source polygon and its
+// cells.
+func ApportionCells(source geom.Polygon, value float64, cells []geom.Ring) []CellShare {
+	area := source.Area()
+	if area <= 0 {
+		return nil
+	}
+	out := make([]CellShare, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, CellShare{Ring: c, Value: value * c.Area() / area})
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package gis
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+)
+
+func apportionFixture(t *testing.T) (*layer.Layer, *FactTable) {
+	t.Helper()
+	l := layer.New("Ln")
+	l.AddPolygon(1, sqPg(0, 0, 10))  // population 1000
+	l.AddPolygon(2, sqPg(10, 0, 10)) // population 2000
+	ft := NewFactTable(FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"}})
+	ft.MustSet(1, 1000)
+	ft.MustSet(2, 2000)
+	return l, ft
+}
+
+func TestApportionFullCoverage(t *testing.T) {
+	l, ft := apportionFixture(t)
+	region := sqPg(0, 0, 20) // covers both fully (x beyond 20 is empty)
+	got, err := Apportion(l, ft, "population", region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3000) > 1e-6 {
+		t.Errorf("full coverage = %v, want 3000", got)
+	}
+}
+
+func TestApportionHalfCoverage(t *testing.T) {
+	l, ft := apportionFixture(t)
+	// The region covers the right half of polygon 1 and the left half
+	// of polygon 2: 500 + 1000.
+	region := sqPg(5, 0, 10)
+	got, err := Apportion(l, ft, "population", region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1500) > 1e-6 {
+		t.Errorf("half coverage = %v, want 1500", got)
+	}
+}
+
+func TestApportionDisjoint(t *testing.T) {
+	l, ft := apportionFixture(t)
+	got, err := Apportion(l, ft, "population", sqPg(100, 100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestApportionErrors(t *testing.T) {
+	l, ft := apportionFixture(t)
+	bad := NewFactTable(FactSchema{Kind: layer.KindNode, LayerName: "Ls", Measures: []string{"x"}})
+	if _, err := Apportion(l, bad, "x", sqPg(0, 0, 1)); err == nil {
+		t.Error("non-polygon fact table accepted")
+	}
+	missing := NewFactTable(FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"}})
+	missing.MustSet(99, 5)
+	if _, err := Apportion(l, missing, "population", sqPg(0, 0, 1)); err == nil {
+		t.Error("missing polygon accepted")
+	}
+	if _, err := Apportion(l, ft, "nope", sqPg(0, 0, 20)); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestApportionCells(t *testing.T) {
+	source := sqPg(0, 0, 10) // area 100
+	cells := []geom.Ring{
+		{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(5, 10), geom.Pt(0, 10)}, // area 50
+		{geom.Pt(5, 0), geom.Pt(10, 0), geom.Pt(10, 5), geom.Pt(5, 5)}, // area 25
+	}
+	shares := ApportionCells(source, 1000, cells)
+	if len(shares) != 2 {
+		t.Fatalf("shares = %d", len(shares))
+	}
+	if math.Abs(shares[0].Value-500) > 1e-9 || math.Abs(shares[1].Value-250) > 1e-9 {
+		t.Errorf("shares = %+v", shares)
+	}
+	// Degenerate source yields nothing.
+	if got := ApportionCells(geom.Polygon{Shell: geom.Ring{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}}, 10, cells); got != nil {
+		t.Errorf("degenerate = %v", got)
+	}
+}

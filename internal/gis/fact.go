@@ -1,0 +1,101 @@
+package gis
+
+import (
+	"fmt"
+	"sort"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+)
+
+// FactSchema is a GIS fact table schema per Definition 3: a geometry
+// kind, a layer, and a list of measure names. Facts at KindPoint are
+// base fact tables.
+type FactSchema struct {
+	Kind      layer.Kind
+	LayerName string
+	Measures  []string
+}
+
+// FactTable is a GIS fact table instance: a partial function from
+// geometry ids to measure vectors.
+type FactTable struct {
+	schema FactSchema
+	rows   map[layer.Gid][]float64
+}
+
+// NewFactTable creates an empty GIS fact table.
+func NewFactTable(schema FactSchema) *FactTable {
+	return &FactTable{schema: schema, rows: make(map[layer.Gid][]float64)}
+}
+
+// Schema returns the fact table schema.
+func (f *FactTable) Schema() FactSchema { return f.schema }
+
+// Len returns the number of mapped geometry ids.
+func (f *FactTable) Len() int { return len(f.rows) }
+
+// Set maps geometry id to a measure vector.
+func (f *FactTable) Set(id layer.Gid, measures ...float64) error {
+	if len(measures) != len(f.schema.Measures) {
+		return fmt.Errorf("gis: got %d measures, want %d", len(measures), len(f.schema.Measures))
+	}
+	f.rows[id] = append([]float64(nil), measures...)
+	return nil
+}
+
+// MustSet is Set that panics; for setup code.
+func (f *FactTable) MustSet(id layer.Gid, measures ...float64) *FactTable {
+	if err := f.Set(id, measures...); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Get returns the measure vector of a geometry id.
+func (f *FactTable) Get(id layer.Gid) ([]float64, bool) {
+	m, ok := f.rows[id]
+	return m, ok
+}
+
+// Measure returns the named measure of a geometry id.
+func (f *FactTable) Measure(id layer.Gid, name string) (float64, bool) {
+	m, ok := f.rows[id]
+	if !ok {
+		return 0, false
+	}
+	for i, n := range f.schema.Measures {
+		if n == name {
+			return m[i], true
+		}
+	}
+	return 0, false
+}
+
+// IDs returns the mapped geometry ids, sorted.
+func (f *FactTable) IDs() []layer.Gid {
+	out := make([]layer.Gid, 0, len(f.rows))
+	for id := range f.rows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Density is a base GIS fact table in functional form: a measure
+// density h(x, y) over the plane (Definition 3's Base GIS Fact Table
+// maps R² × L to measures; continuous instances are represented as
+// functions, e.g. population density or temperature).
+type Density func(p geom.Point) float64
+
+// ConstDensity returns the constant density c.
+func ConstDensity(c float64) Density {
+	return func(geom.Point) float64 { return c }
+}
+
+// BaseFactTable is a base GIS fact table: a named density per layer.
+type BaseFactTable struct {
+	LayerName string
+	Name      string
+	H         Density
+}

@@ -1,0 +1,343 @@
+package gis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+)
+
+func sqPg(x, y, s float64) geom.Polygon {
+	return geom.Polygon{Shell: geom.Ring{
+		geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+	}}
+}
+
+// paperHierarchies builds the three hierarchies of Figure 2.
+func paperHierarchies() (*Hierarchy, *Hierarchy, *Hierarchy) {
+	hr := NewHierarchy("Lr"). // rivers: point→line→polyline→All
+					AddEdge(layer.KindPoint, layer.KindLine).
+					AddEdge(layer.KindLine, layer.KindPolyline).
+					AddEdge(layer.KindPolyline, layer.KindAll)
+	hs := NewHierarchy("Ls"). // schools: point→node→All
+					AddEdge(layer.KindPoint, layer.KindNode).
+					AddEdge(layer.KindNode, layer.KindAll)
+	hn := NewHierarchy("Ln"). // neighborhoods: point→polygon→All
+					AddEdge(layer.KindPoint, layer.KindPolygon).
+					AddEdge(layer.KindPolygon, layer.KindAll)
+	return hr, hs, hn
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	hr, hs, hn := paperHierarchies()
+	for _, h := range []*Hierarchy{hr, hs, hn} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("H(%s): %v", h.LayerName, err)
+		}
+	}
+}
+
+func TestHierarchyValidateViolations(t *testing.T) {
+	// All with outgoing edge.
+	bad := NewHierarchy("L").AddEdge(layer.KindAll, layer.KindPolygon)
+	if err := bad.Validate(); err == nil {
+		t.Error("All with outgoing edge accepted")
+	}
+	// point with incoming edge.
+	bad2 := NewHierarchy("L").
+		AddEdge(layer.KindPoint, layer.KindLine).
+		AddEdge(layer.KindLine, layer.KindPoint)
+	if err := bad2.Validate(); err == nil {
+		t.Error("point with incoming edge accepted")
+	}
+	// Orphan node with no incoming edges.
+	bad3 := NewHierarchy("L").
+		AddEdge(layer.KindPoint, layer.KindNode).
+		AddEdge(layer.KindNode, layer.KindAll).
+		AddEdge(layer.KindPolyline, layer.KindAll) // polyline has no incoming
+	if err := bad3.Validate(); err == nil {
+		t.Error("orphan node accepted")
+	}
+}
+
+func TestHierarchyPathExists(t *testing.T) {
+	hr, _, _ := paperHierarchies()
+	if !hr.PathExists(layer.KindPoint, layer.KindPolyline) {
+		t.Error("point should reach polyline")
+	}
+	if !hr.PathExists(layer.KindLine, layer.KindAll) {
+		t.Error("line should reach All")
+	}
+	if hr.PathExists(layer.KindPolyline, layer.KindPoint) {
+		t.Error("downward path accepted")
+	}
+	if hr.PathExists(layer.KindPolygon, layer.KindAll) {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	hr, hs, hn := paperHierarchies()
+	appGeo := olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city")
+	appRiv := olap.NewSchema("Rivers").AddEdge("river", "basin")
+	s := NewSchema().
+		AddHierarchy(hr).AddHierarchy(hs).AddHierarchy(hn).
+		BindAttr("neighborhood", layer.KindPolygon, "Ln").
+		BindAttr("river", layer.KindPolyline, "Lr").
+		BindAttr("school", layer.KindNode, "Ls").
+		AddAppSchema(appGeo).AddAppSchema(appRiv)
+	return s
+}
+
+func TestSchemaValidateAndDescribe(t *testing.T) {
+	s := paperSchema(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := s.LayerNames(); len(got) != 3 || got[0] != "Ln" {
+		t.Errorf("LayerNames = %v", got)
+	}
+	b, ok := s.Attr("neighborhood")
+	if !ok || b.Kind != layer.KindPolygon || b.LayerName != "Ln" {
+		t.Errorf("Attr = %+v,%v", b, ok)
+	}
+	if _, ok := s.Attr("nope"); ok {
+		t.Error("unexpected attr")
+	}
+	desc := s.Describe()
+	for _, want := range []string{"layer Lr", "polyline -> All", "Att(neighborhood) = (polygon, Ln)", "application dimensions: Neighbourhoods, Rivers"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestSchemaValidateBadBinding(t *testing.T) {
+	s := NewSchema().BindAttr("x", layer.KindPolygon, "missing")
+	if err := s.Validate(); err == nil {
+		t.Error("binding to unknown layer accepted")
+	}
+	hr, _, _ := paperHierarchies()
+	s2 := NewSchema().AddHierarchy(hr).BindAttr("x", layer.KindPolygon, "Lr")
+	if err := s2.Validate(); err == nil {
+		t.Error("binding to absent kind accepted")
+	}
+}
+
+func TestDimensionInstance(t *testing.T) {
+	s := paperSchema(t)
+	d := NewDimension(s)
+
+	ln := layer.New("Ln")
+	ln.AddPolygon(1, sqPg(0, 0, 10))
+	ln.AddPolygon(2, sqPg(10, 0, 10))
+	ln.SetAlpha("neighborhood", layer.KindPolygon, "Berchem", 1)
+	d.MustAddLayer(ln)
+
+	ls := layer.New("Ls")
+	ls.AddNode(5, geom.Pt(3, 3))
+	d.MustAddLayer(ls)
+
+	appDim := olap.NewDimension(olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city"))
+	appDim.SetRollup("neighborhood", "Berchem", "city", "Antwerp")
+	d.MustAddAppDimension(appDim)
+
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	kind, id, lname, ok := d.Alpha("neighborhood", "Berchem")
+	if !ok || kind != layer.KindPolygon || id != 1 || lname != "Ln" {
+		t.Errorf("Alpha = %v,%v,%v,%v", kind, id, lname, ok)
+	}
+	if _, _, _, ok := d.Alpha("neighborhood", "Nowhere"); ok {
+		t.Error("unexpected alpha member")
+	}
+	if _, _, _, ok := d.Alpha("school", "S1"); ok {
+		t.Error("alpha without layer-side binding accepted")
+	}
+
+	if got := d.PointRollup("Ln", layer.KindPolygon, geom.Pt(5, 5)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("PointRollup polygon = %v", got)
+	}
+	if got := d.PointRollup("Ls", layer.KindNode, geom.Pt(3, 3)); len(got) != 1 || got[0] != 5 {
+		t.Errorf("PointRollup node = %v", got)
+	}
+	if got := d.PointRollup("Ln", layer.KindAll, geom.Pt(5, 5)); len(got) != 1 || got[0] != layer.AllGid {
+		t.Errorf("PointRollup All = %v", got)
+	}
+	if got := d.PointRollup("Lx", layer.KindPolygon, geom.Pt(5, 5)); got != nil {
+		t.Errorf("PointRollup unknown layer = %v", got)
+	}
+	if got := d.PointRollup("Ln", layer.KindLine, geom.Pt(5, 5)); got != nil {
+		t.Errorf("PointRollup unsupported kind = %v", got)
+	}
+
+	// Unknown layer / app dimension attachment errors.
+	if err := d.AddLayer(layer.New("Lz")); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if err := d.AddAppDimension(olap.NewDimension(olap.NewSchema("Ghost"))); err == nil {
+		t.Error("unknown app dimension accepted")
+	}
+	if _, ok := d.Layer("Ln"); !ok {
+		t.Error("Layer lookup")
+	}
+	if _, ok := d.AppDimension("Neighbourhoods"); !ok {
+		t.Error("AppDimension lookup")
+	}
+	if got := d.LayerNames(); len(got) != 2 {
+		t.Errorf("LayerNames = %v", got)
+	}
+}
+
+func TestGISFactTable(t *testing.T) {
+	ft := NewFactTable(FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population", "schools"}})
+	ft.MustSet(1, 40000, 5)
+	ft.MustSet(2, 52000, 7)
+	if ft.Len() != 2 {
+		t.Errorf("Len = %d", ft.Len())
+	}
+	if v, ok := ft.Measure(1, "population"); !ok || v != 40000 {
+		t.Errorf("Measure = %v,%v", v, ok)
+	}
+	if _, ok := ft.Measure(1, "nope"); ok {
+		t.Error("unexpected measure")
+	}
+	if _, ok := ft.Measure(9, "population"); ok {
+		t.Error("unexpected id")
+	}
+	if err := ft.Set(3, 1); err == nil {
+		t.Error("arity error expected")
+	}
+	if got := ft.IDs(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("IDs = %v", got)
+	}
+	if m, ok := ft.Get(2); !ok || m[1] != 7 {
+		t.Errorf("Get = %v,%v", m, ok)
+	}
+}
+
+func TestIntegratePolygonConstant(t *testing.T) {
+	pg := sqPg(0, 0, 10)
+	v, err := IntegratePolygon(ConstDensity(2), pg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-200) > 1e-9 {
+		t.Errorf("constant integral = %v, want 200", v)
+	}
+}
+
+func TestIntegratePolygonLinear(t *testing.T) {
+	// h(x,y) = x over [0,10]²: integral = 10 * 10²/2 = 500. The
+	// three-midpoint rule is exact for linear h even without
+	// subdivision.
+	pg := sqPg(0, 0, 10)
+	h := func(p geom.Point) float64 { return p.X }
+	v, err := IntegratePolygon(h, pg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-500) > 1e-9 {
+		t.Errorf("linear integral = %v, want 500", v)
+	}
+}
+
+func TestIntegratePolygonQuadraticExact(t *testing.T) {
+	// h(x,y) = x² over [0,1]²: integral = 1/3; degree-2 rule is exact.
+	pg := sqPg(0, 0, 1)
+	h := func(p geom.Point) float64 { return p.X * p.X }
+	v, err := IntegratePolygon(h, pg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.0/3) > 1e-12 {
+		t.Errorf("quadratic integral = %v, want 1/3", v)
+	}
+}
+
+func TestIntegratePolygonWithHoleNonPolynomial(t *testing.T) {
+	// Gaussian-ish density over a holed square; compare against a fine
+	// Riemann sum.
+	pg := geom.Polygon{Shell: sqPg(0, 0, 4).Shell, Holes: []geom.Ring{sqPg(1, 1, 1).Shell}}
+	h := func(p geom.Point) float64 { return math.Exp(-(p.X + p.Y) / 4) }
+	got, err := IntegratePolygon(h, pg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	const n = 400
+	cell := 4.0 / n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := geom.Pt((float64(i)+0.5)*cell, (float64(j)+0.5)*cell)
+			if pg.ContainsPoint(p) {
+				want += h(p) * cell * cell
+			}
+		}
+	}
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("integral = %v, Riemann = %v", got, want)
+	}
+}
+
+func TestIntegratePolyline(t *testing.T) {
+	pl := geom.Polyline{geom.Pt(0, 0), geom.Pt(10, 0)}
+	// ∫ x ds over the segment = 50.
+	v := IntegratePolyline(func(p geom.Point) float64 { return p.X }, pl, 100)
+	if math.Abs(v-50) > 1e-6 {
+		t.Errorf("line integral = %v, want 50", v)
+	}
+	// Constant density: length × c.
+	v = IntegratePolyline(ConstDensity(3), geom.Polyline{geom.Pt(0, 0), geom.Pt(3, 4)}, 0)
+	if math.Abs(v-15) > 1e-9 {
+		t.Errorf("const line integral = %v, want 15", v)
+	}
+}
+
+func TestAggregationEvaluate(t *testing.T) {
+	a := Aggregation{
+		C: Region{
+			Polygons:  []geom.Polygon{sqPg(0, 0, 2)},
+			Polylines: []geom.Polyline{{geom.Pt(0, 0), geom.Pt(0, 5)}},
+			Points:    []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)},
+		},
+		H: ConstDensity(1),
+	}
+	v, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-D part: area 4; 1-D part: length 5; 0-D part: 2 points.
+	if math.Abs(v-11) > 1e-9 {
+		t.Errorf("Evaluate = %v, want 11", v)
+	}
+	// Invalid polygon propagates the error.
+	bad := Aggregation{C: Region{Polygons: []geom.Polygon{{Shell: geom.Ring{geom.Pt(0, 0), geom.Pt(1, 1)}}}}, H: ConstDensity(1)}
+	if _, err := bad.Evaluate(); err == nil {
+		t.Error("expected triangulation error")
+	}
+}
+
+func TestSummable(t *testing.T) {
+	ft := NewFactTable(FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"}})
+	ft.MustSet(1, 40000)
+	ft.MustSet(2, 52000)
+	s := SummableFromFact([]layer.Gid{1, 2}, ft, "population")
+	v, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 92000 {
+		t.Errorf("Summable = %v", v)
+	}
+	bad := SummableFromFact([]layer.Gid{1, 99}, ft, "population")
+	if _, err := bad.Evaluate(); err == nil {
+		t.Error("expected undefined-term error")
+	}
+}

@@ -1,0 +1,151 @@
+package gis
+
+import (
+	"fmt"
+	"sort"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+)
+
+// Dimension is a GIS dimension instance per Definition 2: the schema
+// together with concrete layers (which carry the rollup relations R
+// and the attribute functions Ainst) and application-part OLAP
+// dimension instances.
+type Dimension struct {
+	schema  *Schema
+	layers  map[string]*layer.Layer
+	appDims map[string]*olap.Dimension
+}
+
+// NewDimension creates an empty instance of schema.
+func NewDimension(schema *Schema) *Dimension {
+	return &Dimension{
+		schema:  schema,
+		layers:  make(map[string]*layer.Layer),
+		appDims: make(map[string]*olap.Dimension),
+	}
+}
+
+// Schema returns the GIS dimension schema.
+func (d *Dimension) Schema() *Schema { return d.schema }
+
+// AddLayer attaches a layer instance; its name must match a
+// registered hierarchy.
+func (d *Dimension) AddLayer(l *layer.Layer) error {
+	if _, ok := d.schema.Hierarchy(l.Name()); !ok {
+		return fmt.Errorf("gis: no hierarchy registered for layer %q", l.Name())
+	}
+	d.layers[l.Name()] = l
+	return nil
+}
+
+// MustAddLayer is AddLayer that panics; for setup code.
+func (d *Dimension) MustAddLayer(l *layer.Layer) *Dimension {
+	if err := d.AddLayer(l); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Layer returns a layer by name.
+func (d *Dimension) Layer(name string) (*layer.Layer, bool) {
+	l, ok := d.layers[name]
+	return l, ok
+}
+
+// LayerNames returns the attached layer names, sorted.
+func (d *Dimension) LayerNames() []string {
+	out := make([]string, 0, len(d.layers))
+	for n := range d.layers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddAppDimension attaches an application-part dimension instance;
+// its schema must be registered.
+func (d *Dimension) AddAppDimension(dim *olap.Dimension) error {
+	if _, ok := d.schema.AppSchema(dim.Name()); !ok {
+		return fmt.Errorf("gis: no application schema registered for dimension %q", dim.Name())
+	}
+	d.appDims[dim.Name()] = dim
+	return nil
+}
+
+// MustAddAppDimension is AddAppDimension that panics; for setup code.
+func (d *Dimension) MustAddAppDimension(dim *olap.Dimension) *Dimension {
+	if err := d.AddAppDimension(dim); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// AppDimension returns an application dimension instance by name.
+func (d *Dimension) AppDimension(name string) (*olap.Dimension, bool) {
+	dim, ok := d.appDims[name]
+	return dim, ok
+}
+
+// Alpha resolves the attribute function α^{A,G}_L(member): the schema
+// binding Att(attr) names the layer and kind; the layer instance maps
+// the concept member to a geometry id.
+func (d *Dimension) Alpha(attr, member string) (layer.Kind, layer.Gid, string, bool) {
+	b, ok := d.schema.Attr(attr)
+	if !ok {
+		return "", 0, "", false
+	}
+	l, ok := d.layers[b.LayerName]
+	if !ok {
+		return "", 0, "", false
+	}
+	kind, id, ok := l.Alpha(attr, member)
+	if !ok {
+		return "", 0, "", false
+	}
+	return kind, id, b.LayerName, ok
+}
+
+// PointRollup evaluates the infinite rollup relation
+// r^{point,kind}_L(x, y, g): the ids of the kind-geometries of layer
+// layerName that contain point p.
+func (d *Dimension) PointRollup(layerName string, kind layer.Kind, p geom.Point) []layer.Gid {
+	l, ok := d.layers[layerName]
+	if !ok {
+		return nil
+	}
+	switch kind {
+	case layer.KindPolygon:
+		return l.PolygonsContaining(p)
+	case layer.KindPolyline:
+		return l.PolylinesThrough(p)
+	case layer.KindNode:
+		return l.NodesNear(p, 0)
+	case layer.KindAll:
+		return []layer.Gid{layer.AllGid}
+	default:
+		return nil
+	}
+}
+
+// Validate checks the schema, each attached layer, and that every
+// attribute binding with a layer attached is resolvable for at least
+// zero members (binding integrity is checked in the layer itself).
+func (d *Dimension) Validate() error {
+	if err := d.schema.Validate(); err != nil {
+		return err
+	}
+	for _, l := range d.layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, dim := range d.appDims {
+		if err := dim.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

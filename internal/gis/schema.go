@@ -1,0 +1,304 @@
+// Package gis implements the paper's GIS dimensions: the dimension
+// schema of Definition 1 (per-layer hierarchy graphs H(L) over
+// geometry kinds, attribute bindings Att: A → G × L, and
+// application-part OLAP schemas), dimension instances per Definition
+// 2, GIS fact tables per Definition 3, and the geometric aggregation
+// of Definition 4 with its summable rewriting (Section 5).
+package gis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+)
+
+// Hierarchy is the graph H(L) of Definition 1 for one layer: nodes
+// are geometry kinds, edges go from finer to coarser kinds
+// ("Gj is composed by geometries of type Gi").
+type Hierarchy struct {
+	LayerName string
+	parents   map[layer.Kind][]layer.Kind
+	kinds     map[layer.Kind]bool
+}
+
+// NewHierarchy creates a hierarchy graph for the named layer
+// containing the mandatory point and All nodes.
+func NewHierarchy(layerName string) *Hierarchy {
+	return &Hierarchy{
+		LayerName: layerName,
+		parents:   make(map[layer.Kind][]layer.Kind),
+		kinds:     map[layer.Kind]bool{layer.KindPoint: true, layer.KindAll: true},
+	}
+}
+
+// AddEdge declares the edge child → parent (child geometries compose
+// parent geometries). Both kinds are added as nodes.
+func (h *Hierarchy) AddEdge(child, parent layer.Kind) *Hierarchy {
+	h.kinds[child] = true
+	h.kinds[parent] = true
+	h.parents[child] = append(h.parents[child], parent)
+	return h
+}
+
+// Kinds returns the hierarchy's geometry kinds, sorted.
+func (h *Hierarchy) Kinds() []layer.Kind {
+	out := make([]layer.Kind, 0, len(h.kinds))
+	for k := range h.kinds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasKind reports whether k is a node of H(L).
+func (h *Hierarchy) HasKind(k layer.Kind) bool { return h.kinds[k] }
+
+// Parents returns the direct parents of k.
+func (h *Hierarchy) Parents(k layer.Kind) []layer.Kind { return h.parents[k] }
+
+// Validate enforces Definition 1: (c) All has no outgoing edges and
+// (d) point is the only node without incoming edges; the graph must
+// be acyclic and every node must reach All.
+func (h *Hierarchy) Validate() error {
+	if len(h.parents[layer.KindAll]) > 0 {
+		return fmt.Errorf("gis: hierarchy %s: All must have no outgoing edges", h.LayerName)
+	}
+	hasIncoming := map[layer.Kind]bool{}
+	for _, ps := range h.parents {
+		for _, p := range ps {
+			hasIncoming[p] = true
+		}
+	}
+	for k := range h.kinds {
+		if k == layer.KindPoint {
+			if hasIncoming[k] {
+				return fmt.Errorf("gis: hierarchy %s: point must have no incoming edges", h.LayerName)
+			}
+			continue
+		}
+		if !hasIncoming[k] && k != layer.KindAll {
+			return fmt.Errorf("gis: hierarchy %s: node %s has no incoming edges (only point may)", h.LayerName, k)
+		}
+	}
+	// Acyclicity and reachability of All.
+	for k := range h.kinds {
+		if k == layer.KindAll {
+			continue
+		}
+		if !h.reaches(k, layer.KindAll, map[layer.Kind]bool{}) {
+			return fmt.Errorf("gis: hierarchy %s: node %s does not reach All", h.LayerName, k)
+		}
+	}
+	return h.acyclic()
+}
+
+func (h *Hierarchy) reaches(from, to layer.Kind, seen map[layer.Kind]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	ps := h.parents[from]
+	if len(ps) == 0 && from != layer.KindAll {
+		// Implicit edge to All for kinds with no declared parents.
+		return to == layer.KindAll
+	}
+	for _, p := range ps {
+		if h.reaches(p, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Hierarchy) acyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[layer.Kind]int{}
+	var visit func(layer.Kind) error
+	visit = func(k layer.Kind) error {
+		color[k] = gray
+		for _, p := range h.parents[k] {
+			switch color[p] {
+			case gray:
+				return fmt.Errorf("gis: hierarchy %s: cycle through %s", h.LayerName, p)
+			case white:
+				if err := visit(p); err != nil {
+					return err
+				}
+			}
+		}
+		color[k] = black
+		return nil
+	}
+	for k := range h.kinds {
+		if color[k] == white {
+			if err := visit(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PathExists reports whether a composition path from → to exists
+// (reflexive; every kind implicitly reaches All).
+func (h *Hierarchy) PathExists(from, to layer.Kind) bool {
+	if !h.kinds[from] || !h.kinds[to] {
+		return false
+	}
+	return h.reaches(from, to, map[layer.Kind]bool{})
+}
+
+// AttrBinding is one element of the paper's Att function:
+// Att(A) = (G, L), stating that application attribute A is bound to
+// geometries of kind G in layer L.
+type AttrBinding struct {
+	Attr      string
+	Kind      layer.Kind
+	LayerName string
+}
+
+// Schema is the GIS dimension schema Gsch = (H, A, D) of Definition 1.
+type Schema struct {
+	hierarchies map[string]*Hierarchy
+	attrs       map[string]AttrBinding
+	appSchemas  map[string]*olap.Schema
+}
+
+// NewSchema creates an empty GIS dimension schema.
+func NewSchema() *Schema {
+	return &Schema{
+		hierarchies: make(map[string]*Hierarchy),
+		attrs:       make(map[string]AttrBinding),
+		appSchemas:  make(map[string]*olap.Schema),
+	}
+}
+
+// AddHierarchy registers H(L).
+func (s *Schema) AddHierarchy(h *Hierarchy) *Schema {
+	s.hierarchies[h.LayerName] = h
+	return s
+}
+
+// Hierarchy returns the hierarchy of a layer.
+func (s *Schema) Hierarchy(layerName string) (*Hierarchy, bool) {
+	h, ok := s.hierarchies[layerName]
+	return h, ok
+}
+
+// LayerNames returns the registered layer names, sorted.
+func (s *Schema) LayerNames() []string {
+	out := make([]string, 0, len(s.hierarchies))
+	for n := range s.hierarchies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindAttr records Att(attr) = (kind, layerName).
+func (s *Schema) BindAttr(attr string, kind layer.Kind, layerName string) *Schema {
+	s.attrs[attr] = AttrBinding{Attr: attr, Kind: kind, LayerName: layerName}
+	return s
+}
+
+// Attr resolves Att(attr).
+func (s *Schema) Attr(attr string) (AttrBinding, bool) {
+	b, ok := s.attrs[attr]
+	return b, ok
+}
+
+// Attrs returns all attribute bindings sorted by attribute name.
+func (s *Schema) Attrs() []AttrBinding {
+	out := make([]AttrBinding, 0, len(s.attrs))
+	for _, b := range s.attrs {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// AddAppSchema registers an application-part OLAP dimension schema.
+func (s *Schema) AddAppSchema(sc *olap.Schema) *Schema {
+	s.appSchemas[sc.Name()] = sc
+	return s
+}
+
+// AppSchema returns a registered application schema by name.
+func (s *Schema) AppSchema(name string) (*olap.Schema, bool) {
+	sc, ok := s.appSchemas[name]
+	return sc, ok
+}
+
+// Validate checks every hierarchy, that every attribute binding
+// references a registered layer hierarchy containing the bound kind,
+// and that every application schema is a valid OLAP schema.
+func (s *Schema) Validate() error {
+	for _, h := range s.hierarchies {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, b := range s.attrs {
+		h, ok := s.hierarchies[b.LayerName]
+		if !ok {
+			return fmt.Errorf("gis: attribute %q bound to unknown layer %q", b.Attr, b.LayerName)
+		}
+		if !h.HasKind(b.Kind) {
+			return fmt.Errorf("gis: attribute %q bound to kind %s absent from H(%s)", b.Attr, b.Kind, b.LayerName)
+		}
+	}
+	for _, sc := range s.appSchemas {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Describe renders the schema in the style of the paper's Figure 2:
+// one block per layer hierarchy (algebraic + geometric part) and the
+// attribute bindings into the application part.
+func (s *Schema) Describe() string {
+	var sb strings.Builder
+	sb.WriteString("GIS dimension schema\n")
+	for _, ln := range s.LayerNames() {
+		h := s.hierarchies[ln]
+		fmt.Fprintf(&sb, "  layer %s:\n", ln)
+		for _, k := range h.Kinds() {
+			ps := h.Parents(k)
+			if len(ps) == 0 {
+				continue
+			}
+			names := make([]string, len(ps))
+			for i, p := range ps {
+				names[i] = string(p)
+			}
+			fmt.Fprintf(&sb, "    %s -> %s\n", k, strings.Join(names, ", "))
+		}
+	}
+	if len(s.attrs) > 0 {
+		sb.WriteString("  application bindings:\n")
+		for _, b := range s.Attrs() {
+			fmt.Fprintf(&sb, "    Att(%s) = (%s, %s)\n", b.Attr, b.Kind, b.LayerName)
+		}
+	}
+	if len(s.appSchemas) > 0 {
+		names := make([]string, 0, len(s.appSchemas))
+		for n := range s.appSchemas {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "  application dimensions: %s\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}

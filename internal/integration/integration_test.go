@@ -1,0 +1,232 @@
+// Package integration_test runs cross-module pipelines end to end:
+// generation → persistence → reload → query evaluation, asserting
+// the reloaded model answers exactly like the in-memory one, and the
+// full GIS–OLAP–moving-objects loop of the paper (region C → fact
+// table → cube → MDX).
+package integration_test
+
+import (
+	"testing"
+
+	"mogis/internal/fo"
+	"mogis/internal/layer"
+	"mogis/internal/mdx"
+	"mogis/internal/olap"
+	"mogis/internal/overlay"
+	"mogis/internal/pietql"
+	"mogis/internal/store"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+// TestSaveLoadQueryParity: the reloaded dataset must produce the same
+// region-C relation and the same Piet-QL outcome as the generated
+// in-memory city.
+func TestSaveLoadQueryParity(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 23, Cols: 4, Rows: 4, Schools: 4, Stores: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 23, Objects: 25, Samples: 30})
+	_, engMem := city.Context(fm)
+
+	dir := t.TempDir()
+	ds := &store.Dataset{
+		Ln: city.Ln, Lr: city.Lr, Lh: city.Lh, Ls: city.Ls, Lstores: city.Lstores,
+		Neighborhoods: city.Neighborhoods, FM: fm,
+	}
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, engDisk, err := loaded.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	formula := fo.Exists([]fo.Var{"x", "y", "pg", "nb"}, fo.And(
+		&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
+		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},
+		&fo.AttrCmp{Concept: "neighb", M: fo.V("nb"), Attr: "income", Op: fo.LT, Rhs: fo.CReal(1500)},
+	))
+	relMem, err := engMem.RegionC(formula, []fo.Var{"o", "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relDisk, err := engDisk.RegionC(formula, []fo.Var{"o", "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relMem.Len() != relDisk.Len() {
+		t.Fatalf("region C: memory %d vs disk %d", relMem.Len(), relDisk.Len())
+	}
+	for i := range relMem.Tuples {
+		for j := range relMem.Tuples[i] {
+			if relMem.Tuples[i][j] != relDisk.Tuples[i][j] {
+				t.Fatalf("tuple %d differs: %v vs %v", i, relMem.Tuples[i], relDisk.Tuples[i])
+			}
+		}
+	}
+}
+
+// TestPietQLOverlayParityOnLoadedData: Piet-QL must give identical
+// outcomes with and without the precomputed overlay on a reloaded
+// dataset.
+func TestPietQLOverlayParityOnLoadedData(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 29, Cols: 5, Rows: 5})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 29, Objects: 30, Samples: 20})
+	dir := t.TempDir()
+	ds := &store.Dataset{
+		Ln: city.Ln, Lr: city.Lr, Lh: city.Lh, Ls: city.Ls, Lstores: city.Lstores,
+		Neighborhoods: city.Neighborhoods, FM: fm,
+	}
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, eng, err := loaded.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]layer.Kind{
+		"Ln": layer.KindPolygon, "Lr": layer.KindPolyline,
+		"Ls": layer.KindNode, "Lstores": layer.KindNode, "Lh": layer.KindPolyline,
+	}
+	layers := map[string]*layer.Layer{
+		"Ln": loaded.Ln, "Lr": loaded.Lr, "Ls": loaded.Ls, "Lstores": loaded.Lstores, "Lh": loaded.Lh,
+	}
+	ov, err := overlay.Precompute(layers, []overlay.Pair{
+		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
+		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := `
+		SELECT layer.Lr, layer.Ln, layer.Lstores;
+		FROM PietSchema;
+		WHERE intersection(layer.Lr, layer.Ln, subplevel.Linestring)
+		AND (layer.Ln)
+		CONTAINS (layer.Ln, layer.Lstores, subplevel.Point);
+		| | MOVING COUNT(*) FROM FM WHERE PASSES THROUGH layer.Ln GROUP BY hour`
+
+	base := &pietql.System{Ctx: ctx, Engine: eng, Kinds: kinds, SchemaName: "PietSchema", Cubes: mdx.Catalog{}}
+	fast := &pietql.System{Ctx: ctx, Engine: eng, Kinds: kinds, SchemaName: "PietSchema", Cubes: mdx.Catalog{}, Overlay: ov}
+
+	outSlow, err := base.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outFast, err := fast.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outSlow.MOCount != outFast.MOCount {
+		t.Errorf("MO count: naive %d vs overlay %d", outSlow.MOCount, outFast.MOCount)
+	}
+	a, b := outSlow.GeoIDs["Ln"], outFast.GeoIDs["Ln"]
+	if len(a) != len(b) {
+		t.Fatalf("geo ids: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("geo ids: %v vs %v", a, b)
+		}
+	}
+	if len(outSlow.MOGroups.Rows) != len(outFast.MOGroups.Rows) {
+		t.Fatalf("group rows: %d vs %d", len(outSlow.MOGroups.Rows), len(outFast.MOGroups.Rows))
+	}
+}
+
+// TestFullGISOLAPLoop: region C → fact table with a real Time
+// dimension → materialized cube → MDX, the complete integration the
+// paper's framework promises.
+func TestFullGISOLAPLoop(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 31, Cols: 4, Rows: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 31, Objects: 40, Samples: 50})
+	_, eng := city.Context(fm)
+
+	// Region C: every sample with its neighborhood and raw instant.
+	rel, err := eng.RegionC(fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+		&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
+		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},
+	)), []fo.Var{"o", "t", "nb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Time dimension over the observed instants.
+	var instants []timedim.Instant
+	tIdx, _ := rel.Col("t")
+	seen := map[timedim.Instant]bool{}
+	for _, tup := range rel.Tuples {
+		ts := tup[tIdx].Time()
+		if !seen[ts] {
+			seen[ts] = true
+			instants = append(instants, ts)
+		}
+	}
+	timeDim, err := timedim.AsOLAPDimension(instants)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fact table: counts per (neighborhood, timeId). The t column
+	// renders as "t<unix>"; strip the prefix to match timeId members.
+	counts, err := rel.GroupAggregate(olap.Count, "", []fo.Var{"nb", "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims: []olap.DimCol{
+			{Name: "place", Dimension: city.Neighborhoods, Level: "neighborhood"},
+			{Name: "when", Dimension: timeDim, Level: olap.Level(timedim.CatTimeID)},
+		},
+		Measures: []string{"samples"},
+	})
+	for _, row := range counts.Rows {
+		tid := olap.Member(string(row.Group[1])[1:]) // strip "t"
+		ft.MustAdd([]olap.Member{row.Group[0], tid}, []float64{row.Value})
+	}
+
+	// Cube over (neighborhood, city) × (timeId, hour, timeOfDay).
+	cube, err := olap.Materialize(ft, olap.Sum, "samples", [][]olap.Level{
+		{"neighborhood", "city"},
+		{olap.Level(timedim.CatTimeID), olap.Level(timedim.CatHour), olap.Level(timedim.CatTimeOfDay)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumViews() != 6 {
+		t.Fatalf("views = %d", cube.NumViews())
+	}
+	// The fully rolled-up city × timeOfDay view totals the MOFT size
+	// (every sample lands in exactly one neighborhood here — grid
+	// interiors; boundary double counts would exceed it).
+	view, ok := cube.View("city", olap.Level(timedim.CatTimeOfDay))
+	if !ok {
+		t.Fatal("missing top view")
+	}
+	var total float64
+	for _, row := range view.Rows {
+		total += row.Value
+	}
+	if int(total) < fm.Len() {
+		t.Errorf("cube total %v < MOFT size %d", total, fm.Len())
+	}
+
+	// MDX over the same fact table.
+	res, err := mdx.Run(mdx.Catalog{"C": &mdx.Cube{Name: "C", Fact: ft}},
+		`SELECT {[Measures].[samples]} ON COLUMNS, {[place].[city].[SynthCity]} ON ROWS FROM [C]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0][0] == nil || int(*res.Cells[0][0]) != int(total) {
+		t.Errorf("MDX total = %v, cube total = %v", res.Cells[0][0], total)
+	}
+}

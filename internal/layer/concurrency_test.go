@@ -1,0 +1,48 @@
+package layer
+
+import (
+	"sync"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+// TestConcurrentPointQueries exercises the lazily built indexes from
+// many goroutines simultaneously: the first queries race to build the
+// locator, which must happen exactly once under the mutex. Run with
+// -race to verify.
+func TestConcurrentPointQueries(t *testing.T) {
+	l := New("L")
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			id := Gid(i*10 + j)
+			x, y := float64(i*10), float64(j*10)
+			l.AddPolygon(id, geom.Polygon{Shell: geom.Ring{
+				geom.Pt(x, y), geom.Pt(x+10, y), geom.Pt(x+10, y+10), geom.Pt(x, y+10),
+			}})
+		}
+	}
+	l.AddPolyline(1000, geom.Polyline{geom.Pt(0, 50), geom.Pt(100, 50)})
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				p := geom.Pt(float64((w*7+k*13)%95)+0.5, float64((w*11+k*3)%95)+0.5)
+				if got := l.PolygonsContaining(p); len(got) != 1 {
+					errs <- "PolygonsContaining miss"
+					return
+				}
+				_ = l.PolylinesNear(p, 5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,214 @@
+package layer
+
+import (
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func sq(x, y, s float64) geom.Polygon {
+	return geom.Polygon{Shell: geom.Ring{
+		geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+	}}
+}
+
+func cityLayer(t *testing.T) *Layer {
+	t.Helper()
+	l := New("Ln")
+	l.AddPolygon(1, sq(0, 0, 10))
+	l.AddPolygon(2, sq(10, 0, 10))
+	l.AddPolygon(3, sq(0, 10, 20))
+	l.AddPolyline(10, geom.Polyline{geom.Pt(-5, 5), geom.Pt(25, 5)})
+	l.AddNode(20, geom.Pt(5, 5))
+	l.AddNode(21, geom.Pt(15, 15))
+	l.AddLine(30, geom.Seg(geom.Pt(0, 0), geom.Pt(1, 1)))
+	l.SetAlpha("neighborhood", KindPolygon, "Berchem", 1)
+	l.SetAlpha("neighborhood", KindPolygon, "Zurenborg", 2)
+	l.SetAlpha("neighborhood", KindPolygon, "Noord", 3)
+	l.SetComposition(KindLine, 30, KindPolyline, 10)
+	return l
+}
+
+func TestLayerStorage(t *testing.T) {
+	l := cityLayer(t)
+	if l.Name() != "Ln" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if _, ok := l.Polygon(1); !ok {
+		t.Error("missing polygon 1")
+	}
+	if _, ok := l.Polygon(99); ok {
+		t.Error("unexpected polygon 99")
+	}
+	if _, ok := l.Polyline(10); !ok {
+		t.Error("missing polyline 10")
+	}
+	if _, ok := l.Node(20); !ok {
+		t.Error("missing node 20")
+	}
+	if _, ok := l.Line(30); !ok {
+		t.Error("missing line 30")
+	}
+	if got := l.Count(KindPolygon); got != 3 {
+		t.Errorf("Count polygons = %d", got)
+	}
+	if got := l.IDs(KindPolygon); len(got) != 3 || got[0] != 1 {
+		t.Errorf("IDs = %v", got)
+	}
+	if got := l.IDs(KindAll); len(got) != 1 || got[0] != AllGid {
+		t.Errorf("IDs(All) = %v", got)
+	}
+	if got := l.IDs(KindPoint); got != nil {
+		t.Errorf("IDs(point) = %v (infinite domain has no ids)", got)
+	}
+}
+
+func TestLayerKindsAndBBox(t *testing.T) {
+	l := cityLayer(t)
+	kinds := l.Kinds()
+	want := map[Kind]bool{KindPoint: true, KindAll: true, KindPolygon: true,
+		KindPolyline: true, KindNode: true, KindLine: true}
+	if len(kinds) != len(want) {
+		t.Errorf("Kinds = %v", kinds)
+	}
+	b := l.BBox()
+	if b.MinX != -5 || b.MaxX != 25 || b.MinY != 0 || b.MaxY != 30 {
+		t.Errorf("BBox = %v", b)
+	}
+}
+
+func TestPolygonsContaining(t *testing.T) {
+	l := cityLayer(t)
+	if got := l.PolygonsContaining(geom.Pt(5, 5)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("inside 1 = %v", got)
+	}
+	// Shared edge between polygons 1 and 2 → both (closed semantics).
+	if got := l.PolygonsContaining(geom.Pt(10, 5)); len(got) != 2 {
+		t.Errorf("shared edge = %v", got)
+	}
+	if got := l.PolygonsContaining(geom.Pt(-5, -5)); len(got) != 0 {
+		t.Errorf("outside = %v", got)
+	}
+	// Mutation invalidates the locator.
+	l.AddPolygon(4, sq(-20, -20, 5))
+	if got := l.PolygonsContaining(geom.Pt(-18, -18)); len(got) != 1 || got[0] != 4 {
+		t.Errorf("after mutation = %v", got)
+	}
+}
+
+func TestPolylineQueries(t *testing.T) {
+	l := cityLayer(t)
+	if got := l.PolylinesNear(geom.Pt(5, 7), 2); len(got) != 1 || got[0] != 10 {
+		t.Errorf("near = %v", got)
+	}
+	if got := l.PolylinesNear(geom.Pt(5, 8), 2); len(got) != 0 {
+		t.Errorf("too far = %v", got)
+	}
+	if got := l.PolylinesThrough(geom.Pt(5, 5)); len(got) != 1 {
+		t.Errorf("through = %v", got)
+	}
+	if got := l.PolylinesThrough(geom.Pt(5, 6)); len(got) != 0 {
+		t.Errorf("not through = %v", got)
+	}
+}
+
+func TestNodesNear(t *testing.T) {
+	l := cityLayer(t)
+	if got := l.NodesNear(geom.Pt(6, 5), 1); len(got) != 1 || got[0] != 20 {
+		t.Errorf("NodesNear = %v", got)
+	}
+	if got := l.NodesNear(geom.Pt(10, 10), 100); len(got) != 2 {
+		t.Errorf("NodesNear wide = %v", got)
+	}
+	if got := l.NodesNear(geom.Pt(100, 100), 1); len(got) != 0 {
+		t.Errorf("NodesNear none = %v", got)
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	l := cityLayer(t)
+	kind, id, ok := l.Alpha("neighborhood", "Berchem")
+	if !ok || kind != KindPolygon || id != 1 {
+		t.Errorf("Alpha = %v,%v,%v", kind, id, ok)
+	}
+	if _, _, ok := l.Alpha("neighborhood", "Nowhere"); ok {
+		t.Error("unexpected member")
+	}
+	if _, _, ok := l.Alpha("river", "Scheldt"); ok {
+		t.Error("unexpected attr")
+	}
+	ms := l.AlphaMembers("neighborhood")
+	if len(ms) != 3 || ms[0] != "Berchem" {
+		t.Errorf("AlphaMembers = %v", ms)
+	}
+	if l.AlphaMembers("nope") != nil {
+		t.Error("AlphaMembers for unknown attr")
+	}
+	m, ok := l.AlphaInverse("neighborhood", 2)
+	if !ok || m != "Zurenborg" {
+		t.Errorf("AlphaInverse = %q,%v", m, ok)
+	}
+	if _, ok := l.AlphaInverse("neighborhood", 99); ok {
+		t.Error("AlphaInverse for unknown id")
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	l := cityLayer(t)
+	ps := l.Parents(KindLine, 30, KindPolyline)
+	if len(ps) != 1 || ps[0] != 10 {
+		t.Errorf("Parents = %v", ps)
+	}
+	if ps := l.Parents(KindLine, 30, KindAll); len(ps) != 1 || ps[0] != AllGid {
+		t.Errorf("Parents(All) = %v", ps)
+	}
+	cs := l.Children(KindLine, KindPolyline, 10)
+	if len(cs) != 1 || cs[0] != 30 {
+		t.Errorf("Children = %v", cs)
+	}
+	if cs := l.Children(KindLine, KindPolyline, 99); len(cs) != 0 {
+		t.Errorf("Children(99) = %v", cs)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	l := cityLayer(t)
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	l.SetComposition(KindLine, 999, KindPolyline, 10)
+	if err := l.Validate(); err == nil {
+		t.Error("expected missing-child error")
+	}
+	l2 := cityLayer(t)
+	l2.SetComposition(KindLine, 30, KindPolyline, 999)
+	if err := l2.Validate(); err == nil {
+		t.Error("expected missing-parent error")
+	}
+	l3 := cityLayer(t)
+	l3.SetAlpha("school", KindNode, "S1", 999)
+	if err := l3.Validate(); err == nil {
+		t.Error("expected missing-alpha error")
+	}
+}
+
+func TestNodesNearest(t *testing.T) {
+	l := New("L")
+	l.AddNode(1, geom.Pt(0, 0))
+	l.AddNode(2, geom.Pt(10, 0))
+	l.AddNode(3, geom.Pt(0, 10))
+	l.AddNode(4, geom.Pt(50, 50))
+	got := l.NodesNearest(geom.Pt(1, 1), 2)
+	if len(got) != 2 || got[0] != 1 {
+		t.Errorf("NodesNearest = %v", got)
+	}
+	// Mutation invalidates the node index.
+	l.AddNode(5, geom.Pt(1, 1))
+	got = l.NodesNearest(geom.Pt(1, 1), 1)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("after mutation = %v", got)
+	}
+	if got := New("E").NodesNearest(geom.Pt(0, 0), 3); len(got) != 0 {
+		t.Errorf("empty layer = %v", got)
+	}
+}

@@ -1,0 +1,47 @@
+package mdx
+
+import "strings"
+
+// MemberExpr is one element of an axis set: either a measure
+// reference ([Measures].[population]), an explicit member
+// ([place].[neighborhood].[Meir]), or a level enumeration
+// ([place].[neighborhood].Members).
+type MemberExpr struct {
+	Dimension  string // "Measures" for measure references
+	Level      string
+	Member     string // empty for .Members enumerations
+	AllMembers bool   // true for .Members
+}
+
+// IsMeasure reports whether the expression references a measure.
+func (m MemberExpr) IsMeasure() bool { return strings.EqualFold(m.Dimension, "Measures") }
+
+// String renders the expression in MDX syntax.
+func (m MemberExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("[" + m.Dimension + "]")
+	if m.Level != "" {
+		sb.WriteString(".[" + m.Level + "]")
+	}
+	if m.AllMembers {
+		sb.WriteString(".Members")
+	} else if m.Member != "" {
+		sb.WriteString(".[" + m.Member + "]")
+	}
+	return sb.String()
+}
+
+// Axis is one SELECT axis: a set of member expressions bound to
+// COLUMNS or ROWS.
+type Axis struct {
+	Set  []MemberExpr
+	Name string // "COLUMNS" or "ROWS"
+}
+
+// Query is a parsed MDX query.
+type Query struct {
+	Columns []MemberExpr
+	Rows    []MemberExpr
+	Cube    string
+	Slicer  []MemberExpr // WHERE tuple, possibly empty
+}

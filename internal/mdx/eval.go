@@ -1,0 +1,167 @@
+package mdx
+
+import (
+	"fmt"
+	"strings"
+
+	"mogis/internal/olap"
+)
+
+// Cube binds a fact table to a name for MDX evaluation. Measures
+// aggregate with SUM over the cells selected by the axes and slicer,
+// the implicit MDX aggregation for additive measures.
+type Cube struct {
+	Name string
+	Fact *olap.FactTable
+}
+
+// Catalog resolves cube names.
+type Catalog map[string]*Cube
+
+// Result is an evaluated MDX query: a matrix of cell values with
+// row/column headers. Cells that aggregate no facts are nil.
+type Result struct {
+	ColumnHeaders []string
+	RowHeaders    []string
+	Cells         [][]*float64
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("\t" + strings.Join(r.ColumnHeaders, "\t") + "\n")
+	for i, rh := range r.RowHeaders {
+		sb.WriteString(rh)
+		for _, c := range r.Cells[i] {
+			if c == nil {
+				sb.WriteString("\t-")
+			} else {
+				fmt.Fprintf(&sb, "\t%g", *c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Eval executes a parsed query against the catalog.
+func Eval(cat Catalog, q *Query) (*Result, error) {
+	cube, ok := cat[q.Cube]
+	if !ok {
+		return nil, fmt.Errorf("mdx: unknown cube %q", q.Cube)
+	}
+	if len(q.Columns) == 0 {
+		return nil, fmt.Errorf("mdx: query needs a COLUMNS axis")
+	}
+	// Measures must all live on one axis; we support them on COLUMNS
+	// (the usual layout and the one Piet-QL emits).
+	for _, m := range q.Columns {
+		if !m.IsMeasure() {
+			return nil, fmt.Errorf("mdx: COLUMNS axis must contain only measures, got %s", m)
+		}
+	}
+	for _, m := range q.Rows {
+		if m.IsMeasure() {
+			return nil, fmt.Errorf("mdx: measures belong on COLUMNS, got %s on ROWS", m)
+		}
+	}
+
+	ft := cube.Fact
+	// Apply the slicer: restrict facts by each slicer member.
+	for _, s := range q.Slicer {
+		if s.IsMeasure() {
+			return nil, fmt.Errorf("mdx: measure %s cannot appear in WHERE", s)
+		}
+		if s.AllMembers || s.Member == "" {
+			return nil, fmt.Errorf("mdx: slicer needs explicit members, got %s", s)
+		}
+		var err error
+		ft, err = ft.Slice(s.Dimension, olap.Level(s.Level), olap.Member(s.Member))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Row axis: expand to the list of (header, filterLevel, member).
+	type rowSpec struct {
+		header  string
+		dimName string
+		level   olap.Level
+		member  olap.Member
+	}
+	var rows []rowSpec
+	if len(q.Rows) == 0 {
+		rows = append(rows, rowSpec{header: "(all)"})
+	}
+	for _, r := range q.Rows {
+		if r.AllMembers {
+			dim, err := findDim(ft, r.Dimension)
+			if err != nil {
+				return nil, err
+			}
+			if dim.Dimension == nil {
+				return nil, fmt.Errorf("mdx: dimension column %q has no dimension instance for .Members", r.Dimension)
+			}
+			for _, m := range dim.Dimension.Members(olap.Level(r.Level)) {
+				rows = append(rows, rowSpec{
+					header: string(m), dimName: r.Dimension,
+					level: olap.Level(r.Level), member: m,
+				})
+			}
+		} else {
+			rows = append(rows, rowSpec{
+				header: r.Member, dimName: r.Dimension,
+				level: olap.Level(r.Level), member: olap.Member(r.Member),
+			})
+		}
+	}
+
+	res := &Result{}
+	for _, c := range q.Columns {
+		res.ColumnHeaders = append(res.ColumnHeaders, c.Member)
+	}
+	for _, rs := range rows {
+		res.RowHeaders = append(res.RowHeaders, rs.header)
+		rft := ft
+		if rs.dimName != "" {
+			var err error
+			rft, err = ft.Slice(rs.dimName, rs.level, rs.member)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cells []*float64
+		for _, c := range q.Columns {
+			agg, err := rft.RollupAggregate(olap.Sum, c.Member, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(agg.Rows) == 0 {
+				cells = append(cells, nil)
+			} else {
+				v := agg.Rows[0].Value
+				cells = append(cells, &v)
+			}
+		}
+		res.Cells = append(res.Cells, cells)
+	}
+	return res, nil
+}
+
+func findDim(ft *olap.FactTable, name string) (olap.DimCol, error) {
+	for _, d := range ft.Schema().Dims {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return olap.DimCol{}, fmt.Errorf("mdx: fact table has no dimension column %q", name)
+}
+
+// Run parses and evaluates in one step.
+func Run(cat Catalog, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(cat, q)
+}

@@ -1,0 +1,215 @@
+package mdx
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/olap"
+)
+
+func testCatalog(t *testing.T) Catalog {
+	t.Helper()
+	geo := olap.NewSchema("place").AddEdge("neighborhood", "city")
+	dim := olap.NewDimension(geo)
+	dim.SetRollup("neighborhood", "Meir", "city", "Antwerp")
+	dim.SetRollup("neighborhood", "Dam", "city", "Antwerp")
+	dim.SetRollup("neighborhood", "Ixelles", "city", "Brussels")
+
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims: []olap.DimCol{
+			{Name: "place", Dimension: dim, Level: "neighborhood"},
+			{Name: "year", Level: "year"},
+		},
+		Measures: []string{"population", "stores"},
+	})
+	ft.MustAdd([]olap.Member{"Meir", "2005"}, []float64{60000, 12})
+	ft.MustAdd([]olap.Member{"Dam", "2005"}, []float64{45000, 8})
+	ft.MustAdd([]olap.Member{"Meir", "2006"}, []float64{61000, 13})
+	ft.MustAdd([]olap.Member{"Ixelles", "2006"}, []float64{80000, 20})
+	return Catalog{"CityCube": &Cube{Name: "CityCube", Fact: ft}}
+}
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse(`SELECT {[Measures].[population]} ON COLUMNS,
+		{[place].[neighborhood].Members} ON ROWS
+		FROM [CityCube]
+		WHERE ([year].[year].[2005])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Columns) != 1 || !q.Columns[0].IsMeasure() || q.Columns[0].Member != "population" {
+		t.Errorf("columns = %+v", q.Columns)
+	}
+	if len(q.Rows) != 1 || !q.Rows[0].AllMembers || q.Rows[0].Level != "neighborhood" {
+		t.Errorf("rows = %+v", q.Rows)
+	}
+	if q.Cube != "CityCube" {
+		t.Errorf("cube = %q", q.Cube)
+	}
+	if len(q.Slicer) != 1 || q.Slicer[0].Member != "2005" {
+		t.Errorf("slicer = %+v", q.Slicer)
+	}
+}
+
+func TestParseAxisOrderIndependent(t *testing.T) {
+	q, err := Parse(`SELECT {[place].[neighborhood].[Meir]} ON ROWS,
+		{[Measures].[stores]} ON COLUMNS FROM CityCube`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Columns) != 1 || len(q.Rows) != 1 {
+		t.Errorf("axes = %+v / %+v", q.Columns, q.Rows)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT {[Measures].[x]} ON COLUMNS`, // missing FROM
+		`SELECT {[Measures].[x]} ON SIDEWAYS FROM c`,                             // bad axis
+		`SELECT {[Measures].[x]} ON COLUMNS, {[Measures].[y]} ON COLUMNS FROM c`, // dup axis
+		`SELECT {[Measures]} ON COLUMNS FROM c`,                                  // bare dimension
+		`SELECT {[a].[b]} ON ROWS FROM c`,                                        // level without member
+		`SELECT {[a].[b].[c].[d]} ON ROWS FROM c`,                                // too many parts
+		`SELECT {[a].[b].Members.[c]} ON ROWS FROM c`,                            // member after Members
+		`SELECT {[Measures].[x]} ON COLUMNS FROM c WHERE [a].[b].[c]`,            // slicer not a tuple
+		`SELECT {[Measures].[x]} ON COLUMNS FROM c extra`,                        // trailing
+		`SELECT {[Measures].[x} ON COLUMNS FROM c`,                               // unterminated bracket
+		`SELECT {[Measures].[x]} ON COLUMNS FROM c WHERE ([a].[b].Members)`,      // Members in slicer is eval error, parse ok
+	}
+	for i, in := range cases {
+		if i == len(cases)-1 {
+			continue // last one parses
+		}
+		if _, err := Parse(in); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, in)
+		}
+	}
+}
+
+func TestEvalMembersRows(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Run(cat, `SELECT {[Measures].[population], [Measures].[stores]} ON COLUMNS,
+		{[place].[neighborhood].Members} ON ROWS FROM [CityCube]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ColumnHeaders) != 2 || len(res.RowHeaders) != 3 {
+		t.Fatalf("shape = %v x %v", res.RowHeaders, res.ColumnHeaders)
+	}
+	// Meir total population across years: 121000.
+	if got := cellFor(res, "Meir", 0); got == nil || *got != 121000 {
+		t.Errorf("Meir population = %v", fmtCell(got))
+	}
+	if got := cellFor(res, "Dam", 1); got == nil || *got != 8 {
+		t.Errorf("Dam stores = %v", fmtCell(got))
+	}
+}
+
+func TestEvalSlicer(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Run(cat, `SELECT {[Measures].[population]} ON COLUMNS,
+		{[place].[neighborhood].Members} ON ROWS
+		FROM [CityCube] WHERE ([year].[year].[2005])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellFor(res, "Meir", 0); got == nil || *got != 60000 {
+		t.Errorf("Meir 2005 = %v", fmtCell(got))
+	}
+	// Ixelles has no 2005 fact: nil cell.
+	if got := cellFor(res, "Ixelles", 0); got != nil {
+		t.Errorf("Ixelles 2005 = %v, want empty", *got)
+	}
+}
+
+func TestEvalCityLevelRows(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Run(cat, `SELECT {[Measures].[population]} ON COLUMNS,
+		{[place].[city].[Antwerp], [place].[city].[Brussels]} ON ROWS FROM [CityCube]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellFor(res, "Antwerp", 0); got == nil || *got != 60000+45000+61000 {
+		t.Errorf("Antwerp = %v", fmtCell(got))
+	}
+	if got := cellFor(res, "Brussels", 0); got == nil || *got != 80000 {
+		t.Errorf("Brussels = %v", fmtCell(got))
+	}
+}
+
+func TestEvalNoRowsAxis(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Run(cat, `SELECT {[Measures].[stores]} ON COLUMNS FROM [CityCube]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RowHeaders) != 1 || res.RowHeaders[0] != "(all)" {
+		t.Fatalf("rows = %v", res.RowHeaders)
+	}
+	if *res.Cells[0][0] != 53 {
+		t.Errorf("total stores = %v", *res.Cells[0][0])
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []string{
+		`SELECT {[Measures].[population]} ON COLUMNS FROM [Nope]`,
+		`SELECT {[place].[neighborhood].[Meir]} ON COLUMNS FROM [CityCube]`,                            // non-measure on columns
+		`SELECT {[Measures].[population]} ON COLUMNS, {[Measures].[stores]} ON ROWS FROM [CityCube]`,   // measure on rows
+		`SELECT {[Measures].[population]} ON COLUMNS FROM [CityCube] WHERE ([Measures].[stores])`,      // measure slicer
+		`SELECT {[Measures].[population]} ON COLUMNS FROM [CityCube] WHERE ([year].[year].Members)`,    // Members slicer
+		`SELECT {[Measures].[population]} ON COLUMNS, {[ghost].[x].Members} ON ROWS FROM [CityCube]`,   // unknown dim
+		`SELECT {[Measures].[population]} ON COLUMNS, {[year].[year].Members} ON ROWS FROM [CityCube]`, // no dim instance
+		`SELECT {[Measures].[ghost]} ON COLUMNS FROM [CityCube]`,                                       // unknown measure
+	}
+	for i, in := range cases {
+		if _, err := Run(cat, in); err == nil {
+			t.Errorf("case %d: expected eval error for %q", i, in)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cat := testCatalog(t)
+	res, _ := Run(cat, `SELECT {[Measures].[population]} ON COLUMNS,
+		{[place].[neighborhood].Members} ON ROWS
+		FROM [CityCube] WHERE ([year].[year].[2005])`)
+	s := res.String()
+	if !strings.Contains(s, "Meir\t60000") || !strings.Contains(s, "Ixelles\t-") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMemberExprString(t *testing.T) {
+	m := MemberExpr{Dimension: "place", Level: "neighborhood", Member: "Meir"}
+	if m.String() != "[place].[neighborhood].[Meir]" {
+		t.Errorf("String = %q", m.String())
+	}
+	m2 := MemberExpr{Dimension: "place", Level: "city", AllMembers: true}
+	if m2.String() != "[place].[city].Members" {
+		t.Errorf("String = %q", m2.String())
+	}
+	m3 := MemberExpr{Dimension: "Measures", Member: "population"}
+	if m3.String() != "[Measures].[population]" {
+		t.Errorf("String = %q", m3.String())
+	}
+}
+
+func cellFor(res *Result, rowHeader string, col int) *float64 {
+	for i, rh := range res.RowHeaders {
+		if rh == rowHeader {
+			return res.Cells[i][col]
+		}
+	}
+	return nil
+}
+
+func fmtCell(c *float64) any {
+	if c == nil {
+		return "nil"
+	}
+	return *c
+}

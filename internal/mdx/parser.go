@@ -1,0 +1,250 @@
+package mdx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses an MDX query of the form
+//
+//	SELECT { set } ON COLUMNS [ , { set } ON ROWS ]
+//	FROM [cube]
+//	[ WHERE ( tuple ) ]
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("mdx: expected %v at position %d, got %v %q", kind, t.pos, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("mdx: expected %q at position %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	// First axis.
+	axis1, name1, err := p.parseAxis()
+	if err != nil {
+		return nil, err
+	}
+	if err := assignAxis(q, axis1, name1); err != nil {
+		return nil, err
+	}
+	// Optional second axis.
+	if p.peek().kind == tokComma {
+		p.next()
+		axis2, name2, err := p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+		if err := assignAxis(q, axis2, name2); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	cube, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	q.Cube = cube
+	// Optional WHERE slicer.
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "WHERE") {
+		p.next()
+		slicer, err := p.parseTuple()
+		if err != nil {
+			return nil, err
+		}
+		q.Slicer = slicer
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("mdx: trailing input at position %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+func assignAxis(q *Query, set []MemberExpr, name string) error {
+	switch strings.ToUpper(name) {
+	case "COLUMNS":
+		if q.Columns != nil {
+			return fmt.Errorf("mdx: COLUMNS axis specified twice")
+		}
+		q.Columns = set
+	case "ROWS":
+		if q.Rows != nil {
+			return fmt.Errorf("mdx: ROWS axis specified twice")
+		}
+		q.Rows = set
+	default:
+		return fmt.Errorf("mdx: unknown axis %q (want COLUMNS or ROWS)", name)
+	}
+	return nil
+}
+
+// parseAxis parses "{ set } ON COLUMNS|ROWS".
+func (p *parser) parseAxis() ([]MemberExpr, string, error) {
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, "", err
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, "", err
+	}
+	return set, t.text, nil
+}
+
+// parseSet parses "{ member, member, ... }".
+func (p *parser) parseSet() ([]MemberExpr, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []MemberExpr
+	for {
+		m, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseTuple parses "( member, member, ... )".
+func (p *parser) parseTuple() ([]MemberExpr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []MemberExpr
+	for {
+		m, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseMember parses "[a].[b]", "[a].[b].[c]" or "[a].[b].Members".
+func (p *parser) parseMember() (MemberExpr, error) {
+	var parts []string
+	allMembers := false
+	t, err := p.expect(tokBracketed)
+	if err != nil {
+		return MemberExpr{}, err
+	}
+	parts = append(parts, t.text)
+	for p.peek().kind == tokDot {
+		p.next()
+		nt := p.next()
+		switch {
+		case nt.kind == tokBracketed:
+			parts = append(parts, nt.text)
+		case nt.kind == tokIdent && strings.EqualFold(nt.text, "Members"):
+			allMembers = true
+		default:
+			return MemberExpr{}, fmt.Errorf("mdx: expected bracketed name or Members at position %d, got %q", nt.pos, nt.text)
+		}
+		if allMembers {
+			break
+		}
+	}
+	m := MemberExpr{Dimension: parts[0], AllMembers: allMembers}
+	switch len(parts) {
+	case 1:
+		// [Measures] alone is invalid; [dim].Members without a level is
+		// rejected too.
+		if !allMembers {
+			return MemberExpr{}, fmt.Errorf("mdx: member %q needs a level or member part", parts[0])
+		}
+		return MemberExpr{}, fmt.Errorf("mdx: [%s].Members needs a level", parts[0])
+	case 2:
+		if m.IsMeasure() {
+			m.Member = parts[1] // [Measures].[population]
+		} else {
+			m.Level = parts[1] // [dim].[level](.Members)
+			if !allMembers {
+				return MemberExpr{}, fmt.Errorf("mdx: [%s].[%s] needs .Members or a member", parts[0], parts[1])
+			}
+		}
+	case 3:
+		m.Level = parts[1]
+		m.Member = parts[2]
+		if allMembers {
+			return MemberExpr{}, fmt.Errorf("mdx: cannot combine explicit member with .Members")
+		}
+	default:
+		return MemberExpr{}, fmt.Errorf("mdx: too many name parts in member expression")
+	}
+	return m, nil
+}
+
+// parseName parses a cube name: either [bracketed] or a bare
+// identifier.
+func (p *parser) parseName() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokBracketed, tokIdent:
+		return t.text, nil
+	default:
+		return "", fmt.Errorf("mdx: expected cube name at position %d, got %q", t.pos, t.text)
+	}
+}

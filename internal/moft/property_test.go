@@ -1,0 +1,114 @@
+package moft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogis/internal/timedim"
+)
+
+// Property: Tuples() is always sorted by (Oid, T) regardless of
+// insertion order, and contains exactly the inserted rows.
+func TestTuplesSortedProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New("T")
+		type key struct {
+			o Oid
+			t timedim.Instant
+		}
+		inserted := map[key]int{}
+		for i := 0; i < int(n); i++ {
+			o := Oid(rng.Intn(5))
+			ts := timedim.Instant(rng.Intn(100))
+			tb.Add(o, ts, rng.Float64(), rng.Float64())
+			inserted[key{o, ts}]++
+		}
+		tps := tb.Tuples()
+		if len(tps) != int(n) {
+			return false
+		}
+		seen := map[key]int{}
+		for i, tp := range tps {
+			if i > 0 {
+				prev := tps[i-1]
+				if prev.Oid > tp.Oid || (prev.Oid == tp.Oid && prev.T > tp.T) {
+					return false
+				}
+			}
+			seen[key{tp.Oid, tp.T}]++
+		}
+		for k, c := range inserted {
+			if seen[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter output is a subset preserving order, and
+// Filter(true) is the identity.
+func TestFilterProperty(t *testing.T) {
+	f := func(seed int64, n uint8, threshold uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New("T")
+		for i := 0; i < int(n); i++ {
+			tb.Add(Oid(rng.Intn(4)), timedim.Instant(rng.Intn(50)), rng.Float64()*100, 0)
+		}
+		th := float64(threshold % 100)
+		sub := tb.Filter("_f", func(tp Tuple) bool { return tp.X < th })
+		all := tb.Filter("_all", func(Tuple) bool { return true })
+		if all.Len() != tb.Len() {
+			return false
+		}
+		// Every sub tuple satisfies the predicate and appears in tb.
+		for _, tp := range sub.Tuples() {
+			if tp.X >= th {
+				return false
+			}
+		}
+		return sub.Len() <= tb.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ScanInterval visits exactly the tuples with T in range.
+func TestScanIntervalProperty(t *testing.T) {
+	f := func(seed int64, n uint8, lo8, hi8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New("T")
+		for i := 0; i < int(n); i++ {
+			tb.Add(Oid(rng.Intn(4)), timedim.Instant(rng.Intn(60)), 0, 0)
+		}
+		lo, hi := timedim.Instant(lo8%60), timedim.Instant(hi8%60)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		iv := timedim.Interval{Lo: lo, Hi: hi}
+		var visited int
+		tb.ScanInterval(iv, func(tp Tuple) bool {
+			if tp.T < lo || tp.T > hi {
+				visited = -1 << 20
+			}
+			visited++
+			return true
+		})
+		var want int
+		for _, tp := range tb.Tuples() {
+			if tp.T >= lo && tp.T <= hi {
+				want++
+			}
+		}
+		return visited == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

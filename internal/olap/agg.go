@@ -1,0 +1,93 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc names an aggregate function from the paper's AGG set
+// (Definition 7).
+type AggFunc string
+
+// The extension of AGG in Definition 7.
+const (
+	Min   AggFunc = "MIN"
+	Max   AggFunc = "MAX"
+	Count AggFunc = "COUNT"
+	Sum   AggFunc = "SUM"
+	Avg   AggFunc = "AVG"
+)
+
+// ParseAggFunc resolves a (case-sensitive) aggregate function name.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch AggFunc(s) {
+	case Min, Max, Count, Sum, Avg:
+		return AggFunc(s), nil
+	}
+	return "", fmt.Errorf("olap: unknown aggregate function %q", s)
+}
+
+// Accumulator incrementally computes one aggregate over float64
+// inputs.
+type Accumulator struct {
+	fn  AggFunc
+	n   int64
+	sum float64
+	min float64
+	max float64
+}
+
+// NewAccumulator returns an empty accumulator for fn.
+func NewAccumulator(fn AggFunc) *Accumulator {
+	return &Accumulator{fn: fn, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add feeds one value.
+func (a *Accumulator) Add(v float64) {
+	a.n++
+	a.sum += v
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+// AddCount feeds one row for COUNT without a measure value.
+func (a *Accumulator) AddCount() { a.n++ }
+
+// N returns the number of inputs seen.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Result returns the aggregate value; ok=false when the input was
+// empty and the aggregate is undefined (all but COUNT).
+func (a *Accumulator) Result() (float64, bool) {
+	if a.fn == Count {
+		return float64(a.n), true
+	}
+	if a.n == 0 {
+		return 0, false
+	}
+	switch a.fn {
+	case Min:
+		return a.min, true
+	case Max:
+		return a.max, true
+	case Sum:
+		return a.sum, true
+	case Avg:
+		return a.sum / float64(a.n), true
+	default:
+		return 0, false
+	}
+}
+
+// Aggregate applies fn to a slice of values in one shot.
+func Aggregate(fn AggFunc, vals []float64) (float64, bool) {
+	acc := NewAccumulator(fn)
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Result()
+}

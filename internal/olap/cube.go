@@ -1,0 +1,230 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cube is a materialized data cube: the γ aggregation of one measure
+// precomputed at every requested combination of dimension levels, the
+// structure the paper's Section 1 places at the heart of OLAP ("data
+// is perceived as a data cube, where each cell contains a measure").
+//
+// Views at coarser levels are derived from the finest materialized
+// view when the aggregate function is distributive (SUM, COUNT, MIN,
+// MAX) — the classical summarizability optimization; AVG views are
+// computed from SUM and COUNT views.
+type Cube struct {
+	fact    *FactTable
+	fn      AggFunc
+	measure string
+	levels  [][]Level // per dimension column: levels to materialize, finest first
+	views   map[string]*AggResult
+}
+
+// Materialize precomputes the cube. levelsPerDim lists, for each
+// dimension column of the fact table (same order), the levels to
+// materialize; each list must start with the column's stored level
+// (the finest view) and contain only levels reachable from it.
+func Materialize(ft *FactTable, fn AggFunc, measure string, levelsPerDim [][]Level) (*Cube, error) {
+	if len(levelsPerDim) != len(ft.Schema().Dims) {
+		return nil, fmt.Errorf("olap: got levels for %d dims, fact table has %d",
+			len(levelsPerDim), len(ft.Schema().Dims))
+	}
+	for i, dc := range ft.Schema().Dims {
+		if len(levelsPerDim[i]) == 0 {
+			return nil, fmt.Errorf("olap: dimension %q has no levels to materialize", dc.Name)
+		}
+		if levelsPerDim[i][0] != dc.Level {
+			return nil, fmt.Errorf("olap: dimension %q: first level must be the stored level %q, got %q",
+				dc.Name, dc.Level, levelsPerDim[i][0])
+		}
+		for _, l := range levelsPerDim[i][1:] {
+			if dc.Dimension == nil {
+				return nil, fmt.Errorf("olap: dimension %q has no instance to roll up to %q", dc.Name, l)
+			}
+			if !dc.Dimension.Schema().PathExists(dc.Level, l) {
+				return nil, fmt.Errorf("olap: dimension %q: no path %s→%s", dc.Name, dc.Level, l)
+			}
+		}
+	}
+	c := &Cube{fact: ft, fn: fn, measure: measure, levels: levelsPerDim, views: map[string]*AggResult{}}
+
+	// Enumerate all level combinations (cross product).
+	combos := [][]Level{{}}
+	for _, ls := range levelsPerDim {
+		var next [][]Level
+		for _, combo := range combos {
+			for _, l := range ls {
+				next = append(next, append(append([]Level(nil), combo...), l))
+			}
+		}
+		combos = next
+	}
+	// The finest view first.
+	finest := make([]Level, len(levelsPerDim))
+	for i, ls := range levelsPerDim {
+		finest[i] = ls[0]
+	}
+	if err := c.materializeView(finest); err != nil {
+		return nil, err
+	}
+	for _, combo := range combos {
+		if viewKey(combo) == viewKey(finest) {
+			continue
+		}
+		if err := c.materializeView(combo); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func viewKey(levels []Level) string {
+	parts := make([]string, len(levels))
+	for i, l := range levels {
+		parts[i] = string(l)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// materializeView computes one view, reusing the finest view for
+// distributive aggregates.
+func (c *Cube) materializeView(levels []Level) error {
+	finest := make([]Level, len(c.levels))
+	for i, ls := range c.levels {
+		finest[i] = ls[0]
+	}
+	if viewKey(levels) != viewKey(finest) && c.fn != Avg {
+		if base, ok := c.views[viewKey(finest)]; ok {
+			derived, err := c.deriveView(base, finest, levels)
+			if err == nil {
+				c.views[viewKey(levels)] = derived
+				return nil
+			}
+			// Fall through to direct computation on derivation errors.
+		}
+	}
+	specs := make([]GroupSpec, len(levels))
+	for i, l := range levels {
+		specs[i] = GroupSpec{DimName: c.fact.Schema().Dims[i].Name, ToLevel: l}
+	}
+	res, err := c.fact.RollupAggregate(c.fn, c.measure, specs)
+	if err != nil {
+		return err
+	}
+	c.views[viewKey(levels)] = res
+	return nil
+}
+
+// deriveView re-aggregates a finer view's rows to coarser levels via
+// dimension rollups — valid only for distributive functions.
+func (c *Cube) deriveView(base *AggResult, from, to []Level) (*AggResult, error) {
+	dims := c.fact.Schema().Dims
+	accs := make(map[string]*Accumulator)
+	keys := make(map[string][]Member)
+	for _, row := range base.Rows {
+		key := make([]Member, len(to))
+		ok := true
+		for i := range to {
+			m := row.Group[i]
+			if to[i] != from[i] {
+				up, found := dims[i].Dimension.Rollup(from[i], to[i], m)
+				if !found {
+					ok = false
+					break
+				}
+				m = up
+			}
+			key[i] = m
+		}
+		if !ok {
+			continue
+		}
+		ks := joinKey(key)
+		acc := accs[ks]
+		if acc == nil {
+			acc = NewAccumulator(c.fn)
+			accs[ks] = acc
+			keys[ks] = key
+		}
+		// Distributive re-aggregation: feed the sub-aggregate. COUNT
+		// sums sub-counts, so it re-enters as a SUM over counts.
+		if c.fn == Count {
+			for k := int64(0); k < row.N; k++ {
+				acc.AddCount()
+			}
+		} else {
+			acc.Add(row.Value)
+		}
+	}
+	cols := make([]string, len(to))
+	for i, l := range to {
+		cols[i] = fmt.Sprintf("%s@%s", dims[i].Name, l)
+	}
+	out := &AggResult{GroupCols: cols}
+	for ks, acc := range accs {
+		v, ok := acc.Result()
+		if !ok {
+			continue
+		}
+		out.Rows = append(out.Rows, AggResultRow{Group: keys[ks], Value: v, N: acc.N()})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		return joinKey(out.Rows[i].Group) < joinKey(out.Rows[j].Group)
+	})
+	return out, nil
+}
+
+// View returns the materialized view at the given level combination.
+func (c *Cube) View(levels ...Level) (*AggResult, bool) {
+	v, ok := c.views[viewKey(levels)]
+	return v, ok
+}
+
+// Value returns one cell of a view.
+func (c *Cube) Value(levels []Level, key ...Member) (float64, bool) {
+	v, ok := c.View(levels...)
+	if !ok {
+		return 0, false
+	}
+	return v.Lookup(key...)
+}
+
+// NumViews returns the number of materialized views.
+func (c *Cube) NumViews() int { return len(c.views) }
+
+// RollUp returns the view one level coarser than `levels` along
+// dimension column dimIdx (the next level in the materialization
+// list), with ok=false at the coarsest materialized level.
+func (c *Cube) RollUp(levels []Level, dimIdx int) ([]Level, bool) {
+	return c.step(levels, dimIdx, +1)
+}
+
+// DrillDown returns the view one level finer along dimension column
+// dimIdx, with ok=false at the finest level.
+func (c *Cube) DrillDown(levels []Level, dimIdx int) ([]Level, bool) {
+	return c.step(levels, dimIdx, -1)
+}
+
+func (c *Cube) step(levels []Level, dimIdx, delta int) ([]Level, bool) {
+	if dimIdx < 0 || dimIdx >= len(levels) {
+		return nil, false
+	}
+	ls := c.levels[dimIdx]
+	cur := -1
+	for i, l := range ls {
+		if l == levels[dimIdx] {
+			cur = i
+			break
+		}
+	}
+	next := cur + delta
+	if cur < 0 || next < 0 || next >= len(ls) {
+		return nil, false
+	}
+	out := append([]Level(nil), levels...)
+	out[dimIdx] = ls[next]
+	return out, true
+}

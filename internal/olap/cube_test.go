@@ -1,0 +1,171 @@
+package olap
+
+import (
+	"math"
+	"testing"
+)
+
+func cubeFixture(t *testing.T) (*FactTable, *Dimension) {
+	t.Helper()
+	d := antwerpDim(t)
+	timeDim := NewDimension(NewSchema("When").AddEdge("year", "decade"))
+	timeDim.SetRollup("year", "2005", "decade", "2000s")
+	timeDim.SetRollup("year", "2006", "decade", "2000s")
+	ft := NewFactTable(FactSchema{
+		Dims: []DimCol{
+			{Name: "place", Dimension: d, Level: "neighborhood"},
+			{Name: "when", Dimension: timeDim, Level: "year"},
+		},
+		Measures: []string{"population"},
+	})
+	ft.MustAdd([]Member{"Berchem", "2005"}, []float64{40000})
+	ft.MustAdd([]Member{"Zurenborg", "2005"}, []float64{12000})
+	ft.MustAdd([]Member{"Ixelles", "2005"}, []float64{80000})
+	ft.MustAdd([]Member{"Berchem", "2006"}, []float64{42000})
+	ft.MustAdd([]Member{"Zurenborg", "2006"}, []float64{12500})
+	ft.MustAdd([]Member{"Ixelles", "2006"}, []float64{81000})
+	return ft, d
+}
+
+func cubeLevels() [][]Level {
+	return [][]Level{
+		{"neighborhood", "city", "country"},
+		{"year", "decade"},
+	}
+}
+
+func TestMaterializeViews(t *testing.T) {
+	ft, _ := cubeFixture(t)
+	c, err := Materialize(ft, Sum, "population", cubeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 place levels × 2 time levels = 6 views.
+	if c.NumViews() != 6 {
+		t.Fatalf("views = %d", c.NumViews())
+	}
+	// Finest view.
+	if v, ok := c.Value([]Level{"neighborhood", "year"}, "Berchem", "2005"); !ok || v != 40000 {
+		t.Errorf("finest cell = %v,%v", v, ok)
+	}
+	// Rolled up to city × year (derived from the finest view).
+	if v, ok := c.Value([]Level{"city", "year"}, "Antwerp", "2005"); !ok || v != 52000 {
+		t.Errorf("city cell = %v,%v", v, ok)
+	}
+	// Fully rolled up.
+	if v, ok := c.Value([]Level{"country", "decade"}, "Belgium", "2000s"); !ok || v != 267500 {
+		t.Errorf("top cell = %v,%v", v, ok)
+	}
+}
+
+// TestDerivedViewsMatchDirect cross-checks every derived view against
+// direct computation from the base facts, for every distributive
+// function.
+func TestDerivedViewsMatchDirect(t *testing.T) {
+	ft, _ := cubeFixture(t)
+	for _, fn := range []AggFunc{Sum, Count, Min, Max} {
+		c, err := Materialize(ft, fn, "population", cubeLevels())
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		for _, pl := range cubeLevels()[0] {
+			for _, tl := range cubeLevels()[1] {
+				view, ok := c.View(pl, tl)
+				if !ok {
+					t.Fatalf("%s: missing view %s×%s", fn, pl, tl)
+				}
+				direct, err := ft.RollupAggregate(fn, "population", []GroupSpec{
+					{DimName: "place", ToLevel: pl},
+					{DimName: "when", ToLevel: tl},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(view.Rows) != len(direct.Rows) {
+					t.Fatalf("%s %s×%s: %d rows vs %d", fn, pl, tl, len(view.Rows), len(direct.Rows))
+				}
+				for i := range view.Rows {
+					if math.Abs(view.Rows[i].Value-direct.Rows[i].Value) > 1e-9 {
+						t.Errorf("%s %s×%s row %d: %v vs %v", fn, pl, tl, i,
+							view.Rows[i].Value, direct.Rows[i].Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAvgViews: AVG is not distributive; the cube must still produce
+// correct values (computed directly).
+func TestAvgViews(t *testing.T) {
+	ft, _ := cubeFixture(t)
+	c, err := Materialize(ft, Avg, "population", cubeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AVG over Antwerp 2005 = (40000+12000)/2.
+	if v, ok := c.Value([]Level{"city", "year"}, "Antwerp", "2005"); !ok || v != 26000 {
+		t.Errorf("avg city cell = %v,%v", v, ok)
+	}
+	// A derived-style AVG would wrongly average the two city averages;
+	// assert the true mean at the top.
+	want := (40000.0 + 12000 + 80000 + 42000 + 12500 + 81000) / 6
+	if v, ok := c.Value([]Level{"country", "decade"}, "Belgium", "2000s"); !ok || math.Abs(v-want) > 1e-9 {
+		t.Errorf("avg top cell = %v,%v want %v", v, ok, want)
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	ft, _ := cubeFixture(t)
+	if _, err := Materialize(ft, Sum, "population", [][]Level{{"neighborhood"}}); err == nil {
+		t.Error("dim count mismatch accepted")
+	}
+	if _, err := Materialize(ft, Sum, "population", [][]Level{{}, {"year"}}); err == nil {
+		t.Error("empty level list accepted")
+	}
+	if _, err := Materialize(ft, Sum, "population", [][]Level{{"city"}, {"year"}}); err == nil {
+		t.Error("non-stored first level accepted")
+	}
+	if _, err := Materialize(ft, Sum, "population", [][]Level{{"neighborhood", "galaxy"}, {"year"}}); err == nil {
+		t.Error("unreachable level accepted")
+	}
+	if _, err := Materialize(ft, Sum, "nope", cubeLevels()); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestCubeNavigation(t *testing.T) {
+	ft, _ := cubeFixture(t)
+	c, err := Materialize(ft, Sum, "population", cubeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := []Level{"neighborhood", "year"}
+	up, ok := c.RollUp(cur, 0)
+	if !ok || up[0] != "city" {
+		t.Errorf("RollUp = %v,%v", up, ok)
+	}
+	up2, ok := c.RollUp(up, 0)
+	if !ok || up2[0] != "country" {
+		t.Errorf("RollUp² = %v,%v", up2, ok)
+	}
+	if _, ok := c.RollUp(up2, 0); ok {
+		t.Error("RollUp beyond coarsest accepted")
+	}
+	down, ok := c.DrillDown(up, 0)
+	if !ok || down[0] != "neighborhood" {
+		t.Errorf("DrillDown = %v,%v", down, ok)
+	}
+	if _, ok := c.DrillDown(cur, 0); ok {
+		t.Error("DrillDown beyond finest accepted")
+	}
+	if _, ok := c.RollUp(cur, 9); ok {
+		t.Error("bad dim index accepted")
+	}
+	if _, ok := c.View("bogus", "year"); ok {
+		t.Error("unknown view accepted")
+	}
+	if _, ok := c.Value([]Level{"bogus", "year"}, "x", "y"); ok {
+		t.Error("unknown view Value accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Member identifies an element of a dimension level, e.g. the
+// neighborhood "Berchem".
+type Member string
+
+// Dimension is a dimension instance: a schema plus, for each edge of
+// the schema, a rollup function RUP mapping child members to parent
+// members, and optional attributes attached to members (the paper's
+// "each category may even have attributes associated, like
+// population").
+type Dimension struct {
+	schema  *Schema
+	members map[Level]map[Member]bool
+	rollups map[edgeKey]map[Member]Member
+	attrs   map[Level]map[Member]map[string]Value
+}
+
+type edgeKey struct {
+	child, parent Level
+}
+
+// NewDimension creates an empty instance of schema.
+func NewDimension(schema *Schema) *Dimension {
+	return &Dimension{
+		schema:  schema,
+		members: map[Level]map[Member]bool{LevelAll: {MemberAll: true}},
+		rollups: make(map[edgeKey]map[Member]Member),
+		attrs:   make(map[Level]map[Member]map[string]Value),
+	}
+}
+
+// Schema returns the dimension schema.
+func (d *Dimension) Schema() *Schema { return d.schema }
+
+// Name returns the dimension name.
+func (d *Dimension) Name() string { return d.schema.Name() }
+
+// AddMember declares a member at a level.
+func (d *Dimension) AddMember(l Level, m Member) *Dimension {
+	if d.members[l] == nil {
+		d.members[l] = make(map[Member]bool)
+	}
+	d.members[l][m] = true
+	return d
+}
+
+// Members returns the members of level l, sorted.
+func (d *Dimension) Members(l Level) []Member {
+	out := make([]Member, 0, len(d.members[l]))
+	for m := range d.members[l] {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasMember reports whether m is a member of level l.
+func (d *Dimension) HasMember(l Level, m Member) bool { return d.members[l][m] }
+
+// SetRollup records that child member cm at level child rolls up to
+// parent member pm at level parent, declaring both members.
+func (d *Dimension) SetRollup(child Level, cm Member, parent Level, pm Member) *Dimension {
+	d.AddMember(child, cm)
+	d.AddMember(parent, pm)
+	k := edgeKey{child, parent}
+	if d.rollups[k] == nil {
+		d.rollups[k] = make(map[Member]Member)
+	}
+	d.rollups[k][cm] = pm
+	return d
+}
+
+// SetAttr attaches an attribute value to a member.
+func (d *Dimension) SetAttr(l Level, m Member, attr string, v Value) *Dimension {
+	d.AddMember(l, m)
+	if d.attrs[l] == nil {
+		d.attrs[l] = make(map[Member]map[string]Value)
+	}
+	if d.attrs[l][m] == nil {
+		d.attrs[l][m] = make(map[string]Value)
+	}
+	d.attrs[l][m][attr] = v
+	return d
+}
+
+// Attr returns the attribute value for a member, with ok=false when
+// absent.
+func (d *Dimension) Attr(l Level, m Member, attr string) (Value, bool) {
+	v, ok := d.attrs[l][m][attr]
+	return v, ok
+}
+
+// Rollup maps member m from level `from` up to level `to`, following
+// a shortest schema path (the paper's R^j_i rollup functions). For
+// from == to it is the identity; rolling to LevelAll yields MemberAll.
+func (d *Dimension) Rollup(from, to Level, m Member) (Member, bool) {
+	if from == to {
+		return m, d.HasMember(from, m) || from == LevelAll && m == MemberAll
+	}
+	if to == LevelAll {
+		return MemberAll, true
+	}
+	path := d.schema.Path(from, to)
+	if path == nil {
+		return "", false
+	}
+	cur := m
+	for i := 0; i+1 < len(path); i++ {
+		next, ok := d.rollups[edgeKey{path[i], path[i+1]}][cur]
+		if !ok {
+			return "", false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// MembersBelow returns the members of level `from` that roll up to
+// member pm of level `to`, sorted. It inverts Rollup by enumeration.
+func (d *Dimension) MembersBelow(from, to Level, pm Member) []Member {
+	var out []Member
+	for m := range d.members[from] {
+		if got, ok := d.Rollup(from, to, m); ok && got == pm {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks instance consistency: every declared rollup edge
+// must correspond to a schema edge, every member of a child level
+// with a declared schema edge must map under it (totality of RUP,
+// required for summarizability), and rollup composition must be
+// path-independent for every member and reachable upper level.
+func (d *Dimension) Validate() error {
+	for k := range d.rollups {
+		found := false
+		for _, p := range d.schema.Parents(k.child) {
+			if p == k.parent {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("olap: rollup %s→%s not in schema of %q", k.child, k.parent, d.Name())
+		}
+	}
+	for l, ms := range d.members {
+		for _, p := range d.schema.Parents(l) {
+			if p == LevelAll {
+				continue
+			}
+			for m := range ms {
+				if _, ok := d.rollups[edgeKey{l, p}][m]; !ok {
+					return fmt.Errorf("olap: member %q of %s has no rollup to %s in %q", m, l, p, d.Name())
+				}
+			}
+		}
+	}
+	// Path independence: compare results across all simple paths.
+	for l, ms := range d.members {
+		for _, to := range d.schema.Levels() {
+			if to == l || to == LevelAll || !d.schema.PathExists(l, to) {
+				continue
+			}
+			for m := range ms {
+				got := make(map[Member]bool)
+				d.allPathResults(l, to, m, got)
+				if len(got) > 1 {
+					return fmt.Errorf("olap: member %q of %s rolls up to %d distinct members of %s in %q",
+						m, l, len(got), to, d.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// allPathResults collects the results of rolling member m from level l
+// to level `to` along every schema path.
+func (d *Dimension) allPathResults(l, to Level, m Member, out map[Member]bool) {
+	if l == to {
+		out[m] = true
+		return
+	}
+	for _, p := range d.schema.Parents(l) {
+		if p == LevelAll {
+			continue
+		}
+		if !d.schema.PathExists(p, to) && p != to {
+			continue
+		}
+		if next, ok := d.rollups[edgeKey{l, p}][m]; ok {
+			d.allPathResults(p, to, next, out)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package olap
+
+import "testing"
+
+func antwerpDim(t *testing.T) *Dimension {
+	t.Helper()
+	d := NewDimension(geoSchema())
+	d.SetRollup("neighborhood", "Berchem", "city", "Antwerp")
+	d.SetRollup("neighborhood", "Zurenborg", "city", "Antwerp")
+	d.SetRollup("neighborhood", "Ixelles", "city", "Brussels")
+	d.SetRollup("city", "Antwerp", "country", "Belgium")
+	d.SetRollup("city", "Brussels", "country", "Belgium")
+	d.SetAttr("neighborhood", "Berchem", "income", Num(1200))
+	d.SetAttr("neighborhood", "Zurenborg", "income", Num(2100))
+	d.SetAttr("neighborhood", "Ixelles", "income", Num(1800))
+	return d
+}
+
+func TestDimensionMembers(t *testing.T) {
+	d := antwerpDim(t)
+	ms := d.Members("neighborhood")
+	if len(ms) != 3 {
+		t.Fatalf("Members = %v", ms)
+	}
+	if ms[0] != "Berchem" { // sorted
+		t.Errorf("first member = %q", ms[0])
+	}
+	if !d.HasMember("city", "Antwerp") || d.HasMember("city", "Gent") {
+		t.Error("HasMember mismatch")
+	}
+}
+
+func TestDimensionRollup(t *testing.T) {
+	d := antwerpDim(t)
+	tests := []struct {
+		from, to Level
+		m, want  Member
+		ok       bool
+	}{
+		{"neighborhood", "city", "Berchem", "Antwerp", true},
+		{"neighborhood", "country", "Berchem", "Belgium", true},
+		{"neighborhood", "country", "Ixelles", "Belgium", true},
+		{"city", "country", "Antwerp", "Belgium", true},
+		{"neighborhood", LevelAll, "Berchem", MemberAll, true},
+		{"neighborhood", "city", "Nowhere", "", false},
+		{"city", "neighborhood", "Antwerp", "", false},
+	}
+	for _, tt := range tests {
+		got, ok := d.Rollup(tt.from, tt.to, tt.m)
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("Rollup(%s,%s,%s) = %q,%v, want %q,%v", tt.from, tt.to, tt.m, got, ok, tt.want, tt.ok)
+		}
+	}
+	// Identity.
+	if got, ok := d.Rollup("city", "city", "Antwerp"); !ok || got != "Antwerp" {
+		t.Errorf("identity rollup = %q,%v", got, ok)
+	}
+}
+
+func TestDimensionMembersBelow(t *testing.T) {
+	d := antwerpDim(t)
+	got := d.MembersBelow("neighborhood", "city", "Antwerp")
+	if len(got) != 2 || got[0] != "Berchem" || got[1] != "Zurenborg" {
+		t.Errorf("MembersBelow = %v", got)
+	}
+	got = d.MembersBelow("neighborhood", "country", "Belgium")
+	if len(got) != 3 {
+		t.Errorf("MembersBelow country = %v", got)
+	}
+}
+
+func TestDimensionAttrs(t *testing.T) {
+	d := antwerpDim(t)
+	v, ok := d.Attr("neighborhood", "Berchem", "income")
+	if !ok {
+		t.Fatal("missing attr")
+	}
+	if n, _ := v.Num(); n != 1200 {
+		t.Errorf("income = %v", v)
+	}
+	if _, ok := d.Attr("neighborhood", "Berchem", "nope"); ok {
+		t.Error("unexpected attr")
+	}
+}
+
+func TestDimensionValidateOK(t *testing.T) {
+	if err := antwerpDim(t).Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestDimensionValidatePartialRollup(t *testing.T) {
+	d := antwerpDim(t)
+	d.AddMember("neighborhood", "Orphan") // no rollup to city
+	if err := d.Validate(); err == nil {
+		t.Error("expected totality violation")
+	}
+}
+
+func TestDimensionValidatePathIndependence(t *testing.T) {
+	// Diamond: station → line → network and station → zone → network.
+	s := NewSchema("Transit").
+		AddEdge("station", "line").
+		AddEdge("line", "network").
+		AddEdge("station", "zone").
+		AddEdge("zone", "network")
+	d := NewDimension(s)
+	d.SetRollup("station", "Central", "line", "L1")
+	d.SetRollup("station", "Central", "zone", "Z1")
+	d.SetRollup("line", "L1", "network", "N1")
+	d.SetRollup("zone", "Z1", "network", "N1")
+	if err := d.Validate(); err != nil {
+		t.Errorf("consistent diamond: %v", err)
+	}
+	// Now break path independence.
+	d.SetRollup("zone", "Z1", "network", "N2")
+	d.SetRollup("line", "L1", "network", "N1")
+	if err := d.Validate(); err == nil {
+		t.Error("expected path-independence violation")
+	}
+}
+
+func TestDimensionValidateForeignEdge(t *testing.T) {
+	d := NewDimension(geoSchema())
+	d.rollups[edgeKey{"city", "planet"}] = map[Member]Member{"Antwerp": "Earth"}
+	if err := d.Validate(); err == nil {
+		t.Error("expected foreign edge error")
+	}
+}

@@ -1,0 +1,7 @@
+// Package olap implements the classical OLAP substrate the paper
+// builds on (Section 3): dimension schemas as sets of levels with a
+// partial order (Hurtado, Mendelzon & Vaisman, ICDE'99), dimension
+// instances with rollup functions between levels, fact tables over
+// dimension coordinates, and the aggregate operation γ_{f,A,X} of
+// Definition 7 with AGG = {MIN, MAX, COUNT, SUM, AVG}.
+package olap

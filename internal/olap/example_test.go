@@ -1,0 +1,56 @@
+package olap_test
+
+import (
+	"fmt"
+
+	"mogis/internal/olap"
+)
+
+// The γ operator of Definition 7 with a rollup along the dimension
+// hierarchy (neighborhood → city).
+func ExampleFactTable_RollupAggregate() {
+	schema := olap.NewSchema("Geo").AddEdge("neighborhood", "city")
+	dim := olap.NewDimension(schema)
+	dim.SetRollup("neighborhood", "Meir", "city", "Antwerp")
+	dim.SetRollup("neighborhood", "Dam", "city", "Antwerp")
+	dim.SetRollup("neighborhood", "Ixelles", "city", "Brussels")
+
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims:     []olap.DimCol{{Name: "place", Dimension: dim, Level: "neighborhood"}},
+		Measures: []string{"population"},
+	})
+	ft.MustAdd([]olap.Member{"Meir"}, []float64{60000})
+	ft.MustAdd([]olap.Member{"Dam"}, []float64{45000})
+	ft.MustAdd([]olap.Member{"Ixelles"}, []float64{80000})
+
+	res, _ := ft.RollupAggregate(olap.Sum, "population", []olap.GroupSpec{
+		{DimName: "place", ToLevel: "city"},
+	})
+	fmt.Print(res)
+	// Output:
+	// place@city | value
+	// Antwerp | 105000
+	// Brussels | 80000
+}
+
+// Cube materialization precomputes every requested level combination;
+// distributive views are derived from finer ones.
+func ExampleMaterialize() {
+	schema := olap.NewSchema("Geo").AddEdge("neighborhood", "city")
+	dim := olap.NewDimension(schema)
+	dim.SetRollup("neighborhood", "Meir", "city", "Antwerp")
+	dim.SetRollup("neighborhood", "Dam", "city", "Antwerp")
+
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims:     []olap.DimCol{{Name: "place", Dimension: dim, Level: "neighborhood"}},
+		Measures: []string{"population"},
+	})
+	ft.MustAdd([]olap.Member{"Meir"}, []float64{60000})
+	ft.MustAdd([]olap.Member{"Dam"}, []float64{45000})
+
+	cube, _ := olap.Materialize(ft, olap.Sum, "population",
+		[][]olap.Level{{"neighborhood", "city"}})
+	v, _ := cube.Value([]olap.Level{"city"}, "Antwerp")
+	fmt.Println("Antwerp:", v)
+	// Output: Antwerp: 105000
+}

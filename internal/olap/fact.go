@@ -1,0 +1,298 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DimCol describes one dimension coordinate column of a fact table:
+// which dimension it references and at which level the facts are
+// recorded.
+type DimCol struct {
+	Name      string
+	Dimension *Dimension
+	Level     Level
+}
+
+// FactSchema is the schema of a classical fact table: dimension
+// columns plus measure columns.
+type FactSchema struct {
+	Dims     []DimCol
+	Measures []string
+}
+
+// FactTable holds rows of dimension coordinates and measures, the
+// "classical fact tables in the application part" of Section 3.
+type FactTable struct {
+	schema FactSchema
+	rows   []FactRow
+}
+
+// FactRow is one fact: coordinates parallel to the schema's Dims and
+// measures parallel to the schema's Measures.
+type FactRow struct {
+	Coords   []Member
+	Measures []float64
+}
+
+// NewFactTable creates an empty fact table with the given schema.
+func NewFactTable(schema FactSchema) *FactTable {
+	return &FactTable{schema: schema}
+}
+
+// Schema returns the fact table schema.
+func (f *FactTable) Schema() FactSchema { return f.schema }
+
+// Len returns the number of rows.
+func (f *FactTable) Len() int { return len(f.rows) }
+
+// Rows returns the underlying rows (shared slice; callers must not
+// mutate).
+func (f *FactTable) Rows() []FactRow { return f.rows }
+
+// Add appends a fact row after arity checking.
+func (f *FactTable) Add(coords []Member, measures []float64) error {
+	if len(coords) != len(f.schema.Dims) {
+		return fmt.Errorf("olap: got %d coords, want %d", len(coords), len(f.schema.Dims))
+	}
+	if len(measures) != len(f.schema.Measures) {
+		return fmt.Errorf("olap: got %d measures, want %d", len(measures), len(f.schema.Measures))
+	}
+	f.rows = append(f.rows, FactRow{
+		Coords:   append([]Member(nil), coords...),
+		Measures: append([]float64(nil), measures...),
+	})
+	return nil
+}
+
+// MustAdd is Add that panics on arity errors; for test and example
+// setup code.
+func (f *FactTable) MustAdd(coords []Member, measures []float64) {
+	if err := f.Add(coords, measures); err != nil {
+		panic(err)
+	}
+}
+
+// dimIndex returns the index of the dimension column with the given
+// name.
+func (f *FactTable) dimIndex(name string) (int, error) {
+	for i, d := range f.schema.Dims {
+		if d.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("olap: no dimension column %q", name)
+}
+
+// measureIndex returns the index of the named measure.
+func (f *FactTable) measureIndex(name string) (int, error) {
+	for i, m := range f.schema.Measures {
+		if m == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("olap: no measure %q", name)
+}
+
+// GroupSpec names a grouping column for RollupAggregate: the fact
+// table dimension column and the (coarser or equal) level to roll its
+// coordinates up to.
+type GroupSpec struct {
+	DimName string
+	ToLevel Level
+}
+
+// AggResultRow is one group of an aggregation result.
+type AggResultRow struct {
+	Group []Member
+	Value float64
+	N     int64
+}
+
+// AggResult is the relation produced by the γ operator: one row per
+// group, sorted by group key.
+type AggResult struct {
+	GroupCols []string
+	Rows      []AggResultRow
+}
+
+// Lookup returns the value for an exact group key.
+func (r *AggResult) Lookup(key ...Member) (float64, bool) {
+	for _, row := range r.Rows {
+		if len(row.Group) != len(key) {
+			continue
+		}
+		match := true
+		for i := range key {
+			if row.Group[i] != key[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return row.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the result as an aligned table.
+func (r *AggResult) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.GroupCols, " | "))
+	sb.WriteString(" | value\n")
+	for _, row := range r.Rows {
+		for _, g := range row.Group {
+			sb.WriteString(string(g))
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%g\n", row.Value)
+	}
+	return sb.String()
+}
+
+// Gamma is the aggregate operation γ_{f,A,X}(r) of Definition 7:
+// group the fact rows by the coordinates of the columns named in
+// groupBy (at their stored levels) and aggregate measure with fn.
+// For COUNT, measure may be empty.
+func (f *FactTable) Gamma(fn AggFunc, measure string, groupBy []string) (*AggResult, error) {
+	specs := make([]GroupSpec, len(groupBy))
+	for i, g := range groupBy {
+		idx, err := f.dimIndex(g)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = GroupSpec{DimName: g, ToLevel: f.schema.Dims[idx].Level}
+	}
+	return f.RollupAggregate(fn, measure, specs)
+}
+
+// RollupAggregate generalizes Gamma by first rolling each grouping
+// coordinate up to a coarser level through its dimension instance,
+// then grouping and aggregating. This is the fact-aggregation-along-
+// geometric-dimensions operation the paper motivates in Example 1.
+func (f *FactTable) RollupAggregate(fn AggFunc, measure string, groups []GroupSpec) (*AggResult, error) {
+	mIdx := -1
+	if fn != Count || measure != "" {
+		var err error
+		mIdx, err = f.measureIndex(measure)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type gcol struct {
+		dimIdx int
+		to     Level
+	}
+	gcols := make([]gcol, len(groups))
+	cols := make([]string, len(groups))
+	for i, g := range groups {
+		idx, err := f.dimIndex(g.DimName)
+		if err != nil {
+			return nil, err
+		}
+		dc := f.schema.Dims[idx]
+		if dc.Dimension != nil && !dc.Dimension.Schema().PathExists(dc.Level, g.ToLevel) {
+			return nil, fmt.Errorf("olap: no rollup path %s→%s in dimension %q",
+				dc.Level, g.ToLevel, dc.Dimension.Name())
+		}
+		gcols[i] = gcol{dimIdx: idx, to: g.ToLevel}
+		cols[i] = fmt.Sprintf("%s@%s", g.DimName, g.ToLevel)
+	}
+
+	accs := make(map[string]*Accumulator)
+	keys := make(map[string][]Member)
+	for _, row := range f.rows {
+		key := make([]Member, len(gcols))
+		ok := true
+		for i, gc := range gcols {
+			dc := f.schema.Dims[gc.dimIdx]
+			m := row.Coords[gc.dimIdx]
+			if gc.to != dc.Level {
+				up, found := dc.Dimension.Rollup(dc.Level, gc.to, m)
+				if !found {
+					ok = false
+					break
+				}
+				m = up
+			}
+			key[i] = m
+		}
+		if !ok {
+			continue // row not mapped by the rollup: excluded, like a failed join
+		}
+		ks := joinKey(key)
+		acc := accs[ks]
+		if acc == nil {
+			acc = NewAccumulator(fn)
+			accs[ks] = acc
+			keys[ks] = key
+		}
+		if mIdx >= 0 {
+			acc.Add(row.Measures[mIdx])
+		} else {
+			acc.AddCount()
+		}
+	}
+
+	res := &AggResult{GroupCols: cols}
+	for ks, acc := range accs {
+		v, ok := acc.Result()
+		if !ok {
+			continue
+		}
+		res.Rows = append(res.Rows, AggResultRow{Group: keys[ks], Value: v, N: acc.N()})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return joinKey(res.Rows[i].Group) < joinKey(res.Rows[j].Group)
+	})
+	return res, nil
+}
+
+func joinKey(ms []Member) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Slice returns a new fact table containing only the rows whose
+// coordinate in dimension column dimName rolls up to member want at
+// level lvl (the OLAP slice operation).
+func (f *FactTable) Slice(dimName string, lvl Level, want Member) (*FactTable, error) {
+	idx, err := f.dimIndex(dimName)
+	if err != nil {
+		return nil, err
+	}
+	dc := f.schema.Dims[idx]
+	out := NewFactTable(f.schema)
+	for _, row := range f.rows {
+		m := row.Coords[idx]
+		if lvl != dc.Level {
+			up, ok := dc.Dimension.Rollup(dc.Level, lvl, m)
+			if !ok {
+				continue
+			}
+			m = up
+		}
+		if m == want {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Dice returns a new fact table with only the rows satisfying pred,
+// which receives the row's coordinates (the OLAP dice operation;
+// Slice is the single-member special case).
+func (f *FactTable) Dice(pred func(coords []Member) bool) *FactTable {
+	out := NewFactTable(f.schema)
+	for _, row := range f.rows {
+		if pred(row.Coords) {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}

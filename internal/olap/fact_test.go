@@ -1,0 +1,252 @@
+package olap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func popFacts(t *testing.T) (*FactTable, *Dimension) {
+	t.Helper()
+	d := antwerpDim(t)
+	ft := NewFactTable(FactSchema{
+		Dims: []DimCol{
+			{Name: "place", Dimension: d, Level: "neighborhood"},
+			{Name: "year", Dimension: nil, Level: "year"},
+		},
+		Measures: []string{"population"},
+	})
+	ft.MustAdd([]Member{"Berchem", "2005"}, []float64{40000})
+	ft.MustAdd([]Member{"Zurenborg", "2005"}, []float64{12000})
+	ft.MustAdd([]Member{"Ixelles", "2005"}, []float64{80000})
+	ft.MustAdd([]Member{"Berchem", "2006"}, []float64{42000})
+	ft.MustAdd([]Member{"Zurenborg", "2006"}, []float64{12500})
+	ft.MustAdd([]Member{"Ixelles", "2006"}, []float64{81000})
+	return ft, d
+}
+
+func TestFactTableAddArity(t *testing.T) {
+	ft, _ := popFacts(t)
+	if ft.Len() != 6 {
+		t.Fatalf("Len = %d", ft.Len())
+	}
+	if err := ft.Add([]Member{"only-one"}, []float64{1}); err == nil {
+		t.Error("expected coord arity error")
+	}
+	if err := ft.Add([]Member{"a", "b"}, nil); err == nil {
+		t.Error("expected measure arity error")
+	}
+}
+
+func TestGammaSumByPlace(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, err := ft.Gamma(Sum, "population", []string{"place"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if v, ok := res.Lookup("Berchem"); !ok || v != 82000 {
+		t.Errorf("Berchem = %v,%v", v, ok)
+	}
+}
+
+func TestGammaCount(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, err := ft.Gamma(Count, "", []string{"year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Lookup("2005"); !ok || v != 3 {
+		t.Errorf("count 2005 = %v,%v", v, ok)
+	}
+}
+
+func TestGammaAvgMinMax(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, err := ft.Gamma(Avg, "population", []string{"year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Lookup("2005"); math.Abs(v-44000) > 1e-9 {
+		t.Errorf("avg 2005 = %v", v)
+	}
+	res, _ = ft.Gamma(Min, "population", []string{"year"})
+	if v, _ := res.Lookup("2006"); v != 12500 {
+		t.Errorf("min 2006 = %v", v)
+	}
+	res, _ = ft.Gamma(Max, "population", []string{"year"})
+	if v, _ := res.Lookup("2006"); v != 81000 {
+		t.Errorf("max 2006 = %v", v)
+	}
+}
+
+func TestRollupAggregateToCity(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, err := ft.RollupAggregate(Sum, "population", []GroupSpec{
+		{DimName: "place", ToLevel: "city"},
+		{DimName: "year", ToLevel: "year"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Lookup("Antwerp", "2005"); !ok || v != 52000 {
+		t.Errorf("Antwerp 2005 = %v,%v", v, ok)
+	}
+	if v, ok := res.Lookup("Brussels", "2006"); !ok || v != 81000 {
+		t.Errorf("Brussels 2006 = %v,%v", v, ok)
+	}
+}
+
+func TestRollupAggregateToAll(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, err := ft.RollupAggregate(Sum, "population", []GroupSpec{
+		{DimName: "place", ToLevel: LevelAll},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	want := 40000.0 + 12000 + 80000 + 42000 + 12500 + 81000
+	if res.Rows[0].Value != want {
+		t.Errorf("total = %v, want %v", res.Rows[0].Value, want)
+	}
+}
+
+func TestRollupAggregateBadPath(t *testing.T) {
+	ft, _ := popFacts(t)
+	_, err := ft.RollupAggregate(Sum, "population", []GroupSpec{
+		{DimName: "place", ToLevel: "galaxy"},
+	})
+	if err == nil {
+		t.Error("expected error for unknown level")
+	}
+	_, err = ft.Gamma(Sum, "population", []string{"nope"})
+	if err == nil {
+		t.Error("expected error for unknown column")
+	}
+	_, err = ft.Gamma(Sum, "nope", []string{"place"})
+	if err == nil {
+		t.Error("expected error for unknown measure")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	ft, _ := popFacts(t)
+	sliced, err := ft.Slice("place", "city", "Antwerp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Len() != 4 {
+		t.Errorf("sliced Len = %d, want 4", sliced.Len())
+	}
+	sliced2, err := ft.Slice("year", "year", "2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced2.Len() != 3 {
+		t.Errorf("sliced2 Len = %d", sliced2.Len())
+	}
+	if _, err := ft.Slice("nope", "x", "y"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestAggResultString(t *testing.T) {
+	ft, _ := popFacts(t)
+	res, _ := ft.Gamma(Sum, "population", []string{"year"})
+	s := res.String()
+	if !strings.Contains(s, "year@year") || !strings.Contains(s, "2005") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	for _, fn := range []AggFunc{Min, Max, Sum, Avg} {
+		if _, ok := NewAccumulator(fn).Result(); ok {
+			t.Errorf("%s over empty should be undefined", fn)
+		}
+	}
+	if v, ok := NewAccumulator(Count).Result(); !ok || v != 0 {
+		t.Errorf("COUNT over empty = %v,%v", v, ok)
+	}
+}
+
+func TestAggregateOneShot(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	cases := []struct {
+		fn   AggFunc
+		want float64
+	}{
+		{Min, 1}, {Max, 5}, {Sum, 14}, {Avg, 2.8}, {Count, 5},
+	}
+	for _, c := range cases {
+		got, ok := Aggregate(c.fn, vals)
+		if !ok || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v,%v, want %v", c.fn, got, ok, c.want)
+		}
+	}
+}
+
+func TestParseAggFunc(t *testing.T) {
+	if _, err := ParseAggFunc("SUM"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseAggFunc("MEDIAN"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Num(1), Num(2), -1, true},
+		{Num(2), Num(2), 0, true},
+		{Num(3), Num(2), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Null, Num(1), -1, true},
+		{Num(1), Null, 1, true},
+		{Null, Null, 0, true},
+		{Num(1), Str("a"), 0, false},
+	}
+	for _, tt := range tests {
+		c, ok := tt.a.Compare(tt.b)
+		if ok != tt.ok || (ok && c != tt.cmp) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", tt.a, tt.b, c, ok, tt.cmp, tt.ok)
+		}
+	}
+	if !Num(5).Equal(Num(5)) || Num(5).Equal(Str("5")) {
+		t.Error("Equal mismatch")
+	}
+	if Num(1.5).String() != "1.5" || Str("x").String() != "x" || Null.String() != "NULL" {
+		t.Error("String mismatch")
+	}
+}
+
+func TestDice(t *testing.T) {
+	ft, _ := popFacts(t)
+	diced := ft.Dice(func(coords []Member) bool {
+		return coords[1] == "2006" && coords[0] != "Ixelles"
+	})
+	if diced.Len() != 2 {
+		t.Errorf("diced Len = %d, want 2", diced.Len())
+	}
+	res, err := diced.Gamma(Sum, "population", []string{"year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Lookup("2006"); v != 42000+12500 {
+		t.Errorf("diced sum = %v", v)
+	}
+	// Dice with an always-false predicate yields an empty table.
+	if ft.Dice(func([]Member) bool { return false }).Len() != 0 {
+		t.Error("empty dice")
+	}
+}

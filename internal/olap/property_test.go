@@ -1,0 +1,129 @@
+package olap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: rollup composition is associative along paths — rolling
+// a→c directly equals rolling a→b then b→c, for randomly generated
+// consistent dimension instances.
+func TestRollupCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema("D").AddEdge("a", "b").AddEdge("b", "c")
+		d := NewDimension(s)
+		nb := 2 + rng.Intn(4)
+		nc := 1 + rng.Intn(3)
+		for i := 0; i < nb; i++ {
+			d.SetRollup("b", member("B", i), "c", member("C", rng.Intn(nc)))
+		}
+		na := 3 + rng.Intn(8)
+		for i := 0; i < na; i++ {
+			d.SetRollup("a", member("A", i), "b", member("B", rng.Intn(nb)))
+		}
+		for i := 0; i < na; i++ {
+			m := member("A", i)
+			direct, ok1 := d.Rollup("a", "c", m)
+			viaB, ok2 := d.Rollup("a", "b", m)
+			if !ok1 || !ok2 {
+				return false
+			}
+			composed, ok3 := d.Rollup("b", "c", viaB)
+			if !ok3 || composed != direct {
+				return false
+			}
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func member(prefix string, i int) Member {
+	return Member(prefix + string(rune('0'+i)))
+}
+
+// Property: SUM grouped by any level partitions the total — the sum
+// of group values equals the ungrouped total (summarizability of
+// distributive aggregates over total rollups).
+func TestGammaPartitionProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema("D").AddEdge("leaf", "mid")
+		d := NewDimension(s)
+		for i := 0; i < 6; i++ {
+			d.SetRollup("leaf", member("L", i), "mid", member("M", i%2))
+		}
+		ft := NewFactTable(FactSchema{
+			Dims:     []DimCol{{Name: "d", Dimension: d, Level: "leaf"}},
+			Measures: []string{"v"},
+		})
+		var total float64
+		for i := 0; i < int(n); i++ {
+			v := float64(rng.Intn(1000))
+			ft.MustAdd([]Member{member("L", rng.Intn(6))}, []float64{v})
+			total += v
+		}
+		for _, lvl := range []Level{"leaf", "mid", LevelAll} {
+			res, err := ft.RollupAggregate(Sum, "v", []GroupSpec{{DimName: "d", ToLevel: lvl}})
+			if err != nil {
+				return false
+			}
+			var got float64
+			for _, row := range res.Rows {
+				got += row.Value
+			}
+			if int(n) > 0 && got != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT per group sums to the row count; MIN ≤ AVG ≤ MAX
+// per group.
+func TestAggregateOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ft := NewFactTable(FactSchema{
+			Dims:     []DimCol{{Name: "g", Level: "g"}},
+			Measures: []string{"v"},
+		})
+		for i := 0; i < int(n); i++ {
+			ft.MustAdd([]Member{member("G", rng.Intn(3))}, []float64{rng.Float64()*200 - 100})
+		}
+		cnt, _ := ft.Gamma(Count, "", []string{"g"})
+		var rows float64
+		for _, r := range cnt.Rows {
+			rows += r.Value
+		}
+		if rows != float64(n) {
+			return false
+		}
+		mins, _ := ft.Gamma(Min, "v", []string{"g"})
+		avgs, _ := ft.Gamma(Avg, "v", []string{"g"})
+		maxs, _ := ft.Gamma(Max, "v", []string{"g"})
+		for i := range mins.Rows {
+			lo := mins.Rows[i].Value
+			mid := avgs.Rows[i].Value
+			hi := maxs.Rows[i].Value
+			if !(lo <= mid+1e-9 && mid <= hi+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

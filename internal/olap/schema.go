@@ -1,0 +1,178 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level is the name of a dimension level (category), e.g.
+// "neighborhood" or "city".
+type Level string
+
+// LevelAll is the distinguished top level present in every dimension.
+const LevelAll Level = "All"
+
+// MemberAll is the single member of LevelAll.
+const MemberAll = "all"
+
+// Schema is a dimension schema: a name, a set of levels and a
+// child→parent relation whose reflexive-transitive closure is the
+// partial order ⪯ of the paper's Definition 1. Every schema
+// implicitly contains LevelAll above all other levels.
+type Schema struct {
+	name    string
+	parents map[Level][]Level // direct child → parents edges
+	levels  map[Level]bool
+}
+
+// NewSchema creates a dimension schema with the given name.
+func NewSchema(name string) *Schema {
+	return &Schema{
+		name:    name,
+		parents: make(map[Level][]Level),
+		levels:  map[Level]bool{LevelAll: true},
+	}
+}
+
+// Name returns the dimension name.
+func (s *Schema) Name() string { return s.name }
+
+// AddLevel declares a level. Adding LevelAll is a no-op.
+func (s *Schema) AddLevel(l Level) *Schema {
+	s.levels[l] = true
+	return s
+}
+
+// AddEdge declares that child rolls up directly to parent
+// (child → parent in the paper's notation). Both levels are declared
+// implicitly.
+func (s *Schema) AddEdge(child, parent Level) *Schema {
+	s.levels[child] = true
+	s.levels[parent] = true
+	s.parents[child] = append(s.parents[child], parent)
+	return s
+}
+
+// HasLevel reports whether l is a level of the schema.
+func (s *Schema) HasLevel(l Level) bool { return s.levels[l] }
+
+// Levels returns all levels sorted by name (LevelAll included).
+func (s *Schema) Levels() []Level {
+	out := make([]Level, 0, len(s.levels))
+	for l := range s.levels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the direct parents of l, plus LevelAll for levels
+// with no declared parent (other than LevelAll itself).
+func (s *Schema) Parents(l Level) []Level {
+	if l == LevelAll {
+		return nil
+	}
+	ps := s.parents[l]
+	if len(ps) == 0 {
+		return []Level{LevelAll}
+	}
+	return ps
+}
+
+// PathExists reports whether from ⪯ to, i.e. a rollup path exists.
+func (s *Schema) PathExists(from, to Level) bool {
+	if !s.levels[from] || !s.levels[to] {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	if to == LevelAll {
+		return true
+	}
+	seen := map[Level]bool{from: true}
+	stack := []Level{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range s.Parents(cur) {
+			if p == to {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Path returns one rollup path from → … → to (inclusive), or nil when
+// none exists. BFS gives a shortest path, which instance rollup
+// composition follows.
+func (s *Schema) Path(from, to Level) []Level {
+	if !s.PathExists(from, to) {
+		return nil
+	}
+	if from == to {
+		return []Level{from}
+	}
+	type qe struct {
+		l    Level
+		path []Level
+	}
+	seen := map[Level]bool{from: true}
+	queue := []qe{{l: from, path: []Level{from}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range s.Parents(cur.l) {
+			if seen[p] {
+				continue
+			}
+			next := append(append([]Level(nil), cur.path...), p)
+			if p == to {
+				return next
+			}
+			seen[p] = true
+			queue = append(queue, qe{l: p, path: next})
+		}
+	}
+	return nil
+}
+
+// Validate checks the schema is a DAG (the partial order must be
+// antisymmetric).
+func (s *Schema) Validate() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Level]int)
+	var visit func(Level) error
+	visit = func(l Level) error {
+		color[l] = gray
+		for _, p := range s.Parents(l) {
+			switch color[p] {
+			case gray:
+				return fmt.Errorf("olap: cycle through level %q in dimension %q", p, s.name)
+			case white:
+				if err := visit(p); err != nil {
+					return err
+				}
+			}
+		}
+		color[l] = black
+		return nil
+	}
+	for l := range s.levels {
+		if color[l] == white {
+			if err := visit(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

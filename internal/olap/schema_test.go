@@ -1,0 +1,110 @@
+package olap
+
+import "testing"
+
+func geoSchema() *Schema {
+	return NewSchema("Geo").
+		AddEdge("neighborhood", "city").
+		AddEdge("city", "country")
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := geoSchema()
+	if s.Name() != "Geo" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for _, l := range []Level{"neighborhood", "city", "country", LevelAll} {
+		if !s.HasLevel(l) {
+			t.Errorf("missing level %q", l)
+		}
+	}
+	if s.HasLevel("street") {
+		t.Error("unexpected level")
+	}
+	if got := len(s.Levels()); got != 4 {
+		t.Errorf("Levels count = %d", got)
+	}
+}
+
+func TestSchemaPathExists(t *testing.T) {
+	s := geoSchema()
+	tests := []struct {
+		from, to Level
+		want     bool
+	}{
+		{"neighborhood", "city", true},
+		{"neighborhood", "country", true},
+		{"neighborhood", LevelAll, true},
+		{"city", "neighborhood", false},
+		{"city", "city", true},
+		{"country", LevelAll, true},
+		{"nosuch", "city", false},
+		{"city", "nosuch", false},
+	}
+	for _, tt := range tests {
+		if got := s.PathExists(tt.from, tt.to); got != tt.want {
+			t.Errorf("PathExists(%s,%s) = %v, want %v", tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestSchemaPath(t *testing.T) {
+	s := geoSchema()
+	p := s.Path("neighborhood", "country")
+	want := []Level{"neighborhood", "city", "country"}
+	if len(p) != len(want) {
+		t.Fatalf("Path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", p, want)
+		}
+	}
+	if p := s.Path("city", "city"); len(p) != 1 || p[0] != "city" {
+		t.Errorf("identity path = %v", p)
+	}
+	if p := s.Path("country", "neighborhood"); p != nil {
+		t.Errorf("downward path = %v", p)
+	}
+}
+
+func TestSchemaDiamond(t *testing.T) {
+	// day → month → year and day → week; both month and week under All.
+	s := NewSchema("Time").
+		AddEdge("day", "month").
+		AddEdge("month", "year").
+		AddEdge("day", "week")
+	if !s.PathExists("day", "year") {
+		t.Error("day should reach year")
+	}
+	if !s.PathExists("week", LevelAll) {
+		t.Error("week should reach All")
+	}
+	if s.PathExists("week", "year") {
+		t.Error("week must not reach year")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestSchemaValidateCycle(t *testing.T) {
+	s := NewSchema("Bad").
+		AddEdge("a", "b").
+		AddEdge("b", "c").
+		AddEdge("c", "a")
+	if err := s.Validate(); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestSchemaParentsDefault(t *testing.T) {
+	s := NewSchema("D").AddLevel("leaf")
+	ps := s.Parents("leaf")
+	if len(ps) != 1 || ps[0] != LevelAll {
+		t.Errorf("Parents = %v, want [All]", ps)
+	}
+	if got := s.Parents(LevelAll); got != nil {
+		t.Errorf("Parents(All) = %v", got)
+	}
+}

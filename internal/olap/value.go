@@ -1,0 +1,109 @@
+package olap
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates Value variants.
+type ValueKind int
+
+// Value kinds.
+const (
+	NullValue ValueKind = iota
+	NumberValue
+	StringValue
+)
+
+// Value is a typed scalar attribute or measure value: a number, a
+// string, or null.
+type Value struct {
+	kind ValueKind
+	num  float64
+	str  string
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Num builds a numeric value.
+func Num(f float64) Value { return Value{kind: NumberValue, num: f} }
+
+// Str builds a string value.
+func Str(s string) Value { return Value{kind: StringValue, str: s} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == NullValue }
+
+// Num returns the numeric content, with ok=false for non-numbers.
+func (v Value) Num() (float64, bool) { return v.num, v.kind == NumberValue }
+
+// Str returns the string content, with ok=false for non-strings.
+func (v Value) Str() (string, bool) { return v.str, v.kind == StringValue }
+
+// Compare orders two values: numbers numerically, strings
+// lexicographically, null below everything; comparing a number with a
+// string returns ok=false.
+func (v Value) Compare(o Value) (int, bool) {
+	switch {
+	case v.kind == NullValue && o.kind == NullValue:
+		return 0, true
+	case v.kind == NullValue:
+		return -1, true
+	case o.kind == NullValue:
+		return 1, true
+	case v.kind != o.kind:
+		return 0, false
+	case v.kind == NumberValue:
+		switch {
+		case v.num < o.num:
+			return -1, true
+		case v.num > o.num:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		switch {
+		case v.str < o.str:
+			return -1, true
+		case v.str > o.str:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+}
+
+// Equal reports whether the two values are identical.
+func (v Value) Equal(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case NumberValue:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case StringValue:
+		return v.str
+	default:
+		return "NULL"
+	}
+}
+
+// GoString aids debugging output.
+func (v Value) GoString() string {
+	switch v.kind {
+	case NumberValue:
+		return fmt.Sprintf("Num(%g)", v.num)
+	case StringValue:
+		return fmt.Sprintf("Str(%q)", v.str)
+	default:
+		return "Null"
+	}
+}

@@ -1,0 +1,296 @@
+// Package overlay implements the precomputed layer overlay that the
+// paper's Piet implementation uses for efficient evaluation of
+// multi-layer geometric queries (Section 5): the intersection and
+// containment relations between the geometries of layer pairs are
+// computed once, so that at query time predicates like
+// intersection(rivers, cities) or contains(cities, stores) become
+// hash-map lookups instead of geometric computation. For
+// polygon-polygon pairs the overlay also stores the intersection
+// cells (convex pieces with exact areas), the analogue of Piet's
+// subpolygonization.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/sindex"
+)
+
+// Ref names one side of an overlay pair: a layer and the geometry
+// kind participating.
+type Ref struct {
+	Layer string
+	Kind  layer.Kind
+}
+
+// Pair is an ordered overlay pair (A, B).
+type Pair struct {
+	A, B Ref
+}
+
+// Cell is one convex piece of a polygon-polygon intersection.
+type Cell struct {
+	Ring geom.Ring
+	Area float64
+}
+
+type relKey struct {
+	a  Ref
+	id layer.Gid
+	b  Ref
+}
+
+type cellKey struct {
+	a, b   Ref
+	ai, bi layer.Gid
+}
+
+// Overlay is a precomputed set of cross-layer relations.
+type Overlay struct {
+	layers map[string]*layer.Layer
+	rel    map[relKey][]layer.Gid
+	cells  map[cellKey][]Cell
+	pairs  []Pair
+}
+
+// Precompute builds the overlay of the given layer pairs. Supported
+// kind combinations: polygon-polygon (with cells), polygon-polyline,
+// polygon-node, polyline-polyline and polyline-node; pairs are stored
+// in both directions.
+func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) {
+	o := &Overlay{
+		layers: layers,
+		rel:    make(map[relKey][]layer.Gid),
+		cells:  make(map[cellKey][]Cell),
+		pairs:  pairs,
+	}
+	for _, p := range pairs {
+		if err := o.precomputePair(p); err != nil {
+			return nil, err
+		}
+	}
+	for k := range o.rel {
+		ids := o.rel[k]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Deduplicate: declaring both (A,B) and (B,A) records each
+		// relation twice.
+		uniq := ids[:0]
+		for i, id := range ids {
+			if i == 0 || id != uniq[len(uniq)-1] {
+				uniq = append(uniq, id)
+			}
+		}
+		o.rel[k] = uniq
+	}
+	return o, nil
+}
+
+// Pairs returns the precomputed pairs.
+func (o *Overlay) Pairs() []Pair { return o.pairs }
+
+func (o *Overlay) layerOf(r Ref) (*layer.Layer, error) {
+	l, ok := o.layers[r.Layer]
+	if !ok {
+		return nil, fmt.Errorf("overlay: unknown layer %q", r.Layer)
+	}
+	return l, nil
+}
+
+// boxed is a geometry id with its bounding box, for index
+// construction.
+type boxed struct {
+	id  layer.Gid
+	box geom.BBox
+}
+
+func collect(l *layer.Layer, kind layer.Kind) ([]boxed, error) {
+	var out []boxed
+	switch kind {
+	case layer.KindPolygon:
+		for _, id := range l.IDs(kind) {
+			pg, _ := l.Polygon(id)
+			out = append(out, boxed{id: id, box: pg.BBox()})
+		}
+	case layer.KindPolyline:
+		for _, id := range l.IDs(kind) {
+			pl, _ := l.Polyline(id)
+			out = append(out, boxed{id: id, box: pl.BBox()})
+		}
+	case layer.KindNode:
+		for _, id := range l.IDs(kind) {
+			p, _ := l.Node(id)
+			out = append(out, boxed{id: id, box: geom.NewBBox(p)})
+		}
+	default:
+		return nil, fmt.Errorf("overlay: unsupported kind %s", kind)
+	}
+	return out, nil
+}
+
+func (o *Overlay) precomputePair(p Pair) error {
+	la, err := o.layerOf(p.A)
+	if err != nil {
+		return err
+	}
+	lb, err := o.layerOf(p.B)
+	if err != nil {
+		return err
+	}
+	as, err := collect(la, p.A.Kind)
+	if err != nil {
+		return err
+	}
+	bs, err := collect(lb, p.B.Kind)
+	if err != nil {
+		return err
+	}
+	// Index the (usually larger) B side.
+	entries := make([]sindex.Entry, len(bs))
+	byID := make(map[layer.Gid]geom.BBox, len(bs))
+	for i, b := range bs {
+		entries[i] = sindex.Entry{Box: sindex.Box(b.box), ID: int64(b.id)}
+		byID[b.id] = b.box
+	}
+	tree := sindex.BulkLoad(entries, sindex.DefaultFanout)
+
+	for _, a := range as {
+		tree.Visit(a.box, func(_ geom.BBox, raw int64) bool {
+			bid := layer.Gid(raw)
+			hit, cells, err2 := o.test(la, p.A.Kind, a.id, lb, p.B.Kind, bid, true)
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			if hit {
+				o.record(p.A, a.id, p.B, bid)
+				o.record(p.B, bid, p.A, a.id)
+				if cells != nil {
+					o.cells[cellKey{a: p.A, b: p.B, ai: a.id, bi: bid}] = cells
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Overlay) record(a Ref, aid layer.Gid, b Ref, bid layer.Gid) {
+	k := relKey{a: a, id: aid, b: b}
+	o.rel[k] = append(o.rel[k], bid)
+}
+
+// test evaluates the geometric predicate for one candidate pair and,
+// when wantCells is set, returns intersection cells for
+// polygon-polygon pairs.
+func (o *Overlay) test(la *layer.Layer, ka layer.Kind, aid layer.Gid,
+	lb *layer.Layer, kb layer.Kind, bid layer.Gid, wantCells bool) (bool, []Cell, error) {
+	switch {
+	case ka == layer.KindPolygon && kb == layer.KindPolygon:
+		pa, _ := la.Polygon(aid)
+		pb, _ := lb.Polygon(bid)
+		if !pa.IntersectsPolygon(pb) {
+			return false, nil, nil
+		}
+		if !wantCells {
+			return true, nil, nil
+		}
+		rings := geom.IntersectionCells(pa, pb)
+		cells := make([]Cell, 0, len(rings))
+		for _, r := range rings {
+			cells = append(cells, Cell{Ring: r, Area: r.Area()})
+		}
+		return true, cells, nil
+	case ka == layer.KindPolygon && kb == layer.KindPolyline:
+		pa, _ := la.Polygon(aid)
+		pl, _ := lb.Polyline(bid)
+		return pa.IntersectsPolyline(pl), nil, nil
+	case ka == layer.KindPolyline && kb == layer.KindPolygon:
+		pl, _ := la.Polyline(aid)
+		pb, _ := lb.Polygon(bid)
+		return pb.IntersectsPolyline(pl), nil, nil
+	case ka == layer.KindPolygon && kb == layer.KindNode:
+		pa, _ := la.Polygon(aid)
+		pt, _ := lb.Node(bid)
+		return pa.ContainsPoint(pt), nil, nil
+	case ka == layer.KindNode && kb == layer.KindPolygon:
+		pt, _ := la.Node(aid)
+		pb, _ := lb.Polygon(bid)
+		return pb.ContainsPoint(pt), nil, nil
+	case ka == layer.KindPolyline && kb == layer.KindPolyline:
+		pa, _ := la.Polyline(aid)
+		pb, _ := lb.Polyline(bid)
+		return pa.IntersectsPolyline(pb), nil, nil
+	case ka == layer.KindPolyline && kb == layer.KindNode:
+		pl, _ := la.Polyline(aid)
+		pt, _ := lb.Node(bid)
+		return pl.ContainsPoint(pt), nil, nil
+	case ka == layer.KindNode && kb == layer.KindPolyline:
+		pt, _ := la.Node(aid)
+		pl, _ := lb.Polyline(bid)
+		return pl.ContainsPoint(pt), nil, nil
+	default:
+		return false, nil, fmt.Errorf("overlay: unsupported kind pair %s-%s", ka, kb)
+	}
+}
+
+// Intersecting returns the precomputed ids of b-geometries related to
+// (a, aid): intersecting for polygon/polyline pairs, contained/
+// containing for node pairs. The slice is sorted and shared; callers
+// must not mutate it.
+func (o *Overlay) Intersecting(a Ref, aid layer.Gid, b Ref) []layer.Gid {
+	return o.rel[relKey{a: a, id: aid, b: b}]
+}
+
+// Cells returns the intersection cells of a polygon-polygon pair in
+// the A→B direction used at Precompute time.
+func (o *Overlay) Cells(a Ref, aid layer.Gid, b Ref, bid layer.Gid) []Cell {
+	return o.cells[cellKey{a: a, b: b, ai: aid, bi: bid}]
+}
+
+// IntersectionArea returns the precomputed area of a polygon-polygon
+// intersection (0 when not precomputed or disjoint).
+func (o *Overlay) IntersectionArea(a Ref, aid layer.Gid, b Ref, bid layer.Gid) float64 {
+	var sum float64
+	for _, c := range o.Cells(a, aid, b, bid) {
+		sum += c.Area
+	}
+	return sum
+}
+
+// IntersectingNaive computes the same relation as Intersecting
+// without precomputation: the full geometric test against every
+// geometry of the b side. This is the query-time baseline the paper's
+// Section-5 strategy avoids; benchmarks compare the two.
+func IntersectingNaive(layers map[string]*layer.Layer, a Ref, aid layer.Gid, b Ref) ([]layer.Gid, error) {
+	o := &Overlay{layers: layers, rel: map[relKey][]layer.Gid{}, cells: map[cellKey][]Cell{}}
+	la, err := o.layerOf(a)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := o.layerOf(b)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := collect(lb, b.Kind)
+	if err != nil {
+		return nil, err
+	}
+	var out []layer.Gid
+	for _, bb := range bs {
+		hit, _, err := o.test(la, a.Kind, aid, lb, b.Kind, bb.id, false)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			out = append(out, bb.id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+)
+
+func sq(x, y, s float64) geom.Polygon {
+	return geom.Polygon{Shell: geom.Ring{
+		geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+	}}
+}
+
+// testLayers: cities (polygons), rivers (polylines), stores (nodes).
+func testLayers() map[string]*layer.Layer {
+	cities := layer.New("cities")
+	cities.AddPolygon(1, sq(0, 0, 10))  // crossed by river, has store
+	cities.AddPolygon(2, sq(20, 0, 10)) // has store, no river
+	cities.AddPolygon(3, sq(0, 20, 10)) // crossed by river, no store
+	cities.AddPolygon(4, sq(40, 40, 5)) // isolated
+
+	rivers := layer.New("rivers")
+	rivers.AddPolyline(1, geom.Polyline{geom.Pt(-5, 5), geom.Pt(15, 5)}) // through city 1
+	rivers.AddPolyline(2, geom.Polyline{geom.Pt(5, 15), geom.Pt(5, 35)}) // through city 3
+
+	stores := layer.New("stores")
+	stores.AddNode(1, geom.Pt(2, 2))  // in city 1
+	stores.AddNode(2, geom.Pt(25, 5)) // in city 2
+	stores.AddNode(3, geom.Pt(100, 100))
+
+	districts := layer.New("districts")
+	districts.AddPolygon(1, sq(0, 0, 5))
+	districts.AddPolygon(2, sq(5, 0, 5))
+	districts.AddPolygon(3, sq(8, 8, 10)) // straddles cities 1 and beyond
+
+	return map[string]*layer.Layer{
+		"cities": cities, "rivers": rivers, "stores": stores, "districts": districts,
+	}
+}
+
+var (
+	refCities    = Ref{Layer: "cities", Kind: layer.KindPolygon}
+	refRivers    = Ref{Layer: "rivers", Kind: layer.KindPolyline}
+	refStores    = Ref{Layer: "stores", Kind: layer.KindNode}
+	refDistricts = Ref{Layer: "districts", Kind: layer.KindPolygon}
+)
+
+func buildOverlay(t *testing.T) *Overlay {
+	t.Helper()
+	o, err := Precompute(testLayers(), []Pair{
+		{A: refCities, B: refRivers},
+		{A: refCities, B: refStores},
+		{A: refCities, B: refDistricts},
+		{A: refRivers, B: refRivers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOverlayPolygonPolyline(t *testing.T) {
+	o := buildOverlay(t)
+	if got := o.Intersecting(refCities, 1, refRivers); len(got) != 1 || got[0] != 1 {
+		t.Errorf("city1 rivers = %v", got)
+	}
+	if got := o.Intersecting(refCities, 2, refRivers); len(got) != 0 {
+		t.Errorf("city2 rivers = %v", got)
+	}
+	// Reverse direction is also stored.
+	if got := o.Intersecting(refRivers, 2, refCities); len(got) != 1 || got[0] != 3 {
+		t.Errorf("river2 cities = %v", got)
+	}
+}
+
+func TestOverlayPolygonNode(t *testing.T) {
+	o := buildOverlay(t)
+	if got := o.Intersecting(refCities, 1, refStores); len(got) != 1 || got[0] != 1 {
+		t.Errorf("city1 stores = %v", got)
+	}
+	if got := o.Intersecting(refStores, 2, refCities); len(got) != 1 || got[0] != 2 {
+		t.Errorf("store2 cities = %v", got)
+	}
+	if got := o.Intersecting(refCities, 4, refStores); len(got) != 0 {
+		t.Errorf("city4 stores = %v", got)
+	}
+}
+
+func TestOverlayPolygonPolygonCells(t *testing.T) {
+	o := buildOverlay(t)
+	got := o.Intersecting(refCities, 1, refDistricts)
+	if len(got) != 3 {
+		t.Fatalf("city1 districts = %v", got)
+	}
+	// Areas: district1 fully inside city1 (25); district2 fully inside
+	// (25); district3 overlaps city1 on [8,10]² (4).
+	if a := o.IntersectionArea(refCities, 1, refDistricts, 1); math.Abs(a-25) > 1e-9 {
+		t.Errorf("area city1∩district1 = %v", a)
+	}
+	if a := o.IntersectionArea(refCities, 1, refDistricts, 3); math.Abs(a-4) > 1e-9 {
+		t.Errorf("area city1∩district3 = %v", a)
+	}
+	if a := o.IntersectionArea(refCities, 4, refDistricts, 1); a != 0 {
+		t.Errorf("disjoint area = %v", a)
+	}
+	// Cell centroids lie in both polygons.
+	ls := testLayers()
+	c1, _ := ls["cities"].Polygon(1)
+	d3, _ := ls["districts"].Polygon(3)
+	for _, cell := range o.Cells(refCities, 1, refDistricts, 3) {
+		ct := cell.Ring.Centroid()
+		if !c1.ContainsPoint(ct) || !d3.ContainsPoint(ct) {
+			t.Errorf("cell centroid %v outside intersection", ct)
+		}
+	}
+}
+
+func TestOverlayPolylinePolyline(t *testing.T) {
+	o := buildOverlay(t)
+	// The two rivers don't touch.
+	if got := o.Intersecting(refRivers, 1, refRivers); len(got) != 1 || got[0] != 1 {
+		// A polyline always intersects itself.
+		t.Errorf("river1 rivers = %v", got)
+	}
+}
+
+func TestOverlayMatchesNaive(t *testing.T) {
+	o := buildOverlay(t)
+	layers := testLayers()
+	for _, cid := range []layer.Gid{1, 2, 3, 4} {
+		fast := o.Intersecting(refCities, cid, refRivers)
+		slow, err := IntersectingNaive(layers, refCities, cid, refRivers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("city %d: fast %v, slow %v", cid, fast, slow)
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("city %d: fast %v, slow %v", cid, fast, slow)
+			}
+		}
+	}
+}
+
+func TestOverlayErrors(t *testing.T) {
+	if _, err := Precompute(testLayers(), []Pair{{A: Ref{Layer: "nope", Kind: layer.KindPolygon}, B: refRivers}}); err == nil {
+		t.Error("unknown layer A accepted")
+	}
+	if _, err := Precompute(testLayers(), []Pair{{A: refCities, B: Ref{Layer: "nope", Kind: layer.KindPolygon}}}); err == nil {
+		t.Error("unknown layer B accepted")
+	}
+	if _, err := Precompute(testLayers(), []Pair{{A: Ref{Layer: "cities", Kind: layer.KindLine}, B: refRivers}}); err == nil {
+		t.Error("unsupported kind accepted")
+	}
+	if _, err := IntersectingNaive(testLayers(), Ref{Layer: "zz", Kind: layer.KindPolygon}, 1, refRivers); err == nil {
+		t.Error("naive unknown layer accepted")
+	}
+	// Node-node is unsupported.
+	if _, err := Precompute(testLayers(), []Pair{{A: refStores, B: refStores}}); err == nil {
+		t.Error("node-node pair accepted")
+	}
+}
+
+func TestOverlayNodePolyline(t *testing.T) {
+	layers := testLayers()
+	layers["stops"] = layer.New("stops")
+	layers["stops"].AddNode(1, geom.Pt(5, 5)) // on river 1
+	layers["stops"].AddNode(2, geom.Pt(50, 50))
+	refStops := Ref{Layer: "stops", Kind: layer.KindNode}
+	o, err := Precompute(layers, []Pair{{A: refStops, B: refRivers}, {A: refRivers, B: refStops}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Intersecting(refStops, 1, refRivers); len(got) != 1 || got[0] != 1 {
+		t.Errorf("stop1 rivers = %v", got)
+	}
+	if got := o.Intersecting(refRivers, 1, refStops); len(got) != 1 || got[0] != 1 {
+		t.Errorf("river1 stops = %v", got)
+	}
+	if got := o.Intersecting(refStops, 2, refRivers); len(got) != 0 {
+		t.Errorf("stop2 rivers = %v", got)
+	}
+	if got := o.Pairs(); len(got) != 2 {
+		t.Errorf("Pairs = %v", got)
+	}
+}

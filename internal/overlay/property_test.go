@@ -1,0 +1,145 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/layer"
+	"mogis/internal/workload"
+)
+
+// TestOverlayPropertiesOnSyntheticCity checks structural invariants
+// of the precomputed overlay on generated cities: symmetry of the
+// stored relation, intersection areas bounded by the smaller operand,
+// and full agreement with naive evaluation for every geometry.
+func TestOverlayPropertiesOnSyntheticCity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		city := workload.GenCity(workload.CityConfig{Seed: seed, Cols: 4, Rows: 4})
+		layers := city.Layers()
+		refN := Ref{Layer: "Ln", Kind: layer.KindPolygon}
+		refR := Ref{Layer: "Lr", Kind: layer.KindPolyline}
+		refS := Ref{Layer: "Lstores", Kind: layer.KindNode}
+		ov, err := Precompute(layers, []Pair{
+			{A: refN, B: refR},
+			{A: refN, B: refS},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Symmetry: a ∈ Intersecting(b) ⇔ b ∈ Intersecting(a).
+		for _, nid := range city.Ln.IDs(layer.KindPolygon) {
+			for _, rid := range ov.Intersecting(refN, nid, refR) {
+				found := false
+				for _, back := range ov.Intersecting(refR, rid, refN) {
+					if back == nid {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: asymmetric relation %d↔%d", seed, nid, rid)
+				}
+			}
+		}
+
+		// Agreement with naive evaluation.
+		for _, nid := range city.Ln.IDs(layer.KindPolygon) {
+			fast := ov.Intersecting(refN, nid, refS)
+			slow, err := IntersectingNaive(layers, refN, nid, refS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast) != len(slow) {
+				t.Fatalf("seed %d polygon %d: fast %v vs slow %v", seed, nid, fast, slow)
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("seed %d polygon %d: fast %v vs slow %v", seed, nid, fast, slow)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayCellAreaBounds: on a polygon-polygon overlay of two
+// shifted partitions, cell areas per pair are positive, bounded by
+// both operands, and the per-polygon totals reconstruct each
+// polygon's area (both partitions cover the same extent).
+func TestOverlayCellAreaBounds(t *testing.T) {
+	// Two different partitions of the SAME 300×300 extent.
+	a := workload.GenCity(workload.CityConfig{Seed: 4, Cols: 3, Rows: 3, CellSize: 100})
+	b := workload.GenCity(workload.CityConfig{Seed: 9, Cols: 5, Rows: 5, CellSize: 60})
+	layers := map[string]*layer.Layer{"A": renameLayer(a.Ln, "A"), "B": renameLayer(b.Ln, "B")}
+	refA := Ref{Layer: "A", Kind: layer.KindPolygon}
+	refB := Ref{Layer: "B", Kind: layer.KindPolygon}
+	ov, err := Precompute(layers, []Pair{{A: refA, B: refB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aid := range layers["A"].IDs(layer.KindPolygon) {
+		pa, _ := layers["A"].Polygon(aid)
+		var total float64
+		for _, bid := range ov.Intersecting(refA, aid, refB) {
+			pb, _ := layers["B"].Polygon(bid)
+			area := ov.IntersectionArea(refA, aid, refB, bid)
+			if area < -1e-9 {
+				t.Fatalf("negative cell area for %d∩%d", aid, bid)
+			}
+			if area > math.Min(pa.Area(), pb.Area())+1e-6 {
+				t.Fatalf("cell area %v exceeds operands (%v, %v)", area, pa.Area(), pb.Area())
+			}
+			total += area
+		}
+		// Both partitions tile the same extent, so the pieces of a
+		// polygon across the other partition must reconstruct it.
+		if math.Abs(total-pa.Area()) > 1e-6*pa.Area()+1e-9 {
+			t.Fatalf("polygon %d: pieces sum to %v, area is %v", aid, total, pa.Area())
+		}
+	}
+}
+
+// renameLayer clones a layer's polygons under a new name (overlay
+// keys pairs by layer name, and both cities call theirs "Ln").
+func renameLayer(src *layer.Layer, name string) *layer.Layer {
+	out := layer.New(name)
+	for _, id := range src.IDs(layer.KindPolygon) {
+		pg, _ := src.Polygon(id)
+		out.AddPolygon(id, pg)
+	}
+	return out
+}
+
+// TestOverlayCellCentroidsInsideBoth: every stored intersection cell
+// must have its centroid inside both polygons.
+func TestOverlayCellCentroidsInsideBoth(t *testing.T) {
+	a := workload.GenCity(workload.CityConfig{Seed: 6, Cols: 2, Rows: 2, CellSize: 150})
+	b := workload.GenCity(workload.CityConfig{Seed: 7, Cols: 3, Rows: 3, CellSize: 100})
+	layers := map[string]*layer.Layer{"A": renameLayer(a.Ln, "A"), "B": renameLayer(b.Ln, "B")}
+	refA := Ref{Layer: "A", Kind: layer.KindPolygon}
+	refB := Ref{Layer: "B", Kind: layer.KindPolygon}
+	ov, err := Precompute(layers, []Pair{{A: refA, B: refB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, aid := range layers["A"].IDs(layer.KindPolygon) {
+		pa, _ := layers["A"].Polygon(aid)
+		for _, bid := range ov.Intersecting(refA, aid, refB) {
+			pb, _ := layers["B"].Polygon(bid)
+			for _, cell := range ov.Cells(refA, aid, refB, bid) {
+				if cell.Area < 1e-9 {
+					continue
+				}
+				c := cell.Ring.Centroid()
+				if !pa.ContainsPoint(c) || !pb.ContainsPoint(c) {
+					t.Fatalf("cell centroid %v outside %d∩%d", c, aid, bid)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cells checked")
+	}
+}

@@ -1,0 +1,60 @@
+package pietql
+
+import (
+	"mogis/internal/olap"
+	"mogis/internal/timedim"
+)
+
+// PredicateKind enumerates the geometric predicates.
+type PredicateKind int
+
+// The predicates of the geometric part.
+const (
+	PredIntersection PredicateKind = iota
+	PredContains
+)
+
+func (k PredicateKind) String() string {
+	if k == PredContains {
+		return "CONTAINS"
+	}
+	return "intersection"
+}
+
+// Predicate is one WHERE condition: a predicate over two layer
+// variables with an optional subplevel annotation.
+type Predicate struct {
+	Kind     PredicateKind
+	A, B     string // layer names
+	SubLevel string // "Linestring", "Point", "Polygon" or empty
+	Anchor   string // the "(layer.X)" re-anchor preceding the predicate, or empty
+}
+
+// GeoQuery is the geometric part.
+type GeoQuery struct {
+	Select []string // layer names, in SELECT order
+	Schema string
+	Where  []Predicate
+}
+
+// MOQuery is the moving-objects part.
+type MOQuery struct {
+	Agg          olap.AggFunc // COUNT (over *) is the supported aggregate
+	Table        string       // MOFT name
+	ThroughLayer string       // the layer whose geometric-part result gates the objects
+	HasWindow    bool
+	Window       timedim.Interval
+	SampledOnly  bool // raw-sample semantics instead of interpolation
+	// GroupBy buckets the count by a Time-dimension category; only
+	// the chronon-aligned categories hour and day are supported (an
+	// object counts in every bucket its passing intervals overlap).
+	GroupBy timedim.Category
+}
+
+// Query is a full three-part Piet-QL query; OLAP and MO parts are
+// optional.
+type Query struct {
+	Geo  *GeoQuery
+	OLAP string // raw MDX text, empty when absent
+	MO   *MOQuery
+}

@@ -1,0 +1,548 @@
+package pietql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/mdx"
+	"mogis/internal/moft"
+	"mogis/internal/olap"
+	"mogis/internal/overlay"
+	"mogis/internal/timedim"
+)
+
+// System is everything a Piet-QL query needs: the model context, the
+// per-layer geometry kinds Piet-QL variables range over, optionally a
+// precomputed overlay (Section 5's evaluation strategy), and the MDX
+// cube catalog.
+type System struct {
+	Ctx    *fo.Context
+	Engine *core.Engine
+	// Kinds maps each Piet-QL-visible layer name to the geometry kind
+	// its variable ranges over.
+	Kinds map[string]layer.Kind
+	// Overlay, when non-nil, answers the geometric predicates from
+	// precomputed relations.
+	Overlay *overlay.Overlay
+	// Cubes resolves the OLAP part.
+	Cubes mdx.Catalog
+	// SchemaName is checked against the FROM clause.
+	SchemaName string
+}
+
+// Outcome is the result of running a Piet-QL query.
+type Outcome struct {
+	// GeoIDs holds, per selected layer, the geometry ids
+	// participating in a satisfying assignment.
+	GeoIDs map[string][]layer.Gid
+	// OLAP is the MDX result (nil when the query has no OLAP part).
+	OLAP *mdx.Result
+	// MOCount is the moving-objects aggregate (valid when HasMO).
+	MOCount int
+	HasMO   bool
+	// MOGroups holds the per-bucket counts when the moving-objects
+	// part has a GROUP BY.
+	MOGroups *olap.AggResult
+}
+
+// Run parses and evaluates a Piet-QL query.
+func (s *System) Run(query string) (*Outcome, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.Eval(q)
+}
+
+// Eval evaluates a parsed query.
+func (s *System) Eval(q *Query) (*Outcome, error) {
+	out := &Outcome{}
+	ids, err := s.evalGeo(q.Geo)
+	if err != nil {
+		return nil, err
+	}
+	out.GeoIDs = ids
+
+	if q.OLAP != "" {
+		res, err := mdx.Run(s.Cubes, q.OLAP)
+		if err != nil {
+			return nil, fmt.Errorf("pietql: OLAP part: %w", err)
+		}
+		out.OLAP = res
+	}
+
+	if q.MO != nil {
+		n, groups, err := s.evalMO(q.MO, ids)
+		if err != nil {
+			return nil, err
+		}
+		out.MOCount = n
+		out.MOGroups = groups
+		out.HasMO = true
+	}
+	return out, nil
+}
+
+func (s *System) ref(layerName string) (overlay.Ref, error) {
+	kind, ok := s.Kinds[layerName]
+	if !ok {
+		return overlay.Ref{}, fmt.Errorf("pietql: unknown layer %q", layerName)
+	}
+	return overlay.Ref{Layer: layerName, Kind: kind}, nil
+}
+
+// expectedSubLevel returns the geometry kind an intersection or
+// containment of the two kinds materializes.
+func expectedSubLevel(pred PredicateKind, a, b layer.Kind) string {
+	if pred == PredContains {
+		switch b {
+		case layer.KindNode:
+			return "Point"
+		case layer.KindPolyline:
+			return "Linestring"
+		default:
+			return "Polygon"
+		}
+	}
+	if a == layer.KindNode || b == layer.KindNode {
+		return "Point"
+	}
+	if a == layer.KindPolyline || b == layer.KindPolyline {
+		return "Linestring"
+	}
+	return "Polygon"
+}
+
+// evalGeo evaluates the geometric part as a conjunctive query over
+// one variable per layer.
+func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
+	if s.SchemaName != "" && !strings.EqualFold(g.Schema, s.SchemaName) {
+		return nil, fmt.Errorf("pietql: unknown schema %q (have %q)", g.Schema, s.SchemaName)
+	}
+	// Validate layers and predicates up front.
+	for _, l := range g.Select {
+		if _, err := s.ref(l); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range g.Where {
+		ra, err := s.ref(p.A)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := s.ref(p.B)
+		if err != nil {
+			return nil, err
+		}
+		if p.Anchor != "" {
+			if _, err := s.ref(p.Anchor); err != nil {
+				return nil, err
+			}
+		}
+		if p.SubLevel != "" {
+			want := expectedSubLevel(p.Kind, ra.Kind, rb.Kind)
+			if !strings.EqualFold(p.SubLevel, want) {
+				return nil, fmt.Errorf("pietql: %s(%s, %s) materializes subplevel.%s, not subplevel.%s",
+					p.Kind, p.A, p.B, want, p.SubLevel)
+			}
+		}
+		if p.Kind == PredContains && ra.Kind != layer.KindPolygon {
+			return nil, fmt.Errorf("pietql: CONTAINS needs a polygon layer on the left, %q is %s", p.A, ra.Kind)
+		}
+	}
+
+	// Conjunctive evaluation over bindings layer → gid.
+	bindings := []map[string]layer.Gid{{}}
+	for _, p := range g.Where {
+		var err error
+		bindings, err = s.applyPredicate(bindings, p)
+		if err != nil {
+			return nil, err
+		}
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	// A selected layer never mentioned in WHERE ranges over all its
+	// geometries.
+	for _, l := range g.Select {
+		if len(bindings) > 0 {
+			if _, bound := bindings[0][l]; bound {
+				continue
+			}
+		}
+		r, _ := s.ref(l)
+		all, err := s.allIDs(r)
+		if err != nil {
+			return nil, err
+		}
+		var next []map[string]layer.Gid
+		for _, b := range bindings {
+			for _, id := range all {
+				nb := cloneBinding(b)
+				nb[l] = id
+				next = append(next, nb)
+			}
+		}
+		bindings = next
+	}
+
+	out := make(map[string][]layer.Gid, len(g.Select))
+	for _, l := range g.Select {
+		seen := map[layer.Gid]bool{}
+		var ids []layer.Gid
+		for _, b := range bindings {
+			if id, ok := b[l]; ok && !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[l] = ids
+	}
+	return out, nil
+}
+
+func cloneBinding(b map[string]layer.Gid) map[string]layer.Gid {
+	nb := make(map[string]layer.Gid, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+func (s *System) allIDs(r overlay.Ref) ([]layer.Gid, error) {
+	l, ok := s.Ctx.GIS().Layer(r.Layer)
+	if !ok {
+		return nil, fmt.Errorf("pietql: layer %q not attached", r.Layer)
+	}
+	return l.IDs(r.Kind), nil
+}
+
+// applyPredicate extends or filters the bindings with one predicate.
+func (s *System) applyPredicate(bindings []map[string]layer.Gid, p Predicate) ([]map[string]layer.Gid, error) {
+	ra, _ := s.ref(p.A)
+	rb, _ := s.ref(p.B)
+	var out []map[string]layer.Gid
+	for _, b := range bindings {
+		aid, aBound := b[p.A]
+		bid, bBound := b[p.B]
+		switch {
+		case aBound && bBound:
+			ok, err := s.related(p.Kind, ra, aid, rb, bid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, b)
+			}
+		case aBound:
+			ids, err := s.relatedIDs(p.Kind, ra, aid, rb)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				nb := cloneBinding(b)
+				nb[p.B] = id
+				out = append(out, nb)
+			}
+		case bBound:
+			// Enumerate A candidates related to the bound B.
+			all, err := s.allIDs(ra)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range all {
+				ok, err := s.related(p.Kind, ra, id, rb, bid)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					nb := cloneBinding(b)
+					nb[p.A] = id
+					out = append(out, nb)
+				}
+			}
+		default:
+			all, err := s.allIDs(ra)
+			if err != nil {
+				return nil, err
+			}
+			for _, aid := range all {
+				ids, err := s.relatedIDs(p.Kind, ra, aid, rb)
+				if err != nil {
+					return nil, err
+				}
+				for _, id := range ids {
+					nb := cloneBinding(b)
+					nb[p.A] = aid
+					nb[p.B] = id
+					out = append(out, nb)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// relatedIDs returns the B-ids related to (ra, aid) under the
+// predicate, preferring the precomputed overlay.
+func (s *System) relatedIDs(pred PredicateKind, ra overlay.Ref, aid layer.Gid, rb overlay.Ref) ([]layer.Gid, error) {
+	var candidates []layer.Gid
+	if s.Overlay != nil {
+		candidates = s.Overlay.Intersecting(ra, aid, rb)
+	} else {
+		var err error
+		candidates, err = overlay.IntersectingNaive(s.layerMap(), ra, aid, rb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pred == PredIntersection {
+		return candidates, nil
+	}
+	// CONTAINS: intersection candidates refined by exact containment.
+	var out []layer.Gid
+	for _, bid := range candidates {
+		ok, err := s.contains(ra, aid, rb, bid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, bid)
+		}
+	}
+	return out, nil
+}
+
+func (s *System) related(pred PredicateKind, ra overlay.Ref, aid layer.Gid, rb overlay.Ref, bid layer.Gid) (bool, error) {
+	ids, err := s.relatedIDs(pred, ra, aid, rb)
+	if err != nil {
+		return false, err
+	}
+	for _, id := range ids {
+		if id == bid {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (s *System) layerMap() map[string]*layer.Layer {
+	m := make(map[string]*layer.Layer, len(s.Kinds))
+	for name := range s.Kinds {
+		if l, ok := s.Ctx.GIS().Layer(name); ok {
+			m[name] = l
+		}
+	}
+	return m
+}
+
+// contains tests full containment of b in a (a must be a polygon).
+func (s *System) contains(ra overlay.Ref, aid layer.Gid, rb overlay.Ref, bid layer.Gid) (bool, error) {
+	if ra.Kind != layer.KindPolygon {
+		return false, fmt.Errorf("pietql: CONTAINS needs a polygon on the left, got %s", ra.Kind)
+	}
+	la, _ := s.Ctx.GIS().Layer(ra.Layer)
+	lb, _ := s.Ctx.GIS().Layer(rb.Layer)
+	pa, ok := la.Polygon(aid)
+	if !ok {
+		return false, fmt.Errorf("pietql: layer %q has no polygon %d", ra.Layer, aid)
+	}
+	switch rb.Kind {
+	case layer.KindNode:
+		p, ok := lb.Node(bid)
+		if !ok {
+			return false, fmt.Errorf("pietql: layer %q has no node %d", rb.Layer, bid)
+		}
+		return pa.ContainsPoint(p), nil
+	case layer.KindPolyline:
+		pl, ok := lb.Polyline(bid)
+		if !ok {
+			return false, fmt.Errorf("pietql: layer %q has no polyline %d", rb.Layer, bid)
+		}
+		const tol = 1e-9
+		return pl.LengthInside(pa) >= pl.Length()-tol, nil
+	case layer.KindPolygon:
+		pb, ok := lb.Polygon(bid)
+		if !ok {
+			return false, fmt.Errorf("pietql: layer %q has no polygon %d", rb.Layer, bid)
+		}
+		return pa.ContainsPolygon(pb), nil
+	default:
+		return false, fmt.Errorf("pietql: CONTAINS unsupported for kind %s", rb.Kind)
+	}
+}
+
+// evalMO evaluates the moving-objects part against the geometric
+// result.
+func (s *System) evalMO(q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.AggResult, error) {
+	ids, ok := geoIDs[q.ThroughLayer]
+	if !ok {
+		return 0, nil, fmt.Errorf("pietql: PASSES THROUGH layer %q is not in the geometric SELECT", q.ThroughLayer)
+	}
+	kind := s.Kinds[q.ThroughLayer]
+	if kind != layer.KindPolygon {
+		return 0, nil, fmt.Errorf("pietql: PASSES THROUGH needs a polygon layer, %q is %s", q.ThroughLayer, kind)
+	}
+	tbl, err := s.Ctx.Table(q.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	window := q.Window
+	if !q.HasWindow {
+		lo, hi, ok := tbl.TimeSpan()
+		if !ok {
+			return 0, nil, nil
+		}
+		window = timedim.Interval{Lo: lo, Hi: hi}
+	}
+	if q.GroupBy != "" {
+		groups, total, err := s.evalMOGrouped(q, ids, window)
+		if err != nil {
+			return 0, nil, err
+		}
+		return total, groups, nil
+	}
+	if !q.SampledOnly {
+		n, err := s.Engine.CountPassingThroughGeometries(q.Table, q.ThroughLayer, ids, window)
+		return n, nil, err
+	}
+	// Sample-only semantics: union the per-polygon sampled objects.
+	l, _ := s.Ctx.GIS().Layer(q.ThroughLayer)
+	seen := map[moft.Oid]bool{}
+	for _, id := range ids {
+		pg, ok := l.Polygon(id)
+		if !ok {
+			return 0, nil, fmt.Errorf("pietql: layer %q has no polygon %d", q.ThroughLayer, id)
+		}
+		objs, err := s.Engine.ObjectsSampledInside(q.Table, pg, window)
+		if err != nil {
+			return 0, nil, err
+		}
+		for _, o := range objs {
+			seen[o] = true
+		}
+	}
+	return len(seen), nil, nil
+}
+
+// evalMOGrouped computes per-bucket object counts for GROUP BY hour
+// or day: an object contributes to every bucket its passing intervals
+// (or in-polygon samples) overlap. The returned total is the number
+// of distinct contributing objects.
+func (s *System) evalMOGrouped(q *MOQuery, ids []layer.Gid, window timedim.Interval) (*olap.AggResult, int, error) {
+	l, _ := s.Ctx.GIS().Layer(q.ThroughLayer)
+	polys := make([]geom.Polygon, 0, len(ids))
+	for _, id := range ids {
+		pg, ok := l.Polygon(id)
+		if !ok {
+			return nil, 0, fmt.Errorf("pietql: layer %q has no polygon %d", q.ThroughLayer, id)
+		}
+		polys = append(polys, pg)
+	}
+
+	bucketWidth := int64(timedim.SecondsPerHour)
+	if q.GroupBy == timedim.CatDay {
+		bucketWidth = timedim.SecondsPerDay
+	}
+	truncate := func(t timedim.Instant) timedim.Instant {
+		if q.GroupBy == timedim.CatDay {
+			return t.TruncateDay()
+		}
+		return t.TruncateHour()
+	}
+
+	perBucket := make(map[string]map[moft.Oid]bool)
+	contributing := make(map[moft.Oid]bool)
+	mark := func(oid moft.Oid, t timedim.Instant) {
+		label, _ := timedim.Rollup(q.GroupBy, t)
+		if perBucket[label] == nil {
+			perBucket[label] = make(map[moft.Oid]bool)
+		}
+		perBucket[label][oid] = true
+		contributing[oid] = true
+	}
+
+	if q.SampledOnly {
+		tbl, err := s.Ctx.Table(q.Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		tbl.ScanInterval(window, func(tp moft.Tuple) bool {
+			for _, pg := range polys {
+				if pg.ContainsPoint(tp.Point()) {
+					mark(tp.Oid, tp.T)
+					break
+				}
+			}
+			return true
+		})
+	} else {
+		lits, err := s.Engine.Trajectories(q.Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		for oid, lit := range lits {
+			for _, pg := range polys {
+				for _, iv := range lit.InsidePolygonIntervals(pg) {
+					lo, hi := iv.Lo, iv.Hi
+					if lo < float64(window.Lo) {
+						lo = float64(window.Lo)
+					}
+					if hi > float64(window.Hi) {
+						hi = float64(window.Hi)
+					}
+					if hi < lo {
+						continue
+					}
+					// Mark every bucket the clipped interval overlaps.
+					for b := truncate(timedim.Instant(lo)); float64(b) <= hi; b += timedim.Instant(bucketWidth) {
+						mark(oid, b)
+					}
+				}
+			}
+		}
+	}
+
+	res := &olap.AggResult{GroupCols: []string{string(q.GroupBy)}}
+	for label, objs := range perBucket {
+		res.Rows = append(res.Rows, olap.AggResultRow{
+			Group: []olap.Member{olap.Member(label)},
+			Value: float64(len(objs)),
+			N:     int64(len(objs)),
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Group[0] < res.Rows[j].Group[0] })
+	return res, len(contributing), nil
+}
+
+// FormatOutcome renders an outcome as text for CLI use.
+func FormatOutcome(o *Outcome) string {
+	var sb strings.Builder
+	var names []string
+	for name := range o.GeoIDs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s: %v\n", name, o.GeoIDs[name])
+	}
+	if o.OLAP != nil {
+		sb.WriteString("OLAP:\n")
+		sb.WriteString(o.OLAP.String())
+	}
+	if o.HasMO {
+		fmt.Fprintf(&sb, "moving objects: %d\n", o.MOCount)
+		if o.MOGroups != nil {
+			sb.WriteString(o.MOGroups.String())
+		}
+	}
+	return sb.String()
+}

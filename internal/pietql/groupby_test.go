@@ -1,0 +1,106 @@
+package pietql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/pietql"
+)
+
+// TestMOGroupByHour checks the per-hour breakdown of objects passing
+// through the selected polygons (the paper's "number of buses per
+// hour" normalization, bucketed).
+func TestMOGroupByHour(t *testing.T) {
+	sys := system(t, false)
+	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY hour`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasMO || out.MOGroups == nil {
+		t.Fatal("missing grouped MO result")
+	}
+	// Selected polygons: Dam and Berchem. Interpolated presence:
+	//  - O2 in Dam around 11:00 (sample) — its 10:00→11:00 leg enters
+	//    Dam and the 11:00→12:00 leg exits it → buckets 10, 11.
+	//  - O6 crosses Dam between 10:00 and 11:00 → bucket 10.
+	//  - O5 in Berchem at 11:00 → bucket 11.
+	//  - O3 in Berchem at 13:00 → bucket 13.
+	//  - O4 in Berchem at 14:00 → bucket 14.
+	if v, ok := out.MOGroups.Lookup("2006-01-09 10"); !ok || v != 2 { // O2, O6
+		t.Errorf("10h = %v,%v\n%s", v, ok, out.MOGroups)
+	}
+	if v, ok := out.MOGroups.Lookup("2006-01-09 11"); !ok || v != 2 { // O2, O5
+		t.Errorf("11h = %v,%v\n%s", v, ok, out.MOGroups)
+	}
+	if v, ok := out.MOGroups.Lookup("2006-01-09 13"); !ok || v != 1 { // O3
+		t.Errorf("13h = %v,%v\n%s", v, ok, out.MOGroups)
+	}
+	// The total remains the distinct object count.
+	if out.MOCount != 5 {
+		t.Errorf("total = %d, want 5", out.MOCount)
+	}
+	// The formatted outcome includes the group table.
+	if s := pietql.FormatOutcome(out); !strings.Contains(s, "2006-01-09 10") {
+		t.Errorf("FormatOutcome missing group rows:\n%s", s)
+	}
+}
+
+func TestMOGroupByDay(t *testing.T) {
+	sys := system(t, false)
+	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY day`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MOGroups.Rows) != 1 {
+		t.Fatalf("day buckets = %v", out.MOGroups)
+	}
+	if v, ok := out.MOGroups.Lookup("2006-01-09"); !ok || v != 5 {
+		t.Errorf("day = %v,%v", v, ok)
+	}
+}
+
+func TestMOGroupBySampledOnly(t *testing.T) {
+	sys := system(t, false)
+	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY GROUP BY hour`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample-only: O2@11 (Dam), O5@11 (Berchem), O3@13, O4@14; no O6.
+	if v, ok := out.MOGroups.Lookup("2006-01-09 11"); !ok || v != 2 {
+		t.Errorf("11h sampled = %v,%v\n%s", v, ok, out.MOGroups)
+	}
+	if _, ok := out.MOGroups.Lookup("2006-01-09 10"); ok {
+		t.Errorf("10h should be absent for sampled-only:\n%s", out.MOGroups)
+	}
+	if out.MOCount != 4 {
+		t.Errorf("total = %d, want 4", out.MOCount)
+	}
+}
+
+func TestMOGroupByParseErrors(t *testing.T) {
+	cases := []string{
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES THROUGH layer.Ln GROUP BY month`,
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES THROUGH layer.Ln GROUP hour`,
+	}
+	for i, in := range cases {
+		if _, err := pietql.Parse(in); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestMOGroupByWindow(t *testing.T) {
+	sys := system(t, false)
+	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+		DURING '2006-01-09 06:00' TO '2006-01-09 12:00' GROUP BY hour`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Afternoon buckets must be gone.
+	if _, ok := out.MOGroups.Lookup("2006-01-09 13"); ok {
+		t.Errorf("13h should be clipped:\n%s", out.MOGroups)
+	}
+	if out.MOCount != 3 { // O2, O5, O6
+		t.Errorf("windowed total = %d, want 3", out.MOCount)
+	}
+}

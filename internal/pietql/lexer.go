@@ -1,0 +1,108 @@
+package pietql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF    tokKind = iota
+	tokIdent          // identifiers and keywords
+	tokString         // '...'
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokSemi
+	tokStar
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokSemi:
+		return "';'"
+	case tokStar:
+		return "'*'"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '\'':
+			end := strings.IndexByte(input[i+1:], '\'')
+			if end < 0 {
+				return nil, fmt.Errorf("pietql: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+end], i})
+			i += end + 2
+		case isIdentStart(c):
+			j := i
+			for j < len(input) && isIdentPart(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("pietql: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c))
+}

@@ -1,0 +1,348 @@
+package pietql
+
+import (
+	"fmt"
+	"strings"
+
+	"mogis/internal/olap"
+	"mogis/internal/timedim"
+)
+
+// Parse splits the query on pipes and parses the geometric and
+// moving-object parts; the OLAP part is kept verbatim for the MDX
+// engine.
+func Parse(input string) (*Query, error) {
+	parts := strings.Split(input, "|")
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("pietql: at most three pipe-separated parts, got %d", len(parts))
+	}
+	q := &Query{}
+	geo, err := parseGeo(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	q.Geo = geo
+	if len(parts) >= 2 {
+		if text := strings.TrimSpace(parts[1]); text != "" {
+			q.OLAP = text
+		}
+	}
+	if len(parts) == 3 {
+		if text := strings.TrimSpace(parts[2]); text != "" {
+			mo, err := parseMO(text)
+			if err != nil {
+				return nil, err
+			}
+			q.MO = mo
+		}
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("pietql: expected %v at position %d, got %v %q", kind, t.pos, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) keyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("pietql: expected %q at position %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// optSemi consumes an optional semicolon.
+func (p *parser) optSemi() {
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+}
+
+// parseLayerRef parses "layer.<name>".
+func (p *parser) parseLayerRef() (string, error) {
+	if err := p.keyword("layer"); err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return "", err
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+// parseSubLevel parses "subplevel.<Kind>".
+func (p *parser) parseSubLevel() (string, error) {
+	if err := p.keyword("subplevel"); err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return "", err
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func parseGeo(input string) (*GeoQuery, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &GeoQuery{}
+
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		l, err := p.parseLayerRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, l)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.optSemi()
+
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Schema = t.text
+	p.optSemi()
+
+	if p.peekKeyword("WHERE") {
+		p.next()
+		anchor := ""
+		for {
+			pred, err := p.parsePredicate(anchor)
+			if err != nil {
+				return nil, err
+			}
+			anchor = ""
+			q.Where = append(q.Where, pred)
+			p.optSemi()
+			if p.peekKeyword("AND") {
+				p.next()
+				// The paper's "(layer.X)" re-anchor may follow AND.
+				if p.peek().kind == tokLParen {
+					p.next()
+					a, err := p.parseLayerRef()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokRParen); err != nil {
+						return nil, err
+					}
+					anchor = a
+				}
+				continue
+			}
+			break
+		}
+	}
+	p.optSemi()
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("pietql: trailing input in geometric part at position %d: %q", t.pos, t.text)
+	}
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("pietql: empty SELECT")
+	}
+	return q, nil
+}
+
+// parsePredicate parses "intersection(layer.a, layer.b[, subplevel.K])"
+// or "CONTAINS(layer.a, layer.b[, subplevel.K])".
+func (p *parser) parsePredicate(anchor string) (Predicate, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return Predicate{}, err
+	}
+	var kind PredicateKind
+	switch strings.ToUpper(t.text) {
+	case "INTERSECTION":
+		kind = PredIntersection
+	case "CONTAINS":
+		kind = PredContains
+	default:
+		return Predicate{}, fmt.Errorf("pietql: unknown predicate %q at position %d", t.text, t.pos)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Predicate{}, err
+	}
+	a, err := p.parseLayerRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return Predicate{}, err
+	}
+	b, err := p.parseLayerRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	sub := ""
+	if p.peek().kind == tokComma {
+		p.next()
+		sub, err = p.parseSubLevel()
+		if err != nil {
+			return Predicate{}, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Kind: kind, A: a, B: b, SubLevel: sub, Anchor: anchor}, nil
+}
+
+// parseMO parses the moving-objects part.
+func parseMO(input string) (*MOQuery, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &MOQuery{}
+
+	if err := p.keyword("MOVING"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := olap.ParseAggFunc(strings.ToUpper(t.text))
+	if err != nil {
+		return nil, err
+	}
+	if fn != olap.Count {
+		return nil, fmt.Errorf("pietql: moving-objects part supports COUNT, got %s", fn)
+	}
+	q.Agg = fn
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	tt, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tt.text
+
+	if err := p.keyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("PASSES"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("THROUGH"); err != nil {
+		return nil, err
+	}
+	q.ThroughLayer, err = p.parseLayerRef()
+	if err != nil {
+		return nil, err
+	}
+
+	for {
+		switch {
+		case p.peekKeyword("DURING"):
+			p.next()
+			lo, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.keyword("TO"); err != nil {
+				return nil, err
+			}
+			hi, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			tlo, err := timedim.Parse(lo.text)
+			if err != nil {
+				return nil, fmt.Errorf("pietql: DURING start: %w", err)
+			}
+			thi, err := timedim.Parse(hi.text)
+			if err != nil {
+				return nil, fmt.Errorf("pietql: DURING end: %w", err)
+			}
+			if thi < tlo {
+				return nil, fmt.Errorf("pietql: DURING window is inverted")
+			}
+			q.HasWindow = true
+			q.Window = timedim.Interval{Lo: tlo, Hi: thi}
+		case p.peekKeyword("SAMPLED"):
+			p.next()
+			if err := p.keyword("ONLY"); err != nil {
+				return nil, err
+			}
+			q.SampledOnly = true
+		case p.peekKeyword("GROUP"):
+			p.next()
+			if err := p.keyword("BY"); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch cat := timedim.Category(t.text); cat {
+			case timedim.CatHour, timedim.CatDay:
+				q.GroupBy = cat
+			default:
+				return nil, fmt.Errorf("pietql: GROUP BY supports hour or day, got %q", t.text)
+			}
+		default:
+			p.optSemi()
+			if t := p.peek(); t.kind != tokEOF {
+				return nil, fmt.Errorf("pietql: trailing input in moving-objects part at position %d: %q", t.pos, t.text)
+			}
+			return q, nil
+		}
+	}
+}

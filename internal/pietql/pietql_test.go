@@ -1,0 +1,262 @@
+package pietql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/layer"
+	"mogis/internal/mdx"
+	"mogis/internal/olap"
+	"mogis/internal/overlay"
+	"mogis/internal/pietql"
+	"mogis/internal/scenario"
+)
+
+// system builds a Piet-QL system over the paper's running example,
+// optionally with a precomputed overlay.
+func system(t *testing.T, withOverlay bool) *pietql.System {
+	t.Helper()
+	s := scenario.New()
+	kinds := map[string]layer.Kind{
+		"Ln":      layer.KindPolygon,
+		"Lr":      layer.KindPolyline,
+		"Ls":      layer.KindNode,
+		"Lstores": layer.KindNode,
+		"Lh":      layer.KindPolyline,
+	}
+	sys := &pietql.System{
+		Ctx:        s.Ctx,
+		Engine:     s.Engine,
+		Kinds:      kinds,
+		SchemaName: "PietSchema",
+		Cubes:      mdx.Catalog{},
+	}
+	// A small cube for the OLAP part.
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims:     []olap.DimCol{{Name: "place", Dimension: s.Neighborhoods, Level: "neighborhood"}},
+		Measures: []string{"population"},
+	})
+	ft.MustAdd([]olap.Member{"Meir"}, []float64{60000})
+	ft.MustAdd([]olap.Member{"Dam"}, []float64{45000})
+	ft.MustAdd([]olap.Member{"Zuid"}, []float64{30000})
+	sys.Cubes["CityCube"] = &mdx.Cube{Name: "CityCube", Fact: ft}
+
+	if withOverlay {
+		layers := map[string]*layer.Layer{
+			"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
+		}
+		ov, err := overlay.Precompute(layers, []overlay.Pair{
+			{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
+			{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Overlay = ov
+	}
+	return sys
+}
+
+// paperQuery is the Section-5 example adapted to the scenario's layer
+// names: cities crossed by a river containing at least one store,
+// then the number of cars passing through them.
+const paperQuery = `
+SELECT layer.Lr, layer.Ln, layer.Lstores;
+FROM PietSchema;
+WHERE intersection(layer.Lr, layer.Ln, subplevel.Linestring)
+AND (layer.Ln)
+CONTAINS (layer.Ln, layer.Lstores, subplevel.Point);
+`
+
+func TestParsePaperExample(t *testing.T) {
+	q, err := pietql.Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Geo.Select) != 3 || q.Geo.Schema != "PietSchema" {
+		t.Errorf("geo = %+v", q.Geo)
+	}
+	if len(q.Geo.Where) != 2 {
+		t.Fatalf("where = %+v", q.Geo.Where)
+	}
+	if q.Geo.Where[0].Kind != pietql.PredIntersection || q.Geo.Where[0].SubLevel != "Linestring" {
+		t.Errorf("pred0 = %+v", q.Geo.Where[0])
+	}
+	if q.Geo.Where[1].Kind != pietql.PredContains || q.Geo.Where[1].Anchor != "Ln" {
+		t.Errorf("pred1 = %+v", q.Geo.Where[1])
+	}
+	if q.OLAP != "" || q.MO != nil {
+		t.Error("unexpected OLAP/MO parts")
+	}
+}
+
+func TestGeoEvaluation(t *testing.T) {
+	for _, withOverlay := range []bool{false, true} {
+		name := "naive"
+		if withOverlay {
+			name = "overlay"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := system(t, withOverlay)
+			out, err := sys.Run(paperQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The river along y=15 touches every neighborhood; the
+			// store-containing ones are Dam (store 1) and Berchem
+			// (store 2). Both are river-crossed (boundary touch), so
+			// Ln = {Dam, Berchem}.
+			got := out.GeoIDs["Ln"]
+			if len(got) != 2 || got[0] != scenario.PgDam || got[1] != scenario.PgBerchem {
+				t.Errorf("Ln ids = %v", got)
+			}
+			if len(out.GeoIDs["Lr"]) != 1 {
+				t.Errorf("Lr ids = %v", out.GeoIDs["Lr"])
+			}
+			if len(out.GeoIDs["Lstores"]) != 2 {
+				t.Errorf("Lstores ids = %v", out.GeoIDs["Lstores"])
+			}
+		})
+	}
+}
+
+func TestFullThreePartQuery(t *testing.T) {
+	sys := system(t, true)
+	query := paperQuery + `
+| SELECT {[Measures].[population]} ON COLUMNS,
+  {[place].[neighborhood].Members} ON ROWS FROM [CityCube]
+| MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+`
+	out, err := sys.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OLAP == nil {
+		t.Fatal("missing OLAP result")
+	}
+	if !out.HasMO {
+		t.Fatal("missing MO result")
+	}
+	// Objects passing through Dam or Berchem (interpolated): O2 (Dam),
+	// O6 (Dam crossing), O3, O4, O5 (Berchem samples). O1 stays in
+	// Meir. → 5.
+	if out.MOCount != 5 {
+		t.Errorf("MOCount = %d, want 5", out.MOCount)
+	}
+	s := pietql.FormatOutcome(out)
+	for _, want := range []string{"Ln:", "OLAP:", "moving objects: 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatOutcome missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMOSampledOnlyAndWindow(t *testing.T) {
+	sys := system(t, false)
+	// Sample-only: O6 no longer counts (not sampled in Dam/Berchem...
+	// O6's samples are in Linkeroever and Zuid).
+	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MOCount != 4 { // O2, O3, O4, O5
+		t.Errorf("sampled-only MOCount = %d, want 4", out.MOCount)
+	}
+	// Window restricted to the morning: O3 (13:00) and O4 (14:00) drop
+	// out; O2 (Dam 11:00), O5 (Berchem 11:00) stay; O6 interpolated
+	// crossing happens 10:00-11:00.
+	out, err = sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+		DURING '2006-01-09 06:00' TO '2006-01-09 12:00'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MOCount != 3 { // O2, O5, O6
+		t.Errorf("windowed MOCount = %d, want 3", out.MOCount)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT foo.Ln; FROM X;`, // not layer.
+		`SELECT layer.Ln FROM`,   // missing schema
+		`SELECT layer.Ln; FROM X; WHERE near(layer.Ln, layer.Lr)`,                    // unknown predicate
+		`SELECT layer.Ln; FROM X; WHERE intersection(layer.Ln)`,                      // arity
+		`SELECT layer.Ln; FROM X; WHERE intersection(layer.Ln, layer.Lr, sub.Point)`, // bad subplevel keyword
+		`a | b | c | d`, // too many parts
+		`SELECT layer.Ln; FROM X | | MOVING SUM(*) FROM F WHERE PASSES THROUGH layer.Ln`, // non-COUNT
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES layer.Ln`,       // missing THROUGH
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES THROUGH layer.Ln DURING 'bad' TO 'worse'`,
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES THROUGH layer.Ln DURING '2006-01-02' TO '2006-01-01'`,
+		`SELECT layer.Ln; FROM X | | MOVING COUNT(*) FROM F WHERE PASSES THROUGH layer.Ln garbage`,
+		`SELECT layer.Ln; FROM X; WHERE intersection(layer.Ln, layer.Lr) trailing`,
+		`SELECT layer.Ln; FROM X; WHERE intersection(layer.Ln, 'str')`,
+	}
+	for i, in := range cases {
+		if _, err := pietql.Parse(in); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, in)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	sys := system(t, false)
+	cases := []string{
+		`SELECT layer.Ln; FROM WrongSchema;`,   // schema mismatch
+		`SELECT layer.Ghost; FROM PietSchema;`, // unknown layer
+		`SELECT layer.Ln; FROM PietSchema; WHERE intersection(layer.Ln, layer.Ghost)`,
+		`SELECT layer.Ln; FROM PietSchema; WHERE intersection(layer.Lr, layer.Ln, subplevel.Polygon)`, // wrong subplevel
+		`SELECT layer.Ln; FROM PietSchema | SELECT {[Measures].[x]} ON COLUMNS FROM [Nope]`,           // OLAP error
+		`SELECT layer.Ln; FROM PietSchema | | MOVING COUNT(*) FROM Nope WHERE PASSES THROUGH layer.Ln`,
+		`SELECT layer.Ln; FROM PietSchema | | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Lr`,      // polyline layer
+		`SELECT layer.Ln; FROM PietSchema | | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Lstores`, // not polygon
+		`SELECT layer.Lr; FROM PietSchema | | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln`,      // Ln not selected
+		`SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Lr, layer.Lstores)`,                          // CONTAINS needs polygon lhs
+	}
+	for i, in := range cases {
+		if _, err := sys.Run(in); err == nil {
+			t.Errorf("case %d: expected eval error for %q", i, in)
+		}
+	}
+}
+
+func TestContainsPolylineAndPolygon(t *testing.T) {
+	sys := system(t, false)
+	// Streets fully inside a neighborhood? Meirstraat spans x=0..40 —
+	// not contained in any single neighborhood, so the result is
+	// empty.
+	out, err := sys.Run(`SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Ln, layer.Lh)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.GeoIDs["Ln"]) != 0 {
+		t.Errorf("contained streets = %v", out.GeoIDs["Ln"])
+	}
+	// intersection over streets: Leien (x=22) crosses Zuid and Berchem;
+	// Meirstraat (y=8) crosses Meir, Dam, Zuid.
+	out, err = sys.Run(`SELECT layer.Ln; FROM PietSchema; WHERE intersection(layer.Ln, layer.Lh, subplevel.Linestring)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.GeoIDs["Ln"]) != 4 { // Meir, Dam, Zuid, Berchem
+		t.Errorf("street-crossed = %v", out.GeoIDs["Ln"])
+	}
+}
+
+func TestSelectWithoutWhere(t *testing.T) {
+	sys := system(t, false)
+	out, err := sys.Run(`SELECT layer.Ln; FROM PietSchema;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.GeoIDs["Ln"]) != 5 {
+		t.Errorf("all neighborhoods = %v", out.GeoIDs["Ln"])
+	}
+}
+
+func TestPredicateKindString(t *testing.T) {
+	if pietql.PredIntersection.String() != "intersection" || pietql.PredContains.String() != "CONTAINS" {
+		t.Error("PredicateKind.String mismatch")
+	}
+}

@@ -1,0 +1,139 @@
+// Package render draws model instances as standalone SVG documents:
+// polygon layers shaded by a numeric attribute, polyline and node
+// layers, and moving-object trajectories. cmd/moviz uses it for
+// loaded datasets; the paper-exact Figure-1 rendering lives in
+// package scenario.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+)
+
+// Options configures an SVG rendering.
+type Options struct {
+	// Width is the target document width in pixels (default 800).
+	Width float64
+	// Shade maps a polygon id to a fill intensity in [0,1] (0 = light,
+	// 1 = dark); nil shades nothing.
+	Shade func(layer.Gid) float64
+	// MaxObjects caps how many trajectories are drawn (default 50; 0
+	// keeps the default, negative draws none).
+	MaxObjects int
+}
+
+// SVG renders the layers and the optional MOFT. Polygons come from
+// pgLayer (required); plLayers and ndLayers may be nil or empty.
+func SVG(pgLayer *layer.Layer, plLayers, ndLayers []*layer.Layer, fm *moft.Table, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 800
+	}
+	maxObjects := opts.MaxObjects
+	switch {
+	case maxObjects == 0:
+		maxObjects = 50
+	case maxObjects < 0:
+		maxObjects = 0
+	}
+
+	extent := pgLayer.BBox()
+	for _, l := range plLayers {
+		extent = extent.Union(l.BBox())
+	}
+	for _, l := range ndLayers {
+		extent = extent.Union(l.BBox())
+	}
+	if fm != nil {
+		extent = extent.Union(fm.BBox())
+	}
+	if extent.IsEmpty() {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>` + "\n"
+	}
+	scale := opts.Width / extent.Width()
+	w := opts.Width
+	h := extent.Height() * scale
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - extent.MinX) * scale, h - (p.Y-extent.MinY)*scale
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Polygons, shaded.
+	for _, id := range pgLayer.IDs(layer.KindPolygon) {
+		pg, _ := pgLayer.Polygon(id)
+		intensity := 0.0
+		if opts.Shade != nil {
+			intensity = math.Max(0, math.Min(1, opts.Shade(id)))
+		}
+		gray := int(240 - intensity*120)
+		sb.WriteString(`<polygon points="`)
+		for i, p := range pg.Shell {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			x, y := tx(p)
+			fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+		}
+		fmt.Fprintf(&sb, `" fill="rgb(%d,%d,%d)" stroke="black" stroke-width="0.7"/>`+"\n", gray, gray, gray)
+	}
+
+	// Polyline layers (rivers, streets).
+	colors := []string{"#3b6fd4", "#888888", "#7a5230"}
+	for li, l := range plLayers {
+		color := colors[li%len(colors)]
+		for _, id := range l.IDs(layer.KindPolyline) {
+			pl, _ := l.Polyline(id)
+			sb.WriteString(`<polyline points="`)
+			for i, p := range pl {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				x, y := tx(p)
+				fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+			}
+			fmt.Fprintf(&sb, `" fill="none" stroke="%s" stroke-width="2"/>`+"\n", color)
+		}
+	}
+
+	// Node layers (schools, stores).
+	markers := []string{"#111111", "#b03030", "#2f8f2f"}
+	for li, l := range ndLayers {
+		color := markers[li%len(markers)]
+		for _, id := range l.IDs(layer.KindNode) {
+			p, _ := l.Node(id)
+			x, y := tx(p)
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", x, y, color)
+		}
+	}
+
+	// Trajectories.
+	if fm != nil && maxObjects > 0 {
+		trajColors := []string{"#d43b3b", "#3bd46f", "#d4a23b", "#8f3bd4", "#3bcdd4", "#d43b9e"}
+		for i, oid := range fm.Objects() {
+			if i >= maxObjects {
+				break
+			}
+			color := trajColors[i%len(trajColors)]
+			tps := fm.ObjectTuples(oid)
+			sb.WriteString(`<polyline points="`)
+			for j, tp := range tps {
+				if j > 0 {
+					sb.WriteByte(' ')
+				}
+				x, y := tx(tp.Point())
+				fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+			}
+			fmt.Fprintf(&sb, `" fill="none" stroke="%s" stroke-width="1" opacity="0.7"/>`+"\n", color)
+		}
+	}
+
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/workload"
+)
+
+func TestSVGDataset(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 3, Cols: 3, Rows: 3, Schools: 2, Stores: 2})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 3, Objects: 4, Samples: 10})
+	shade := func(id layer.Gid) float64 {
+		name, ok := city.Ln.AlphaInverse("neighb", id)
+		if !ok {
+			return 0
+		}
+		v, _ := city.Neighborhoods.Attr("neighborhood", olap.Member(name), "income")
+		income, _ := v.Num()
+		if income < 1500 {
+			return 0.8
+		}
+		return 0.1
+	}
+	svg := SVG(city.Ln, []*layer.Layer{city.Lr, city.Lh}, []*layer.Layer{city.Ls, city.Lstores}, fm,
+		Options{Width: 600, Shade: shade})
+	for _, want := range []string{"<svg", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polygon"); got != 9 {
+		t.Errorf("polygons = %d", got)
+	}
+	// Streets (9) + river (1) + 4 trajectories = 14 polylines.
+	if got := strings.Count(svg, "<polyline"); got != 4+4+1+4 {
+		t.Errorf("polylines = %d", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("circles = %d", got)
+	}
+	// Shading distinguishes low- and high-income polygons.
+	if !strings.Contains(svg, "rgb(144,144,144)") && !strings.Contains(svg, "rgb(240,240,240)") {
+		t.Error("expected both shade levels")
+	}
+}
+
+func TestSVGOptions(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 3, Cols: 2, Rows: 2})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 3, Objects: 5, Samples: 5})
+	// MaxObjects negative draws no trajectories.
+	svg := SVG(city.Ln, nil, nil, fm, Options{MaxObjects: -1})
+	if strings.Count(svg, "<polyline") != 0 {
+		t.Error("trajectories drawn despite MaxObjects < 0")
+	}
+	// Cap at 2.
+	svg = SVG(city.Ln, nil, nil, fm, Options{MaxObjects: 2})
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("capped trajectories = %d", got)
+	}
+	// Empty everything.
+	empty := SVG(layer.New("E"), nil, nil, nil, Options{})
+	if !strings.Contains(empty, "<svg") {
+		t.Error("empty render")
+	}
+}

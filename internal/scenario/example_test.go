@@ -1,0 +1,30 @@
+package scenario_test
+
+import (
+	"fmt"
+	"log"
+
+	"mogis/internal/fo"
+	"mogis/internal/scenario"
+)
+
+// The paper's motivating query end to end: build the running example
+// and evaluate "number of buses per hour in the morning in the
+// Antwerp neighborhoods with a monthly income of less than 1500
+// euro" — Remark 1's 4/3.
+func Example() {
+	s := scenario.New()
+	rel, err := s.Engine.RegionC(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate, err := s.MotivatingResult()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|C| = %d tuples\n", rel.Len())
+	fmt.Printf("buses per hour = %.4f\n", rate)
+	// Output:
+	// |C| = 4 tuples
+	// buses per hour = 1.3333
+}

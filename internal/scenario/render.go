@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+)
+
+// RenderASCII draws the Figure-1 scene as a character map: low-income
+// regions shaded with '.', the river as '~', schools as 'S', stores
+// as '$', sampled bus positions as the object digit, and interpolated
+// trajectory legs as '*'.
+func (s *Scenario) RenderASCII(width int) string {
+	if width < 20 {
+		width = 80
+	}
+	extent := s.Lbox.BBox()
+	aspect := extent.Height() / extent.Width()
+	height := int(float64(width) * aspect * 0.5) // terminal cells are ~2:1
+	if height < 10 {
+		height = 10
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	toCell := func(p geom.Point) (int, int) {
+		cx := int((p.X - extent.MinX) / extent.Width() * float64(width-1))
+		cy := int((p.Y - extent.MinY) / extent.Height() * float64(height-1))
+		// Flip y: row 0 is the top.
+		return height - 1 - cy, cx
+	}
+	set := func(p geom.Point, ch byte) {
+		r, c := toCell(p)
+		if r >= 0 && r < height && c >= 0 && c < width {
+			grid[r][c] = ch
+		}
+	}
+
+	// Shade low-income polygons.
+	lowPgs := s.LowIncomePolygons()
+	for r := 0; r < height; r++ {
+		for c := 0; c < width; c++ {
+			x := extent.MinX + (float64(c)+0.5)/float64(width)*extent.Width()
+			y := extent.MinY + (float64(height-1-r)+0.5)/float64(height)*extent.Height()
+			for _, pg := range lowPgs {
+				if pg.ContainsPoint(geom.Pt(x, y)) {
+					grid[r][c] = '.'
+					break
+				}
+			}
+		}
+	}
+
+	// Neighborhood boundaries.
+	for _, id := range s.Ln.IDs(layer.KindPolygon) {
+		pg, _ := s.Ln.Polygon(id)
+		drawRing(pg.Shell, set, '+')
+	}
+	// River.
+	river, _ := s.Lr.Polyline(1)
+	drawPolyline(river, set, '~')
+	// Schools and stores.
+	for _, id := range s.Ls.IDs(layer.KindNode) {
+		p, _ := s.Ls.Node(id)
+		set(p, 'S')
+	}
+	for _, id := range s.Lstores.IDs(layer.KindNode) {
+		p, _ := s.Lstores.Node(id)
+		set(p, '$')
+	}
+	// Trajectory legs then sample positions (samples on top).
+	for _, oid := range s.FMbus.Objects() {
+		tps := s.FMbus.ObjectTuples(oid)
+		for i := 1; i < len(tps); i++ {
+			drawPolyline(geom.Polyline{tps[i-1].Point(), tps[i].Point()}, set, '*')
+		}
+	}
+	for _, oid := range s.FMbus.Objects() {
+		for _, tp := range s.FMbus.ObjectTuples(oid) {
+			set(tp.Point(), byte('0'+oid%10))
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — the moving objects example ('.' low income, '~' river, digits = bus samples)\n")
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(s.legend())
+	return sb.String()
+}
+
+func (s *Scenario) legend() string {
+	var sb strings.Builder
+	sb.WriteString("objects:\n")
+	for _, oid := range s.FMbus.Objects() {
+		tps := s.FMbus.ObjectTuples(oid)
+		names := make([]string, len(tps))
+		for i, tp := range tps {
+			ids := s.Ln.PolygonsContaining(tp.Point())
+			name := "?"
+			if len(ids) > 0 {
+				if m, ok := s.Ln.AlphaInverse("neighb", ids[0]); ok {
+					name = m
+				}
+			}
+			names[i] = fmt.Sprintf("t%d@%s", hourIndex(tp), name)
+		}
+		fmt.Fprintf(&sb, "  O%d: %s\n", oid, strings.Join(names, " -> "))
+	}
+	return sb.String()
+}
+
+func hourIndex(tp moft.Tuple) int { return tp.T.Civil().Hour - 8 }
+
+func drawRing(r geom.Ring, set func(geom.Point, byte), ch byte) {
+	for i := range r {
+		drawPolyline(geom.Polyline{r[i], r[(i+1)%len(r)]}, set, ch)
+	}
+}
+
+func drawPolyline(pl geom.Polyline, set func(geom.Point, byte), ch byte) {
+	for i := 0; i < pl.NumSegments(); i++ {
+		seg := pl.Segment(i)
+		steps := int(math.Ceil(seg.Length())) * 2
+		if steps < 2 {
+			steps = 2
+		}
+		for k := 0; k <= steps; k++ {
+			set(seg.At(float64(k)/float64(steps)), ch)
+		}
+	}
+}
+
+// RenderSVG draws the scene as a standalone SVG document.
+func (s *Scenario) RenderSVG() string {
+	extent := s.Lbox.BBox()
+	scale := 20.0
+	w := extent.Width() * scale
+	h := extent.Height() * scale
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - extent.MinX) * scale, h - (p.Y-extent.MinY)*scale
+	}
+	// Neighborhoods (low income shaded).
+	lowSet := map[layer.Gid]bool{}
+	for _, m := range s.Neighborhoods.Members("neighborhood") {
+		if v, ok := s.Neighborhoods.Attr("neighborhood", m, "income"); ok {
+			if inc, _ := v.Num(); inc < LowIncomeThreshold {
+				_, id, _ := s.Ln.Alpha("neighb", string(m))
+				lowSet[id] = true
+			}
+		}
+	}
+	for _, id := range s.Ln.IDs(layer.KindPolygon) {
+		pg, _ := s.Ln.Polygon(id)
+		fill := "#f0f0f0"
+		if lowSet[id] {
+			fill = "#c9c9c9"
+		}
+		sb.WriteString(`<polygon points="`)
+		for i, p := range pg.Shell {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			x, y := tx(p)
+			fmt.Fprintf(&sb, "%g,%g", x, y)
+		}
+		fmt.Fprintf(&sb, `" fill="%s" stroke="black" stroke-width="1"/>`+"\n", fill)
+	}
+	// River.
+	river, _ := s.Lr.Polyline(1)
+	sb.WriteString(`<polyline points="`)
+	for i, p := range river {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		x, y := tx(p)
+		fmt.Fprintf(&sb, "%g,%g", x, y)
+	}
+	sb.WriteString(`" fill="none" stroke="#3b6fd4" stroke-width="4"/>` + "\n")
+	// Trajectories.
+	colors := []string{"#d43b3b", "#3bd46f", "#d4a23b", "#8f3bd4", "#3bcdd4", "#d43b9e"}
+	for _, oid := range s.FMbus.Objects() {
+		tps := s.FMbus.ObjectTuples(oid)
+		color := colors[int(oid-1)%len(colors)]
+		sb.WriteString(`<polyline points="`)
+		for i, tp := range tps {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			x, y := tx(tp.Point())
+			fmt.Fprintf(&sb, "%g,%g", x, y)
+		}
+		fmt.Fprintf(&sb, `" fill="none" stroke="%s" stroke-width="2" stroke-dasharray="4 2"/>`+"\n", color)
+		for _, tp := range tps {
+			x, y := tx(tp.Point())
+			fmt.Fprintf(&sb, `<circle cx="%g" cy="%g" r="4" fill="%s"/>`+"\n", x, y, color)
+		}
+		if len(tps) > 0 {
+			x, y := tx(tps[0].Point())
+			fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="14">O%d</text>`+"\n", x+6, y-6, oid)
+		}
+	}
+	// Schools and stores.
+	for _, id := range s.Ls.IDs(layer.KindNode) {
+		p, _ := s.Ls.Node(id)
+		x, y := tx(p)
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="8" height="8" fill="#222"/>`+"\n", x-4, y-4)
+	}
+	for _, id := range s.Lstores.IDs(layer.KindNode) {
+		p, _ := s.Lstores.Node(id)
+		x, y := tx(p)
+		fmt.Fprintf(&sb, `<circle cx="%g" cy="%g" r="5" fill="none" stroke="#222" stroke-width="2"/>`+"\n", x, y)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCII(t *testing.T) {
+	s := New()
+	out := s.RenderASCII(80)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// Low-income shading, river, samples and legend must appear.
+	for _, want := range []string{".", "~", "1", "6", "objects:", "O1:", "O6:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// The legend names the neighborhoods the buses were sampled in.
+	if !strings.Contains(out, "Meir") {
+		t.Error("legend missing Meir")
+	}
+	// A tiny width clamps to the default.
+	out2 := s.RenderASCII(5)
+	if len(out2) < len(out)/2 {
+		t.Error("clamped width produced a degenerate render")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	s := New()
+	svg := s.RenderSVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "<polygon", "<polyline", "<circle", "O1", "O6",
+		`fill="#c9c9c9"`, // low-income shading
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Five neighborhood polygons, each on its own line.
+	if got := strings.Count(svg, "<polygon"); got != 5 {
+		t.Errorf("polygon count = %d, want 5", got)
+	}
+	// Six trajectories (one dashed polyline each) plus the river.
+	if got := strings.Count(svg, "<polyline"); got != 7 {
+		t.Errorf("polyline count = %d, want 7", got)
+	}
+}

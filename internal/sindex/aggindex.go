@@ -1,0 +1,215 @@
+package sindex
+
+import (
+	"mogis/internal/geom"
+)
+
+// SamplePoint is one moving-object observation projected to (x, y, t).
+type SamplePoint struct {
+	P geom.Point
+	T int64
+}
+
+// AggQuadTree is an aggregate spatio-temporal index: a region quadtree
+// over space whose every node stores per-time-bin sample counts, in
+// the spirit of the pre-aggregated historical indexes of Papadias et
+// al. that the paper cites. Region×interval count queries are
+// answered from node-level aggregates whenever a node is fully
+// covered, descending to leaf point scans only at the query fringe.
+type AggQuadTree struct {
+	root     *aggNode
+	tMin     int64
+	binWidth int64
+	bins     int
+	size     int
+}
+
+type aggNode struct {
+	box      geom.BBox
+	binCount []int64 // samples per time bin in this subtree
+	children [4]*aggNode
+	points   []SamplePoint // leaf payload
+	leaf     bool
+}
+
+// AggConfig controls AggQuadTree construction.
+type AggConfig struct {
+	// LeafCapacity is the maximum points per leaf before splitting
+	// (default 64).
+	LeafCapacity int
+	// MaxDepth bounds tree depth (default 16).
+	MaxDepth int
+	// TimeBins is the number of equal-width time bins (default 64).
+	TimeBins int
+}
+
+func (c AggConfig) withDefaults() AggConfig {
+	if c.LeafCapacity <= 0 {
+		c.LeafCapacity = 64
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 16
+	}
+	if c.TimeBins <= 0 {
+		c.TimeBins = 64
+	}
+	return c
+}
+
+// BuildAggQuadTree builds the index over the samples, covering their
+// spatial bounding box and time span.
+func BuildAggQuadTree(samples []SamplePoint, cfg AggConfig) *AggQuadTree {
+	cfg = cfg.withDefaults()
+	extent := geom.EmptyBBox()
+	var tMin, tMax int64
+	for i, s := range samples {
+		extent = extent.ExtendPoint(s.P)
+		if i == 0 || s.T < tMin {
+			tMin = s.T
+		}
+		if i == 0 || s.T > tMax {
+			tMax = s.T
+		}
+	}
+	span := tMax - tMin + 1
+	binWidth := span / int64(cfg.TimeBins)
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	bins := int((span + binWidth - 1) / binWidth)
+	if bins < 1 {
+		bins = 1
+	}
+	t := &AggQuadTree{tMin: tMin, binWidth: binWidth, bins: bins, size: len(samples)}
+	pts := make([]SamplePoint, len(samples))
+	copy(pts, samples)
+	t.root = t.buildNode(extent, pts, cfg, 0)
+	return t
+}
+
+func (t *AggQuadTree) buildNode(box geom.BBox, pts []SamplePoint, cfg AggConfig, depth int) *aggNode {
+	n := &aggNode{box: box, binCount: make([]int64, t.bins)}
+	for _, s := range pts {
+		n.binCount[t.bin(s.T)]++
+	}
+	if len(pts) <= cfg.LeafCapacity || depth >= cfg.MaxDepth || box.Width() <= 0 && box.Height() <= 0 {
+		n.leaf = true
+		n.points = pts
+		return n
+	}
+	c := box.Center()
+	quads := [4]geom.BBox{
+		{MinX: box.MinX, MinY: box.MinY, MaxX: c.X, MaxY: c.Y},
+		{MinX: c.X, MinY: box.MinY, MaxX: box.MaxX, MaxY: c.Y},
+		{MinX: box.MinX, MinY: c.Y, MaxX: c.X, MaxY: box.MaxY},
+		{MinX: c.X, MinY: c.Y, MaxX: box.MaxX, MaxY: box.MaxY},
+	}
+	var parts [4][]SamplePoint
+	for _, s := range pts {
+		q := 0
+		if s.P.X > c.X {
+			q |= 1
+		}
+		if s.P.Y > c.Y {
+			q |= 2
+		}
+		parts[q] = append(parts[q], s)
+	}
+	// Guard against all points collapsing into a single quadrant of a
+	// degenerate box (duplicate coordinates).
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 && depth > 0 {
+		n.leaf = true
+		n.points = pts
+		return n
+	}
+	for q := 0; q < 4; q++ {
+		if len(parts[q]) > 0 {
+			n.children[q] = t.buildNode(quads[q], parts[q], cfg, depth+1)
+		}
+	}
+	return n
+}
+
+func (t *AggQuadTree) bin(ts int64) int {
+	b := int((ts - t.tMin) / t.binWidth)
+	if b < 0 {
+		return 0
+	}
+	if b >= t.bins {
+		return t.bins - 1
+	}
+	return b
+}
+
+// Len returns the number of indexed samples.
+func (t *AggQuadTree) Len() int { return t.size }
+
+// Bins returns the number of time bins.
+func (t *AggQuadTree) Bins() int { return t.bins }
+
+// CountInRange returns the exact number of samples with location in
+// box (inclusive) and time in [t0, t1] (inclusive). Fully covered
+// nodes whose bin range is also fully covered are answered from the
+// pre-aggregated counts; others descend.
+func (t *AggQuadTree) CountInRange(box geom.BBox, t0, t1 int64) int64 {
+	if t.root == nil || t1 < t0 {
+		return 0
+	}
+	return t.count(t.root, box, t0, t1)
+}
+
+func (t *AggQuadTree) count(n *aggNode, box geom.BBox, t0, t1 int64) int64 {
+	if n == nil || !n.box.Intersects(box) {
+		return 0
+	}
+	if box.Contains(n.box) {
+		// Spatially covered: answer from bins when [t0, t1] covers
+		// whole bins; otherwise fall through and descend.
+		b0, b1 := t.bin(t0), t.bin(t1)
+		if t0 <= t.binStart(b0) && t1 >= t.binEnd(b1) {
+			var sum int64
+			for b := b0; b <= b1; b++ {
+				sum += n.binCount[b]
+			}
+			return sum
+		}
+	}
+	if n.leaf {
+		var sum int64
+		for _, s := range n.points {
+			if s.T >= t0 && s.T <= t1 && box.ContainsPoint(s.P) {
+				sum++
+			}
+		}
+		return sum
+	}
+	var sum int64
+	for _, c := range n.children {
+		sum += t.count(c, box, t0, t1)
+	}
+	return sum
+}
+
+// binStart returns the first instant of bin b.
+func (t *AggQuadTree) binStart(b int) int64 { return t.tMin + int64(b)*t.binWidth }
+
+// binEnd returns the last instant of bin b.
+func (t *AggQuadTree) binEnd(b int) int64 { return t.binStart(b) + t.binWidth - 1 }
+
+// CountNaive is the scan baseline over an explicit sample slice; used
+// by tests and benchmarks to validate and compare CountInRange.
+func CountNaive(samples []SamplePoint, box geom.BBox, t0, t1 int64) int64 {
+	var sum int64
+	for _, s := range samples {
+		if s.T >= t0 && s.T <= t1 && box.ContainsPoint(s.P) {
+			sum++
+		}
+	}
+	return sum
+}

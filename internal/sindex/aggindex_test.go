@@ -1,0 +1,111 @@
+package sindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func randomSamples(rng *rand.Rand, n int, tSpan int64) []SamplePoint {
+	out := make([]SamplePoint, n)
+	for i := range out {
+		out[i] = SamplePoint{
+			P: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			T: rng.Int63n(tSpan),
+		}
+	}
+	return out
+}
+
+func TestAggQuadTreeSmall(t *testing.T) {
+	samples := []SamplePoint{
+		{P: geom.Pt(1, 1), T: 0},
+		{P: geom.Pt(2, 2), T: 5},
+		{P: geom.Pt(50, 50), T: 5},
+		{P: geom.Pt(99, 99), T: 9},
+	}
+	idx := BuildAggQuadTree(samples, AggConfig{})
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	all := geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	if got := idx.CountInRange(all, 0, 9); got != 4 {
+		t.Errorf("full count = %d", got)
+	}
+	if got := idx.CountInRange(all, 5, 5); got != 2 {
+		t.Errorf("t=5 count = %d", got)
+	}
+	if got := idx.CountInRange(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0, 9); got != 2 {
+		t.Errorf("corner count = %d", got)
+	}
+	if got := idx.CountInRange(all, 9, 0); got != 0 {
+		t.Errorf("inverted interval = %d", got)
+	}
+	if got := idx.CountInRange(geom.BBox{MinX: 200, MinY: 200, MaxX: 300, MaxY: 300}, 0, 9); got != 0 {
+		t.Errorf("disjoint box = %d", got)
+	}
+}
+
+func TestAggQuadTreeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	samples := randomSamples(rng, 5000, 10000)
+	idx := BuildAggQuadTree(samples, AggConfig{LeafCapacity: 32, TimeBins: 50})
+	for q := 0; q < 100; q++ {
+		box := boxAround(rng.Float64()*1000, rng.Float64()*1000, 20+rng.Float64()*200)
+		t0 := rng.Int63n(10000)
+		t1 := t0 + rng.Int63n(3000)
+		want := CountNaive(samples, box, t0, t1)
+		got := idx.CountInRange(box, t0, t1)
+		if got != want {
+			t.Fatalf("query %d: box=%v t=[%d,%d]: got %d, want %d", q, box, t0, t1, got, want)
+		}
+	}
+}
+
+func TestAggQuadTreeBinAlignedFastPath(t *testing.T) {
+	// All samples at distinct times so bins are meaningful; query the
+	// whole space over bin-aligned intervals.
+	var samples []SamplePoint
+	for i := int64(0); i < 1000; i++ {
+		samples = append(samples, SamplePoint{P: geom.Pt(float64(i%100), float64(i/10)), T: i})
+	}
+	idx := BuildAggQuadTree(samples, AggConfig{TimeBins: 10})
+	all := idx.root.box
+	// Whole time range: exact 1000 regardless of alignment.
+	if got := idx.CountInRange(all, 0, 999); got != 1000 {
+		t.Errorf("full = %d", got)
+	}
+	// One full bin: width = 100.
+	if got := idx.CountInRange(all, 0, 99); got != 100 {
+		t.Errorf("first bin = %d", got)
+	}
+	// Unaligned: must still be exact via descent.
+	if got := idx.CountInRange(all, 50, 149); got != 100 {
+		t.Errorf("unaligned = %d", got)
+	}
+}
+
+func TestAggQuadTreeDuplicatePoints(t *testing.T) {
+	// All samples at the same location must not cause infinite
+	// splitting.
+	var samples []SamplePoint
+	for i := int64(0); i < 500; i++ {
+		samples = append(samples, SamplePoint{P: geom.Pt(5, 5), T: i % 7})
+	}
+	idx := BuildAggQuadTree(samples, AggConfig{LeafCapacity: 16})
+	if got := idx.CountInRange(boxAround(5, 5, 1), 0, 6); got != 500 {
+		t.Errorf("duplicates = %d", got)
+	}
+	if got := idx.CountInRange(boxAround(5, 5, 1), 0, 0); got != 72 {
+		// times 0..6 cycling over 500: t=0 occurs ceil(500/7)=72 times.
+		t.Errorf("t=0 duplicates = %d", got)
+	}
+}
+
+func TestAggConfigDefaults(t *testing.T) {
+	c := AggConfig{}.withDefaults()
+	if c.LeafCapacity != 64 || c.MaxDepth != 16 || c.TimeBins != 64 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

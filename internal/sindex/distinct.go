@@ -1,0 +1,171 @@
+package sindex
+
+import (
+	"sort"
+
+	"mogis/internal/geom"
+)
+
+// OidSamplePoint is a moving-object observation carrying its object
+// identifier, for distinct-object counting (the paper's queries count
+// objects — "number of buses" — not samples).
+type OidSamplePoint struct {
+	P   geom.Point
+	T   int64
+	Oid int64
+}
+
+// DistinctIndex answers "how many distinct objects were observed in
+// region × interval" queries. It reuses the aggregate quadtree's
+// spatial pruning; because distinct counts do not decompose over
+// disjoint nodes, fully covered nodes contribute their object sets
+// (precomputed per node) rather than scalar counts, and only fringe
+// leaves are scanned point by point.
+type DistinctIndex struct {
+	root *dnode
+	size int
+}
+
+type dnode struct {
+	box      geom.BBox
+	tMin     int64
+	tMax     int64
+	objects  []int64   // sorted distinct oids in this subtree
+	children [8]*dnode // 4 spatial quadrants × 2 time halves
+	points   []OidSamplePoint
+	leaf     bool
+}
+
+// BuildDistinctIndex builds the index with the given leaf capacity
+// (default 64).
+func BuildDistinctIndex(samples []OidSamplePoint, leafCapacity int) *DistinctIndex {
+	if leafCapacity <= 0 {
+		leafCapacity = 64
+	}
+	extent := geom.EmptyBBox()
+	for _, s := range samples {
+		extent = extent.ExtendPoint(s.P)
+	}
+	pts := make([]OidSamplePoint, len(samples))
+	copy(pts, samples)
+	idx := &DistinctIndex{size: len(samples)}
+	idx.root = buildDNode(extent, pts, leafCapacity, 0)
+	return idx
+}
+
+func buildDNode(box geom.BBox, pts []OidSamplePoint, cap, depth int) *dnode {
+	if len(pts) == 0 {
+		return nil
+	}
+	n := &dnode{box: box, tMin: pts[0].T, tMax: pts[0].T}
+	seen := make(map[int64]bool)
+	for _, s := range pts {
+		if s.T < n.tMin {
+			n.tMin = s.T
+		}
+		if s.T > n.tMax {
+			n.tMax = s.T
+		}
+		seen[s.Oid] = true
+	}
+	n.objects = make([]int64, 0, len(seen))
+	for o := range seen {
+		n.objects = append(n.objects, o)
+	}
+	sort.Slice(n.objects, func(i, j int) bool { return n.objects[i] < n.objects[j] })
+
+	if len(pts) <= cap || depth >= 16 {
+		n.leaf = true
+		n.points = pts
+		return n
+	}
+	c := box.Center()
+	quads := [4]geom.BBox{
+		{MinX: box.MinX, MinY: box.MinY, MaxX: c.X, MaxY: c.Y},
+		{MinX: c.X, MinY: box.MinY, MaxX: box.MaxX, MaxY: c.Y},
+		{MinX: box.MinX, MinY: c.Y, MaxX: c.X, MaxY: box.MaxY},
+		{MinX: c.X, MinY: c.Y, MaxX: box.MaxX, MaxY: box.MaxY},
+	}
+	// Split spatially AND temporally (an octree over x, y, t): nodes
+	// get tight time extents, so window queries can take whole object
+	// sets instead of descending to leaves.
+	midT := n.tMin + (n.tMax-n.tMin)/2
+	var parts [8][]OidSamplePoint
+	for _, s := range pts {
+		q := 0
+		if s.P.X > c.X {
+			q |= 1
+		}
+		if s.P.Y > c.Y {
+			q |= 2
+		}
+		if s.T > midT {
+			q |= 4
+		}
+		parts[q] = append(parts[q], s)
+	}
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 && depth > 0 {
+		n.leaf = true
+		n.points = pts
+		return n
+	}
+	for q := 0; q < 8; q++ {
+		n.children[q] = buildDNode(quads[q%4], parts[q], cap, depth+1)
+	}
+	return n
+}
+
+// Len returns the number of indexed samples.
+func (d *DistinctIndex) Len() int { return d.size }
+
+// CountDistinct returns the exact number of distinct objects with at
+// least one sample in box during [t0, t1].
+func (d *DistinctIndex) CountDistinct(box geom.BBox, t0, t1 int64) int {
+	if d.root == nil || t1 < t0 {
+		return 0
+	}
+	seen := make(map[int64]bool)
+	d.collect(d.root, box, t0, t1, seen)
+	return len(seen)
+}
+
+func (d *DistinctIndex) collect(n *dnode, box geom.BBox, t0, t1 int64, seen map[int64]bool) {
+	if n == nil || !n.box.Intersects(box) || n.tMax < t0 || n.tMin > t1 {
+		return
+	}
+	if box.Contains(n.box) && t0 <= n.tMin && n.tMax <= t1 {
+		// Fully covered: take the precomputed object set.
+		for _, o := range n.objects {
+			seen[o] = true
+		}
+		return
+	}
+	if n.leaf {
+		for _, s := range n.points {
+			if s.T >= t0 && s.T <= t1 && box.ContainsPoint(s.P) {
+				seen[s.Oid] = true
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		d.collect(c, box, t0, t1, seen)
+	}
+}
+
+// CountDistinctNaive is the scan baseline.
+func CountDistinctNaive(samples []OidSamplePoint, box geom.BBox, t0, t1 int64) int {
+	seen := make(map[int64]bool)
+	for _, s := range samples {
+		if s.T >= t0 && s.T <= t1 && box.ContainsPoint(s.P) {
+			seen[s.Oid] = true
+		}
+	}
+	return len(seen)
+}

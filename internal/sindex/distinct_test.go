@@ -1,0 +1,80 @@
+package sindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func randomOidSamples(rng *rand.Rand, n, objects int, tSpan int64) []OidSamplePoint {
+	out := make([]OidSamplePoint, n)
+	for i := range out {
+		out[i] = OidSamplePoint{
+			P:   geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			T:   rng.Int63n(tSpan),
+			Oid: rng.Int63n(int64(objects)),
+		}
+	}
+	return out
+}
+
+func TestDistinctIndexSmall(t *testing.T) {
+	samples := []OidSamplePoint{
+		{P: geom.Pt(1, 1), T: 0, Oid: 1},
+		{P: geom.Pt(2, 2), T: 1, Oid: 1}, // same object twice
+		{P: geom.Pt(3, 3), T: 2, Oid: 2},
+		{P: geom.Pt(90, 90), T: 3, Oid: 3},
+	}
+	idx := BuildDistinctIndex(samples, 2)
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	all := geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	if got := idx.CountDistinct(all, 0, 3); got != 3 {
+		t.Errorf("full distinct = %d, want 3", got)
+	}
+	if got := idx.CountDistinct(geom.BBox{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}, 0, 3); got != 2 {
+		t.Errorf("corner distinct = %d, want 2", got)
+	}
+	if got := idx.CountDistinct(all, 0, 1); got != 1 {
+		t.Errorf("early distinct = %d, want 1", got)
+	}
+	if got := idx.CountDistinct(all, 3, 0); got != 0 {
+		t.Errorf("inverted = %d", got)
+	}
+	empty := BuildDistinctIndex(nil, 0)
+	if got := empty.CountDistinct(all, 0, 10); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestDistinctIndexAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	samples := randomOidSamples(rng, 4000, 150, 5000)
+	idx := BuildDistinctIndex(samples, 32)
+	for q := 0; q < 100; q++ {
+		box := boxAround(rng.Float64()*1000, rng.Float64()*1000, 30+rng.Float64()*250)
+		t0 := rng.Int63n(5000)
+		t1 := t0 + rng.Int63n(2500)
+		want := CountDistinctNaive(samples, box, t0, t1)
+		got := idx.CountDistinct(box, t0, t1)
+		if got != want {
+			t.Fatalf("query %d: got %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestDistinctIndexDuplicateLocations(t *testing.T) {
+	var samples []OidSamplePoint
+	for i := int64(0); i < 300; i++ {
+		samples = append(samples, OidSamplePoint{P: geom.Pt(5, 5), T: i, Oid: i % 7})
+	}
+	idx := BuildDistinctIndex(samples, 16)
+	if got := idx.CountDistinct(boxAround(5, 5, 1), 0, 299); got != 7 {
+		t.Errorf("distinct = %d, want 7", got)
+	}
+	if got := idx.CountDistinct(boxAround(5, 5, 1), 0, 2); got != 3 {
+		t.Errorf("distinct first 3 instants = %d, want 3", got)
+	}
+}

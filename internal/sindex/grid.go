@@ -1,0 +1,176 @@
+package sindex
+
+import (
+	"mogis/internal/geom"
+)
+
+// Grid is a uniform bucket grid over a fixed extent, used for fast
+// point location against polygon layers (the workhorse behind the
+// precomputed-overlay evaluation of Section 5).
+type Grid struct {
+	extent geom.BBox
+	nx, ny int
+	cellW  float64
+	cellH  float64
+	cells  [][]int64 // ids per cell, row-major
+}
+
+// NewGrid creates a grid over extent with nx × ny cells.
+func NewGrid(extent geom.BBox, nx, ny int) *Grid {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		extent: extent,
+		nx:     nx,
+		ny:     ny,
+		cellW:  extent.Width() / float64(nx),
+		cellH:  extent.Height() / float64(ny),
+		cells:  make([][]int64, nx*ny),
+	}
+}
+
+// Extent returns the grid's coverage box.
+func (g *Grid) Extent() geom.BBox { return g.extent }
+
+// Dims returns the cell counts (nx, ny).
+func (g *Grid) Dims() (int, int) { return g.nx, g.ny }
+
+// cellRange returns the clamped index range [x0,x1]×[y0,y1] of cells
+// overlapping box, or ok=false if box is outside the extent.
+func (g *Grid) cellRange(box geom.BBox) (x0, y0, x1, y1 int, ok bool) {
+	if !box.Intersects(g.extent) {
+		return 0, 0, 0, 0, false
+	}
+	x0 = g.clampX(int((box.MinX - g.extent.MinX) / g.cellW))
+	x1 = g.clampX(int((box.MaxX - g.extent.MinX) / g.cellW))
+	y0 = g.clampY(int((box.MinY - g.extent.MinY) / g.cellH))
+	y1 = g.clampY(int((box.MaxY - g.extent.MinY) / g.cellH))
+	return x0, y0, x1, y1, true
+}
+
+func (g *Grid) clampX(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.nx {
+		return g.nx - 1
+	}
+	return i
+}
+
+func (g *Grid) clampY(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.ny {
+		return g.ny - 1
+	}
+	return i
+}
+
+// Insert registers id in every cell overlapping box.
+func (g *Grid) Insert(box geom.BBox, id int64) {
+	x0, y0, x1, y1, ok := g.cellRange(box)
+	if !ok {
+		return
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			i := y*g.nx + x
+			g.cells[i] = append(g.cells[i], id)
+		}
+	}
+}
+
+// CandidatesAt appends to dst the ids registered in the cell containing
+// p. Duplicate ids may appear when callers merge several cells; ids
+// within one cell are unique if inserted once.
+func (g *Grid) CandidatesAt(p geom.Point, dst []int64) []int64 {
+	if !g.extent.ContainsPoint(p) {
+		return dst
+	}
+	x := g.clampX(int((p.X - g.extent.MinX) / g.cellW))
+	y := g.clampY(int((p.Y - g.extent.MinY) / g.cellH))
+	return append(dst, g.cells[y*g.nx+x]...)
+}
+
+// CandidatesIn appends to dst the ids registered in any cell
+// overlapping box, deduplicated.
+func (g *Grid) CandidatesIn(box geom.BBox, dst []int64) []int64 {
+	x0, y0, x1, y1, ok := g.cellRange(box)
+	if !ok {
+		return dst
+	}
+	seen := make(map[int64]struct{})
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			for _, id := range g.cells[y*g.nx+x] {
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// PointLocator resolves point-in-polygon queries against a set of
+// polygons with a grid of candidate lists.
+type PointLocator struct {
+	grid *Grid
+	pgs  map[int64]geom.Polygon
+}
+
+// NewPointLocator indexes the polygons (id → polygon). Cell counts
+// scale with the square root of the polygon count for roughly O(1)
+// candidates per query on evenly sized partitions.
+func NewPointLocator(pgs map[int64]geom.Polygon) *PointLocator {
+	extent := geom.EmptyBBox()
+	for _, pg := range pgs {
+		extent = extent.Union(pg.BBox())
+	}
+	n := 1
+	for n*n < 4*len(pgs) {
+		n++
+	}
+	g := NewGrid(extent, n, n)
+	for id, pg := range pgs {
+		g.Insert(pg.BBox(), id)
+	}
+	return &PointLocator{grid: g, pgs: pgs}
+}
+
+// Locate appends to dst the ids of all polygons containing p
+// (boundary inclusive), and returns dst.
+func (l *PointLocator) Locate(p geom.Point, dst []int64) []int64 {
+	for _, id := range l.grid.CandidatesAt(p, nil) {
+		if l.pgs[id].ContainsPoint(p) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// LocateOne returns one polygon containing p, preferring a strict
+// interior hit over a boundary hit, with ok=false when none contains
+// it.
+func (l *PointLocator) LocateOne(p geom.Point) (int64, bool) {
+	var boundary int64 = -1
+	for _, id := range l.grid.CandidatesAt(p, nil) {
+		switch l.pgs[id].Locate(p) {
+		case geom.Inside:
+			return id, true
+		case geom.OnBoundary:
+			boundary = id
+		}
+	}
+	if boundary >= 0 {
+		return boundary, true
+	}
+	return 0, false
+}

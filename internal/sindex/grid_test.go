@@ -1,0 +1,120 @@
+package sindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func TestGridInsertAndCandidates(t *testing.T) {
+	g := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 10, 10)
+	g.Insert(boxAround(15, 15, 2), 1)
+	g.Insert(boxAround(85, 85, 2), 2)
+
+	got := g.CandidatesAt(geom.Pt(15, 15), nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("CandidatesAt(15,15) = %v", got)
+	}
+	got = g.CandidatesAt(geom.Pt(50, 50), nil)
+	if len(got) != 0 {
+		t.Errorf("CandidatesAt(50,50) = %v", got)
+	}
+	// Out of extent.
+	got = g.CandidatesAt(geom.Pt(-5, -5), nil)
+	if len(got) != 0 {
+		t.Errorf("CandidatesAt outside = %v", got)
+	}
+}
+
+func TestGridCandidatesInDedup(t *testing.T) {
+	g := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 4, 4)
+	// Box spanning many cells: id registered in each, must dedup.
+	g.Insert(geom.BBox{MinX: 10, MinY: 10, MaxX: 90, MaxY: 90}, 7)
+	got := g.CandidatesIn(geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, nil)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("CandidatesIn = %v", got)
+	}
+	// Query outside extent.
+	got = g.CandidatesIn(geom.BBox{MinX: 200, MinY: 200, MaxX: 300, MaxY: 300}, nil)
+	if len(got) != 0 {
+		t.Errorf("CandidatesIn outside = %v", got)
+	}
+}
+
+func TestGridDimsClamp(t *testing.T) {
+	g := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0, -3)
+	nx, ny := g.Dims()
+	if nx != 1 || ny != 1 {
+		t.Errorf("Dims = %d,%d", nx, ny)
+	}
+	// Boundary point on max edge maps to the last cell, not out of range.
+	g2 := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 5, 5)
+	g2.Insert(geom.BBox{MinX: 9, MinY: 9, MaxX: 10, MaxY: 10}, 3)
+	got := g2.CandidatesAt(geom.Pt(10, 10), nil)
+	if len(got) != 1 {
+		t.Errorf("max-edge point candidates = %v", got)
+	}
+}
+
+func TestPointLocator(t *testing.T) {
+	// 3x3 checkerboard of 10x10 squares with ids 0..8.
+	pgs := make(map[int64]geom.Polygon)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			id := int64(r*3 + c)
+			x, y := float64(c*10), float64(r*10)
+			pgs[id] = geom.Polygon{Shell: geom.Ring{
+				geom.Pt(x, y), geom.Pt(x+10, y), geom.Pt(x+10, y+10), geom.Pt(x, y+10),
+			}}
+		}
+	}
+	loc := NewPointLocator(pgs)
+
+	if id, ok := loc.LocateOne(geom.Pt(5, 5)); !ok || id != 0 {
+		t.Errorf("LocateOne(5,5) = %d,%v", id, ok)
+	}
+	if id, ok := loc.LocateOne(geom.Pt(25, 25)); !ok || id != 8 {
+		t.Errorf("LocateOne(25,25) = %d,%v", id, ok)
+	}
+	if _, ok := loc.LocateOne(geom.Pt(-5, -5)); ok {
+		t.Error("LocateOne outside should fail")
+	}
+	// A point on the shared edge belongs to both polygons (the paper
+	// notes a point may belong to two adjacent geometries).
+	got := loc.Locate(geom.Pt(10, 5), nil)
+	if len(got) != 2 {
+		t.Errorf("shared edge Locate = %v, want 2 polygons", got)
+	}
+	// Corner shared by four polygons.
+	got = loc.Locate(geom.Pt(10, 10), nil)
+	if len(got) != 4 {
+		t.Errorf("shared corner Locate = %v, want 4 polygons", got)
+	}
+}
+
+func TestPointLocatorRandomAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pgs := make(map[int64]geom.Polygon)
+	for i := int64(0); i < 40; i++ {
+		x, y := rng.Float64()*200, rng.Float64()*200
+		s := 5 + rng.Float64()*30
+		pgs[i] = geom.Polygon{Shell: geom.Ring{
+			geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+		}}
+	}
+	loc := NewPointLocator(pgs)
+	for q := 0; q < 200; q++ {
+		p := geom.Pt(rng.Float64()*220-10, rng.Float64()*220-10)
+		got := loc.Locate(p, nil)
+		var want int
+		for _, pg := range pgs {
+			if pg.ContainsPoint(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("Locate(%v) = %v (n=%d), want n=%d", p, got, len(got), want)
+		}
+	}
+}

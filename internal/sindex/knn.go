@@ -1,0 +1,74 @@
+package sindex
+
+import (
+	"container/heap"
+	"math"
+
+	"mogis/internal/geom"
+)
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	ID   int64
+	Dist float64 // distance from the query point to the entry's box
+}
+
+// Nearest returns the k entries whose bounding boxes are closest to p,
+// ordered by distance, using best-first branch-and-bound traversal.
+// For point entries box distance equals point distance; for extended
+// entries it is a lower bound (callers refine with exact geometry if
+// needed).
+func (t *RTree) Nearest(p geom.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnItem{node: t.root, dist: boxDist(t.root.box, p)})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		item := heap.Pop(pq).(knnItem)
+		switch {
+		case item.node == nil:
+			out = append(out, Neighbor{ID: item.id, Dist: item.dist})
+		case item.node.leaf:
+			for _, e := range item.node.entries {
+				heap.Push(pq, knnItem{id: e.id, dist: boxDist(e.box, p)})
+			}
+		default:
+			for _, c := range item.node.children {
+				heap.Push(pq, knnItem{node: c, dist: boxDist(c.box, p)})
+			}
+		}
+	}
+	return out
+}
+
+// boxDist returns the minimum distance from p to the box (0 when
+// inside).
+func boxDist(b geom.BBox, p geom.Point) float64 {
+	dx := math.Max(0, math.Max(b.MinX-p.X, p.X-b.MaxX))
+	dy := math.Max(0, math.Max(b.MinY-p.Y, p.Y-b.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// knnItem is either an internal node (node != nil) or a leaf entry.
+type knnItem struct {
+	node *rnode
+	id   int64
+	dist float64
+}
+
+type knnQueue []knnItem
+
+func (q knnQueue) Len() int           { return len(q) }
+func (q knnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x any)        { *q = append(*q, x.(knnItem)) }
+func (q *knnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

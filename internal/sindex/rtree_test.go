@@ -1,0 +1,162 @@
+package sindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func boxAround(x, y, r float64) geom.BBox {
+	return geom.BBox{MinX: x - r, MinY: y - r, MaxX: x + r, MaxY: y + r}
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tr := NewRTree(8)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(boxAround(0, 0, 100), nil); len(got) != 0 {
+		t.Errorf("Search on empty = %v", got)
+	}
+	if h := tr.Height(); h != 1 {
+		t.Errorf("Height = %d", h)
+	}
+}
+
+func TestRTreeInsertSearch(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 100; i++ {
+		x := float64(i % 10)
+		y := float64(i / 10)
+		tr.Insert(boxAround(x*10, y*10, 1), int64(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Query a window covering ids with x in {0,1}, y in {0,1}: ids 0,1,10,11.
+	got := tr.Search(geom.BBox{MinX: -2, MinY: -2, MaxX: 12, MaxY: 12}, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{0, 1, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRTreeIgnoresEmptyBox(t *testing.T) {
+	tr := NewRTree(4)
+	tr.Insert(geom.EmptyBBox(), 1)
+	if tr.Len() != 0 {
+		t.Error("empty box should not be inserted")
+	}
+}
+
+// TestRTreeAgainstLinearScan cross-validates random workloads.
+func TestRTreeAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, build := range []string{"dynamic", "bulk"} {
+		t.Run(build, func(t *testing.T) {
+			n := 500
+			boxes := make([]geom.BBox, n)
+			var tr *RTree
+			if build == "dynamic" {
+				tr = NewRTree(8)
+				for i := range boxes {
+					boxes[i] = boxAround(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*5)
+					tr.Insert(boxes[i], int64(i))
+				}
+			} else {
+				entries := make([]Entry, n)
+				for i := range boxes {
+					boxes[i] = boxAround(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*5)
+					entries[i] = Entry{Box: Box(boxes[i]), ID: int64(i)}
+				}
+				tr = BulkLoad(entries, 8)
+			}
+			if tr.Len() != n {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			for q := 0; q < 50; q++ {
+				query := boxAround(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*60)
+				got := tr.Search(query, nil)
+				var want []int64
+				for i, b := range boxes {
+					if b.Intersects(query) {
+						want = append(want, int64(i))
+					}
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("query %v: got %d ids, want %d", query, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("query %v: got %v, want %v", query, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRTreeVisitEarlyStop(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(boxAround(float64(i), 0, 0.4), int64(i))
+	}
+	count := 0
+	tr.Visit(geom.BBox{MinX: -1, MinY: -1, MaxX: 100, MaxY: 1}, func(_ geom.BBox, _ int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("Visit count = %d, want 5 (early stop)", count)
+	}
+}
+
+func TestRTreeBulkLoadSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 16, 17, 64, 1000} {
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Box: Box(boxAround(float64(i*3), float64((i*7)%50), 1)), ID: int64(i)}
+		}
+		tr := BulkLoad(entries, 16)
+		if tr.Len() != n {
+			t.Errorf("n=%d: Len = %d", n, tr.Len())
+		}
+		got := tr.Search(geom.BBox{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, nil)
+		if len(got) != n {
+			t.Errorf("n=%d: full search returned %d", n, len(got))
+		}
+	}
+}
+
+func TestRTreeHeightGrowth(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(boxAround(float64(i%100), float64(i/100), 0.4), int64(i))
+	}
+	if h := tr.Height(); h < 3 {
+		t.Errorf("Height = %d, want >= 3 for 1000 entries at fanout 4", h)
+	}
+	if !tr.Bounds().ContainsPoint(geom.Pt(50, 5)) {
+		t.Error("Bounds should cover inserted area")
+	}
+}
+
+func TestRTreeMinFanoutClamp(t *testing.T) {
+	tr := NewRTree(1) // raised to 4
+	for i := 0; i < 20; i++ {
+		tr.Insert(boxAround(float64(i), 0, 0.3), int64(i))
+	}
+	got := tr.Search(geom.BBox{MinX: -1, MinY: -1, MaxX: 30, MaxY: 1}, nil)
+	if len(got) != 20 {
+		t.Errorf("search returned %d of 20", len(got))
+	}
+}

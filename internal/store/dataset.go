@@ -1,0 +1,290 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/olap"
+)
+
+// Dataset is a complete on-disk model instance: the standard layer
+// set of the running example (neighborhoods, river, streets, schools,
+// stores) plus a moving-object fact table and the application-part
+// dimension carrying the neighborhood attributes.
+type Dataset struct {
+	Ln      *layer.Layer // neighborhoods (polygons, α "neighb")
+	Lr      *layer.Layer // rivers (polylines, α "river")
+	Lh      *layer.Layer // streets (polylines, α "street")
+	Ls      *layer.Layer // schools (nodes, α "school")
+	Lstores *layer.Layer // stores (nodes, α "store")
+
+	Neighborhoods *olap.Dimension
+	FM            *moft.Table
+}
+
+// File names within a dataset directory.
+const (
+	FileNeighborhoods = "neighborhoods.csv"
+	FileRivers        = "rivers.csv"
+	FileStreets       = "streets.csv"
+	FileSchools       = "schools.csv"
+	FileStores        = "stores.csv"
+	FileMOFT          = "moft.csv"
+)
+
+// Save writes the dataset into dir (created if needed). Nil layers
+// and a nil MOFT are skipped.
+func (ds *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if ds.Ln != nil {
+		attrOf := func(name, attr string) (float64, bool) {
+			if ds.Neighborhoods == nil {
+				return 0, false
+			}
+			v, ok := ds.Neighborhoods.Attr("neighborhood", olap.Member(name), attr)
+			if !ok {
+				return 0, false
+			}
+			return v.Num()
+		}
+		if err := saveFile(dir, FileNeighborhoods, func(f *os.File) error {
+			return WritePolygonLayer(f, ds.Ln, "neighb", []string{"income", "population"}, attrOf)
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.Lr != nil {
+		if err := saveFile(dir, FileRivers, func(f *os.File) error {
+			return WritePolylineLayer(f, ds.Lr, "river")
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.Lh != nil {
+		if err := saveFile(dir, FileStreets, func(f *os.File) error {
+			return WritePolylineLayer(f, ds.Lh, "street")
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.Ls != nil {
+		if err := saveFile(dir, FileSchools, func(f *os.File) error {
+			return WriteNodeLayer(f, ds.Ls, "school")
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.Lstores != nil {
+		if err := saveFile(dir, FileStores, func(f *os.File) error {
+			return WriteNodeLayer(f, ds.Lstores, "store")
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.FM != nil {
+		if err := saveFile(dir, FileMOFT, func(f *os.File) error { return ds.FM.WriteCSV(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveFile(dir, name string, write func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset from dir. neighborhoods.csv is required;
+// every other file is optional.
+func Load(dir string) (*Dataset, error) {
+	ds := &Dataset{}
+
+	// Neighborhoods (required).
+	f, err := os.Open(filepath.Join(dir, FileNeighborhoods))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	records, err := ReadPolygonLayer(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	ds.Ln = layer.New("Ln")
+	ds.Neighborhoods = olap.NewDimension(
+		olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city"))
+	for _, rec := range records {
+		ds.Ln.AddPolygon(rec.ID, rec.Poly)
+		ds.Ln.SetAlpha("neighb", layer.KindPolygon, rec.Name, rec.ID)
+		ds.Neighborhoods.SetRollup("neighborhood", olap.Member(rec.Name), "city", "City")
+		for attr, v := range rec.Attrs {
+			ds.Neighborhoods.SetAttr("neighborhood", olap.Member(rec.Name), attr, olap.Num(v))
+		}
+	}
+
+	// Optional layers.
+	if lines, err := loadPolylines(dir, FileRivers); err != nil {
+		return nil, err
+	} else if lines != nil {
+		ds.Lr = layer.New("Lr")
+		for _, pl := range lines {
+			ds.Lr.AddPolyline(pl.ID, pl.Line)
+			ds.Lr.SetAlpha("river", layer.KindPolyline, pl.Name, pl.ID)
+		}
+	}
+	if lines, err := loadPolylines(dir, FileStreets); err != nil {
+		return nil, err
+	} else if lines != nil {
+		ds.Lh = layer.New("Lh")
+		for _, pl := range lines {
+			ds.Lh.AddPolyline(pl.ID, pl.Line)
+			ds.Lh.SetAlpha("street", layer.KindPolyline, pl.Name, pl.ID)
+		}
+	}
+	if nodes, err := loadNodes(dir, FileSchools); err != nil {
+		return nil, err
+	} else if nodes != nil {
+		ds.Ls = layer.New("Ls")
+		for _, n := range nodes {
+			ds.Ls.AddNode(n.ID, n.P)
+			ds.Ls.SetAlpha("school", layer.KindNode, n.Name, n.ID)
+		}
+	}
+	if nodes, err := loadNodes(dir, FileStores); err != nil {
+		return nil, err
+	} else if nodes != nil {
+		ds.Lstores = layer.New("Lstores")
+		for _, n := range nodes {
+			ds.Lstores.AddNode(n.ID, n.P)
+			ds.Lstores.SetAlpha("store", layer.KindNode, n.Name, n.ID)
+		}
+	}
+
+	// Optional MOFT.
+	if mf, err := os.Open(filepath.Join(dir, FileMOFT)); err == nil {
+		ds.FM, err = moft.ReadCSV("FM", mf)
+		mf.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return ds, nil
+}
+
+func loadPolylines(dir, name string) ([]PolylineRecord, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReadPolylineLayer(f)
+}
+
+func loadNodes(dir, name string) ([]PointRecord, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReadNodeLayer(f)
+}
+
+// GIS wires the dataset's layers into a GIS dimension instance with
+// the standard Figure-2-shaped schema, ready for query evaluation.
+func (ds *Dataset) GIS() (*gis.Dimension, error) {
+	schema := gis.NewSchema().
+		AddAppSchema(olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city"))
+	d := gis.NewDimension(schema)
+	if ds.Ln != nil {
+		schema.AddHierarchy(gis.NewHierarchy("Ln").
+			AddEdge(layer.KindPoint, layer.KindPolygon).
+			AddEdge(layer.KindPolygon, layer.KindAll)).
+			BindAttr("neighb", layer.KindPolygon, "Ln")
+		if err := d.AddLayer(ds.Ln); err != nil {
+			return nil, err
+		}
+	}
+	if ds.Lr != nil {
+		schema.AddHierarchy(gis.NewHierarchy("Lr").
+			AddEdge(layer.KindPoint, layer.KindPolyline).
+			AddEdge(layer.KindPolyline, layer.KindAll)).
+			BindAttr("river", layer.KindPolyline, "Lr")
+		if err := d.AddLayer(ds.Lr); err != nil {
+			return nil, err
+		}
+	}
+	if ds.Lh != nil {
+		schema.AddHierarchy(gis.NewHierarchy("Lh").
+			AddEdge(layer.KindPoint, layer.KindPolyline).
+			AddEdge(layer.KindPolyline, layer.KindAll)).
+			BindAttr("street", layer.KindPolyline, "Lh")
+		if err := d.AddLayer(ds.Lh); err != nil {
+			return nil, err
+		}
+	}
+	if ds.Ls != nil {
+		schema.AddHierarchy(gis.NewHierarchy("Ls").
+			AddEdge(layer.KindPoint, layer.KindNode).
+			AddEdge(layer.KindNode, layer.KindAll)).
+			BindAttr("school", layer.KindNode, "Ls")
+		if err := d.AddLayer(ds.Ls); err != nil {
+			return nil, err
+		}
+	}
+	if ds.Lstores != nil {
+		schema.AddHierarchy(gis.NewHierarchy("Lstores").
+			AddEdge(layer.KindPoint, layer.KindNode).
+			AddEdge(layer.KindNode, layer.KindAll)).
+			BindAttr("store", layer.KindNode, "Lstores")
+		if err := d.AddLayer(ds.Lstores); err != nil {
+			return nil, err
+		}
+	}
+	if ds.Neighborhoods != nil {
+		if err := d.AddAppDimension(ds.Neighborhoods); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Context wires the dataset into an evaluation context and engine.
+func (ds *Dataset) Context() (*fo.Context, *core.Engine, error) {
+	d, err := ds.GIS()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := fo.NewContext(d)
+	if ds.FM != nil {
+		ctx.AddTable(ds.FM)
+	}
+	if ds.Neighborhoods != nil {
+		ctx.BindConcept("neighb", ds.Neighborhoods, "neighborhood")
+	}
+	return ctx, core.New(ctx), nil
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/workload"
+)
+
+func datasetFromCity(t *testing.T) *Dataset {
+	t.Helper()
+	city := workload.GenCity(workload.CityConfig{Seed: 15, Cols: 3, Rows: 3, Schools: 4, Stores: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 15, Objects: 8, Samples: 12})
+	return &Dataset{
+		Ln: city.Ln, Lr: city.Lr, Lh: city.Lh, Ls: city.Ls, Lstores: city.Lstores,
+		Neighborhoods: city.Neighborhoods, FM: fm,
+	}
+}
+
+func TestDatasetRoundtrip(t *testing.T) {
+	ds := datasetFromCity(t)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{FileNeighborhoods, FileRivers, FileStreets, FileSchools, FileStores, FileMOFT} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ln.Count(layer.KindPolygon) != 9 {
+		t.Errorf("polygons = %d", back.Ln.Count(layer.KindPolygon))
+	}
+	if back.FM.Len() != ds.FM.Len() {
+		t.Errorf("moft = %d vs %d", back.FM.Len(), ds.FM.Len())
+	}
+	if back.Ls.Count(layer.KindNode) != 4 || back.Lstores.Count(layer.KindNode) != 4 {
+		t.Error("node layers")
+	}
+	if back.Lr.Count(layer.KindPolyline) != 1 {
+		t.Error("river layer")
+	}
+	// Attributes survive.
+	name := back.Ln.AlphaMembers("neighb")[0]
+	v, ok := back.Neighborhoods.Attr("neighborhood", olap.Member(name), "income")
+	if !ok {
+		t.Fatalf("missing income for %s", name)
+	}
+	orig, _ := ds.Neighborhoods.Attr("neighborhood", olap.Member(name), "income")
+	if !v.Equal(orig) {
+		t.Errorf("income %v vs %v", v, orig)
+	}
+}
+
+func TestDatasetContextEndToEnd(t *testing.T) {
+	ds := datasetFromCity(t)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eng, err := back.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits, err := eng.Trajectories("FM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lits) != 8 {
+		t.Errorf("trajectories = %d", len(lits))
+	}
+	d, err := back.GIS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("loaded GIS invalid: %v", err)
+	}
+}
+
+func TestDatasetLoadPartial(t *testing.T) {
+	ds := datasetFromCity(t)
+	ds.Lr, ds.Lh, ds.Ls, ds.Lstores, ds.FM = nil, nil, nil, nil, nil
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lr != nil || back.FM != nil {
+		t.Error("absent files should load as nil")
+	}
+	if _, _, err := back.Context(); err != nil {
+		t.Errorf("partial context: %v", err)
+	}
+}
+
+func TestDatasetLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

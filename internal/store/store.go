@@ -1,0 +1,343 @@
+// Package store persists and reloads model instances as plain
+// CSV/WKT files: polygon layers with attributes, polyline and node
+// layers, and moving-object fact tables. The formats match what
+// cmd/mogen writes, so generated workloads round-trip through disk and
+// external tools (spreadsheets, PostGIS imports) can consume them.
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+)
+
+// PolygonRecord is one row of a polygon-layer file.
+type PolygonRecord struct {
+	ID    layer.Gid
+	Name  string
+	Attrs map[string]float64
+	Poly  geom.Polygon
+}
+
+// WritePolygonLayer writes the named attribute's polygons with their
+// numeric attributes: header "id,name,<attrs...>,wkt".
+func WritePolygonLayer(w io.Writer, l *layer.Layer, alphaAttr string, attrNames []string,
+	attrOf func(name, attr string) (float64, bool)) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id", "name"}, attrNames...)
+	header = append(header, "wkt")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	for _, name := range l.AlphaMembers(alphaAttr) {
+		_, id, _ := l.Alpha(alphaAttr, name)
+		pg, ok := l.Polygon(id)
+		if !ok {
+			return fmt.Errorf("store: α_%s(%q) names missing polygon %d", alphaAttr, name, id)
+		}
+		rec := []string{strconv.FormatInt(int64(id), 10), name}
+		for _, a := range attrNames {
+			v, _ := attrOf(name, a)
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		rec = append(rec, geom.WKT(pg))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("store: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPolygonLayer parses a polygon-layer file written by
+// WritePolygonLayer.
+func ReadPolygonLayer(r io.Reader) ([]PolygonRecord, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("store: empty polygon file")
+	}
+	header := recs[0]
+	if len(header) < 3 || header[0] != "id" || header[1] != "name" || header[len(header)-1] != "wkt" {
+		return nil, fmt.Errorf("store: malformed header %v", header)
+	}
+	attrNames := header[2 : len(header)-1]
+	var out []PolygonRecord
+	for i, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("store: row %d: %d fields, want %d", i+1, len(rec), len(header))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d id: %w", i+1, err)
+		}
+		pr := PolygonRecord{ID: layer.Gid(id), Name: rec[1], Attrs: map[string]float64{}}
+		for j, a := range attrNames {
+			v, err := strconv.ParseFloat(rec[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("store: row %d attr %q: %w", i+1, a, err)
+			}
+			pr.Attrs[a] = v
+		}
+		pg, err := ParseWKTPolygon(rec[len(rec)-1])
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d: %w", i+1, err)
+		}
+		pr.Poly = pg
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// PointRecord is one row of a node-layer file.
+type PointRecord struct {
+	ID   layer.Gid
+	Name string
+	P    geom.Point
+}
+
+// WriteNodeLayer writes "id,name,wkt" rows for the node geometries
+// bound by alphaAttr.
+func WriteNodeLayer(w io.Writer, l *layer.Layer, alphaAttr string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "name", "wkt"}); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	for _, name := range l.AlphaMembers(alphaAttr) {
+		_, id, _ := l.Alpha(alphaAttr, name)
+		p, ok := l.Node(id)
+		if !ok {
+			return fmt.Errorf("store: α_%s(%q) names missing node %d", alphaAttr, name, id)
+		}
+		rec := []string{strconv.FormatInt(int64(id), 10), name, geom.WKT(p)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("store: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNodeLayer parses a node-layer file.
+func ReadNodeLayer(r io.Reader) ([]PointRecord, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	var out []PointRecord
+	for i, rec := range recs {
+		if i == 0 && len(rec) > 0 && rec[0] == "id" {
+			continue
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("store: row %d: want 3 fields, got %d", i, len(rec))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d id: %w", i, err)
+		}
+		p, err := geom.ParseWKTPoint(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d: %w", i, err)
+		}
+		out = append(out, PointRecord{ID: layer.Gid(id), Name: rec[1], P: p})
+	}
+	return out, nil
+}
+
+// PolylineRecord is one row of a polyline-layer file.
+type PolylineRecord struct {
+	ID   layer.Gid
+	Name string
+	Line geom.Polyline
+}
+
+// WritePolylineLayer writes "id,name,wkt" rows for the polylines
+// bound by alphaAttr.
+func WritePolylineLayer(w io.Writer, l *layer.Layer, alphaAttr string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "name", "wkt"}); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	for _, name := range l.AlphaMembers(alphaAttr) {
+		_, id, _ := l.Alpha(alphaAttr, name)
+		pl, ok := l.Polyline(id)
+		if !ok {
+			return fmt.Errorf("store: α_%s(%q) names missing polyline %d", alphaAttr, name, id)
+		}
+		rec := []string{strconv.FormatInt(int64(id), 10), name, geom.WKT(pl)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("store: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPolylineLayer parses a polyline-layer file.
+func ReadPolylineLayer(r io.Reader) ([]PolylineRecord, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	var out []PolylineRecord
+	for i, rec := range recs {
+		if i == 0 && len(rec) > 0 && rec[0] == "id" {
+			continue
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("store: row %d: want 3 fields, got %d", i, len(rec))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d id: %w", i, err)
+		}
+		pl, err := ParseWKTLineString(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("store: row %d: %w", i, err)
+		}
+		out = append(out, PolylineRecord{ID: layer.Gid(id), Name: rec[1], Line: pl})
+	}
+	return out, nil
+}
+
+// ParseWKTLineString parses "LINESTRING (x y, x y, ...)".
+func ParseWKTLineString(s string) (geom.Polyline, error) {
+	s = strings.TrimSpace(s)
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "LINESTRING") {
+		return nil, fmt.Errorf("store: not a WKT linestring: %q", s)
+	}
+	body := strings.TrimSpace(s[len("LINESTRING"):])
+	pts, err := parseCoordList(body)
+	if err != nil {
+		return nil, fmt.Errorf("store: %q: %w", s, err)
+	}
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("store: linestring needs ≥ 2 points: %q", s)
+	}
+	return geom.Polyline(pts), nil
+}
+
+// ParseWKTPolygon parses "POLYGON ((...), (...))" with optional hole
+// rings. The closing duplicate vertex of each ring is dropped.
+func ParseWKTPolygon(s string) (geom.Polygon, error) {
+	s = strings.TrimSpace(s)
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "POLYGON") {
+		return geom.Polygon{}, fmt.Errorf("store: not a WKT polygon: %q", s)
+	}
+	body := strings.TrimSpace(s[len("POLYGON"):])
+	if !strings.HasPrefix(body, "(") || !strings.HasSuffix(body, ")") {
+		return geom.Polygon{}, fmt.Errorf("store: malformed polygon body: %q", s)
+	}
+	body = body[1 : len(body)-1]
+	rings, err := splitRings(body)
+	if err != nil {
+		return geom.Polygon{}, fmt.Errorf("store: %q: %w", s, err)
+	}
+	if len(rings) == 0 {
+		return geom.Polygon{}, fmt.Errorf("store: polygon with no rings: %q", s)
+	}
+	var pg geom.Polygon
+	for i, ringBody := range rings {
+		pts, err := parseCoordList(ringBody)
+		if err != nil {
+			return geom.Polygon{}, fmt.Errorf("store: ring %d of %q: %w", i, s, err)
+		}
+		// Drop the explicit closing vertex.
+		if len(pts) > 1 && pts[0].Eq(pts[len(pts)-1]) {
+			pts = pts[:len(pts)-1]
+		}
+		if len(pts) < 3 {
+			return geom.Polygon{}, fmt.Errorf("store: ring %d of %q has < 3 points", i, s)
+		}
+		if i == 0 {
+			pg.Shell = geom.Ring(pts)
+		} else {
+			pg.Holes = append(pg.Holes, geom.Ring(pts))
+		}
+	}
+	return pg, nil
+}
+
+// splitRings splits "(...), (...)" into the parenthesized bodies.
+func splitRings(body string) ([]string, error) {
+	var out []string
+	depth := 0
+	start := -1
+	for i, c := range body {
+		switch c {
+		case '(':
+			depth++
+			if depth == 1 {
+				start = i + 1
+			}
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses")
+			}
+			if depth == 0 {
+				out = append(out, body[start:i])
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses")
+	}
+	return out, nil
+}
+
+// parseCoordList parses "(x y, x y, ...)" or "x y, x y, ...".
+func parseCoordList(body string) ([]geom.Point, error) {
+	body = strings.TrimSpace(body)
+	body = strings.TrimPrefix(body, "(")
+	body = strings.TrimSuffix(body, ")")
+	parts := strings.Split(body, ",")
+	var out []geom.Point
+	for _, part := range parts {
+		fs := strings.Fields(strings.TrimSpace(part))
+		if len(fs) != 2 {
+			return nil, fmt.Errorf("coordinate %q: want 2 fields", part)
+		}
+		x, err := strconv.ParseFloat(fs[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %q: %w", part, err)
+		}
+		y, err := strconv.ParseFloat(fs[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %q: %w", part, err)
+		}
+		out = append(out, geom.Pt(x, y))
+	}
+	return out, nil
+}
+
+// SortedAttrNames returns the union of attribute names across the
+// records, sorted — convenient for writing back what was read.
+func SortedAttrNames(records []PolygonRecord) []string {
+	set := map[string]bool{}
+	for _, r := range records {
+		for a := range r.Attrs {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

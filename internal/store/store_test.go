@@ -1,0 +1,158 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/olap"
+	"mogis/internal/workload"
+)
+
+func TestPolygonLayerRoundtrip(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 4, Cols: 3, Rows: 3})
+	attrOf := func(name, attr string) (float64, bool) {
+		v, ok := city.Neighborhoods.Attr("neighborhood", olap.Member(name), attr)
+		if !ok {
+			return 0, false
+		}
+		return v.Num()
+	}
+	var buf bytes.Buffer
+	if err := WritePolygonLayer(&buf, city.Ln, "neighb", []string{"income", "population"}, attrOf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadPolygonLayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 9 {
+		t.Fatalf("records = %d", len(records))
+	}
+	for _, rec := range records {
+		orig, ok := city.Ln.Polygon(rec.ID)
+		if !ok {
+			t.Fatalf("unknown id %d", rec.ID)
+		}
+		if math.Abs(orig.Area()-rec.Poly.Area()) > 1e-9 {
+			t.Errorf("%s: area %v vs %v", rec.Name, orig.Area(), rec.Poly.Area())
+		}
+		income, _ := attrOf(rec.Name, "income")
+		if rec.Attrs["income"] != income {
+			t.Errorf("%s: income %v vs %v", rec.Name, rec.Attrs["income"], income)
+		}
+	}
+	if got := SortedAttrNames(records); len(got) != 2 || got[0] != "income" {
+		t.Errorf("attr names = %v", got)
+	}
+}
+
+func TestNodeAndPolylineRoundtrip(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 4, Cols: 3, Rows: 3, Schools: 5})
+	var buf bytes.Buffer
+	if err := WriteNodeLayer(&buf, city.Ls, "school"); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := ReadNodeLayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for _, n := range nodes {
+		p, ok := city.Ls.Node(n.ID)
+		if !ok || !p.Eq(n.P) {
+			t.Errorf("node %d mismatch", n.ID)
+		}
+	}
+
+	buf.Reset()
+	if err := WritePolylineLayer(&buf, city.Lh, "street"); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ReadPolylineLayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != city.Lh.Count(layer.KindPolyline) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, pl := range lines {
+		orig, ok := city.Lh.Polyline(pl.ID)
+		if !ok || math.Abs(orig.Length()-pl.Line.Length()) > 1e-9 {
+			t.Errorf("polyline %d mismatch", pl.ID)
+		}
+	}
+}
+
+func TestParseWKTPolygon(t *testing.T) {
+	pg, err := ParseWKTPolygon("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Shell) != 4 || len(pg.Holes) != 1 || len(pg.Holes[0]) != 4 {
+		t.Fatalf("parsed = %+v", pg)
+	}
+	if pg.Area() != 15 {
+		t.Errorf("area = %v", pg.Area())
+	}
+	// Roundtrip through geom.WKT.
+	back, err := ParseWKTPolygon(geom.WKT(pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Area() != 15 {
+		t.Errorf("roundtrip area = %v", back.Area())
+	}
+	for _, bad := range []string{
+		"", "POINT (1 2)", "POLYGON ()", "POLYGON ((0 0, 1 1))",
+		"POLYGON ((0 0, 1 1, x y))", "POLYGON (0 0, 1 1", "POLYGON ((0 0, 1 0, 1 1)",
+	} {
+		if _, err := ParseWKTPolygon(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseWKTLineString(t *testing.T) {
+	pl, err := ParseWKTLineString("LINESTRING (0 0, 1 0, 1 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Length() != 6 {
+		t.Errorf("length = %v", pl.Length())
+	}
+	for _, bad := range []string{"", "POLYGON ((0 0))", "LINESTRING (0 0)", "LINESTRING (a b, c d)"} {
+		if _, err := ParseWKTLineString(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadPolygonLayer(strings.NewReader("")); err == nil {
+		t.Error("empty polygon file accepted")
+	}
+	if _, err := ReadPolygonLayer(strings.NewReader("bad,header\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadPolygonLayer(strings.NewReader("id,name,wkt\nx,n,\"POLYGON ((0 0, 1 0, 1 1, 0 0))\"\n")); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := ReadPolygonLayer(strings.NewReader("id,name,income,wkt\n1,n,abc,\"POLYGON ((0 0, 1 0, 1 1, 0 0))\"\n")); err == nil {
+		t.Error("bad attr accepted")
+	}
+	if _, err := ReadNodeLayer(strings.NewReader("id,name,wkt\nx,n,\"POINT (1 2)\"\n")); err == nil {
+		t.Error("bad node id accepted")
+	}
+	if _, err := ReadNodeLayer(strings.NewReader("id,name,wkt\n1,n,\"LINESTRING (0 0, 1 1)\"\n")); err == nil {
+		t.Error("non-point wkt accepted")
+	}
+	if _, err := ReadPolylineLayer(strings.NewReader("id,name,wkt\n1,n,\"POINT (1 2)\"\n")); err == nil {
+		t.Error("non-linestring wkt accepted")
+	}
+}

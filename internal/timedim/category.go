@@ -1,0 +1,100 @@
+package timedim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Category names a level of the Time dimension. The finest level is
+// CatTimeID; all others are reached via the rollup functions
+// R^cat_timeId that the paper's queries use.
+type Category string
+
+// Time dimension categories.
+const (
+	CatTimeID    Category = "timeId"
+	CatMinute    Category = "minute"    // absolute minute bucket
+	CatHour      Category = "hour"      // absolute hour bucket "YYYY-MM-DD HH"
+	CatHourOfDay Category = "hourOfDay" // clock hour "0".."23"
+	CatDay       Category = "day"       // "YYYY-MM-DD"
+	CatMonth     Category = "month"     // "YYYY-MM"
+	CatYear      Category = "year"      // "YYYY"
+	CatDayOfWeek Category = "dayOfWeek" // "Monday".."Sunday"
+	CatTimeOfDay Category = "timeOfDay" // Morning/Afternoon/Evening/Night
+	CatTypeOfDay Category = "typeOfDay" // Weekday/Weekend
+	CatAll       Category = "All"
+)
+
+// Categories lists every category, finest first.
+func Categories() []Category {
+	return []Category{
+		CatTimeID, CatMinute, CatHour, CatHourOfDay, CatDay, CatMonth,
+		CatYear, CatDayOfWeek, CatTimeOfDay, CatTypeOfDay, CatAll,
+	}
+}
+
+// Rollup is the rollup function R^cat_timeId: it maps instant t to its
+// member of the category. Unknown categories return ok=false.
+func Rollup(cat Category, t Instant) (string, bool) {
+	c := t.Civil()
+	switch cat {
+	case CatTimeID:
+		return strconv.FormatInt(int64(t), 10), true
+	case CatMinute:
+		return fmt.Sprintf("%04d-%02d-%02d %02d:%02d", c.Year, c.Month, c.Day, c.Hour, c.Minute), true
+	case CatHour:
+		return fmt.Sprintf("%04d-%02d-%02d %02d", c.Year, c.Month, c.Day, c.Hour), true
+	case CatHourOfDay:
+		return strconv.Itoa(c.Hour), true
+	case CatDay:
+		return t.DateString(), true
+	case CatMonth:
+		return fmt.Sprintf("%04d-%02d", c.Year, c.Month), true
+	case CatYear:
+		return fmt.Sprintf("%04d", c.Year), true
+	case CatDayOfWeek:
+		return t.DayOfWeek(), true
+	case CatTimeOfDay:
+		return t.TimeOfDay(), true
+	case CatTypeOfDay:
+		return t.TypeOfDay(), true
+	case CatAll:
+		return "all", true
+	default:
+		return "", false
+	}
+}
+
+// Interval is a closed time interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi Instant
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t Instant) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Duration returns the interval length in seconds (0 when inverted).
+func (iv Interval) Duration() int64 {
+	if iv.Hi < iv.Lo {
+		return 0
+	}
+	return int64(iv.Hi - iv.Lo)
+}
+
+// Overlaps reports whether two intervals share an instant.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// Intersect returns the common sub-interval; ok=false when disjoint.
+func (iv Interval) Intersect(o Interval) (Interval, bool) {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if hi < lo {
+		return Interval{}, false
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}

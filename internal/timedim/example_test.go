@@ -1,0 +1,33 @@
+package timedim_test
+
+import (
+	"fmt"
+
+	"mogis/internal/timedim"
+)
+
+// The Time dimension's rollup functions R^cat_timeId map an instant
+// to its member of each category, exactly as the paper's queries use
+// them.
+func Example() {
+	t := timedim.At(2006, 1, 9, 9, 15) // the paper's Monday morning
+	for _, cat := range []timedim.Category{
+		timedim.CatHour, timedim.CatDay, timedim.CatDayOfWeek,
+		timedim.CatTimeOfDay, timedim.CatTypeOfDay,
+	} {
+		m, _ := timedim.Rollup(cat, t)
+		fmt.Printf("%s -> %s\n", cat, m)
+	}
+	// Output:
+	// hour -> 2006-01-09 09
+	// day -> 2006-01-09
+	// dayOfWeek -> Monday
+	// timeOfDay -> Morning
+	// typeOfDay -> Weekday
+}
+
+func ExampleParse() {
+	t, _ := timedim.Parse("2006-01-07 09:15")
+	fmt.Println(t.DayOfWeek(), t.TimeOfDay())
+	// Output: Saturday Morning
+}

@@ -1,0 +1,60 @@
+package timedim
+
+import (
+	"strconv"
+
+	"mogis/internal/olap"
+)
+
+// OLAPSchema returns the Time dimension as an OLAP dimension schema,
+// the configuration Figure 2 of the paper draws alongside the GIS
+// dimensions: timeId rolls up to minute → hour → day → month → year
+// and, in parallel, to the categorical levels hourOfDay, dayOfWeek,
+// timeOfDay and typeOfDay.
+func OLAPSchema() *olap.Schema {
+	return olap.NewSchema("Time").
+		AddEdge(olap.Level(CatTimeID), olap.Level(CatMinute)).
+		AddEdge(olap.Level(CatMinute), olap.Level(CatHour)).
+		AddEdge(olap.Level(CatHour), olap.Level(CatDay)).
+		AddEdge(olap.Level(CatDay), olap.Level(CatMonth)).
+		AddEdge(olap.Level(CatMonth), olap.Level(CatYear)).
+		AddEdge(olap.Level(CatHour), olap.Level(CatHourOfDay)).
+		AddEdge(olap.Level(CatDay), olap.Level(CatDayOfWeek)).
+		AddEdge(olap.Level(CatDayOfWeek), olap.Level(CatTypeOfDay)).
+		AddEdge(olap.Level(CatHourOfDay), olap.Level(CatTimeOfDay))
+}
+
+// AsOLAPDimension materializes a finite OLAP dimension instance over
+// the given instants: each instant becomes a timeId member and every
+// schema edge gets its rollup mapping, so classical fact tables and
+// cube materialization work over time exactly as over geometric
+// dimensions.
+func AsOLAPDimension(instants []Instant) (*olap.Dimension, error) {
+	d := olap.NewDimension(OLAPSchema())
+	for _, t := range instants {
+		id := olap.Member(strconv.FormatInt(int64(t), 10))
+		minute, _ := Rollup(CatMinute, t)
+		hour, _ := Rollup(CatHour, t)
+		day, _ := Rollup(CatDay, t)
+		month, _ := Rollup(CatMonth, t)
+		year, _ := Rollup(CatYear, t)
+		hod, _ := Rollup(CatHourOfDay, t)
+		dow, _ := Rollup(CatDayOfWeek, t)
+		tod, _ := Rollup(CatTimeOfDay, t)
+		typ, _ := Rollup(CatTypeOfDay, t)
+
+		d.SetRollup(olap.Level(CatTimeID), id, olap.Level(CatMinute), olap.Member(minute))
+		d.SetRollup(olap.Level(CatMinute), olap.Member(minute), olap.Level(CatHour), olap.Member(hour))
+		d.SetRollup(olap.Level(CatHour), olap.Member(hour), olap.Level(CatDay), olap.Member(day))
+		d.SetRollup(olap.Level(CatDay), olap.Member(day), olap.Level(CatMonth), olap.Member(month))
+		d.SetRollup(olap.Level(CatMonth), olap.Member(month), olap.Level(CatYear), olap.Member(year))
+		d.SetRollup(olap.Level(CatHour), olap.Member(hour), olap.Level(CatHourOfDay), olap.Member(hod))
+		d.SetRollup(olap.Level(CatDay), olap.Member(day), olap.Level(CatDayOfWeek), olap.Member(dow))
+		d.SetRollup(olap.Level(CatDayOfWeek), olap.Member(dow), olap.Level(CatTypeOfDay), olap.Member(typ))
+		d.SetRollup(olap.Level(CatHourOfDay), olap.Member(hod), olap.Level(CatTimeOfDay), olap.Member(tod))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,106 @@
+package timedim
+
+import (
+	"strconv"
+	"testing"
+
+	"mogis/internal/olap"
+)
+
+func TestOLAPSchemaShape(t *testing.T) {
+	s := OLAPSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schema invalid: %v", err)
+	}
+	paths := []struct {
+		from, to Category
+		want     bool
+	}{
+		{CatTimeID, CatYear, true},
+		{CatTimeID, CatTimeOfDay, true},
+		{CatTimeID, CatTypeOfDay, true},
+		{CatHour, CatYear, true},
+		{CatYear, CatTimeID, false},
+		{CatTimeOfDay, CatYear, false},
+	}
+	for _, p := range paths {
+		if got := s.PathExists(olap.Level(p.from), olap.Level(p.to)); got != p.want {
+			t.Errorf("PathExists(%s,%s) = %v, want %v", p.from, p.to, got, p.want)
+		}
+	}
+}
+
+func TestAsOLAPDimension(t *testing.T) {
+	instants := []Instant{
+		At(2006, 1, 9, 9, 15), // Monday morning
+		At(2006, 1, 9, 14, 0), // Monday afternoon
+		At(2006, 1, 7, 9, 15), // Saturday morning
+		At(2005, 12, 31, 23, 59),
+	}
+	d, err := AsOLAPDimension(instants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := olap.Member(strconv.FormatInt(int64(instants[0]), 10))
+	cases := []struct {
+		to   Category
+		want olap.Member
+	}{
+		{CatHour, "2006-01-09 09"},
+		{CatDay, "2006-01-09"},
+		{CatMonth, "2006-01"},
+		{CatYear, "2006"},
+		{CatDayOfWeek, "Monday"},
+		{CatTimeOfDay, Morning},
+		{CatTypeOfDay, Weekday},
+	}
+	for _, c := range cases {
+		got, ok := d.Rollup(olap.Level(CatTimeID), olap.Level(c.to), id)
+		if !ok || got != c.want {
+			t.Errorf("Rollup to %s = %q,%v, want %q", c.to, got, ok, c.want)
+		}
+	}
+	// The Saturday instant rolls to Weekend through two hops.
+	satID := olap.Member(strconv.FormatInt(int64(instants[2]), 10))
+	if got, ok := d.Rollup(olap.Level(CatTimeID), olap.Level(CatTypeOfDay), satID); !ok || got != Weekend {
+		t.Errorf("Saturday typeOfDay = %q,%v", got, ok)
+	}
+}
+
+// TestTimeFactTable exercises the full OLAP pipeline over time: a
+// fact table at the timeId level rolled up per day and per timeOfDay.
+func TestTimeFactTable(t *testing.T) {
+	instants := []Instant{
+		At(2006, 1, 9, 9, 0), At(2006, 1, 9, 10, 0),
+		At(2006, 1, 9, 14, 0), At(2006, 1, 10, 9, 0),
+	}
+	d, err := AsOLAPDimension(instants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := olap.NewFactTable(olap.FactSchema{
+		Dims:     []olap.DimCol{{Name: "when", Dimension: d, Level: olap.Level(CatTimeID)}},
+		Measures: []string{"count"},
+	})
+	for _, ts := range instants {
+		ft.MustAdd([]olap.Member{olap.Member(strconv.FormatInt(int64(ts), 10))}, []float64{1})
+	}
+	byDay, err := ft.RollupAggregate(olap.Sum, "count", []olap.GroupSpec{
+		{DimName: "when", ToLevel: olap.Level(CatDay)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := byDay.Lookup("2006-01-09"); v != 3 {
+		t.Errorf("day count = %v\n%v", v, byDay)
+	}
+	byTod, err := ft.RollupAggregate(olap.Sum, "count", []olap.GroupSpec{
+		{DimName: "when", ToLevel: olap.Level(CatTimeOfDay)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := byTod.Lookup(Morning); v != 3 {
+		t.Errorf("morning count = %v\n%v", v, byTod)
+	}
+}

@@ -1,0 +1,253 @@
+// Package timedim implements the paper's Time dimension (Section 3):
+// time instants at the finest granularity (timeId) with rollup
+// functions R^j_timeId to the categories minute, hour, hourOfDay, day,
+// month, year, dayOfWeek, timeOfDay and typeOfDay. Calendar
+// arithmetic is implemented from first principles (proleptic
+// Gregorian, no time zones), so instants are pure integers and every
+// rollup is a deterministic function, as the model requires.
+package timedim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Instant is a time instant: seconds since 1970-01-01 00:00:00 in the
+// simulation's single implicit time zone. It is the member domain of
+// the paper's finest time category, timeId.
+type Instant int64
+
+// Seconds per calendar unit.
+const (
+	SecondsPerMinute = 60
+	SecondsPerHour   = 3600
+	SecondsPerDay    = 86400
+)
+
+// Civil is a broken-down calendar time.
+type Civil struct {
+	Year   int
+	Month  int // 1..12
+	Day    int // 1..31
+	Hour   int // 0..23
+	Minute int // 0..59
+	Second int // 0..59
+}
+
+// daysFromCivil converts a Gregorian date to days since 1970-01-01
+// (Howard Hinnant's algorithm).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	var era int64
+	if y >= 0 {
+		era = int64(y) / 400
+	} else {
+		era = (int64(y) - 399) / 400
+	}
+	yoe := int64(y) - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// civilFromDays converts days since 1970-01-01 to a Gregorian date.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	y = int(yy)
+	if m <= 2 {
+		y++
+	}
+	return y, m, d
+}
+
+// FromCivil builds an instant from calendar components.
+func FromCivil(c Civil) Instant {
+	days := daysFromCivil(c.Year, c.Month, c.Day)
+	return Instant(days*SecondsPerDay + int64(c.Hour)*SecondsPerHour +
+		int64(c.Minute)*SecondsPerMinute + int64(c.Second))
+}
+
+// Date is shorthand for FromCivil at midnight.
+func Date(year, month, day int) Instant {
+	return FromCivil(Civil{Year: year, Month: month, Day: day})
+}
+
+// At is shorthand for FromCivil with a clock time.
+func At(year, month, day, hour, minute int) Instant {
+	return FromCivil(Civil{Year: year, Month: month, Day: day, Hour: hour, Minute: minute})
+}
+
+// Civil breaks the instant into calendar components.
+func (t Instant) Civil() Civil {
+	days, secs := floorDiv(int64(t), SecondsPerDay)
+	y, m, d := civilFromDays(days)
+	return Civil{
+		Year:   y,
+		Month:  m,
+		Day:    d,
+		Hour:   int(secs / SecondsPerHour),
+		Minute: int(secs % SecondsPerHour / SecondsPerMinute),
+		Second: int(secs % SecondsPerMinute),
+	}
+}
+
+func floorDiv(a, b int64) (q, r int64) {
+	q = a / b
+	r = a % b
+	if r < 0 {
+		q--
+		r += b
+	}
+	return q, r
+}
+
+// Weekday names, Monday-first as the paper's examples use weekdays.
+var weekdayNames = [7]string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+
+// DayOfWeek returns the weekday name (1970-01-01 was a Thursday).
+func (t Instant) DayOfWeek() string {
+	days, _ := floorDiv(int64(t), SecondsPerDay)
+	// 1970-01-01 is Thursday = index 3 (Monday-first).
+	idx := (days%7 + 7 + 3) % 7
+	return weekdayNames[idx]
+}
+
+// Time-of-day category members.
+const (
+	Morning   = "Morning"   // [06:00, 12:00)
+	Afternoon = "Afternoon" // [12:00, 18:00)
+	Evening   = "Evening"   // [18:00, 22:00)
+	Night     = "Night"     // [22:00, 06:00)
+)
+
+// TimeOfDay returns the paper's timeOfDay category member for t.
+func (t Instant) TimeOfDay() string {
+	switch h := t.Civil().Hour; {
+	case h >= 6 && h < 12:
+		return Morning
+	case h >= 12 && h < 18:
+		return Afternoon
+	case h >= 18 && h < 22:
+		return Evening
+	default:
+		return Night
+	}
+}
+
+// Type-of-day category members.
+const (
+	Weekday = "Weekday"
+	Weekend = "Weekend"
+)
+
+// TypeOfDay returns Weekday or Weekend.
+func (t Instant) TypeOfDay() string {
+	switch t.DayOfWeek() {
+	case "Saturday", "Sunday":
+		return Weekend
+	default:
+		return Weekday
+	}
+}
+
+// HourOfDay returns the clock hour 0..23.
+func (t Instant) HourOfDay() int { return t.Civil().Hour }
+
+// TruncateHour returns the instant at the start of t's hour.
+func (t Instant) TruncateHour() Instant {
+	q, _ := floorDiv(int64(t), SecondsPerHour)
+	return Instant(q * SecondsPerHour)
+}
+
+// TruncateDay returns the instant at the start of t's day.
+func (t Instant) TruncateDay() Instant {
+	q, _ := floorDiv(int64(t), SecondsPerDay)
+	return Instant(q * SecondsPerDay)
+}
+
+// String formats the instant as "YYYY-MM-DD HH:MM" (":SS" appended
+// when nonzero), matching the literals in the paper's queries such as
+// "2006-01-07 9:15".
+func (t Instant) String() string {
+	c := t.Civil()
+	if c.Second == 0 {
+		return fmt.Sprintf("%04d-%02d-%02d %02d:%02d", c.Year, c.Month, c.Day, c.Hour, c.Minute)
+	}
+	return fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d", c.Year, c.Month, c.Day, c.Hour, c.Minute, c.Second)
+}
+
+// DateString formats just the date part, "YYYY-MM-DD".
+func (t Instant) DateString() string {
+	c := t.Civil()
+	return fmt.Sprintf("%04d-%02d-%02d", c.Year, c.Month, c.Day)
+}
+
+// Parse reads "YYYY-MM-DD", "YYYY-MM-DD HH:MM" or
+// "YYYY-MM-DD HH:MM:SS".
+func Parse(s string) (Instant, error) {
+	s = strings.TrimSpace(s)
+	datePart := s
+	clockPart := ""
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		datePart, clockPart = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	dfs := strings.Split(datePart, "-")
+	if len(dfs) != 3 {
+		return 0, fmt.Errorf("timedim: malformed date %q", s)
+	}
+	var c Civil
+	var err error
+	if c.Year, err = strconv.Atoi(dfs[0]); err != nil {
+		return 0, fmt.Errorf("timedim: bad year in %q: %w", s, err)
+	}
+	if c.Month, err = strconv.Atoi(dfs[1]); err != nil || c.Month < 1 || c.Month > 12 {
+		return 0, fmt.Errorf("timedim: bad month in %q", s)
+	}
+	if c.Day, err = strconv.Atoi(dfs[2]); err != nil || c.Day < 1 || c.Day > 31 {
+		return 0, fmt.Errorf("timedim: bad day in %q", s)
+	}
+	if clockPart != "" {
+		cfs := strings.Split(clockPart, ":")
+		if len(cfs) < 2 || len(cfs) > 3 {
+			return 0, fmt.Errorf("timedim: malformed clock in %q", s)
+		}
+		if c.Hour, err = strconv.Atoi(cfs[0]); err != nil || c.Hour < 0 || c.Hour > 23 {
+			return 0, fmt.Errorf("timedim: bad hour in %q", s)
+		}
+		if c.Minute, err = strconv.Atoi(cfs[1]); err != nil || c.Minute < 0 || c.Minute > 59 {
+			return 0, fmt.Errorf("timedim: bad minute in %q", s)
+		}
+		if len(cfs) == 3 {
+			if c.Second, err = strconv.Atoi(cfs[2]); err != nil || c.Second < 0 || c.Second > 59 {
+				return 0, fmt.Errorf("timedim: bad second in %q", s)
+			}
+		}
+	}
+	return FromCivil(c), nil
+}

@@ -1,0 +1,216 @@
+package timedim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCivilRoundtrip(t *testing.T) {
+	cases := []Civil{
+		{1970, 1, 1, 0, 0, 0},
+		{2006, 1, 7, 9, 15, 0}, // the paper's Q4 timestamp
+		{2000, 2, 29, 12, 0, 0},
+		{1999, 12, 31, 23, 59, 59},
+		{2026, 7, 5, 6, 0, 0},
+		{1960, 3, 1, 1, 2, 3}, // pre-epoch
+		{2400, 2, 29, 0, 0, 0},
+	}
+	for _, c := range cases {
+		got := FromCivil(c).Civil()
+		if got != c {
+			t.Errorf("roundtrip %+v -> %+v", c, got)
+		}
+	}
+}
+
+func TestEpochAndKnownDates(t *testing.T) {
+	if Date(1970, 1, 1) != 0 {
+		t.Errorf("epoch = %d", Date(1970, 1, 1))
+	}
+	// 2006-01-07 was a Saturday (the paper's Q4 uses "Jan 7th, 2006").
+	if d := Date(2006, 1, 7).DayOfWeek(); d != "Saturday" {
+		t.Errorf("2006-01-07 = %s", d)
+	}
+	if d := Date(1970, 1, 1).DayOfWeek(); d != "Thursday" {
+		t.Errorf("epoch weekday = %s", d)
+	}
+	if d := Date(2026, 7, 5).DayOfWeek(); d != "Sunday" {
+		t.Errorf("2026-07-05 = %s", d)
+	}
+	// Pre-epoch weekday.
+	if d := Date(1969, 12, 31).DayOfWeek(); d != "Wednesday" {
+		t.Errorf("1969-12-31 = %s", d)
+	}
+}
+
+func TestLeapYears(t *testing.T) {
+	// Feb 29 exists in 2000 and 2004, not in 1900 or 2100.
+	if c := Date(2000, 2, 29).Civil(); c.Month != 2 || c.Day != 29 {
+		t.Errorf("2000-02-29 = %+v", c)
+	}
+	// Day after Feb 28 in a non-leap century year.
+	if got := (Date(1900, 2, 28) + SecondsPerDay).Civil(); got.Month != 3 || got.Day != 1 {
+		t.Errorf("1900-02-28 +1d = %+v", got)
+	}
+	// Day after Feb 28 in a leap year.
+	if got := (Date(2004, 2, 28) + SecondsPerDay).Civil(); got.Month != 2 || got.Day != 29 {
+		t.Errorf("2004-02-28 +1d = %+v", got)
+	}
+}
+
+func TestTimeOfDay(t *testing.T) {
+	cases := []struct {
+		hour int
+		want string
+	}{
+		{0, Night}, {5, Night}, {6, Morning}, {11, Morning},
+		{12, Afternoon}, {17, Afternoon}, {18, Evening}, {21, Evening},
+		{22, Night}, {23, Night},
+	}
+	for _, c := range cases {
+		ts := At(2006, 1, 9, c.hour, 30)
+		if got := ts.TimeOfDay(); got != c.want {
+			t.Errorf("hour %d: %s, want %s", c.hour, got, c.want)
+		}
+	}
+}
+
+func TestTypeOfDay(t *testing.T) {
+	if got := Date(2006, 1, 9).TypeOfDay(); got != Weekday { // Monday
+		t.Errorf("Monday = %s", got)
+	}
+	if got := Date(2006, 1, 7).TypeOfDay(); got != Weekend { // Saturday
+		t.Errorf("Saturday = %s", got)
+	}
+	if got := Date(2006, 1, 8).TypeOfDay(); got != Weekend { // Sunday
+		t.Errorf("Sunday = %s", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	ts := At(2006, 1, 7, 9, 15) + 42
+	if h := ts.TruncateHour(); h != At(2006, 1, 7, 9, 0) {
+		t.Errorf("TruncateHour = %v", h)
+	}
+	if d := ts.TruncateDay(); d != Date(2006, 1, 7) {
+		t.Errorf("TruncateDay = %v", d)
+	}
+	// Pre-epoch truncation must floor, not round toward zero.
+	pre := At(1969, 12, 31, 23, 30)
+	if d := pre.TruncateDay(); d != Date(1969, 12, 31) {
+		t.Errorf("pre-epoch TruncateDay = %v (%s)", d, d)
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	ts := At(2006, 1, 7, 9, 15)
+	if s := ts.String(); s != "2006-01-07 09:15" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (ts + 30).String(); s != "2006-01-07 09:15:30" {
+		t.Errorf("String with seconds = %q", s)
+	}
+	if s := ts.DateString(); s != "2006-01-07" {
+		t.Errorf("DateString = %q", s)
+	}
+	for _, in := range []string{"2006-01-07", "2006-01-07 09:15", "2006-01-07 09:15:30"} {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		var want Instant
+		switch in {
+		case "2006-01-07":
+			want = Date(2006, 1, 7)
+		case "2006-01-07 09:15":
+			want = ts
+		default:
+			want = ts + 30
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "2006", "2006-13-01", "2006-01-32", "2006-01-07 25:00",
+		"2006-01-07 09:61", "2006-01-07 09:15:99", "x-y-z", "2006-01-07 09", "2006-01-07 1:2:3:4"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestRollupCategories(t *testing.T) {
+	ts := At(2006, 1, 9, 9, 15) // Monday morning
+	cases := []struct {
+		cat  Category
+		want string
+	}{
+		{CatMinute, "2006-01-09 09:15"},
+		{CatHour, "2006-01-09 09"},
+		{CatHourOfDay, "9"},
+		{CatDay, "2006-01-09"},
+		{CatMonth, "2006-01"},
+		{CatYear, "2006"},
+		{CatDayOfWeek, "Monday"},
+		{CatTimeOfDay, Morning},
+		{CatTypeOfDay, Weekday},
+		{CatAll, "all"},
+	}
+	for _, c := range cases {
+		got, ok := Rollup(c.cat, ts)
+		if !ok || got != c.want {
+			t.Errorf("Rollup(%s) = %q,%v, want %q", c.cat, got, ok, c.want)
+		}
+	}
+	if _, ok := Rollup("bogus", ts); ok {
+		t.Error("bogus category should fail")
+	}
+	if got, _ := Rollup(CatTimeID, 42); got != "42" {
+		t.Errorf("timeId = %q", got)
+	}
+	if len(Categories()) != 11 {
+		t.Errorf("Categories = %d", len(Categories()))
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 20}
+	if !iv.Contains(10) || !iv.Contains(20) || iv.Contains(21) {
+		t.Error("Contains mismatch")
+	}
+	if iv.Duration() != 10 {
+		t.Errorf("Duration = %d", iv.Duration())
+	}
+	if (Interval{Lo: 5, Hi: 4}).Duration() != 0 {
+		t.Error("inverted Duration")
+	}
+	if !iv.Overlaps(Interval{Lo: 20, Hi: 30}) || iv.Overlaps(Interval{Lo: 21, Hi: 30}) {
+		t.Error("Overlaps mismatch")
+	}
+	got, ok := iv.Intersect(Interval{Lo: 15, Hi: 40})
+	if !ok || got.Lo != 15 || got.Hi != 20 {
+		t.Errorf("Intersect = %+v,%v", got, ok)
+	}
+	if _, ok := iv.Intersect(Interval{Lo: 30, Hi: 40}); ok {
+		t.Error("disjoint Intersect should fail")
+	}
+}
+
+// Property: civil roundtrip holds for arbitrary instants within ±10k
+// years, and day arithmetic advances the date monotonically.
+func TestCivilRoundtripProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		ts := Instant(raw % (10000 * 365 * SecondsPerDay))
+		return FromCivil(ts.Civil()) == ts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	mono := func(raw int64) bool {
+		ts := Instant(raw % (5000 * 365 * SecondsPerDay))
+		return ts.TruncateDay()+SecondsPerDay == (ts + SecondsPerDay).TruncateDay()
+	}
+	if err := quick.Check(mono, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package traj
+
+import (
+	"math"
+
+	"mogis/internal/geom"
+)
+
+// Bead is a lifeline bead in the sense of Hornsby & Egenhofer (cited
+// in Section 2 of the paper): between two observations (t1, p1) and
+// (t2, p2) of an object with maximum speed vmax, the possible
+// positions at time t form the intersection of two discs; over the
+// whole interval the spatial projection is an ellipse with foci p1
+// and p2 and major axis vmax·(t2-t1).
+type Bead struct {
+	T1, T2 float64
+	P1, P2 geom.Point
+	VMax   float64
+}
+
+// NewBead builds the bead for one inter-observation gap. It returns
+// ok=false when the observations are infeasible at the given maximum
+// speed (the object could not travel the distance in time).
+func NewBead(t1 float64, p1 geom.Point, t2 float64, p2 geom.Point, vmax float64) (Bead, bool) {
+	if t2 <= t1 || vmax <= 0 {
+		return Bead{}, false
+	}
+	if p1.Dist(p2) > vmax*(t2-t1)+1e-9 {
+		return Bead{}, false
+	}
+	return Bead{T1: t1, T2: t2, P1: p1, P2: p2, VMax: vmax}, true
+}
+
+// PossibleAt reports whether the object could have been at position p
+// at time t: p must be reachable from p1 by time t and from p to p2
+// in the remaining time, both at speed at most VMax.
+func (b Bead) PossibleAt(t float64, p geom.Point) bool {
+	if t < b.T1 || t > b.T2 {
+		return false
+	}
+	return p.Dist(b.P1) <= b.VMax*(t-b.T1)+1e-9 &&
+		p.Dist(b.P2) <= b.VMax*(b.T2-t)+1e-9
+}
+
+// ProjectionContains reports whether p lies in the bead's spatial
+// projection: the ellipse {p : |p-p1| + |p-p2| ≤ vmax·(t2-t1)}.
+func (b Bead) ProjectionContains(p geom.Point) bool {
+	return p.Dist(b.P1)+p.Dist(b.P2) <= b.VMax*(b.T2-b.T1)+1e-9
+}
+
+// SemiAxes returns the semi-major and semi-minor axes of the
+// projection ellipse.
+func (b Bead) SemiAxes() (major, minor float64) {
+	major = b.VMax * (b.T2 - b.T1) / 2
+	c := b.P1.Dist(b.P2) / 2
+	m2 := major*major - c*c
+	if m2 < 0 {
+		m2 = 0
+	}
+	return major, math.Sqrt(m2)
+}
+
+// BBox returns a bounding box of the projection ellipse (conservative
+// axis-aligned box around the rotated ellipse).
+func (b Bead) BBox() geom.BBox {
+	major, minor := b.SemiAxes()
+	center := geom.MidPoint(b.P1, b.P2)
+	d := b.P2.Sub(b.P1)
+	L := d.Norm()
+	if L == 0 {
+		return geom.BBox{
+			MinX: center.X - major, MinY: center.Y - major,
+			MaxX: center.X + major, MaxY: center.Y + major,
+		}
+	}
+	// Half-extents of a rotated ellipse along the axes.
+	cos, sin := d.X/L, d.Y/L
+	ex := math.Sqrt(major*major*cos*cos + minor*minor*sin*sin)
+	ey := math.Sqrt(major*major*sin*sin + minor*minor*cos*cos)
+	return geom.BBox{
+		MinX: center.X - ex, MinY: center.Y - ey,
+		MaxX: center.X + ex, MaxY: center.Y + ey,
+	}
+}
+
+// MayIntersectPolygon reports whether the bead's projection ellipse
+// could intersect pg, by boundary and containment sampling: exact on
+// the discrete boundary sample, conservative in between. Used for the
+// uncertainty-aware variant of passes-through queries.
+func (b Bead) MayIntersectPolygon(pg geom.Polygon, boundarySamples int) bool {
+	if !b.BBox().Intersects(pg.BBox()) {
+		return false
+	}
+	// Ellipse center inside polygon or polygon vertex inside ellipse.
+	if pg.ContainsPoint(geom.MidPoint(b.P1, b.P2)) {
+		return true
+	}
+	for _, p := range pg.Shell {
+		if b.ProjectionContains(p) {
+			return true
+		}
+	}
+	if boundarySamples < 8 {
+		boundarySamples = 8
+	}
+	major, minor := b.SemiAxes()
+	center := geom.MidPoint(b.P1, b.P2)
+	d := b.P2.Sub(b.P1)
+	L := d.Norm()
+	cos, sin := 1.0, 0.0
+	if L > 0 {
+		cos, sin = d.X/L, d.Y/L
+	}
+	for i := 0; i < boundarySamples; i++ {
+		a := 2 * math.Pi * float64(i) / float64(boundarySamples)
+		ex, ey := major*math.Cos(a), minor*math.Sin(a)
+		p := geom.Pt(center.X+ex*cos-ey*sin, center.Y+ex*sin+ey*cos)
+		if pg.ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Beads derives the lifeline beads of an interpolated trajectory at
+// maximum speed vmax, skipping infeasible gaps.
+func Beads(l *LIT, vmax float64) []Bead {
+	var out []Bead
+	for i := 0; i < l.NumLegs(); i++ {
+		t0, t1, seg := l.Leg(i)
+		if b, ok := NewBead(t0, seg.A, t1, seg.B, vmax); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func TestNewBeadFeasibility(t *testing.T) {
+	if _, ok := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(5, 0), 1); !ok {
+		t.Error("feasible bead rejected")
+	}
+	// Too fast: 20 units in 10 seconds at vmax 1.
+	if _, ok := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(20, 0), 1); ok {
+		t.Error("infeasible bead accepted")
+	}
+	if _, ok := NewBead(10, geom.Pt(0, 0), 10, geom.Pt(0, 0), 1); ok {
+		t.Error("zero-duration bead accepted")
+	}
+	if _, ok := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(1, 0), 0); ok {
+		t.Error("zero-speed bead accepted")
+	}
+}
+
+func TestBeadPossibleAt(t *testing.T) {
+	b, _ := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(10, 0), 2)
+	// Midpoint at half time: reachable.
+	if !b.PossibleAt(5, geom.Pt(5, 0)) {
+		t.Error("midpoint should be possible")
+	}
+	// Detour point: at t=5 the object can be up to 10 away from both
+	// endpoints; (5,8) is dist ~9.43 from both — possible.
+	if !b.PossibleAt(5, geom.Pt(5, 8)) {
+		t.Error("detour within speed should be possible")
+	}
+	// (5,15) is too far.
+	if b.PossibleAt(5, geom.Pt(5, 15)) {
+		t.Error("far detour should be impossible")
+	}
+	// Early time: can't be far from start.
+	if b.PossibleAt(1, geom.Pt(5, 0)) {
+		t.Error("too far too early")
+	}
+	if b.PossibleAt(-1, geom.Pt(0, 0)) || b.PossibleAt(11, geom.Pt(10, 0)) {
+		t.Error("outside time domain")
+	}
+}
+
+func TestBeadProjection(t *testing.T) {
+	b, _ := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(10, 0), 2)
+	// Ellipse: |p-p1|+|p-p2| ≤ 20; major semi-axis 10, c = 5, minor =
+	// sqrt(100-25).
+	major, minor := b.SemiAxes()
+	if major != 10 || math.Abs(minor-math.Sqrt(75)) > 1e-12 {
+		t.Errorf("axes = %v, %v", major, minor)
+	}
+	if !b.ProjectionContains(geom.Pt(5, 8)) {
+		t.Error("inside ellipse")
+	}
+	if b.ProjectionContains(geom.Pt(5, 9)) {
+		t.Error("outside ellipse")
+	}
+	box := b.BBox()
+	if math.Abs(box.MinX-(-5)) > 1e-9 || math.Abs(box.MaxX-15) > 1e-9 {
+		t.Errorf("BBox = %v", box)
+	}
+	if math.Abs(box.MinY+math.Sqrt(75)) > 1e-9 {
+		t.Errorf("BBox = %v", box)
+	}
+}
+
+func TestBeadDegenerateSamePoint(t *testing.T) {
+	b, ok := NewBead(0, geom.Pt(3, 3), 10, geom.Pt(3, 3), 1)
+	if !ok {
+		t.Fatal("stationary bead rejected")
+	}
+	major, minor := b.SemiAxes()
+	if major != 5 || minor != 5 {
+		t.Errorf("axes = %v,%v (disc expected)", major, minor)
+	}
+	box := b.BBox()
+	if box.MinX != -2 || box.MaxX != 8 {
+		t.Errorf("BBox = %v", box)
+	}
+}
+
+func TestBeadMayIntersectPolygon(t *testing.T) {
+	b, _ := NewBead(0, geom.Pt(0, 0), 10, geom.Pt(10, 0), 2)
+	// Polygon well inside the ellipse band.
+	if !b.MayIntersectPolygon(sq(4, 2, 2), 16) {
+		t.Error("inside polygon missed")
+	}
+	// Polygon entirely containing the ellipse.
+	if !b.MayIntersectPolygon(sq(-20, -20, 60), 16) {
+		t.Error("containing polygon missed")
+	}
+	// Far polygon.
+	if b.MayIntersectPolygon(sq(100, 100, 5), 16) {
+		t.Error("far polygon hit")
+	}
+	// Default boundary sampling floor.
+	if !b.MayIntersectPolygon(sq(4, 2, 2), 0) {
+		t.Error("sampling floor")
+	}
+}
+
+func TestBeadsFromLIT(t *testing.T) {
+	l := MustLIT(Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 10, P: geom.Pt(10, 0)},
+		{T: 20, P: geom.Pt(10, 10)},
+	})
+	bs := Beads(l, 2)
+	if len(bs) != 2 {
+		t.Fatalf("beads = %d", len(bs))
+	}
+	// At vmax below the actual speed, the gaps are infeasible.
+	bs = Beads(l, 0.5)
+	if len(bs) != 0 {
+		t.Errorf("infeasible beads = %d", len(bs))
+	}
+}

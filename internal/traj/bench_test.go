@@ -1,0 +1,66 @@
+package traj
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/timedim"
+)
+
+func benchLIT(n int) *LIT {
+	rng := rand.New(rand.NewSource(1))
+	s := make(Sample, n)
+	p := geom.Pt(500, 500)
+	for i := 0; i < n; i++ {
+		p = p.Add(geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10))
+		s[i] = TimePoint{T: timedim.Instant(i * 60), P: p}
+	}
+	return MustLIT(s)
+}
+
+var benchPoly = geom.Polygon{Shell: geom.Ring{
+	geom.Pt(400, 400), geom.Pt(600, 400), geom.Pt(600, 600), geom.Pt(400, 600),
+}}
+
+func BenchmarkLITAt(b *testing.B) {
+	l := benchLIT(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.At(float64(i%59000) + 0.5)
+	}
+}
+
+func BenchmarkInsidePolygonIntervals(b *testing.B) {
+	l := benchLIT(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InsidePolygonIntervals(benchPoly)
+	}
+}
+
+func BenchmarkWithinRadiusIntervals(b *testing.B) {
+	l := benchLIT(1000)
+	center := geom.Pt(500, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.WithinRadiusIntervals(center, 50)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	l := benchLIT(1000)
+	s := l.Sample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(s, 5)
+	}
+}
+
+func BenchmarkSampledInPolygon(b *testing.B) {
+	s := benchLIT(1000).Sample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampledInPolygon(benchPoly)
+	}
+}

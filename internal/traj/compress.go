@@ -1,0 +1,108 @@
+package traj
+
+import (
+	"mogis/internal/timedim"
+)
+
+// SED returns the synchronized Euclidean distance of sample point s[i]
+// from the trajectory that linearly interpolates between s[first] and
+// s[last]: the distance between the actual position at time t_i and
+// the position the straight-line motion would predict at t_i. SED is
+// the standard error metric for trajectory compression because it
+// respects time, unlike plain perpendicular distance.
+func SED(s Sample, first, last, i int) float64 {
+	a, b, p := s[first], s[last], s[i]
+	dt := float64(b.T - a.T)
+	if dt == 0 {
+		return p.P.Dist(a.P)
+	}
+	frac := float64(p.T-a.T) / dt
+	predicted := a.P.Lerp(b.P, frac)
+	return p.P.Dist(predicted)
+}
+
+// Compress reduces the sample with the Douglas–Peucker scheme under
+// the SED metric: the result keeps the first and last points and
+// every point whose removal would displace the interpolated
+// trajectory by more than epsilon at its timestamp. The compressed
+// sample is a subsequence, so it remains a valid Definition-6 sample,
+// and its LIT deviates from the original's by at most epsilon at the
+// dropped sample instants.
+func Compress(s Sample, epsilon float64) Sample {
+	if len(s) <= 2 {
+		return append(Sample(nil), s...)
+	}
+	keep := make([]bool, len(s))
+	keep[0], keep[len(s)-1] = true, true
+	compressRange(s, 0, len(s)-1, epsilon, keep)
+	out := make(Sample, 0, len(s))
+	for i, k := range keep {
+		if k {
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+func compressRange(s Sample, first, last int, epsilon float64, keep []bool) {
+	if last-first < 2 {
+		return
+	}
+	worst, worstD := -1, epsilon
+	for i := first + 1; i < last; i++ {
+		if d := SED(s, first, last, i); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	keep[worst] = true
+	compressRange(s, first, worst, epsilon, keep)
+	compressRange(s, worst, last, epsilon, keep)
+}
+
+// CompressionError returns the maximum SED between the original
+// sample and the compressed subsequence's interpolation, evaluated at
+// every original sample instant.
+func CompressionError(original, compressed Sample) float64 {
+	if len(compressed) == 0 {
+		return 0
+	}
+	l := MustLIT(compressed)
+	var worst float64
+	for _, tp := range original {
+		p, ok := l.At(float64(tp.T))
+		if !ok {
+			continue
+		}
+		if d := p.Dist(tp.P); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ResampleUniform reconstructs a sample at a fixed period from the
+// interpolated trajectory — the inverse operation, useful for
+// normalizing sampling rates before aggregation (Section 2's
+// discussion of sampling-interval insensitivity).
+func ResampleUniform(l *LIT, period int64) Sample {
+	if period <= 0 {
+		period = 1
+	}
+	dom := l.TimeDomain()
+	var out Sample
+	for t := dom.Lo; t <= dom.Hi; t += timedim.Instant(period) {
+		if p, ok := l.AtInstant(t); ok {
+			out = append(out, TimePoint{T: t, P: p})
+		}
+	}
+	// Always include the final instant.
+	if len(out) == 0 || out[len(out)-1].T != dom.Hi {
+		if p, ok := l.AtInstant(dom.Hi); ok {
+			out = append(out, TimePoint{T: dom.Hi, P: p})
+		}
+	}
+	return out
+}

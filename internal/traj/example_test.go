@@ -1,0 +1,43 @@
+package traj_test
+
+import (
+	"fmt"
+
+	"mogis/internal/geom"
+	"mogis/internal/timedim"
+	"mogis/internal/traj"
+)
+
+// The linear-interpolation trajectory LIT(S) of the paper: position
+// at any instant, and the continuous time intervals spent inside a
+// region.
+func ExampleLIT() {
+	l := traj.MustLIT(traj.Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 100, P: geom.Pt(100, 0)},
+	})
+	p, _ := l.At(25)
+	fmt.Println("position at t=25:", p)
+
+	region := geom.Polygon{Shell: geom.Ring{
+		geom.Pt(40, -10), geom.Pt(60, -10), geom.Pt(60, 10), geom.Pt(40, 10),
+	}}
+	for _, iv := range l.InsidePolygonIntervals(region) {
+		fmt.Printf("inside during [%g, %g]\n", iv.Lo, iv.Hi)
+	}
+	// Output:
+	// position at t=25: (25, 0)
+	// inside during [40, 60]
+}
+
+// SED-metric compression drops redundant samples while bounding the
+// trajectory deviation.
+func ExampleCompress() {
+	var s traj.Sample
+	for i := 0; i <= 10; i++ {
+		s = append(s, traj.TimePoint{T: timedim.Instant(i * 10), P: geom.Pt(float64(i*10), 0)})
+	}
+	c := traj.Compress(s, 0.5)
+	fmt.Printf("%d -> %d samples\n", len(s), len(c))
+	// Output: 11 -> 2 samples
+}

@@ -1,0 +1,233 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+func sq(x, y, s float64) geom.Polygon {
+	return geom.Polygon{Shell: geom.Ring{
+		geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+	}}
+}
+
+func lineSample() Sample {
+	return Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 10, P: geom.Pt(10, 0)},
+		{T: 20, P: geom.Pt(10, 10)},
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	if err := lineSample().Validate(); err != nil {
+		t.Errorf("valid sample: %v", err)
+	}
+	if err := (Sample{}).Validate(); err == nil {
+		t.Error("empty sample should fail")
+	}
+	bad := Sample{{T: 5, P: geom.Pt(0, 0)}, {T: 5, P: geom.Pt(1, 1)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("equal timestamps should fail")
+	}
+	bad2 := Sample{{T: 5, P: geom.Pt(0, 0)}, {T: 4, P: geom.Pt(1, 1)}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("decreasing timestamps should fail")
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := lineSample()
+	td := s.TimeDomain()
+	if td.Lo != 0 || td.Hi != 20 {
+		t.Errorf("TimeDomain = %+v", td)
+	}
+	if s.IsClosed() {
+		t.Error("open sample reported closed")
+	}
+	closed := Sample{{T: 0, P: geom.Pt(1, 1)}, {T: 5, P: geom.Pt(2, 2)}, {T: 9, P: geom.Pt(1, 1)}}
+	if !closed.IsClosed() {
+		t.Error("closed sample not detected")
+	}
+	if got := s.Length(); got != 20 {
+		t.Errorf("Length = %v", got)
+	}
+	if b := s.BBox(); b.MaxX != 10 || b.MaxY != 10 {
+		t.Errorf("BBox = %v", b)
+	}
+	if pl := s.AsPolyline(); pl.NumSegments() != 2 {
+		t.Errorf("AsPolyline segments = %d", pl.NumSegments())
+	}
+}
+
+func TestLITAt(t *testing.T) {
+	l := MustLIT(lineSample())
+	tests := []struct {
+		t    float64
+		want geom.Point
+		ok   bool
+	}{
+		{0, geom.Pt(0, 0), true},
+		{5, geom.Pt(5, 0), true},
+		{10, geom.Pt(10, 0), true},
+		{15, geom.Pt(10, 5), true},
+		{20, geom.Pt(10, 10), true},
+		{-1, geom.Point{}, false},
+		{21, geom.Point{}, false},
+	}
+	for _, tt := range tests {
+		got, ok := l.At(tt.t)
+		if ok != tt.ok || (ok && !got.NearEq(tt.want, 1e-12)) {
+			t.Errorf("At(%v) = %v,%v, want %v,%v", tt.t, got, ok, tt.want, tt.ok)
+		}
+	}
+	if p, ok := l.AtInstant(15); !ok || !p.Eq(geom.Pt(10, 5)) {
+		t.Errorf("AtInstant = %v,%v", p, ok)
+	}
+}
+
+func TestLITSpeed(t *testing.T) {
+	l := MustLIT(lineSample())
+	if v := l.SpeedOnLeg(0); v != 1 {
+		t.Errorf("SpeedOnLeg(0) = %v", v)
+	}
+	if v := l.MaxSpeed(); v != 1 {
+		t.Errorf("MaxSpeed = %v", v)
+	}
+	single := MustLIT(Sample{{T: 0, P: geom.Pt(1, 1)}})
+	if v := single.MaxSpeed(); v != 0 {
+		t.Errorf("single MaxSpeed = %v", v)
+	}
+}
+
+func TestNewLITError(t *testing.T) {
+	if _, err := NewLIT(Sample{}); err == nil {
+		t.Error("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLIT should panic")
+		}
+	}()
+	MustLIT(Sample{})
+}
+
+func TestInsidePolygonIntervals(t *testing.T) {
+	// Trajectory crossing the square [10,20]×[-5,5] from x=0 to x=30
+	// over t in [0,30].
+	l := MustLIT(Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 30, P: geom.Pt(30, 0)},
+	})
+	pg := sq(10, -5, 10)
+	ivs := l.InsidePolygonIntervals(pg)
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if math.Abs(ivs[0].Lo-10) > 1e-9 || math.Abs(ivs[0].Hi-20) > 1e-9 {
+		t.Errorf("interval = %+v", ivs[0])
+	}
+	if d := l.TimeInsidePolygon(pg); math.Abs(d-10) > 1e-9 {
+		t.Errorf("TimeInside = %v", d)
+	}
+}
+
+func TestInsidePolygonIntervalsMerging(t *testing.T) {
+	// Two legs both inside the polygon: intervals must merge at the
+	// shared sample point.
+	l := MustLIT(Sample{
+		{T: 0, P: geom.Pt(1, 1)},
+		{T: 5, P: geom.Pt(5, 5)},
+		{T: 9, P: geom.Pt(9, 1)},
+	})
+	pg := sq(0, 0, 10)
+	ivs := l.InsidePolygonIntervals(pg)
+	if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != 9 {
+		t.Errorf("merged intervals = %+v", ivs)
+	}
+}
+
+func TestPassesThroughPolygon(t *testing.T) {
+	// The paper's O6 case: both samples outside the region, segment
+	// passes through.
+	l := MustLIT(Sample{
+		{T: 2, P: geom.Pt(-5, 5)},
+		{T: 3, P: geom.Pt(15, 5)},
+	})
+	pg := sq(0, 0, 10)
+	if !l.PassesThroughPolygon(pg) {
+		t.Error("interpolated pass-through missed")
+	}
+	if l.Sample().SampledInPolygon(pg) {
+		t.Error("no raw sample is inside")
+	}
+	far := MustLIT(Sample{{T: 0, P: geom.Pt(-5, 50)}, {T: 1, P: geom.Pt(15, 50)}})
+	if far.PassesThroughPolygon(pg) {
+		t.Error("far trajectory should not pass through")
+	}
+}
+
+func TestWithinRadiusIntervals(t *testing.T) {
+	// Object moves along the x-axis at speed 1; school at (10, 3);
+	// radius 5 → within when (t-10)² + 9 ≤ 25 → |t-10| ≤ 4.
+	l := MustLIT(Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 20, P: geom.Pt(20, 0)},
+	})
+	ivs := l.WithinRadiusIntervals(geom.Pt(10, 3), 5)
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if math.Abs(ivs[0].Lo-6) > 1e-9 || math.Abs(ivs[0].Hi-14) > 1e-9 {
+		t.Errorf("interval = %+v", ivs[0])
+	}
+	if d := l.TimeWithinRadius(geom.Pt(10, 3), 5); math.Abs(d-8) > 1e-9 {
+		t.Errorf("TimeWithinRadius = %v", d)
+	}
+	if !l.EverWithinRadius(geom.Pt(10, 3), 5) {
+		t.Error("EverWithinRadius false")
+	}
+	if l.EverWithinRadius(geom.Pt(10, 30), 5) {
+		t.Error("EverWithinRadius for far point")
+	}
+	// Tangent case: distance exactly r at one instant.
+	ivs = l.WithinRadiusIntervals(geom.Pt(10, 5), 5)
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-10) > 1e-6 || math.Abs(ivs[0].Hi-10) > 1e-6 {
+		t.Errorf("tangent = %+v", ivs)
+	}
+	// Stationary object within radius.
+	stat := MustLIT(Sample{{T: 0, P: geom.Pt(9, 0)}, {T: 10, P: geom.Pt(9, 0)}})
+	ivs = stat.WithinRadiusIntervals(geom.Pt(10, 0), 5)
+	if len(ivs) != 1 || ivs[0].Duration() != 10 {
+		t.Errorf("stationary = %+v", ivs)
+	}
+	// Stationary object outside radius.
+	ivs = stat.WithinRadiusIntervals(geom.Pt(100, 0), 5)
+	if len(ivs) != 0 {
+		t.Errorf("stationary far = %+v", ivs)
+	}
+}
+
+func TestTimeIntervalDuration(t *testing.T) {
+	if (TimeInterval{Lo: 3, Hi: 1}).Duration() != 0 {
+		t.Error("inverted interval duration")
+	}
+	if (TimeInterval{Lo: 1, Hi: 3}).Duration() != 2 {
+		t.Error("duration")
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	got := mergeIntervals([]TimeInterval{{5, 7}, {1, 2}, {2, 3}, {6, 9}})
+	if len(got) != 2 {
+		t.Fatalf("merged = %+v", got)
+	}
+	if got[0].Lo != 1 || got[0].Hi != 3 || got[1].Lo != 5 || got[1].Hi != 9 {
+		t.Errorf("merged = %+v", got)
+	}
+	if mergeIntervals(nil) != nil {
+		t.Error("nil merge")
+	}
+}

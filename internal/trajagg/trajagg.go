@@ -1,0 +1,360 @@
+// Package trajagg implements aggregation *of* trajectories, the
+// related-work direction the paper discusses in Section 2 (Meratnia &
+// de By, GIS'02): the study area is divided into homogeneous spatial
+// units, each unit counts how many distinct objects pass through it,
+// and similar trajectories are merged into aggregated flows. The
+// paper's framework produces the per-unit counts as Type-7 queries;
+// this package adds the unit grid, the pass-count surface, the
+// origin–destination flow matrix between zones, and the construction
+// of aggregated (representative) trajectories from unit sequences.
+package trajagg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/traj"
+)
+
+// UnitGrid divides a study area into uniform rectangular units, the
+// "homogeneous spatial units" of the Meratnia–de By method.
+type UnitGrid struct {
+	Extent geom.BBox
+	NX, NY int
+	cellW  float64
+	cellH  float64
+}
+
+// NewUnitGrid creates an nx × ny unit grid over extent.
+func NewUnitGrid(extent geom.BBox, nx, ny int) (*UnitGrid, error) {
+	if extent.IsEmpty() {
+		return nil, fmt.Errorf("trajagg: empty extent")
+	}
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("trajagg: grid dimensions must be positive, got %dx%d", nx, ny)
+	}
+	return &UnitGrid{
+		Extent: extent, NX: nx, NY: ny,
+		cellW: extent.Width() / float64(nx),
+		cellH: extent.Height() / float64(ny),
+	}, nil
+}
+
+// Units returns the number of units.
+func (g *UnitGrid) Units() int { return g.NX * g.NY }
+
+// UnitOf returns the unit index of a point, with ok=false outside the
+// extent. Points on the max edges map to the last unit.
+func (g *UnitGrid) UnitOf(p geom.Point) (int, bool) {
+	if !g.Extent.ContainsPoint(p) {
+		return 0, false
+	}
+	cx := int((p.X - g.Extent.MinX) / g.cellW)
+	cy := int((p.Y - g.Extent.MinY) / g.cellH)
+	if cx >= g.NX {
+		cx = g.NX - 1
+	}
+	if cy >= g.NY {
+		cy = g.NY - 1
+	}
+	return cy*g.NX + cx, true
+}
+
+// UnitBox returns the bounding box of unit u.
+func (g *UnitGrid) UnitBox(u int) geom.BBox {
+	cx, cy := u%g.NX, u/g.NX
+	return geom.BBox{
+		MinX: g.Extent.MinX + float64(cx)*g.cellW,
+		MinY: g.Extent.MinY + float64(cy)*g.cellH,
+		MaxX: g.Extent.MinX + float64(cx+1)*g.cellW,
+		MaxY: g.Extent.MinY + float64(cy+1)*g.cellH,
+	}
+}
+
+// UnitCenter returns the center of unit u.
+func (g *UnitGrid) UnitCenter(u int) geom.Point { return g.UnitBox(u).Center() }
+
+// UnitPath returns the ordered sequence of units an interpolated
+// trajectory visits (consecutive duplicates collapsed). Cell
+// boundaries are crossed by sampling each leg at sub-cell resolution,
+// which is insensitive to sampling-interval differences — the
+// property Meratnia & de By claim for their method.
+func (g *UnitGrid) UnitPath(l *traj.LIT) []int {
+	var path []int
+	push := func(u int) {
+		if len(path) == 0 || path[len(path)-1] != u {
+			path = append(path, u)
+		}
+	}
+	step := minF(g.cellW, g.cellH) / 4
+	s := l.Sample()
+	if len(s) == 1 {
+		if u, ok := g.UnitOf(s[0].P); ok {
+			push(u)
+		}
+		return path
+	}
+	for i := 0; i < l.NumLegs(); i++ {
+		_, _, seg := l.Leg(i)
+		n := int(seg.Length()/step) + 1
+		for k := 0; k <= n; k++ {
+			p := seg.At(float64(k) / float64(n))
+			if u, ok := g.UnitOf(p); ok {
+				push(u)
+			}
+		}
+	}
+	return path
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Surface is the pass-count surface: per unit, the number of distinct
+// objects whose trajectory passes through it ("each unit is
+// associated to an integer, representing the number of times any
+// object passes through it").
+type Surface struct {
+	Grid   *UnitGrid
+	Counts []int
+}
+
+// BuildSurface computes the pass-count surface for a set of
+// trajectories.
+func BuildSurface(g *UnitGrid, lits map[moft.Oid]*traj.LIT) *Surface {
+	counts := make([]int, g.Units())
+	for _, l := range lits {
+		seen := make(map[int]bool)
+		for _, u := range g.UnitPath(l) {
+			if !seen[u] {
+				seen[u] = true
+				counts[u]++
+			}
+		}
+	}
+	return &Surface{Grid: g, Counts: counts}
+}
+
+// Max returns the maximum pass count and one unit achieving it.
+func (s *Surface) Max() (unit, count int) {
+	for u, c := range s.Counts {
+		if c > count {
+			unit, count = u, c
+		}
+	}
+	return unit, count
+}
+
+// Total returns the sum of pass counts.
+func (s *Surface) Total() int {
+	var sum int
+	for _, c := range s.Counts {
+		sum += c
+	}
+	return sum
+}
+
+// HotCells returns the units with count ≥ threshold, sorted by count
+// descending then unit ascending.
+func (s *Surface) HotCells(threshold int) []int {
+	var out []int
+	for u, c := range s.Counts {
+		if c >= threshold {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.Counts[out[i]] != s.Counts[out[j]] {
+			return s.Counts[out[i]] > s.Counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Render draws the surface as an ASCII heat map (rows top to bottom),
+// mapping counts to the ramp " .:-=+*#%@".
+func (s *Surface) Render() string {
+	const ramp = " .:-=+*#%@"
+	_, maxC := s.Max()
+	var sb strings.Builder
+	for cy := s.Grid.NY - 1; cy >= 0; cy-- {
+		for cx := 0; cx < s.Grid.NX; cx++ {
+			c := s.Counts[cy*s.Grid.NX+cx]
+			idx := 0
+			if maxC > 0 {
+				idx = c * (len(ramp) - 1) / maxC
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FlowMatrix counts object transitions between zones: flows[a][b] is
+// the number of objects whose trajectory moves from zone a directly
+// to zone b. Zones are arbitrary unit groupings (e.g. neighborhoods).
+type FlowMatrix struct {
+	Zones []string
+	Flows map[string]map[string]int
+}
+
+// BuildFlows aggregates per-object zone sequences into a flow matrix.
+// zoneOf maps a point to a zone name ("" = no zone, skipped).
+func BuildFlows(lits map[moft.Oid]*traj.LIT, g *UnitGrid, zoneOf func(geom.Point) string) *FlowMatrix {
+	fm := &FlowMatrix{Flows: make(map[string]map[string]int)}
+	zones := map[string]bool{}
+	for _, l := range lits {
+		var seq []string
+		for _, u := range g.UnitPath(l) {
+			z := zoneOf(g.UnitCenter(u))
+			if z == "" {
+				continue
+			}
+			if len(seq) == 0 || seq[len(seq)-1] != z {
+				seq = append(seq, z)
+			}
+		}
+		for _, z := range seq {
+			zones[z] = true
+		}
+		for i := 1; i < len(seq); i++ {
+			a, b := seq[i-1], seq[i]
+			if fm.Flows[a] == nil {
+				fm.Flows[a] = make(map[string]int)
+			}
+			fm.Flows[a][b]++
+		}
+	}
+	for z := range zones {
+		fm.Zones = append(fm.Zones, z)
+	}
+	sort.Strings(fm.Zones)
+	return fm
+}
+
+// Flow returns the count from zone a to zone b.
+func (fm *FlowMatrix) Flow(a, b string) int { return fm.Flows[a][b] }
+
+// TopFlows returns the n largest flows as "a→b" strings with counts,
+// ties broken lexicographically.
+func (fm *FlowMatrix) TopFlows(n int) []string {
+	type fl struct {
+		a, b string
+		c    int
+	}
+	var all []fl
+	for a, m := range fm.Flows {
+		for b, c := range m {
+			all = append(all, fl{a, b, c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		if all[i].a != all[j].a {
+			return all[i].a < all[j].a
+		}
+		return all[i].b < all[j].b
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s→%s: %d", all[i].a, all[i].b, all[i].c)
+	}
+	return out
+}
+
+// String renders the matrix as a table.
+func (fm *FlowMatrix) String() string {
+	var sb strings.Builder
+	sb.WriteString("from\\to")
+	for _, z := range fm.Zones {
+		sb.WriteString("\t" + z)
+	}
+	sb.WriteByte('\n')
+	for _, a := range fm.Zones {
+		sb.WriteString(a)
+		for _, b := range fm.Zones {
+			fmt.Fprintf(&sb, "\t%d", fm.Flow(a, b))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// AggregateTrajectory merges the trajectories that follow a common
+// unit sequence into one representative polyline through the unit
+// centers, with a support count — the "aggregated trajectories" of
+// Meratnia & de By. Trajectories group by their exact (collapsed)
+// unit path; the method is insensitive to differences in sequence
+// length and sampling interval because the unit path already
+// normalizes both.
+type AggregateTrajectory struct {
+	Path    []int // unit sequence
+	Support int   // number of merged objects
+	Line    geom.Polyline
+}
+
+// Aggregate groups trajectories by unit path and returns the
+// aggregates sorted by support descending (ties: shorter paths, then
+// lexicographic path order).
+func Aggregate(g *UnitGrid, lits map[moft.Oid]*traj.LIT) []AggregateTrajectory {
+	groups := make(map[string][]int)
+	for _, l := range lits {
+		path := g.UnitPath(l)
+		if len(path) == 0 {
+			continue
+		}
+		key := pathKey(path)
+		groups[key] = path
+		_ = key
+	}
+	// Count support separately (groups map holds one representative
+	// path per key).
+	support := make(map[string]int)
+	for _, l := range lits {
+		path := g.UnitPath(l)
+		if len(path) == 0 {
+			continue
+		}
+		support[pathKey(path)]++
+	}
+	out := make([]AggregateTrajectory, 0, len(groups))
+	for key, path := range groups {
+		line := make(geom.Polyline, len(path))
+		for i, u := range path {
+			line[i] = g.UnitCenter(u)
+		}
+		out = append(out, AggregateTrajectory{Path: path, Support: support[key], Line: line})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Path) != len(out[j].Path) {
+			return len(out[i].Path) < len(out[j].Path)
+		}
+		return pathKey(out[i].Path) < pathKey(out[j].Path)
+	})
+	return out
+}
+
+func pathKey(path []int) string {
+	parts := make([]string, len(path))
+	for i, u := range path {
+		parts[i] = fmt.Sprintf("%d", u)
+	}
+	return strings.Join(parts, ",")
+}

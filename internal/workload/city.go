@@ -1,0 +1,298 @@
+// Package workload generates deterministic synthetic cities and
+// moving-object workloads for the experiments in EXPERIMENTS.md. The
+// paper's evaluation is a hand-drawn six-bus example; these
+// generators scale that setting (neighborhood partitions with income
+// attributes, a river, streets, schools, stores, and sampled
+// trajectories) to the sizes the benchmark sweeps need.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/olap"
+	"mogis/internal/timedim"
+)
+
+// CityConfig controls synthetic city generation.
+type CityConfig struct {
+	Seed     int64
+	Cols     int     // neighborhood grid columns (default 8)
+	Rows     int     // neighborhood grid rows (default 8)
+	CellSize float64 // neighborhood cell size (default 100)
+	Jitter   float64 // interior vertex jitter as a fraction of cell size (default 0.25)
+	Schools  int     // school nodes (default 16)
+	Stores   int     // store nodes (default 16)
+	// LowIncomeFrac is the fraction of neighborhoods with income below
+	// the 1500 threshold (default 0.3).
+	LowIncomeFrac float64
+}
+
+func (c CityConfig) withDefaults() CityConfig {
+	if c.Cols <= 0 {
+		c.Cols = 8
+	}
+	if c.Rows <= 0 {
+		c.Rows = 8
+	}
+	if c.CellSize <= 0 {
+		c.CellSize = 100
+	}
+	if c.Jitter <= 0 || c.Jitter >= 0.5 {
+		c.Jitter = 0.25
+	}
+	if c.Schools <= 0 {
+		c.Schools = 16
+	}
+	if c.Stores <= 0 {
+		c.Stores = 16
+	}
+	if c.LowIncomeFrac <= 0 || c.LowIncomeFrac > 1 {
+		c.LowIncomeFrac = 0.3
+	}
+	return c
+}
+
+// City is a generated city instance wired into a GIS dimension.
+type City struct {
+	Cfg    CityConfig
+	Extent geom.BBox
+
+	Ln      *layer.Layer // neighborhoods (polygons)
+	Lr      *layer.Layer // river (polyline)
+	Lh      *layer.Layer // streets (polylines)
+	Ls      *layer.Layer // schools (nodes)
+	Lstores *layer.Layer // stores (nodes)
+
+	GIS           *gis.Dimension
+	Neighborhoods *olap.Dimension
+
+	// LowIncomeIDs are the polygon ids with income < 1500.
+	LowIncomeIDs []layer.Gid
+}
+
+// GenCity builds a deterministic synthetic city: a perturbed-grid
+// neighborhood partition (shared vertices keep it a true partition),
+// income and population attributes, a river crossing the city, a
+// street grid, and school/store point layers.
+func GenCity(cfg CityConfig) *City {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &City{Cfg: cfg}
+	w := float64(cfg.Cols) * cfg.CellSize
+	h := float64(cfg.Rows) * cfg.CellSize
+	c.Extent = geom.BBox{MinX: 0, MinY: 0, MaxX: w, MaxY: h}
+
+	// Perturbed grid vertices; boundary vertices stay on the hull so
+	// the cells partition the extent exactly.
+	verts := make([][]geom.Point, cfg.Cols+1)
+	for i := range verts {
+		verts[i] = make([]geom.Point, cfg.Rows+1)
+		for j := range verts[i] {
+			x := float64(i) * cfg.CellSize
+			y := float64(j) * cfg.CellSize
+			if i > 0 && i < cfg.Cols {
+				x += (rng.Float64()*2 - 1) * cfg.Jitter * cfg.CellSize
+			}
+			if j > 0 && j < cfg.Rows {
+				y += (rng.Float64()*2 - 1) * cfg.Jitter * cfg.CellSize
+			}
+			verts[i][j] = geom.Pt(x, y)
+		}
+	}
+
+	c.Ln = layer.New("Ln")
+	c.Neighborhoods = olap.NewDimension(olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city"))
+	id := layer.Gid(0)
+	for i := 0; i < cfg.Cols; i++ {
+		for j := 0; j < cfg.Rows; j++ {
+			id++
+			pg := geom.Polygon{Shell: geom.Ring{
+				verts[i][j], verts[i+1][j], verts[i+1][j+1], verts[i][j+1],
+			}}
+			c.Ln.AddPolygon(id, pg)
+			name := fmt.Sprintf("N%02d_%02d", i, j)
+			c.Ln.SetAlpha("neighb", layer.KindPolygon, name, id)
+			income := 1500 + rng.Float64()*1500 // high income by default
+			if rng.Float64() < cfg.LowIncomeFrac {
+				income = 800 + rng.Float64()*699 // below threshold
+				c.LowIncomeIDs = append(c.LowIncomeIDs, id)
+			}
+			c.Neighborhoods.SetRollup("neighborhood", olap.Member(name), "city", "SynthCity")
+			c.Neighborhoods.SetAttr("neighborhood", olap.Member(name), "income", olap.Num(math.Round(income)))
+			c.Neighborhoods.SetAttr("neighborhood", olap.Member(name), "population",
+				olap.Num(math.Round(5000+rng.Float64()*95000)))
+		}
+	}
+
+	// River: a horizontal wavy polyline through the middle.
+	c.Lr = layer.New("Lr")
+	var river geom.Polyline
+	midY := h / 2
+	steps := cfg.Cols * 2
+	for k := 0; k <= steps; k++ {
+		x := float64(k) / float64(steps) * w
+		y := midY + math.Sin(float64(k)*0.9)*cfg.CellSize*0.3
+		river = append(river, geom.Pt(x, y))
+	}
+	c.Lr.AddPolyline(1, river)
+	c.Lr.SetAlpha("river", layer.KindPolyline, "River", 1)
+
+	// Streets: one horizontal and one vertical polyline per grid line.
+	c.Lh = layer.New("Lh")
+	sid := layer.Gid(0)
+	for j := 0; j <= cfg.Rows; j++ {
+		sid++
+		y := float64(j) * cfg.CellSize
+		c.Lh.AddPolyline(sid, geom.Polyline{geom.Pt(0, y), geom.Pt(w, y)})
+		c.Lh.SetAlpha("street", layer.KindPolyline, fmt.Sprintf("H%02d", j), sid)
+	}
+	for i := 0; i <= cfg.Cols; i++ {
+		sid++
+		x := float64(i) * cfg.CellSize
+		c.Lh.AddPolyline(sid, geom.Polyline{geom.Pt(x, 0), geom.Pt(x, h)})
+		c.Lh.SetAlpha("street", layer.KindPolyline, fmt.Sprintf("V%02d", i), sid)
+	}
+
+	// Schools and stores: uniform random nodes.
+	c.Ls = layer.New("Ls")
+	for k := 1; k <= cfg.Schools; k++ {
+		c.Ls.AddNode(layer.Gid(k), geom.Pt(rng.Float64()*w, rng.Float64()*h))
+		c.Ls.SetAlpha("school", layer.KindNode, fmt.Sprintf("S%03d", k), layer.Gid(k))
+	}
+	c.Lstores = layer.New("Lstores")
+	for k := 1; k <= cfg.Stores; k++ {
+		c.Lstores.AddNode(layer.Gid(k), geom.Pt(rng.Float64()*w, rng.Float64()*h))
+		c.Lstores.SetAlpha("store", layer.KindNode, fmt.Sprintf("St%03d", k), layer.Gid(k))
+	}
+
+	// GIS dimension wiring (the Figure-2 schema shape).
+	hn := gis.NewHierarchy("Ln").
+		AddEdge(layer.KindPoint, layer.KindPolygon).
+		AddEdge(layer.KindPolygon, layer.KindAll)
+	hr := gis.NewHierarchy("Lr").
+		AddEdge(layer.KindPoint, layer.KindPolyline).
+		AddEdge(layer.KindPolyline, layer.KindAll)
+	hh := gis.NewHierarchy("Lh").
+		AddEdge(layer.KindPoint, layer.KindPolyline).
+		AddEdge(layer.KindPolyline, layer.KindAll)
+	hs := gis.NewHierarchy("Ls").
+		AddEdge(layer.KindPoint, layer.KindNode).
+		AddEdge(layer.KindNode, layer.KindAll)
+	hst := gis.NewHierarchy("Lstores").
+		AddEdge(layer.KindPoint, layer.KindNode).
+		AddEdge(layer.KindNode, layer.KindAll)
+	schema := gis.NewSchema().
+		AddHierarchy(hn).AddHierarchy(hr).AddHierarchy(hh).AddHierarchy(hs).AddHierarchy(hst).
+		BindAttr("neighb", layer.KindPolygon, "Ln").
+		BindAttr("river", layer.KindPolyline, "Lr").
+		BindAttr("street", layer.KindPolyline, "Lh").
+		BindAttr("school", layer.KindNode, "Ls").
+		BindAttr("store", layer.KindNode, "Lstores").
+		AddAppSchema(olap.NewSchema("Neighbourhoods").AddEdge("neighborhood", "city"))
+	d := gis.NewDimension(schema)
+	d.MustAddLayer(c.Ln)
+	d.MustAddLayer(c.Lr)
+	d.MustAddLayer(c.Lh)
+	d.MustAddLayer(c.Ls)
+	d.MustAddLayer(c.Lstores)
+	d.MustAddAppDimension(c.Neighborhoods)
+	c.GIS = d
+	return c
+}
+
+// Layers returns the city's layers keyed by name (the overlay input).
+func (c *City) Layers() map[string]*layer.Layer {
+	return map[string]*layer.Layer{
+		"Ln": c.Ln, "Lr": c.Lr, "Lh": c.Lh, "Ls": c.Ls, "Lstores": c.Lstores,
+	}
+}
+
+// Context wires the city and a MOFT into an evaluation context and
+// engine.
+func (c *City) Context(fm *moft.Table) (*fo.Context, *core.Engine) {
+	ctx := fo.NewContext(c.GIS)
+	if fm != nil {
+		ctx.AddTable(fm)
+	}
+	ctx.BindConcept("neighb", c.Neighborhoods, "neighborhood")
+	return ctx, core.New(ctx)
+}
+
+// TrajConfig controls trajectory generation.
+type TrajConfig struct {
+	Seed    int64
+	Objects int             // number of moving objects (default 100)
+	Start   timedim.Instant // first sample instant (default 2006-01-09 06:00)
+	Step    int64           // seconds between samples (default 60)
+	Samples int             // samples per object (default 60)
+	Speed   float64         // units per second (default 1.5)
+}
+
+func (c TrajConfig) withDefaults() TrajConfig {
+	if c.Objects <= 0 {
+		c.Objects = 100
+	}
+	if c.Start == 0 {
+		c.Start = timedim.At(2006, 1, 9, 6, 0)
+	}
+	if c.Step <= 0 {
+		c.Step = 60
+	}
+	if c.Samples <= 0 {
+		c.Samples = 60
+	}
+	if c.Speed <= 0 {
+		c.Speed = 1.5
+	}
+	return c
+}
+
+// GenTrajectories generates a MOFT with the random-waypoint model:
+// each object starts at a uniform position in extent and repeatedly
+// moves toward a uniform waypoint at constant speed, sampled every
+// Step seconds.
+func GenTrajectories(extent geom.BBox, cfg TrajConfig) *moft.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fm := moft.New("FM")
+	for o := 1; o <= cfg.Objects; o++ {
+		pos := geom.Pt(
+			extent.MinX+rng.Float64()*extent.Width(),
+			extent.MinY+rng.Float64()*extent.Height(),
+		)
+		target := geom.Pt(
+			extent.MinX+rng.Float64()*extent.Width(),
+			extent.MinY+rng.Float64()*extent.Height(),
+		)
+		ts := cfg.Start
+		for k := 0; k < cfg.Samples; k++ {
+			fm.Add(moft.Oid(o), ts, pos.X, pos.Y)
+			// Advance toward the target; pick a new one on arrival.
+			remaining := cfg.Speed * float64(cfg.Step)
+			for remaining > 0 {
+				d := pos.Dist(target)
+				if d <= remaining {
+					pos = target
+					remaining -= d
+					target = geom.Pt(
+						extent.MinX+rng.Float64()*extent.Width(),
+						extent.MinY+rng.Float64()*extent.Height(),
+					)
+				} else {
+					pos = pos.Lerp(target, remaining/d)
+					remaining = 0
+				}
+			}
+			ts += timedim.Instant(cfg.Step)
+		}
+	}
+	return fm
+}

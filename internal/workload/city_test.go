@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/timedim"
+)
+
+func TestGenCityDeterministic(t *testing.T) {
+	a := GenCity(CityConfig{Seed: 7, Cols: 4, Rows: 4})
+	b := GenCity(CityConfig{Seed: 7, Cols: 4, Rows: 4})
+	if a.Ln.Count(layer.KindPolygon) != 16 || b.Ln.Count(layer.KindPolygon) != 16 {
+		t.Fatalf("polygon counts = %d, %d", a.Ln.Count(layer.KindPolygon), b.Ln.Count(layer.KindPolygon))
+	}
+	for _, id := range a.Ln.IDs(layer.KindPolygon) {
+		pa, _ := a.Ln.Polygon(id)
+		pb, _ := b.Ln.Polygon(id)
+		if pa.Centroid() != pb.Centroid() {
+			t.Fatalf("polygon %d differs between same-seed runs", id)
+		}
+	}
+	c := GenCity(CityConfig{Seed: 8, Cols: 4, Rows: 4})
+	same := true
+	for _, id := range a.Ln.IDs(layer.KindPolygon) {
+		pa, _ := a.Ln.Polygon(id)
+		pc, _ := c.Ln.Polygon(id)
+		if pa.Centroid() != pc.Centroid() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cities")
+	}
+}
+
+func TestGenCityPartition(t *testing.T) {
+	c := GenCity(CityConfig{Seed: 3, Cols: 5, Rows: 4, CellSize: 50})
+	// Cells partition the extent: areas sum to the extent area.
+	var sum float64
+	for _, id := range c.Ln.IDs(layer.KindPolygon) {
+		pg, _ := c.Ln.Polygon(id)
+		if err := pg.Validate(); err != nil {
+			t.Fatalf("polygon %d invalid: %v", id, err)
+		}
+		sum += pg.Area()
+	}
+	if math.Abs(sum-c.Extent.Area()) > 1e-6 {
+		t.Errorf("partition area = %v, extent = %v", sum, c.Extent.Area())
+	}
+	// Every interior point lies in at least one polygon.
+	for _, p := range []geom.Point{
+		{X: 10, Y: 10}, {X: 125, Y: 99}, {X: 249, Y: 199},
+	} {
+		if got := c.Ln.PolygonsContaining(p); len(got) == 0 {
+			t.Errorf("point %v in no polygon", p)
+		}
+	}
+}
+
+func TestGenCityValidates(t *testing.T) {
+	c := GenCity(CityConfig{Seed: 1})
+	if err := c.GIS.Validate(); err != nil {
+		t.Fatalf("GIS validate: %v", err)
+	}
+	if got := len(c.LowIncomeIDs); got == 0 || got == c.Ln.Count(layer.KindPolygon) {
+		t.Errorf("low-income count = %d of %d", got, c.Ln.Count(layer.KindPolygon))
+	}
+	// Income attributes agree with LowIncomeIDs.
+	low := map[layer.Gid]bool{}
+	for _, id := range c.LowIncomeIDs {
+		low[id] = true
+	}
+	for _, m := range c.Neighborhoods.Members("neighborhood") {
+		v, ok := c.Neighborhoods.Attr("neighborhood", m, "income")
+		if !ok {
+			t.Fatalf("missing income for %s", m)
+		}
+		income, _ := v.Num()
+		_, id, _ := c.Ln.Alpha("neighb", string(m))
+		if low[id] != (income < 1500) {
+			t.Errorf("%s: income %v vs low flag %v", m, income, low[id])
+		}
+	}
+	// River and streets exist.
+	if c.Lr.Count(layer.KindPolyline) != 1 {
+		t.Error("missing river")
+	}
+	if c.Lh.Count(layer.KindPolyline) != (c.Cfg.Cols+1)+(c.Cfg.Rows+1) {
+		t.Errorf("streets = %d", c.Lh.Count(layer.KindPolyline))
+	}
+	if c.Ls.Count(layer.KindNode) != c.Cfg.Schools || c.Lstores.Count(layer.KindNode) != c.Cfg.Stores {
+		t.Error("schools/stores counts")
+	}
+	if len(c.Layers()) != 5 {
+		t.Error("Layers map")
+	}
+}
+
+func TestGenTrajectories(t *testing.T) {
+	c := GenCity(CityConfig{Seed: 5, Cols: 4, Rows: 4})
+	fm := GenTrajectories(c.Extent, TrajConfig{Seed: 5, Objects: 10, Samples: 20})
+	if fm.Len() != 200 {
+		t.Fatalf("samples = %d", fm.Len())
+	}
+	if got := len(fm.Objects()); got != 10 {
+		t.Fatalf("objects = %d", got)
+	}
+	// Samples stay within the extent and times are strictly
+	// increasing per object.
+	for _, oid := range fm.Objects() {
+		tps := fm.ObjectTuples(oid)
+		for i, tp := range tps {
+			if !c.Extent.ContainsPoint(tp.Point()) {
+				t.Fatalf("O%d sample %v outside extent", oid, tp.Point())
+			}
+			if i > 0 && tp.T <= tps[i-1].T {
+				t.Fatalf("O%d timestamps not increasing", oid)
+			}
+		}
+	}
+	// Motion respects the speed limit between consecutive samples.
+	cfg := TrajConfig{}.withDefaults()
+	for _, oid := range fm.Objects() {
+		tps := fm.ObjectTuples(oid)
+		for i := 1; i < len(tps); i++ {
+			d := tps[i].Point().Dist(tps[i-1].Point())
+			dt := float64(tps[i].T - tps[i-1].T)
+			if d > cfg.Speed*dt+1e-9 {
+				t.Fatalf("O%d leg %d exceeds speed: %v over %vs", oid, i, d, dt)
+			}
+		}
+	}
+	// Deterministic.
+	fm2 := GenTrajectories(c.Extent, TrajConfig{Seed: 5, Objects: 10, Samples: 20})
+	a, b := fm.Tuples(), fm2.Tuples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed trajectories differ")
+		}
+	}
+}
+
+func TestCityContextEndToEnd(t *testing.T) {
+	c := GenCity(CityConfig{Seed: 11, Cols: 4, Rows: 4})
+	fm := GenTrajectories(c.Extent, TrajConfig{Seed: 11, Objects: 5, Samples: 10})
+	ctx, eng := c.Context(fm)
+	if ctx == nil || eng == nil {
+		t.Fatal("nil context/engine")
+	}
+	lits, err := eng.Trajectories("FM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lits) != 5 {
+		t.Errorf("trajectories = %d", len(lits))
+	}
+	// A per-object stats query works.
+	st, err := eng.TrajectoryAggregate("FM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 10 || st.Length <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, ok := timedim.Rollup(timedim.CatHour, fm.Tuples()[0].T); !ok {
+		t.Error("rollup failed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cc := CityConfig{}.withDefaults()
+	if cc.Cols != 8 || cc.Rows != 8 || cc.CellSize != 100 || cc.Jitter != 0.25 {
+		t.Errorf("city defaults = %+v", cc)
+	}
+	tc := TrajConfig{}.withDefaults()
+	if tc.Objects != 100 || tc.Step != 60 || tc.Samples != 60 || tc.Speed != 1.5 {
+		t.Errorf("traj defaults = %+v", tc)
+	}
+	// Out-of-range values fall back.
+	cc2 := CityConfig{Jitter: 0.9, LowIncomeFrac: 2}.withDefaults()
+	if cc2.Jitter != 0.25 || cc2.LowIncomeFrac != 0.3 {
+		t.Errorf("clamped = %+v", cc2)
+	}
+}
