@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments experiments-full fmt vet clean
+.PHONY: all check build test race cover bench experiments experiments-full fmt vet clean
 
-all: build vet test
+all: check
+
+# The full pre-merge gate: compile, lint, tests, race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -2,7 +2,7 @@
 // and recorded in EXPERIMENTS.md: the paper-artifact reproductions
 // E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4 example
 // queries, the Section-5 Piet-QL pipeline) and the performance
-// studies P1–P7.
+// studies P1–P8.
 //
 // Usage:
 //
@@ -10,20 +10,31 @@
 //	mobench -exp E4    # run one experiment
 //	mobench -list      # list experiment ids
 //	mobench -full      # larger sweeps for the P-experiments
+//	mobench -metrics   # dump engine metrics (Prometheus text) on exit
+//	mobench -cpuprofile cpu.out -exp P2
+//	mobench -memprofile mem.out -trace trace.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"mogis/internal/experiments"
+	"mogis/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment by id (E1..E6, P1..P7)")
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E6, P1..P8)")
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "run the performance studies at full size")
+	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracefile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *list {
@@ -33,21 +44,66 @@ func main() {
 		return
 	}
 
-	if *exp != "" {
-		r, ok := experiments.ByID(*exp)
+	// os.Exit skips defers, so the profile/metrics teardown lives in
+	// run; main only translates its code.
+	os.Exit(run(*exp, *full, *metrics, *cpuprofile, *memprofile, *tracefile))
+}
+
+func run(exp string, full, metrics bool, cpuprofile, memprofile, tracefile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if tracefile != "" {
+		f, err := os.Create(tracefile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: trace: %v\n", err)
+			return 2
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: trace: %v\n", err)
+			return 2
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if memprofile != "" {
+			writeHeapProfile(memprofile)
+		}
+		if metrics {
+			obs.Default.WritePrometheus(os.Stdout)
+		}
+	}()
+
+	if exp != "" {
+		r, ok := experiments.ByID(exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", exp)
+			return 2
 		}
 		fmt.Print(r)
 		if !r.Pass {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var reports []experiments.Report
-	if *full {
+	if full {
 		reports = []experiments.Report{
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
@@ -58,6 +114,7 @@ func main() {
 			experiments.P5([]int{1000, 4000, 16000, 64000}),
 			experiments.P6([]int{10000, 40000, 160000, 640000}, 200),
 			experiments.P7([]int{100, 400, 1600}),
+			experiments.P8(2000),
 		}
 	} else {
 		reports = experiments.All()
@@ -70,6 +127,20 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobench: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mobench: memprofile: %v\n", err)
 	}
 }

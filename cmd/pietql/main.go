@@ -3,11 +3,19 @@
 // city. Queries are read from -query, from files given as arguments,
 // or interactively from stdin (terminated by a blank line).
 //
+// A query prefixed with EXPLAIN prints the evaluation plan; EXPLAIN
+// ANALYZE runs it with a per-query trace and prints the span tree
+// plus the engine-counter deltas (overlay and litCache hits, geometry
+// predicate counts, ...).
+//
 // Usage:
 //
 //	pietql -query "SELECT layer.Ln; FROM PietSchema;"
+//	pietql -query "EXPLAIN ANALYZE SELECT layer.Ln; FROM PietSchema;"
 //	pietql query.pql
 //	pietql -city -grid 8          # synthetic city instead of the paper scenario
+//	pietql -explain-remark1       # trace the paper's Remark 1 query
+//	pietql -metrics -query "..."  # dump Prometheus metrics after the run
 //	echo "..." | pietql -
 package main
 
@@ -22,6 +30,7 @@ import (
 	"mogis/internal/fo"
 	"mogis/internal/layer"
 	"mogis/internal/mdx"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/overlay"
 	"mogis/internal/pietql"
@@ -38,7 +47,25 @@ func main() {
 	objects := flag.Int("objects", 100, "synthetic moving objects")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	noOverlay := flag.Bool("no-overlay", false, "disable the precomputed overlay (naive geometry)")
+	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
+	explainRemark1 := flag.Bool("explain-remark1", false, "trace the paper's Remark 1 motivating query and exit")
+	verbose := flag.Bool("v", false, "log engine events (overlay precomputation, ...) to stderr")
 	flag.Parse()
+
+	if *verbose {
+		obs.SetLogOutput(os.Stderr)
+	}
+
+	if *explainRemark1 {
+		if err := runExplainRemark1(); err != nil {
+			fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
+			os.Exit(1)
+		}
+		if *metrics {
+			obs.Default.WritePrometheus(os.Stdout)
+		}
+		return
+	}
 
 	var sys *pietql.System
 	var err error
@@ -50,6 +77,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		defer obs.Default.WritePrometheus(os.Stdout)
 	}
 
 	switch {
@@ -83,6 +113,27 @@ func readAll(f *os.File) ([]byte, error) {
 		sb.WriteByte('\n')
 	}
 	return []byte(sb.String()), sc.Err()
+}
+
+// runExplainRemark1 evaluates the paper's motivating query (Remark 1:
+// buses per hour in the low-income morning neighborhoods, 4/3) with a
+// trace attached and prints the span tree and counter deltas. The
+// query's income filter is not expressible in the Piet-QL grammar, so
+// it runs as the first-order formula of Section 3.1.
+func runExplainRemark1() error {
+	s := scenario.New()
+	tr := obs.NewTracer("remark1")
+	before := obs.Default.Snapshot()
+	s.Ctx.SetTracer(tr)
+	rate, err := s.MotivatingResult()
+	s.Ctx.SetTracer(nil)
+	root := tr.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Print(obs.FormatExplain(root, obs.Default.Snapshot().Since(before)))
+	fmt.Printf("result: %.4f buses per hour (Remark 1: 4/3)\n", rate)
+	return nil
 }
 
 func runQuery(sys *pietql.System, q string) {

@@ -25,6 +25,7 @@ import (
 	"mogis/internal/gis"
 	"mogis/internal/layer"
 	"mogis/internal/moft"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/timedim"
 	"mogis/internal/traj"
@@ -37,20 +38,36 @@ type Engine struct {
 	// litCache memoizes per-object interpolated trajectories per
 	// table.
 	litCache map[string]map[moft.Oid]*traj.LIT
+	// met receives engine metrics (cache hits, query-type counts).
+	met *obs.Metrics
 }
 
 // New creates an engine over the model context.
 func New(ctx *fo.Context) *Engine {
-	return &Engine{ctx: ctx, litCache: make(map[string]map[moft.Oid]*traj.LIT)}
+	return &Engine{
+		ctx:      ctx,
+		litCache: make(map[string]map[moft.Oid]*traj.LIT),
+		met:      obs.Std,
+	}
 }
 
 // Context returns the underlying model context.
 func (e *Engine) Context() *fo.Context { return e.ctx }
 
+// SetMetrics redirects the engine's metrics to m (nil restores the
+// process-wide obs.Std bundle). Useful for isolating counts in tests.
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		m = obs.Std
+	}
+	e.met = m
+}
+
 // --- Type 1: spatial aggregation ------------------------------------
 
 // GeometricAggregate evaluates a Definition-4 geometric aggregation.
 func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
+	e.met.Query(1).Inc()
 	return a.Evaluate()
 }
 
@@ -59,6 +76,7 @@ func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
 // SummableOverIDs evaluates the summable rewriting Σ_{g∈ids} measure(g)
 // against a GIS fact table.
 func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure string) (float64, error) {
+	e.met.Query(2).Inc()
 	return gis.SummableFromFact(ids, ft, measure).Evaluate()
 }
 
@@ -68,26 +86,44 @@ func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure str
 // structure C: a finite relation over the named output variables,
 // e.g. (Oid, t) pairs.
 func (e *Engine) RegionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
+	e.met.Query(3).Inc()
+	return e.regionC(f, out)
+}
+
+// regionC is RegionC without the Type-3 counter, for internal reuse by
+// the Type-4 entry points.
+func (e *Engine) regionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
 	return fo.Eval(e.ctx, f, out)
 }
 
 // AggregateRegion evaluates region C and applies the γ operator of
 // Definition 7: Q = γ_{fn,measure,groupBy}(C).
 func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (*olap.AggResult, error) {
-	rel, err := e.RegionC(f, out)
+	e.met.Query(4).Inc()
+	rel, err := e.regionC(f, out)
 	if err != nil {
 		return nil, err
 	}
-	return rel.GroupAggregate(fn, measure, groupBy)
+	sp := e.ctx.Tracer().Start("aggregate")
+	defer sp.End()
+	res, err := rel.GroupAggregate(fn, measure, groupBy)
+	if err == nil {
+		sp.SetCount("groups", int64(len(res.Rows)))
+	}
+	return res, err
 }
 
 // CountRegion evaluates region C and returns its cardinality — the
 // most common aggregation ("number of buses", "number of cars").
 func (e *Engine) CountRegion(f fo.Formula, out []fo.Var) (int, error) {
-	rel, err := e.RegionC(f, out)
+	e.met.Query(4).Inc()
+	rel, err := e.regionC(f, out)
 	if err != nil {
 		return 0, err
 	}
+	sp := e.ctx.Tracer().Start("aggregate")
+	sp.SetCount("tuples", int64(rel.Len()))
+	sp.End()
 	return rel.Len(), nil
 }
 
@@ -110,6 +146,7 @@ func RatePerHour(count int, hours float64) float64 {
 // inner aggregation runs per geometry and gates its membership in C.
 func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) ([]layer.Gid, error) {
+	e.met.Query(5).Inc()
 	l, ok := e.ctx.GIS().Layer(layerName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown layer %q", layerName)
@@ -149,6 +186,7 @@ func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 // instant t whose position lies in pg (the sample-level semantics of
 // query Q4).
 func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
+	e.met.Query(6).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -167,6 +205,7 @@ func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polyg
 // ObjectsInterpolatedAt returns the objects whose interpolated
 // position at instant t lies in pg, even between samples.
 func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
+	e.met.Query(6).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return nil, err
@@ -187,12 +226,17 @@ func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.
 // trajectory of every object in the table.
 func (e *Engine) Trajectories(table string) (map[moft.Oid]*traj.LIT, error) {
 	if cached, ok := e.litCache[table]; ok {
+		e.met.LitCacheHits.Inc()
 		return cached, nil
 	}
+	e.met.LitCacheMisses.Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
 	}
+	sp := e.ctx.Tracer().Start("interpolate")
+	defer sp.End()
+	samples := int64(0)
 	out := make(map[moft.Oid]*traj.LIT)
 	for _, oid := range tbl.Objects() {
 		tps := tbl.ObjectTuples(oid)
@@ -205,15 +249,43 @@ func (e *Engine) Trajectories(table string) (map[moft.Oid]*traj.LIT, error) {
 			return nil, fmt.Errorf("core: object O%d: %w", oid, err)
 		}
 		out[oid] = l
+		samples += int64(len(tps))
 	}
+	sp.SetCount("objects", int64(len(out)))
+	sp.SetCount("samples", samples)
 	e.litCache[table] = out
+	e.met.LitCacheTables.Add(1)
+	e.met.LitCacheObjects.Add(int64(len(out)))
 	return out, nil
 }
 
 // InvalidateTrajectories drops the trajectory cache for a table (call
 // after mutating the MOFT).
 func (e *Engine) InvalidateTrajectories(table string) {
-	delete(e.litCache, table)
+	if cached, ok := e.litCache[table]; ok {
+		e.met.LitCacheTables.Add(-1)
+		e.met.LitCacheObjects.Add(-int64(len(cached)))
+		delete(e.litCache, table)
+	}
+}
+
+// ResetCache drops every cached trajectory table. The litCache grows
+// without bound as distinct (possibly derived) tables are queried;
+// long-lived processes can call this to reclaim the memory.
+func (e *Engine) ResetCache() {
+	for table := range e.litCache {
+		e.InvalidateTrajectories(table)
+	}
+}
+
+// CacheStats reports the current litCache footprint: the number of
+// cached tables and the total number of cached object trajectories.
+func (e *Engine) CacheStats() (tables, objects int) {
+	for _, m := range e.litCache {
+		tables++
+		objects += len(m)
+	}
+	return tables, objects
 }
 
 // ObjectsPassingThrough returns the objects whose interpolated
@@ -221,6 +293,7 @@ func (e *Engine) InvalidateTrajectories(table string) {
 // semantics; the paper's O6 counts here even though it was never
 // sampled inside).
 func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
+	e.met.Query(7).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return nil, err
@@ -242,6 +315,7 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 // sample in pg during iv (the sample-only counterpart of
 // ObjectsPassingThrough; the two differ exactly on objects like O6).
 func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
+	e.met.Query(7).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -265,6 +339,7 @@ func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.
 // (seconds) spent inside pg within iv — the paper's Q5 ("total amount
 // of time spent continuously by cars in Antwerp").
 func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Interval) (map[moft.Oid]float64, error) {
+	e.met.Query(7).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return nil, err
@@ -295,6 +370,7 @@ func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Inter
 // trajectory comes within distance r of center during iv, with the
 // total time spent within (the paper's Q6, interpolated variant).
 func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r float64, iv timedim.Interval) (map[moft.Oid]float64, error) {
+	e.met.Query(7).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return nil, err
@@ -331,6 +407,7 @@ func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r floa
 // river containing at least one store"), and each object's
 // consecutive sample segments are intersected with those cities.
 func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []layer.Gid, iv timedim.Interval) (int, error) {
+	e.met.Query(7).Inc()
 	l, ok := e.ctx.GIS().Layer(layerName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown layer %q", layerName)
@@ -379,6 +456,7 @@ type TrajectoryStats struct {
 
 // TrajectoryAggregate computes the Type-8 aggregation for one object.
 func (e *Engine) TrajectoryAggregate(table string, oid moft.Oid) (TrajectoryStats, error) {
+	e.met.Query(8).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return TrajectoryStats{}, err

@@ -2,7 +2,7 @@
 // in DESIGN.md and recorded in EXPERIMENTS.md: the paper-artifact
 // checks E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4
 // example queries, and the Section-5 Piet-QL query) and the
-// performance studies P1–P7 that validate the paper's qualitative
+// performance studies P1–P8 that validate the paper's qualitative
 // claims about evaluation strategy. Each experiment returns a
 // printable report so cmd/mobench, tests and benchmarks share one
 // implementation.
@@ -21,6 +21,7 @@ import (
 	"mogis/internal/layer"
 	"mogis/internal/mdx"
 	"mogis/internal/moft"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/overlay"
 	"mogis/internal/pietql"
@@ -665,11 +666,63 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// P8 measures the cost of the observability layer on the Remark-1
+// motivating query: the default production state (atomic counters
+// only, no tracer attached) against a per-query span tracer. The
+// acceptance target is that the disabled state adds no measurable
+// allocations and enabling spans stays in the low single-digit
+// percent range for realistic queries.
+func P8(iters int) Report {
+	if iters <= 0 {
+		iters = 500
+	}
+	s := scenario.New()
+	run := func(traced bool) (time.Duration, error) {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if traced {
+				tr := obs.NewTracer("remark1")
+				s.Ctx.SetTracer(tr)
+				_, err := s.MotivatingResult()
+				s.Ctx.SetTracer(nil)
+				tr.Finish()
+				if err != nil {
+					return 0, err
+				}
+			} else if _, err := s.MotivatingResult(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	// Warm the trajectory cache outside the measured loops.
+	if _, err := run(false); err != nil {
+		return Report{ID: "P8", Title: "observability overhead", Body: err.Error()}
+	}
+	off, err := run(false)
+	if err == nil {
+		var on time.Duration
+		on, err = run(true)
+		if err == nil {
+			overhead := 100 * (float64(on)-float64(off)) / math.Max(1, float64(off))
+			rows := []Row{
+				{Label: "tracing off", Values: []string{fmtDur(off / time.Duration(iters))}},
+				{Label: "tracing on", Values: []string{fmtDur(on / time.Duration(iters))}},
+				{Label: "overhead", Values: []string{fmt.Sprintf("%+.1f%%", overhead)}},
+			}
+			body := Table([]string{"mode", "per query"}, rows)
+			body += "  expectation: disabled tracing is free (nil-tracer no-ops); enabled spans cost a few microseconds per query\n"
+			return Report{ID: "P8", Title: "observability overhead on the Remark-1 query", Body: body, Pass: true}
+		}
+	}
+	return Report{ID: "P8", Title: "observability overhead", Body: err.Error()}
+}
+
 // All runs every experiment (with modest default sizes).
 func All() []Report {
 	return []Report{
 		E1(), E2(), E3(), E4(), E5(), E6(),
-		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil),
+		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0),
 		A1(),
 	}
 }
@@ -703,6 +756,8 @@ func ByID(id string) (Report, bool) {
 		return P6(nil, 0), true
 	case "P7":
 		return P7(nil), true
+	case "P8":
+		return P8(0), true
 	case "A1":
 		return A1(), true
 	default:
@@ -712,7 +767,7 @@ func ByID(id string) (Report, bool) {
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"}
 	sort.Strings(ids)
 	return ids
 }

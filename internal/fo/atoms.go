@@ -5,6 +5,7 @@ import (
 
 	"mogis/internal/geom"
 	"mogis/internal/layer"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/timedim"
 )
@@ -480,6 +481,7 @@ func (a *DistLE) binds(bound varset) (varset, bool) {
 }
 
 func (a *DistLE) eval(ctx *Context, envs []*Env, bound varset) ([]*Env, error) {
+	obs.Std.GeomDistance.Add(int64(len(envs)))
 	var out []*Env
 	for _, env := range envs {
 		vals := make([]float64, 4)

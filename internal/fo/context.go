@@ -5,6 +5,7 @@ import (
 
 	"mogis/internal/gis"
 	"mogis/internal/moft"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/traj"
 )
@@ -27,6 +28,9 @@ type Context struct {
 	concepts map[string]ConceptBinding
 	// lits caches per-table interpolated trajectories for InterpFact.
 	lits map[string]map[moft.Oid]*traj.LIT
+	// tracer, when non-nil, receives one span per evaluation stage of
+	// queries run against this context (attach per query).
+	tracer *obs.Tracer
 }
 
 // NewContext creates a context over a GIS dimension instance.
@@ -57,6 +61,20 @@ func (c *Context) Table(name string) (*moft.Table, error) {
 
 // GIS returns the GIS dimension instance.
 func (c *Context) GIS() *gis.Dimension { return c.gisDim }
+
+// SetTracer attaches a query trace to the context (nil detaches).
+// Evaluation stages — formula planning, FO evaluation, trajectory
+// interpolation, aggregation — record spans on it. Attachment is not
+// synchronized: attach one tracer per query from the evaluating
+// goroutine.
+func (c *Context) SetTracer(t *obs.Tracer) *Context {
+	c.tracer = t
+	return c
+}
+
+// Tracer returns the attached query trace (nil when tracing is off;
+// nil tracers produce no-op spans).
+func (c *Context) Tracer() *obs.Tracer { return c.tracer }
 
 // BindConcept registers a concept name.
 func (c *Context) BindConcept(name string, dim *olap.Dimension, level olap.Level) *Context {

@@ -34,20 +34,27 @@ func (r *Relation) Col(v Var) (int, error) {
 // the relation over the requested output columns (which must be free,
 // range-restricted variables of f).
 func Eval(ctx *Context, f Formula, out []Var) (*Relation, error) {
+	plan := ctx.Tracer().Start("plan")
 	bound := varset{}
 	nb, ok := f.binds(bound)
 	if !ok {
+		plan.End()
 		return nil, &ErrNotRangeRestricted{Detail: "formula cannot be evaluated bottom-up"}
 	}
 	for _, v := range out {
 		if !nb[v] {
+			plan.End()
 			return nil, &ErrNotRangeRestricted{Detail: fmt.Sprintf("output variable %q not range-restricted", v)}
 		}
 	}
+	plan.End()
+	sp := ctx.Tracer().Start("fo.eval")
 	envs, err := f.eval(ctx, []*Env{EmptyEnv}, bound)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetCount("envs", int64(len(envs)))
 	rel := &Relation{Cols: append([]Var(nil), out...)}
 	seen := make(map[string]bool)
 	for _, env := range envs {
@@ -66,6 +73,8 @@ func Eval(ctx *Context, f Formula, out []Var) (*Relation, error) {
 		}
 	}
 	rel.sortTuples()
+	sp.SetCount("tuples", int64(rel.Len()))
+	sp.End()
 	return rel, nil
 }
 

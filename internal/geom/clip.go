@@ -1,5 +1,7 @@
 package geom
 
+import "mogis/internal/obs"
+
 // ClipRingConvex clips subject against the convex ring clip using
 // Sutherland–Hodgman. The clip ring must be convex and
 // counterclockwise; the subject may be any (weakly) simple ring of
@@ -8,6 +10,7 @@ package geom
 // zero-width bridges, which do not affect area or containment tests
 // by midpoint classification.
 func ClipRingConvex(subject, clip Ring) Ring {
+	obs.Std.GeomClip.Inc()
 	out := subject.Clone()
 	if !out.IsCCW() {
 		out = out.Reverse()

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"mogis/internal/obs"
 )
 
 // Ring is a closed sequence of vertices. The closing edge from the
@@ -272,6 +274,7 @@ func (pg Polygon) Centroid() Point {
 // Locate classifies p against the polygon: inside the shell and
 // outside every hole is Inside; on any ring is OnBoundary.
 func (pg Polygon) Locate(p Point) PointLocation {
+	obs.Std.GeomPointInPolygon.Inc()
 	loc := pg.Shell.Locate(p)
 	if loc != Inside {
 		return loc

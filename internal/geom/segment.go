@@ -1,6 +1,10 @@
 package geom
 
-import "math"
+import (
+	"math"
+
+	"mogis/internal/obs"
+)
 
 // Segment is a closed straight line segment between two points.
 type Segment struct {
@@ -47,7 +51,10 @@ func (s Segment) ClosestParam(p Point) float64 {
 func (s Segment) ClosestPoint(p Point) Point { return s.At(s.ClosestParam(p)) }
 
 // DistToPoint returns the distance from p to the closed segment.
-func (s Segment) DistToPoint(p Point) float64 { return s.ClosestPoint(p).Dist(p) }
+func (s Segment) DistToPoint(p Point) float64 {
+	obs.Std.GeomDistance.Inc()
+	return s.ClosestPoint(p).Dist(p)
+}
 
 // IntersectKind classifies how two segments meet.
 type IntersectKind int

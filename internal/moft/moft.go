@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"mogis/internal/geom"
+	"mogis/internal/obs"
 	"mogis/internal/timedim"
 )
 
@@ -147,7 +148,10 @@ func (t *Table) BBox() geom.BBox {
 // stops the scan.
 func (t *Table) Scan(f func(Tuple) bool) {
 	t.ensureSorted()
+	n := int64(0)
+	defer func() { obs.Std.MOFTTuplesScanned.Add(n) }()
 	for _, tp := range t.tuples {
+		n++
 		if !f(tp) {
 			return
 		}
@@ -158,10 +162,13 @@ func (t *Table) Scan(f func(Tuple) bool) {
 // using per-object binary search.
 func (t *Table) ScanInterval(iv timedim.Interval, f func(Tuple) bool) {
 	t.ensureSorted()
+	n := int64(0)
+	defer func() { obs.Std.MOFTTuplesScanned.Add(n) }()
 	for _, o := range t.Objects() {
 		tps := t.ObjectTuples(o)
 		i := sort.Search(len(tps), func(i int) bool { return tps[i].T >= iv.Lo })
 		for ; i < len(tps) && tps[i].T <= iv.Hi; i++ {
+			n++
 			if !f(tps[i]) {
 				return
 			}

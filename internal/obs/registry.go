@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (cumulative-bucket Prometheus semantics). Buckets are upper bounds
+// in increasing order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound, plus +Inf at the end
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	n      atomic.Int64
+}
+
+// DefBuckets are the default duration buckets in seconds (1µs .. 10s,
+// decades with a 1-2.5-5 progression).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string // may carry a {label="value"} suffix
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// family strips the label suffix: `x_total{type="4"}` → `x_total`.
+func (m metric) family() string {
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		return m.name[:i]
+	}
+	return m.name
+}
+
+// Registry is a set of named metrics. The zero value is not usable;
+// construct with NewRegistry. The package-level Default registry holds
+// the engine's standard instruments, but any component can carry its
+// own Registry (see NewMetrics).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry the Std instrument bundle is
+// registered in.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given help text on first use. The name may carry a single
+// Prometheus label pair, e.g. `mogis_queries_total{type="4"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds (DefBuckets when nil) on first
+// use. Histogram names must not carry label suffixes.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if strings.IndexByte(name, '{') >= 0 {
+		panic(fmt.Sprintf("obs: histogram %q must not carry labels", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m.h
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, h: newHistogram(buckets)}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.h
+}
+
+// Reset zeroes every registered metric (histogram observations are
+// dropped). Intended for tests and long-lived processes that dump and
+// restart their accounting.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			m.c.v.Store(0)
+		case kindGauge:
+			m.g.v.Store(0)
+		case kindHistogram:
+			for i := range m.h.counts {
+				m.h.counts[i].Store(0)
+			}
+			m.h.sum.Store(0)
+			m.h.n.Store(0)
+		}
+	}
+}
+
+// Sample is one named metric value.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is a point-in-time capture of every scalar metric (counter
+// and gauge values; histograms contribute their _count and _sum).
+type Snapshot struct {
+	names []string
+	vals  map[string]float64
+}
+
+// Snapshot captures the current metric values in registration order.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{vals: make(map[string]float64, len(r.metrics))}
+	add := func(name string, v float64) {
+		s.names = append(s.names, name)
+		s.vals[name] = v
+	}
+	for _, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			add(m.name, float64(m.c.Value()))
+		case kindGauge:
+			add(m.name, float64(m.g.Value()))
+		case kindHistogram:
+			add(m.name+"_count", float64(m.h.Count()))
+			add(m.name+"_sum", m.h.Sum())
+		}
+	}
+	return s
+}
+
+// Value returns the snapshot value of a metric (0 when absent).
+func (s Snapshot) Value(name string) float64 { return s.vals[name] }
+
+// Since returns s minus earlier, one sample per metric of s in
+// registration order. Metrics absent from earlier diff against zero.
+func (s Snapshot) Since(earlier Snapshot) []Sample {
+	out := make([]Sample, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, Sample{Name: name, Value: s.vals[name] - earlier.vals[name]})
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Metrics sharing a family (same
+// name, different labels) must be registered consecutively.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lastFamily := ""
+	for _, m := range r.metrics {
+		fam := m.family()
+		if fam != lastFamily {
+			lastFamily = fam
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch m.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			cum := int64(0)
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.name, m.h.Sum(), m.name, m.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object of
+// scalar values (histograms contribute _count and _sum members).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, name := range snap.names {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "\n  %q: %g", name, snap.vals[name])
+	}
+	sb.WriteString("\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this doubles as the
+// data-race check for the atomic instruments.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5})
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if want := 0.25 * workers * iters; h.Sum() != want {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+// TestPrometheusGolden pins the exact Prometheus text format emitted
+// for a small registry.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mogis_test_hits_total", "test hits").Add(3)
+	r.Counter(`mogis_test_queries_total{type="1"}`, "queries by type").Add(2)
+	r.Counter(`mogis_test_queries_total{type="2"}`, "queries by type").Add(5)
+	r.Gauge("mogis_test_cached", "cached items").Set(7)
+	h := r.Histogram("mogis_test_seconds", "durations", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mogis_test_hits_total test hits
+# TYPE mogis_test_hits_total counter
+mogis_test_hits_total 3
+# HELP mogis_test_queries_total queries by type
+# TYPE mogis_test_queries_total counter
+mogis_test_queries_total{type="1"} 2
+mogis_test_queries_total{type="2"} 5
+# HELP mogis_test_cached cached items
+# TYPE mogis_test_cached gauge
+mogis_test_cached 7
+# HELP mogis_test_seconds durations
+# TYPE mogis_test_seconds histogram
+mogis_test_seconds_bucket{le="0.1"} 1
+mogis_test_seconds_bucket{le="1"} 2
+mogis_test_seconds_bucket{le="+Inf"} 3
+mogis_test_seconds_sum 2.55
+mogis_test_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(4)
+	r.Gauge("b", "").Set(-2)
+	r.Histogram("c_seconds", "", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	want := map[string]float64{"a_total": 4, "b": -2, "c_seconds_count": 1, "c_seconds_sum": 0.5}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %g, want %g", k, got[k], v)
+		}
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(5)
+	delta := r.Snapshot().Since(before)
+	if len(delta) != 1 || delta[0].Name != "c_total" || delta[0].Value != 5 {
+		t.Errorf("delta = %+v", delta)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	c.Inc()
+	g.Set(9)
+	h.Observe(1)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("reset left c=%d g=%d hc=%d hs=%g", c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+}
+
+// TestNilInstruments verifies nil counters/gauges/histograms (the
+// disabled state the Metrics bundle hands out for unknown query
+// types) are safe no-ops.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	m := NewMetrics(NewRegistry())
+	m.Query(0).Inc()
+	m.Query(9).Inc()
+	if m.Query(4) == nil {
+		t.Error("Query(4) must resolve")
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Metrics bundles the engine's standard instruments, resolved against
+// one registry. The global Std bundle (bound to Default) is what the
+// hot paths in geom, sindex, moft, overlay, core and pietql
+// increment; components wanting isolated accounting build their own
+// bundle with NewMetrics and inject it (core.Engine.SetMetrics).
+type Metrics struct {
+	// Section-5 evaluation strategy: precomputed-overlay lookups
+	// versus naive geometry fallbacks.
+	OverlayHits   *Counter
+	OverlayMisses *Counter
+
+	// Engine litCache (per-table interpolated trajectories).
+	LitCacheHits    *Counter
+	LitCacheMisses  *Counter
+	LitCacheObjects *Gauge // cached trajectories across all tables
+	LitCacheTables  *Gauge // tables currently cached
+
+	// Geometry predicate evaluations.
+	GeomPointInPolygon *Counter
+	GeomClip           *Counter
+	GeomDistance       *Counter
+
+	// Spatial index and fact-table scan volume.
+	SindexNodeVisits  *Counter
+	MOFTTuplesScanned *Counter
+
+	// Overlay precomputation (most recent build).
+	OverlayPairs        *Gauge
+	OverlayRelations    *Gauge
+	OverlayCells        *Gauge
+	OverlayBuildSeconds *Histogram
+
+	// Queries by the paper's Section-3.1 type (index 1..8; index 0 is
+	// unused).
+	Queries [9]*Counter
+
+	QueryDuration *Histogram
+}
+
+// NewMetrics registers (or resolves) the standard instruments in r.
+func NewMetrics(r *Registry) *Metrics {
+	m := &Metrics{
+		OverlayHits:   r.Counter("mogis_overlay_hits_total", "geometric predicates answered from the precomputed overlay"),
+		OverlayMisses: r.Counter("mogis_overlay_misses_total", "geometric predicates computed naively (no overlay attached)"),
+
+		LitCacheHits:    r.Counter("mogis_litcache_hits_total", "trajectory-cache lookups served from the engine litCache"),
+		LitCacheMisses:  r.Counter("mogis_litcache_misses_total", "trajectory-cache lookups that had to interpolate a table"),
+		LitCacheObjects: r.Gauge("mogis_litcache_objects", "interpolated trajectories currently cached"),
+		LitCacheTables:  r.Gauge("mogis_litcache_tables", "fact tables with a cached trajectory set"),
+
+		GeomPointInPolygon: r.Counter("mogis_geom_point_in_polygon_total", "point-in-polygon locations evaluated"),
+		GeomClip:           r.Counter("mogis_geom_clip_total", "convex ring clips evaluated"),
+		GeomDistance:       r.Counter("mogis_geom_distance_total", "distance predicates evaluated"),
+
+		SindexNodeVisits:  r.Counter("mogis_sindex_node_visits_total", "R-tree nodes visited during searches"),
+		MOFTTuplesScanned: r.Counter("mogis_moft_tuples_scanned_total", "MOFT tuples delivered by scans"),
+
+		OverlayPairs:        r.Gauge("mogis_overlay_pairs", "layer pairs in the most recent overlay build"),
+		OverlayRelations:    r.Gauge("mogis_overlay_relations", "directed relation entries in the most recent overlay build"),
+		OverlayCells:        r.Gauge("mogis_overlay_cells", "polygon-polygon intersection cells in the most recent overlay build"),
+		OverlayBuildSeconds: r.Histogram("mogis_overlay_build_seconds", "wall time of overlay precomputation", nil),
+
+		QueryDuration: r.Histogram("mogis_query_duration_seconds", "wall time of Piet-QL query evaluation", nil),
+	}
+	for i := 1; i <= 8; i++ {
+		m.Queries[i] = r.Counter(
+			fmt.Sprintf("mogis_queries_total{type=%q}", fmt.Sprint(i)),
+			"queries evaluated, by paper query type (1-8)")
+	}
+	return m
+}
+
+// Std is the global instrument bundle, registered in Default.
+var Std = NewMetrics(Default)
+
+// Query returns the counter for the given paper query type, or nil
+// for an out-of-range type (nil counters are safe to increment).
+func (m *Metrics) Query(typ int) *Counter {
+	if m == nil || typ < 1 || typ > 8 {
+		return nil
+	}
+	return m.Queries[typ]
+}
+
+// --- logging ----------------------------------------------------------
+
+var (
+	logMu sync.Mutex
+	logW  io.Writer = io.Discard
+)
+
+// SetLogOutput directs the package's progress log (overlay builds,
+// cache resets) to w; nil silences it again. Returns the previous
+// writer.
+func SetLogOutput(w io.Writer) io.Writer {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logW
+	if w == nil {
+		w = io.Discard
+	}
+	logW = w
+	if prev == io.Discard {
+		return nil
+	}
+	return prev
+}
+
+// Logf writes one progress line to the configured log output.
+func Logf(format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if logW == io.Discard {
+		return
+	}
+	fmt.Fprintf(logW, "obs: "+format+"\n", args...)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpanNesting checks parent/child structure and sibling order:
+// a(b(c), d) started and ended in the natural order.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer("query")
+	a := tr.Start("a")
+	b := tr.Start("b")
+	c := tr.Start("c")
+	c.End()
+	b.End()
+	d := tr.Start("d")
+	d.SetCount("tuples", 42)
+	d.End()
+	a.End()
+	root := tr.Finish()
+
+	want := []string{"query", "a", "b", "c", "d"}
+	if got := root.Stages(); !reflect.DeepEqual(got, want) {
+		t.Errorf("stages = %v, want %v", got, want)
+	}
+	if len(root.Children) != 1 || len(root.Children[0].Children) != 2 {
+		t.Fatalf("tree shape wrong: %s", root.Format())
+	}
+	if root.Children[0].Children[0].Name != "b" || root.Children[0].Children[1].Name != "d" {
+		t.Errorf("sibling order wrong: %s", root.Format())
+	}
+	if root.Find("c") == nil || root.Find("c").parent.Name != "b" {
+		t.Errorf("c not nested under b: %s", root.Format())
+	}
+	if root.Find("d").Count("tuples") != 42 {
+		t.Errorf("count lost: %v", root.Find("d").Counts)
+	}
+	for _, name := range want {
+		if root.Find(name).Dur < 0 {
+			t.Errorf("span %s has negative duration", name)
+		}
+	}
+}
+
+// TestOutOfOrderEnd verifies ending a parent before its child cannot
+// wedge the cursor: the next Start still attaches somewhere valid.
+func TestOutOfOrderEnd(t *testing.T) {
+	tr := NewTracer("query")
+	a := tr.Start("a")
+	b := tr.Start("b")
+	a.End() // out of order: b is still open
+	b.End()
+	s := tr.Start("after")
+	s.End()
+	root := tr.Finish()
+	if root.Find("after") == nil {
+		t.Errorf("tracer lost spans after out-of-order end: %s", root.Format())
+	}
+}
+
+func TestStartAfterFinish(t *testing.T) {
+	tr := NewTracer("query")
+	tr.Finish()
+	s := tr.Start("late")
+	s.End()
+	if tr.Root().Find("late") == nil {
+		t.Error("span started after Finish must attach to the root")
+	}
+}
+
+// TestNilTracerZeroAlloc: the whole point of the nil-tracer disabled
+// state is that instrumented code allocates nothing when tracing is
+// off.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("stage")
+		sp.SetCount("tuples", 1)
+		sp.AddCount("tuples", 1)
+		sp.End()
+		tr.Root().Find("x")
+		tr.Finish()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestFormatAndExplain(t *testing.T) {
+	tr := NewTracer("query")
+	g := tr.Start("geo")
+	g.SetCount("predicates", 2)
+	g.End()
+	root := tr.Finish()
+
+	out := FormatExplain(root, []Sample{
+		{Name: "mogis_overlay_hits_total", Value: 0},
+		{Name: "mogis_geom_clip_total", Value: 0}, // zero and not cache-related: elided
+		{Name: "mogis_moft_tuples_scanned_total", Value: 12},
+	})
+	for _, want := range []string{"query", "└─ geo", "[predicates=2]", "counters:",
+		"mogis_overlay_hits_total", "mogis_moft_tuples_scanned_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mogis_geom_clip_total") {
+		t.Errorf("zero non-cache counter should be elided:\n%s", out)
+	}
+}

@@ -13,9 +13,11 @@ package overlay
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mogis/internal/geom"
 	"mogis/internal/layer"
+	"mogis/internal/obs"
 	"mogis/internal/sindex"
 )
 
@@ -61,6 +63,7 @@ type Overlay struct {
 // polygon-node, polyline-polyline and polyline-node; pairs are stored
 // in both directions.
 func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) {
+	start := time.Now()
 	o := &Overlay{
 		layers: layers,
 		rel:    make(map[relKey][]layer.Gid),
@@ -85,7 +88,34 @@ func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) 
 		}
 		o.rel[k] = uniq
 	}
+	dur := time.Since(start)
+	st := o.Stats()
+	obs.Std.OverlayPairs.Set(int64(st.Pairs))
+	obs.Std.OverlayRelations.Set(int64(st.Relations))
+	obs.Std.OverlayCells.Set(int64(st.Cells))
+	obs.Std.OverlayBuildSeconds.Observe(dur.Seconds())
+	obs.Logf("overlay: precomputed %d pairs: %d relations, %d cells in %v",
+		st.Pairs, st.Relations, st.Cells, dur)
 	return o, nil
+}
+
+// Stats summarizes an overlay's precomputed content.
+type Stats struct {
+	Pairs     int // declared layer pairs
+	Relations int // recorded (geometry, geometry) relations, both directions
+	Cells     int // polygon-polygon intersection cells
+}
+
+// Stats reports the size of the precomputed structures.
+func (o *Overlay) Stats() Stats {
+	st := Stats{Pairs: len(o.pairs)}
+	for _, ids := range o.rel {
+		st.Relations += len(ids)
+	}
+	for _, cs := range o.cells {
+		st.Cells += len(cs)
+	}
+	return st
 }
 
 // Pairs returns the precomputed pairs.

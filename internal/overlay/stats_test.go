@@ -1,0 +1,42 @@
+package overlay
+
+import (
+	"testing"
+
+	"mogis/internal/obs"
+)
+
+func TestOverlayStats(t *testing.T) {
+	before := obs.Default.Snapshot()
+	o := buildOverlay(t)
+	st := o.Stats()
+	if st.Pairs != 4 {
+		t.Errorf("Pairs = %d, want 4", st.Pairs)
+	}
+	// Every relation is stored in both directions, so the count is even
+	// and positive for this fixture.
+	if st.Relations == 0 || st.Relations%2 != 0 {
+		t.Errorf("Relations = %d, want positive and even", st.Relations)
+	}
+	// The cities-districts pair produces polygon-polygon cells.
+	if st.Cells == 0 {
+		t.Errorf("Cells = %d, want > 0", st.Cells)
+	}
+
+	// Precompute publishes the same numbers as gauges and records a
+	// build duration sample.
+	after := obs.Default.Snapshot()
+	if got := after.Value("mogis_overlay_pairs"); got != float64(st.Pairs) {
+		t.Errorf("mogis_overlay_pairs = %v, want %d", got, st.Pairs)
+	}
+	if got := after.Value("mogis_overlay_relations"); got != float64(st.Relations) {
+		t.Errorf("mogis_overlay_relations = %v, want %d", got, st.Relations)
+	}
+	if got := after.Value("mogis_overlay_cells"); got != float64(st.Cells) {
+		t.Errorf("mogis_overlay_cells = %v, want %d", got, st.Cells)
+	}
+	dBuilds := after.Value("mogis_overlay_build_seconds_count") - before.Value("mogis_overlay_build_seconds_count")
+	if dBuilds != 1 {
+		t.Errorf("build duration samples = %v, want 1", dBuilds)
+	}
+}

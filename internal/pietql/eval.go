@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mogis/internal/core"
 	"mogis/internal/fo"
@@ -11,6 +12,7 @@ import (
 	"mogis/internal/layer"
 	"mogis/internal/mdx"
 	"mogis/internal/moft"
+	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/overlay"
 	"mogis/internal/timedim"
@@ -48,10 +50,28 @@ type Outcome struct {
 	// MOGroups holds the per-bucket counts when the moving-objects
 	// part has a GROUP BY.
 	MOGroups *olap.AggResult
+	// Explain holds the rendered plan (EXPLAIN) or span tree with
+	// engine-counter deltas (EXPLAIN ANALYZE); empty otherwise.
+	Explain string
 }
 
-// Run parses and evaluates a Piet-QL query.
+// Run parses and evaluates a Piet-QL query. A query prefixed with
+// EXPLAIN renders the evaluation plan without running it; EXPLAIN
+// ANALYZE runs the query with a per-query trace attached and renders
+// the span tree plus engine-counter deltas into Outcome.Explain.
 func (s *System) Run(query string) (*Outcome, error) {
+	start := time.Now()
+	defer func() { obs.Std.QueryDuration.Observe(time.Since(start).Seconds()) }()
+	if rest, analyze, ok := stripExplain(query); ok {
+		if analyze {
+			return s.RunAnalyze(rest)
+		}
+		q, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Explain: ExplainPlan(q)}, nil
+	}
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -59,17 +79,92 @@ func (s *System) Run(query string) (*Outcome, error) {
 	return s.Eval(q)
 }
 
-// Eval evaluates a parsed query.
-func (s *System) Eval(q *Query) (*Outcome, error) {
-	out := &Outcome{}
-	ids, err := s.evalGeo(q.Geo)
+// stripExplain removes a leading EXPLAIN [ANALYZE] (case-insensitive)
+// and reports whether one was present.
+func stripExplain(query string) (rest string, analyze, ok bool) {
+	rest = strings.TrimSpace(query)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "EXPLAIN") {
+		return query, false, false
+	}
+	rest = strings.TrimSpace(rest[len(fields[0]):])
+	if len(fields) > 1 && strings.EqualFold(fields[1], "ANALYZE") {
+		return strings.TrimSpace(rest[len(fields[1]):]), true, true
+	}
+	return rest, false, true
+}
+
+// RunAnalyze parses and evaluates a query with a trace attached,
+// setting Outcome.Explain to the rendered span tree and the
+// engine-counter deltas the query caused.
+func (s *System) RunAnalyze(query string) (*Outcome, error) {
+	tr := obs.NewTracer("query")
+	before := obs.Default.Snapshot()
+	prev := s.Ctx.Tracer()
+	s.Ctx.SetTracer(tr)
+	defer s.Ctx.SetTracer(prev)
+
+	sp := tr.Start("parse")
+	q, err := Parse(query)
+	sp.End()
+	var out *Outcome
+	if err == nil {
+		out, err = s.Eval(q)
+	}
+	root := tr.Finish()
 	if err != nil {
 		return nil, err
 	}
+	out.Explain = obs.FormatExplain(root, obs.Default.Snapshot().Since(before))
+	return out, nil
+}
+
+// ExplainPlan renders the evaluation plan of a parsed query without
+// running it.
+func ExplainPlan(q *Query) string {
+	var sb strings.Builder
+	sb.WriteString("plan:\n")
+	fmt.Fprintf(&sb, "  geo: select %s from %s\n", strings.Join(q.Geo.Select, ", "), q.Geo.Schema)
+	for _, p := range q.Geo.Where {
+		fmt.Fprintf(&sb, "    %s(%s, %s)\n", p.Kind, p.A, p.B)
+	}
+	if q.OLAP != "" {
+		sb.WriteString("  olap: MDX sub-query\n")
+	}
+	if q.MO != nil {
+		semantics := "interpolated"
+		if q.MO.SampledOnly {
+			semantics = "sampled-only"
+		}
+		fmt.Fprintf(&sb, "  mo: %s(*) from %s passing through %s (%s)\n",
+			q.MO.Agg, q.MO.Table, q.MO.ThroughLayer, semantics)
+	}
+	return sb.String()
+}
+
+// Eval evaluates a parsed query.
+func (s *System) Eval(q *Query) (*Outcome, error) {
+	tr := s.Ctx.Tracer()
+	out := &Outcome{}
+	sp := tr.Start("geo")
+	ids, err := s.evalGeo(q.Geo)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	n := int64(0)
+	for _, l := range ids {
+		n += int64(len(l))
+	}
+	sp.SetCount("predicates", int64(len(q.Geo.Where)))
+	sp.SetCount("ids", n)
+	sp.End()
 	out.GeoIDs = ids
 
 	if q.OLAP != "" {
+		sp := tr.Start("olap")
 		res, err := mdx.Run(s.Cubes, q.OLAP)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pietql: OLAP part: %w", err)
 		}
@@ -77,10 +172,14 @@ func (s *System) Eval(q *Query) (*Outcome, error) {
 	}
 
 	if q.MO != nil {
+		sp := tr.Start("mo")
 		n, groups, err := s.evalMO(q.MO, ids)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetCount("objects", int64(n))
+		sp.End()
 		out.MOCount = n
 		out.MOGroups = groups
 		out.HasMO = true
@@ -159,8 +258,11 @@ func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
 	// Conjunctive evaluation over bindings layer → gid.
 	bindings := []map[string]layer.Gid{{}}
 	for _, p := range g.Where {
+		sp := s.Ctx.Tracer().Start("overlay.lookup")
 		var err error
 		bindings, err = s.applyPredicate(bindings, p)
+		sp.SetCount("bindings", int64(len(bindings)))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -296,8 +398,10 @@ func (s *System) applyPredicate(bindings []map[string]layer.Gid, p Predicate) ([
 func (s *System) relatedIDs(pred PredicateKind, ra overlay.Ref, aid layer.Gid, rb overlay.Ref) ([]layer.Gid, error) {
 	var candidates []layer.Gid
 	if s.Overlay != nil {
+		obs.Std.OverlayHits.Inc()
 		candidates = s.Overlay.Intersecting(ra, aid, rb)
 	} else {
+		obs.Std.OverlayMisses.Inc()
 		var err error
 		candidates, err = overlay.IntersectingNaive(s.layerMap(), ra, aid, rb)
 		if err != nil {
@@ -526,6 +630,12 @@ func (s *System) evalMOGrouped(q *MOQuery, ids []layer.Gid, window timedim.Inter
 // FormatOutcome renders an outcome as text for CLI use.
 func FormatOutcome(o *Outcome) string {
 	var sb strings.Builder
+	if o.Explain != "" {
+		sb.WriteString(o.Explain)
+		if !strings.HasSuffix(o.Explain, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
 	var names []string
 	for name := range o.GeoIDs {
 		names = append(names, name)

@@ -1,0 +1,82 @@
+package pietql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mogis/internal/obs"
+	"mogis/internal/pietql"
+)
+
+const moPart = `
+| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+`
+
+func TestExplainAnalyze(t *testing.T) {
+	sys := system(t, true)
+	out, err := sys.Run("EXPLAIN ANALYZE " + paperQuery + moPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasMO || out.MOCount != 5 {
+		t.Errorf("EXPLAIN ANALYZE changed the result: HasMO=%v MOCount=%d", out.HasMO, out.MOCount)
+	}
+	for _, want := range []string{
+		"parse", "geo", "overlay.lookup", "mo",
+		"mogis_overlay_hits_total", "mogis_litcache_hits_total", "mogis_litcache_misses_total",
+		"counters:",
+	} {
+		if !strings.Contains(out.Explain, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out.Explain)
+		}
+	}
+	if !strings.Contains(pietql.FormatOutcome(out), "counters:") {
+		t.Error("FormatOutcome does not include the explain output")
+	}
+}
+
+func TestExplainPlanOnly(t *testing.T) {
+	sys := system(t, true)
+	out, err := sys.Run("EXPLAIN " + paperQuery + moPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HasMO || out.GeoIDs != nil {
+		t.Errorf("plain EXPLAIN executed the query: %+v", out)
+	}
+	for _, want := range []string{"plan:", "intersection(Lr, Ln)", "CONTAINS(Ln, Lstores)", "COUNT(*) from FMbus"} {
+		if !strings.Contains(out.Explain, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out.Explain)
+		}
+	}
+}
+
+// TestNoOverlayZeroHits pins the meaning of the overlay counters: a
+// system without a precomputed overlay answers every geometric
+// predicate naively, so a run records only misses.
+func TestNoOverlayZeroHits(t *testing.T) {
+	sys := system(t, false)
+	before := obs.Default.Snapshot()
+	if _, err := sys.Run(paperQuery); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Snapshot()
+	if d := after.Value("mogis_overlay_hits_total") - before.Value("mogis_overlay_hits_total"); d != 0 {
+		t.Errorf("overlay hits = %v, want 0 without an overlay", d)
+	}
+	if d := after.Value("mogis_overlay_misses_total") - before.Value("mogis_overlay_misses_total"); d <= 0 {
+		t.Errorf("overlay misses = %v, want > 0 without an overlay", d)
+	}
+}
+
+func TestOverlayHitsCounted(t *testing.T) {
+	sys := system(t, true)
+	before := obs.Default.Snapshot()
+	if _, err := sys.Run(paperQuery); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Snapshot()
+	if d := after.Value("mogis_overlay_hits_total") - before.Value("mogis_overlay_hits_total"); d <= 0 {
+		t.Errorf("overlay hits = %v, want > 0 with an overlay", d)
+	}
+}

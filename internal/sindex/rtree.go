@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mogis/internal/geom"
+	"mogis/internal/obs"
 )
 
 // Entry is an indexed item: a bounding box and an opaque identifier.
@@ -237,6 +238,7 @@ func (t *RTree) Search(query geom.BBox, dst []int64) []int64 {
 }
 
 func searchNode(n *rnode, query geom.BBox, dst []int64) []int64 {
+	obs.Std.SindexNodeVisits.Inc()
 	if !n.box.Intersects(query) {
 		return dst
 	}
@@ -261,6 +263,7 @@ func (t *RTree) Visit(query geom.BBox, f func(box geom.BBox, id int64) bool) {
 }
 
 func visitNode(n *rnode, query geom.BBox, f func(geom.BBox, int64) bool) bool {
+	obs.Std.SindexNodeVisits.Inc()
 	if !n.box.Intersects(query) {
 		return true
 	}
