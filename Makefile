@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build test race cover bench experiments experiments-full fmt vet clean
+.PHONY: all check build test race race-engine cover bench microbench experiments experiments-full fmt vet clean
 
 all: check
 
-# The full pre-merge gate: compile, lint, tests, race detector.
-check: build vet test race
+# The full pre-merge gate: compile, lint, tests, race detector, and
+# the repeated concurrent-engine stress pass.
+check: build vet test race race-engine
 
 build:
 	$(GO) build ./...
@@ -18,10 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrent-engine stress tests, twice, under the race detector:
+# mixed query types against one shared engine with interleaved cache
+# invalidations.
+race-engine:
+	$(GO) test -run Concurrent -race -count=2 ./internal/core/...
+
 cover:
 	$(GO) test -cover ./...
 
+# The benchmark baseline: full-size P2 (summable vs integration) and
+# P9 (parallel query path), with machine-readable ns/op in
+# BENCH_PR2.json.
 bench:
+	$(GO) run ./cmd/mobench -full -exp P2,P9 -json BENCH_PR2.json
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table in EXPERIMENTS.md.

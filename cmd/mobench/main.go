@@ -2,35 +2,42 @@
 // and recorded in EXPERIMENTS.md: the paper-artifact reproductions
 // E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4 example
 // queries, the Section-5 Piet-QL pipeline) and the performance
-// studies P1–P8.
+// studies P1–P9.
 //
 // Usage:
 //
-//	mobench            # run everything
-//	mobench -exp E4    # run one experiment
-//	mobench -list      # list experiment ids
-//	mobench -full      # larger sweeps for the P-experiments
-//	mobench -metrics   # dump engine metrics (Prometheus text) on exit
+//	mobench               # run everything
+//	mobench -exp E4       # run one experiment
+//	mobench -exp P2,P9    # run several experiments
+//	mobench -list         # list experiment ids
+//	mobench -full         # larger sweeps for the P-experiments
+//	mobench -workers 8    # cap of the P9 worker-count sweep
+//	mobench -json out.json  # also write the reports as JSON
+//	mobench -metrics      # dump engine metrics (Prometheus text) on exit
 //	mobench -cpuprofile cpu.out -exp P2
 //	mobench -memprofile mem.out -trace trace.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 
 	"mogis/internal/experiments"
 	"mogis/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment by id (E1..E6, P1..P8)")
+	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P9, A1)")
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "run the performance studies at full size")
+	workers := flag.Int("workers", 0, "largest worker count in the P9 fan-out sweep (0 = default {1,2,4})")
+	jsonPath := flag.String("json", "", "write the reports (including Metrics) to this file as JSON")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -46,10 +53,52 @@ func main() {
 
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
-	os.Exit(run(*exp, *full, *metrics, *cpuprofile, *memprofile, *tracefile))
+	os.Exit(run(*exp, *full, *metrics, *workers, *jsonPath, *cpuprofile, *memprofile, *tracefile))
 }
 
-func run(exp string, full, metrics bool, cpuprofile, memprofile, tracefile string) int {
+// workerCounts expands the -workers cap into the doubling sweep P9
+// runs: 1, 2, 4, ..., max. Zero keeps P9's default.
+func workerCounts(max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// runOne resolves one experiment id at the requested size.
+func runOne(id string, full bool, workers int) (experiments.Report, bool) {
+	id = strings.ToUpper(strings.TrimSpace(id))
+	if full {
+		switch id {
+		case "P1":
+			return experiments.P1([]int{4, 8, 16, 32}, 200), true
+		case "P3":
+			return experiments.P3([]int{100, 400, 1600, 6400}), true
+		case "P4":
+			return experiments.P4([]int{10000, 40000, 160000, 640000}, 200), true
+		case "P5":
+			return experiments.P5([]int{1000, 4000, 16000, 64000}), true
+		case "P6":
+			return experiments.P6([]int{10000, 40000, 160000, 640000}, 200), true
+		case "P7":
+			return experiments.P7([]int{100, 400, 1600}), true
+		case "P8":
+			return experiments.P8(2000), true
+		case "P9":
+			return experiments.P9(workerCounts(workers), 4000), true
+		}
+	}
+	if id == "P9" {
+		return experiments.P9(workerCounts(workers), 0), true
+	}
+	return experiments.ByID(id)
+}
+
+func run(exp string, full, metrics bool, workers int, jsonPath, cpuprofile, memprofile, tracefile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -89,32 +138,24 @@ func run(exp string, full, metrics bool, cpuprofile, memprofile, tracefile strin
 		}
 	}()
 
-	if exp != "" {
-		r, ok := experiments.ByID(exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", exp)
-			return 2
-		}
-		fmt.Print(r)
-		if !r.Pass {
-			return 1
-		}
-		return 0
-	}
-
 	var reports []experiments.Report
-	if full {
+	if exp != "" {
+		for _, id := range strings.Split(exp, ",") {
+			r, ok := runOne(id, full, workers)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", strings.TrimSpace(id))
+				return 2
+			}
+			reports = append(reports, r)
+		}
+	} else if full {
 		reports = []experiments.Report{
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
-			experiments.P1([]int{4, 8, 16, 32}, 200),
-			experiments.P2(),
-			experiments.P3([]int{100, 400, 1600, 6400}),
-			experiments.P4([]int{10000, 40000, 160000, 640000}, 200),
-			experiments.P5([]int{1000, 4000, 16000, 64000}),
-			experiments.P6([]int{10000, 40000, 160000, 640000}, 200),
-			experiments.P7([]int{100, 400, 1600}),
-			experiments.P8(2000),
+		}
+		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
+			r, _ := runOne(id, true, workers)
+			reports = append(reports, r)
 		}
 	} else {
 		reports = experiments.All()
@@ -126,10 +167,24 @@ func run(exp string, full, metrics bool, cpuprofile, memprofile, tracefile strin
 			failed = true
 		}
 	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: json: %v\n", err)
+			return 2
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+func writeJSON(path string, reports []experiments.Report) error {
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func writeHeapProfile(path string) {

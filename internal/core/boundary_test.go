@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"testing"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/moft"
+	"mogis/internal/timedim"
+)
+
+// boundaryEngine builds an engine over a single-object table: O1 moves
+// along y = 2 from (0,2) at t=0 to (4,2) at t=4.
+func boundaryEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	fm := moft.New("FMb")
+	fm.Add(1, 0, 0, 2)
+	fm.Add(1, 4, 4, 2)
+	ctx := fo.NewContext(gis.NewDimension(nil)).AddTable(fm)
+	return core.New(ctx)
+}
+
+// A trajectory tangent to the query disk grazes it at one instant.
+// Under the unified closed-interval semantics the object is reported
+// with duration 0 rather than silently dropped.
+func TestBoundaryTangentWithinRadius(t *testing.T) {
+	e := boundaryEngine(t)
+	// Disk centered at (2,0) with r=2 is tangent to y=2 at (2,2),
+	// reached exactly at t=2.
+	center, r := geom.Pt(2, 0), 2.0
+
+	out, err := e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("tangent graze: got %v, want exactly O1", out)
+	}
+	if d := out[1]; d != 0 {
+		t.Errorf("tangent graze duration = %v, want 0", d)
+	}
+
+	// A window whose upper bound is the graze instant still touches it.
+	out, err = e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("window ending at graze instant: got %v, want O1", out)
+	}
+
+	// A window strictly before the graze misses it.
+	out, err = e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("window before graze: got %v, want empty", out)
+	}
+}
+
+// TimeSpentInside and ObjectsEverWithinRadius now share one boundary
+// rule: a trajectory whose region intervals touch the query window
+// only at an endpoint is reported, with 0 accumulated time. (The old
+// code used hi > lo for the polygon and hi >= lo for the radius
+// variant, so the same graze appeared in one result and not the
+// other.)
+func TestBoundaryWindowTouchSymmetry(t *testing.T) {
+	e := boundaryEngine(t)
+	// O1 is inside the square [1,3]x[1,3] for t in [1,3], and within
+	// r=1 of its center (2,2) for the same t in [1,3].
+	pg := geom.Polygon{Shell: geom.Ring{geom.Pt(1, 1), geom.Pt(3, 1), geom.Pt(3, 3), geom.Pt(1, 3)}}
+	center, r := geom.Pt(2, 2), 1.0
+
+	// Window [0,1]: touches the entry instant t=1 exactly.
+	win := timedim.Interval{Lo: 0, Hi: 1}
+	spent, err := e.TimeSpentInside("FMb", pg, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := e.ObjectsEverWithinRadius("FMb", center, r, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spent) != 1 || spent[1] != 0 {
+		t.Errorf("TimeSpentInside at window boundary = %v, want map[1:0]", spent)
+	}
+	if len(within) != 1 || within[1] != 0 {
+		t.Errorf("ObjectsEverWithinRadius at window boundary = %v, want map[1:0]", within)
+	}
+
+	// ObjectsPassingThrough agrees on the same touch.
+	oids, err := e.ObjectsPassingThrough("FMb", pg, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 1 || oids[0] != 1 {
+		t.Errorf("ObjectsPassingThrough at window boundary = %v, want [1]", oids)
+	}
+
+	// Window [4,8] lies strictly after the exit instant t=3; all
+	// three queries agree on absence.
+	after := timedim.Interval{Lo: 4, Hi: 8}
+	spent, err = e.TimeSpentInside("FMb", pg, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err = e.ObjectsEverWithinRadius("FMb", center, r, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, err = e.ObjectsPassingThrough("FMb", pg, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spent) != 0 || len(within) != 0 || len(oids) != 0 {
+		t.Errorf("window after exit: spent=%v within=%v oids=%v, want all empty", spent, within, oids)
+	}
+
+	// Interior window [1,3]: both report the same positive duration.
+	mid := timedim.Interval{Lo: 1, Hi: 3}
+	spent, err = e.TimeSpentInside("FMb", pg, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err = e.ObjectsEverWithinRadius("FMb", center, r, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent[1] != within[1] || spent[1] <= 0 {
+		t.Errorf("interior window: spent=%v within=%v, want equal positive durations", spent[1], within[1])
+	}
+}

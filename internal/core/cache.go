@@ -1,0 +1,272 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/sindex"
+	"mogis/internal/traj"
+)
+
+// This file implements the engine's per-table cache hierarchy and the
+// worker pool behind the trajectory query hot path. Three caches hang
+// off each fact table, built single-flight and dropped whole on
+// invalidation:
+//
+//  1. the LIT cache — every object's interpolated trajectory,
+//  2. the spatial prefilter — an STR-packed R-tree over trajectory
+//     bounding boxes, so a polygon or radius query only evaluates
+//     objects whose envelope can intersect the query region,
+//  3. the interval cache — memoized per-(table, polygon)
+//     InsidePolygonIntervals results (the GeoBlocks-style
+//     query-result cache), keyed by an exact fingerprint of the
+//     polygon's coordinates.
+//
+// Invalidation rules: InvalidateTrajectories(table) and ResetCache
+// drop all three for the affected tables. A query racing an
+// invalidation may still be answered from the generation it started
+// on; the next query sees fresh data.
+
+// serialThreshold is the object count below which the per-object
+// fan-out stays on the calling goroutine: goroutine startup dwarfs
+// the per-object work for small tables (the paper's six-bus example
+// always runs serial).
+const serialThreshold = 32
+
+// defaultIntervalCacheCap bounds the memoized polygons per table.
+const defaultIntervalCacheCap = 256
+
+// tableCache is the per-table cache unit. lits, oids and tree are
+// written once inside the sync.Once build and read-only afterwards;
+// the interval cache mutates under imu.
+type tableCache struct {
+	once  sync.Once
+	built chan struct{} // closed when the build finished (ok or not)
+
+	lits map[moft.Oid]*traj.LIT
+	oids []moft.Oid // sorted; the deterministic fan-out order
+	tree *sindex.RTree
+	err  error
+
+	imu       sync.Mutex
+	dead      bool // set on invalidation; stops new interval-cache inserts
+	intervals map[string]map[moft.Oid][]traj.TimeInterval
+}
+
+// isBuilt reports whether the build completed (successfully or not)
+// without blocking.
+func (tc *tableCache) isBuilt() bool {
+	select {
+	case <-tc.built:
+		return true
+	default:
+		return false
+	}
+}
+
+// build interpolates every object of the table and packs the
+// trajectory bounding boxes into the prefilter R-tree.
+func (tc *tableCache) build(e *Engine, table string) {
+	defer close(tc.built)
+	tbl, err := e.ctx.Table(table)
+	if err != nil {
+		tc.err = err
+		return
+	}
+	sp := e.ctx.Tracer().Start("interpolate")
+	defer sp.End()
+	samples := int64(0)
+	oids := tbl.Objects()
+	lits := make(map[moft.Oid]*traj.LIT, len(oids))
+	entries := make([]sindex.Entry, 0, len(oids))
+	for _, oid := range oids {
+		tps := tbl.ObjectTuples(oid)
+		s := make(traj.Sample, len(tps))
+		for i, tp := range tps {
+			s[i] = traj.TimePoint{T: tp.T, P: tp.Point()}
+		}
+		l, err := traj.NewLIT(s)
+		if err != nil {
+			tc.err = fmt.Errorf("core: object O%d: %w", oid, err)
+			return
+		}
+		lits[oid] = l
+		entries = append(entries, sindex.Entry{Box: sindex.Box(l.BBox()), ID: int64(oid)})
+		samples += int64(len(tps))
+	}
+	sp.SetCount("objects", int64(len(lits)))
+	sp.SetCount("samples", samples)
+	tc.lits = lits
+	tc.oids = oids
+	tc.tree = sindex.BulkLoad(entries, sindex.DefaultFanout)
+}
+
+// candidates returns, in sorted oid order, the objects whose
+// trajectory bounding box intersects box — the spatial prefilter —
+// and records the candidate/skip split in the engine metrics.
+func (tc *tableCache) candidates(met *obs.Metrics, box geom.BBox) []moft.Oid {
+	ids := tc.tree.Search(box, nil)
+	out := make([]moft.Oid, len(ids))
+	for i, id := range ids {
+		out[i] = moft.Oid(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	met.PrefilterCandidates.Add(int64(len(out)))
+	met.PrefilterSkipped.Add(int64(len(tc.oids) - len(out)))
+	return out
+}
+
+// drainIntervals empties the interval cache (on invalidation) and
+// keeps the entries gauge consistent.
+func (tc *tableCache) drainIntervals(met *obs.Metrics) {
+	tc.imu.Lock()
+	n := len(tc.intervals)
+	tc.dead = true
+	tc.intervals = nil
+	tc.imu.Unlock()
+	met.IntervalCacheEntries.Add(-int64(n))
+}
+
+// polygonKey is an exact fingerprint of a polygon's coordinates: the
+// raw float64 bits of every vertex, rings separated by a NaN marker
+// (no finite coordinate collides with it). Two polygons share a key
+// iff they are vertex-identical, so cache hits are never wrong.
+func polygonKey(pg geom.Polygon) string {
+	n := len(pg.Shell)
+	for _, h := range pg.Holes {
+		n += len(h) + 1
+	}
+	buf := make([]byte, 0, 16*n)
+	var tmp [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		buf = append(buf, tmp[:]...)
+	}
+	for _, p := range pg.Shell {
+		put(p.X)
+		put(p.Y)
+	}
+	for _, h := range pg.Holes {
+		put(math.NaN())
+		for _, p := range h {
+			put(p.X)
+			put(p.Y)
+		}
+	}
+	return string(buf)
+}
+
+// polygonIntervals returns, for every object that can intersect pg,
+// the merged time intervals its interpolated trajectory spends inside
+// pg over its whole time domain (unclamped — callers clamp to their
+// query window, which keeps the cache window-independent). The result
+// map is shared with the cache; callers must not mutate it. Absent
+// objects spend no time inside.
+func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid][]traj.TimeInterval {
+	met := e.metrics()
+	cacheCap := e.intervalCacheCap()
+	var key string
+	if cacheCap > 0 {
+		key = polygonKey(pg)
+		tc.imu.Lock()
+		m, ok := tc.intervals[key]
+		tc.imu.Unlock()
+		if ok {
+			met.IntervalCacheHits.Inc()
+			return m
+		}
+		met.IntervalCacheMisses.Inc()
+	}
+
+	cand := tc.candidates(met, pg.BBox())
+	workers := e.workerCount(len(cand))
+	parts := make([]map[moft.Oid][]traj.TimeInterval, workers)
+	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+		m := make(map[moft.Oid][]traj.TimeInterval)
+		for _, oid := range cand[lo:hi] {
+			if ivs := tc.lits[oid].InsidePolygonIntervals(pg); len(ivs) > 0 {
+				m[oid] = ivs
+			}
+		}
+		parts[chunk] = m
+	})
+	out := parts[0]
+	for _, m := range parts[1:] {
+		for oid, ivs := range m {
+			out[oid] = ivs
+		}
+	}
+
+	if cacheCap > 0 {
+		tc.imu.Lock()
+		if !tc.dead {
+			if tc.intervals == nil {
+				tc.intervals = make(map[string]map[moft.Oid][]traj.TimeInterval)
+			}
+			if len(tc.intervals) >= cacheCap {
+				// Whole-set eviction: simple, and correct for the
+				// repeated-polygon access pattern the cache targets.
+				met.IntervalCacheEntries.Add(-int64(len(tc.intervals)))
+				tc.intervals = make(map[string]map[moft.Oid][]traj.TimeInterval)
+			}
+			if _, dup := tc.intervals[key]; !dup {
+				tc.intervals[key] = out
+				met.IntervalCacheEntries.Add(1)
+			}
+		}
+		tc.imu.Unlock()
+	}
+	return out
+}
+
+// workerCount sizes the pool for a fan-out over n objects: the
+// engine's configured width (GOMAXPROCS when unset), clamped to n,
+// and 1 below the serial threshold.
+func (e *Engine) workerCount(n int) int {
+	if n < serialThreshold {
+		return 1
+	}
+	w := int(e.workers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forChunks splits [0, n) into one contiguous chunk per worker and
+// runs fn(chunk, lo, hi) concurrently. Chunk indices let callers
+// merge per-chunk results in a deterministic order regardless of
+// goroutine scheduling; workers <= 1 runs inline.
+func forChunks(workers, n int, fn func(chunk, lo, hi int)) {
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		lo := c * n / workers
+		hi := (c + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}

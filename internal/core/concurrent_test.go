@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+func eqOids(a, b []moft.Oid) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqDurations(a, b map[moft.Oid]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentMixedQueries hammers one shared Engine from many
+// goroutines with all five trajectory query types, interleaved with
+// cache invalidations, and checks every answer against a serial
+// (workers=1) engine. Run under -race this is the engine's
+// thread-safety contract; the exact-equality comparisons are the
+// determinism contract (parallel fan-out merges chunks in order, so
+// results are byte-identical to serial).
+func TestConcurrentMixedQueries(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 7, Cols: 4, Rows: 4})
+	// 64 objects keeps the fan-out above the serial threshold.
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 11, Objects: 64, Samples: 40})
+	lo, hi, _ := fm.TimeSpan()
+	win := timedim.Interval{Lo: lo, Hi: hi}
+	half := timedim.Interval{Lo: lo, Hi: lo + (hi-lo)/2}
+	mid := lo + (hi-lo)/2
+
+	pgSmall, ok := city.Ln.Polygon(1)
+	if !ok {
+		t.Fatal("city has no neighborhood polygon 1")
+	}
+	pgBig := city.Extent.AsPolygon()
+	center := geom.Pt(
+		city.Extent.MinX+city.Extent.Width()/2,
+		city.Extent.MinY+city.Extent.Height()/2,
+	)
+	r := city.Extent.Width() / 4
+	gids := []layer.Gid{1, 2, 3, 4}
+
+	_, serial := city.Context(fm)
+	serial.SetWorkers(1)
+	wantPass, err := serial.ObjectsPassingThrough("FM", pgSmall, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpent, err := serial.TimeSpentInside("FM", pgSmall, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWithin, err := serial.ObjectsEverWithinRadius("FM", center, r, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAt, err := serial.ObjectsInterpolatedAt("FM", mid, pgBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := serial.CountPassingThroughGeometries("FM", "Ln", gids, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, eng := city.Context(fm)
+	// Force a 4-wide fan-out so the chunked parallel path runs even on
+	// single-CPU machines (GOMAXPROCS would otherwise size it to 1).
+	eng.SetWorkers(4)
+	const goroutines, iters = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 7 {
+				case 5:
+					eng.InvalidateTrajectories("FM")
+				case 6:
+					eng.ResetCache()
+				}
+				pass, err := eng.ObjectsPassingThrough("FM", pgSmall, win)
+				if err != nil {
+					t.Errorf("g%d i%d ObjectsPassingThrough: %v", g, i, err)
+					return
+				}
+				if !eqOids(pass, wantPass) {
+					t.Errorf("g%d i%d ObjectsPassingThrough = %v, want %v", g, i, pass, wantPass)
+					return
+				}
+				spent, err := eng.TimeSpentInside("FM", pgSmall, win)
+				if err != nil {
+					t.Errorf("g%d i%d TimeSpentInside: %v", g, i, err)
+					return
+				}
+				if !eqDurations(spent, wantSpent) {
+					t.Errorf("g%d i%d TimeSpentInside = %v, want %v", g, i, spent, wantSpent)
+					return
+				}
+				within, err := eng.ObjectsEverWithinRadius("FM", center, r, half)
+				if err != nil {
+					t.Errorf("g%d i%d ObjectsEverWithinRadius: %v", g, i, err)
+					return
+				}
+				if !eqDurations(within, wantWithin) {
+					t.Errorf("g%d i%d ObjectsEverWithinRadius = %v, want %v", g, i, within, wantWithin)
+					return
+				}
+				at, err := eng.ObjectsInterpolatedAt("FM", mid, pgBig)
+				if err != nil {
+					t.Errorf("g%d i%d ObjectsInterpolatedAt: %v", g, i, err)
+					return
+				}
+				if !eqOids(at, wantAt) {
+					t.Errorf("g%d i%d ObjectsInterpolatedAt = %v, want %v", g, i, at, wantAt)
+					return
+				}
+				n, err := eng.CountPassingThroughGeometries("FM", "Ln", gids, win)
+				if err != nil {
+					t.Errorf("g%d i%d CountPassingThroughGeometries: %v", g, i, err)
+					return
+				}
+				if n != wantCount {
+					t.Errorf("g%d i%d CountPassingThroughGeometries = %d, want %d", g, i, n, wantCount)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSingleFlightBuild checks that 16 goroutines racing for
+// an unbuilt table produce exactly one LIT build: the cache gauges
+// count one table and one trajectory per object, never a multiple.
+func TestConcurrentSingleFlightBuild(t *testing.T) {
+	city := workload.GenCity(workload.CityConfig{Seed: 3, Cols: 2, Rows: 2})
+	const objects = 40
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 5, Objects: objects, Samples: 10})
+	_, eng := city.Context(fm)
+	met := obs.NewMetrics(obs.NewRegistry())
+	eng.SetMetrics(met)
+
+	const racers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Trajectories("FM"); err != nil {
+				t.Errorf("Trajectories: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if tables, objs := eng.CacheStats(); tables != 1 || objs != objects {
+		t.Errorf("CacheStats = (%d, %d), want (1, %d)", tables, objs, objects)
+	}
+	if v := met.LitCacheTables.Value(); v != 1 {
+		t.Errorf("LitCacheTables = %d, want 1 (double build?)", v)
+	}
+	if v := met.LitCacheObjects.Value(); v != objects {
+		t.Errorf("LitCacheObjects = %d, want %d", v, objects)
+	}
+	if h, m := met.LitCacheHits.Value(), met.LitCacheMisses.Value(); m < 1 || h+m != racers {
+		t.Errorf("hits=%d misses=%d, want misses >= 1 and hits+misses = %d", h, m, racers)
+	}
+}

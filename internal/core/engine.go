@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mogis/internal/fo"
 	"mogis/internal/geom"
@@ -32,23 +34,41 @@ import (
 )
 
 // Engine evaluates spatio-temporal aggregate queries against a model
-// context.
+// context. An Engine is safe for concurrent use: the per-table caches
+// (trajectories, spatial prefilter, interval cache) are built
+// single-flight behind a read-write lock, and the trajectory query
+// hot path fans out over a worker pool (see cache.go). The model
+// context itself must not be mutated while queries are in flight —
+// invalidate the affected table's caches after MOFT mutations.
 type Engine struct {
 	ctx *fo.Context
-	// litCache memoizes per-object interpolated trajectories per
-	// table.
-	litCache map[string]map[moft.Oid]*traj.LIT
 	// met receives engine metrics (cache hits, query-type counts).
-	met *obs.Metrics
+	met atomic.Pointer[obs.Metrics]
+
+	mu sync.RWMutex
+	// litCache holds the per-table cache units (LITs, prefilter
+	// R-tree, interval cache), built single-flight.
+	litCache map[string]*tableCache
+	// accTables/accObjects are this engine's last contribution to the
+	// shared LitCacheTables/LitCacheObjects gauges, so several engines
+	// can account against one metrics bundle.
+	accTables, accObjects int
+
+	// workers bounds the per-query fan-out (0 → GOMAXPROCS).
+	workers atomic.Int32
+	// intervalCap is the interval-cache polygon cap (0 → default,
+	// negative → caching disabled).
+	intervalCap atomic.Int32
 }
 
 // New creates an engine over the model context.
 func New(ctx *fo.Context) *Engine {
-	return &Engine{
+	e := &Engine{
 		ctx:      ctx,
-		litCache: make(map[string]map[moft.Oid]*traj.LIT),
-		met:      obs.Std,
+		litCache: make(map[string]*tableCache),
 	}
+	e.met.Store(obs.Std)
+	return e
 }
 
 // Context returns the underlying model context.
@@ -60,14 +80,52 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 	if m == nil {
 		m = obs.Std
 	}
-	e.met = m
+	e.met.Store(m)
+}
+
+// metrics returns the engine's current instrument bundle.
+func (e *Engine) metrics() *obs.Metrics { return e.met.Load() }
+
+// SetWorkers bounds the worker pool of the trajectory query fan-out:
+// 1 forces the serial path, 0 restores the default GOMAXPROCS sizing.
+// Benchmarks use it to sweep worker counts.
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers.Store(int32(n))
+}
+
+// SetIntervalCacheCap bounds the number of distinct polygons whose
+// inside-intervals are memoized per table (the interval cache);
+// n <= 0 disables the cache entirely, 0 < n sets the cap (default
+// 256). Exceeding the cap clears the table's memoized set whole.
+func (e *Engine) SetIntervalCacheCap(n int) {
+	if n <= 0 {
+		e.intervalCap.Store(-1)
+		return
+	}
+	e.intervalCap.Store(int32(n))
+}
+
+// intervalCacheCap resolves the configured cap (0 = disabled).
+func (e *Engine) intervalCacheCap() int {
+	c := e.intervalCap.Load()
+	switch {
+	case c == 0:
+		return defaultIntervalCacheCap
+	case c < 0:
+		return 0
+	default:
+		return int(c)
+	}
 }
 
 // --- Type 1: spatial aggregation ------------------------------------
 
 // GeometricAggregate evaluates a Definition-4 geometric aggregation.
 func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
-	e.met.Query(1).Inc()
+	e.metrics().Query(1).Inc()
 	return a.Evaluate()
 }
 
@@ -76,7 +134,7 @@ func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
 // SummableOverIDs evaluates the summable rewriting Σ_{g∈ids} measure(g)
 // against a GIS fact table.
 func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure string) (float64, error) {
-	e.met.Query(2).Inc()
+	e.metrics().Query(2).Inc()
 	return gis.SummableFromFact(ids, ft, measure).Evaluate()
 }
 
@@ -86,7 +144,7 @@ func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure str
 // structure C: a finite relation over the named output variables,
 // e.g. (Oid, t) pairs.
 func (e *Engine) RegionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
-	e.met.Query(3).Inc()
+	e.metrics().Query(3).Inc()
 	return e.regionC(f, out)
 }
 
@@ -99,7 +157,7 @@ func (e *Engine) regionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
 // AggregateRegion evaluates region C and applies the γ operator of
 // Definition 7: Q = γ_{fn,measure,groupBy}(C).
 func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (*olap.AggResult, error) {
-	e.met.Query(4).Inc()
+	e.metrics().Query(4).Inc()
 	rel, err := e.regionC(f, out)
 	if err != nil {
 		return nil, err
@@ -116,7 +174,7 @@ func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, me
 // CountRegion evaluates region C and returns its cardinality — the
 // most common aggregation ("number of buses", "number of cars").
 func (e *Engine) CountRegion(f fo.Formula, out []fo.Var) (int, error) {
-	e.met.Query(4).Inc()
+	e.metrics().Query(4).Inc()
 	rel, err := e.regionC(f, out)
 	if err != nil {
 		return 0, err
@@ -146,7 +204,7 @@ func RatePerHour(count int, hours float64) float64 {
 // inner aggregation runs per geometry and gates its membership in C.
 func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) ([]layer.Gid, error) {
-	e.met.Query(5).Inc()
+	e.metrics().Query(5).Inc()
 	l, ok := e.ctx.GIS().Layer(layerName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown layer %q", layerName)
@@ -186,7 +244,7 @@ func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 // instant t whose position lies in pg (the sample-level semantics of
 // query Q4).
 func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
-	e.met.Query(6).Inc()
+	e.metrics().Query(6).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -205,16 +263,26 @@ func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polyg
 // ObjectsInterpolatedAt returns the objects whose interpolated
 // position at instant t lies in pg, even between samples.
 func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
-	e.met.Query(6).Inc()
-	lits, err := e.Trajectories(table)
+	e.metrics().Query(6).Inc()
+	tc, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
-	var out []moft.Oid
-	for oid, l := range lits {
-		if p, ok := l.AtInstant(t); ok && pg.ContainsPoint(p) {
-			out = append(out, oid)
+	cand := tc.candidates(e.metrics(), pg.BBox())
+	workers := e.workerCount(len(cand))
+	parts := make([][]moft.Oid, workers)
+	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+		var local []moft.Oid
+		for _, oid := range cand[lo:hi] {
+			if p, ok := tc.lits[oid].AtInstant(t); ok && pg.ContainsPoint(p) {
+				local = append(local, oid)
+			}
 		}
+		parts[chunk] = local
+	})
+	var out []moft.Oid
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
@@ -223,67 +291,117 @@ func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.
 // --- Type 7: trajectory queries (interpolation) ----------------------
 
 // Trajectories returns (and caches) the linear-interpolation
-// trajectory of every object in the table.
+// trajectory of every object in the table. The returned map is
+// shared with the cache; callers must not mutate it.
 func (e *Engine) Trajectories(table string) (map[moft.Oid]*traj.LIT, error) {
-	if cached, ok := e.litCache[table]; ok {
-		e.met.LitCacheHits.Inc()
-		return cached, nil
-	}
-	e.met.LitCacheMisses.Inc()
-	tbl, err := e.ctx.Table(table)
+	tc, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
-	sp := e.ctx.Tracer().Start("interpolate")
-	defer sp.End()
-	samples := int64(0)
-	out := make(map[moft.Oid]*traj.LIT)
-	for _, oid := range tbl.Objects() {
-		tps := tbl.ObjectTuples(oid)
-		s := make(traj.Sample, len(tps))
-		for i, tp := range tps {
-			s[i] = traj.TimePoint{T: tp.T, P: tp.Point()}
-		}
-		l, err := traj.NewLIT(s)
-		if err != nil {
-			return nil, fmt.Errorf("core: object O%d: %w", oid, err)
-		}
-		out[oid] = l
-		samples += int64(len(tps))
-	}
-	sp.SetCount("objects", int64(len(out)))
-	sp.SetCount("samples", samples)
-	e.litCache[table] = out
-	e.met.LitCacheTables.Add(1)
-	e.met.LitCacheObjects.Add(int64(len(out)))
-	return out, nil
+	return tc.lits, nil
 }
 
-// InvalidateTrajectories drops the trajectory cache for a table (call
-// after mutating the MOFT).
+// table returns the table's cache unit, building it single-flight on
+// first use: concurrent queries against a cold table interpolate its
+// trajectories exactly once, with every caller waiting on the same
+// build.
+func (e *Engine) table(table string) (*tableCache, error) {
+	e.mu.RLock()
+	tc := e.litCache[table]
+	e.mu.RUnlock()
+	if tc == nil {
+		e.mu.Lock()
+		if tc = e.litCache[table]; tc == nil {
+			tc = &tableCache{built: make(chan struct{})}
+			e.litCache[table] = tc
+		}
+		e.mu.Unlock()
+	}
+	met := e.metrics()
+	if tc.isBuilt() && tc.err == nil {
+		met.LitCacheHits.Inc()
+	} else {
+		met.LitCacheMisses.Inc()
+	}
+	builder := false
+	tc.once.Do(func() {
+		tc.build(e, table)
+		builder = true
+	})
+	if tc.err != nil {
+		// Drop the failed entry so a later call can retry.
+		e.mu.Lock()
+		if e.litCache[table] == tc {
+			delete(e.litCache, table)
+		}
+		e.mu.Unlock()
+		return nil, tc.err
+	}
+	if builder {
+		e.mu.Lock()
+		e.updateCacheGaugesLocked()
+		e.mu.Unlock()
+	}
+	return tc, nil
+}
+
+// updateCacheGaugesLocked re-derives this engine's litCache gauge
+// contribution from the built entries and applies the delta, so
+// gauges stay exact across builds, invalidations and resets. Caller
+// holds e.mu.
+func (e *Engine) updateCacheGaugesLocked() {
+	tables, objects := 0, 0
+	for _, tc := range e.litCache {
+		if tc.isBuilt() && tc.err == nil {
+			tables++
+			objects += len(tc.lits)
+		}
+	}
+	met := e.metrics()
+	met.LitCacheTables.Add(int64(tables - e.accTables))
+	met.LitCacheObjects.Add(int64(objects - e.accObjects))
+	e.accTables, e.accObjects = tables, objects
+}
+
+// InvalidateTrajectories drops every cache derived from the table —
+// trajectories, the prefilter R-tree and memoized intervals (call
+// after mutating the MOFT). Queries already in flight may still
+// answer from the dropped generation.
 func (e *Engine) InvalidateTrajectories(table string) {
-	if cached, ok := e.litCache[table]; ok {
-		e.met.LitCacheTables.Add(-1)
-		e.met.LitCacheObjects.Add(-int64(len(cached)))
-		delete(e.litCache, table)
+	e.mu.Lock()
+	tc := e.litCache[table]
+	delete(e.litCache, table)
+	e.updateCacheGaugesLocked()
+	e.mu.Unlock()
+	if tc != nil {
+		tc.drainIntervals(e.metrics())
 	}
 }
 
-// ResetCache drops every cached trajectory table. The litCache grows
-// without bound as distinct (possibly derived) tables are queried;
+// ResetCache drops every cached table. The caches grow without bound
+// as distinct (possibly derived) tables and polygons are queried;
 // long-lived processes can call this to reclaim the memory.
 func (e *Engine) ResetCache() {
-	for table := range e.litCache {
-		e.InvalidateTrajectories(table)
+	e.mu.Lock()
+	old := e.litCache
+	e.litCache = make(map[string]*tableCache)
+	e.updateCacheGaugesLocked()
+	e.mu.Unlock()
+	for _, tc := range old {
+		tc.drainIntervals(e.metrics())
 	}
 }
 
 // CacheStats reports the current litCache footprint: the number of
 // cached tables and the total number of cached object trajectories.
 func (e *Engine) CacheStats() (tables, objects int) {
-	for _, m := range e.litCache {
-		tables++
-		objects += len(m)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, tc := range e.litCache {
+		if tc.isBuilt() && tc.err == nil {
+			tables++
+			objects += len(tc.lits)
+		}
 	}
 	return tables, objects
 }
@@ -293,14 +411,15 @@ func (e *Engine) CacheStats() (tables, objects int) {
 // semantics; the paper's O6 counts here even though it was never
 // sampled inside).
 func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
-	e.met.Query(7).Inc()
-	lits, err := e.Trajectories(table)
+	e.metrics().Query(7).Inc()
+	tc, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
-	var out []moft.Oid
-	for oid, l := range lits {
-		for _, ti := range l.InsidePolygonIntervals(pg) {
+	ivmap := e.polygonIntervals(tc, pg)
+	out := make([]moft.Oid, 0, len(ivmap))
+	for oid, ivs := range ivmap {
+		for _, ti := range ivs {
 			if ti.Lo <= float64(iv.Hi) && float64(iv.Lo) <= ti.Hi {
 				out = append(out, oid)
 				break
@@ -308,6 +427,9 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) == 0 {
+		return nil, nil
+	}
 	return out, nil
 }
 
@@ -315,7 +437,7 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 // sample in pg during iv (the sample-only counterpart of
 // ObjectsPassingThrough; the two differ exactly on objects like O6).
 func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
-	e.met.Query(7).Inc()
+	e.metrics().Query(7).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -335,31 +457,44 @@ func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.
 	return out, nil
 }
 
+// clampTotal intersects the intervals with the query window [lo, hi]
+// and returns the total remaining duration plus whether any interval
+// touches the window at all (a tangential graze touches with duration
+// 0; both Type-7 duration queries share these boundary semantics).
+func clampTotal(ivs []traj.TimeInterval, lo, hi float64) (sum float64, touched bool) {
+	for _, ti := range ivs {
+		a, b := ti.Lo, ti.Hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b >= a {
+			sum += b - a
+			touched = true
+		}
+	}
+	return sum, touched
+}
+
 // TimeSpentInside returns, per object, the total interpolated time
 // (seconds) spent inside pg within iv — the paper's Q5 ("total amount
-// of time spent continuously by cars in Antwerp").
+// of time spent continuously by cars in Antwerp"). An object appears
+// in the result iff its interpolated trajectory is inside pg
+// (boundary included) at some instant of iv; a trajectory that only
+// grazes the boundary appears with duration 0, symmetric with
+// ObjectsEverWithinRadius.
 func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Interval) (map[moft.Oid]float64, error) {
-	e.met.Query(7).Inc()
-	lits, err := e.Trajectories(table)
+	e.metrics().Query(7).Inc()
+	tc, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[moft.Oid]float64)
-	for oid, l := range lits {
-		var sum float64
-		for _, ti := range l.InsidePolygonIntervals(pg) {
-			lo, hi := ti.Lo, ti.Hi
-			if lo < float64(iv.Lo) {
-				lo = float64(iv.Lo)
-			}
-			if hi > float64(iv.Hi) {
-				hi = float64(iv.Hi)
-			}
-			if hi > lo {
-				sum += hi - lo
-			}
-		}
-		if sum > 0 {
+	ivmap := e.polygonIntervals(tc, pg)
+	out := make(map[moft.Oid]float64, len(ivmap))
+	for oid, ivs := range ivmap {
+		if sum, touched := clampTotal(ivs, float64(iv.Lo), float64(iv.Hi)); touched {
 			out[oid] = sum
 		}
 	}
@@ -368,32 +503,34 @@ func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Inter
 
 // ObjectsEverWithinRadius returns objects whose interpolated
 // trajectory comes within distance r of center during iv, with the
-// total time spent within (the paper's Q6, interpolated variant).
+// total time spent within (the paper's Q6, interpolated variant). An
+// object appears iff its trajectory is within distance r at some
+// instant of iv; a trajectory exactly tangent to the circle appears
+// with duration 0, symmetric with TimeSpentInside.
 func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r float64, iv timedim.Interval) (map[moft.Oid]float64, error) {
-	e.met.Query(7).Inc()
-	lits, err := e.Trajectories(table)
+	e.metrics().Query(7).Inc()
+	tc, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[moft.Oid]float64)
-	for oid, l := range lits {
-		var sum float64
-		for _, ti := range l.WithinRadiusIntervals(center, r) {
-			lo, hi := ti.Lo, ti.Hi
-			if lo < float64(iv.Lo) {
-				lo = float64(iv.Lo)
-			}
-			if hi > float64(iv.Hi) {
-				hi = float64(iv.Hi)
-			}
-			if hi >= lo {
-				sum += hi - lo
-				if _, seen := out[oid]; !seen {
-					out[oid] = 0
-				}
+	met := e.metrics()
+	box := geom.BBox{MinX: center.X - r, MinY: center.Y - r, MaxX: center.X + r, MaxY: center.Y + r}
+	cand := tc.candidates(met, box)
+	workers := e.workerCount(len(cand))
+	parts := make([]map[moft.Oid]float64, workers)
+	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+		local := make(map[moft.Oid]float64)
+		for _, oid := range cand[lo:hi] {
+			ivs := tc.lits[oid].WithinRadiusIntervals(center, r)
+			if sum, touched := clampTotal(ivs, float64(iv.Lo), float64(iv.Hi)); touched {
+				local[oid] = sum
 			}
 		}
-		if sum > 0 {
+		parts[chunk] = local
+	})
+	out := make(map[moft.Oid]float64)
+	for _, local := range parts {
+		for oid, sum := range local {
 			out[oid] = sum
 		}
 	}
@@ -407,38 +544,41 @@ func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r floa
 // river containing at least one store"), and each object's
 // consecutive sample segments are intersected with those cities.
 func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []layer.Gid, iv timedim.Interval) (int, error) {
-	e.met.Query(7).Inc()
+	e.metrics().Query(7).Inc()
 	l, ok := e.ctx.GIS().Layer(layerName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown layer %q", layerName)
 	}
-	lits, err := e.Trajectories(table)
+	pgs := make([]geom.Polygon, len(ids))
+	for i, id := range ids {
+		pg, ok := l.Polygon(id)
+		if !ok {
+			return 0, fmt.Errorf("core: layer %q has no polygon %d", layerName, id)
+		}
+		pgs[i] = pg
+	}
+	tc, err := e.table(table)
 	if err != nil {
 		return 0, err
 	}
-	count := 0
-	for _, lit := range lits {
-		hit := false
-		for _, id := range ids {
-			pg, ok := l.Polygon(id)
-			if !ok {
-				return 0, fmt.Errorf("core: layer %q has no polygon %d", layerName, id)
+	// Per-polygon interval maps (cached and prefiltered) replace the
+	// object × polygon double loop: an object counts once if any
+	// polygon's intervals touch the window.
+	hit := make(map[moft.Oid]bool)
+	for _, pg := range pgs {
+		for oid, ivs := range e.polygonIntervals(tc, pg) {
+			if hit[oid] {
+				continue
 			}
-			for _, ti := range lit.InsidePolygonIntervals(pg) {
+			for _, ti := range ivs {
 				if ti.Lo <= float64(iv.Hi) && float64(iv.Lo) <= ti.Hi {
-					hit = true
+					hit[oid] = true
 					break
 				}
 			}
-			if hit {
-				break
-			}
-		}
-		if hit {
-			count++
 		}
 	}
-	return count, nil
+	return len(hit), nil
 }
 
 // --- Type 8: aggregation over one trajectory -------------------------
@@ -456,7 +596,7 @@ type TrajectoryStats struct {
 
 // TrajectoryAggregate computes the Type-8 aggregation for one object.
 func (e *Engine) TrajectoryAggregate(table string, oid moft.Oid) (TrajectoryStats, error) {
-	e.met.Query(8).Inc()
+	e.metrics().Query(8).Inc()
 	lits, err := e.Trajectories(table)
 	if err != nil {
 		return TrajectoryStats{}, err

@@ -2,7 +2,7 @@
 // in DESIGN.md and recorded in EXPERIMENTS.md: the paper-artifact
 // checks E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4
 // example queries, and the Section-5 Piet-QL query) and the
-// performance studies P1–P8 that validate the paper's qualitative
+// performance studies P1–P9 that validate the paper's qualitative
 // claims about evaluation strategy. Each experiment returns a
 // printable report so cmd/mobench, tests and benchmarks share one
 // implementation.
@@ -39,6 +39,10 @@ type Report struct {
 	// Pass indicates the paper-artifact checks succeeded (always true
 	// for performance studies that ran to completion).
 	Pass bool
+	// Metrics carries machine-readable key results (ns/op, speedups,
+	// cache rates) for benchmark baselines such as BENCH_PR2.json;
+	// nil for experiments that are purely textual.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 func (r Report) String() string {
@@ -476,6 +480,7 @@ func P2() Report {
 	}
 	summableTime := time.Since(t0)
 
+	mets := map[string]float64{"summable_ns_per_op": float64(summableTime.Nanoseconds())}
 	var rows []Row
 	rows = append(rows, Row{Label: "summable Σ h'(g)", Values: []string{fmtDur(summableTime), fmt.Sprintf("%.0f", want), "0.00%"}})
 	for _, subdiv := range []int{0, 2, 4} {
@@ -490,6 +495,7 @@ func P2() Report {
 			got += v
 		}
 		dt := time.Since(t0)
+		mets[fmt.Sprintf("integration_ns_per_op_subdiv%d", subdiv)] = float64(dt.Nanoseconds())
 		rows = append(rows, Row{
 			Label: fmt.Sprintf("integration subdiv=%d", subdiv),
 			Values: []string{fmtDur(dt), fmt.Sprintf("%.0f", got),
@@ -498,7 +504,7 @@ func P2() Report {
 	}
 	body := Table([]string{"method", "time", "value", "error"}, rows)
 	body += "  expectation (paper Def. 4/§5): summable queries avoid integration entirely\n"
-	return Report{ID: "P2", Title: "summable rewriting vs numeric integration", Body: body, Pass: true}
+	return Report{ID: "P2", Title: "summable rewriting vs numeric integration", Body: body, Pass: true, Metrics: mets}
 }
 
 // P3 measures interpolation-aware versus sample-only passes-through
@@ -704,7 +710,7 @@ func P8(iters int) Report {
 		var on time.Duration
 		on, err = run(true)
 		if err == nil {
-			overhead := 100 * (float64(on)-float64(off)) / math.Max(1, float64(off))
+			overhead := 100 * (float64(on) - float64(off)) / math.Max(1, float64(off))
 			rows := []Row{
 				{Label: "tracing off", Values: []string{fmtDur(off / time.Duration(iters))}},
 				{Label: "tracing on", Values: []string{fmtDur(on / time.Duration(iters))}},
@@ -722,7 +728,7 @@ func P8(iters int) Report {
 func All() []Report {
 	return []Report{
 		E1(), E2(), E3(), E4(), E5(), E6(),
-		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0),
+		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0),
 		A1(),
 	}
 }
@@ -758,6 +764,8 @@ func ByID(id string) (Report, bool) {
 		return P7(nil), true
 	case "P8":
 		return P8(0), true
+	case "P9":
+		return P9(nil, 0), true
 	case "A1":
 		return A1(), true
 	default:
@@ -767,7 +775,7 @@ func ByID(id string) (Report, bool) {
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"}
+	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"}
 	sort.Strings(ids)
 	return ids
 }

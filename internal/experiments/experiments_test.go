@@ -58,7 +58,7 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("Z9"); ok {
 		t.Error("unknown id accepted")
 	}
-	if len(IDs()) != 15 {
+	if len(IDs()) != 16 {
 		t.Errorf("IDs = %v", IDs())
 	}
 }

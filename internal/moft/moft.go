@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"mogis/internal/geom"
 	"mogis/internal/obs"
@@ -31,11 +33,16 @@ type Tuple struct {
 // Point returns the spatial coordinates of the tuple.
 func (tp Tuple) Point() geom.Point { return geom.Pt(tp.X, tp.Y) }
 
-// Table is a Moving Object Fact Table.
+// Table is a Moving Object Fact Table. Loading (Add/AddTuple) is
+// single-threaded; once loaded, any number of goroutines may read
+// concurrently — the lazy (Oid, t) sort is double-checked behind a
+// mutex so the first concurrent readers race only for the lock, not
+// the data.
 type Table struct {
 	name   string
+	mu     sync.Mutex // guards the lazy sort
 	tuples []Tuple
-	sorted bool
+	sorted atomic.Bool
 	// objIndex maps each Oid to its [start, end) range in tuples;
 	// rebuilt lazily after sorting.
 	objIndex map[Oid][2]int
@@ -43,7 +50,9 @@ type Table struct {
 
 // New creates an empty MOFT with the given name (e.g. "FMbus").
 func New(name string) *Table {
-	return &Table{name: name, sorted: true, objIndex: map[Oid][2]int{}}
+	t := &Table{name: name, objIndex: map[Oid][2]int{}}
+	t.sorted.Store(true)
+	return t
 }
 
 // Name returns the fact table name.
@@ -55,18 +64,25 @@ func (t *Table) Len() int { return len(t.tuples) }
 // Add appends a tuple.
 func (t *Table) Add(oid Oid, ts timedim.Instant, x, y float64) {
 	t.tuples = append(t.tuples, Tuple{Oid: oid, T: ts, X: x, Y: y})
-	t.sorted = false
+	t.sorted.Store(false)
 }
 
 // AddTuple appends a prebuilt tuple.
 func (t *Table) AddTuple(tp Tuple) {
 	t.tuples = append(t.tuples, tp)
-	t.sorted = false
+	t.sorted.Store(false)
 }
 
 // ensureSorted sorts by (Oid, t) and rebuilds the per-object index.
+// Safe to call from concurrent readers: the atomic fast path avoids
+// the lock once sorted.
 func (t *Table) ensureSorted() {
-	if t.sorted {
+	if t.sorted.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sorted.Load() {
 		return
 	}
 	sort.SliceStable(t.tuples, func(i, j int) bool {
@@ -84,7 +100,7 @@ func (t *Table) ensureSorted() {
 			start = i
 		}
 	}
-	t.sorted = true
+	t.sorted.Store(true)
 }
 
 // Tuples returns all tuples sorted by (Oid, t). The returned slice is

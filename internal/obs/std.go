@@ -32,6 +32,18 @@ type Metrics struct {
 	SindexNodeVisits  *Counter
 	MOFTTuplesScanned *Counter
 
+	// Trajectory-query spatial prefilter: per-table R-tree over
+	// trajectory bounding boxes. Candidates survive the envelope test
+	// and are evaluated exactly; skipped objects are proven disjoint.
+	PrefilterCandidates *Counter
+	PrefilterSkipped    *Counter
+
+	// GeoBlocks-style interval cache: memoized per-(table, polygon)
+	// InsidePolygonIntervals results.
+	IntervalCacheHits    *Counter
+	IntervalCacheMisses  *Counter
+	IntervalCacheEntries *Gauge // cached (table, polygon) entries
+
 	// Overlay precomputation (most recent build).
 	OverlayPairs        *Gauge
 	OverlayRelations    *Gauge
@@ -62,6 +74,13 @@ func NewMetrics(r *Registry) *Metrics {
 
 		SindexNodeVisits:  r.Counter("mogis_sindex_node_visits_total", "R-tree nodes visited during searches"),
 		MOFTTuplesScanned: r.Counter("mogis_moft_tuples_scanned_total", "MOFT tuples delivered by scans"),
+
+		PrefilterCandidates: r.Counter("mogis_prefilter_candidates_total", "objects surviving the trajectory-bbox prefilter"),
+		PrefilterSkipped:    r.Counter("mogis_prefilter_skipped_total", "objects skipped by the trajectory-bbox prefilter"),
+
+		IntervalCacheHits:    r.Counter("mogis_intervalcache_hits_total", "polygon queries answered from the interval cache"),
+		IntervalCacheMisses:  r.Counter("mogis_intervalcache_misses_total", "polygon queries that computed inside-intervals"),
+		IntervalCacheEntries: r.Gauge("mogis_intervalcache_entries", "memoized (table, polygon) interval sets"),
 
 		OverlayPairs:        r.Gauge("mogis_overlay_pairs", "layer pairs in the most recent overlay build"),
 		OverlayRelations:    r.Gauge("mogis_overlay_relations", "directed relation entries in the most recent overlay build"),

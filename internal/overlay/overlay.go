@@ -12,7 +12,9 @@ package overlay
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"mogis/internal/geom"
@@ -58,10 +60,20 @@ type Overlay struct {
 	pairs  []Pair
 }
 
+// pairMaps carries one pair's precomputed relations, so pairs can be
+// built concurrently and merged deterministically afterwards.
+type pairMaps struct {
+	rel   map[relKey][]layer.Gid
+	cells map[cellKey][]Cell
+	err   error
+}
+
 // Precompute builds the overlay of the given layer pairs. Supported
 // kind combinations: polygon-polygon (with cells), polygon-polyline,
 // polygon-node, polyline-polyline and polyline-node; pairs are stored
-// in both directions.
+// in both directions. Pairs are computed concurrently (bounded by
+// GOMAXPROCS) into per-pair maps and merged in declaration order, so
+// the result is independent of scheduling.
 func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) {
 	start := time.Now()
 	o := &Overlay{
@@ -70,9 +82,34 @@ func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) 
 		cells:  make(map[cellKey][]Cell),
 		pairs:  pairs,
 	}
-	for _, p := range pairs {
-		if err := o.precomputePair(p); err != nil {
-			return nil, err
+	res := make([]pairMaps, len(pairs))
+	if len(pairs) < 2 {
+		for i, p := range pairs {
+			res[i] = o.precomputePair(p)
+		}
+	} else {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i, p := range pairs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, p Pair) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res[i] = o.precomputePair(p)
+			}(i, p)
+		}
+		wg.Wait()
+	}
+	for i := range res {
+		if res[i].err != nil {
+			return nil, res[i].err
+		}
+		for k, ids := range res[i].rel {
+			o.rel[k] = append(o.rel[k], ids...)
+		}
+		for k, cs := range res[i].cells {
+			o.cells[k] = cs
 		}
 	}
 	for k := range o.rel {
@@ -160,22 +197,33 @@ func collect(l *layer.Layer, kind layer.Kind) ([]boxed, error) {
 	return out, nil
 }
 
-func (o *Overlay) precomputePair(p Pair) error {
+// precomputePair builds one pair's relations into fresh maps; it only
+// reads the (immutable) layers, so any number of pairs may run
+// concurrently.
+func (o *Overlay) precomputePair(p Pair) pairMaps {
+	pm := pairMaps{
+		rel:   make(map[relKey][]layer.Gid),
+		cells: make(map[cellKey][]Cell),
+	}
+	record := func(a Ref, aid layer.Gid, b Ref, bid layer.Gid) {
+		k := relKey{a: a, id: aid, b: b}
+		pm.rel[k] = append(pm.rel[k], bid)
+	}
 	la, err := o.layerOf(p.A)
 	if err != nil {
-		return err
+		return pairMaps{err: err}
 	}
 	lb, err := o.layerOf(p.B)
 	if err != nil {
-		return err
+		return pairMaps{err: err}
 	}
 	as, err := collect(la, p.A.Kind)
 	if err != nil {
-		return err
+		return pairMaps{err: err}
 	}
 	bs, err := collect(lb, p.B.Kind)
 	if err != nil {
-		return err
+		return pairMaps{err: err}
 	}
 	// Index the (usually larger) B side.
 	entries := make([]sindex.Entry, len(bs))
@@ -195,24 +243,19 @@ func (o *Overlay) precomputePair(p Pair) error {
 				return false
 			}
 			if hit {
-				o.record(p.A, a.id, p.B, bid)
-				o.record(p.B, bid, p.A, a.id)
+				record(p.A, a.id, p.B, bid)
+				record(p.B, bid, p.A, a.id)
 				if cells != nil {
-					o.cells[cellKey{a: p.A, b: p.B, ai: a.id, bi: bid}] = cells
+					pm.cells[cellKey{a: p.A, b: p.B, ai: a.id, bi: bid}] = cells
 				}
 			}
 			return true
 		})
 		if err != nil {
-			return err
+			return pairMaps{err: err}
 		}
 	}
-	return nil
-}
-
-func (o *Overlay) record(a Ref, aid layer.Gid, b Ref, bid layer.Gid) {
-	k := relKey{a: a, id: aid, b: b}
-	o.rel[k] = append(o.rel[k], bid)
+	return pm
 }
 
 // test evaluates the geometric predicate for one candidate pair and,

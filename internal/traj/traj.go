@@ -90,6 +90,10 @@ func (s Sample) Length() float64 { return s.AsPolyline().Length() }
 // inter-sample segment (Section 3 of the paper).
 type LIT struct {
 	s Sample
+	// box is the spatial bounding box of the sample, computed once at
+	// construction so spatial prefilters can test envelope
+	// intersection without walking the sample.
+	box geom.BBox
 }
 
 // NewLIT validates the sample and wraps it as a trajectory.
@@ -97,7 +101,7 @@ func NewLIT(s Sample) (*LIT, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &LIT{s: s}, nil
+	return &LIT{s: s, box: s.BBox()}, nil
 }
 
 // MustLIT is NewLIT that panics on invalid samples; for tests and
@@ -112,6 +116,12 @@ func MustLIT(s Sample) *LIT {
 
 // Sample returns the underlying sample.
 func (l *LIT) Sample() Sample { return l.s }
+
+// BBox returns the cached spatial bounding box of the trajectory's
+// image. A trajectory whose box does not intersect a query region's
+// box cannot intersect the region itself, which is the basis of the
+// engine's spatial prefilter.
+func (l *LIT) BBox() geom.BBox { return l.box }
 
 // TimeDomain returns [t_0, t_N].
 func (l *LIT) TimeDomain() timedim.Interval { return l.s.TimeDomain() }
