@@ -19,20 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The concurrent-engine stress tests, twice, under the race detector:
-# mixed query types against one shared engine with interleaved cache
-# invalidations.
+# The core engine package, twice, under the race detector: the
+# concurrent stress tests plus the grid/columnar cache paths with
+# interleaved invalidations.
 race-engine:
-	$(GO) test -run Concurrent -race -count=2 ./internal/core/...
+	$(GO) test -race -count=2 ./internal/core/...
 
 cover:
 	$(GO) test -cover ./...
 
-# The benchmark baseline: full-size P2 (summable vs integration) and
-# P9 (parallel query path), with machine-readable ns/op in
-# BENCH_PR2.json.
+# The benchmark baseline: full-size P2 (summable vs integration), P9
+# (parallel query path), and P10 (pre-aggregated grid), with
+# machine-readable ns/op in BENCH_PR3.json and a delta table against
+# the committed BENCH_PR2.json baseline. Fails if any tracked
+# ns_per_op metric regresses more than 2x.
 bench:
-	$(GO) run ./cmd/mobench -full -exp P2,P9 -json BENCH_PR2.json
+	$(GO) run ./cmd/mobench -full -exp P2,P9,P10 -json BENCH_PR3.json -baseline BENCH_PR2.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,7 +2,7 @@
 // and recorded in EXPERIMENTS.md: the paper-artifact reproductions
 // E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4 example
 // queries, the Section-5 Piet-QL pipeline) and the performance
-// studies P1–P9.
+// studies P1–P10.
 //
 // Usage:
 //
@@ -13,6 +13,8 @@
 //	mobench -full         # larger sweeps for the P-experiments
 //	mobench -workers 8    # cap of the P9 worker-count sweep
 //	mobench -json out.json  # also write the reports as JSON
+//	mobench -baseline BENCH_PR2.json  # print metric deltas vs a prior run;
+//	                      # fail if any ns_per_op metric regresses >2x
 //	mobench -metrics      # dump engine metrics (Prometheus text) on exit
 //	mobench -cpuprofile cpu.out -exp P2
 //	mobench -memprofile mem.out -trace trace.out
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sort"
 	"strings"
 
 	"mogis/internal/experiments"
@@ -33,11 +36,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P9, A1)")
+	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P10, A1)")
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "run the performance studies at full size")
 	workers := flag.Int("workers", 0, "largest worker count in the P9 fan-out sweep (0 = default {1,2,4})")
 	jsonPath := flag.String("json", "", "write the reports (including Metrics) to this file as JSON")
+	baseline := flag.String("baseline", "", "compare metrics against a prior -json file; exit nonzero if a ns_per_op metric regresses >2x")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -53,7 +57,7 @@ func main() {
 
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
-	os.Exit(run(*exp, *full, *metrics, *workers, *jsonPath, *cpuprofile, *memprofile, *tracefile))
+	os.Exit(run(*exp, *full, *metrics, *workers, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile))
 }
 
 // workerCounts expands the -workers cap into the doubling sweep P9
@@ -90,6 +94,8 @@ func runOne(id string, full bool, workers int) (experiments.Report, bool) {
 			return experiments.P8(2000), true
 		case "P9":
 			return experiments.P9(workerCounts(workers), 4000), true
+		case "P10":
+			return experiments.P10(4000), true
 		}
 	}
 	if id == "P9" {
@@ -98,7 +104,7 @@ func runOne(id string, full bool, workers int) (experiments.Report, bool) {
 	return experiments.ByID(id)
 }
 
-func run(exp string, full, metrics bool, workers int, jsonPath, cpuprofile, memprofile, tracefile string) int {
+func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpuprofile, memprofile, tracefile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -153,7 +159,7 @@ func run(exp string, full, metrics bool, workers int, jsonPath, cpuprofile, memp
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
 		}
-		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
+		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"} {
 			r, _ := runOne(id, true, workers)
 			reports = append(reports, r)
 		}
@@ -173,10 +179,93 @@ func run(exp string, full, metrics bool, workers int, jsonPath, cpuprofile, memp
 			return 2
 		}
 	}
+	if baseline != "" {
+		regressed, err := compareBaseline(os.Stdout, baseline, reports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: baseline: %v\n", err)
+			return 2
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "mobench: FAIL: a tracked ns_per_op metric regressed more than 2x vs %s\n", baseline)
+			failed = true
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// compareBaseline prints a per-metric delta table between a prior
+// -json run and this one, matching metrics by (experiment id, metric
+// key). Metrics present on only one side are skipped: they are new or
+// retired, not regressions. Returns true if any shared metric whose
+// name contains "ns_per_op" got more than 2x slower.
+func compareBaseline(w *os.File, path string, reports []experiments.Report) (bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var old []experiments.Report
+	if err := json.Unmarshal(b, &old); err != nil {
+		return false, err
+	}
+	oldMets := make(map[string]map[string]float64, len(old))
+	for _, r := range old {
+		oldMets[r.ID] = r.Metrics
+	}
+	fmt.Fprintf(w, "=== baseline deltas vs %s (new/old; ns_per_op ratios > 2.00 fail)\n", path)
+	regressed := false
+	for _, r := range reports {
+		prior := oldMets[r.ID]
+		if len(prior) == 0 || len(r.Metrics) == 0 {
+			continue
+		}
+		var rows []experiments.Row
+		for _, key := range sortedKeys(r.Metrics) {
+			oldV, ok := prior[key]
+			if !ok {
+				continue
+			}
+			newV := r.Metrics[key]
+			mark := ""
+			ratio := "-"
+			if oldV != 0 {
+				q := newV / oldV
+				ratio = fmt.Sprintf("%.2f", q)
+				if strings.Contains(key, "ns_per_op") && q > 2.0 {
+					mark = "  REGRESSED"
+					regressed = true
+				}
+			}
+			rows = append(rows, experiments.Row{
+				Label:  key,
+				Values: []string{fmtMetric(oldV), fmtMetric(newV), ratio + mark},
+			})
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "--- %s\n%s", r.ID, experiments.Table([]string{"metric", "old", "new", "ratio"}, rows))
+	}
+	return regressed, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtMetric keeps counters integral and timings/ratios readable.
+func fmtMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 func writeJSON(path string, reports []experiments.Report) error {

@@ -1,0 +1,382 @@
+// Package agggrid implements a GeoBlocks-style pre-aggregated uniform
+// grid over a MOFT's columnar snapshot. The grid partitions the
+// table's bounding box into cells and pre-aggregates, per cell, the
+// sample rows falling in it (a CSR index), the sample count, and an
+// object-presence bitset. A polygon aggregate then classifies the
+// cells overlapping the polygon's bounding box into
+//
+//   - interior cells — not touched by any polygon boundary segment and
+//     with their center inside the polygon: every sample in them is
+//     inside, so the pre-aggregated count/bitset answers in O(1) when
+//     the time window is vacuous, and a time-only scan otherwise;
+//   - boundary cells — touched by a boundary segment: refined with an
+//     exact point-in-polygon test per in-window sample;
+//   - exterior cells — skipped entirely.
+//
+// The classification is exact, so accelerated results are identical to
+// a full scan: cells partition the samples, a cell whose rectangle
+// meets no boundary segment is uniformly inside or outside the closed
+// polygon (classified by its center), and any sample lying exactly on
+// the polygon boundary is inside a boundary cell, where it gets the
+// exact test. Closed-polygon semantics (boundary points count as
+// inside) match geom.Polygon.ContainsPoint.
+package agggrid
+
+import (
+	"math"
+	"math/bits"
+
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+)
+
+// Config controls grid construction.
+type Config struct {
+	// NX, NY are the cell counts per axis; 0 derives them from the
+	// sample count (targeting ~64 samples per cell, side clamped to
+	// [8, 256]).
+	NX, NY int
+}
+
+// targetPerCell is the sample count the default sizing aims at per
+// cell: small enough that boundary-cell refinement stays cheap, large
+// enough that the cell directory stays negligible next to the data.
+const targetPerCell = 64
+
+// Grid is the immutable pre-aggregated index over one columnar
+// snapshot. Safe for concurrent use.
+type Grid struct {
+	cols   *moft.Columns
+	extent geom.BBox
+	nx, ny int
+	cellW  float64
+	cellH  float64
+
+	// cellStart/rows is a CSR layout: cell c owns sample rows
+	// rows[cellStart[c]:cellStart[c+1]], each an index into the
+	// snapshot's columns.
+	cellStart []int32
+	rows      []int32
+	// presence holds one bitset of NumObjects bits per cell
+	// (words uint64 words each): bit o set iff object ordinal o has a
+	// sample in the cell.
+	words    int
+	presence []uint64
+
+	minT, maxT int64
+}
+
+// Build constructs the grid for a snapshot. An empty snapshot yields a
+// grid that answers every query with zero.
+func Build(cols *moft.Columns, cfg Config) *Grid {
+	g := &Grid{cols: cols, extent: cols.BBox()}
+	n := cols.Len()
+	if n == 0 || g.extent.IsEmpty() {
+		g.nx, g.ny = 1, 1
+		g.cellW, g.cellH = 1, 1
+		g.cellStart = make([]int32, 2)
+		return g
+	}
+	g.nx, g.ny = cfg.NX, cfg.NY
+	if g.nx <= 0 || g.ny <= 0 {
+		side := int(math.Sqrt(float64(n) / targetPerCell))
+		if side < 8 {
+			side = 8
+		}
+		if side > 256 {
+			side = 256
+		}
+		g.nx, g.ny = side, side
+	}
+	// A degenerate (zero-width/height) extent still gets positive cell
+	// sizes so cellOf never divides by zero; clamping does the rest.
+	if g.cellW = g.extent.Width() / float64(g.nx); g.cellW <= 0 {
+		g.cellW = 1
+	}
+	if g.cellH = g.extent.Height() / float64(g.ny); g.cellH <= 0 {
+		g.cellH = 1
+	}
+
+	cells := g.nx * g.ny
+	g.minT, g.maxT = cols.T[0], cols.T[0]
+	// Pass 1: per-cell counts (shifted by one so the prefix sum turns
+	// counts into start offsets in place).
+	g.cellStart = make([]int32, cells+1)
+	cellOfRow := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := int32(g.cellOf(cols.X[i], cols.Y[i]))
+		cellOfRow[i] = c
+		g.cellStart[c+1]++
+		if cols.T[i] < g.minT {
+			g.minT = cols.T[i]
+		}
+		if cols.T[i] > g.maxT {
+			g.maxT = cols.T[i]
+		}
+	}
+	for c := 0; c < cells; c++ {
+		g.cellStart[c+1] += g.cellStart[c]
+	}
+	// Pass 2: fill rows (cursor per cell) and the presence bitsets.
+	g.words = (cols.NumObjects() + 63) / 64
+	g.presence = make([]uint64, cells*g.words)
+	g.rows = make([]int32, n)
+	cursor := make([]int32, cells)
+	copy(cursor, g.cellStart[:cells])
+	for i := 0; i < n; i++ {
+		c := cellOfRow[i]
+		g.rows[cursor[c]] = int32(i)
+		cursor[c]++
+		o := cols.Obj[i]
+		g.presence[int(c)*g.words+int(o>>6)] |= 1 << uint(o&63)
+	}
+	return g
+}
+
+// Cells returns the total cell count.
+func (g *Grid) Cells() int { return g.nx * g.ny }
+
+// Dims returns the per-axis cell counts.
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// cellOf maps a point inside the extent to its cell index; points on
+// the max edges map to the last cell.
+func (g *Grid) cellOf(x, y float64) int {
+	cx := int((x - g.extent.MinX) / g.cellW)
+	cy := int((y - g.extent.MinY) / g.cellH)
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cy*g.nx + cx
+}
+
+// cellBox returns the rectangle of cell c.
+func (g *Grid) cellBox(c int) geom.BBox {
+	cx, cy := c%g.nx, c/g.nx
+	return geom.BBox{
+		MinX: g.extent.MinX + float64(cx)*g.cellW,
+		MinY: g.extent.MinY + float64(cy)*g.cellH,
+		MaxX: g.extent.MinX + float64(cx+1)*g.cellW,
+		MaxY: g.extent.MinY + float64(cy+1)*g.cellH,
+	}
+}
+
+// cellRange clamps a bounding box to the grid's cell index ranges,
+// with ok=false when the box misses the extent entirely.
+func (g *Grid) cellRange(b geom.BBox) (x0, x1, y0, y1 int, ok bool) {
+	if !b.Intersects(g.extent) {
+		return 0, 0, 0, 0, false
+	}
+	x0 = int((b.MinX - g.extent.MinX) / g.cellW)
+	x1 = int((b.MaxX - g.extent.MinX) / g.cellW)
+	y0 = int((b.MinY - g.extent.MinY) / g.cellH)
+	y1 = int((b.MaxY - g.extent.MinY) / g.cellH)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	return clamp(x0, g.nx-1), clamp(x1, g.nx-1), clamp(y0, g.ny-1), clamp(y1, g.ny-1), true
+}
+
+// Cover is a polygon's exact cell classification (exterior cells
+// omitted).
+type Cover struct {
+	Interior []int32 // cells fully inside the closed polygon
+	Boundary []int32 // cells met by the polygon boundary (need refinement)
+}
+
+// Cover classifies the cells overlapping pg's bounding box. A cell is
+// Boundary iff some polygon boundary segment intersects its closed
+// rectangle; the remaining cells are uniformly inside or outside and
+// classified by one center point-in-polygon test.
+func (g *Grid) Cover(pg geom.Polygon) Cover {
+	var cv Cover
+	x0, x1, y0, y1, ok := g.cellRange(pg.BBox())
+	if !ok {
+		return cv
+	}
+	marked := make([]bool, g.nx*g.ny)
+	for _, r := range pg.Rings() {
+		for i := 0; i < r.NumVertices(); i++ {
+			seg := r.Segment(i)
+			sx0, sx1, sy0, sy1, ok := g.cellRange(seg.BBox())
+			if !ok {
+				continue
+			}
+			for cy := sy0; cy <= sy1; cy++ {
+				for cx := sx0; cx <= sx1; cx++ {
+					c := cy*g.nx + cx
+					if !marked[c] && segIntersectsRect(seg, g.cellBox(c)) {
+						marked[c] = true
+					}
+				}
+			}
+		}
+	}
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			c := cy*g.nx + cx
+			if marked[c] {
+				cv.Boundary = append(cv.Boundary, int32(c))
+			} else if pg.ContainsPoint(g.cellBox(c).Center()) {
+				cv.Interior = append(cv.Interior, int32(c))
+			}
+		}
+	}
+	return cv
+}
+
+// segIntersectsRect reports whether the segment meets the closed
+// rectangle: an endpoint inside, or a crossing with one of its edges.
+func segIntersectsRect(s geom.Segment, b geom.BBox) bool {
+	if !b.Intersects(s.BBox()) {
+		return false
+	}
+	if b.ContainsPoint(s.A) || b.ContainsPoint(s.B) {
+		return true
+	}
+	c := b.Corners()
+	for i := 0; i < 4; i++ {
+		if s.Intersects(geom.Seg(c[i], c[(i+1)%4])) {
+			return true
+		}
+	}
+	return false
+}
+
+// metricsOrNop makes a nil bundle safe: the zero Metrics has nil
+// instruments, which are no-ops.
+func metricsOrNop(met *obs.Metrics) *obs.Metrics {
+	if met == nil {
+		return &obs.Metrics{}
+	}
+	return met
+}
+
+// timeVacuous reports whether [lo, hi] covers every sample instant, so
+// interior cells can be answered from pre-aggregates without touching
+// sample rows.
+func (g *Grid) timeVacuous(lo, hi int64) bool {
+	return len(g.rows) > 0 && lo <= g.minT && hi >= g.maxT
+}
+
+// CountSamples returns the number of samples positioned inside the
+// closed polygon with instant in [lo, hi] — exactly what a full scan
+// with per-sample ContainsPoint would count.
+func (g *Grid) CountSamples(pg geom.Polygon, lo, hi int64, met *obs.Metrics) int {
+	met = metricsOrNop(met)
+	cv := g.Cover(pg)
+	met.AggGridQueries.Inc()
+	met.AggGridInteriorCells.Add(int64(len(cv.Interior)))
+	met.AggGridBoundaryCells.Add(int64(len(cv.Boundary)))
+	cols, total := g.cols, 0
+	if g.timeVacuous(lo, hi) {
+		for _, c := range cv.Interior {
+			total += int(g.cellStart[c+1] - g.cellStart[c])
+		}
+		met.AggGridInteriorSamples.Add(int64(total))
+	} else {
+		accepted := 0
+		for _, c := range cv.Interior {
+			for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+				if t := cols.T[row]; t >= lo && t <= hi {
+					accepted++
+				}
+			}
+		}
+		met.AggGridInteriorSamples.Add(int64(accepted))
+		total += accepted
+	}
+	refined := int64(0)
+	for _, c := range cv.Boundary {
+		for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+			if t := cols.T[row]; t < lo || t > hi {
+				continue
+			}
+			refined++
+			if pg.ContainsPoint(geom.Pt(cols.X[row], cols.Y[row])) {
+				total++
+			}
+		}
+	}
+	met.AggGridRefinedSamples.Add(refined)
+	return total
+}
+
+// ObjectsSampled returns, in ascending order, the distinct objects
+// with at least one sample inside the closed polygon during [lo, hi].
+// The result is nil when no object qualifies.
+func (g *Grid) ObjectsSampled(pg geom.Polygon, lo, hi int64, met *obs.Metrics) []moft.Oid {
+	met = metricsOrNop(met)
+	cv := g.Cover(pg)
+	met.AggGridQueries.Inc()
+	met.AggGridInteriorCells.Add(int64(len(cv.Interior)))
+	met.AggGridBoundaryCells.Add(int64(len(cv.Boundary)))
+	if g.words == 0 {
+		return nil
+	}
+	cols := g.cols
+	set := make([]uint64, g.words)
+	interior := int64(0)
+	if g.timeVacuous(lo, hi) {
+		for _, c := range cv.Interior {
+			blk := g.presence[int(c)*g.words : (int(c)+1)*g.words]
+			for w, bitsw := range blk {
+				set[w] |= bitsw
+			}
+			interior += int64(g.cellStart[c+1] - g.cellStart[c])
+		}
+	} else {
+		for _, c := range cv.Interior {
+			for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+				if t := cols.T[row]; t >= lo && t <= hi {
+					o := cols.Obj[row]
+					set[o>>6] |= 1 << uint(o&63)
+					interior++
+				}
+			}
+		}
+	}
+	met.AggGridInteriorSamples.Add(interior)
+	refined := int64(0)
+	for _, c := range cv.Boundary {
+		for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+			if t := cols.T[row]; t < lo || t > hi {
+				continue
+			}
+			o := cols.Obj[row]
+			if set[o>>6]&(1<<uint(o&63)) != 0 {
+				continue // already in; skip the exact test
+			}
+			refined++
+			if pg.ContainsPoint(geom.Pt(cols.X[row], cols.Y[row])) {
+				set[o>>6] |= 1 << uint(o&63)
+			}
+		}
+	}
+	met.AggGridRefinedSamples.Add(refined)
+	var out []moft.Oid
+	for w, bitsw := range set {
+		for bitsw != 0 {
+			o := w*64 + bits.TrailingZeros64(bitsw)
+			out = append(out, cols.Oids[o])
+			bitsw &= bitsw - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package agggrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/timedim"
+)
+
+// randomTable builds a table with objects wandering over [0,100]².
+func randomTable(t *testing.T, objects, samples int, seed int64) *moft.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := moft.New("FMtest")
+	for o := 0; o < objects; o++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		for s := 0; s < samples; s++ {
+			tbl.Add(moft.Oid(o+1), timedim.Instant(s*60), x, y)
+			x += rng.Float64()*8 - 4
+			y += rng.Float64()*8 - 4
+			if x < 0 {
+				x = 0
+			}
+			if x > 100 {
+				x = 100
+			}
+			if y < 0 {
+				y = 0
+			}
+			if y > 100 {
+				y = 100
+			}
+		}
+	}
+	return tbl
+}
+
+func naiveCount(cols *moft.Columns, pg geom.Polygon, lo, hi int64) int {
+	n := 0
+	for i := 0; i < cols.Len(); i++ {
+		if cols.T[i] < lo || cols.T[i] > hi {
+			continue
+		}
+		if pg.ContainsPoint(geom.Pt(cols.X[i], cols.Y[i])) {
+			n++
+		}
+	}
+	return n
+}
+
+func naiveObjects(cols *moft.Columns, pg geom.Polygon, lo, hi int64) []moft.Oid {
+	var out []moft.Oid
+	for i := 0; i < cols.NumObjects(); i++ {
+		rlo, rhi := cols.ObjectRange(i)
+		for r := rlo; r < rhi; r++ {
+			if cols.T[r] < lo || cols.T[r] > hi {
+				continue
+			}
+			if pg.ContainsPoint(geom.Pt(cols.X[r], cols.Y[r])) {
+				out = append(out, cols.Oids[i])
+				break
+			}
+		}
+	}
+	return out
+}
+
+func eqOids(a, b []moft.Oid) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// testPolygons exercises convex, concave and holed shapes plus
+// degenerate coverage cases (tiny polygon inside one cell, polygon
+// covering the whole extent, polygon outside the extent).
+func testPolygons() map[string]geom.Polygon {
+	return map[string]geom.Polygon{
+		"convex": {Shell: geom.Ring{
+			geom.Pt(20, 20), geom.Pt(70, 25), geom.Pt(80, 60), geom.Pt(45, 85), geom.Pt(15, 55),
+		}},
+		"concave": {Shell: geom.Ring{
+			geom.Pt(10, 10), geom.Pt(90, 10), geom.Pt(90, 90), geom.Pt(50, 30), geom.Pt(10, 90),
+		}},
+		"holed": {
+			Shell: geom.Ring{geom.Pt(10, 10), geom.Pt(90, 10), geom.Pt(90, 90), geom.Pt(10, 90)},
+			Holes: []geom.Ring{{geom.Pt(40, 40), geom.Pt(60, 40), geom.Pt(60, 60), geom.Pt(40, 60)}},
+		},
+		"tiny":    {Shell: geom.Ring{geom.Pt(50, 50), geom.Pt(50.5, 50), geom.Pt(50.5, 50.5), geom.Pt(50, 50.5)}},
+		"all":     {Shell: geom.Ring{geom.Pt(-10, -10), geom.Pt(110, -10), geom.Pt(110, 110), geom.Pt(-10, 110)}},
+		"outside": {Shell: geom.Ring{geom.Pt(200, 200), geom.Pt(210, 200), geom.Pt(210, 210), geom.Pt(200, 210)}},
+	}
+}
+
+// TestExactIdentity is the package-level identity gate: for every
+// polygon shape and time window, the grid answers match a naive full
+// scan exactly.
+func TestExactIdentity(t *testing.T) {
+	tbl := randomTable(t, 60, 50, 1)
+	cols := tbl.Columns()
+	g := Build(cols, Config{})
+	lo, hi, _ := cols.TimeSpan()
+	windows := map[string][2]int64{
+		"vacuous": {int64(lo), int64(hi)},
+		"partial": {int64(lo) + 300, int64(hi) - 600},
+		"instant": {int64(lo) + 600, int64(lo) + 600},
+		"empty":   {int64(hi) + 100, int64(hi) + 200},
+	}
+	for pname, pg := range testPolygons() {
+		for wname, w := range windows {
+			wantN := naiveCount(cols, pg, w[0], w[1])
+			if gotN := g.CountSamples(pg, w[0], w[1], nil); gotN != wantN {
+				t.Errorf("%s/%s: CountSamples = %d, naive = %d", pname, wname, gotN, wantN)
+			}
+			wantO := naiveObjects(cols, pg, w[0], w[1])
+			if gotO := g.ObjectsSampled(pg, w[0], w[1], nil); !eqOids(gotO, wantO) {
+				t.Errorf("%s/%s: ObjectsSampled = %v, naive = %v", pname, wname, gotO, wantO)
+			}
+		}
+	}
+}
+
+// TestExactIdentityForcedGrids re-runs the identity gate across grid
+// resolutions, including degenerate 1×1 and asymmetric grids.
+func TestExactIdentityForcedGrids(t *testing.T) {
+	tbl := randomTable(t, 20, 30, 2)
+	cols := tbl.Columns()
+	pg := testPolygons()["concave"]
+	lo, hi, _ := cols.TimeSpan()
+	want := naiveCount(cols, pg, int64(lo), int64(hi))
+	for _, cfg := range []Config{{NX: 1, NY: 1}, {NX: 2, NY: 7}, {NX: 64, NY: 64}, {NX: 3, NY: 1}} {
+		g := Build(cols, cfg)
+		if got := g.CountSamples(pg, int64(lo), int64(hi), nil); got != want {
+			t.Errorf("grid %dx%d: CountSamples = %d, want %d", cfg.NX, cfg.NY, got, want)
+		}
+	}
+}
+
+// TestInteriorCellsUsed asserts the acceleration actually engages: on
+// a large polygon most covered cells are interior and most samples are
+// accepted without a point-in-polygon test.
+func TestInteriorCellsUsed(t *testing.T) {
+	tbl := randomTable(t, 60, 50, 3)
+	cols := tbl.Columns()
+	g := Build(cols, Config{NX: 32, NY: 32})
+	lo, hi, _ := cols.TimeSpan()
+	met := obs.NewMetrics(obs.NewRegistry())
+	pg := testPolygons()["convex"]
+	g.CountSamples(pg, int64(lo), int64(hi), met)
+	interior := met.AggGridInteriorCells.Value()
+	boundary := met.AggGridBoundaryCells.Value()
+	if interior == 0 {
+		t.Fatalf("no interior cells (boundary=%d); acceleration never engaged", boundary)
+	}
+	if met.AggGridInteriorSamples.Value() <= met.AggGridRefinedSamples.Value() {
+		t.Errorf("interior samples %d <= refined samples %d; expected pre-aggregation to dominate",
+			met.AggGridInteriorSamples.Value(), met.AggGridRefinedSamples.Value())
+	}
+	if met.AggGridQueries.Value() != 1 {
+		t.Errorf("queries counter = %d, want 1", met.AggGridQueries.Value())
+	}
+}
+
+// TestEmptyTable checks the degenerate grids.
+func TestEmptyTable(t *testing.T) {
+	tbl := moft.New("FMempty")
+	g := Build(tbl.Columns(), Config{})
+	pg := testPolygons()["all"]
+	if got := g.CountSamples(pg, 0, 100, nil); got != 0 {
+		t.Errorf("empty table CountSamples = %d", got)
+	}
+	if got := g.ObjectsSampled(pg, 0, 100, nil); got != nil {
+		t.Errorf("empty table ObjectsSampled = %v", got)
+	}
+
+	// Single point: degenerate (zero-area) extent.
+	tbl2 := moft.New("FMpoint")
+	tbl2.Add(1, 0, 5, 5)
+	g2 := Build(tbl2.Columns(), Config{})
+	sq := geom.Polygon{Shell: geom.Ring{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}}
+	if got := g2.CountSamples(sq, 0, 100, nil); got != 1 {
+		t.Errorf("point table CountSamples = %d, want 1", got)
+	}
+}
+
+// TestQueryAllocs is the allocation-regression gate for the
+// grid-accelerated path: per-query allocations must stay bounded by a
+// small constant (the cover slices and the bitset), never per-sample.
+func TestQueryAllocs(t *testing.T) {
+	tbl := randomTable(t, 100, 100, 4) // 10k samples
+	cols := tbl.Columns()
+	g := Build(cols, Config{})
+	pg := testPolygons()["convex"]
+	lo, hi, _ := cols.TimeSpan()
+	g.CountSamples(pg, int64(lo), int64(hi), nil) // warm
+
+	allocs := testing.AllocsPerRun(20, func() {
+		g.CountSamples(pg, int64(lo), int64(hi), nil)
+	})
+	if allocs > 32 {
+		t.Errorf("CountSamples allocates %.0f times per query; want <= 32 (per-sample allocation regression?)", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		g.ObjectsSampled(pg, int64(lo), int64(hi), nil)
+	})
+	if allocs > 40 {
+		t.Errorf("ObjectsSampled allocates %.0f times per query; want <= 40 (per-sample allocation regression?)", allocs)
+	}
+}

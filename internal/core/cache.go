@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"mogis/internal/agggrid"
 	"mogis/internal/geom"
 	"mogis/internal/moft"
 	"mogis/internal/obs"
@@ -27,10 +29,14 @@ import (
 //  3. the interval cache — memoized per-(table, polygon)
 //     InsidePolygonIntervals results (the GeoBlocks-style
 //     query-result cache), keyed by an exact fingerprint of the
-//     polygon's coordinates.
+//     polygon's coordinates and evicted least-recently-used at the
+//     configured cap,
+//  4. the pre-aggregated sample grid (internal/agggrid) — built
+//     independently of the LIT build (sample-only queries never pay
+//     for interpolation) from the table's columnar snapshot.
 //
 // Invalidation rules: InvalidateTrajectories(table) and ResetCache
-// drop all three for the affected tables. A query racing an
+// drop all four for the affected tables. A query racing an
 // invalidation may still be answered from the generation it started
 // on; the next query sees fresh data.
 
@@ -45,7 +51,9 @@ const defaultIntervalCacheCap = 256
 
 // tableCache is the per-table cache unit. lits, oids and tree are
 // written once inside the sync.Once build and read-only afterwards;
-// the interval cache mutates under imu.
+// the interval cache mutates under imu; the sample grid builds
+// single-flight under its own Once so sample-only queries never
+// trigger trajectory interpolation.
 type tableCache struct {
 	once  sync.Once
 	built chan struct{} // closed when the build finished (ok or not)
@@ -55,9 +63,21 @@ type tableCache struct {
 	tree *sindex.RTree
 	err  error
 
+	gridOnce sync.Once
+	grid     *agggrid.Grid
+	gridErr  error
+
 	imu       sync.Mutex
 	dead      bool // set on invalidation; stops new interval-cache inserts
-	intervals map[string]map[moft.Oid][]traj.TimeInterval
+	intervals map[string]*list.Element
+	ivOrder   list.List // LRU order: front oldest, back most recent
+}
+
+// intervalEntry is one memoized (polygon → per-object intervals) set,
+// stored as the value of its LRU list element.
+type intervalEntry struct {
+	key string
+	m   map[moft.Oid][]traj.TimeInterval
 }
 
 // isBuilt reports whether the build completed (successfully or not)
@@ -82,16 +102,17 @@ func (tc *tableCache) build(e *Engine, table string) {
 	}
 	sp := e.ctx.Tracer().Start("interpolate")
 	defer sp.End()
-	samples := int64(0)
-	oids := tbl.Objects()
+	// Interpolate from the columnar snapshot: per-object samples come
+	// from contiguous ranges of the flat T/X/Y arrays instead of
+	// walking Tuple structs.
+	cols := tbl.Columns()
+	oids := make([]moft.Oid, len(cols.Oids))
+	copy(oids, cols.Oids)
 	lits := make(map[moft.Oid]*traj.LIT, len(oids))
 	entries := make([]sindex.Entry, 0, len(oids))
-	for _, oid := range oids {
-		tps := tbl.ObjectTuples(oid)
-		s := make(traj.Sample, len(tps))
-		for i, tp := range tps {
-			s[i] = traj.TimePoint{T: tp.T, P: tp.Point()}
-		}
+	for i, oid := range oids {
+		lo, hi := cols.ObjectRange(i)
+		s := traj.SampleFromColumns(cols.T[lo:hi], cols.X[lo:hi], cols.Y[lo:hi])
 		l, err := traj.NewLIT(s)
 		if err != nil {
 			tc.err = fmt.Errorf("core: object O%d: %w", oid, err)
@@ -99,13 +120,34 @@ func (tc *tableCache) build(e *Engine, table string) {
 		}
 		lits[oid] = l
 		entries = append(entries, sindex.Entry{Box: sindex.Box(l.BBox()), ID: int64(oid)})
-		samples += int64(len(tps))
 	}
 	sp.SetCount("objects", int64(len(lits)))
-	sp.SetCount("samples", samples)
+	sp.SetCount("samples", int64(cols.Len()))
 	tc.lits = lits
 	tc.oids = oids
 	tc.tree = sindex.BulkLoad(entries, sindex.DefaultFanout)
+}
+
+// aggGrid returns the table's pre-aggregated sample grid, building it
+// single-flight from the columnar snapshot on first use. Independent
+// of the LIT build: sample-only queries pay only for the grid.
+func (tc *tableCache) aggGrid(e *Engine, table string) (*agggrid.Grid, error) {
+	tc.gridOnce.Do(func() {
+		tbl, err := e.ctx.Table(table)
+		if err != nil {
+			tc.gridErr = err
+			return
+		}
+		sp := e.ctx.Tracer().Start("agggrid.build")
+		defer sp.End()
+		cols := tbl.Columns()
+		n := int(e.gridCells.Load())
+		tc.grid = agggrid.Build(cols, agggrid.Config{NX: n, NY: n})
+		sp.SetCount("cells", int64(tc.grid.Cells()))
+		sp.SetCount("samples", int64(cols.Len()))
+		e.metrics().AggGridBuilds.Inc()
+	})
+	return tc.grid, tc.gridErr
 }
 
 // candidates returns, in sorted oid order, the objects whose
@@ -130,6 +172,7 @@ func (tc *tableCache) drainIntervals(met *obs.Metrics) {
 	n := len(tc.intervals)
 	tc.dead = true
 	tc.intervals = nil
+	tc.ivOrder.Init()
 	tc.imu.Unlock()
 	met.IntervalCacheEntries.Add(-int64(n))
 }
@@ -176,12 +219,14 @@ func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid]
 	if cacheCap > 0 {
 		key = polygonKey(pg)
 		tc.imu.Lock()
-		m, ok := tc.intervals[key]
-		tc.imu.Unlock()
-		if ok {
+		if el, ok := tc.intervals[key]; ok {
+			tc.ivOrder.MoveToBack(el) // most recently used
+			m := el.Value.(*intervalEntry).m
+			tc.imu.Unlock()
 			met.IntervalCacheHits.Inc()
 			return m
 		}
+		tc.imu.Unlock()
 		met.IntervalCacheMisses.Inc()
 	}
 
@@ -208,16 +253,19 @@ func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid]
 		tc.imu.Lock()
 		if !tc.dead {
 			if tc.intervals == nil {
-				tc.intervals = make(map[string]map[moft.Oid][]traj.TimeInterval)
-			}
-			if len(tc.intervals) >= cacheCap {
-				// Whole-set eviction: simple, and correct for the
-				// repeated-polygon access pattern the cache targets.
-				met.IntervalCacheEntries.Add(-int64(len(tc.intervals)))
-				tc.intervals = make(map[string]map[moft.Oid][]traj.TimeInterval)
+				tc.intervals = make(map[string]*list.Element)
 			}
 			if _, dup := tc.intervals[key]; !dup {
-				tc.intervals[key] = out
+				// Evict least-recently-used entries until the new one
+				// fits within the cap.
+				for len(tc.intervals) >= cacheCap {
+					oldest := tc.ivOrder.Front()
+					delete(tc.intervals, oldest.Value.(*intervalEntry).key)
+					tc.ivOrder.Remove(oldest)
+					met.IntervalCacheEvictions.Inc()
+					met.IntervalCacheEntries.Add(-1)
+				}
+				tc.intervals[key] = tc.ivOrder.PushBack(&intervalEntry{key: key, m: out})
 				met.IntervalCacheEntries.Add(1)
 			}
 		}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mogis/internal/agggrid"
 	"mogis/internal/fo"
 	"mogis/internal/geom"
 	"mogis/internal/gis"
@@ -59,6 +60,12 @@ type Engine struct {
 	// intervalCap is the interval-cache polygon cap (0 → default,
 	// negative → caching disabled).
 	intervalCap atomic.Int32
+	// gridCells configures the pre-aggregated sample grid (0 → default
+	// auto-sizing, n > 0 → n×n cells, negative → grid disabled).
+	gridCells atomic.Int32
+	// gridVerify cross-checks every grid-accelerated result against
+	// the slow path (the exact-identity gate).
+	gridVerify atomic.Bool
 }
 
 // New creates an engine over the model context.
@@ -119,6 +126,56 @@ func (e *Engine) intervalCacheCap() int {
 	default:
 		return int(c)
 	}
+}
+
+// SetAggGrid configures the pre-aggregated sample grid that
+// accelerates polygon aggregates over raw samples: n < 0 disables the
+// grid (queries take the scan path), 0 restores the default
+// auto-sizing (~64 samples per cell), n > 0 forces an n×n grid. The
+// setting applies to grids built afterwards; call ResetCache or
+// InvalidateTrajectories to rebuild an existing grid.
+func (e *Engine) SetAggGrid(n int) {
+	if n < 0 {
+		n = -1
+	}
+	e.gridCells.Store(int32(n))
+}
+
+// gridEnabled reports whether sample queries may use the grid.
+func (e *Engine) gridEnabled() bool { return e.gridCells.Load() >= 0 }
+
+// SetGridVerify toggles verify mode: every grid-accelerated result is
+// recomputed on the slow path and compared; a divergence increments
+// AggGridMismatches and the slow result wins. For tests and gates.
+func (e *Engine) SetGridVerify(on bool) { e.gridVerify.Store(on) }
+
+// sampleGrid returns the table's pre-aggregated grid, creating the
+// cache entry if needed. Unlike table(), it never triggers the LIT
+// build — sample-only queries don't pay for interpolation.
+func (e *Engine) sampleGrid(table string) (*agggrid.Grid, error) {
+	e.mu.RLock()
+	tc := e.litCache[table]
+	e.mu.RUnlock()
+	if tc == nil {
+		e.mu.Lock()
+		if tc = e.litCache[table]; tc == nil {
+			tc = &tableCache{built: make(chan struct{})}
+			e.litCache[table] = tc
+		}
+		e.mu.Unlock()
+	}
+	g, err := tc.aggGrid(e, table)
+	if err != nil {
+		// Drop the failed entry (unknown table) so a later call can
+		// retry after the table appears.
+		e.mu.Lock()
+		if e.litCache[table] == tc {
+			delete(e.litCache, table)
+		}
+		e.mu.Unlock()
+		return nil, err
+	}
+	return g, nil
 }
 
 // --- Type 1: spatial aggregation ------------------------------------
@@ -240,24 +297,70 @@ func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 
 // --- Type 6: the trajectory as a static object at an instant ---------
 
-// ObjectsSampledAt returns the objects with a sample exactly at
-// instant t whose position lies in pg (the sample-level semantics of
-// query Q4).
+// ObjectsSampledAt returns the distinct objects with a sample exactly
+// at instant t whose position lies in pg (the sample-level semantics
+// of query Q4). Grid-accelerated when the pre-aggregated sample grid
+// is enabled (the default); results are identical either way.
 func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
 	e.metrics().Query(6).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	var out []moft.Oid
-	tbl.ScanInterval(timedim.Interval{Lo: t, Hi: t}, func(tp moft.Tuple) bool {
-		if pg.ContainsPoint(tp.Point()) {
-			out = append(out, tp.Oid)
+	if e.gridEnabled() {
+		g, err := e.sampleGrid(table)
+		if err != nil {
+			return nil, err
 		}
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+		out := g.ObjectsSampled(pg, int64(t), int64(t), e.metrics())
+		if e.gridVerify.Load() {
+			out = e.checkOids(out, e.objectsSampledAtScan(tbl, t, pg))
+		}
+		return out, nil
+	}
+	return e.objectsSampledAtScan(tbl, t, pg), nil
+}
+
+// objectsSampledAtScan is the unaccelerated ObjectsSampledAt: a
+// columnar scan with per-object binary search on the instant.
+func (e *Engine) objectsSampledAtScan(tbl *moft.Table, t timedim.Instant, pg geom.Polygon) []moft.Oid {
+	cols := tbl.Columns()
+	tt := int64(t)
+	var out []moft.Oid
+	scanned := int64(0)
+	for i := 0; i < cols.NumObjects(); i++ {
+		lo, hi := cols.ObjectRange(i)
+		ts := cols.T[lo:hi]
+		j := sort.Search(len(ts), func(k int) bool { return ts[k] >= tt })
+		for ; j < len(ts) && ts[j] == tt; j++ {
+			scanned++
+			if pg.ContainsPoint(geom.Pt(cols.X[lo+j], cols.Y[lo+j])) {
+				out = append(out, cols.Oids[i])
+				break
+			}
+		}
+	}
+	e.metrics().MOFTTuplesScanned.Add(scanned)
+	return out
+}
+
+// checkOids is the verify-mode identity gate: on any divergence the
+// mismatch counter fires and the slow result wins.
+func (e *Engine) checkOids(fast, slow []moft.Oid) []moft.Oid {
+	if len(fast) == len(slow) {
+		same := true
+		for i := range fast {
+			if fast[i] != slow[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return fast
+		}
+	}
+	e.metrics().AggGridMismatches.Inc()
+	return slow
 }
 
 // ObjectsInterpolatedAt returns the objects whose interpolated
@@ -436,25 +539,100 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 // ObjectsSampledInside returns the objects with at least one raw
 // sample in pg during iv (the sample-only counterpart of
 // ObjectsPassingThrough; the two differ exactly on objects like O6).
+// Grid-accelerated when the pre-aggregated sample grid is enabled
+// (the default); results are identical either way.
 func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
 	e.metrics().Query(7).Inc()
 	tbl, err := e.ctx.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	seen := map[moft.Oid]bool{}
-	tbl.ScanInterval(iv, func(tp moft.Tuple) bool {
-		if !seen[tp.Oid] && pg.ContainsPoint(tp.Point()) {
-			seen[tp.Oid] = true
+	if e.gridEnabled() {
+		g, err := e.sampleGrid(table)
+		if err != nil {
+			return nil, err
 		}
-		return true
-	})
-	out := make([]moft.Oid, 0, len(seen))
-	for oid := range seen {
-		out = append(out, oid)
+		out := g.ObjectsSampled(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		if e.gridVerify.Load() {
+			out = e.checkOids(out, e.objectsSampledInsideScan(tbl, pg, iv))
+		}
+		if out == nil {
+			out = []moft.Oid{}
+		}
+		return out, nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return e.objectsSampledInsideScan(tbl, pg, iv), nil
+}
+
+// objectsSampledInsideScan is the unaccelerated ObjectsSampledInside:
+// one pass over the columnar arrays, short-circuiting each object at
+// its first in-window in-polygon sample.
+func (e *Engine) objectsSampledInsideScan(tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) []moft.Oid {
+	cols := tbl.Columns()
+	lo, hi := int64(iv.Lo), int64(iv.Hi)
+	out := make([]moft.Oid, 0)
+	scanned := int64(0)
+	for i := 0; i < cols.NumObjects(); i++ {
+		rlo, rhi := cols.ObjectRange(i)
+		for r := rlo; r < rhi; r++ {
+			if cols.T[r] < lo || cols.T[r] > hi {
+				continue
+			}
+			scanned++
+			if pg.ContainsPoint(geom.Pt(cols.X[r], cols.Y[r])) {
+				out = append(out, cols.Oids[i])
+				break
+			}
+		}
+	}
+	e.metrics().MOFTTuplesScanned.Add(scanned)
+	return out
+}
+
+// CountSamplesInside returns the number of MOFT samples positioned
+// inside pg during iv — the polygon aggregate behind the motivating
+// query (Remark 1: bus samples in low-income neighborhoods per hour).
+// Grid-accelerated when the pre-aggregated sample grid is enabled
+// (the default); results are identical either way.
+func (e *Engine) CountSamplesInside(table string, pg geom.Polygon, iv timedim.Interval) (int, error) {
+	e.metrics().Query(4).Inc()
+	tbl, err := e.ctx.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if e.gridEnabled() {
+		g, err := e.sampleGrid(table)
+		if err != nil {
+			return 0, err
+		}
+		n := g.CountSamples(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		if e.gridVerify.Load() {
+			if slow := e.countSamplesScan(tbl, pg, iv); slow != n {
+				e.metrics().AggGridMismatches.Inc()
+				return slow, nil
+			}
+		}
+		return n, nil
+	}
+	return e.countSamplesScan(tbl, pg, iv), nil
+}
+
+// countSamplesScan is the unaccelerated CountSamplesInside: a full
+// columnar scan with a per-sample point-in-polygon test.
+func (e *Engine) countSamplesScan(tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) int {
+	cols := tbl.Columns()
+	lo, hi := int64(iv.Lo), int64(iv.Hi)
+	n := 0
+	for r := 0; r < cols.Len(); r++ {
+		if cols.T[r] < lo || cols.T[r] > hi {
+			continue
+		}
+		if pg.ContainsPoint(geom.Pt(cols.X[r], cols.Y[r])) {
+			n++
+		}
+	}
+	e.metrics().MOFTTuplesScanned.Add(int64(cols.Len()))
+	return n
 }
 
 // clampTotal intersects the intervals with the query window [lo, hi]

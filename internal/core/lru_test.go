@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"testing"
+
+	"mogis/internal/obs"
+	"mogis/internal/scenario"
+	"mogis/internal/timedim"
+)
+
+// TestIntervalCacheLRUEviction drives the interval cache through its
+// SetIntervalCacheCap boundary: at the cap the least-recently-used
+// polygon is evicted (a recently hit entry survives), the entries
+// gauge tracks the live set, and the eviction counter fires.
+func TestIntervalCacheLRUEviction(t *testing.T) {
+	s := sc(t)
+	met := obs.NewMetrics(obs.NewRegistry())
+	s.Engine.SetMetrics(met)
+	s.Engine.SetIntervalCacheCap(2)
+	iv := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+
+	meir, _ := s.Ln.Polygon(scenario.PgMeir)
+	dam, _ := s.Ln.Polygon(scenario.PgDam)
+	zuid, _ := s.Ln.Polygon(scenario.PgZuid)
+
+	q := func(pgName string) {
+		t.Helper()
+		var pg = meir
+		switch pgName {
+		case "dam":
+			pg = dam
+		case "zuid":
+			pg = zuid
+		}
+		if _, err := s.Engine.TimeSpentInside("FMbus", pg, iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q("meir") // miss → insert; LRU: [meir]
+	q("dam")  // miss → insert; LRU: [meir, dam]
+	if g := met.IntervalCacheEntries.Value(); g != 2 {
+		t.Fatalf("entries gauge = %d after two inserts, want 2", g)
+	}
+	q("meir") // hit → meir becomes most recent; LRU: [dam, meir]
+	q("zuid") // miss at cap → evict dam (oldest); LRU: [meir, zuid]
+	if g := met.IntervalCacheEntries.Value(); g != 2 {
+		t.Errorf("entries gauge = %d after eviction, want 2", g)
+	}
+	if ev := met.IntervalCacheEvictions.Value(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	q("meir") // must still be cached: it was recently used
+	if h := met.IntervalCacheHits.Value(); h != 2 {
+		t.Errorf("hits = %d, want 2 (meir touched twice after insert)", h)
+	}
+	q("dam") // was evicted → miss again
+	if m := met.IntervalCacheMisses.Value(); m != 4 {
+		t.Errorf("misses = %d, want 4 (meir, dam, zuid, dam-again)", m)
+	}
+	if ev := met.IntervalCacheEvictions.Value(); ev != 2 {
+		t.Errorf("evictions = %d, want 2 (zuid was oldest at the second overflow)", ev)
+	}
+	if g := met.IntervalCacheEntries.Value(); g != 2 {
+		t.Errorf("entries gauge = %d at end, want 2", g)
+	}
+}

@@ -1,0 +1,107 @@
+package moft
+
+import (
+	"mogis/internal/geom"
+	"mogis/internal/timedim"
+)
+
+// Columns is a struct-of-arrays snapshot of a Table: the (Oid, t)
+// sorted tuples decomposed into flat, parallel column slices. Hot
+// loops (grid builds, polygon-aggregate scans, trajectory
+// interpolation builds) stream T/X/Y sequentially instead of
+// pointer-chasing Tuple structs, which keeps them bound by memory
+// bandwidth rather than cache misses. A snapshot is immutable; the
+// owning Table rebuilds it lazily after mutations.
+type Columns struct {
+	// Oids lists the distinct object identifiers in ascending order;
+	// object i owns rows [Starts[i], Starts[i+1]).
+	Oids []Oid
+	// Starts has len(Oids)+1 entries delimiting per-object row ranges.
+	Starts []int32
+	// Obj holds, per row, the ordinal of its object in Oids, so
+	// row-order scans can attribute samples without a search.
+	Obj []int32
+	// T, X, Y are the per-row instant and coordinates, in (Oid, t)
+	// order.
+	T []int64
+	X []float64
+	Y []float64
+
+	box        geom.BBox
+	minT, maxT int64
+}
+
+// Len returns the number of rows (samples).
+func (c *Columns) Len() int { return len(c.T) }
+
+// NumObjects returns the number of distinct objects.
+func (c *Columns) NumObjects() int { return len(c.Oids) }
+
+// ObjectRange returns the row range [lo, hi) of the i-th object.
+func (c *Columns) ObjectRange(i int) (lo, hi int) {
+	return int(c.Starts[i]), int(c.Starts[i+1])
+}
+
+// BBox returns the spatial bounding box of all rows, computed once at
+// build time.
+func (c *Columns) BBox() geom.BBox { return c.box }
+
+// TimeSpan returns the minimum and maximum instants present, with
+// ok=false for an empty snapshot.
+func (c *Columns) TimeSpan() (lo, hi timedim.Instant, ok bool) {
+	if len(c.T) == 0 {
+		return 0, 0, false
+	}
+	return timedim.Instant(c.minT), timedim.Instant(c.maxT), true
+}
+
+// Columns returns the columnar snapshot of the table, building it on
+// first use after any mutation. The snapshot is shared and must not
+// be mutated; concurrent readers are safe once loading has finished
+// (the build is double-checked behind the table's mutex, like the
+// lazy sort).
+func (t *Table) Columns() *Columns {
+	if c := t.cols.Load(); c != nil {
+		return c
+	}
+	t.ensureSorted()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.cols.Load(); c != nil {
+		return c
+	}
+	c := buildColumns(t.tuples)
+	t.cols.Store(c)
+	return c
+}
+
+// buildColumns decomposes (Oid, t)-sorted tuples into column slices.
+func buildColumns(tuples []Tuple) *Columns {
+	n := len(tuples)
+	c := &Columns{
+		Obj: make([]int32, n),
+		T:   make([]int64, n),
+		X:   make([]float64, n),
+		Y:   make([]float64, n),
+		box: geom.EmptyBBox(),
+	}
+	for i, tp := range tuples {
+		if i == 0 || tp.Oid != tuples[i-1].Oid {
+			c.Oids = append(c.Oids, tp.Oid)
+			c.Starts = append(c.Starts, int32(i))
+		}
+		c.Obj[i] = int32(len(c.Oids) - 1)
+		c.T[i] = int64(tp.T)
+		c.X[i] = tp.X
+		c.Y[i] = tp.Y
+		if i == 0 || c.T[i] < c.minT {
+			c.minT = c.T[i]
+		}
+		if i == 0 || c.T[i] > c.maxT {
+			c.maxT = c.T[i]
+		}
+		c.box = c.box.ExtendPoint(geom.Pt(tp.X, tp.Y))
+	}
+	c.Starts = append(c.Starts, int32(n))
+	return c
+}

@@ -40,12 +40,14 @@ func (tp Tuple) Point() geom.Point { return geom.Pt(tp.X, tp.Y) }
 // the data.
 type Table struct {
 	name   string
-	mu     sync.Mutex // guards the lazy sort
+	mu     sync.Mutex // guards the lazy sort and columnar build
 	tuples []Tuple
 	sorted atomic.Bool
 	// objIndex maps each Oid to its [start, end) range in tuples;
 	// rebuilt lazily after sorting.
 	objIndex map[Oid][2]int
+	// cols is the lazily built columnar snapshot; cleared on mutation.
+	cols atomic.Pointer[Columns]
 }
 
 // New creates an empty MOFT with the given name (e.g. "FMbus").
@@ -65,12 +67,14 @@ func (t *Table) Len() int { return len(t.tuples) }
 func (t *Table) Add(oid Oid, ts timedim.Instant, x, y float64) {
 	t.tuples = append(t.tuples, Tuple{Oid: oid, T: ts, X: x, Y: y})
 	t.sorted.Store(false)
+	t.cols.Store(nil)
 }
 
 // AddTuple appends a prebuilt tuple.
 func (t *Table) AddTuple(tp Tuple) {
 	t.tuples = append(t.tuples, tp)
 	t.sorted.Store(false)
+	t.cols.Store(nil)
 }
 
 // ensureSorted sorts by (Oid, t) and rebuilds the per-object index.

@@ -40,9 +40,22 @@ type Metrics struct {
 
 	// GeoBlocks-style interval cache: memoized per-(table, polygon)
 	// InsidePolygonIntervals results.
-	IntervalCacheHits    *Counter
-	IntervalCacheMisses  *Counter
-	IntervalCacheEntries *Gauge // cached (table, polygon) entries
+	IntervalCacheHits      *Counter
+	IntervalCacheMisses    *Counter
+	IntervalCacheEvictions *Counter
+	IntervalCacheEntries   *Gauge // cached (table, polygon) entries
+
+	// GeoBlocks-style pre-aggregated sample grid (internal/agggrid):
+	// polygon aggregates answer fully-covered interior cells from
+	// per-cell pre-aggregates and refine only boundary cells with exact
+	// point-in-polygon tests.
+	AggGridBuilds          *Counter
+	AggGridQueries         *Counter
+	AggGridInteriorCells   *Counter
+	AggGridBoundaryCells   *Counter
+	AggGridInteriorSamples *Counter // samples accepted without a point-in-polygon test
+	AggGridRefinedSamples  *Counter // samples tested exactly in boundary cells
+	AggGridMismatches      *Counter // verify-mode divergences from the slow path (must stay 0)
 
 	// Overlay precomputation (most recent build).
 	OverlayPairs        *Gauge
@@ -78,9 +91,18 @@ func NewMetrics(r *Registry) *Metrics {
 		PrefilterCandidates: r.Counter("mogis_prefilter_candidates_total", "objects surviving the trajectory-bbox prefilter"),
 		PrefilterSkipped:    r.Counter("mogis_prefilter_skipped_total", "objects skipped by the trajectory-bbox prefilter"),
 
-		IntervalCacheHits:    r.Counter("mogis_intervalcache_hits_total", "polygon queries answered from the interval cache"),
-		IntervalCacheMisses:  r.Counter("mogis_intervalcache_misses_total", "polygon queries that computed inside-intervals"),
-		IntervalCacheEntries: r.Gauge("mogis_intervalcache_entries", "memoized (table, polygon) interval sets"),
+		IntervalCacheHits:      r.Counter("mogis_intervalcache_hits_total", "polygon queries answered from the interval cache"),
+		IntervalCacheMisses:    r.Counter("mogis_intervalcache_misses_total", "polygon queries that computed inside-intervals"),
+		IntervalCacheEvictions: r.Counter("mogis_intervalcache_evictions_total", "least-recently-used interval-cache entries evicted at the cap"),
+		IntervalCacheEntries:   r.Gauge("mogis_intervalcache_entries", "memoized (table, polygon) interval sets"),
+
+		AggGridBuilds:          r.Counter("mogis_agggrid_builds_total", "pre-aggregated sample grids built"),
+		AggGridQueries:         r.Counter("mogis_agggrid_queries_total", "polygon aggregates answered by the pre-aggregated grid"),
+		AggGridInteriorCells:   r.Counter("mogis_agggrid_interior_cells_total", "fully-covered cells aggregated without refinement"),
+		AggGridBoundaryCells:   r.Counter("mogis_agggrid_boundary_cells_total", "boundary cells refined with exact point-in-polygon tests"),
+		AggGridInteriorSamples: r.Counter("mogis_agggrid_interior_samples_total", "samples accepted from interior cells without a point-in-polygon test"),
+		AggGridRefinedSamples:  r.Counter("mogis_agggrid_refined_samples_total", "boundary-cell samples tested with exact point-in-polygon"),
+		AggGridMismatches:      r.Counter("mogis_agggrid_mismatches_total", "verify-mode grid results that diverged from the slow path"),
 
 		OverlayPairs:        r.Gauge("mogis_overlay_pairs", "layer pairs in the most recent overlay build"),
 		OverlayRelations:    r.Gauge("mogis_overlay_relations", "directed relation entries in the most recent overlay build"),

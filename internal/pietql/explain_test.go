@@ -35,6 +35,25 @@ func TestExplainAnalyze(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeGridCounters: a SAMPLED ONLY query routes through
+// the pre-aggregated grid, and EXPLAIN ANALYZE surfaces the grid
+// build/query counters alongside the cache counters.
+func TestExplainAnalyzeGridCounters(t *testing.T) {
+	sys := system(t, true)
+	out, err := sys.Run("EXPLAIN ANALYZE " + paperQuery +
+		` | | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mogis_agggrid_builds_total", "mogis_agggrid_queries_total",
+	} {
+		if !strings.Contains(out.Explain, want) {
+			t.Errorf("Explain missing %q for a SAMPLED ONLY query:\n%s", want, out.Explain)
+		}
+	}
+}
+
 func TestExplainPlanOnly(t *testing.T) {
 	sys := system(t, true)
 	out, err := sys.Run("EXPLAIN " + paperQuery + moPart)

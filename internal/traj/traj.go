@@ -49,6 +49,19 @@ func (s Sample) Validate() error {
 	return nil
 }
 
+// SampleFromColumns builds a Sample from parallel column slices (one
+// instant and coordinate pair per row), the struct-of-arrays layout
+// of moft.Columns. The flat slices stream sequentially, so bulk
+// trajectory construction over a whole table avoids pointer-chasing
+// one Tuple struct per sample.
+func SampleFromColumns(ts []int64, xs, ys []float64) Sample {
+	s := make(Sample, len(ts))
+	for i := range ts {
+		s[i] = TimePoint{T: timedim.Instant(ts[i]), P: geom.Pt(xs[i], ys[i])}
+	}
+	return s
+}
+
 // TimeDomain returns the sample's time domain [t_0, t_N].
 func (s Sample) TimeDomain() timedim.Interval {
 	if len(s) == 0 {

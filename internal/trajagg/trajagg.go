@@ -142,6 +142,32 @@ func BuildSurface(g *UnitGrid, lits map[moft.Oid]*traj.LIT) *Surface {
 	return &Surface{Grid: g, Counts: counts}
 }
 
+// SampleSurface computes the sample-level counterpart of
+// BuildSurface from a columnar snapshot: per unit, the number of
+// distinct objects with at least one raw sample in the unit (no
+// interpolation — an object that crosses a unit between samples does
+// not count). One pass over the flat X/Y/Obj arrays; the per-unit
+// "last object seen" stamp dedups because the snapshot's rows are
+// grouped by object.
+func SampleSurface(g *UnitGrid, cols *moft.Columns) *Surface {
+	counts := make([]int, g.Units())
+	last := make([]int32, g.Units())
+	for i := range last {
+		last[i] = -1
+	}
+	for row := 0; row < cols.Len(); row++ {
+		u, ok := g.UnitOf(geom.Pt(cols.X[row], cols.Y[row]))
+		if !ok {
+			continue
+		}
+		if o := cols.Obj[row]; last[u] != o {
+			last[u] = o
+			counts[u]++
+		}
+	}
+	return &Surface{Grid: g, Counts: counts}
+}
+
 // Max returns the maximum pass count and one unit achieving it.
 func (s *Surface) Max() (unit, count int) {
 	for u, c := range s.Counts {

@@ -231,3 +231,40 @@ func TestAggregate(t *testing.T) {
 		t.Errorf("empty aggregate = %v", got)
 	}
 }
+
+// TestSampleSurface compares the columnar one-pass build against a
+// naive per-unit distinct-object count, including an object that
+// revisits a unit (must count once) and samples outside the extent
+// (must be skipped).
+func TestSampleSurface(t *testing.T) {
+	g := grid(t, 4, 4)
+	tbl := moft.New("FMsurf")
+	tbl.Add(1, 0, 10, 10)   // unit (0,0)
+	tbl.Add(1, 60, 30, 10)  // unit (1,0)
+	tbl.Add(1, 120, 10, 12) // back to unit (0,0): still one object
+	tbl.Add(2, 0, 12, 14)   // unit (0,0), second object
+	tbl.Add(2, 60, 80, 80)  // unit (3,3)
+	tbl.Add(3, 0, 150, 150) // outside the extent: skipped
+	s := SampleSurface(g, tbl.Columns())
+
+	naive := make([]map[moft.Oid]bool, g.Units())
+	for _, tp := range tbl.Tuples() {
+		if u, ok := g.UnitOf(tp.Point()); ok {
+			if naive[u] == nil {
+				naive[u] = map[moft.Oid]bool{}
+			}
+			naive[u][tp.Oid] = true
+		}
+	}
+	for u := 0; u < g.Units(); u++ {
+		if s.Counts[u] != len(naive[u]) {
+			t.Errorf("unit %d: count %d, naive %d", u, s.Counts[u], len(naive[u]))
+		}
+	}
+	if u00, _ := g.UnitOf(geom.Pt(10, 10)); s.Counts[u00] != 2 {
+		t.Errorf("unit(10,10) count = %d, want 2 (revisit must not double-count)", s.Counts[u00])
+	}
+	if s.Total() != 4 {
+		t.Errorf("Total = %d, want 4", s.Total())
+	}
+}

@@ -296,3 +296,15 @@ func GenTrajectories(extent geom.BBox, cfg TrajConfig) *moft.Table {
 	}
 	return fm
 }
+
+// LowIncomePolygons returns the polygons of the low-income
+// neighborhoods — the region set of the Remark-1 motivating query.
+func (c *City) LowIncomePolygons() []geom.Polygon {
+	out := make([]geom.Polygon, 0, len(c.LowIncomeIDs))
+	for _, id := range c.LowIncomeIDs {
+		if pg, ok := c.Ln.Polygon(id); ok {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
