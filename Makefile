@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine cover bench microbench experiments experiments-full fmt vet clean
+.PHONY: all check build test race race-engine cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
 
 all: check
 
-# The full pre-merge gate: compile, lint, tests, race detector, and
-# the repeated concurrent-engine stress pass.
-check: build vet test race race-engine
+# The full pre-merge gate: compile, formatting, vet, the moglint
+# invariant analyzers, tests, race detector, and the repeated
+# concurrent-engine stress pass.
+check: build fmt-check vet lint test race race-engine
 
 build:
 	$(GO) build ./...
@@ -19,11 +20,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The core engine package, twice, under the race detector: the
-# concurrent stress tests plus the grid/columnar cache paths with
-# interleaved invalidations.
+# The concurrency-sensitive packages, twice, under the race detector:
+# the engine's concurrent stress tests plus the grid/columnar cache
+# paths with interleaved invalidations, and the shared-read index and
+# overlay structures.
 race-engine:
-	$(GO) test -race -count=2 ./internal/core/...
+	$(GO) test -race -count=2 ./internal/core/... ./internal/sindex/... ./internal/overlay/...
+
+# The repository's own static analyzers (internal/lint): span
+# lifecycles, atomic-knob access, cache invalidation, determinism and
+# obs naming. Nonzero exit on any finding.
+lint:
+	$(GO) run ./cmd/moglint ./...
+
+# Fails when any tracked file needs reformatting (prints the paths).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Non-default vet passes: unusedresult with the obs formatters added
+# to its pure-function list, so a dropped Format/FormatExplain (a
+# trace computed and thrown away) fails the build.
+vet-strict: vet
+	$(GO) vet -unusedresult \
+		-unusedresult.funcs=fmt.Sprintf,fmt.Sprint,fmt.Errorf,mogis/internal/obs.FormatExplain \
+		./...
+
+# Each fuzz target for 10s: point-in-polygon vs the grid-verify scan
+# oracle, and the Piet-QL parser's no-panic guarantee.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzPointInPolygon -fuzztime=10s ./internal/geom/
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/pietql/
 
 cover:
 	$(GO) test -cover ./...

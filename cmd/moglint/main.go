@@ -1,0 +1,163 @@
+// Command moglint runs the repository's domain-invariant analyzers
+// (internal/lint) over Go packages and reports contract violations.
+//
+// Usage:
+//
+//	moglint [-json] [-enable a,b] [-disable c] [patterns...]
+//
+// Patterns follow go-tool conventions: ./... (everything under the
+// module), dir/... (a subtree), or plain directories. With no
+// patterns, ./... is assumed. Exit status is 1 when findings are
+// reported, 2 on usage or load errors, 0 on a clean tree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mogis/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: moglint [-json] [-enable a,b] [-disable c] [patterns...]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moglint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moglint:", err)
+		os.Exit(2)
+	}
+	root, modPath, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moglint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moglint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.RunAll(analyzers, pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "moglint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "moglint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -enable/-disable flags against the
+// registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	split := func(s string) ([]string, error) {
+		if s == "" {
+			return nil, nil
+		}
+		var names []string
+		for _, n := range strings.Split(s, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := byName[n]; !ok {
+				known := make([]string, 0, len(byName))
+				for k := range byName {
+					known = append(known, k)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+			}
+			names = append(names, n)
+		}
+		return names, nil
+	}
+
+	enabled, err := split(enable)
+	if err != nil {
+		return nil, err
+	}
+	disabled, err := split(disable)
+	if err != nil {
+		return nil, err
+	}
+	skip := map[string]bool{}
+	for _, n := range disabled {
+		skip[n] = true
+	}
+
+	var out []*lint.Analyzer
+	if len(enabled) == 0 {
+		for _, a := range lint.All() {
+			if !skip[a.Name] {
+				out = append(out, a)
+			}
+		}
+	} else {
+		for _, a := range lint.All() { // registry order, not flag order
+			for _, n := range enabled {
+				if a.Name == n && !skip[a.Name] {
+					out = append(out, a)
+					break
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}

@@ -20,6 +20,11 @@
 // the polygon boundary is inside a boundary cell, where it gets the
 // exact test. Closed-polygon semantics (boundary points count as
 // inside) match geom.Polygon.ContainsPoint.
+//
+// Every function here is a query hot path and must answer
+// bit-identically to the serial scan it accelerates:
+//
+//moglint:deterministic
 package agggrid
 
 import (

@@ -138,7 +138,7 @@ func (tc *tableCache) aggGrid(e *Engine, table string) (*agggrid.Grid, error) {
 			tc.gridErr = err
 			return
 		}
-		sp := e.ctx.Tracer().Start("agggrid.build")
+		sp := e.ctx.Tracer().Start("agggrid_build")
 		defer sp.End()
 		cols := tbl.Columns()
 		n := int(e.gridCells.Load())
@@ -153,6 +153,8 @@ func (tc *tableCache) aggGrid(e *Engine, table string) (*agggrid.Grid, error) {
 // candidates returns, in sorted oid order, the objects whose
 // trajectory bounding box intersects box — the spatial prefilter —
 // and records the candidate/skip split in the engine metrics.
+//
+//moglint:deterministic
 func (tc *tableCache) candidates(met *obs.Metrics, box geom.BBox) []moft.Oid {
 	ids := tc.tree.Search(box, nil)
 	out := make([]moft.Oid, len(ids))
@@ -212,6 +214,8 @@ func polygonKey(pg geom.Polygon) string {
 // query window, which keeps the cache window-independent). The result
 // map is shared with the cache; callers must not mutate it. Absent
 // objects spend no time inside.
+//
+//moglint:deterministic
 func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid][]traj.TimeInterval {
 	met := e.metrics()
 	cacheCap := e.intervalCacheCap()
@@ -298,6 +302,8 @@ func (e *Engine) workerCount(n int) int {
 // runs fn(chunk, lo, hi) concurrently. Chunk indices let callers
 // merge per-chunk results in a deterministic order regardless of
 // goroutine scheduling; workers <= 1 runs inline.
+//
+//moglint:deterministic
 func forChunks(workers, n int, fn func(chunk, lo, hi int)) {
 	if workers <= 1 {
 		fn(0, 0, n)

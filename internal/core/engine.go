@@ -219,7 +219,7 @@ func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, me
 	if err != nil {
 		return nil, err
 	}
-	sp := e.ctx.Tracer().Start("aggregate")
+	sp := e.ctx.Tracer().Start("aggregate_group")
 	defer sp.End()
 	res, err := rel.GroupAggregate(fn, measure, groupBy)
 	if err == nil {
@@ -236,7 +236,7 @@ func (e *Engine) CountRegion(f fo.Formula, out []fo.Var) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	sp := e.ctx.Tracer().Start("aggregate")
+	sp := e.ctx.Tracer().Start("aggregate_count")
 	sp.SetCount("tuples", int64(rel.Len()))
 	sp.End()
 	return rel.Len(), nil
@@ -301,6 +301,8 @@ func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 // at instant t whose position lies in pg (the sample-level semantics
 // of query Q4). Grid-accelerated when the pre-aggregated sample grid
 // is enabled (the default); results are identical either way.
+//
+//moglint:deterministic
 func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
 	e.metrics().Query(6).Inc()
 	tbl, err := e.ctx.Table(table)
@@ -365,6 +367,8 @@ func (e *Engine) checkOids(fast, slow []moft.Oid) []moft.Oid {
 
 // ObjectsInterpolatedAt returns the objects whose interpolated
 // position at instant t lies in pg, even between samples.
+//
+//moglint:deterministic
 func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
 	e.metrics().Query(6).Inc()
 	tc, err := e.table(table)
@@ -513,6 +517,8 @@ func (e *Engine) CacheStats() (tables, objects int) {
 // trajectory intersects pg at some time in iv (interpolation-aware
 // semantics; the paper's O6 counts here even though it was never
 // sampled inside).
+//
+//moglint:deterministic
 func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
 	e.metrics().Query(7).Inc()
 	tc, err := e.table(table)
@@ -541,6 +547,8 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 // ObjectsPassingThrough; the two differ exactly on objects like O6).
 // Grid-accelerated when the pre-aggregated sample grid is enabled
 // (the default); results are identical either way.
+//
+//moglint:deterministic
 func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
 	e.metrics().Query(7).Inc()
 	tbl, err := e.ctx.Table(table)
@@ -594,6 +602,8 @@ func (e *Engine) objectsSampledInsideScan(tbl *moft.Table, pg geom.Polygon, iv t
 // query (Remark 1: bus samples in low-income neighborhoods per hour).
 // Grid-accelerated when the pre-aggregated sample grid is enabled
 // (the default); results are identical either way.
+//
+//moglint:deterministic
 func (e *Engine) CountSamplesInside(table string, pg geom.Polygon, iv timedim.Interval) (int, error) {
 	e.metrics().Query(4).Inc()
 	tbl, err := e.ctx.Table(table)
@@ -663,6 +673,8 @@ func clampTotal(ivs []traj.TimeInterval, lo, hi float64) (sum float64, touched b
 // (boundary included) at some instant of iv; a trajectory that only
 // grazes the boundary appears with duration 0, symmetric with
 // ObjectsEverWithinRadius.
+//
+//moglint:deterministic
 func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Interval) (map[moft.Oid]float64, error) {
 	e.metrics().Query(7).Inc()
 	tc, err := e.table(table)
@@ -685,6 +697,8 @@ func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Inter
 // object appears iff its trajectory is within distance r at some
 // instant of iv; a trajectory exactly tangent to the circle appears
 // with duration 0, symmetric with TimeSpentInside.
+//
+//moglint:deterministic
 func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r float64, iv timedim.Interval) (map[moft.Oid]float64, error) {
 	e.metrics().Query(7).Inc()
 	tc, err := e.table(table)
@@ -721,6 +735,8 @@ func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r floa
 // the ids come from the geometric sub-query ("cities crossed by a
 // river containing at least one store"), and each object's
 // consecutive sample segments are intersected with those cities.
+//
+//moglint:deterministic
 func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []layer.Gid, iv timedim.Interval) (int, error) {
 	e.metrics().Query(7).Inc()
 	l, ok := e.ctx.GIS().Layer(layerName)

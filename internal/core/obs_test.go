@@ -85,16 +85,16 @@ func TestType4SpanStages(t *testing.T) {
 			idx[name] = i
 		}
 	}
-	for _, want := range []string{"plan", "fo.eval", "aggregate"} {
+	for _, want := range []string{"plan", "fo_eval", "aggregate_count"} {
 		if root.Find(want) == nil {
 			t.Errorf("missing span %q in %v", want, stages)
 		}
 	}
-	if !(idx["plan"] < idx["fo.eval"] && idx["fo.eval"] < idx["aggregate"]) {
+	if !(idx["plan"] < idx["fo_eval"] && idx["fo_eval"] < idx["aggregate_count"]) {
 		t.Errorf("stage order = %v", stages)
 	}
-	if got := root.Find("fo.eval").Count("tuples"); got != 4 {
-		t.Errorf("fo.eval tuples = %d, want 4", got)
+	if got := root.Find("fo_eval").Count("tuples"); got != 4 {
+		t.Errorf("fo_eval tuples = %d, want 4", got)
 	}
 }
 

@@ -48,10 +48,10 @@ func Eval(ctx *Context, f Formula, out []Var) (*Relation, error) {
 		}
 	}
 	plan.End()
-	sp := ctx.Tracer().Start("fo.eval")
+	sp := ctx.Tracer().Start("fo_eval")
+	defer sp.End()
 	envs, err := f.eval(ctx, []*Env{EmptyEnv}, bound)
 	if err != nil {
-		sp.End()
 		return nil, err
 	}
 	sp.SetCount("envs", int64(len(envs)))
@@ -74,7 +74,6 @@ func Eval(ctx *Context, f Formula, out []Var) (*Relation, error) {
 	}
 	rel.sortTuples()
 	sp.SetCount("tuples", int64(rel.Len()))
-	sp.End()
 	return rel, nil
 }
 

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// AnalyzerAtomicKnob enforces the engine's knob-access contract:
+// struct fields declared with a sync/atomic type (the engine's
+// workers/intervalCap/gridCells/gridVerify knobs and metric cells)
+// may be touched only through their atomic methods — never read as
+// plain struct values, assigned, or passed around — and sync.Once /
+// sync.Mutex / sync.RWMutex / sync.WaitGroup fields must never be
+// copied or passed by value (their identity IS the synchronization).
+// Functions that take a lock- or atomic-bearing struct of the same
+// package by value are flagged for the same reason.
+//
+// Fields are unexported, so per-package analysis sees every access
+// site; matching is by field name against the package's guarded
+// structs (a syntactic approximation that is exact while field names
+// stay unique, which the fixtures and tree keep true).
+var AnalyzerAtomicKnob = &Analyzer{
+	Name: "atomicknob",
+	Doc:  "atomic knob fields only via Load/Store/CAS; sync fields never by value",
+	Run:  runAtomicKnob,
+}
+
+// atomicMethods are the only selectors allowed on an atomic-typed
+// field.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true,
+	"Swap": true, "CompareAndSwap": true,
+}
+
+// syncValueTypes are the sync types whose by-value copy is always a
+// bug.
+var syncValueTypes = map[string]bool{
+	"Once": true, "Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Map": true, "Cond": true, "Pool": true,
+}
+
+// guardedFields indexes, per package, which field names are atomic
+// and which are sync-typed, plus the struct types carrying them.
+type guardedFields struct {
+	atomic  map[string]string // field name → struct type name
+	syncs   map[string]string
+	structs map[string]bool // struct type names with any guarded field
+}
+
+// isAtomicFieldType matches atomic.X and atomic.Pointer[T] field
+// declarations (resolving the file-local name of sync/atomic).
+func isAtomicFieldType(imports map[string]string, t ast.Expr) bool {
+	switch v := t.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok && imports[id.Name] == "sync/atomic" {
+			return true
+		}
+	case *ast.IndexExpr:
+		return isAtomicFieldType(imports, v.X)
+	case *ast.IndexListExpr:
+		return isAtomicFieldType(imports, v.X)
+	}
+	return false
+}
+
+// isSyncFieldType matches sync.Once, sync.Mutex, sync.RWMutex, etc.
+func isSyncFieldType(imports map[string]string, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || !syncValueTypes[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && imports[id.Name] == "sync"
+}
+
+// collectGuarded indexes the package's guarded struct fields.
+func collectGuarded(p *Package) guardedFields {
+	g := guardedFields{
+		atomic:  map[string]string{},
+		syncs:   map[string]string{},
+		structs: map[string]bool{},
+	}
+	for _, f := range p.Files {
+		imports := fileImports(f)
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if isAtomicFieldType(imports, fld.Type) {
+							g.atomic[name.Name] = ts.Name.Name
+							g.structs[ts.Name.Name] = true
+						}
+						if isSyncFieldType(imports, fld.Type) {
+							g.syncs[name.Name] = ts.Name.Name
+							g.structs[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+func runAtomicKnob(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		g := collectGuarded(p)
+		if len(g.structs) == 0 {
+			continue
+		}
+		for _, f := range p.Files {
+			out = append(out, checkAtomicAccess(p, g, f)...)
+			out = append(out, checkByValueSigs(p, g, f)...)
+		}
+	}
+	return out
+}
+
+// checkAtomicAccess flags guarded-field selectors used outside the
+// allowed forms.
+func checkAtomicAccess(p *Package, g guardedFields, f *ast.File) []Finding {
+	var out []Finding
+	walkWithParents(f, func(n ast.Node, parents []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		owner, isAtomic := g.atomic[sel.Sel.Name]
+		syncOwner, isSync := g.syncs[sel.Sel.Name]
+		if !isAtomic && !isSync {
+			return
+		}
+		// Only field accesses: the base must itself be an expression
+		// (x.field), not a package qualifier, and the name must not be
+		// the Sel of an outer selector we already inspected.
+		if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil {
+			// Could be a package qualifier (pkg.Name); skip if it
+			// resolves to an import.
+			if _, imported := fileImports(f)[id.Name]; imported {
+				return
+			}
+		}
+		if len(parents) == 0 {
+			return
+		}
+		parent := parents[len(parents)-1]
+		// Allowed: receiver of a method call — any method for sync
+		// fields (Lock/Unlock/Do/...), the atomic set for atomics.
+		if psel, ok := parent.(*ast.SelectorExpr); ok && psel.X == sel {
+			if len(parents) >= 2 {
+				if call, ok := parents[len(parents)-2].(*ast.CallExpr); ok && call.Fun == psel {
+					if isSync {
+						return // method call on a sync primitive
+					}
+					if atomicMethods[psel.Sel.Name] {
+						return
+					}
+					out = append(out, p.finding("atomicknob", sel,
+						"atomic field %s.%s used via non-atomic method %s (allowed: %s)",
+						owner, sel.Sel.Name, psel.Sel.Name, strings.Join(sortedKeys(atomicMethods), "/")))
+					return
+				}
+			}
+		}
+		// Allowed: address-of (passing *atomic.X / *sync.Mutex is safe).
+		if un, ok := parent.(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+			return
+		}
+		if isAtomic {
+			out = append(out, p.finding("atomicknob", sel,
+				"atomic field %s.%s read or copied as a value; use %s",
+				owner, sel.Sel.Name, strings.Join(sortedKeys(atomicMethods), "/")))
+		} else {
+			out = append(out, p.finding("atomicknob", sel,
+				"sync field %s.%s copied or passed by value; synchronization identity is lost",
+				syncOwner, sel.Sel.Name))
+		}
+	})
+	return out
+}
+
+// checkByValueSigs flags function signatures (params, results,
+// receivers) that take a guarded struct of this package by value.
+func checkByValueSigs(p *Package, g guardedFields, f *ast.File) []Finding {
+	var out []Finding
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			id, ok := fld.Type.(*ast.Ident)
+			if !ok || !g.structs[id.Name] {
+				continue
+			}
+			out = append(out, p.finding("atomicknob", fld,
+				"%s of lock/atomic-bearing struct %s passed by value; use *%s", what, id.Name, id.Name))
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			check(v.Recv, "receiver")
+			check(v.Type.Params, "parameter")
+			check(v.Type.Results, "result")
+		case *ast.FuncLit:
+			check(v.Type.Params, "parameter")
+			check(v.Type.Results, "result")
+		}
+		return true
+	})
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

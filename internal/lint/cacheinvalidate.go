@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerCacheInvalidate enforces the every-mutation-invalidates-
+// derived-state contract in its two forms:
+//
+//  1. Inside a package defining a snapshot-bearing table (a struct
+//     with an atomic.Pointer snapshot field, like moft.Table's
+//     columnar snapshot): every exported method that mutates a slice
+//     field of the receiver (append or element assignment) must clear
+//     each snapshot field with .Store(nil) — directly or via another
+//     method of the type that does.
+//  2. Everywhere else: a function that mutates a fact table (a
+//     4-argument .Add or an .AddTuple call) after an engine is in
+//     scope must afterwards call InvalidateTrajectories or ResetCache,
+//     or the engine keeps answering from trajectories, prefilter
+//     R-tree, interval cache and sample grid built over the old rows.
+//     Mutations before the engine exists are fine — the caches build
+//     lazily on first query.
+var AnalyzerCacheInvalidate = &Analyzer{
+	Name: "cacheinvalidate",
+	Doc:  "table mutations must clear snapshots / invalidate engine caches",
+	Run:  runCacheInvalidate,
+}
+
+func runCacheInvalidate(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		out = append(out, checkSnapshotClearing(p)...)
+		out = append(out, checkEngineInvalidation(p)...)
+	}
+	return out
+}
+
+// snapshotStruct describes one struct with derived-snapshot state.
+type snapshotStruct struct {
+	name       string
+	snapFields []string // atomic.Pointer fields (the derived snapshots)
+	sliceSet   map[string]bool
+}
+
+// collectSnapshotStructs finds the package's snapshot-bearing structs:
+// at least one atomic.Pointer field and at least one slice field.
+func collectSnapshotStructs(p *Package) map[string]*snapshotStruct {
+	out := map[string]*snapshotStruct{}
+	for _, f := range p.Files {
+		imports := fileImports(f)
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ss := &snapshotStruct{name: ts.Name.Name, sliceSet: map[string]bool{}}
+				for _, fld := range st.Fields.List {
+					isPtr := false
+					switch t := fld.Type.(type) {
+					case *ast.IndexExpr:
+						if sel, ok := t.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Pointer" {
+							if id, ok := sel.X.(*ast.Ident); ok && imports[id.Name] == "sync/atomic" {
+								isPtr = true
+							}
+						}
+					}
+					_, isSlice := fld.Type.(*ast.ArrayType)
+					for _, name := range fld.Names {
+						if isPtr {
+							ss.snapFields = append(ss.snapFields, name.Name)
+						}
+						if isSlice {
+							ss.sliceSet[name.Name] = true
+						}
+					}
+				}
+				if len(ss.snapFields) > 0 && len(ss.sliceSet) > 0 {
+					out[ss.name] = ss
+				}
+			}
+		}
+	}
+	return out
+}
+
+// methodIndex maps method name → body for every method of the given
+// receiver type in the package (for the one-level transitive
+// Store(nil) check).
+func methodIndex(p *Package, recvType string) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if name, _ := recvTypeName(fd); name == recvType {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// recvIdent returns the receiver identifier object of a method (nil
+// for unnamed receivers).
+func recvIdent(fd *ast.FuncDecl) *ast.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0].Obj
+}
+
+// mutatesSliceField reports whether the body assigns to (or appends
+// into) a slice field of the receiver.
+func mutatesSliceField(fd *ast.FuncDecl, recv *ast.Object, ss *snapshotStruct) (string, bool) {
+	var hit string
+	isRecvField := func(e ast.Expr) (string, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || !ss.sliceSet[sel.Sel.Name] {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Obj != recv {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if name, ok := isRecvField(lhs); ok {
+				hit = name
+				return false
+			}
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				if name, ok := isRecvField(ix.X); ok {
+					hit = name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return hit, hit != ""
+}
+
+// clearsSnapshot reports whether the body calls recv.snap.Store(nil)
+// for the given snapshot field, or (when methods is non-nil) calls a
+// method on recv that does.
+func clearsSnapshot(fd *ast.FuncDecl, recv *ast.Object, snap string, methods map[string]*ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.snap.Store(nil)
+		if sel.Sel.Name == "Store" && len(call.Args) == 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == snap {
+					if rid, ok := inner.X.(*ast.Ident); ok && rid.Obj == recv {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		// recv.other() where other clears the snapshot (one level).
+		if methods != nil {
+			if rid, ok := sel.X.(*ast.Ident); ok && rid.Obj == recv {
+				if callee, ok := methods[sel.Sel.Name]; ok && callee != fd {
+					if clearsSnapshot(callee, recvIdent(callee), snap, nil) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkSnapshotClearing applies rule 1 to the package's own
+// snapshot-bearing structs.
+func checkSnapshotClearing(p *Package) []Finding {
+	structs := collectSnapshotStructs(p)
+	if len(structs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvType, isPtr := recvTypeName(fd)
+			ss := structs[recvType]
+			if ss == nil || !isPtr {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			field, mutates := mutatesSliceField(fd, recv, ss)
+			if !mutates {
+				continue
+			}
+			methods := methodIndex(p, recvType)
+			for _, snap := range ss.snapFields {
+				if !clearsSnapshot(fd, recv, snap, methods) {
+					out = append(out, p.finding("cacheinvalidate", fd.Name,
+						"exported method %s.%s mutates %s but never clears snapshot field %s (missing %s.Store(nil))",
+						recvType, fd.Name.Name, field, snap, snap))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- rule 2: engine-visible mutations ---------------------------------
+
+// isTableMutationCall matches the moft.Table mutators — Add(oid, t,
+// x, y) and AddTuple(tp) — on a receiver that resolves to a fact
+// table (declared from moft.New, a Context.Table lookup, a Filter
+// derivation, ReadCSV, or a *moft.Table parameter). Unresolvable
+// receivers are not flagged.
+func isTableMutationCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "AddTuple":
+		if len(call.Args) != 1 {
+			return false
+		}
+	case "Add":
+		if len(call.Args) != 4 {
+			return false
+		}
+	default:
+		return false
+	}
+	return isTableExpr(sel.X)
+}
+
+// isTableExpr reports whether e syntactically denotes a *moft.Table.
+func isTableExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Obj == nil {
+		return false
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.AssignStmt:
+		if len(decl.Rhs) != 1 {
+			return false
+		}
+		call, ok := decl.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch calleeName(call) {
+		case "Table", "Filter", "ReadCSV":
+			return true
+		case "New":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pid, ok := sel.X.(*ast.Ident); ok {
+					return pid.Name == "moft"
+				}
+			}
+		}
+	case *ast.Field:
+		t := decl.Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		switch v := t.(type) {
+		case *ast.SelectorExpr:
+			return v.Sel.Name == "Table"
+		case *ast.Ident:
+			return v.Name == "Table"
+		}
+	}
+	return false
+}
+
+// enginePos returns the earliest position at which a query engine is
+// in scope in the function: the position of an assignment from
+// core.New / New, or the function start when an engine arrives via
+// parameter, receiver, or an Engine field selector. token.NoPos when
+// no engine is visible.
+func enginePos(fd *ast.FuncDecl) token.Pos {
+	isEngineType := func(t ast.Expr) bool {
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		switch v := t.(type) {
+		case *ast.Ident:
+			return v.Name == "Engine"
+		case *ast.SelectorExpr:
+			return v.Sel.Name == "Engine"
+		}
+		return false
+	}
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			if isEngineType(fld.Type) {
+				return fd.Body.Pos()
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			if isEngineType(fld.Type) {
+				return fd.Body.Pos()
+			}
+		}
+	}
+	pos := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			// s.Engine.Method(...): an engine held in a field is in
+			// scope for the whole function.
+			if v.Sel.Name == "Engine" {
+				pos = fd.Body.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			if name := calleeName(v); name == "New" || name == "NewEngine" {
+				if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "core" {
+						if pos == token.NoPos || v.Pos() < pos {
+							pos = v.Pos()
+						}
+					}
+				} else if name == "NewEngine" {
+					if pos == token.NoPos || v.Pos() < pos {
+						pos = v.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// checkEngineInvalidation applies rule 2 to every function of
+// packages other than the snapshot-defining table package itself.
+func checkEngineInvalidation(p *Package) []Finding {
+	if pathTail(p.Path) == "moft" {
+		return nil // rule 1 governs the table package
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			engine := enginePos(fd)
+			if engine == token.NoPos {
+				continue
+			}
+			var mutations []*ast.CallExpr
+			lastInvalidate := token.NoPos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isTableMutationCall(call) && call.Pos() > engine {
+					mutations = append(mutations, call)
+				}
+				switch calleeName(call) {
+				case "InvalidateTrajectories", "ResetCache":
+					if call.Pos() > lastInvalidate {
+						lastInvalidate = call.Pos()
+					}
+				}
+				return true
+			})
+			for _, m := range mutations {
+				if lastInvalidate == token.NoPos || lastInvalidate < m.Pos() {
+					out = append(out, p.finding("cacheinvalidate", m,
+						"table mutated after an engine is in scope without a later InvalidateTrajectories/ResetCache; cached trajectories, prefilter, intervals and grid go stale"))
+				}
+			}
+		}
+	}
+	return out
+}

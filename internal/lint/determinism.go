@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DeterministicDirective marks a function (in its doc comment) or a
+// whole file (any comment line) as contractually deterministic: its
+// answers must be bit-identical run to run and to the serial path.
+const DeterministicDirective = "moglint:deterministic"
+
+// AnalyzerDeterminism enforces that contract inside the marked scope —
+// the engine's parallel query methods, the cache/prefilter helpers
+// they fan out through, and the agggrid hot paths:
+//
+//   - no time.Now (wall-clock answers differ run to run);
+//   - no math/rand (seeded or not, it has no place in a query answer);
+//   - no result assembly ordered by map iteration: a range over a
+//     map-typed expression that appends to a slice declared outside
+//     the loop must be followed by a sort of that slice in the same
+//     function, or the result order changes between runs.
+//
+// Map-ness is resolved syntactically: make(map...), map literals, map
+// parameters, and calls to same-package functions returning a map.
+// Expressions the oracle cannot resolve are not flagged.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "deterministic hot paths: no wall-clock, no rand, no map-ordered results",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		results := funcResultIndex(p)
+		for _, f := range p.Files {
+			imports := fileImports(f)
+			fileScoped := fileHasDirective(f, DeterministicDirective)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !fileScoped && !hasDirective(fd.Doc, DeterministicDirective) {
+					continue
+				}
+				out = append(out, checkDeterministic(p, imports, results, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func checkDeterministic(p *Package, imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if pkgSel(imports, v.Fun, "time", "Now") {
+				out = append(out, p.finding("determinism", v,
+					"time.Now in deterministic function %s; answers must be bit-identical run to run", fd.Name.Name))
+			}
+		case *ast.SelectorExpr:
+			if path := selOnImport(imports, v); path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding("determinism", v,
+					"math/rand use in deterministic function %s", fd.Name.Name))
+			}
+		case *ast.RangeStmt:
+			out = append(out, checkMapRange(p, imports, results, fd, v)...)
+		}
+		return true
+	})
+	return out
+}
+
+// isMapExpr is the syntactic map-type oracle.
+func isMapExpr(imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, ok := v.Args[0].(*ast.MapType)
+			return ok
+		}
+		if name := calleeName(v); name != "" {
+			if res, ok := results[name]; ok {
+				_, isMap := res.(*ast.MapType)
+				return isMap
+			}
+		}
+	case *ast.Ident:
+		if v.Obj == nil {
+			return false
+		}
+		switch decl := v.Obj.Decl.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range decl.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Obj == v.Obj {
+					if len(decl.Rhs) == 1 {
+						return isMapExpr(imports, results, fd, decl.Rhs[0])
+					}
+					if i < len(decl.Rhs) {
+						return isMapExpr(imports, results, fd, decl.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if decl.Type != nil {
+				_, ok := decl.Type.(*ast.MapType)
+				return ok
+			}
+			if len(decl.Values) == 1 {
+				return isMapExpr(imports, results, fd, decl.Values[0])
+			}
+		case *ast.Field:
+			_, ok := decl.Type.(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// checkMapRange flags map-iteration result assembly without a
+// restoring sort.
+func checkMapRange(p *Package, imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl, rng *ast.RangeStmt) []Finding {
+	if !isMapExpr(imports, results, fd, rng.X) {
+		return nil
+	}
+	// Collect appends inside the range body whose target is declared
+	// outside the body (result accumulation, not a body-local scratch).
+	var out []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		target, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || target.Obj == nil {
+			return true
+		}
+		if declaredWithin(target.Obj, rng.Body) {
+			return true // scratch slice local to the iteration
+		}
+		if sortedAfter(fd, target.Obj, rng.End()) {
+			return true
+		}
+		out = append(out, p.finding("determinism", as,
+			"slice %q assembled in map-iteration order in deterministic function %s without a later sort",
+			target.Name, fd.Name.Name))
+		return true
+	})
+	return out
+}
+
+// declaredWithin reports whether the object's declaration lies inside
+// node n.
+func declaredWithin(obj *ast.Object, n ast.Node) bool {
+	decl, ok := obj.Decl.(ast.Node)
+	if !ok {
+		return false
+	}
+	return decl.Pos() >= n.Pos() && decl.End() <= n.End()
+}
+
+// sortedAfter reports whether the function sorts the given slice
+// variable (sort.Slice, sort.SliceStable, sort.Sort, sort.Strings,
+// sort.Ints, sort.Float64s, or slices.Sort*) at a position after pos.
+func sortedAfter(fd *ast.FuncDecl, obj *ast.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < pos {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Obj == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

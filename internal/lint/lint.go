@@ -1,0 +1,123 @@
+// Package lint implements moglint, the repository's domain-invariant
+// static-analysis suite. Each analyzer codifies one invariant the
+// query engine's correctness rests on but that neither the compiler
+// nor go vet checks:
+//
+//   - spanend        — every obs.Tracer.Start/Root span is ended on
+//     every path out of the function that opened it;
+//   - atomicknob     — atomic.* knob fields are accessed only through
+//     their atomic methods, and sync.Once/Mutex/RWMutex fields are
+//     never copied or passed by value;
+//   - cacheinvalidate — mutations of snapshot-bearing tables clear
+//     their derived state, and engine-visible table mutations route
+//     through InvalidateTrajectories/ResetCache;
+//   - determinism    — the parallel query hot paths stay bit-identical
+//     to serial: no wall-clock, no randomness, no map-iteration-order
+//     result assembly without a subsequent sort;
+//   - metricname     — metric and span names handed to internal/obs
+//     are untyped constants, snake_case, and collision-free.
+//
+// The suite is stdlib-only (go/parser + go/ast + go/token); analyzers
+// work on syntax with small per-package symbol tables rather than full
+// type information, so each check is a documented approximation that
+// errs toward silence on constructs it cannot resolve.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Package is one parsed (not type-checked) package: the unit the
+// loader produces and analyzers consume. Test files are excluded —
+// tests deliberately violate invariants (out-of-order span ends,
+// ad-hoc tracers) to exercise them.
+type Package struct {
+	Path  string // import path, e.g. mogis/internal/core
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Analyzer is one codified invariant. Run receives every loaded
+// package at once so cross-package checks (metric-name uniqueness)
+// see the whole program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pkgs []*Package) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerSpanEnd,
+		AnalyzerAtomicKnob,
+		AnalyzerCacheInvalidate,
+		AnalyzerDeterminism,
+		AnalyzerMetricName,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAll runs the given analyzers over the packages and returns the
+// findings sorted by position then analyzer, ready to print.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(pkgs)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// finding builds a Finding at the position of node n.
+func (p *Package) finding(analyzer string, n ast.Node, format string, args ...any) Finding {
+	pos := p.Fset.Position(n.Pos())
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

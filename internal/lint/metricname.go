@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// AnalyzerMetricName enforces the observability naming contract:
+// every metric name registered through internal/obs (Registry.Counter
+// / Gauge / Histogram), every span name (Tracer.Start), every root
+// trace name (NewTracer) and every span count key (SetCount/AddCount)
+// must be an untyped string constant in snake_case, and metric and
+// span names must be unique across the repository — EXPLAIN ANALYZE
+// looks spans up by name and the Prometheus writer keys on the metric
+// name, so a dynamic or colliding key silently merges unrelated
+// series.
+//
+// Root trace names and count keys are exempt from uniqueness: a root
+// names the whole query (the same canonical query is traced from
+// several entry points) and count keys are scoped to their span.
+var AnalyzerMetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric/span names: untyped constants, snake_case, collision-free",
+	Run:  runMetricName,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\{[a-z_][a-z0-9_]*="[^"]*"\})?$`)
+	spanNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// nameUse is one collected naming call site.
+type nameUse struct {
+	p      *Package
+	node   ast.Node
+	kind   string // "metric", "span", "root", "key"
+	what   string // human label for messages
+	arg    ast.Expr
+	consts map[string]bool
+}
+
+func runMetricName(pkgs []*Package) []Finding {
+	var uses []nameUse
+	for _, p := range pkgs {
+		consts := constIndex(p)
+		for _, f := range p.Files {
+			imports := fileImports(f)
+			if !tracerInScope(p, imports, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				var fnName string
+				if ok {
+					fnName = sel.Sel.Name
+				} else if id, ok := call.Fun.(*ast.Ident); ok {
+					fnName = id.Name
+				}
+				u := nameUse{p: p, node: call, consts: consts}
+				switch {
+				case (fnName == "Counter" || fnName == "Gauge") && len(call.Args) == 2 && ok:
+					u.kind, u.what = "metric", fnName+" registration"
+				case fnName == "Histogram" && len(call.Args) == 3 && ok:
+					u.kind, u.what = "metric", "Histogram registration"
+				case fnName == "Start" && len(call.Args) == 1 && ok && isTracerExpr(imports, sel.X):
+					u.kind, u.what = "span", "span name"
+				case fnName == "NewTracer" && len(call.Args) == 1:
+					u.kind, u.what = "root", "root trace name"
+				case (fnName == "SetCount" || fnName == "AddCount") && len(call.Args) == 2 && ok:
+					u.kind, u.what = "key", "span count key"
+				default:
+					return true
+				}
+				u.arg = call.Args[0]
+				uses = append(uses, u)
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	firstSite := map[string]nameUse{} // "<kind>\x00<value>" → first registration
+	for _, u := range uses {
+		if !isConstString(u.consts, u.arg) {
+			out = append(out, u.p.finding("metricname", u.arg,
+				"%s built dynamically; obs names must be untyped string constants", u.what))
+			continue
+		}
+		val, ok := constStringValue(u.arg)
+		if !ok {
+			continue // constant, but declared out of view: shape checks skipped
+		}
+		re := spanNameRE
+		if u.kind == "metric" {
+			re = metricNameRE
+		}
+		if !re.MatchString(val) {
+			out = append(out, u.p.finding("metricname", u.arg,
+				"%s %q is not snake_case", u.what, val))
+			continue
+		}
+		if u.kind != "metric" && u.kind != "span" {
+			continue
+		}
+		key := u.kind + "\x00" + val
+		if prev, dup := firstSite[key]; dup {
+			prevPos := prev.p.Fset.Position(prev.node.Pos())
+			out = append(out, u.p.finding("metricname", u.arg,
+				"%s %q collides with the registration at %s:%d", u.what, val, prevPos.Filename, prevPos.Line))
+			continue
+		}
+		firstSite[key] = u
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package bad copies atomic and sync struct fields by value — every
+// access the atomicknob analyzer must flag.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Engine struct {
+	workers atomic.Int32
+	snap    atomic.Pointer[[]int]
+	once    sync.Once
+	mu      sync.RWMutex
+}
+
+// Snapshot reads the atomic knob as a plain struct value.
+func (e *Engine) Snapshot() {
+	w := e.workers // want
+	_ = w
+}
+
+// consume takes a sync.Once by value — not itself flagged (the param
+// type is not a struct of this package), but passing the field is.
+func consume(o sync.Once) bool { return false }
+
+// Pass hands the once field to a by-value parameter, losing its
+// identity.
+func (e *Engine) Pass() {
+	consume(e.once) // want
+}
+
+// CopyEngine takes the guarded struct by value: every lock and atomic
+// inside is silently cloned.
+func CopyEngine(e Engine) {} // want
+
+// valueRecv declares a by-value receiver on the guarded struct.
+func (e Engine) valueRecv() {} // want

@@ -1,0 +1,39 @@
+// Package good touches guarded fields only through their methods or
+// by address; atomicknob must stay silent.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Engine struct {
+	workers atomic.Int32
+	snap    atomic.Pointer[[]int]
+	once    sync.Once
+	mu      sync.RWMutex
+}
+
+func (e *Engine) SetWorkers(n int32) { e.workers.Store(n) }
+
+func (e *Engine) Workers() int32 { return e.workers.Load() }
+
+func (e *Engine) Bump() int32 { return e.workers.Add(1) }
+
+func (e *Engine) Swap(old, next int32) bool {
+	return e.workers.CompareAndSwap(old, next)
+}
+
+func (e *Engine) Reset() { e.snap.Store(nil) }
+
+func (e *Engine) Locked(f func()) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.once.Do(f)
+}
+
+// onceAddr passes the primitive by pointer, preserving identity.
+func onceAddr(e *Engine) *sync.Once { return &e.once }
+
+// ptrParam takes the guarded struct by pointer — fine.
+func ptrParam(e *Engine) {}

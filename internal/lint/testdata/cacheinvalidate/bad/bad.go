@@ -1,0 +1,45 @@
+// Package bad mutates tables without invalidating derived state —
+// both forms the cacheinvalidate analyzer must catch.
+package bad
+
+import (
+	"sync/atomic"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+)
+
+type Columns struct{}
+
+// Table carries a derived columnar snapshot.
+type Table struct {
+	tuples []int
+	cols   atomic.Pointer[Columns]
+}
+
+// Append mutates the backing slice but leaves the stale snapshot in
+// place (rule 1).
+func (t *Table) Append(v int) { // want
+	t.tuples = append(t.tuples, v)
+}
+
+// Set overwrites an element without clearing the snapshot (rule 1).
+func (t *Table) Set(i, v int) { // want
+	t.tuples[i] = v
+}
+
+// refill mutates a fact table while an engine is in scope and never
+// invalidates it (rule 2).
+func refill(eng *core.Engine, ctx *fo.Context) {
+	tb := ctx.Table("bus")
+	tb.Add(1, 2, 3, 4) // want
+}
+
+// lateMutation invalidates, then mutates again afterwards (rule 2:
+// the invalidation must come after the last mutation).
+func lateMutation(eng *core.Engine, ctx *fo.Context) {
+	tb := ctx.Table("bus")
+	tb.AddTuple(nil)
+	eng.InvalidateTrajectories("bus")
+	tb.AddTuple(nil) // want
+}

@@ -1,0 +1,58 @@
+// Package good pairs every table mutation with the matching snapshot
+// clear or engine invalidation; cacheinvalidate must stay silent.
+package good
+
+import (
+	"sync/atomic"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+)
+
+type Columns struct{}
+
+// Table carries a derived columnar snapshot.
+type Table struct {
+	tuples []int
+	cols   atomic.Pointer[Columns]
+}
+
+// Append clears the snapshot directly (rule 1).
+func (t *Table) Append(v int) {
+	t.tuples = append(t.tuples, v)
+	t.cols.Store(nil)
+}
+
+// Set routes the clear through a helper method (rule 1, one level).
+func (t *Table) Set(i, v int) {
+	t.tuples[i] = v
+	t.invalidate()
+}
+
+func (t *Table) invalidate() { t.cols.Store(nil) }
+
+// Len reads without mutating — no clear required.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// refill invalidates the engine after the mutation (rule 2).
+func refill(eng *core.Engine, ctx *fo.Context) {
+	tb := ctx.Table("bus")
+	tb.Add(1, 2, 3, 4)
+	tb.AddTuple(nil)
+	eng.InvalidateTrajectories("bus")
+}
+
+// load mutates before any engine exists — the caches build lazily on
+// first query, so nothing can go stale.
+func load(ctx *fo.Context) {
+	tb := ctx.Table("bus")
+	tb.Add(1, 2, 3, 4)
+}
+
+// build mutates first and only then creates the engine (rule 2:
+// mutations before the engine are fine).
+func build(ctx *fo.Context) *core.Engine {
+	tb := ctx.Table("bus")
+	tb.Add(1, 2, 3, 4)
+	return core.New(ctx)
+}

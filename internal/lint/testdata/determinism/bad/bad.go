@@ -1,0 +1,41 @@
+// Package bad breaks the determinism contract inside marked scopes.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+//moglint:deterministic
+func query(m map[int]string) []string {
+	_ = time.Now() // want
+	_ = rand.Int() // want
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want
+	}
+	return out
+}
+
+// unmarked is outside the contract: the same code draws no findings.
+func unmarked(m map[int]string) []string {
+	_ = time.Now()
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+//moglint:deterministic
+func localMap(keys []int) []int {
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		seen[k] = true
+	}
+	var out []int
+	for k := range seen {
+		out = append(out, k) // want
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package good honors the determinism contract; the analyzer must
+// stay silent. The package-doc directive puts every function in
+// scope:
+//
+//moglint:deterministic
+package good
+
+import "sort"
+
+// sortedResult restores a canonical order after map iteration.
+func sortedResult(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// counted aggregates order-independently — no slice is assembled.
+func counted(m map[int]bool) int {
+	n := 0
+	for k := range m {
+		if m[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// sliceRange iterates a slice, which is already ordered.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// scratchSlice appends to a slice local to the loop body.
+func scratchSlice(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

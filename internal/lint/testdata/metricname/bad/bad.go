@@ -1,0 +1,26 @@
+// Package bad registers dynamic, mis-cased and colliding obs names.
+package bad
+
+import (
+	"fmt"
+
+	"mogis/internal/obs"
+)
+
+func dynamicName() string { return "mogis_x_total" }
+
+func register(r *obs.Registry, i int) {
+	r.Counter(fmt.Sprintf("mogis_dyn_%d_total", i), "help") // want
+	r.Counter("mogis_ok_total", "help")
+	r.Counter("mogis_ok_total", "registered twice")  // want
+	r.Gauge("MixedCase", "help")                     // want
+	r.Histogram("mogis-dashed-seconds", "help", nil) // want
+}
+
+func spans(tr *obs.Tracer) {
+	sp := tr.Start("bad.dotted") // want
+	sp.End()
+	sp2 := tr.Start(dynamicName()) // want
+	sp2.SetCount("UpperKey", 1)    // want
+	sp2.End()
+}

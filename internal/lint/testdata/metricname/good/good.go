@@ -1,0 +1,32 @@
+// Package good names every obs instrument with a unique snake_case
+// constant; metricname must stay silent.
+package good
+
+import "mogis/internal/obs"
+
+// stageName shows that a named constant satisfies the contract too.
+const stageName = "stage_const"
+
+func register(r *obs.Registry) {
+	r.Counter("mogis_things_total", "help")
+	r.Counter(`mogis_labeled_total{kind="a"}`, "help")
+	r.Counter(`mogis_labeled_total{kind="b"}`, "help")
+	r.Gauge("mogis_level", "help")
+	r.Histogram("mogis_duration_seconds", "help", nil)
+}
+
+func spans(tr *obs.Tracer) {
+	sp := tr.Start(stageName)
+	sp.SetCount("tuples", 1)
+	sp.AddCount("rows", 2)
+	sp.End()
+}
+
+func roots() {
+	// The same root name from two entry points is fine: roots name the
+	// query, not the site.
+	tr := obs.NewTracer("canonical_query")
+	tr.Finish()
+	tr2 := obs.NewTracer("canonical_query")
+	tr2.Finish()
+}

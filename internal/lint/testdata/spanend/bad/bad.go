@@ -1,0 +1,47 @@
+// Package bad violates the span-lifecycle contract in every way the
+// spanend analyzer must catch.
+package bad
+
+import "mogis/internal/obs"
+
+var errFail error
+
+func cond() bool { return true }
+
+// leakOnError ends the span on the success path only; the error
+// return leaves it open.
+func leakOnError(tr *obs.Tracer) error {
+	sp := tr.Start("stage_one")
+	if cond() {
+		return errFail // want
+	}
+	sp.End()
+	return nil
+}
+
+// discarded drops the span value, so nothing can ever End it.
+func discarded(tr *obs.Tracer) {
+	tr.Start("stage_two") // want
+}
+
+// blanked assigns the span to the blank identifier.
+func blanked(tr *obs.Tracer) {
+	_ = tr.Start("stage_blank") // want
+}
+
+// neverEnded holds the span but falls off the function without End.
+func neverEnded(tr *obs.Tracer) {
+	sp := tr.Start("stage_three") // want
+	sp.SetCount("rows", 1)
+}
+
+// branchOnlyEnd ends the span in one arm; the fall-through path after
+// the if leaks it.
+func branchOnlyEnd(tr *obs.Tracer) error {
+	sp := tr.Start("stage_four")
+	if cond() {
+		sp.End()
+		return nil
+	}
+	return errFail // want
+}

@@ -1,0 +1,48 @@
+// Package good closes every span on every path; spanend must stay
+// silent.
+package good
+
+import "mogis/internal/obs"
+
+var errFail error
+
+func cond() bool { return true }
+
+// deferred is the canonical pattern: defer right after Start.
+func deferred(tr *obs.Tracer) error {
+	sp := tr.Start("stage_one")
+	defer sp.End()
+	if cond() {
+		return errFail
+	}
+	return nil
+}
+
+// branchEnd ends the span explicitly on each path.
+func branchEnd(tr *obs.Tracer) error {
+	sp := tr.Start("stage_two")
+	if cond() {
+		sp.End()
+		return errFail
+	}
+	sp.SetCount("rows", 2)
+	sp.End()
+	return nil
+}
+
+// perIteration opens and closes a span wholly inside a loop body.
+func perIteration(tr *obs.Tracer) {
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("stage_loop")
+		sp.SetCount("i", int64(i))
+		sp.End()
+	}
+}
+
+// finished relies on the tracer's Finish, which ends every open span.
+func finished() {
+	tr := obs.NewTracer("root_name")
+	sp := tr.Start("stage_three")
+	sp.SetCount("rows", 3)
+	tr.Finish()
+}

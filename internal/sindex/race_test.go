@@ -1,0 +1,61 @@
+package sindex
+
+import (
+	"sync"
+	"testing"
+
+	"mogis/internal/geom"
+)
+
+// TestConcurrentReads hammers a built R-tree and uniform grid from
+// many goroutines at once. The structures are written once and then
+// only read — the contract the engine's prefilter relies on — so the
+// race detector must stay silent and every goroutine must see the
+// same answers.
+func TestConcurrentReads(t *testing.T) {
+	entries := make([]Entry, 0, 400)
+	grid := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 16, 16)
+	for i := 0; i < 400; i++ {
+		x := float64(i%20) * 5
+		y := float64(i/20) * 5
+		box := geom.BBox{MinX: x, MinY: y, MaxX: x + 4, MaxY: y + 4}
+		entries = append(entries, Entry{Box: Box(box), ID: int64(i)})
+		grid.Insert(box, int64(i))
+	}
+	rt := BulkLoad(entries, 8)
+
+	query := geom.BBox{MinX: 10, MinY: 10, MaxX: 40, MaxY: 40}
+	center := geom.Pt(50, 50)
+	wantSearch := len(rt.Search(query, nil))
+	wantNear := rt.Nearest(center, 5)
+	wantCand := len(grid.CandidatesIn(query, nil))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := len(rt.Search(query, nil)); got != wantSearch {
+					t.Errorf("concurrent Search = %d hits, want %d", got, wantSearch)
+					return
+				}
+				near := rt.Nearest(center, 5)
+				if len(near) != len(wantNear) || near[0].ID != wantNear[0].ID {
+					t.Errorf("concurrent Nearest diverged: %v vs %v", near, wantNear)
+					return
+				}
+				if got := len(grid.CandidatesIn(query, nil)); got != wantCand {
+					t.Errorf("concurrent CandidatesIn = %d, want %d", got, wantCand)
+					return
+				}
+				if got := len(grid.CandidatesAt(center, nil)); got == 0 {
+					t.Error("concurrent CandidatesAt found nothing at an occupied cell")
+					return
+				}
+				rt.Visit(query, func(geom.BBox, int64) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+}
