@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
+.PHONY: all check build test race race-engine chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
 
 all: check
 
@@ -28,10 +28,17 @@ race-engine:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/sindex/... ./internal/overlay/...
 
 # The repository's own static analyzers (internal/lint): span
-# lifecycles, atomic-knob access, cache invalidation, determinism and
-# obs naming. Nonzero exit on any finding.
+# lifecycles, atomic-knob access, cache invalidation, determinism,
+# obs naming, and context-first plumbing on query entry points.
+# Nonzero exit on any finding.
 lint:
 	$(GO) run ./cmd/moglint ./...
+
+# The fault-injection suite: every faultpoint site armed in every
+# mode, under the race detector — cache coherence, typed errors, and
+# goroutine hygiene after injected failures.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Cancel|Budget|Panic|Leak' ./internal/core/... ./internal/overlay/... ./internal/faultpoint/...
 
 # Fails when any tracked file needs reformatting (prints the paths).
 fmt-check:

@@ -6,6 +6,8 @@ package mogis
 // cmd/mobench binary prints the same tables with labels.
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/fo"
@@ -27,7 +29,7 @@ func BenchmarkE4MotivatingQuery(b *testing.B) {
 	f := s.MotivatingFormula()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rel, err := s.Engine.RegionC(f, []fo.Var{"o", "t"})
+		rel, err := s.Engine.RegionC(context.Background(), f, []fo.Var{"o", "t"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +47,7 @@ func BenchmarkP1Overlay(b *testing.B) {
 		layers := city.Layers()
 		refN := overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}
 		refR := overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}
-		ov, err := overlay.Precompute(layers, []overlay.Pair{{A: refR, B: refN}})
+		ov, err := overlay.Precompute(context.Background(), layers, []overlay.Pair{{A: refR, B: refN}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,19 +128,19 @@ func BenchmarkP3Interpolation(b *testing.B) {
 		window := timedim.Interval{Lo: lo, Hi: hi}
 		// Warm the trajectory cache so both variants measure query
 		// work.
-		if _, err := eng.Trajectories("FM"); err != nil {
+		if _, err := eng.Trajectories(context.Background(), "FM"); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(sizeName("sampled", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.ObjectsSampledInside("FM", target, window); err != nil {
+				if _, err := eng.ObjectsSampledInside(context.Background(), "FM", target, window); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(sizeName("interpolated", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.ObjectsPassingThrough("FM", target, window); err != nil {
+				if _, err := eng.ObjectsPassingThrough(context.Background(), "FM", target, window); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -197,7 +199,7 @@ func BenchmarkP5RegionC(b *testing.B) {
 		))
 		b.Run(sizeName("samples", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.RegionC(f, []fo.Var{"o", "t"}); err != nil {
+				if _, err := eng.RegionC(context.Background(), f, []fo.Var{"o", "t"}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -16,11 +16,16 @@
 //	mobench -baseline BENCH_PR2.json  # print metric deltas vs a prior run;
 //	                      # fail if any ns_per_op metric regresses >2x
 //	mobench -metrics      # dump engine metrics (Prometheus text) on exit
+//	mobench -timeout 30s -max-rows 50000000  # bound each engine query
 //	mobench -cpuprofile cpu.out -exp P2
 //	mobench -memprofile mem.out -trace trace.out
+//
+// A missing or malformed -baseline file is not fatal: mobench warns
+// on stderr, skips the delta table, and exits by the run's own result.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"sort"
 	"strings"
 
+	"mogis/internal/core"
 	"mogis/internal/experiments"
 	"mogis/internal/obs"
 )
@@ -46,7 +52,18 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline applied to every engine call (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query budget on scanned rows/samples for every engine call (0 = unlimited)")
+	maxResults := flag.Int64("max-results", 0, "per-query budget on result items for every engine call (0 = unlimited)")
 	flag.Parse()
+
+	if *timeout > 0 || *maxRows > 0 || *maxResults > 0 {
+		experiments.SetBaseContext(core.WithBudget(context.Background(), core.Budget{
+			MaxRows:    *maxRows,
+			MaxResults: *maxResults,
+			Timeout:    *timeout,
+		}))
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -182,8 +199,11 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 	if baseline != "" {
 		regressed, err := compareBaseline(os.Stdout, baseline, reports)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mobench: baseline: %v\n", err)
-			return 2
+			// A missing or unreadable baseline is a degraded run, not a
+			// failed one: first runs on a fresh checkout have no prior
+			// JSON, and CI caches can serve truncated files. Warn, skip
+			// the delta table, and let the run's own result decide.
+			fmt.Fprintf(os.Stderr, "mobench: warning: baseline %s unusable (%v); skipping comparison\n", baseline, err)
 		}
 		if regressed {
 			fmt.Fprintf(os.Stderr, "mobench: FAIL: a tracked ns_per_op metric regressed more than 2x vs %s\n", baseline)

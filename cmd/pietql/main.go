@@ -16,15 +16,22 @@
 //	pietql -city -grid 8          # synthetic city instead of the paper scenario
 //	pietql -explain-remark1       # trace the paper's Remark 1 query
 //	pietql -metrics -query "..."  # dump Prometheus metrics after the run
+//	pietql -timeout 2s -max-rows 1000000 -query "..."
 //	echo "..." | pietql -
+//
+// Exit codes: 0 success, 1 setup or I/O error, 2 query parse error,
+// 3 evaluation error (including resource-budget aborts), 4 timeout or
+// cancellation.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mogis/internal/core"
 	"mogis/internal/fo"
@@ -34,10 +41,35 @@ import (
 	"mogis/internal/olap"
 	"mogis/internal/overlay"
 	"mogis/internal/pietql"
+	"mogis/internal/qerr"
 	"mogis/internal/scenario"
 	"mogis/internal/store"
 	"mogis/internal/workload"
 )
+
+// queryLimits carries the CLI's -timeout/-max-rows/-max-results into
+// each query's context.
+var queryLimits struct {
+	timeout    time.Duration
+	maxRows    int64
+	maxResults int64
+}
+
+// queryContext builds the per-query context: a wall-clock deadline
+// from -timeout and a core.Budget from -max-rows/-max-results.
+func queryContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if queryLimits.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, queryLimits.timeout)
+	}
+	if queryLimits.maxRows > 0 || queryLimits.maxResults > 0 {
+		ctx = core.WithBudget(ctx, core.Budget{
+			MaxRows:    queryLimits.maxRows,
+			MaxResults: queryLimits.maxResults,
+		})
+	}
+	return ctx, cancel
+}
 
 func main() {
 	query := flag.String("query", "", "run one query and exit")
@@ -50,6 +82,23 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
 	explainRemark1 := flag.Bool("explain-remark1", false, "trace the paper's Remark 1 motivating query and exit")
 	verbose := flag.Bool("v", false, "log engine events (overlay precomputation, ...) to stderr")
+	flag.DurationVar(&queryLimits.timeout, "timeout", 0, "per-query wall-clock deadline (0 = none); exceeding it exits 4")
+	flag.Int64Var(&queryLimits.maxRows, "max-rows", 0, "per-query budget on scanned MOFT rows / trajectory samples (0 = unlimited); exceeding it exits 3")
+	flag.Int64Var(&queryLimits.maxResults, "max-results", 0, "per-query budget on result items (0 = unlimited); exceeding it exits 3")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: pietql [flags] [query-file | -] ...
+
+Exit codes:
+  0  success
+  1  setup or I/O error
+  2  query parse error
+  3  evaluation error (including -max-rows/-max-results budget aborts)
+  4  timeout (-timeout) or cancellation
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *verbose {
@@ -84,7 +133,7 @@ func main() {
 
 	switch {
 	case *query != "":
-		runQuery(sys, *query)
+		exit(runQuery(sys, *query), *metrics)
 	case flag.NArg() > 0:
 		for _, arg := range flag.Args() {
 			var text []byte
@@ -98,11 +147,25 @@ func main() {
 				fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
 				os.Exit(1)
 			}
-			runQuery(sys, string(text))
+			if code := runQuery(sys, string(text)); code != 0 {
+				exit(code, *metrics)
+			}
 		}
 	default:
 		repl(sys)
 	}
+}
+
+// exit flushes the -metrics dump (normally handled by the deferred
+// WritePrometheus, which os.Exit would skip) and terminates with code.
+func exit(code int, metrics bool) {
+	if code == 0 {
+		return
+	}
+	if metrics {
+		obs.Default.WritePrometheus(os.Stdout)
+	}
+	os.Exit(code)
 }
 
 func readAll(f *os.File) ([]byte, error) {
@@ -136,13 +199,26 @@ func runExplainRemark1() error {
 	return nil
 }
 
-func runQuery(sys *pietql.System, q string) {
-	out, err := sys.Run(q)
+// runQuery evaluates one query under the CLI's timeout/budget context
+// and returns the process exit code for it: 0 success, 2 parse error,
+// 3 evaluation error, 4 timeout or cancellation.
+func runQuery(sys *pietql.System, q string) int {
+	ctx, cancel := queryContext()
+	defer cancel()
+	out, err := sys.Run(ctx, q)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		return
+		switch {
+		case pietql.IsParseError(err):
+			return 2
+		case qerr.IsCancel(err):
+			return 4
+		default:
+			return 3
+		}
 	}
 	fmt.Print(pietql.FormatOutcome(out))
+	return 0
 }
 
 func repl(sys *pietql.System) {
@@ -210,7 +286,7 @@ func loadSystem(dir string, withOverlay bool) (*pietql.System, error) {
 			}
 			pairs = append(pairs, overlay.Pair{A: refN, B: overlay.Ref{Layer: name, Kind: kind}})
 		}
-		ov, err := overlay.Precompute(layers, pairs)
+		ov, err := overlay.Precompute(context.Background(), layers, pairs)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +311,7 @@ func buildSystem(useCity bool, grid, objects int, seed int64, withOverlay bool) 
 		}
 		sys.Cubes["CityCube"] = &mdx.Cube{Name: "CityCube", Fact: populationCube(s.Neighborhoods)}
 		if withOverlay {
-			ov, err := overlay.Precompute(map[string]*layer.Layer{
+			ov, err := overlay.Precompute(context.Background(), map[string]*layer.Layer{
 				"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
 			}, defaultPairs())
 			if err != nil {
@@ -261,7 +337,7 @@ func buildSystem(useCity bool, grid, objects int, seed int64, withOverlay bool) 
 		Cubes:      mdx.Catalog{"CityCube": &mdx.Cube{Name: "CityCube", Fact: populationCube(city.Neighborhoods)}},
 	}
 	if withOverlay {
-		ov, err := overlay.Precompute(city.Layers(), defaultPairs())
+		ov, err := overlay.Precompute(context.Background(), city.Layers(), defaultPairs())
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -44,7 +46,7 @@ func main() {
 		)),
 		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
 	)
-	res, err := eng.AggregateRegion(f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
+	res, err := eng.AggregateRegion(context.Background(), f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 		pl, _ := city.Lh.Polyline(id)
 		streetLen += pl.Length()
 	}
-	rel, err := eng.RegionC(&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
+	rel, err := eng.RegionC(context.Background(), &fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
 		[]fo.Var{"o", "t"})
 	if err != nil {
 		log.Fatal(err)
@@ -79,7 +81,7 @@ func main() {
 		peakN, peak, peakN/streetLen)
 
 	// --- Piet-QL with precomputed overlay ----------------------------
-	ov, err := overlay.Precompute(city.Layers(), []overlay.Pair{
+	ov, err := overlay.Precompute(context.Background(), city.Layers(), []overlay.Pair{
 		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
 		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
 	})
@@ -95,7 +97,7 @@ func main() {
 		},
 		Cubes: mdx.Catalog{},
 	}
-	out, err := sys.Run(`
+	out, err := sys.Run(context.Background(), `
 		SELECT layer.Lr, layer.Ln, layer.Lstores;
 		FROM PietSchema;
 		WHERE intersection(layer.Lr, layer.Ln, subplevel.Linestring)

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -42,7 +44,7 @@ func main() {
 
 	// Summable rewriting: population of the low-income region is a
 	// plain sum over geometry ids — no integration (Section 5).
-	lowPop, err := eng.SummableOverIDs(city.LowIncomeIDs, gft, "population")
+	lowPop, err := eng.SummableOverIDs(context.Background(), city.LowIncomeIDs, gft, "population")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 	for _, id := range city.LowIncomeIDs {
 		pg, _ := city.Ln.Polygon(id)
 		pop, _ := gft.Measure(id, "population")
-		v, err := eng.GeometricAggregate(gis.Aggregation{
+		v, err := eng.GeometricAggregate(context.Background(), gis.Aggregation{
 			C: gis.Region{Polygons: []geom.Polygon{pg}},
 			H: gis.ConstDensity(pop / pg.Area()),
 		})
@@ -75,7 +77,7 @@ func main() {
 		},
 		Measures: []string{"samples"},
 	})
-	rel, err := eng.RegionC(fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+	rel, err := eng.RegionC(context.Background(), fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
 		&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
 		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
 		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},

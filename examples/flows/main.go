@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 		Seed: 13, Objects: 120, Samples: 90, Step: 60, Speed: 2.5,
 	})
 	_, eng := city.Context(fm)
-	lits, err := eng.Trajectories("FM")
+	lits, err := eng.Trajectories(context.Background(), "FM")
 	if err != nil {
 		log.Fatal(err)
 	}

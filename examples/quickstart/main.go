@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -31,7 +33,7 @@ func main() {
 	// function α^{neighb,Pg}_Ln, the Time-dimension rollup
 	// R^timeOfDay_timeId, and the income attribute (Section 3.1).
 	formula := s.MotivatingFormula()
-	rel, err := s.Engine.RegionC(formula, []fo.Var{"o", "t"})
+	rel, err := s.Engine.RegionC(context.Background(), formula, []fo.Var{"o", "t"})
 	if err != nil {
 		log.Fatal(err)
 	}

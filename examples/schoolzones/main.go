@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sort"
@@ -32,7 +34,7 @@ func main() {
 	window := timedim.Interval{Lo: lo, Hi: hi}
 	const radius = 40.0
 
-	lits, err := eng.Trajectories("FM")
+	lits, err := eng.Trajectories(context.Background(), "FM")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func main() {
 
 		// Interpolated: solve the quadratic distance constraint along
 		// each leg (the paper's second Q6 formulation).
-		interp, err := eng.ObjectsEverWithinRadius("FM", school, radius, window)
+		interp, err := eng.ObjectsEverWithinRadius(context.Background(), "FM", school, radius, window)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +91,7 @@ func main() {
 
 	// Time spent near the busiest school, per object (Q7 flavor).
 	school, _ := city.Ls.Node(busiest)
-	within, err := eng.ObjectsEverWithinRadius("FM", school, radius, window)
+	within, err := eng.ObjectsEverWithinRadius(context.Background(), "FM", school, radius, window)
 	if err != nil {
 		log.Fatal(err)
 	}

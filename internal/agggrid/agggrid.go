@@ -28,6 +28,7 @@
 package agggrid
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
@@ -75,13 +76,21 @@ type Grid struct {
 // Build constructs the grid for a snapshot. An empty snapshot yields a
 // grid that answers every query with zero.
 func Build(cols *moft.Columns, cfg Config) *Grid {
+	g, _ := BuildCtx(context.Background(), cols, cfg)
+	return g
+}
+
+// BuildCtx is Build with cooperative cancellation: ctx is observed
+// every few thousand rows in both passes, and an abandoned build
+// returns the context's error with no grid published.
+func BuildCtx(ctx context.Context, cols *moft.Columns, cfg Config) (*Grid, error) {
 	g := &Grid{cols: cols, extent: cols.BBox()}
 	n := cols.Len()
 	if n == 0 || g.extent.IsEmpty() {
 		g.nx, g.ny = 1, 1
 		g.cellW, g.cellH = 1, 1
 		g.cellStart = make([]int32, 2)
-		return g
+		return g, nil
 	}
 	g.nx, g.ny = cfg.NX, cfg.NY
 	if g.nx <= 0 || g.ny <= 0 {
@@ -110,6 +119,11 @@ func Build(cols *moft.Columns, cfg Config) *Grid {
 	g.cellStart = make([]int32, cells+1)
 	cellOfRow := make([]int32, n)
 	for i := 0; i < n; i++ {
+		if i%4096 == 4095 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		c := int32(g.cellOf(cols.X[i], cols.Y[i]))
 		cellOfRow[i] = c
 		g.cellStart[c+1]++
@@ -130,13 +144,18 @@ func Build(cols *moft.Columns, cfg Config) *Grid {
 	cursor := make([]int32, cells)
 	copy(cursor, g.cellStart[:cells])
 	for i := 0; i < n; i++ {
+		if i%4096 == 4095 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		c := cellOfRow[i]
 		g.rows[cursor[c]] = int32(i)
 		cursor[c]++
 		o := cols.Obj[i]
 		g.presence[int(c)*g.words+int(o>>6)] |= 1 << uint(o&63)
 	}
-	return g
+	return g, nil
 }
 
 // Cells returns the total cell count.

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/core"
@@ -49,29 +51,29 @@ func TestGridAcceleratedIdentity(t *testing.T) {
 	for wi, w := range windows {
 		for pi, pg := range polys {
 			eng.SetAggGrid(-1)
-			slowN, err := eng.CountSamplesInside("FM", pg, w)
+			slowN, err := eng.CountSamplesInside(context.Background(), "FM", pg, w)
 			if err != nil {
 				t.Fatal(err)
 			}
-			slowO, err := eng.ObjectsSampledInside("FM", pg, w)
+			slowO, err := eng.ObjectsSampledInside(context.Background(), "FM", pg, w)
 			if err != nil {
 				t.Fatal(err)
 			}
-			slowAt, err := eng.ObjectsSampledAt("FM", w.Lo, pg)
+			slowAt, err := eng.ObjectsSampledAt(context.Background(), "FM", w.Lo, pg)
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			eng.SetAggGrid(0)
-			fastN, err := eng.CountSamplesInside("FM", pg, w)
+			fastN, err := eng.CountSamplesInside(context.Background(), "FM", pg, w)
 			if err != nil {
 				t.Fatal(err)
 			}
-			fastO, err := eng.ObjectsSampledInside("FM", pg, w)
+			fastO, err := eng.ObjectsSampledInside(context.Background(), "FM", pg, w)
 			if err != nil {
 				t.Fatal(err)
 			}
-			fastAt, err := eng.ObjectsSampledAt("FM", w.Lo, pg)
+			fastAt, err := eng.ObjectsSampledAt(context.Background(), "FM", w.Lo, pg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,10 +101,10 @@ func TestGridAcceleratedIdentity(t *testing.T) {
 	eng.SetGridVerify(true)
 	for _, w := range windows {
 		for _, pg := range polys {
-			if _, err := eng.CountSamplesInside("FM", pg, w); err != nil {
+			if _, err := eng.CountSamplesInside(context.Background(), "FM", pg, w); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := eng.ObjectsSampledInside("FM", pg, w); err != nil {
+			if _, err := eng.ObjectsSampledInside(context.Background(), "FM", pg, w); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -118,7 +120,7 @@ func TestGridInvalidation(t *testing.T) {
 	s := sc(t)
 	berchem, _ := s.Ln.Polygon(scenario.PgBerchem)
 	iv := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
-	before, err := s.Engine.CountSamplesInside("FMbus", berchem, iv)
+	before, err := s.Engine.CountSamplesInside(context.Background(), "FMbus", berchem, iv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestGridInvalidation(t *testing.T) {
 	c := berchem.Centroid()
 	s.FMbus.Add(99, scenario.T(2), c.X, c.Y)
 	s.Engine.InvalidateTrajectories("FMbus")
-	after, err := s.Engine.CountSamplesInside("FMbus", berchem, iv)
+	after, err := s.Engine.CountSamplesInside(context.Background(), "FMbus", berchem, iv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +143,10 @@ func TestGridUnknownTable(t *testing.T) {
 	s := sc(t)
 	pg, _ := s.Ln.Polygon(scenario.PgMeir)
 	iv := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
-	if _, err := s.Engine.CountSamplesInside("FMnope", pg, iv); err == nil {
+	if _, err := s.Engine.CountSamplesInside(context.Background(), "FMnope", pg, iv); err == nil {
 		t.Fatal("no error for unknown table")
 	}
-	if _, err := s.Engine.CountSamplesInside("FMbus", pg, iv); err != nil {
+	if _, err := s.Engine.CountSamplesInside(context.Background(), "FMbus", pg, iv); err != nil {
 		t.Fatalf("known table failed after unknown-table query: %v", err)
 	}
 }
@@ -157,11 +159,11 @@ func TestGridQueryAllocs(t *testing.T) {
 	lo, hi, _ := fm.TimeSpan()
 	iv := timedim.Interval{Lo: lo, Hi: hi}
 	pg, _ := city.Ln.Polygon(city.LowIncomeIDs[0])
-	if _, err := eng.CountSamplesInside("FM", pg, iv); err != nil {
+	if _, err := eng.CountSamplesInside(context.Background(), "FM", pg, iv); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := eng.CountSamplesInside("FM", pg, iv); err != nil {
+		if _, err := eng.CountSamplesInside(context.Background(), "FM", pg, iv); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/core"
@@ -31,7 +33,7 @@ func TestBoundaryTangentWithinRadius(t *testing.T) {
 	// reached exactly at t=2.
 	center, r := geom.Pt(2, 0), 2.0
 
-	out, err := e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 4})
+	out, err := e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, timedim.Interval{Lo: 0, Hi: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func TestBoundaryTangentWithinRadius(t *testing.T) {
 	}
 
 	// A window whose upper bound is the graze instant still touches it.
-	out, err = e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 2})
+	out, err = e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, timedim.Interval{Lo: 0, Hi: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestBoundaryTangentWithinRadius(t *testing.T) {
 	}
 
 	// A window strictly before the graze misses it.
-	out, err = e.ObjectsEverWithinRadius("FMb", center, r, timedim.Interval{Lo: 0, Hi: 1})
+	out, err = e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, timedim.Interval{Lo: 0, Hi: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +78,11 @@ func TestBoundaryWindowTouchSymmetry(t *testing.T) {
 
 	// Window [0,1]: touches the entry instant t=1 exactly.
 	win := timedim.Interval{Lo: 0, Hi: 1}
-	spent, err := e.TimeSpentInside("FMb", pg, win)
+	spent, err := e.TimeSpentInside(context.Background(), "FMb", pg, win)
 	if err != nil {
 		t.Fatal(err)
 	}
-	within, err := e.ObjectsEverWithinRadius("FMb", center, r, win)
+	within, err := e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, win)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestBoundaryWindowTouchSymmetry(t *testing.T) {
 	}
 
 	// ObjectsPassingThrough agrees on the same touch.
-	oids, err := e.ObjectsPassingThrough("FMb", pg, win)
+	oids, err := e.ObjectsPassingThrough(context.Background(), "FMb", pg, win)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,15 +105,15 @@ func TestBoundaryWindowTouchSymmetry(t *testing.T) {
 	// Window [4,8] lies strictly after the exit instant t=3; all
 	// three queries agree on absence.
 	after := timedim.Interval{Lo: 4, Hi: 8}
-	spent, err = e.TimeSpentInside("FMb", pg, after)
+	spent, err = e.TimeSpentInside(context.Background(), "FMb", pg, after)
 	if err != nil {
 		t.Fatal(err)
 	}
-	within, err = e.ObjectsEverWithinRadius("FMb", center, r, after)
+	within, err = e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, after)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oids, err = e.ObjectsPassingThrough("FMb", pg, after)
+	oids, err = e.ObjectsPassingThrough(context.Background(), "FMb", pg, after)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +123,11 @@ func TestBoundaryWindowTouchSymmetry(t *testing.T) {
 
 	// Interior window [1,3]: both report the same positive duration.
 	mid := timedim.Interval{Lo: 1, Hi: 3}
-	spent, err = e.TimeSpentInside("FMb", pg, mid)
+	spent, err = e.TimeSpentInside(context.Background(), "FMb", pg, mid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	within, err = e.ObjectsEverWithinRadius("FMb", center, r, mid)
+	within, err = e.ObjectsEverWithinRadius(context.Background(), "FMb", center, r, mid)
 	if err != nil {
 		t.Fatal(err)
 	}

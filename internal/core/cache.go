@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -10,9 +11,11 @@ import (
 	"sync"
 
 	"mogis/internal/agggrid"
+	"mogis/internal/faultpoint"
 	"mogis/internal/geom"
 	"mogis/internal/moft"
 	"mogis/internal/obs"
+	"mogis/internal/qerr"
 	"mogis/internal/sindex"
 	"mogis/internal/traj"
 )
@@ -35,6 +38,13 @@ import (
 //     independently of the LIT build (sample-only queries never pay
 //     for interpolation) from the table's columnar snapshot.
 //
+// Builds are cancellable: each cache unit is a buildUnit (a resettable
+// single-flight latch) whose builder runs under the triggering query's
+// context. A build abandoned by cancel, deadline, budget or an
+// injected fault publishes nothing and resets the unit, so the next
+// caller retries from scratch; waiters whose own context dies stop
+// waiting without affecting the in-flight build.
+//
 // Invalidation rules: InvalidateTrajectories(table) and ResetCache
 // drop all four for the affected tables. A query racing an
 // invalidation may still be answered from the generation it started
@@ -49,23 +59,86 @@ const serialThreshold = 32
 // defaultIntervalCacheCap bounds the memoized polygons per table.
 const defaultIntervalCacheCap = 256
 
-// tableCache is the per-table cache unit. lits, oids and tree are
-// written once inside the sync.Once build and read-only afterwards;
-// the interval cache mutates under imu; the sample grid builds
-// single-flight under its own Once so sample-only queries never
-// trigger trajectory interpolation.
-type tableCache struct {
-	once  sync.Once
-	built chan struct{} // closed when the build finished (ok or not)
+// buildUnit is a resettable single-flight latch: the first caller
+// becomes the builder and runs fn; concurrent callers wait on the
+// in-flight channel. A successful build latches permanently; any
+// failure (cancel, deadline, budget, error, recovered panic) leaves
+// the unit exactly as-if-never-started so the next caller retries.
+// It replaces sync.Once, whose one-shot semantics would poison the
+// cache after an abandoned build.
+type buildUnit struct {
+	mu       sync.Mutex
+	done     bool
+	inflight chan struct{} // non-nil while a build runs; closed when it ends
+}
 
+// run returns immediately when the unit is built; otherwise it joins
+// the in-flight build or becomes the builder. builtNow reports that
+// this caller executed fn successfully (the gauge-update trigger). A
+// waiter whose ctx dies returns ctx.Err() without killing the build;
+// when a build it waited on is abandoned, it retries as the builder.
+func (u *buildUnit) run(ctx context.Context, op string, fn func() error) (builtNow bool, err error) {
+	for {
+		u.mu.Lock()
+		if u.done {
+			u.mu.Unlock()
+			return false, nil
+		}
+		if ch := u.inflight; ch != nil {
+			u.mu.Unlock()
+			select {
+			case <-ch:
+				continue // build ended: latched, or reset for retry
+			case <-ctx.Done():
+				return false, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		u.inflight = ch
+		u.mu.Unlock()
+
+		err = runProtected(op, fn)
+		u.mu.Lock()
+		u.inflight = nil
+		u.done = err == nil
+		u.mu.Unlock()
+		close(ch)
+		return err == nil, err
+	}
+}
+
+// ok reports whether the unit has latched a successful build.
+func (u *buildUnit) ok() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.done
+}
+
+// runProtected runs fn with panic isolation: a panic becomes a
+// *qerr.QueryPanicError carrying the stack, so one poisoned build
+// cannot take the process down or wedge its waiters.
+func runProtected(op string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = qerr.NewPanic(op, v)
+		}
+	}()
+	return fn()
+}
+
+// tableCache is the per-table cache unit. lits, oids and tree are
+// written by the lit buildUnit's builder before the unit latches and
+// read-only afterwards; the interval cache mutates under imu; the
+// sample grid builds under its own buildUnit so sample-only queries
+// never trigger trajectory interpolation.
+type tableCache struct {
+	lit  buildUnit
 	lits map[moft.Oid]*traj.LIT
 	oids []moft.Oid // sorted; the deterministic fan-out order
 	tree *sindex.RTree
-	err  error
 
-	gridOnce sync.Once
+	gridUnit buildUnit
 	grid     *agggrid.Grid
-	gridErr  error
 
 	imu       sync.Mutex
 	dead      bool // set on invalidation; stops new interval-cache inserts
@@ -80,43 +153,42 @@ type intervalEntry struct {
 	m   map[moft.Oid][]traj.TimeInterval
 }
 
-// isBuilt reports whether the build completed (successfully or not)
-// without blocking.
-func (tc *tableCache) isBuilt() bool {
-	select {
-	case <-tc.built:
-		return true
-	default:
-		return false
-	}
-}
-
 // build interpolates every object of the table and packs the
-// trajectory bounding boxes into the prefilter R-tree.
-func (tc *tableCache) build(e *Engine, table string) {
-	defer close(tc.built)
-	tbl, err := e.ctx.Table(table)
-	if err != nil {
-		tc.err = err
-		return
+// trajectory bounding boxes into the prefilter R-tree. It publishes
+// to tc only at the very end, so an abandoned build (cancel, budget,
+// fault) leaves no partial state behind.
+func (tc *tableCache) build(ctx context.Context, e *Engine, table string) error {
+	if err := faultpoint.Hit(faultpoint.CoreLITBuild); err != nil {
+		return err
 	}
-	sp := e.ctx.Tracer().Start("interpolate")
+	tbl, err := e.mctx.Table(table)
+	if err != nil {
+		return err
+	}
+	sp := e.mctx.Tracer().Start("interpolate")
 	defer sp.End()
 	// Interpolate from the columnar snapshot: per-object samples come
 	// from contiguous ranges of the flat T/X/Y arrays instead of
 	// walking Tuple structs.
-	cols := tbl.Columns()
+	cols, err := tbl.ColumnsCtx(ctx)
+	if err != nil {
+		return err
+	}
 	oids := make([]moft.Oid, len(cols.Oids))
 	copy(oids, cols.Oids)
 	lits := make(map[moft.Oid]*traj.LIT, len(oids))
 	entries := make([]sindex.Entry, 0, len(oids))
 	for i, oid := range oids {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		lo, hi := cols.ObjectRange(i)
 		s := traj.SampleFromColumns(cols.T[lo:hi], cols.X[lo:hi], cols.Y[lo:hi])
 		l, err := traj.NewLIT(s)
 		if err != nil {
-			tc.err = fmt.Errorf("core: object O%d: %w", oid, err)
-			return
+			return fmt.Errorf("core: object O%d: %w", oid, err)
 		}
 		lits[oid] = l
 		entries = append(entries, sindex.Entry{Box: sindex.Box(l.BBox()), ID: int64(oid)})
@@ -126,28 +198,42 @@ func (tc *tableCache) build(e *Engine, table string) {
 	tc.lits = lits
 	tc.oids = oids
 	tc.tree = sindex.BulkLoad(entries, sindex.DefaultFanout)
+	return nil
 }
 
 // aggGrid returns the table's pre-aggregated sample grid, building it
 // single-flight from the columnar snapshot on first use. Independent
 // of the LIT build: sample-only queries pay only for the grid.
-func (tc *tableCache) aggGrid(e *Engine, table string) (*agggrid.Grid, error) {
-	tc.gridOnce.Do(func() {
-		tbl, err := e.ctx.Table(table)
-		if err != nil {
-			tc.gridErr = err
-			return
+func (tc *tableCache) aggGrid(ctx context.Context, e *Engine, table string) (*agggrid.Grid, error) {
+	_, err := tc.gridUnit.run(ctx, "core/grid-build", func() error {
+		if err := faultpoint.Hit(faultpoint.CoreGridBuild); err != nil {
+			return err
 		}
-		sp := e.ctx.Tracer().Start("agggrid_build")
+		tbl, err := e.mctx.Table(table)
+		if err != nil {
+			return err
+		}
+		sp := e.mctx.Tracer().Start("agggrid_build")
 		defer sp.End()
-		cols := tbl.Columns()
+		cols, err := tbl.ColumnsCtx(ctx)
+		if err != nil {
+			return err
+		}
 		n := int(e.gridCells.Load())
-		tc.grid = agggrid.Build(cols, agggrid.Config{NX: n, NY: n})
-		sp.SetCount("cells", int64(tc.grid.Cells()))
+		g, err := agggrid.BuildCtx(ctx, cols, agggrid.Config{NX: n, NY: n})
+		if err != nil {
+			return err
+		}
+		tc.grid = g
+		sp.SetCount("cells", int64(g.Cells()))
 		sp.SetCount("samples", int64(cols.Len()))
 		e.metrics().AggGridBuilds.Inc()
+		return nil
 	})
-	return tc.grid, tc.gridErr
+	if err != nil {
+		return nil, err
+	}
+	return tc.grid, nil
 }
 
 // candidates returns, in sorted oid order, the objects whose
@@ -155,8 +241,14 @@ func (tc *tableCache) aggGrid(e *Engine, table string) (*agggrid.Grid, error) {
 // and records the candidate/skip split in the engine metrics.
 //
 //moglint:deterministic
-func (tc *tableCache) candidates(met *obs.Metrics, box geom.BBox) []moft.Oid {
-	ids := tc.tree.Search(box, nil)
+func (tc *tableCache) candidates(ctx context.Context, met *obs.Metrics, box geom.BBox) ([]moft.Oid, error) {
+	if err := faultpoint.Hit(faultpoint.CorePrefilter); err != nil {
+		return nil, err
+	}
+	ids, err := tc.tree.SearchCtx(ctx, box, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]moft.Oid, len(ids))
 	for i, id := range ids {
 		out[i] = moft.Oid(id)
@@ -164,7 +256,7 @@ func (tc *tableCache) candidates(met *obs.Metrics, box geom.BBox) []moft.Oid {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	met.PrefilterCandidates.Add(int64(len(out)))
 	met.PrefilterSkipped.Add(int64(len(tc.oids) - len(out)))
-	return out
+	return out, nil
 }
 
 // drainIntervals empties the interval cache (on invalidation) and
@@ -213,10 +305,11 @@ func polygonKey(pg geom.Polygon) string {
 // pg over its whole time domain (unclamped — callers clamp to their
 // query window, which keeps the cache window-independent). The result
 // map is shared with the cache; callers must not mutate it. Absent
-// objects spend no time inside.
+// objects spend no time inside. An aborted computation (cancel,
+// budget, fault) is never inserted into the cache.
 //
 //moglint:deterministic
-func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid][]traj.TimeInterval {
+func (e *Engine) polygonIntervals(ctx context.Context, qc *qctl, tc *tableCache, pg geom.Polygon) (map[moft.Oid][]traj.TimeInterval, error) {
 	met := e.metrics()
 	cacheCap := e.intervalCacheCap()
 	var key string
@@ -228,25 +321,47 @@ func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid]
 			m := el.Value.(*intervalEntry).m
 			tc.imu.Unlock()
 			met.IntervalCacheHits.Inc()
-			return m
+			return m, nil
 		}
 		tc.imu.Unlock()
 		met.IntervalCacheMisses.Inc()
 	}
 
-	cand := tc.candidates(met, pg.BBox())
+	cand, err := tc.candidates(ctx, met, pg.BBox())
+	if err != nil {
+		return nil, err
+	}
 	workers := e.workerCount(len(cand))
 	parts := make([]map[moft.Oid][]traj.TimeInterval, workers)
-	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+	err = forChunks(ctx, workers, len(cand), func(chunk, lo, hi int) error {
 		m := make(map[moft.Oid][]traj.TimeInterval)
+		rows, results := int64(0), int64(0)
 		for _, oid := range cand[lo:hi] {
-			if ivs := tc.lits[oid].InsidePolygonIntervals(pg); len(ivs) > 0 {
+			l := tc.lits[oid]
+			if rows += int64(len(l.Sample())); rows >= checkEvery {
+				if err := qc.addRows(ctx, rows); err != nil {
+					return err
+				}
+				rows = 0
+			}
+			if ivs := l.InsidePolygonIntervals(pg); len(ivs) > 0 {
 				m[oid] = ivs
+				results += int64(len(ivs))
 			}
 		}
 		parts[chunk] = m
+		if err := qc.addRows(ctx, rows); err != nil {
+			return err
+		}
+		return qc.addResults(results)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := parts[0]
+	if out == nil {
+		out = make(map[moft.Oid][]traj.TimeInterval)
+	}
 	for _, m := range parts[1:] {
 		for oid, ivs := range m {
 			out[oid] = ivs
@@ -254,6 +369,9 @@ func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid]
 	}
 
 	if cacheCap > 0 {
+		if err := faultpoint.Hit(faultpoint.CoreIntervalInsert); err != nil {
+			return nil, err
+		}
 		tc.imu.Lock()
 		if !tc.dead {
 			if tc.intervals == nil {
@@ -275,7 +393,7 @@ func (e *Engine) polygonIntervals(tc *tableCache, pg geom.Polygon) map[moft.Oid]
 		}
 		tc.imu.Unlock()
 	}
-	return out
+	return out, nil
 }
 
 // workerCount sizes the pool for a fan-out over n objects: the
@@ -301,14 +419,18 @@ func (e *Engine) workerCount(n int) int {
 // forChunks splits [0, n) into one contiguous chunk per worker and
 // runs fn(chunk, lo, hi) concurrently. Chunk indices let callers
 // merge per-chunk results in a deterministic order regardless of
-// goroutine scheduling; workers <= 1 runs inline.
+// goroutine scheduling; workers <= 1 runs inline. Every worker is
+// panic-isolated (a panic becomes a *qerr.QueryPanicError) and checks
+// ctx before starting; all workers drain before the first error — in
+// chunk order, so the reported error is scheduling-independent — is
+// returned.
 //
 //moglint:deterministic
-func forChunks(workers, n int, fn func(chunk, lo, hi int)) {
+func forChunks(ctx context.Context, workers, n int, fn func(chunk, lo, hi int) error) error {
 	if workers <= 1 {
-		fn(0, 0, n)
-		return
+		return runChunk(0, 0, n, fn)
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for c := 0; c < workers; c++ {
 		lo := c * n / workers
@@ -319,8 +441,32 @@ func forChunks(workers, n int, fn func(chunk, lo, hi int)) {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			fn(c, lo, hi)
+			if err := ctx.Err(); err != nil {
+				errs[c] = err
+				return
+			}
+			errs[c] = runChunk(c, lo, hi, fn)
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChunk executes one worker chunk with panic isolation and the
+// fan-out faultpoint.
+func runChunk(c, lo, hi int, fn func(chunk, lo, hi int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = qerr.NewPanic("core/fanout", v)
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.CoreFanoutChunk); err != nil {
+		return err
+	}
+	return fn(c, lo, hi)
 }

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -66,23 +68,23 @@ func TestConcurrentMixedQueries(t *testing.T) {
 
 	_, serial := city.Context(fm)
 	serial.SetWorkers(1)
-	wantPass, err := serial.ObjectsPassingThrough("FM", pgSmall, win)
+	wantPass, err := serial.ObjectsPassingThrough(context.Background(), "FM", pgSmall, win)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantSpent, err := serial.TimeSpentInside("FM", pgSmall, win)
+	wantSpent, err := serial.TimeSpentInside(context.Background(), "FM", pgSmall, win)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantWithin, err := serial.ObjectsEverWithinRadius("FM", center, r, half)
+	wantWithin, err := serial.ObjectsEverWithinRadius(context.Background(), "FM", center, r, half)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantAt, err := serial.ObjectsInterpolatedAt("FM", mid, pgBig)
+	wantAt, err := serial.ObjectsInterpolatedAt(context.Background(), "FM", mid, pgBig)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCount, err := serial.CountPassingThroughGeometries("FM", "Ln", gids, win)
+	wantCount, err := serial.CountPassingThroughGeometries(context.Background(), "FM", "Ln", gids, win)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +106,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 				case 6:
 					eng.ResetCache()
 				}
-				pass, err := eng.ObjectsPassingThrough("FM", pgSmall, win)
+				pass, err := eng.ObjectsPassingThrough(context.Background(), "FM", pgSmall, win)
 				if err != nil {
 					t.Errorf("g%d i%d ObjectsPassingThrough: %v", g, i, err)
 					return
@@ -113,7 +115,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 					t.Errorf("g%d i%d ObjectsPassingThrough = %v, want %v", g, i, pass, wantPass)
 					return
 				}
-				spent, err := eng.TimeSpentInside("FM", pgSmall, win)
+				spent, err := eng.TimeSpentInside(context.Background(), "FM", pgSmall, win)
 				if err != nil {
 					t.Errorf("g%d i%d TimeSpentInside: %v", g, i, err)
 					return
@@ -122,7 +124,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 					t.Errorf("g%d i%d TimeSpentInside = %v, want %v", g, i, spent, wantSpent)
 					return
 				}
-				within, err := eng.ObjectsEverWithinRadius("FM", center, r, half)
+				within, err := eng.ObjectsEverWithinRadius(context.Background(), "FM", center, r, half)
 				if err != nil {
 					t.Errorf("g%d i%d ObjectsEverWithinRadius: %v", g, i, err)
 					return
@@ -131,7 +133,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 					t.Errorf("g%d i%d ObjectsEverWithinRadius = %v, want %v", g, i, within, wantWithin)
 					return
 				}
-				at, err := eng.ObjectsInterpolatedAt("FM", mid, pgBig)
+				at, err := eng.ObjectsInterpolatedAt(context.Background(), "FM", mid, pgBig)
 				if err != nil {
 					t.Errorf("g%d i%d ObjectsInterpolatedAt: %v", g, i, err)
 					return
@@ -140,7 +142,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 					t.Errorf("g%d i%d ObjectsInterpolatedAt = %v, want %v", g, i, at, wantAt)
 					return
 				}
-				n, err := eng.CountPassingThroughGeometries("FM", "Ln", gids, win)
+				n, err := eng.CountPassingThroughGeometries(context.Background(), "FM", "Ln", gids, win)
 				if err != nil {
 					t.Errorf("g%d i%d CountPassingThroughGeometries: %v", g, i, err)
 					return
@@ -172,7 +174,7 @@ func TestConcurrentSingleFlightBuild(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := eng.Trajectories("FM"); err != nil {
+			if _, err := eng.Trajectories(context.Background(), "FM"); err != nil {
 				t.Errorf("Trajectories: %v", err)
 			}
 		}()

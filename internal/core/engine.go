@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"mogis/internal/moft"
 	"mogis/internal/obs"
 	"mogis/internal/olap"
+	"mogis/internal/qerr"
 	"mogis/internal/timedim"
 	"mogis/internal/traj"
 )
@@ -41,8 +43,20 @@ import (
 // hot path fans out over a worker pool (see cache.go). The model
 // context itself must not be mutated while queries are in flight —
 // invalidate the affected table's caches after MOFT mutations.
+//
+// Every query entry point takes a context.Context first and observes
+// cancellation, deadlines and the resource Budget attached with
+// WithBudget at cooperative checkpoints (scan strides, fan-out
+// chunks, cache builds): a cancel returns context.Canceled /
+// DeadlineExceeded within one stride, partial work is discarded, and
+// cache state is left as-if-never-started so an immediate retry is
+// bit-identical to an uncancelled run. Worker panics are isolated
+// into *qerr.QueryPanicError; the engine stays usable.
 type Engine struct {
-	ctx *fo.Context
+	// mctx is the model context queries evaluate against (distinct
+	// from the per-query context.Context threading through the
+	// methods).
+	mctx *fo.Context
 	// met receives engine metrics (cache hits, query-type counts).
 	met atomic.Pointer[obs.Metrics]
 
@@ -69,9 +83,9 @@ type Engine struct {
 }
 
 // New creates an engine over the model context.
-func New(ctx *fo.Context) *Engine {
+func New(mctx *fo.Context) *Engine {
 	e := &Engine{
-		ctx:      ctx,
+		mctx:     mctx,
 		litCache: make(map[string]*tableCache),
 	}
 	e.met.Store(obs.Std)
@@ -79,7 +93,7 @@ func New(ctx *fo.Context) *Engine {
 }
 
 // Context returns the underlying model context.
-func (e *Engine) Context() *fo.Context { return e.ctx }
+func (e *Engine) Context() *fo.Context { return e.mctx }
 
 // SetMetrics redirects the engine's metrics to m (nil restores the
 // process-wide obs.Std bundle). Useful for isolating counts in tests.
@@ -152,27 +166,15 @@ func (e *Engine) SetGridVerify(on bool) { e.gridVerify.Store(on) }
 // sampleGrid returns the table's pre-aggregated grid, creating the
 // cache entry if needed. Unlike table(), it never triggers the LIT
 // build — sample-only queries don't pay for interpolation.
-func (e *Engine) sampleGrid(table string) (*agggrid.Grid, error) {
-	e.mu.RLock()
-	tc := e.litCache[table]
-	e.mu.RUnlock()
-	if tc == nil {
-		e.mu.Lock()
-		if tc = e.litCache[table]; tc == nil {
-			tc = &tableCache{built: make(chan struct{})}
-			e.litCache[table] = tc
-		}
-		e.mu.Unlock()
-	}
-	g, err := tc.aggGrid(e, table)
+func (e *Engine) sampleGrid(ctx context.Context, table string) (*agggrid.Grid, error) {
+	tc := e.tableEntry(table)
+	g, err := tc.aggGrid(ctx, e, table)
 	if err != nil {
-		// Drop the failed entry (unknown table) so a later call can
-		// retry after the table appears.
-		e.mu.Lock()
-		if e.litCache[table] == tc {
-			delete(e.litCache, table)
-		}
-		e.mu.Unlock()
+		// Drop the failed entry on permanent errors (unknown table) so
+		// a later call can retry after the table appears; transient
+		// aborts (cancel, budget, fault, panic) keep the entry — its
+		// buildUnit already reset for retry.
+		e.dropEntryOnPermanent(table, tc, err)
 		return nil, err
 	}
 	return g, nil
@@ -181,8 +183,13 @@ func (e *Engine) sampleGrid(table string) (*agggrid.Grid, error) {
 // --- Type 1: spatial aggregation ------------------------------------
 
 // GeometricAggregate evaluates a Definition-4 geometric aggregation.
-func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
+func (e *Engine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (v float64, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(1).Inc()
+	if err := qc.step(ctx); err != nil {
+		return 0, err
+	}
 	return a.Evaluate()
 }
 
@@ -190,8 +197,13 @@ func (e *Engine) GeometricAggregate(a gis.Aggregation) (float64, error) {
 
 // SummableOverIDs evaluates the summable rewriting Σ_{g∈ids} measure(g)
 // against a GIS fact table.
-func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure string) (float64, error) {
+func (e *Engine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.FactTable, measure string) (v float64, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(2).Inc()
+	if err := qc.step(ctx); err != nil {
+		return 0, err
+	}
 	return gis.SummableFromFact(ids, ft, measure).Evaluate()
 }
 
@@ -200,28 +212,47 @@ func (e *Engine) SummableOverIDs(ids []layer.Gid, ft *gis.FactTable, measure str
 // RegionC evaluates the formula to the paper's spatio-temporal
 // structure C: a finite relation over the named output variables,
 // e.g. (Oid, t) pairs.
-func (e *Engine) RegionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
+func (e *Engine) RegionC(ctx context.Context, f fo.Formula, out []fo.Var) (rel *fo.Relation, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(3).Inc()
-	return e.regionC(f, out)
+	return e.regionC(ctx, qc, f, out)
 }
 
-// regionC is RegionC without the Type-3 counter, for internal reuse by
-// the Type-4 entry points.
-func (e *Engine) regionC(f fo.Formula, out []fo.Var) (*fo.Relation, error) {
-	return fo.Eval(e.ctx, f, out)
+// regionC is RegionC without the Type-3 counter and control bracket,
+// for internal reuse by the Type-4 entry points. The first-order
+// evaluator itself is not chunked; cancellation is observed before
+// and after it.
+func (e *Engine) regionC(ctx context.Context, qc *qctl, f fo.Formula, out []fo.Var) (*fo.Relation, error) {
+	if err := qc.step(ctx); err != nil {
+		return nil, err
+	}
+	rel, err := fo.Eval(e.mctx, f, out)
+	if err != nil {
+		return nil, err
+	}
+	if err := qc.step(ctx); err != nil {
+		return nil, err
+	}
+	if err := qc.addResults(int64(rel.Len())); err != nil {
+		return nil, err
+	}
+	return rel, nil
 }
 
 // AggregateRegion evaluates region C and applies the γ operator of
 // Definition 7: Q = γ_{fn,measure,groupBy}(C).
-func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (*olap.AggResult, error) {
+func (e *Engine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (res *olap.AggResult, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(4).Inc()
-	rel, err := e.regionC(f, out)
+	rel, err := e.regionC(ctx, qc, f, out)
 	if err != nil {
 		return nil, err
 	}
-	sp := e.ctx.Tracer().Start("aggregate_group")
+	sp := e.mctx.Tracer().Start("aggregate_group")
 	defer sp.End()
-	res, err := rel.GroupAggregate(fn, measure, groupBy)
+	res, err = rel.GroupAggregate(fn, measure, groupBy)
 	if err == nil {
 		sp.SetCount("groups", int64(len(res.Rows)))
 	}
@@ -230,13 +261,15 @@ func (e *Engine) AggregateRegion(f fo.Formula, out []fo.Var, fn olap.AggFunc, me
 
 // CountRegion evaluates region C and returns its cardinality — the
 // most common aggregation ("number of buses", "number of cars").
-func (e *Engine) CountRegion(f fo.Formula, out []fo.Var) (int, error) {
+func (e *Engine) CountRegion(ctx context.Context, f fo.Formula, out []fo.Var) (n int, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(4).Inc()
-	rel, err := e.regionC(f, out)
+	rel, err := e.regionC(ctx, qc, f, out)
 	if err != nil {
 		return 0, err
 	}
-	sp := e.ctx.Tracer().Start("aggregate_count")
+	sp := e.mctx.Tracer().Start("aggregate_count")
 	sp.SetCount("tuples", int64(rel.Len()))
 	sp.End()
 	return rel.Len(), nil
@@ -259,15 +292,19 @@ func RatePerHour(count int, hours float64) float64 {
 // against threshold. This realizes regions such as "neighborhoods
 // where the number of people with low income exceeds 50,000": the
 // inner aggregation runs per geometry and gates its membership in C.
-func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
-	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) ([]layer.Gid, error) {
+func (e *Engine) FilterGeometriesByAggregate(ctx context.Context, layerName string, kind layer.Kind,
+	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) (out []layer.Gid, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(5).Inc()
-	l, ok := e.ctx.GIS().Layer(layerName)
+	l, ok := e.mctx.GIS().Layer(layerName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown layer %q", layerName)
 	}
-	var out []layer.Gid
 	for _, id := range l.IDs(kind) {
+		if err := qc.step(ctx); err != nil {
+			return nil, err
+		}
 		v, err := inner(id)
 		if err != nil {
 			return nil, fmt.Errorf("core: inner aggregate for %s %d: %w", kind, id, err)
@@ -303,47 +340,72 @@ func (e *Engine) FilterGeometriesByAggregate(layerName string, kind layer.Kind,
 // is enabled (the default); results are identical either way.
 //
 //moglint:deterministic
-func (e *Engine) ObjectsSampledAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
+func (e *Engine) ObjectsSampledAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(6).Inc()
-	tbl, err := e.ctx.Table(table)
+	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	if e.gridEnabled() {
-		g, err := e.sampleGrid(table)
+		g, err := e.sampleGrid(ctx, table)
 		if err != nil {
+			return nil, err
+		}
+		if err := qc.step(ctx); err != nil {
 			return nil, err
 		}
 		out := g.ObjectsSampled(pg, int64(t), int64(t), e.metrics())
 		if e.gridVerify.Load() {
-			out = e.checkOids(out, e.objectsSampledAtScan(tbl, t, pg))
+			slow, err := e.objectsSampledAtScan(ctx, qc, tbl, t, pg)
+			if err != nil {
+				return nil, err
+			}
+			out = e.checkOids(out, slow)
+		}
+		if err := qc.addResults(int64(len(out))); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
-	return e.objectsSampledAtScan(tbl, t, pg), nil
+	return e.objectsSampledAtScan(ctx, qc, tbl, t, pg)
 }
 
 // objectsSampledAtScan is the unaccelerated ObjectsSampledAt: a
 // columnar scan with per-object binary search on the instant.
-func (e *Engine) objectsSampledAtScan(tbl *moft.Table, t timedim.Instant, pg geom.Polygon) []moft.Oid {
-	cols := tbl.Columns()
+func (e *Engine) objectsSampledAtScan(ctx context.Context, qc *qctl, tbl *moft.Table, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
+	cols, err := tbl.ColumnsCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tt := int64(t)
 	var out []moft.Oid
-	scanned := int64(0)
+	scanned, pending := int64(0), int64(0)
+	defer func() { e.metrics().MOFTTuplesScanned.Add(scanned + pending) }()
 	for i := 0; i < cols.NumObjects(); i++ {
+		if i%256 == 255 || pending >= checkEvery {
+			scanned += pending
+			if err := qc.addRows(ctx, pending); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
 		lo, hi := cols.ObjectRange(i)
 		ts := cols.T[lo:hi]
 		j := sort.Search(len(ts), func(k int) bool { return ts[k] >= tt })
 		for ; j < len(ts) && ts[j] == tt; j++ {
-			scanned++
+			pending++
 			if pg.ContainsPoint(geom.Pt(cols.X[lo+j], cols.Y[lo+j])) {
 				out = append(out, cols.Oids[i])
+				if err := qc.addResults(1); err != nil {
+					return nil, err
+				}
 				break
 			}
 		}
 	}
-	e.metrics().MOFTTuplesScanned.Add(scanned)
-	return out
+	return out, nil
 }
 
 // checkOids is the verify-mode identity gate: on any divergence the
@@ -369,25 +431,38 @@ func (e *Engine) checkOids(fast, slow []moft.Oid) []moft.Oid {
 // position at instant t lies in pg, even between samples.
 //
 //moglint:deterministic
-func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.Polygon) ([]moft.Oid, error) {
+func (e *Engine) ObjectsInterpolatedAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(6).Inc()
-	tc, err := e.table(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return nil, err
 	}
-	cand := tc.candidates(e.metrics(), pg.BBox())
+	cand, err := tc.candidates(ctx, e.metrics(), pg.BBox())
+	if err != nil {
+		return nil, err
+	}
 	workers := e.workerCount(len(cand))
 	parts := make([][]moft.Oid, workers)
-	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+	err = forChunks(ctx, workers, len(cand), func(chunk, lo, hi int) error {
 		var local []moft.Oid
-		for _, oid := range cand[lo:hi] {
+		for i, oid := range cand[lo:hi] {
+			if i%256 == 255 {
+				if err := qc.addRows(ctx, 256); err != nil {
+					return err
+				}
+			}
 			if p, ok := tc.lits[oid].AtInstant(t); ok && pg.ContainsPoint(p) {
 				local = append(local, oid)
 			}
 		}
 		parts[chunk] = local
+		return qc.addResults(int64(len(local)))
 	})
-	var out []moft.Oid
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range parts {
 		out = append(out, p...)
 	}
@@ -400,51 +475,71 @@ func (e *Engine) ObjectsInterpolatedAt(table string, t timedim.Instant, pg geom.
 // Trajectories returns (and caches) the linear-interpolation
 // trajectory of every object in the table. The returned map is
 // shared with the cache; callers must not mutate it.
-func (e *Engine) Trajectories(table string) (map[moft.Oid]*traj.LIT, error) {
-	tc, err := e.table(table)
+func (e *Engine) Trajectories(ctx context.Context, table string) (lits map[moft.Oid]*traj.LIT, err error) {
+	_, ctx, done := e.begin(ctx)
+	defer done(&err)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return nil, err
 	}
 	return tc.lits, nil
 }
 
-// table returns the table's cache unit, building it single-flight on
-// first use: concurrent queries against a cold table interpolate its
-// trajectories exactly once, with every caller waiting on the same
-// build.
-func (e *Engine) table(table string) (*tableCache, error) {
+// tableEntry returns (creating if needed) the table's cache entry
+// without triggering any build.
+func (e *Engine) tableEntry(table string) *tableCache {
 	e.mu.RLock()
 	tc := e.litCache[table]
 	e.mu.RUnlock()
 	if tc == nil {
 		e.mu.Lock()
 		if tc = e.litCache[table]; tc == nil {
-			tc = &tableCache{built: make(chan struct{})}
+			tc = &tableCache{}
 			e.litCache[table] = tc
 		}
 		e.mu.Unlock()
 	}
+	return tc
+}
+
+// dropEntryOnPermanent removes a cache entry whose build failed with
+// a permanent error (unknown table, malformed samples), so a later
+// call can retry after the table appears. Transient aborts — cancel,
+// deadline, budget, injected fault, recovered panic — keep the entry:
+// its buildUnit already reset, and any sibling cache (e.g. a built
+// grid next to an aborted LIT build) survives.
+func (e *Engine) dropEntryOnPermanent(table string, tc *tableCache, err error) {
+	if qerr.IsCancel(err) || qerr.IsPanic(err) || IsBudget(err) || isInjected(err) {
+		return
+	}
+	e.mu.Lock()
+	if e.litCache[table] == tc {
+		delete(e.litCache, table)
+	}
+	e.mu.Unlock()
+}
+
+// table returns the table's cache unit, building it single-flight on
+// first use: concurrent queries against a cold table interpolate its
+// trajectories exactly once, with every caller waiting on the same
+// build. A build abandoned mid-flight (cancel, budget, fault) resets
+// its unit so the next caller retries.
+func (e *Engine) table(ctx context.Context, table string) (*tableCache, error) {
+	tc := e.tableEntry(table)
 	met := e.metrics()
-	if tc.isBuilt() && tc.err == nil {
+	if tc.lit.ok() {
 		met.LitCacheHits.Inc()
 	} else {
 		met.LitCacheMisses.Inc()
 	}
-	builder := false
-	tc.once.Do(func() {
-		tc.build(e, table)
-		builder = true
+	builtNow, err := tc.lit.run(ctx, "core/lit-build", func() error {
+		return tc.build(ctx, e, table)
 	})
-	if tc.err != nil {
-		// Drop the failed entry so a later call can retry.
-		e.mu.Lock()
-		if e.litCache[table] == tc {
-			delete(e.litCache, table)
-		}
-		e.mu.Unlock()
-		return nil, tc.err
+	if err != nil {
+		e.dropEntryOnPermanent(table, tc, err)
+		return nil, err
 	}
-	if builder {
+	if builtNow {
 		e.mu.Lock()
 		e.updateCacheGaugesLocked()
 		e.mu.Unlock()
@@ -459,7 +554,7 @@ func (e *Engine) table(table string) (*tableCache, error) {
 func (e *Engine) updateCacheGaugesLocked() {
 	tables, objects := 0, 0
 	for _, tc := range e.litCache {
-		if tc.isBuilt() && tc.err == nil {
+		if tc.lit.ok() {
 			tables++
 			objects += len(tc.lits)
 		}
@@ -505,7 +600,7 @@ func (e *Engine) CacheStats() (tables, objects int) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, tc := range e.litCache {
-		if tc.isBuilt() && tc.err == nil {
+		if tc.lit.ok() {
 			tables++
 			objects += len(tc.lits)
 		}
@@ -519,14 +614,19 @@ func (e *Engine) CacheStats() (tables, objects int) {
 // sampled inside).
 //
 //moglint:deterministic
-func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
+func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return nil, err
 	}
-	ivmap := e.polygonIntervals(tc, pg)
-	out := make([]moft.Oid, 0, len(ivmap))
+	ivmap, err := e.polygonIntervals(ctx, qc, tc, pg)
+	if err != nil {
+		return nil, err
+	}
+	out = make([]moft.Oid, 0, len(ivmap))
 	for oid, ivs := range ivmap {
 		for _, ti := range ivs {
 			if ti.Lo <= float64(iv.Hi) && float64(iv.Lo) <= ti.Hi {
@@ -549,52 +649,77 @@ func (e *Engine) ObjectsPassingThrough(table string, pg geom.Polygon, iv timedim
 // (the default); results are identical either way.
 //
 //moglint:deterministic
-func (e *Engine) ObjectsSampledInside(table string, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
+func (e *Engine) ObjectsSampledInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tbl, err := e.ctx.Table(table)
+	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	if e.gridEnabled() {
-		g, err := e.sampleGrid(table)
+		g, err := e.sampleGrid(ctx, table)
 		if err != nil {
+			return nil, err
+		}
+		if err := qc.step(ctx); err != nil {
 			return nil, err
 		}
 		out := g.ObjectsSampled(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
 		if e.gridVerify.Load() {
-			out = e.checkOids(out, e.objectsSampledInsideScan(tbl, pg, iv))
+			slow, err := e.objectsSampledInsideScan(ctx, qc, tbl, pg, iv)
+			if err != nil {
+				return nil, err
+			}
+			out = e.checkOids(out, slow)
+		}
+		if err := qc.addResults(int64(len(out))); err != nil {
+			return nil, err
 		}
 		if out == nil {
 			out = []moft.Oid{}
 		}
 		return out, nil
 	}
-	return e.objectsSampledInsideScan(tbl, pg, iv), nil
+	return e.objectsSampledInsideScan(ctx, qc, tbl, pg, iv)
 }
 
 // objectsSampledInsideScan is the unaccelerated ObjectsSampledInside:
 // one pass over the columnar arrays, short-circuiting each object at
 // its first in-window in-polygon sample.
-func (e *Engine) objectsSampledInsideScan(tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) []moft.Oid {
-	cols := tbl.Columns()
+func (e *Engine) objectsSampledInsideScan(ctx context.Context, qc *qctl, tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) ([]moft.Oid, error) {
+	cols, err := tbl.ColumnsCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	lo, hi := int64(iv.Lo), int64(iv.Hi)
 	out := make([]moft.Oid, 0)
-	scanned := int64(0)
+	scanned, pending := int64(0), int64(0)
+	defer func() { e.metrics().MOFTTuplesScanned.Add(scanned + pending) }()
 	for i := 0; i < cols.NumObjects(); i++ {
 		rlo, rhi := cols.ObjectRange(i)
 		for r := rlo; r < rhi; r++ {
+			if pending >= checkEvery {
+				scanned += pending
+				if err := qc.addRows(ctx, pending); err != nil {
+					return nil, err
+				}
+				pending = 0
+			}
 			if cols.T[r] < lo || cols.T[r] > hi {
 				continue
 			}
-			scanned++
+			pending++
 			if pg.ContainsPoint(geom.Pt(cols.X[r], cols.Y[r])) {
 				out = append(out, cols.Oids[i])
+				if err := qc.addResults(1); err != nil {
+					return nil, err
+				}
 				break
 			}
 		}
 	}
-	e.metrics().MOFTTuplesScanned.Add(scanned)
-	return out
+	return out, nil
 }
 
 // CountSamplesInside returns the number of MOFT samples positioned
@@ -604,36 +729,56 @@ func (e *Engine) objectsSampledInsideScan(tbl *moft.Table, pg geom.Polygon, iv t
 // (the default); results are identical either way.
 //
 //moglint:deterministic
-func (e *Engine) CountSamplesInside(table string, pg geom.Polygon, iv timedim.Interval) (int, error) {
+func (e *Engine) CountSamplesInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (n int, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(4).Inc()
-	tbl, err := e.ctx.Table(table)
+	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return 0, err
 	}
 	if e.gridEnabled() {
-		g, err := e.sampleGrid(table)
+		g, err := e.sampleGrid(ctx, table)
 		if err != nil {
+			return 0, err
+		}
+		if err := qc.step(ctx); err != nil {
 			return 0, err
 		}
 		n := g.CountSamples(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
 		if e.gridVerify.Load() {
-			if slow := e.countSamplesScan(tbl, pg, iv); slow != n {
+			slow, err := e.countSamplesScan(ctx, qc, tbl, pg, iv)
+			if err != nil {
+				return 0, err
+			}
+			if slow != n {
 				e.metrics().AggGridMismatches.Inc()
 				return slow, nil
 			}
 		}
 		return n, nil
 	}
-	return e.countSamplesScan(tbl, pg, iv), nil
+	return e.countSamplesScan(ctx, qc, tbl, pg, iv)
 }
 
 // countSamplesScan is the unaccelerated CountSamplesInside: a full
 // columnar scan with a per-sample point-in-polygon test.
-func (e *Engine) countSamplesScan(tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) int {
-	cols := tbl.Columns()
+func (e *Engine) countSamplesScan(ctx context.Context, qc *qctl, tbl *moft.Table, pg geom.Polygon, iv timedim.Interval) (int, error) {
+	cols, err := tbl.ColumnsCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
 	lo, hi := int64(iv.Lo), int64(iv.Hi)
 	n := 0
+	scanned := int64(0)
+	defer func() { e.metrics().MOFTTuplesScanned.Add(scanned) }()
 	for r := 0; r < cols.Len(); r++ {
+		scanned++
+		if scanned%checkEvery == 0 {
+			if err := qc.addRows(ctx, checkEvery); err != nil {
+				return 0, err
+			}
+		}
 		if cols.T[r] < lo || cols.T[r] > hi {
 			continue
 		}
@@ -641,8 +786,7 @@ func (e *Engine) countSamplesScan(tbl *moft.Table, pg geom.Polygon, iv timedim.I
 			n++
 		}
 	}
-	e.metrics().MOFTTuplesScanned.Add(int64(cols.Len()))
-	return n
+	return n, nil
 }
 
 // clampTotal intersects the intervals with the query window [lo, hi]
@@ -675,14 +819,19 @@ func clampTotal(ivs []traj.TimeInterval, lo, hi float64) (sum float64, touched b
 // ObjectsEverWithinRadius.
 //
 //moglint:deterministic
-func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Interval) (map[moft.Oid]float64, error) {
+func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return nil, err
 	}
-	ivmap := e.polygonIntervals(tc, pg)
-	out := make(map[moft.Oid]float64, len(ivmap))
+	ivmap, err := e.polygonIntervals(ctx, qc, tc, pg)
+	if err != nil {
+		return nil, err
+	}
+	out = make(map[moft.Oid]float64, len(ivmap))
 	for oid, ivs := range ivmap {
 		if sum, touched := clampTotal(ivs, float64(iv.Lo), float64(iv.Hi)); touched {
 			out[oid] = sum
@@ -699,28 +848,48 @@ func (e *Engine) TimeSpentInside(table string, pg geom.Polygon, iv timedim.Inter
 // with duration 0, symmetric with TimeSpentInside.
 //
 //moglint:deterministic
-func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r float64, iv timedim.Interval) (map[moft.Oid]float64, error) {
+func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, center geom.Point, r float64, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return nil, err
 	}
 	met := e.metrics()
 	box := geom.BBox{MinX: center.X - r, MinY: center.Y - r, MaxX: center.X + r, MaxY: center.Y + r}
-	cand := tc.candidates(met, box)
+	cand, err := tc.candidates(ctx, met, box)
+	if err != nil {
+		return nil, err
+	}
 	workers := e.workerCount(len(cand))
 	parts := make([]map[moft.Oid]float64, workers)
-	forChunks(workers, len(cand), func(chunk, lo, hi int) {
+	err = forChunks(ctx, workers, len(cand), func(chunk, lo, hi int) error {
 		local := make(map[moft.Oid]float64)
+		rows := int64(0)
 		for _, oid := range cand[lo:hi] {
-			ivs := tc.lits[oid].WithinRadiusIntervals(center, r)
+			l := tc.lits[oid]
+			if rows += int64(len(l.Sample())); rows >= checkEvery {
+				if err := qc.addRows(ctx, rows); err != nil {
+					return err
+				}
+				rows = 0
+			}
+			ivs := l.WithinRadiusIntervals(center, r)
 			if sum, touched := clampTotal(ivs, float64(iv.Lo), float64(iv.Hi)); touched {
 				local[oid] = sum
 			}
 		}
 		parts[chunk] = local
+		if err := qc.addRows(ctx, rows); err != nil {
+			return err
+		}
+		return qc.addResults(int64(len(local)))
 	})
-	out := make(map[moft.Oid]float64)
+	if err != nil {
+		return nil, err
+	}
+	out = make(map[moft.Oid]float64)
 	for _, local := range parts {
 		for oid, sum := range local {
 			out[oid] = sum
@@ -737,9 +906,11 @@ func (e *Engine) ObjectsEverWithinRadius(table string, center geom.Point, r floa
 // consecutive sample segments are intersected with those cities.
 //
 //moglint:deterministic
-func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []layer.Gid, iv timedim.Interval) (int, error) {
+func (e *Engine) CountPassingThroughGeometries(ctx context.Context, table, layerName string, ids []layer.Gid, iv timedim.Interval) (n int, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(7).Inc()
-	l, ok := e.ctx.GIS().Layer(layerName)
+	l, ok := e.mctx.GIS().Layer(layerName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown layer %q", layerName)
 	}
@@ -751,7 +922,7 @@ func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []la
 		}
 		pgs[i] = pg
 	}
-	tc, err := e.table(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return 0, err
 	}
@@ -760,7 +931,14 @@ func (e *Engine) CountPassingThroughGeometries(table, layerName string, ids []la
 	// polygon's intervals touch the window.
 	hit := make(map[moft.Oid]bool)
 	for _, pg := range pgs {
-		for oid, ivs := range e.polygonIntervals(tc, pg) {
+		if err := qc.step(ctx); err != nil {
+			return 0, err
+		}
+		ivmap, err := e.polygonIntervals(ctx, qc, tc, pg)
+		if err != nil {
+			return 0, err
+		}
+		for oid, ivs := range ivmap {
 			if hit[oid] {
 				continue
 			}
@@ -789,18 +967,20 @@ type TrajectoryStats struct {
 }
 
 // TrajectoryAggregate computes the Type-8 aggregation for one object.
-func (e *Engine) TrajectoryAggregate(table string, oid moft.Oid) (TrajectoryStats, error) {
+func (e *Engine) TrajectoryAggregate(ctx context.Context, table string, oid moft.Oid) (st TrajectoryStats, err error) {
+	_, ctx, done := e.begin(ctx)
+	defer done(&err)
 	e.metrics().Query(8).Inc()
-	lits, err := e.Trajectories(table)
+	tc, err := e.table(ctx, table)
 	if err != nil {
 		return TrajectoryStats{}, err
 	}
-	l, ok := lits[oid]
+	l, ok := tc.lits[oid]
 	if !ok {
 		return TrajectoryStats{}, fmt.Errorf("core: no trajectory for object O%d", oid)
 	}
 	s := l.Sample()
-	st := TrajectoryStats{
+	st = TrajectoryStats{
 		Oid:      oid,
 		Samples:  len(s),
 		Length:   s.Length(),

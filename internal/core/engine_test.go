@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -26,7 +28,7 @@ func TestType1GeometricAggregate(t *testing.T) {
 	meir, _ := s.Ln.Polygon(scenario.PgMeir)
 	// Population as a density of 400 people per unit² over Meir
 	// (area 150) → 60000.
-	v, err := s.Engine.GeometricAggregate(gis.Aggregation{
+	v, err := s.Engine.GeometricAggregate(context.Background(), gis.Aggregation{
 		C: gis.Region{Polygons: []geom.Polygon{meir}},
 		H: gis.ConstDensity(400),
 	})
@@ -46,7 +48,7 @@ func TestType2Summable(t *testing.T) {
 	ft.MustSet(scenario.PgMeir, 60000)
 	ft.MustSet(scenario.PgDam, 45000)
 	ft.MustSet(scenario.PgZuid, 30000)
-	v, err := s.Engine.SummableOverIDs([]layer.Gid{scenario.PgMeir, scenario.PgDam}, ft, "population")
+	v, err := s.Engine.SummableOverIDs(context.Background(), []layer.Gid{scenario.PgMeir, scenario.PgDam}, ft, "population")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestType3MaxBusesPerHour(t *testing.T) {
 		&fo.TimeRollup{Cat: timedim.CatDayOfWeek, T: fo.V("t"), V: fo.CStr("Monday")},
 		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
 	)
-	res, err := s.Engine.AggregateRegion(f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
+	res, err := s.Engine.AggregateRegion(context.Background(), f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestType4RegionalCount(t *testing.T) {
 		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
 		&fo.GeomIn{G: fo.V("pg"), IDs: []layer.Gid{scenario.PgMeir, scenario.PgDam, scenario.PgZuid}},
 	))
-	rel, err := s.Engine.RegionC(f, []fo.Var{"o"})
+	rel, err := s.Engine.RegionC(context.Background(), f, []fo.Var{"o"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +125,12 @@ func TestType5SecondOrderRegion(t *testing.T) {
 			return 0, nil // high-income: not counted
 		}
 		pg, _ := s.Ln.Polygon(id)
-		return s.Engine.GeometricAggregate(gis.Aggregation{
+		return s.Engine.GeometricAggregate(context.Background(), gis.Aggregation{
 			C: gis.Region{Polygons: []geom.Polygon{pg}},
 			H: gis.ConstDensity(d),
 		})
 	}
-	ids, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, inner, fo.GT, 50000)
+	ids, err := s.Engine.FilterGeometriesByAggregate(context.Background(), "Ln", layer.KindPolygon, inner, fo.GT, 50000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestType5SecondOrderRegion(t *testing.T) {
 		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
 		&fo.GeomIn{G: fo.V("pg"), IDs: ids},
 	))
-	n, err := s.Engine.CountRegion(f, []fo.Var{"o", "t"})
+	n, err := s.Engine.CountRegion(context.Background(), f, []fo.Var{"o", "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestFilterGeometriesOps(t *testing.T) {
 		{fo.NE, 300, 2}, // the two 150s
 	}
 	for _, c := range cases {
-		ids, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, area, c.op, c.th)
+		ids, err := s.Engine.FilterGeometriesByAggregate(context.Background(), "Ln", layer.KindPolygon, area, c.op, c.th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,11 +180,11 @@ func TestFilterGeometriesOps(t *testing.T) {
 			t.Errorf("op %v threshold %v: %d ids, want %d", c.op, c.th, len(ids), c.want)
 		}
 	}
-	if _, err := s.Engine.FilterGeometriesByAggregate("Lzz", layer.KindPolygon, area, fo.GT, 0); err == nil {
+	if _, err := s.Engine.FilterGeometriesByAggregate(context.Background(), "Lzz", layer.KindPolygon, area, fo.GT, 0); err == nil {
 		t.Error("unknown layer accepted")
 	}
 	bad := func(layer.Gid) (float64, error) { return 0, errFixture }
-	if _, err := s.Engine.FilterGeometriesByAggregate("Ln", layer.KindPolygon, bad, fo.GT, 0); err == nil {
+	if _, err := s.Engine.FilterGeometriesByAggregate(context.Background(), "Ln", layer.KindPolygon, bad, fo.GT, 0); err == nil {
 		t.Error("inner error swallowed")
 	}
 }
@@ -199,7 +201,7 @@ func TestType6Snapshot(t *testing.T) {
 	s := sc(t)
 	berchem, _ := s.Ln.Polygon(scenario.PgBerchem)
 	// At T(3) = 11:00, O5 is sampled at (30,20) in Berchem.
-	got, err := s.Engine.ObjectsSampledAt("FMbus", scenario.T(3), berchem)
+	got, err := s.Engine.ObjectsSampledAt(context.Background(), "FMbus", scenario.T(3), berchem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func TestType6Snapshot(t *testing.T) {
 	// No samples at 11:30 — the sample-level query returns nothing,
 	// but O2 (moving Dam→Zuid) has an interpolated position.
 	tMid := scenario.T(3) + 1800
-	got, err = s.Engine.ObjectsSampledAt("FMbus", tMid, berchem)
+	got, err = s.Engine.ObjectsSampledAt(context.Background(), "FMbus", tMid, berchem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestType6Snapshot(t *testing.T) {
 		t.Errorf("sampled at 11:30 = %v", got)
 	}
 	zuid, _ := s.Ln.Polygon(scenario.PgZuid)
-	interp, err := s.Engine.ObjectsInterpolatedAt("FMbus", tMid, zuid)
+	interp, err := s.Engine.ObjectsInterpolatedAt(context.Background(), "FMbus", tMid, zuid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,11 +243,11 @@ func TestType7PassingThroughVsSampled(t *testing.T) {
 	dam, _ := s.Ln.Polygon(scenario.PgDam)
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
 
-	sampled, err := s.Engine.ObjectsSampledInside("FMbus", dam, window)
+	sampled, err := s.Engine.ObjectsSampledInside(context.Background(), "FMbus", dam, window)
 	if err != nil {
 		t.Fatal(err)
 	}
-	passing, err := s.Engine.ObjectsPassingThrough("FMbus", dam, window)
+	passing, err := s.Engine.ObjectsPassingThrough(context.Background(), "FMbus", dam, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestType7TimeSpentInside(t *testing.T) {
 	s := sc(t)
 	meir, _ := s.Ln.Polygon(scenario.PgMeir)
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
-	spent, err := s.Engine.TimeSpentInside("FMbus", meir, window)
+	spent, err := s.Engine.TimeSpentInside(context.Background(), "FMbus", meir, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +287,7 @@ func TestType7WithinRadius(t *testing.T) {
 	s := sc(t)
 	school, _ := s.Ls.Node(1) // (5,10) in Meir
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
-	within, err := s.Engine.ObjectsEverWithinRadius("FMbus", school, 5, window)
+	within, err := s.Engine.ObjectsEverWithinRadius(context.Background(), "FMbus", school, 5, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +312,7 @@ func TestCountPassingThroughGeometries(t *testing.T) {
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
 	// Low-income region = Meir + Dam: O1 (inside), O2 (samples in
 	// Dam), O6 (crosses) → 3 objects.
-	n, err := s.Engine.CountPassingThroughGeometries("FMbus", "Ln",
+	n, err := s.Engine.CountPassingThroughGeometries(context.Background(), "FMbus", "Ln",
 		[]layer.Gid{scenario.PgMeir, scenario.PgDam}, window)
 	if err != nil {
 		t.Fatal(err)
@@ -319,13 +321,13 @@ func TestCountPassingThroughGeometries(t *testing.T) {
 		t.Errorf("passing through low-income = %d, want 3", n)
 	}
 	// Errors.
-	if _, err := s.Engine.CountPassingThroughGeometries("FMbus", "Lzz", nil, window); err == nil {
+	if _, err := s.Engine.CountPassingThroughGeometries(context.Background(), "FMbus", "Lzz", nil, window); err == nil {
 		t.Error("unknown layer accepted")
 	}
-	if _, err := s.Engine.CountPassingThroughGeometries("FMbus", "Ln", []layer.Gid{99}, window); err == nil {
+	if _, err := s.Engine.CountPassingThroughGeometries(context.Background(), "FMbus", "Ln", []layer.Gid{99}, window); err == nil {
 		t.Error("unknown polygon accepted")
 	}
-	if _, err := s.Engine.CountPassingThroughGeometries("nope", "Ln", nil, window); err == nil {
+	if _, err := s.Engine.CountPassingThroughGeometries(context.Background(), "nope", "Ln", nil, window); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
@@ -334,7 +336,7 @@ func TestCountPassingThroughGeometries(t *testing.T) {
 
 func TestType8TrajectoryAggregate(t *testing.T) {
 	s := sc(t)
-	st, err := s.Engine.TrajectoryAggregate("FMbus", 1)
+	st, err := s.Engine.TrajectoryAggregate(context.Background(), "FMbus", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,21 +356,21 @@ func TestType8TrajectoryAggregate(t *testing.T) {
 	if st.MaxSpeed < st.AvgSpeed {
 		t.Errorf("max < avg: %+v", st)
 	}
-	if _, err := s.Engine.TrajectoryAggregate("FMbus", 99); err == nil {
+	if _, err := s.Engine.TrajectoryAggregate(context.Background(), "FMbus", 99); err == nil {
 		t.Error("unknown object accepted")
 	}
-	if _, err := s.Engine.TrajectoryAggregate("nope", 1); err == nil {
+	if _, err := s.Engine.TrajectoryAggregate(context.Background(), "nope", 1); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
 
 func TestTrajectoriesCacheInvalidation(t *testing.T) {
 	s := sc(t)
-	l1, err := s.Engine.Trajectories("FMbus")
+	l1, err := s.Engine.Trajectories(context.Background(), "FMbus")
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, _ := s.Engine.Trajectories("FMbus")
+	l2, _ := s.Engine.Trajectories(context.Background(), "FMbus")
 	if &l1 == &l2 {
 		t.Log("maps compared by pointer identity only")
 	}
@@ -376,7 +378,7 @@ func TestTrajectoriesCacheInvalidation(t *testing.T) {
 		t.Errorf("trajectories = %d", len(l1))
 	}
 	s.Engine.InvalidateTrajectories("FMbus")
-	l3, err := s.Engine.Trajectories("FMbus")
+	l3, err := s.Engine.Trajectories(context.Background(), "FMbus")
 	if err != nil || len(l3) != 6 {
 		t.Errorf("after invalidation: %v, %d", err, len(l3))
 	}

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/obs"
@@ -32,7 +34,7 @@ func TestIntervalCacheLRUEviction(t *testing.T) {
 		case "zuid":
 			pg = zuid
 		}
-		if _, err := s.Engine.TimeSpentInside("FMbus", pg, iv); err != nil {
+		if _, err := s.Engine.TimeSpentInside(context.Background(), "FMbus", pg, iv); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/fo"
@@ -17,10 +19,10 @@ func TestResetCache(t *testing.T) {
 	s.Engine.SetMetrics(met)
 	defer s.Engine.SetMetrics(nil)
 
-	if _, err := s.Engine.Trajectories("FMbus"); err != nil {
+	if _, err := s.Engine.Trajectories(context.Background(), "FMbus"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Engine.Trajectories("FMbus"); err != nil {
+	if _, err := s.Engine.Trajectories(context.Background(), "FMbus"); err != nil {
 		t.Fatal(err)
 	}
 	if got := met.LitCacheMisses.Value(); got != 1 {
@@ -51,7 +53,7 @@ func TestResetCache(t *testing.T) {
 	}
 
 	// The next access repopulates the cache from scratch.
-	if _, err := s.Engine.Trajectories("FMbus"); err != nil {
+	if _, err := s.Engine.Trajectories(context.Background(), "FMbus"); err != nil {
 		t.Fatal(err)
 	}
 	if got := met.LitCacheMisses.Value(); got != 2 {
@@ -69,7 +71,7 @@ func TestType4SpanStages(t *testing.T) {
 	s := sc(t)
 	tr := obs.NewTracer("query")
 	s.Ctx.SetTracer(tr)
-	n, err := s.Engine.CountRegion(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	n, err := s.Engine.CountRegion(context.Background(), s.MotivatingFormula(), []fo.Var{"o", "t"})
 	s.Ctx.SetTracer(nil)
 	root := tr.Finish()
 	if err != nil {

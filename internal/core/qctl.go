@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mogis/internal/faultpoint"
+	"mogis/internal/qerr"
+)
+
+// This file implements the engine's per-query control plane: the
+// resource Budget callers attach to a context, the qctl tracker every
+// exported entry point threads through its scan loops and fan-outs,
+// and the begin/done bracket that applies the wall-clock deadline,
+// recovers panics at the API boundary, and classifies how each query
+// ended into the obs counters (cancelled, budget-exceeded, panicked).
+
+// checkEvery is the row stride between cooperative cancellation and
+// budget checks inside scan loops: a cancel or deadline is observed
+// within at most one stride (plus one chunk of fan-out work), keeping
+// abort latency bounded without putting an atomic on every row.
+const checkEvery = 1024
+
+// Budget bounds one query's resource consumption. The zero value is
+// unlimited. Attach it with WithBudget; every engine entry point
+// enforces it at the same cooperative checkpoints that observe
+// cancellation, returning a *BudgetError on the first limit crossed.
+type Budget struct {
+	// MaxRows caps the MOFT rows / trajectory samples the query may
+	// examine (0 = unlimited).
+	MaxRows int64
+	// MaxResults caps the result items the query may produce — result
+	// intervals for the trajectory paths, matched objects for scans
+	// (0 = unlimited).
+	MaxResults int64
+	// Timeout, when positive, is a wall-clock deadline applied at
+	// query entry via context.WithTimeout (composes with any deadline
+	// already on the context; the earlier one wins).
+	Timeout time.Duration
+}
+
+type budgetCtxKey struct{}
+
+// WithBudget returns a context carrying b; engine queries run under
+// it enforce the budget at their cancellation checkpoints.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return context.WithValue(ctx, budgetCtxKey{}, b)
+}
+
+// BudgetFrom extracts the budget attached by WithBudget, if any.
+func BudgetFrom(ctx context.Context) (Budget, bool) {
+	b, ok := ctx.Value(budgetCtxKey{}).(Budget)
+	return b, ok
+}
+
+// BudgetError reports a query aborted at a resource budget.
+type BudgetError struct {
+	Resource string // "rows" or "results"
+	Limit    int64
+	Used     int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: query exceeded its %s budget (%d > %d)", e.Resource, e.Used, e.Limit)
+}
+
+// IsBudget reports whether err is a budget abort.
+func IsBudget(err error) bool {
+	var be *BudgetError
+	return errors.As(err, &be)
+}
+
+// isInjected reports whether err originates at an armed faultpoint —
+// a transient abort that must not evict cache entries (retry after
+// disarming must rebuild cleanly).
+func isInjected(err error) bool {
+	var f *faultpoint.Fault
+	return errors.As(err, &f)
+}
+
+// qctl is one query's control state: the budget in force and the
+// rows/results consumed so far, shared atomically across the query's
+// worker goroutines.
+type qctl struct {
+	budget  Budget
+	rows    atomic.Int64
+	results atomic.Int64
+}
+
+// step is the bare cooperative checkpoint: cancellation only.
+func (q *qctl) step(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// addRows consumes n scanned rows and checks both cancellation and
+// the row budget. Nil-safe (a nil qctl only checks the context).
+func (q *qctl) addRows(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q == nil {
+		return nil
+	}
+	used := q.rows.Add(n)
+	if max := q.budget.MaxRows; max > 0 && used > max {
+		return &BudgetError{Resource: "rows", Limit: max, Used: used}
+	}
+	return nil
+}
+
+// addResults consumes n produced result items against the budget.
+func (q *qctl) addResults(n int64) error {
+	if q == nil {
+		return nil
+	}
+	used := q.results.Add(n)
+	if max := q.budget.MaxResults; max > 0 && used > max {
+		return &BudgetError{Resource: "results", Limit: max, Used: used}
+	}
+	return nil
+}
+
+// begin opens the per-query control bracket for an exported entry
+// point: it resolves the context's Budget, applies its wall-clock
+// deadline, and returns the tracker, the (possibly deadlined) context
+// and the done func the entry point must defer with a pointer to its
+// named error result. done recovers any panic that escaped the
+// panic-isolated inner layers, releases the deadline timer, and
+// classifies the outcome into the obs counters and the trace.
+func (e *Engine) begin(ctx context.Context) (*qctl, context.Context, func(*error)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b, _ := BudgetFrom(ctx)
+	cancel := func() {}
+	if b.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+	}
+	qc := &qctl{budget: b}
+	done := func(errp *error) {
+		if v := recover(); v != nil {
+			*errp = qerr.NewPanic("core/query", v)
+		}
+		cancel()
+		e.classify(*errp)
+	}
+	return qc, ctx, done
+}
+
+// classify maps a query's final error to the robustness counters and
+// marks the trace. Shared by begin's done func and the helpers that
+// end queries off the main bracket.
+func (e *Engine) classify(err error) {
+	if err == nil {
+		return
+	}
+	met := e.metrics()
+	var be *BudgetError
+	switch {
+	case qerr.IsCancel(err):
+		met.QueriesCancelled.Inc()
+		e.mctx.Tracer().Event("cancel")
+	case errors.As(err, &be):
+		if be.Resource == "rows" {
+			met.BudgetRowsExceeded.Inc()
+		} else {
+			met.BudgetResultsExceeded.Inc()
+		}
+		e.mctx.Tracer().Event("budget")
+	case qerr.IsPanic(err):
+		met.QueryPanics.Inc()
+	}
+}

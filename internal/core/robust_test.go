@@ -1,0 +1,335 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mogis/internal/core"
+	"mogis/internal/faultpoint"
+	"mogis/internal/geom"
+	"mogis/internal/obs"
+	"mogis/internal/qerr"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+// robustWorkload builds a generated-city engine with isolated metrics
+// and enough objects (64 > serialThreshold) to exercise the parallel
+// fan-out, plus the query shapes the robustness tests reuse.
+type robustWorkload struct {
+	eng    *core.Engine
+	met    *obs.Metrics
+	pg     geom.Polygon
+	center geom.Point
+	radius float64
+	win    timedim.Interval
+	mid    timedim.Instant
+}
+
+func newRobustWorkload(t *testing.T) *robustWorkload {
+	t.Helper()
+	city := workload.GenCity(workload.CityConfig{Seed: 7, Cols: 4, Rows: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{Seed: 11, Objects: 64, Samples: 40})
+	lo, hi, _ := fm.TimeSpan()
+	_, eng := city.Context(fm)
+	met := obs.NewMetrics(obs.NewRegistry())
+	eng.SetMetrics(met)
+	pg, ok := city.Ln.Polygon(1)
+	if !ok {
+		t.Fatal("city has no neighborhood polygon 1")
+	}
+	return &robustWorkload{
+		eng: eng, met: met, pg: pg,
+		center: geom.Pt(city.Extent.MinX+city.Extent.Width()/2, city.Extent.MinY+city.Extent.Height()/2),
+		radius: city.Extent.Width() / 4,
+		win:    timedim.Interval{Lo: lo, Hi: hi},
+		mid:    lo + (hi-lo)/2,
+	}
+}
+
+// TestPreCancelledContext: a context already cancelled at entry makes
+// every trajectory entry point return a cancellation error without
+// latching any cache state, and the cancellation counter records it.
+func TestPreCancelledContext(t *testing.T) {
+	w := newRobustWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	calls := map[string]func() error{
+		"Trajectories": func() error {
+			_, err := w.eng.Trajectories(ctx, "FM")
+			return err
+		},
+		"ObjectsPassingThrough": func() error {
+			_, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+			return err
+		},
+		"ObjectsSampledInside": func() error {
+			_, err := w.eng.ObjectsSampledInside(ctx, "FM", w.pg, w.win)
+			return err
+		},
+		"TimeSpentInside": func() error {
+			_, err := w.eng.TimeSpentInside(ctx, "FM", w.pg, w.win)
+			return err
+		},
+		"ObjectsEverWithinRadius": func() error {
+			_, err := w.eng.ObjectsEverWithinRadius(ctx, "FM", w.center, w.radius, w.win)
+			return err
+		},
+		"CountSamplesInside": func() error {
+			_, err := w.eng.CountSamplesInside(ctx, "FM", w.pg, w.win)
+			return err
+		},
+		"TrajectoryAggregate": func() error {
+			_, err := w.eng.TrajectoryAggregate(ctx, "FM", 1)
+			return err
+		},
+	}
+	for name, call := range calls {
+		if err := call(); !qerr.IsCancel(err) {
+			t.Errorf("%s with cancelled ctx: got %v, want cancellation", name, err)
+		}
+	}
+	if tables, objects := w.eng.CacheStats(); tables != 0 || objects != 0 {
+		t.Errorf("cancelled queries latched cache state: tables=%d objects=%d", tables, objects)
+	}
+	if got := w.met.QueriesCancelled.Value(); got < int64(len(calls)) {
+		t.Errorf("QueriesCancelled = %d, want >= %d", got, len(calls))
+	}
+}
+
+// TestCancelDuringBuildAsIfNeverStarted: a deadline that expires
+// mid-LIT-build abandons the build without publishing anything, and
+// the next query on a live context rebuilds and answers bit-identically
+// to an engine that never saw the cancellation.
+func TestCancelDuringBuildAsIfNeverStarted(t *testing.T) {
+	w := newRobustWorkload(t)
+	faultpoint.Arm(faultpoint.CoreLITBuild, faultpoint.ModeDelay, 30*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	_, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+	cancel()
+	faultpoint.Reset()
+	if !qerr.IsCancel(err) {
+		t.Fatalf("deadline mid-build: got %v, want cancellation", err)
+	}
+	if tables, _ := w.eng.CacheStats(); tables != 0 {
+		t.Fatalf("abandoned build latched the LIT cache: tables=%d", tables)
+	}
+
+	got, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatalf("retry after abandoned build: %v", err)
+	}
+	want, err := newRobustWorkload(t).eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatalf("fresh engine: %v", err)
+	}
+	if !eqOids(got, want) {
+		t.Errorf("retry after cancel diverged: got %v, want %v", got, want)
+	}
+	if tables, _ := w.eng.CacheStats(); tables != 1 {
+		t.Errorf("retry did not latch the cache: tables=%d", tables)
+	}
+}
+
+// TestGoroutineLeakAfterCancelledQueries is the leak regression: a
+// thousand cancelled queries (pre-cancelled and expiring mid-flight)
+// must not strand worker goroutines.
+func TestGoroutineLeakAfterCancelledQueries(t *testing.T) {
+	w := newRobustWorkload(t)
+	// Warm the caches so the loop exercises the fan-out path, not the
+	// build path.
+	if _, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 1000; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		if i%2 == 0 {
+			cancel() // pre-cancelled
+		} else {
+			time.AfterFunc(time.Microsecond, cancel) // races the query
+		}
+		_, _ = w.eng.ObjectsEverWithinRadius(ctx, "FM", w.center, w.radius, w.win)
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestBudgetMaxRows: a tiny row budget aborts a scan-heavy query with
+// a typed *BudgetError and bumps the rows-exceeded counter.
+func TestBudgetMaxRows(t *testing.T) {
+	w := newRobustWorkload(t)
+	ctx := core.WithBudget(context.Background(), core.Budget{MaxRows: 10})
+	_, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.Resource != "rows" {
+		t.Errorf("Resource = %q, want rows", be.Resource)
+	}
+	if !core.IsBudget(err) {
+		t.Error("IsBudget(err) = false")
+	}
+	if got := w.met.BudgetRowsExceeded.Value(); got == 0 {
+		t.Error("BudgetRowsExceeded not incremented")
+	}
+	// The same query without a budget succeeds: the abort left the
+	// engine coherent.
+	if _, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Errorf("unbudgeted retry: %v", err)
+	}
+}
+
+// TestBudgetMaxResults: a one-item result budget aborts a query that
+// matches many objects.
+func TestBudgetMaxResults(t *testing.T) {
+	w := newRobustWorkload(t)
+	big := w.win
+	ctx := core.WithBudget(context.Background(), core.Budget{MaxResults: 1})
+	_, err := w.eng.ObjectsSampledInside(ctx, "FM", w.pg, big)
+	if err == nil {
+		// The grid path produces its result in one step; the scan path
+		// must hit the budget. Force the scan.
+		w.eng.SetAggGrid(0)
+		_, err = w.eng.ObjectsSampledInside(ctx, "FM", w.pg, big)
+	}
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.Resource != "results" {
+		t.Errorf("Resource = %q, want results", be.Resource)
+	}
+	if got := w.met.BudgetResultsExceeded.Value(); got == 0 {
+		t.Error("BudgetResultsExceeded not incremented")
+	}
+}
+
+// TestBudgetTimeout: Budget.Timeout is applied at entry, so an
+// already-expired deadline surfaces as a cancellation at the first
+// checkpoint.
+func TestBudgetTimeout(t *testing.T) {
+	w := newRobustWorkload(t)
+	ctx := core.WithBudget(context.Background(), core.Budget{Timeout: time.Nanosecond})
+	_, err := w.eng.Trajectories(ctx, "FM")
+	if !qerr.IsCancel(err) {
+		t.Fatalf("got %v, want cancellation", err)
+	}
+	if got := w.met.QueriesCancelled.Value(); got == 0 {
+		t.Error("QueriesCancelled not incremented")
+	}
+	// The deadline lives on the per-query derived context only: the
+	// caller's context is untouched and the engine still answers.
+	if _, err := w.eng.Trajectories(context.Background(), "FM"); err != nil {
+		t.Errorf("query after budget timeout: %v", err)
+	}
+}
+
+// TestRetryAfterInjectedFaultBitIdentical: one injected build failure,
+// then the identical query succeeds and matches a never-faulted engine
+// exactly.
+func TestRetryAfterInjectedFaultBitIdentical(t *testing.T) {
+	w := newRobustWorkload(t)
+	faultpoint.ArmOnce(faultpoint.CoreLITBuild, faultpoint.ModeError, 0, 1)
+	defer faultpoint.Reset()
+
+	_, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	var f *faultpoint.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want injected *faultpoint.Fault", err)
+	}
+	if f.Site != faultpoint.CoreLITBuild {
+		t.Errorf("fault site = %q, want %q", f.Site, faultpoint.CoreLITBuild)
+	}
+
+	got, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatalf("retry after injected fault: %v", err)
+	}
+	want, err := newRobustWorkload(t).eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqOids(got, want) {
+		t.Errorf("retry diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestPanicIsolation: a panic injected inside a worker chunk surfaces
+// as a typed QueryPanicError with a captured stack, siblings drain,
+// and the engine keeps answering.
+func TestPanicIsolation(t *testing.T) {
+	w := newRobustWorkload(t)
+	want, err := w.eng.TimeSpentInside(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eng.ResetCache()
+
+	faultpoint.Arm(faultpoint.CoreFanoutChunk, faultpoint.ModePanic, 0)
+	_, err = w.eng.TimeSpentInside(context.Background(), "FM", w.pg, w.win)
+	faultpoint.Reset()
+	if !qerr.IsPanic(err) {
+		t.Fatalf("got %v, want recovered panic", err)
+	}
+	var pe *qerr.QueryPanicError
+	if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("recovered panic carries no stack: %v", err)
+	}
+	if got := w.met.QueryPanics.Value(); got == 0 {
+		t.Error("QueryPanics not incremented")
+	}
+
+	got, err := w.eng.TimeSpentInside(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatalf("engine unusable after recovered panic: %v", err)
+	}
+	if !eqDurations(got, want) {
+		t.Errorf("post-panic result diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestNilContextMeansBackground: a nil context is accepted and treated
+// as context.Background (API leniency for the oldest call sites).
+func TestNilContextMeansBackground(t *testing.T) {
+	w := newRobustWorkload(t)
+	//nolint:staticcheck // deliberately passing nil: the documented leniency
+	var nilCtx context.Context
+	if _, err := w.eng.Trajectories(nilCtx, "FM"); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+// TestCancelReturnsWithinOneStride bounds abort latency: with the
+// caches warm, a cancellation mid-query is observed well before the
+// query would finish scanning everything.
+func TestCancelReturnsWithinOneStride(t *testing.T) {
+	w := newRobustWorkload(t)
+	if _, err := w.eng.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := w.eng.ObjectsEverWithinRadius(ctx, "FM", w.center, w.radius, w.win)
+	if !qerr.IsCancel(err) {
+		t.Fatalf("got %v, want cancellation", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled query took %v to return", d)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,15 +35,17 @@ type PossiblyResult struct {
 // their relation to polygon pg during iv: definitely inside (sampled),
 // likely inside (interpolated crossing), or possibly inside (lifeline
 // bead at speedFactor × the object's maximum observed leg speed).
-func (e *Engine) ObjectsPossiblyPassingThrough(table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (PossiblyResult, error) {
+func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (res PossiblyResult, err error) {
+	qc, ctx, done := e.begin(ctx)
+	defer done(&err)
 	if speedFactor < 1 {
 		return PossiblyResult{}, fmt.Errorf("core: speed factor must be ≥ 1, got %g", speedFactor)
 	}
-	lits, err := e.Trajectories(table)
+	lits, err := e.Trajectories(ctx, table)
 	if err != nil {
 		return PossiblyResult{}, err
 	}
-	sampled, err := e.ObjectsSampledInside(table, pg, iv)
+	sampled, err := e.ObjectsSampledInside(ctx, table, pg, iv)
 	if err != nil {
 		return PossiblyResult{}, err
 	}
@@ -50,7 +53,7 @@ func (e *Engine) ObjectsPossiblyPassingThrough(table string, pg geom.Polygon, iv
 	for _, o := range sampled {
 		sampledSet[o] = true
 	}
-	interp, err := e.ObjectsPassingThrough(table, pg, iv)
+	interp, err := e.ObjectsPassingThrough(ctx, table, pg, iv)
 	if err != nil {
 		return PossiblyResult{}, err
 	}
@@ -59,7 +62,6 @@ func (e *Engine) ObjectsPossiblyPassingThrough(table string, pg geom.Polygon, iv
 		interpSet[o] = true
 	}
 
-	var res PossiblyResult
 	res.Definite = sampled
 	for _, o := range interp {
 		if !sampledSet[o] {
@@ -69,6 +71,9 @@ func (e *Engine) ObjectsPossiblyPassingThrough(table string, pg geom.Polygon, iv
 	for oid, l := range lits {
 		if interpSet[oid] {
 			continue
+		}
+		if err := qc.addRows(ctx, int64(len(l.Sample()))); err != nil {
+			return PossiblyResult{}, err
 		}
 		vmax := l.MaxSpeed() * speedFactor
 		if vmax == 0 {

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/scenario"
@@ -12,7 +14,7 @@ func TestObjectsPossiblyPassingThrough(t *testing.T) {
 	dam, _ := s.Ln.Polygon(scenario.PgDam)
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
 
-	res, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 1.5)
+	res, err := s.Engine.ObjectsPossiblyPassingThrough(context.Background(), "FMbus", dam, window, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestObjectsPossiblyPassingThrough(t *testing.T) {
 	}
 	// Monotonicity in the speed factor: a larger factor can only add
 	// possible objects.
-	res2, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 4)
+	res2, err := s.Engine.ObjectsPossiblyPassingThrough(context.Background(), "FMbus", dam, window, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,10 +52,10 @@ func TestObjectsPossiblyPassingThrough(t *testing.T) {
 		t.Errorf("possible shrank with larger speed factor: %v vs %v", res2.Possible, res.Possible)
 	}
 	// Bad factor errors.
-	if _, err := s.Engine.ObjectsPossiblyPassingThrough("FMbus", dam, window, 0.5); err == nil {
+	if _, err := s.Engine.ObjectsPossiblyPassingThrough(context.Background(), "FMbus", dam, window, 0.5); err == nil {
 		t.Error("speed factor < 1 accepted")
 	}
-	if _, err := s.Engine.ObjectsPossiblyPassingThrough("nope", dam, window, 2); err == nil {
+	if _, err := s.Engine.ObjectsPossiblyPassingThrough(context.Background(), "nope", dam, window, 2); err == nil {
 		t.Error("unknown table accepted")
 	}
 }

@@ -56,11 +56,11 @@ func P10(objects int) Report {
 	sweep := func(iv timedim.Interval) (answer, error) {
 		a := answer{counts: make([]int, len(polys)), objs: make([][]moft.Oid, len(polys))}
 		for i, pg := range polys {
-			n, err := eng.CountSamplesInside("FM", pg, iv)
+			n, err := eng.CountSamplesInside(qctx(), "FM", pg, iv)
 			if err != nil {
 				return a, err
 			}
-			o, err := eng.ObjectsSampledInside("FM", pg, iv)
+			o, err := eng.ObjectsSampledInside(qctx(), "FM", pg, iv)
 			if err != nil {
 				return a, err
 			}

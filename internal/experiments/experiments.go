@@ -9,10 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mogis/internal/fo"
@@ -30,6 +32,32 @@ import (
 	"mogis/internal/timedim"
 	"mogis/internal/workload"
 )
+
+var (
+	baseMu  sync.Mutex
+	baseCtx = context.Background()
+)
+
+// SetBaseContext sets the context every experiment's engine and
+// Piet-QL calls run under (nil restores context.Background).
+// cmd/mobench uses it to apply -timeout and -budget to experiment
+// runs; experiments construct their engines internally, so the
+// context cannot be threaded per call.
+func SetBaseContext(ctx context.Context) {
+	baseMu.Lock()
+	defer baseMu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	baseCtx = ctx
+}
+
+// qctx returns the configured base context.
+func qctx() context.Context {
+	baseMu.Lock()
+	defer baseMu.Unlock()
+	return baseCtx
+}
 
 // Report is a rendered experiment result.
 type Report struct {
@@ -65,7 +93,7 @@ func E1() Report {
 func E2() Report {
 	s := scenario.New()
 	low := s.LowIncomeRegion()
-	lits, err := s.Engine.Trajectories("FMbus")
+	lits, err := s.Engine.Trajectories(qctx(), "FMbus")
 	if err != nil {
 		return Report{ID: "E2", Title: "Figure 1 facts", Body: err.Error()}
 	}
@@ -129,7 +157,7 @@ func E3() Report {
 // Remark 1's value 4/3.
 func E4() Report {
 	s := scenario.New()
-	rel, err := s.Engine.RegionC(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	rel, err := s.Engine.RegionC(qctx(), s.MotivatingFormula(), []fo.Var{"o", "t"})
 	if err != nil {
 		return Report{ID: "E4", Title: "Remark 1", Body: err.Error()}
 	}
@@ -196,7 +224,7 @@ func E5() Report {
 		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
 		&fo.GeomIn{G: fo.V("pg"), IDs: south},
 	))
-	if n, err := s.Engine.CountRegion(q1, []fo.Var{"o"}); err != nil {
+	if n, err := s.Engine.CountRegion(qctx(), q1, []fo.Var{"o"}); err != nil {
 		fail("Q1", err)
 	} else {
 		fmt.Fprintf(&sb, "  Q1 cars in the South on Monday morning: %d objects\n", n)
@@ -213,7 +241,7 @@ func E5() Report {
 		&fo.PointIn{Layer: "Lh", Kind: layer.KindPolyline, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pl")},
 		&fo.Alpha{Attr: "street", A: fo.V("s"), G: fo.V("pl")},
 	))
-	if rel, err := s.Engine.RegionC(q2, []fo.Var{"o", "t", "s"}); err != nil {
+	if rel, err := s.Engine.RegionC(qctx(), q2, []fo.Var{"o", "t", "s"}); err != nil {
 		fail("Q2", err)
 	} else {
 		res, err := rel.GroupAggregate(olap.Count, "", []fo.Var{"s"})
@@ -251,7 +279,7 @@ func E5() Report {
 			&fo.AttrCmp{Concept: "neighb", M: fo.V("n1"), Attr: "population", Op: fo.LT, Rhs: fo.CReal(35000)},
 		))),
 	)
-	if rel, err := s.Engine.RegionC(q3, []fo.Var{"o"}); err != nil {
+	if rel, err := s.Engine.RegionC(qctx(), q3, []fo.Var{"o"}); err != nil {
 		fail("Q3", err)
 	} else {
 		fmt.Fprintf(&sb, "  Q3 objects only ever sampled in populous neighborhoods: %d\n", rel.Len())
@@ -259,7 +287,7 @@ func E5() Report {
 
 	// Q4 (Type 6): how many cars in Berchem at 13:00 (T(5))?
 	berchem, _ := s.Ln.Polygon(scenario.PgBerchem)
-	if objs, err := s.Engine.ObjectsSampledAt("FMbus", scenario.T(5), berchem); err != nil {
+	if objs, err := s.Engine.ObjectsSampledAt(qctx(), "FMbus", scenario.T(5), berchem); err != nil {
 		fail("Q4", err)
 	} else {
 		fmt.Fprintf(&sb, "  Q4 cars in Berchem at 13:00: %d\n", len(objs))
@@ -270,7 +298,7 @@ func E5() Report {
 	// (interpolated).
 	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
 	zuid, _ := s.Ln.Polygon(scenario.PgZuid)
-	if spent, err := s.Engine.TimeSpentInside("FMbus", zuid, window); err != nil {
+	if spent, err := s.Engine.TimeSpentInside(qctx(), "FMbus", zuid, window); err != nil {
 		fail("Q5", err)
 	} else {
 		var total float64
@@ -284,7 +312,7 @@ func E5() Report {
 	// Q6 (Type 7): cars within 5 units of a school, interpolated vs
 	// sample-only.
 	school, _ := s.Ls.Node(1)
-	if within, err := s.Engine.ObjectsEverWithinRadius("FMbus", school, 5, window); err != nil {
+	if within, err := s.Engine.ObjectsEverWithinRadius(qctx(), "FMbus", school, 5, window); err != nil {
 		fail("Q6", err)
 	} else {
 		q6s := fo.Exists([]fo.Var{"x", "y", "sx", "sy", "sc"}, fo.And(
@@ -293,7 +321,7 @@ func E5() Report {
 			&fo.PointIn{Layer: "Ls", Kind: layer.KindNode, X: fo.V("sx"), Y: fo.V("sy"), G: fo.V("sc")},
 			&fo.DistLE{X1: fo.V("x"), Y1: fo.V("y"), X2: fo.V("sx"), Y2: fo.V("sy"), R: 5},
 		))
-		relS, err := s.Engine.RegionC(q6s, []fo.Var{"o"})
+		relS, err := s.Engine.RegionC(qctx(), q6s, []fo.Var{"o"})
 		if err != nil {
 			fail("Q6", err)
 		} else {
@@ -312,7 +340,7 @@ func E5() Report {
 		&fo.DistLE{X1: fo.V("x"), Y1: fo.V("y"), X2: fo.V("bx"), Y2: fo.V("by"), R: 4},
 		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
 	))
-	if res, err := s.Engine.AggregateRegion(q7, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"}); err != nil {
+	if res, err := s.Engine.AggregateRegion(qctx(), q7, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"}); err != nil {
 		fail("Q7", err)
 	} else {
 		fmt.Fprintf(&sb, "  Q7 waiting near DamStore by hour: %d hour buckets\n", len(res.Rows))
@@ -328,7 +356,7 @@ func E6() Report {
 		"Ln": layer.KindPolygon, "Lr": layer.KindPolyline,
 		"Ls": layer.KindNode, "Lstores": layer.KindNode, "Lh": layer.KindPolyline,
 	}
-	ov, err := overlay.Precompute(map[string]*layer.Layer{
+	ov, err := overlay.Precompute(qctx(), map[string]*layer.Layer{
 		"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
 	}, []overlay.Pair{
 		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
@@ -359,7 +387,7 @@ AND (layer.Ln)
 CONTAINS (layer.Ln, layer.Lstores, subplevel.Point);
 | SELECT {[Measures].[population]} ON COLUMNS, {[place].[neighborhood].Members} ON ROWS FROM [CityCube]
 | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln`
-	out, err := sys.Run(query)
+	out, err := sys.Run(qctx(), query)
 	if err != nil {
 		return Report{ID: "E6", Title: "Piet-QL", Body: err.Error()}
 	}
@@ -407,7 +435,7 @@ func P1(grids []int, queries int) Report {
 		refR := overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}
 
 		t0 := time.Now()
-		ov, err := overlay.Precompute(layers, []overlay.Pair{{A: refR, B: refN}})
+		ov, err := overlay.Precompute(qctx(), layers, []overlay.Pair{{A: refR, B: refN}})
 		if err != nil {
 			return Report{ID: "P1", Title: "overlay vs naive", Body: err.Error()}
 		}
@@ -526,14 +554,14 @@ func P3(objectCounts []int) Report {
 		window := timedim.Interval{Lo: lo, Hi: hi}
 
 		t0 := time.Now()
-		sampled, err := eng.ObjectsSampledInside("FM", target, window)
+		sampled, err := eng.ObjectsSampledInside(qctx(), "FM", target, window)
 		if err != nil {
 			return Report{ID: "P3", Title: "interpolation vs samples", Body: err.Error()}
 		}
 		sampleTime := time.Since(t0)
 
 		t0 = time.Now()
-		passing, err := eng.ObjectsPassingThrough("FM", target, window)
+		passing, err := eng.ObjectsPassingThrough(qctx(), "FM", target, window)
 		if err != nil {
 			return Report{ID: "P3", Title: "interpolation vs samples", Body: err.Error()}
 		}
@@ -646,7 +674,7 @@ func P5(sampleCounts []int) Report {
 			&fo.AttrCmp{Concept: "neighb", M: fo.V("nb"), Attr: "income", Op: fo.LT, Rhs: fo.CReal(1500)},
 		))
 		t0 := time.Now()
-		rel, err := eng.RegionC(f, []fo.Var{"o", "t"})
+		rel, err := eng.RegionC(qctx(), f, []fo.Var{"o", "t"})
 		if err != nil {
 			return Report{ID: "P5", Title: "FO region-C scaling", Body: err.Error()}
 		}

@@ -96,7 +96,7 @@ func P7(objectCounts []int) Report {
 			Seed: 7, Objects: n, Samples: 120, Step: 30, Speed: 2,
 		})
 		_, eng := city.Context(fm)
-		lits, err := eng.Trajectories("FM")
+		lits, err := eng.Trajectories(qctx(), "FM")
 		if err != nil {
 			return Report{ID: "P7", Title: "trajectory aggregation", Body: err.Error()}
 		}

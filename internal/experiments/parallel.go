@@ -56,7 +56,7 @@ func P9(workerCounts []int, objects int) Report {
 
 	// Warm the LIT cache so the sweep times query evaluation, not the
 	// one-off interpolation build.
-	if _, err := eng.Trajectories("FM"); err != nil {
+	if _, err := eng.Trajectories(qctx(), "FM"); err != nil {
 		return fail(err)
 	}
 	// Disable interval memoization while timing: the sweep measures
@@ -68,7 +68,7 @@ func P9(workerCounts []int, objects int) Report {
 		t0 := time.Now()
 		for i := 0; i < iters; i++ {
 			var err error
-			out, err = eng.TimeSpentInside("FM", big, window)
+			out, err = eng.TimeSpentInside(qctx(), "FM", big, window)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -154,7 +154,7 @@ func P9(workerCounts []int, objects int) Report {
 	// Prefilter effectiveness: a small corner region should prove most
 	// trajectory envelopes disjoint and skip them wholesale.
 	cand0, skip0 := met.PrefilterCandidates.Value(), met.PrefilterSkipped.Value()
-	if _, err := eng.ObjectsPassingThrough("FM", small, window); err != nil {
+	if _, err := eng.ObjectsPassingThrough(qctx(), "FM", small, window); err != nil {
 		return fail(err)
 	}
 	cand := met.PrefilterCandidates.Value() - cand0
@@ -167,7 +167,7 @@ func P9(workerCounts []int, objects int) Report {
 	eng.SetIntervalCacheCap(256)
 	h0, m0 := met.IntervalCacheHits.Value(), met.IntervalCacheMisses.Value()
 	for i := 0; i < 4; i++ {
-		if _, err := eng.TimeSpentInside("FM", small, window); err != nil {
+		if _, err := eng.TimeSpentInside(qctx(), "FM", small, window); err != nil {
 			return fail(err)
 		}
 	}

@@ -6,6 +6,8 @@
 package integration_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/fo"
@@ -50,11 +52,11 @@ func TestSaveLoadQueryParity(t *testing.T) {
 		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},
 		&fo.AttrCmp{Concept: "neighb", M: fo.V("nb"), Attr: "income", Op: fo.LT, Rhs: fo.CReal(1500)},
 	))
-	relMem, err := engMem.RegionC(formula, []fo.Var{"o", "t"})
+	relMem, err := engMem.RegionC(context.Background(), formula, []fo.Var{"o", "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	relDisk, err := engDisk.RegionC(formula, []fo.Var{"o", "t"})
+	relDisk, err := engDisk.RegionC(context.Background(), formula, []fo.Var{"o", "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestPietQLOverlayParityOnLoadedData(t *testing.T) {
 	layers := map[string]*layer.Layer{
 		"Ln": loaded.Ln, "Lr": loaded.Lr, "Ls": loaded.Ls, "Lstores": loaded.Lstores, "Lh": loaded.Lh,
 	}
-	ov, err := overlay.Precompute(layers, []overlay.Pair{
+	ov, err := overlay.Precompute(context.Background(), layers, []overlay.Pair{
 		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
 		{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
 	})
@@ -117,11 +119,11 @@ func TestPietQLOverlayParityOnLoadedData(t *testing.T) {
 	base := &pietql.System{Ctx: ctx, Engine: eng, Kinds: kinds, SchemaName: "PietSchema", Cubes: mdx.Catalog{}}
 	fast := &pietql.System{Ctx: ctx, Engine: eng, Kinds: kinds, SchemaName: "PietSchema", Cubes: mdx.Catalog{}, Overlay: ov}
 
-	outSlow, err := base.Run(query)
+	outSlow, err := base.Run(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
-	outFast, err := fast.Run(query)
+	outFast, err := fast.Run(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestFullGISOLAPLoop(t *testing.T) {
 	_, eng := city.Context(fm)
 
 	// Region C: every sample with its neighborhood and raw instant.
-	rel, err := eng.RegionC(fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
+	rel, err := eng.RegionC(context.Background(), fo.Exists([]fo.Var{"x", "y", "pg"}, fo.And(
 		&fo.Fact{Table: "FM", O: fo.V("o"), T: fo.V("t"), X: fo.V("x"), Y: fo.V("y")},
 		&fo.PointIn{Layer: "Ln", Kind: layer.KindPolygon, X: fo.V("x"), Y: fo.V("y"), G: fo.V("pg")},
 		&fo.Alpha{Attr: "neighb", A: fo.V("nb"), G: fo.V("pg")},

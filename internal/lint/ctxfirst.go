@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCtxFirst enforces the cancellation-plumbing contract that
+// the robustness layer rests on:
+//
+//  1. every exported method on an Engine or System receiver whose
+//     last result is an error — the query entry points — takes a
+//     context.Context as its first parameter, so no new entry point
+//     can silently opt out of deadlines, budgets, and cancellation;
+//  2. a context.Context parameter is always the first parameter
+//     (Go convention, and what keeps call sites greppable);
+//  3. inside a ctx-first function, every goroutine started with a go
+//     statement mentions that context somewhere in the spawned
+//     expression, so fan-out work cannot detach from the query's
+//     cancellation scope.
+//
+// The check is syntactic: a context parameter is recognized as a
+// pkg.Context selector on an import of the standard "context"
+// package, and rule 3 accepts any mention of the context variable (or
+// an explicit context.Background()/context.TODO(), which documents a
+// deliberate detach). A `//moglint:ctxexempt` directive on the
+// function's doc comment skips it entirely.
+var AnalyzerCtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "query entry points take ctx first and goroutines inherit it",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			imports := fileImports(f)
+			if imports["context"] != "context" {
+				continue // file cannot name the context type
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || hasDirective(fd.Doc, "moglint:ctxexempt") {
+					continue
+				}
+				out = append(out, checkCtxFirst(p, imports, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// isCtxParamType reports whether t is the context.Context type.
+func isCtxParamType(imports map[string]string, t ast.Expr) bool {
+	return pkgSel(imports, t, "context", "Context")
+}
+
+// ctxParam locates the first context.Context parameter of fd: the
+// flattened position it starts at (a field with k names occupies k
+// positions), its name, and its resolved object. found=false when the
+// function takes no context.
+func ctxParam(imports map[string]string, fd *ast.FuncDecl) (pos int, name string, obj *ast.Object, found bool) {
+	n := 0
+	for _, field := range fd.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1 // unnamed parameter
+		}
+		if isCtxParamType(imports, field.Type) {
+			if len(field.Names) > 0 {
+				return n, field.Names[0].Name, field.Names[0].Obj, true
+			}
+			return n, "", nil, true
+		}
+		n += width
+	}
+	return 0, "", nil, false
+}
+
+// lastResultIsError reports whether fd's final result type is the
+// builtin error.
+func lastResultIsError(fd *ast.FuncDecl) bool {
+	r := fd.Type.Results
+	if r == nil || len(r.List) == 0 {
+		return false
+	}
+	id, ok := r.List[len(r.List)-1].Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// entryPointReceiver reports whether fd is a method on one of the
+// engine facades whose exported error-returning methods form the
+// query API.
+func entryPointReceiver(fd *ast.FuncDecl) bool {
+	name, _ := recvTypeName(fd)
+	return name == "Engine" || name == "System"
+}
+
+func checkCtxFirst(p *Package, imports map[string]string, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	pos, name, obj, found := ctxParam(imports, fd)
+
+	// Rule 1: exported query entry points must accept a context.
+	if !found && entryPointReceiver(fd) && fd.Name.IsExported() && lastResultIsError(fd) {
+		recv, _ := recvTypeName(fd)
+		out = append(out, p.finding("ctxfirst", fd.Name,
+			"exported query entry point %s.%s returns error but takes no context.Context", recv, fd.Name.Name))
+	}
+	if !found {
+		return out
+	}
+
+	// Rule 2: the context parameter comes first.
+	if pos != 0 {
+		out = append(out, p.finding("ctxfirst", fd.Type.Params,
+			"context.Context parameter of %s must be the first parameter", fd.Name.Name))
+	}
+
+	// Rule 3: goroutines spawned here must inherit the context.
+	if fd.Body == nil || name == "" || name == "_" {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !mentionsCtx(gs.Call, imports, name, obj) {
+			out = append(out, p.finding("ctxfirst", gs,
+				"goroutine in %s does not reference its context %q (cancellation cannot reach it)", fd.Name.Name, name))
+		}
+		return true
+	})
+	return out
+}
+
+// mentionsCtx reports whether the subtree references the context
+// variable (by object identity, falling back to the name for idents
+// the parser could not resolve) or makes an explicit
+// context.Background()/context.TODO() detach.
+func mentionsCtx(root ast.Node, imports map[string]string, name string, obj *ast.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if (obj != nil && v.Obj == obj) || (v.Obj == nil && v.Name == name) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if pkgSel(imports, v.Fun, "context", "Background") || pkgSel(imports, v.Fun, "context", "TODO") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -15,7 +15,11 @@
 //     to serial: no wall-clock, no randomness, no map-iteration-order
 //     result assembly without a subsequent sort;
 //   - metricname     — metric and span names handed to internal/obs
-//     are untyped constants, snake_case, and collision-free.
+//     are untyped constants, snake_case, and collision-free;
+//   - ctxfirst       — exported query entry points on Engine/System
+//     take context.Context as their first parameter, any context
+//     parameter is first, and goroutines spawned in ctx-first
+//     functions reference that context.
 //
 // The suite is stdlib-only (go/parser + go/ast + go/token); analyzers
 // work on syntax with small per-package symbol tables rather than full
@@ -73,6 +77,7 @@ func All() []*Analyzer {
 		AnalyzerCacheInvalidate,
 		AnalyzerDeterminism,
 		AnalyzerMetricName,
+		AnalyzerCtxFirst,
 	}
 }
 

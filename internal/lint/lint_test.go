@@ -128,6 +128,7 @@ func TestAtomicKnobFixtures(t *testing.T)      { checkFixtures(t, "atomicknob") 
 func TestCacheInvalidateFixtures(t *testing.T) { checkFixtures(t, "cacheinvalidate") }
 func TestDeterminismFixtures(t *testing.T)     { checkFixtures(t, "determinism") }
 func TestMetricNameFixtures(t *testing.T)      { checkFixtures(t, "metricname") }
+func TestCtxFirstFixtures(t *testing.T)        { checkFixtures(t, "ctxfirst") }
 
 // TestRunAllOrdersFindings pins the stable output contract: findings
 // sort by file, line, column, analyzer.

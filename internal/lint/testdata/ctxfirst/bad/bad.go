@@ -1,0 +1,50 @@
+// Package bad violates the context-plumbing contract in every way
+// the ctxfirst analyzer must catch.
+package bad
+
+import (
+	"context"
+	"sync"
+)
+
+type Engine struct{}
+
+type System struct{}
+
+// NoContext is an exported error-returning entry point without a
+// context parameter.
+func (e *Engine) NoContext(table string) error { // want
+	_ = table
+	return nil
+}
+
+// RunBare is the same violation on the System facade.
+func (s *System) RunBare(query string) (string, error) { // want
+	return query, nil
+}
+
+// CtxSecond takes a context but hides it behind another parameter.
+func (e *Engine) CtxSecond(table string, ctx context.Context) error { // want
+	_ = ctx
+	return nil
+}
+
+// helperCtxLast is an unexported helper; rule 1 does not apply but
+// the position rule still does.
+func helperCtxLast(n int, ctx context.Context) int { // want
+	_ = ctx
+	return n
+}
+
+// DetachedGoroutine spawns work the query's cancellation can never
+// reach.
+func (e *Engine) DetachedGoroutine(ctx context.Context, n int) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want
+		defer wg.Done()
+		_ = n * n
+	}()
+	wg.Wait()
+	return ctx.Err()
+}

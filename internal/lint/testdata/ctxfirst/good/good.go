@@ -1,0 +1,73 @@
+// Package good satisfies the context-plumbing contract: entry points
+// take ctx first, helpers keep it first, goroutines inherit it, and
+// the exemption directive opts a function out explicitly.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+type Engine struct{}
+
+type System struct{}
+
+// Query is a well-formed entry point: ctx first, error last.
+func (e *Engine) Query(ctx context.Context, table string) error {
+	_ = table
+	return ctx.Err()
+}
+
+// Run threads ctx on the System facade.
+func (s *System) Run(ctx context.Context, query string) (string, error) {
+	return query, ctx.Err()
+}
+
+// SetWorkers is a knob, not a query: no error result, so rule 1 does
+// not require a context.
+func (e *Engine) SetWorkers(n int) {
+	_ = n
+}
+
+// CacheStats returns no error and needs no context.
+func (e *Engine) CacheStats() (tables, objects int) {
+	return 0, 0
+}
+
+// fanOut spawns goroutines that all reference the function's ctx.
+func fanOut(ctx context.Context, n int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ctx.Err()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detachDeliberate documents its detach with an explicit Background.
+func detachDeliberate(ctx context.Context, done chan<- struct{}) {
+	_ = ctx
+	go func() {
+		_ = context.Background()
+		done <- struct{}{}
+	}()
+}
+
+// Legacy is exempted by directive: a grandfathered entry point the
+// analyzer must skip.
+//
+//moglint:ctxexempt
+func (e *Engine) Legacy(table string) error {
+	_ = table
+	return nil
+}

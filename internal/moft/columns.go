@@ -1,6 +1,8 @@
 package moft
 
 import (
+	"context"
+
 	"mogis/internal/geom"
 	"mogis/internal/timedim"
 )
@@ -61,22 +63,35 @@ func (c *Columns) TimeSpan() (lo, hi timedim.Instant, ok bool) {
 // (the build is double-checked behind the table's mutex, like the
 // lazy sort).
 func (t *Table) Columns() *Columns {
+	c, _ := t.ColumnsCtx(context.Background())
+	return c
+}
+
+// ColumnsCtx is Columns with cooperative cancellation: a build
+// abandoned mid-loop returns the context's error and publishes
+// nothing, so the next caller rebuilds from scratch. A snapshot that
+// is already published is returned without consulting ctx.
+func (t *Table) ColumnsCtx(ctx context.Context) (*Columns, error) {
 	if c := t.cols.Load(); c != nil {
-		return c
+		return c, nil
 	}
 	t.ensureSorted()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c := t.cols.Load(); c != nil {
-		return c
+		return c, nil
 	}
-	c := buildColumns(t.tuples)
+	c, err := buildColumns(ctx, t.tuples)
+	if err != nil {
+		return nil, err
+	}
 	t.cols.Store(c)
-	return c
+	return c, nil
 }
 
-// buildColumns decomposes (Oid, t)-sorted tuples into column slices.
-func buildColumns(tuples []Tuple) *Columns {
+// buildColumns decomposes (Oid, t)-sorted tuples into column slices,
+// observing ctx every few thousand rows.
+func buildColumns(ctx context.Context, tuples []Tuple) (*Columns, error) {
 	n := len(tuples)
 	c := &Columns{
 		Obj: make([]int32, n),
@@ -86,6 +101,11 @@ func buildColumns(tuples []Tuple) *Columns {
 		box: geom.EmptyBBox(),
 	}
 	for i, tp := range tuples {
+		if i%4096 == 4095 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if i == 0 || tp.Oid != tuples[i-1].Oid {
 			c.Oids = append(c.Oids, tp.Oid)
 			c.Starts = append(c.Starts, int32(i))
@@ -103,5 +123,5 @@ func buildColumns(tuples []Tuple) *Columns {
 		c.box = c.box.ExtendPoint(geom.Pt(tp.X, tp.Y))
 	}
 	c.Starts = append(c.Starts, int32(n))
-	return c
+	return c, nil
 }

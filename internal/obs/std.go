@@ -68,6 +68,12 @@ type Metrics struct {
 	Queries [9]*Counter
 
 	QueryDuration *Histogram
+
+	// Robustness: cancellation, panic isolation and resource budgets.
+	QueriesCancelled      *Counter // queries ended by cancel or deadline
+	QueryPanics           *Counter // worker panics recovered into QueryPanicError
+	BudgetRowsExceeded    *Counter // queries aborted at the scanned-rows budget
+	BudgetResultsExceeded *Counter // queries aborted at the result-size budget
 }
 
 // NewMetrics registers (or resolves) the standard instruments in r.
@@ -110,6 +116,11 @@ func NewMetrics(r *Registry) *Metrics {
 		OverlayBuildSeconds: r.Histogram("mogis_overlay_build_seconds", "wall time of overlay precomputation", nil),
 
 		QueryDuration: r.Histogram("mogis_query_duration_seconds", "wall time of Piet-QL query evaluation", nil),
+
+		QueriesCancelled:      r.Counter("mogis_queries_cancelled_total", "queries ended early by context cancel or deadline"),
+		QueryPanics:           r.Counter("mogis_query_panics_total", "worker panics recovered into QueryPanicError"),
+		BudgetRowsExceeded:    r.Counter("mogis_budget_rows_exceeded_total", "queries aborted at the max-rows-scanned budget"),
+		BudgetResultsExceeded: r.Counter("mogis_budget_results_exceeded_total", "queries aborted at the max-result-size budget"),
 	}
 	// One literal per series: metric names must be untyped constants
 	// (enforced by moglint's metricname analyzer) so the full series

@@ -83,6 +83,7 @@ type Span struct {
 	Name     string
 	Dur      time.Duration
 	Counts   []SpanCount
+	Events   []string // point-in-time markers (e.g. "cancel")
 	Children []*Span
 
 	start  time.Time
@@ -142,6 +143,31 @@ func (s *Span) AddCount(key string, n int64) {
 		}
 	}
 	s.Counts = append(s.Counts, SpanCount{Key: key, N: n})
+}
+
+// AddEvent records a point-in-time marker on the span (rendered as
+// {name} by Format). Nil-safe.
+func (s *Span) AddEvent(name string) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, name)
+}
+
+// Event records a marker on the innermost open span — the tracer-level
+// hook for paths that observe an event (a cancel, a budget abort)
+// without holding the span that is current. Nil-safe.
+func (t *Tracer) Event(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.cur
+	if s == nil {
+		s = t.root
+	}
+	s.Events = append(s.Events, name)
 }
 
 // Count returns the value of a named count (0 when absent). Nil-safe.
@@ -213,6 +239,9 @@ func (s *Span) format(sb *strings.Builder, prefix, childPrefix string) {
 			fmt.Fprintf(sb, "%s=%d", c.Key, c.N)
 		}
 		sb.WriteByte(']')
+	}
+	for _, ev := range s.Events {
+		fmt.Fprintf(sb, "  {%s}", ev)
 	}
 	sb.WriteByte('\n')
 	for i, c := range s.Children {

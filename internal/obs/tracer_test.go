@@ -110,3 +110,31 @@ func TestFormatAndExplain(t *testing.T) {
 		t.Errorf("zero non-cache counter should be elided:\n%s", out)
 	}
 }
+
+// TestSpanEvents: point-in-time markers (the engine's "cancel"
+// signal) attach to the innermost open span and render in Format.
+func TestSpanEvents(t *testing.T) {
+	tr := NewTracer("query")
+	sp := tr.Start("scan")
+	tr.Event("cancel") // lands on the open scan span
+	sp.End()
+	tr.Event("late") // no open child: lands on the root
+	root := tr.Finish()
+
+	scan := root.Find("scan")
+	if len(scan.Events) != 1 || scan.Events[0] != "cancel" {
+		t.Errorf("scan events = %v, want [cancel]", scan.Events)
+	}
+	if len(root.Events) != 1 || root.Events[0] != "late" {
+		t.Errorf("root events = %v, want [late]", root.Events)
+	}
+	out := root.Format()
+	if !strings.Contains(out, "{cancel}") || !strings.Contains(out, "{late}") {
+		t.Errorf("Format missing event markers:\n%s", out)
+	}
+
+	var nilTr *Tracer
+	nilTr.Event("x") // nil-safe
+	var nilSp *Span
+	nilSp.AddEvent("x") // nil-safe
+}

@@ -1,0 +1,89 @@
+package overlay
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mogis/internal/faultpoint"
+	"mogis/internal/qerr"
+)
+
+var chaosPairs = []Pair{
+	{A: refCities, B: refRivers},
+	{A: refCities, B: refStores},
+	{A: refCities, B: refDistricts},
+}
+
+// TestPrecomputeCancelled: a context already cancelled at entry stops
+// the precomputation with a cancellation error, on both the serial
+// and the concurrent pair path.
+func TestPrecomputeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Precompute(ctx, testLayers(), chaosPairs); !qerr.IsCancel(err) {
+		t.Errorf("got %v, want cancellation", err)
+	}
+	// Enough pairs to cross the concurrency threshold: duplicate the
+	// list so the goroutine path runs too.
+	many := append(append([]Pair{}, chaosPairs...), Pair{A: refRivers, B: refRivers},
+		Pair{A: refCities, B: refCities}, Pair{A: refDistricts, B: refStores},
+		Pair{A: refDistricts, B: refRivers}, Pair{A: refRivers, B: refStores})
+	if _, err := Precompute(ctx, testLayers(), many); !qerr.IsCancel(err) {
+		t.Errorf("concurrent path: got %v, want cancellation", err)
+	}
+}
+
+// TestPrecomputeNilContext: a nil context is treated as Background.
+func TestPrecomputeNilContext(t *testing.T) {
+	//nolint:staticcheck // deliberately nil: the documented leniency
+	var nilCtx context.Context
+	if _, err := Precompute(nilCtx, testLayers(), chaosPairs); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+// TestPrecomputeInjectedFault: an armed overlay/pair site fails the
+// precomputation with the typed fault; disarmed, the same call
+// succeeds and produces the same overlay as a never-faulted build.
+func TestPrecomputeInjectedFault(t *testing.T) {
+	faultpoint.Arm(faultpoint.OverlayPair, faultpoint.ModeError, 0)
+	_, err := Precompute(context.Background(), testLayers(), chaosPairs)
+	faultpoint.Reset()
+	var f *faultpoint.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want injected fault", err)
+	}
+	if f.Site != faultpoint.OverlayPair {
+		t.Errorf("fault site %q, want %q", f.Site, faultpoint.OverlayPair)
+	}
+
+	got, err := Precompute(context.Background(), testLayers(), chaosPairs)
+	if err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	want, err := Precompute(context.Background(), testLayers(), chaosPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := got.Intersecting(refCities, 1, refRivers)
+	w1 := want.Intersecting(refCities, 1, refRivers)
+	if len(g1) != len(w1) {
+		t.Errorf("retry diverged: %v vs %v", g1, w1)
+	}
+}
+
+// TestPrecomputePanicIsolation: a panic inside one pair's computation
+// is recovered into a typed QueryPanicError instead of taking the
+// process down, and a clean rebuild works afterwards.
+func TestPrecomputePanicIsolation(t *testing.T) {
+	faultpoint.Arm(faultpoint.OverlayPair, faultpoint.ModePanic, 0)
+	_, err := Precompute(context.Background(), testLayers(), chaosPairs)
+	faultpoint.Reset()
+	if !qerr.IsPanic(err) {
+		t.Fatalf("got %v, want recovered panic", err)
+	}
+	if _, err := Precompute(context.Background(), testLayers(), chaosPairs); err != nil {
+		t.Fatalf("rebuild after recovered panic: %v", err)
+	}
+}

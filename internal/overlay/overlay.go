@@ -11,15 +11,18 @@
 package overlay
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"mogis/internal/faultpoint"
 	"mogis/internal/geom"
 	"mogis/internal/layer"
 	"mogis/internal/obs"
+	"mogis/internal/qerr"
 	"mogis/internal/sindex"
 )
 
@@ -74,7 +77,16 @@ type pairMaps struct {
 // in both directions. Pairs are computed concurrently (bounded by
 // GOMAXPROCS) into per-pair maps and merged in declaration order, so
 // the result is independent of scheduling.
-func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) {
+//
+// ctx is observed between pairs and at worker start: a cancelled
+// build drains its in-flight workers and returns the context's error
+// with no overlay. A panic in one pair's worker is recovered into a
+// *qerr.QueryPanicError (counted in obs QueryPanics); the other
+// workers complete normally.
+func Precompute(ctx context.Context, layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	o := &Overlay{
 		layers: layers,
@@ -85,7 +97,10 @@ func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) 
 	res := make([]pairMaps, len(pairs))
 	if len(pairs) < 2 {
 		for i, p := range pairs {
-			res[i] = o.precomputePair(p)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res[i] = o.precomputePairProtected(p)
 		}
 	} else {
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -96,7 +111,11 @@ func Precompute(layers map[string]*layer.Layer, pairs []Pair) (*Overlay, error) 
 			go func(i int, p Pair) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res[i] = o.precomputePair(p)
+				if err := ctx.Err(); err != nil {
+					res[i] = pairMaps{err: err}
+					return
+				}
+				res[i] = o.precomputePairProtected(p)
 			}(i, p)
 		}
 		wg.Wait()
@@ -195,6 +214,23 @@ func collect(l *layer.Layer, kind layer.Kind) ([]boxed, error) {
 		return nil, fmt.Errorf("overlay: unsupported kind %s", kind)
 	}
 	return out, nil
+}
+
+// precomputePairProtected runs precomputePair with panic isolation:
+// a panicking pair worker becomes a *qerr.QueryPanicError carried in
+// the pair's error slot, so one bad geometry cannot take the process
+// down while sibling pairs are mid-build.
+func (o *Overlay) precomputePairProtected(p Pair) (pm pairMaps) {
+	defer func() {
+		if v := recover(); v != nil {
+			obs.Std.QueryPanics.Inc()
+			pm = pairMaps{err: qerr.NewPanic("overlay/pair", v)}
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.OverlayPair); err != nil {
+		return pairMaps{err: err}
+	}
+	return o.precomputePair(p)
 }
 
 // precomputePair builds one pair's relations into fresh maps; it only

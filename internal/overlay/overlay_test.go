@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -50,7 +51,7 @@ var (
 
 func buildOverlay(t *testing.T) *Overlay {
 	t.Helper()
-	o, err := Precompute(testLayers(), []Pair{
+	o, err := Precompute(context.Background(), testLayers(), []Pair{
 		{A: refCities, B: refRivers},
 		{A: refCities, B: refStores},
 		{A: refCities, B: refDistricts},
@@ -148,20 +149,20 @@ func TestOverlayMatchesNaive(t *testing.T) {
 }
 
 func TestOverlayErrors(t *testing.T) {
-	if _, err := Precompute(testLayers(), []Pair{{A: Ref{Layer: "nope", Kind: layer.KindPolygon}, B: refRivers}}); err == nil {
+	if _, err := Precompute(context.Background(), testLayers(), []Pair{{A: Ref{Layer: "nope", Kind: layer.KindPolygon}, B: refRivers}}); err == nil {
 		t.Error("unknown layer A accepted")
 	}
-	if _, err := Precompute(testLayers(), []Pair{{A: refCities, B: Ref{Layer: "nope", Kind: layer.KindPolygon}}}); err == nil {
+	if _, err := Precompute(context.Background(), testLayers(), []Pair{{A: refCities, B: Ref{Layer: "nope", Kind: layer.KindPolygon}}}); err == nil {
 		t.Error("unknown layer B accepted")
 	}
-	if _, err := Precompute(testLayers(), []Pair{{A: Ref{Layer: "cities", Kind: layer.KindLine}, B: refRivers}}); err == nil {
+	if _, err := Precompute(context.Background(), testLayers(), []Pair{{A: Ref{Layer: "cities", Kind: layer.KindLine}, B: refRivers}}); err == nil {
 		t.Error("unsupported kind accepted")
 	}
 	if _, err := IntersectingNaive(testLayers(), Ref{Layer: "zz", Kind: layer.KindPolygon}, 1, refRivers); err == nil {
 		t.Error("naive unknown layer accepted")
 	}
 	// Node-node is unsupported.
-	if _, err := Precompute(testLayers(), []Pair{{A: refStores, B: refStores}}); err == nil {
+	if _, err := Precompute(context.Background(), testLayers(), []Pair{{A: refStores, B: refStores}}); err == nil {
 		t.Error("node-node pair accepted")
 	}
 }
@@ -172,7 +173,7 @@ func TestOverlayNodePolyline(t *testing.T) {
 	layers["stops"].AddNode(1, geom.Pt(5, 5)) // on river 1
 	layers["stops"].AddNode(2, geom.Pt(50, 50))
 	refStops := Ref{Layer: "stops", Kind: layer.KindNode}
-	o, err := Precompute(layers, []Pair{{A: refStops, B: refRivers}, {A: refRivers, B: refStops}})
+	o, err := Precompute(context.Background(), layers, []Pair{{A: refStops, B: refRivers}, {A: refRivers, B: refStops}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestOverlayPropertiesOnSyntheticCity(t *testing.T) {
 		refN := Ref{Layer: "Ln", Kind: layer.KindPolygon}
 		refR := Ref{Layer: "Lr", Kind: layer.KindPolyline}
 		refS := Ref{Layer: "Lstores", Kind: layer.KindNode}
-		ov, err := Precompute(layers, []Pair{
+		ov, err := Precompute(context.Background(), layers, []Pair{
 			{A: refN, B: refR},
 			{A: refN, B: refS},
 		})
@@ -73,7 +74,7 @@ func TestOverlayCellAreaBounds(t *testing.T) {
 	layers := map[string]*layer.Layer{"A": renameLayer(a.Ln, "A"), "B": renameLayer(b.Ln, "B")}
 	refA := Ref{Layer: "A", Kind: layer.KindPolygon}
 	refB := Ref{Layer: "B", Kind: layer.KindPolygon}
-	ov, err := Precompute(layers, []Pair{{A: refA, B: refB}})
+	ov, err := Precompute(context.Background(), layers, []Pair{{A: refA, B: refB}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestOverlayCellCentroidsInsideBoth(t *testing.T) {
 	layers := map[string]*layer.Layer{"A": renameLayer(a.Ln, "A"), "B": renameLayer(b.Ln, "B")}
 	refA := Ref{Layer: "A", Kind: layer.KindPolygon}
 	refB := Ref{Layer: "B", Kind: layer.KindPolygon}
-	ov, err := Precompute(layers, []Pair{{A: refA, B: refB}})
+	ov, err := Precompute(context.Background(), layers, []Pair{{A: refA, B: refB}})
 	if err != nil {
 		t.Fatal(err)
 	}

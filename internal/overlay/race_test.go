@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // pietql evaluator relies on when queries run in parallel. The race
 // detector must stay silent and answers must not flicker.
 func TestConcurrentLookups(t *testing.T) {
-	ov, err := Precompute(testLayers(), []Pair{
+	ov, err := Precompute(context.Background(), testLayers(), []Pair{
 		{A: refCities, B: refRivers},
 		{A: refCities, B: refStores},
 		{A: refCities, B: refDistricts},

@@ -1,6 +1,8 @@
 package pietql_test
 
 import (
+	"context"
+
 	"testing"
 
 	"mogis/internal/pietql"
@@ -15,7 +17,7 @@ func TestPredicateBindingDirections(t *testing.T) {
 	sys := system(t, false)
 	// First predicate binds Lr and Ln; the second has Ln bound and Lr
 	// bound → both-bound filter path.
-	out, err := sys.Run(`
+	out, err := sys.Run(context.Background(), `
 		SELECT layer.Ln, layer.Lr;
 		FROM PietSchema;
 		WHERE intersection(layer.Lr, layer.Ln)
@@ -28,7 +30,7 @@ func TestPredicateBindingDirections(t *testing.T) {
 	}
 	// B-side bound, A-side unbound: stores first (binds Lstores),
 	// then CONTAINS with only B bound forces A enumeration.
-	out, err = sys.Run(`
+	out, err = sys.Run(context.Background(), `
 		SELECT layer.Lstores, layer.Ln;
 		FROM PietSchema;
 		WHERE intersection(layer.Lstores, layer.Lr)
@@ -42,7 +44,7 @@ func TestPredicateBindingDirections(t *testing.T) {
 	}
 	// Same shape but with a satisfiable first predicate: stores in
 	// neighborhoods (binds both), then Ln re-anchored via stores.
-	out, err = sys.Run(`
+	out, err = sys.Run(context.Background(), `
 		SELECT layer.Ln;
 		FROM PietSchema;
 		WHERE CONTAINS(layer.Ln, layer.Lstores)
@@ -63,7 +65,7 @@ func TestContainsPolygonInPolygon(t *testing.T) {
 	// polygon layer for this test).
 	sys := system(t, false)
 	_ = s
-	out, err := sys.Run(`
+	out, err := sys.Run(context.Background(), `
 		SELECT layer.Ln;
 		FROM PietSchema;
 		WHERE CONTAINS(layer.Ln, layer.Ln)`)
@@ -81,7 +83,7 @@ func TestContainsPolygonInPolygon(t *testing.T) {
 // missing subplevel combination.
 func TestContainsPolylineBranch(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(`
+	out, err := sys.Run(context.Background(), `
 		SELECT layer.Ln;
 		FROM PietSchema;
 		WHERE CONTAINS(layer.Ln, layer.Lh, subplevel.Linestring)`)
@@ -93,13 +95,13 @@ func TestContainsPolylineBranch(t *testing.T) {
 	}
 	// CONTAINS(polygon, polyline) expects subplevel.Linestring; Point
 	// is rejected.
-	if _, err := sys.Run(`SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Ln, layer.Lh, subplevel.Point)`); err == nil {
+	if _, err := sys.Run(context.Background(), `SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Ln, layer.Lh, subplevel.Point)`); err == nil {
 		t.Error("wrong subplevel accepted")
 	}
 	// intersection of two node layers is not a supported overlay pair
 	// (points intersect only on exact coincidence); the evaluator
 	// reports it rather than returning an empty guess.
-	if _, err := sys.Run(`SELECT layer.Ls; FROM PietSchema; WHERE intersection(layer.Ls, layer.Lstores, subplevel.Point)`); err == nil {
+	if _, err := sys.Run(context.Background(), `SELECT layer.Ls; FROM PietSchema; WHERE intersection(layer.Ls, layer.Lstores, subplevel.Point)`); err == nil {
 		t.Error("node-node pair accepted")
 	}
 	// polygon-polygon intersection materializes polygons.

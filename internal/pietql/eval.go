@@ -1,6 +1,8 @@
 package pietql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,28 +57,56 @@ type Outcome struct {
 	Explain string
 }
 
-// Run parses and evaluates a Piet-QL query. A query prefixed with
-// EXPLAIN renders the evaluation plan without running it; EXPLAIN
-// ANALYZE runs the query with a per-query trace attached and renders
-// the span tree plus engine-counter deltas into Outcome.Explain.
-func (s *System) Run(query string) (*Outcome, error) {
+// ParseError marks an error raised while parsing the query text (as
+// opposed to evaluating it), so callers — the pietql CLI maps parse
+// errors to a distinct exit code — can tell the two apart with
+// errors.As.
+type ParseError struct{ Err error }
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// IsParseError reports whether err originated in the Piet-QL parser.
+func IsParseError(err error) bool {
+	var pe *ParseError
+	return errors.As(err, &pe)
+}
+
+// parse wraps Parse failures in *ParseError.
+func parse(input string) (*Query, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	return q, nil
+}
+
+// Run parses and evaluates a Piet-QL query under ctx (nil means
+// background): evaluation observes cancellation, deadlines and any
+// core.Budget attached to ctx at the engine's cooperative
+// checkpoints. A query prefixed with EXPLAIN renders the evaluation
+// plan without running it; EXPLAIN ANALYZE runs the query with a
+// per-query trace attached and renders the span tree plus
+// engine-counter deltas into Outcome.Explain. Parse failures are
+// reported as *ParseError.
+func (s *System) Run(ctx context.Context, query string) (*Outcome, error) {
 	start := time.Now()
 	defer func() { obs.Std.QueryDuration.Observe(time.Since(start).Seconds()) }()
 	if rest, analyze, ok := stripExplain(query); ok {
 		if analyze {
-			return s.RunAnalyze(rest)
+			return s.RunAnalyze(ctx, rest)
 		}
-		q, err := Parse(rest)
+		q, err := parse(rest)
 		if err != nil {
 			return nil, err
 		}
 		return &Outcome{Explain: ExplainPlan(q)}, nil
 	}
-	q, err := Parse(query)
+	q, err := parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return s.Eval(q)
+	return s.Eval(ctx, q)
 }
 
 // stripExplain removes a leading EXPLAIN [ANALYZE] (case-insensitive)
@@ -97,7 +127,7 @@ func stripExplain(query string) (rest string, analyze, ok bool) {
 // RunAnalyze parses and evaluates a query with a trace attached,
 // setting Outcome.Explain to the rendered span tree and the
 // engine-counter deltas the query caused.
-func (s *System) RunAnalyze(query string) (*Outcome, error) {
+func (s *System) RunAnalyze(ctx context.Context, query string) (*Outcome, error) {
 	tr := obs.NewTracer("query")
 	before := obs.Default.Snapshot()
 	prev := s.Ctx.Tracer()
@@ -105,11 +135,11 @@ func (s *System) RunAnalyze(query string) (*Outcome, error) {
 	defer s.Ctx.SetTracer(prev)
 
 	sp := tr.Start("parse")
-	q, err := Parse(query)
+	q, err := parse(query)
 	sp.End()
 	var out *Outcome
 	if err == nil {
-		out, err = s.Eval(q)
+		out, err = s.Eval(ctx, q)
 	}
 	root := tr.Finish()
 	if err != nil {
@@ -142,12 +172,15 @@ func ExplainPlan(q *Query) string {
 	return sb.String()
 }
 
-// Eval evaluates a parsed query.
-func (s *System) Eval(q *Query) (*Outcome, error) {
+// Eval evaluates a parsed query under ctx (nil means background).
+func (s *System) Eval(ctx context.Context, q *Query) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := s.Ctx.Tracer()
 	out := &Outcome{}
 	sp := tr.Start("geo")
-	ids, err := s.evalGeo(q.Geo)
+	ids, err := s.evalGeo(ctx, q.Geo)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -162,6 +195,9 @@ func (s *System) Eval(q *Query) (*Outcome, error) {
 	out.GeoIDs = ids
 
 	if q.OLAP != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp := tr.Start("olap")
 		res, err := mdx.Run(s.Cubes, q.OLAP)
 		sp.End()
@@ -173,7 +209,7 @@ func (s *System) Eval(q *Query) (*Outcome, error) {
 
 	if q.MO != nil {
 		sp := tr.Start("mo")
-		n, groups, err := s.evalMO(q.MO, ids)
+		n, groups, err := s.evalMO(ctx, q.MO, ids)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -219,7 +255,7 @@ func expectedSubLevel(pred PredicateKind, a, b layer.Kind) string {
 
 // evalGeo evaluates the geometric part as a conjunctive query over
 // one variable per layer.
-func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
+func (s *System) evalGeo(ctx context.Context, g *GeoQuery) (map[string][]layer.Gid, error) {
 	if s.SchemaName != "" && !strings.EqualFold(g.Schema, s.SchemaName) {
 		return nil, fmt.Errorf("pietql: unknown schema %q (have %q)", g.Schema, s.SchemaName)
 	}
@@ -260,7 +296,7 @@ func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
 	for _, p := range g.Where {
 		sp := s.Ctx.Tracer().Start("overlay_lookup")
 		var err error
-		bindings, err = s.applyPredicate(bindings, p)
+		bindings, err = s.applyPredicate(ctx, bindings, p)
 		sp.SetCount("bindings", int64(len(bindings)))
 		sp.End()
 		if err != nil {
@@ -274,6 +310,9 @@ func (s *System) evalGeo(g *GeoQuery) (map[string][]layer.Gid, error) {
 	// A selected layer never mentioned in WHERE ranges over all its
 	// geometries.
 	for _, l := range g.Select {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(bindings) > 0 {
 			if _, bound := bindings[0][l]; bound {
 				continue
@@ -327,12 +366,17 @@ func (s *System) allIDs(r overlay.Ref) ([]layer.Gid, error) {
 	return l.IDs(r.Kind), nil
 }
 
-// applyPredicate extends or filters the bindings with one predicate.
-func (s *System) applyPredicate(bindings []map[string]layer.Gid, p Predicate) ([]map[string]layer.Gid, error) {
+// applyPredicate extends or filters the bindings with one predicate,
+// observing ctx once per input binding (binding sets are the part
+// that grows combinatorially).
+func (s *System) applyPredicate(ctx context.Context, bindings []map[string]layer.Gid, p Predicate) ([]map[string]layer.Gid, error) {
 	ra, _ := s.ref(p.A)
 	rb, _ := s.ref(p.B)
 	var out []map[string]layer.Gid
 	for _, b := range bindings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		aid, aBound := b[p.A]
 		bid, bBound := b[p.B]
 		switch {
@@ -486,7 +530,7 @@ func (s *System) contains(ra overlay.Ref, aid layer.Gid, rb overlay.Ref, bid lay
 
 // evalMO evaluates the moving-objects part against the geometric
 // result.
-func (s *System) evalMO(q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.AggResult, error) {
+func (s *System) evalMO(ctx context.Context, q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.AggResult, error) {
 	ids, ok := geoIDs[q.ThroughLayer]
 	if !ok {
 		return 0, nil, fmt.Errorf("pietql: PASSES THROUGH layer %q is not in the geometric SELECT", q.ThroughLayer)
@@ -508,14 +552,14 @@ func (s *System) evalMO(q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.A
 		window = timedim.Interval{Lo: lo, Hi: hi}
 	}
 	if q.GroupBy != "" {
-		groups, total, err := s.evalMOGrouped(q, ids, window)
+		groups, total, err := s.evalMOGrouped(ctx, q, ids, window)
 		if err != nil {
 			return 0, nil, err
 		}
 		return total, groups, nil
 	}
 	if !q.SampledOnly {
-		n, err := s.Engine.CountPassingThroughGeometries(q.Table, q.ThroughLayer, ids, window)
+		n, err := s.Engine.CountPassingThroughGeometries(ctx, q.Table, q.ThroughLayer, ids, window)
 		return n, nil, err
 	}
 	// Sample-only semantics: union the per-polygon sampled objects.
@@ -526,7 +570,7 @@ func (s *System) evalMO(q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.A
 		if !ok {
 			return 0, nil, fmt.Errorf("pietql: layer %q has no polygon %d", q.ThroughLayer, id)
 		}
-		objs, err := s.Engine.ObjectsSampledInside(q.Table, pg, window)
+		objs, err := s.Engine.ObjectsSampledInside(ctx, q.Table, pg, window)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -541,7 +585,7 @@ func (s *System) evalMO(q *MOQuery, geoIDs map[string][]layer.Gid) (int, *olap.A
 // or day: an object contributes to every bucket its passing intervals
 // (or in-polygon samples) overlap. The returned total is the number
 // of distinct contributing objects.
-func (s *System) evalMOGrouped(q *MOQuery, ids []layer.Gid, window timedim.Interval) (*olap.AggResult, int, error) {
+func (s *System) evalMOGrouped(ctx context.Context, q *MOQuery, ids []layer.Gid, window timedim.Interval) (*olap.AggResult, int, error) {
 	l, _ := s.Ctx.GIS().Layer(q.ThroughLayer)
 	polys := make([]geom.Polygon, 0, len(ids))
 	for _, id := range ids {
@@ -579,7 +623,11 @@ func (s *System) evalMOGrouped(q *MOQuery, ids []layer.Gid, window timedim.Inter
 		if err != nil {
 			return nil, 0, err
 		}
+		rows := 0
 		tbl.ScanInterval(window, func(tp moft.Tuple) bool {
+			if rows++; rows%4096 == 0 && ctx.Err() != nil {
+				return false
+			}
 			for _, pg := range polys {
 				if pg.ContainsPoint(tp.Point()) {
 					mark(tp.Oid, tp.T)
@@ -588,12 +636,18 @@ func (s *System) evalMOGrouped(q *MOQuery, ids []layer.Gid, window timedim.Inter
 			}
 			return true
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 	} else {
-		lits, err := s.Engine.Trajectories(q.Table)
+		lits, err := s.Engine.Trajectories(ctx, q.Table)
 		if err != nil {
 			return nil, 0, err
 		}
 		for oid, lit := range lits {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			for _, pg := range polys {
 				for _, iv := range lit.InsidePolygonIntervals(pg) {
 					lo, hi := iv.Lo, iv.Hi

@@ -1,6 +1,8 @@
 package pietql_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ const moPart = `
 
 func TestExplainAnalyze(t *testing.T) {
 	sys := system(t, true)
-	out, err := sys.Run("EXPLAIN ANALYZE " + paperQuery + moPart)
+	out, err := sys.Run(context.Background(), "EXPLAIN ANALYZE "+paperQuery+moPart)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func TestExplainAnalyze(t *testing.T) {
 // build/query counters alongside the cache counters.
 func TestExplainAnalyzeGridCounters(t *testing.T) {
 	sys := system(t, true)
-	out, err := sys.Run("EXPLAIN ANALYZE " + paperQuery +
+	out, err := sys.Run(context.Background(), "EXPLAIN ANALYZE "+paperQuery+
 		` | | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY`)
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +58,7 @@ func TestExplainAnalyzeGridCounters(t *testing.T) {
 
 func TestExplainPlanOnly(t *testing.T) {
 	sys := system(t, true)
-	out, err := sys.Run("EXPLAIN " + paperQuery + moPart)
+	out, err := sys.Run(context.Background(), "EXPLAIN "+paperQuery+moPart)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func TestExplainPlanOnly(t *testing.T) {
 func TestNoOverlayZeroHits(t *testing.T) {
 	sys := system(t, false)
 	before := obs.Default.Snapshot()
-	if _, err := sys.Run(paperQuery); err != nil {
+	if _, err := sys.Run(context.Background(), paperQuery); err != nil {
 		t.Fatal(err)
 	}
 	after := obs.Default.Snapshot()
@@ -91,7 +93,7 @@ func TestNoOverlayZeroHits(t *testing.T) {
 func TestOverlayHitsCounted(t *testing.T) {
 	sys := system(t, true)
 	before := obs.Default.Snapshot()
-	if _, err := sys.Run(paperQuery); err != nil {
+	if _, err := sys.Run(context.Background(), paperQuery); err != nil {
 		t.Fatal(err)
 	}
 	after := obs.Default.Snapshot()

@@ -1,6 +1,8 @@
 package pietql_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -12,7 +14,7 @@ import (
 // hour" normalization, bucketed).
 func TestMOGroupByHour(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY hour`)
+	out, err := sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY hour`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestMOGroupByHour(t *testing.T) {
 
 func TestMOGroupByDay(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY day`)
+	out, err := sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln GROUP BY day`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestMOGroupByDay(t *testing.T) {
 
 func TestMOGroupBySampledOnly(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY GROUP BY hour`)
+	out, err := sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY GROUP BY hour`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestMOGroupByParseErrors(t *testing.T) {
 
 func TestMOGroupByWindow(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+	out, err := sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
 		DURING '2006-01-09 06:00' TO '2006-01-09 12:00' GROUP BY hour`)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package pietql_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -45,7 +47,7 @@ func system(t *testing.T, withOverlay bool) *pietql.System {
 		layers := map[string]*layer.Layer{
 			"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
 		}
-		ov, err := overlay.Precompute(layers, []overlay.Pair{
+		ov, err := overlay.Precompute(context.Background(), layers, []overlay.Pair{
 			{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lr", Kind: layer.KindPolyline}},
 			{A: overlay.Ref{Layer: "Ln", Kind: layer.KindPolygon}, B: overlay.Ref{Layer: "Lstores", Kind: layer.KindNode}},
 		})
@@ -98,7 +100,7 @@ func TestGeoEvaluation(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			sys := system(t, withOverlay)
-			out, err := sys.Run(paperQuery)
+			out, err := sys.Run(context.Background(), paperQuery)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +129,7 @@ func TestFullThreePartQuery(t *testing.T) {
   {[place].[neighborhood].Members} ON ROWS FROM [CityCube]
 | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
 `
-	out, err := sys.Run(query)
+	out, err := sys.Run(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestMOSampledOnlyAndWindow(t *testing.T) {
 	sys := system(t, false)
 	// Sample-only: O6 no longer counts (not sampled in Dam/Berchem...
 	// O6's samples are in Linkeroever and Zuid).
-	out, err := sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY`)
+	out, err := sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln SAMPLED ONLY`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +167,7 @@ func TestMOSampledOnlyAndWindow(t *testing.T) {
 	// Window restricted to the morning: O3 (13:00) and O4 (14:00) drop
 	// out; O2 (Dam 11:00), O5 (Berchem 11:00) stay; O6 interpolated
 	// crossing happens 10:00-11:00.
-	out, err = sys.Run(paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
+	out, err = sys.Run(context.Background(), paperQuery+`| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln
 		DURING '2006-01-09 06:00' TO '2006-01-09 12:00'`)
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +217,7 @@ func TestEvalErrors(t *testing.T) {
 		`SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Lr, layer.Lstores)`,                          // CONTAINS needs polygon lhs
 	}
 	for i, in := range cases {
-		if _, err := sys.Run(in); err == nil {
+		if _, err := sys.Run(context.Background(), in); err == nil {
 			t.Errorf("case %d: expected eval error for %q", i, in)
 		}
 	}
@@ -226,7 +228,7 @@ func TestContainsPolylineAndPolygon(t *testing.T) {
 	// Streets fully inside a neighborhood? Meirstraat spans x=0..40 —
 	// not contained in any single neighborhood, so the result is
 	// empty.
-	out, err := sys.Run(`SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Ln, layer.Lh)`)
+	out, err := sys.Run(context.Background(), `SELECT layer.Ln; FROM PietSchema; WHERE CONTAINS(layer.Ln, layer.Lh)`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +237,7 @@ func TestContainsPolylineAndPolygon(t *testing.T) {
 	}
 	// intersection over streets: Leien (x=22) crosses Zuid and Berchem;
 	// Meirstraat (y=8) crosses Meir, Dam, Zuid.
-	out, err = sys.Run(`SELECT layer.Ln; FROM PietSchema; WHERE intersection(layer.Ln, layer.Lh, subplevel.Linestring)`)
+	out, err = sys.Run(context.Background(), `SELECT layer.Ln; FROM PietSchema; WHERE intersection(layer.Ln, layer.Lh, subplevel.Linestring)`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +248,7 @@ func TestContainsPolylineAndPolygon(t *testing.T) {
 
 func TestSelectWithoutWhere(t *testing.T) {
 	sys := system(t, false)
-	out, err := sys.Run(`SELECT layer.Ln; FROM PietSchema;`)
+	out, err := sys.Run(context.Background(), `SELECT layer.Ln; FROM PietSchema;`)
 	if err != nil {
 		t.Fatal(err)
 	}

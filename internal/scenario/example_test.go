@@ -1,6 +1,8 @@
 package scenario_test
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -14,7 +16,7 @@ import (
 // euro" — Remark 1's 4/3.
 func Example() {
 	s := scenario.New()
-	rel, err := s.Engine.RegionC(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	rel, err := s.Engine.RegionC(context.Background(), s.MotivatingFormula(), []fo.Var{"o", "t"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,8 @@
 package scenario
 
 import (
+	"context"
+
 	"mogis/internal/core"
 	"mogis/internal/fo"
 	"mogis/internal/geom"
@@ -236,7 +238,7 @@ func (s *Scenario) MotivatingFormula() fo.Formula {
 // MotivatingResult evaluates the motivating query end to end: |C|
 // divided by the morning time span. Remark 1: 4/3.
 func (s *Scenario) MotivatingResult() (float64, error) {
-	n, err := s.Engine.CountRegion(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	n, err := s.Engine.CountRegion(context.Background(), s.MotivatingFormula(), []fo.Var{"o", "t"})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -60,7 +62,7 @@ func TestTimeMapping(t *testing.T) {
 func TestFigure1Facts(t *testing.T) {
 	s := New()
 	low := s.LowIncomeRegion()
-	lits, err := s.Engine.Trajectories("FMbus")
+	lits, err := s.Engine.Trajectories(context.Background(), "FMbus")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestFigure1Facts(t *testing.T) {
 // over 3 morning hours → exactly 4/3 (Remark 1 of the paper).
 func TestRemark1(t *testing.T) {
 	s := New()
-	rel, err := s.Engine.RegionC(s.MotivatingFormula(), []fo.Var{"o", "t"})
+	rel, err := s.Engine.RegionC(context.Background(), s.MotivatingFormula(), []fo.Var{"o", "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestMotivatingPerHourBreakdown(t *testing.T) {
 		s.MotivatingFormula(),
 		&fo.TimeRollup{Cat: timedim.CatHour, T: fo.V("t"), V: fo.V("h")},
 	)
-	res, err := s.Engine.AggregateRegion(f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
+	res, err := s.Engine.AggregateRegion(context.Background(), f, []fo.Var{"o", "t", "h"}, olap.Count, "", []fo.Var{"h"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func TestRiverDividesCity(t *testing.T) {
 // throughout the examples.
 func TestO6TrajectoryDetail(t *testing.T) {
 	s := New()
-	lits, err := s.Engine.Trajectories("FMbus")
+	lits, err := s.Engine.Trajectories(context.Background(), "FMbus")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sindex
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -234,13 +235,27 @@ func quadraticSplit(boxes []geom.BBox, minSize int) (ga, gb []int) {
 // Search appends to dst the ids of all entries whose boxes intersect
 // query, and returns dst.
 func (t *RTree) Search(query geom.BBox, dst []int64) []int64 {
-	return searchNode(t.root, query, dst)
+	dst, _ = t.SearchCtx(context.Background(), query, dst)
+	return dst
 }
 
-func searchNode(n *rnode, query geom.BBox, dst []int64) []int64 {
+// SearchCtx is Search with cooperative cancellation: ctx is observed
+// every few dozen node visits, and an abandoned search returns the
+// context's error with a partial (unusable) dst.
+func (t *RTree) SearchCtx(ctx context.Context, query geom.BBox, dst []int64) ([]int64, error) {
+	visits := 0
+	return searchNode(ctx, t.root, query, dst, &visits)
+}
+
+func searchNode(ctx context.Context, n *rnode, query geom.BBox, dst []int64, visits *int) ([]int64, error) {
 	obs.Std.SindexNodeVisits.Inc()
+	if *visits++; *visits%64 == 0 {
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+	}
 	if !n.box.Intersects(query) {
-		return dst
+		return dst, nil
 	}
 	if n.leaf {
 		for _, e := range n.entries {
@@ -248,12 +263,15 @@ func searchNode(n *rnode, query geom.BBox, dst []int64) []int64 {
 				dst = append(dst, e.id)
 			}
 		}
-		return dst
+		return dst, nil
 	}
+	var err error
 	for _, c := range n.children {
-		dst = searchNode(c, query, dst)
+		if dst, err = searchNode(ctx, c, query, dst, visits); err != nil {
+			return dst, err
+		}
 	}
-	return dst
+	return dst, nil
 }
 
 // Visit calls f for every entry whose box intersects query; returning

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -73,7 +75,7 @@ func TestDatasetContextEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lits, err := eng.Trajectories("FM")
+	lits, err := eng.Trajectories(context.Background(), "FM")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -151,7 +153,7 @@ func TestCityContextEndToEnd(t *testing.T) {
 	if ctx == nil || eng == nil {
 		t.Fatal("nil context/engine")
 	}
-	lits, err := eng.Trajectories("FM")
+	lits, err := eng.Trajectories(context.Background(), "FM")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestCityContextEndToEnd(t *testing.T) {
 		t.Errorf("trajectories = %d", len(lits))
 	}
 	// A per-object stats query works.
-	st, err := eng.TrajectoryAggregate("FM", 1)
+	st, err := eng.TrajectoryAggregate(context.Background(), "FM", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
