@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
+.PHONY: all check build test race race-engine telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
 
 all: check
 
 # The full pre-merge gate: compile, formatting, vet, the moglint
-# invariant analyzers, tests, race detector, and the repeated
-# concurrent-engine stress pass.
-check: build fmt-check vet lint test race race-engine
+# invariant analyzers, tests, race detector, the repeated
+# concurrent-engine stress pass, and the telemetry-service race pass.
+check: build fmt-check vet lint test race race-engine telemetry
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race:
 # overlay structures.
 race-engine:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/sindex/... ./internal/overlay/...
+
+# The telemetry service under the race detector: the collector's
+# windowed histograms and rings, the HTTP exposition handlers reading
+# while queries record, and the obs tracer/registry they build on.
+telemetry:
+	$(GO) test -race -count=2 ./internal/telemetry/... ./internal/obs/...
 
 # The repository's own static analyzers (internal/lint): span
 # lifecycles, atomic-knob access, cache invalidation, determinism,

@@ -16,6 +16,8 @@
 //	mobench -baseline BENCH_PR2.json  # print metric deltas vs a prior run;
 //	                      # fail if any ns_per_op metric regresses >2x
 //	mobench -metrics      # dump engine metrics (Prometheus text) on exit
+//	mobench -telemetry-addr localhost:6060  # serve /metrics, /debug/stats, ... during the run
+//	mobench -stats stats.json  # write the per-op query-stats table (JSON) on exit
 //	mobench -timeout 30s -max-rows 50000000  # bound each engine query
 //	mobench -cpuprofile cpu.out -exp P2
 //	mobench -memprofile mem.out -trace trace.out
@@ -39,6 +41,8 @@ import (
 	"mogis/internal/core"
 	"mogis/internal/experiments"
 	"mogis/internal/obs"
+	"mogis/internal/telemetry"
+	"mogis/internal/telemetry/telhttp"
 )
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the reports (including Metrics) to this file as JSON")
 	baseline := flag.String("baseline", "", "compare metrics against a prior -json file; exit nonzero if a ns_per_op metric regresses >2x")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the telemetry HTTP pages (/metrics, /debug/stats, /debug/queries, /debug/traces/{id}) on this address during the run; empty disables")
+	statsPath := flag.String("stats", "", "write the telemetry query-stats table to this file as JSON on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracefile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -72,9 +78,60 @@ func main() {
 		return
 	}
 
+	// Telemetry spans the whole run: every engine constructed by the
+	// experiments reports to the process-wide collector.
+	col, stopTelemetry, err := setupTelemetry(*telemetryAddr, *statsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobench: %v\n", err)
+		os.Exit(2)
+	}
+
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
-	os.Exit(run(*exp, *full, *metrics, *workers, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile))
+	code := run(*exp, *full, *metrics, *workers, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile)
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, col); err != nil {
+			fmt.Fprintf(os.Stderr, "mobench: stats: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
+	stopTelemetry()
+	os.Exit(code)
+}
+
+// setupTelemetry installs the process-wide collector when either
+// telemetry flag asks for it and optionally serves the HTTP pages.
+func setupTelemetry(addr, statsPath string) (*telemetry.Collector, func(), error) {
+	if addr == "" && statsPath == "" {
+		return nil, func() {}, nil
+	}
+	col := telemetry.New(telemetry.Config{})
+	telemetry.SetDefault(col)
+	if addr == "" {
+		return col, func() {}, nil
+	}
+	srv, err := telhttp.Serve(addr, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "mobench: telemetry listening on http://%s\n", srv.Addr)
+	return col, func() { srv.Close() }, nil
+}
+
+// writeStats snapshots the per-op query-stats table (the same
+// document /debug/stats serves) into a JSON file.
+func writeStats(path string, col *telemetry.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteStatsJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // workerCounts expands the -workers cap into the doubling sweep P9
@@ -113,6 +170,8 @@ func runOne(id string, full bool, workers int) (experiments.Report, bool) {
 			return experiments.P9(workerCounts(workers), 4000), true
 		case "P10":
 			return experiments.P10(4000), true
+		case "P11":
+			return experiments.P11(2000), true
 		}
 	}
 	if id == "P9" {
@@ -157,7 +216,7 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 			writeHeapProfile(memprofile)
 		}
 		if metrics {
-			obs.Default.WritePrometheus(os.Stdout)
+			obs.MetricsDump(os.Stdout)()
 		}
 	}()
 
@@ -176,7 +235,7 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
 		}
-		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"} {
+		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"} {
 			r, _ := runOne(id, true, workers)
 			reports = append(reports, r)
 		}

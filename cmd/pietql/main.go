@@ -17,6 +17,8 @@
 //	pietql -explain-remark1       # trace the paper's Remark 1 query
 //	pietql -metrics -query "..."  # dump Prometheus metrics after the run
 //	pietql -timeout 2s -max-rows 1000000 -query "..."
+//	pietql -telemetry-addr localhost:6060   # /metrics, /debug/stats, /debug/queries, /debug/traces/{id}
+//	pietql -query-log queries.jsonl -query "..."  # structured JSONL query log
 //	echo "..." | pietql -
 //
 // Exit codes: 0 success, 1 setup or I/O error, 2 query parse error,
@@ -44,6 +46,8 @@ import (
 	"mogis/internal/qerr"
 	"mogis/internal/scenario"
 	"mogis/internal/store"
+	"mogis/internal/telemetry"
+	"mogis/internal/telemetry/telhttp"
 	"mogis/internal/workload"
 )
 
@@ -80,6 +84,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	noOverlay := flag.Bool("no-overlay", false, "disable the precomputed overlay (naive geometry)")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the telemetry HTTP pages (/metrics, /debug/stats, /debug/queries, /debug/traces/{id}) on this address; empty disables the listener")
+	queryLogPath := flag.String("query-log", "", "append the structured JSONL query log to this file (\"-\" for stderr)")
 	explainRemark1 := flag.Bool("explain-remark1", false, "trace the paper's Remark 1 motivating query and exit")
 	verbose := flag.Bool("v", false, "log engine events (overlay precomputation, ...) to stderr")
 	flag.DurationVar(&queryLimits.timeout, "timeout", 0, "per-query wall-clock deadline (0 = none); exceeding it exits 4")
@@ -105,19 +111,30 @@ Flags:
 		obs.SetLogOutput(os.Stderr)
 	}
 
+	// dump flushes the -metrics Prometheus text at most once, shared
+	// by the deferred normal-return path and the os.Exit paths.
+	dump := func() {}
+	if *metrics {
+		dump = obs.MetricsDump(os.Stdout)
+	}
+	defer dump()
+
+	stopTelemetry, err := setupTelemetry(*telemetryAddr, *queryLogPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopTelemetry()
+
 	if *explainRemark1 {
 		if err := runExplainRemark1(); err != nil {
 			fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
 			os.Exit(1)
 		}
-		if *metrics {
-			obs.Default.WritePrometheus(os.Stdout)
-		}
 		return
 	}
 
 	var sys *pietql.System
-	var err error
 	if *load != "" {
 		sys, err = loadSystem(*load, !*noOverlay)
 	} else {
@@ -127,13 +144,10 @@ Flags:
 		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
 		os.Exit(1)
 	}
-	if *metrics {
-		defer obs.Default.WritePrometheus(os.Stdout)
-	}
 
 	switch {
 	case *query != "":
-		exit(runQuery(sys, *query), *metrics)
+		exit(runQuery(sys, *query), dump)
 	case flag.NArg() > 0:
 		for _, arg := range flag.Args() {
 			var text []byte
@@ -148,7 +162,7 @@ Flags:
 				os.Exit(1)
 			}
 			if code := runQuery(sys, string(text)); code != 0 {
-				exit(code, *metrics)
+				exit(code, dump)
 			}
 		}
 	default:
@@ -156,15 +170,56 @@ Flags:
 	}
 }
 
+// setupTelemetry installs the process-wide telemetry collector when
+// -telemetry-addr or -query-log asks for it, serving the HTTP pages
+// and/or streaming the JSONL query log. The returned stop function
+// closes the listener and the log file.
+func setupTelemetry(addr, logPath string) (func(), error) {
+	if addr == "" && logPath == "" {
+		return func() {}, nil
+	}
+	cfg := telemetry.Config{}
+	var logFile *os.File
+	switch logPath {
+	case "":
+	case "-":
+		cfg.LogWriter = os.Stderr
+	default:
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("query-log: %w", err)
+		}
+		logFile, cfg.LogWriter = f, f
+	}
+	col := telemetry.New(cfg)
+	telemetry.SetDefault(col)
+	var srv *telhttp.Server
+	if addr != "" {
+		var err error
+		srv, err = telhttp.Serve(addr, col)
+		if err != nil {
+			if logFile != nil {
+				logFile.Close()
+			}
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pietql: telemetry listening on http://%s\n", srv.Addr)
+	}
+	return func() {
+		srv.Close()
+		if logFile != nil {
+			logFile.Close()
+		}
+	}, nil
+}
+
 // exit flushes the -metrics dump (normally handled by the deferred
-// WritePrometheus, which os.Exit would skip) and terminates with code.
-func exit(code int, metrics bool) {
+// call, which os.Exit would skip) and terminates with code.
+func exit(code int, dump func()) {
 	if code == 0 {
 		return
 	}
-	if metrics {
-		obs.Default.WritePrometheus(os.Stdout)
-	}
+	dump()
 	os.Exit(code)
 }
 

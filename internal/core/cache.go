@@ -321,10 +321,12 @@ func (e *Engine) polygonIntervals(ctx context.Context, qc *qctl, tc *tableCache,
 			m := el.Value.(*intervalEntry).m
 			tc.imu.Unlock()
 			met.IntervalCacheHits.Inc()
+			qc.cacheHit(true)
 			return m, nil
 		}
 		tc.imu.Unlock()
 		met.IntervalCacheMisses.Inc()
+		qc.cacheHit(false)
 	}
 
 	cand, err := tc.candidates(ctx, met, pg.BBox())

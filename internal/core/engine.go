@@ -32,6 +32,7 @@ import (
 	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
 	"mogis/internal/timedim"
 	"mogis/internal/traj"
 )
@@ -59,6 +60,12 @@ type Engine struct {
 	mctx *fo.Context
 	// met receives engine metrics (cache hits, query-type counts).
 	met atomic.Pointer[obs.Metrics]
+	// tel, when set, receives one telemetry.QueryRecord per completed
+	// query. Nil disables recording entirely (the begin/done bracket
+	// then takes no clock reads); unset engines fall back to the
+	// process-wide telemetry.Default collector.
+	tel      atomic.Pointer[telemetry.Collector]
+	telIsSet atomic.Bool
 
 	mu sync.RWMutex
 	// litCache holds the per-table cache units (LITs, prefilter
@@ -106,6 +113,23 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 
 // metrics returns the engine's current instrument bundle.
 func (e *Engine) metrics() *obs.Metrics { return e.met.Load() }
+
+// SetTelemetry pins the engine's telemetry collector. A nil collector
+// disables recording for this engine even when a process-wide default
+// exists; engines that never call SetTelemetry follow
+// telemetry.Default.
+func (e *Engine) SetTelemetry(c *telemetry.Collector) {
+	e.tel.Store(c)
+	e.telIsSet.Store(true)
+}
+
+// telemetry resolves the collector queries record to (nil = off).
+func (e *Engine) telemetry() *telemetry.Collector {
+	if e.telIsSet.Load() {
+		return e.tel.Load()
+	}
+	return telemetry.Default()
+}
 
 // SetWorkers bounds the worker pool of the trajectory query fan-out:
 // 1 forces the serial path, 0 restores the default GOMAXPROCS sizing.
@@ -184,7 +208,7 @@ func (e *Engine) sampleGrid(ctx context.Context, table string) (*agggrid.Grid, e
 
 // GeometricAggregate evaluates a Definition-4 geometric aggregation.
 func (e *Engine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (v float64, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "geometric_aggregate", "")
 	defer done(&err)
 	e.metrics().Query(1).Inc()
 	if err := qc.step(ctx); err != nil {
@@ -198,7 +222,7 @@ func (e *Engine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (v f
 // SummableOverIDs evaluates the summable rewriting Σ_{g∈ids} measure(g)
 // against a GIS fact table.
 func (e *Engine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.FactTable, measure string) (v float64, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "summable_over_ids", "")
 	defer done(&err)
 	e.metrics().Query(2).Inc()
 	if err := qc.step(ctx); err != nil {
@@ -213,7 +237,7 @@ func (e *Engine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.F
 // structure C: a finite relation over the named output variables,
 // e.g. (Oid, t) pairs.
 func (e *Engine) RegionC(ctx context.Context, f fo.Formula, out []fo.Var) (rel *fo.Relation, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "region_c", "")
 	defer done(&err)
 	e.metrics().Query(3).Inc()
 	return e.regionC(ctx, qc, f, out)
@@ -243,7 +267,7 @@ func (e *Engine) regionC(ctx context.Context, qc *qctl, f fo.Formula, out []fo.V
 // AggregateRegion evaluates region C and applies the γ operator of
 // Definition 7: Q = γ_{fn,measure,groupBy}(C).
 func (e *Engine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (res *olap.AggResult, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "aggregate_region", "")
 	defer done(&err)
 	e.metrics().Query(4).Inc()
 	rel, err := e.regionC(ctx, qc, f, out)
@@ -262,7 +286,7 @@ func (e *Engine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var
 // CountRegion evaluates region C and returns its cardinality — the
 // most common aggregation ("number of buses", "number of cars").
 func (e *Engine) CountRegion(ctx context.Context, f fo.Formula, out []fo.Var) (n int, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "count_region", "")
 	defer done(&err)
 	e.metrics().Query(4).Inc()
 	rel, err := e.regionC(ctx, qc, f, out)
@@ -294,7 +318,7 @@ func RatePerHour(count int, hours float64) float64 {
 // inner aggregation runs per geometry and gates its membership in C.
 func (e *Engine) FilterGeometriesByAggregate(ctx context.Context, layerName string, kind layer.Kind,
 	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) (out []layer.Gid, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "filter_geometries_by_aggregate", "")
 	defer done(&err)
 	e.metrics().Query(5).Inc()
 	l, ok := e.mctx.GIS().Layer(layerName)
@@ -341,7 +365,7 @@ func (e *Engine) FilterGeometriesByAggregate(ctx context.Context, layerName stri
 //
 //moglint:deterministic
 func (e *Engine) ObjectsSampledAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_sampled_at", table)
 	defer done(&err)
 	e.metrics().Query(6).Inc()
 	tbl, err := e.mctx.Table(table)
@@ -432,10 +456,10 @@ func (e *Engine) checkOids(fast, slow []moft.Oid) []moft.Oid {
 //
 //moglint:deterministic
 func (e *Engine) ObjectsInterpolatedAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_interpolated_at", table)
 	defer done(&err)
 	e.metrics().Query(6).Inc()
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
 	}
@@ -476,9 +500,9 @@ func (e *Engine) ObjectsInterpolatedAt(ctx context.Context, table string, t time
 // trajectory of every object in the table. The returned map is
 // shared with the cache; callers must not mutate it.
 func (e *Engine) Trajectories(ctx context.Context, table string) (lits map[moft.Oid]*traj.LIT, err error) {
-	_, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "trajectories", table)
 	defer done(&err)
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
 	}
@@ -524,10 +548,12 @@ func (e *Engine) dropEntryOnPermanent(table string, tc *tableCache, err error) {
 // trajectories exactly once, with every caller waiting on the same
 // build. A build abandoned mid-flight (cancel, budget, fault) resets
 // its unit so the next caller retries.
-func (e *Engine) table(ctx context.Context, table string) (*tableCache, error) {
+func (e *Engine) table(ctx context.Context, qc *qctl, table string) (*tableCache, error) {
 	tc := e.tableEntry(table)
 	met := e.metrics()
-	if tc.lit.ok() {
+	hit := tc.lit.ok()
+	qc.cacheHit(hit)
+	if hit {
 		met.LitCacheHits.Inc()
 	} else {
 		met.LitCacheMisses.Inc()
@@ -615,10 +641,10 @@ func (e *Engine) CacheStats() (tables, objects int) {
 //
 //moglint:deterministic
 func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_passing_through", table)
 	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
 	}
@@ -650,7 +676,7 @@ func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geo
 //
 //moglint:deterministic
 func (e *Engine) ObjectsSampledInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_sampled_inside", table)
 	defer done(&err)
 	e.metrics().Query(7).Inc()
 	tbl, err := e.mctx.Table(table)
@@ -730,7 +756,7 @@ func (e *Engine) objectsSampledInsideScan(ctx context.Context, qc *qctl, tbl *mo
 //
 //moglint:deterministic
 func (e *Engine) CountSamplesInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (n int, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "count_samples_inside", table)
 	defer done(&err)
 	e.metrics().Query(4).Inc()
 	tbl, err := e.mctx.Table(table)
@@ -820,10 +846,10 @@ func clampTotal(ivs []traj.TimeInterval, lo, hi float64) (sum float64, touched b
 //
 //moglint:deterministic
 func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "time_spent_inside", table)
 	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
 	}
@@ -849,10 +875,10 @@ func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Poly
 //
 //moglint:deterministic
 func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, center geom.Point, r float64, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_ever_within_radius", table)
 	defer done(&err)
 	e.metrics().Query(7).Inc()
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
 	}
@@ -907,7 +933,7 @@ func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, cent
 //
 //moglint:deterministic
 func (e *Engine) CountPassingThroughGeometries(ctx context.Context, table, layerName string, ids []layer.Gid, iv timedim.Interval) (n int, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "count_passing_through_geometries", table)
 	defer done(&err)
 	e.metrics().Query(7).Inc()
 	l, ok := e.mctx.GIS().Layer(layerName)
@@ -922,7 +948,7 @@ func (e *Engine) CountPassingThroughGeometries(ctx context.Context, table, layer
 		}
 		pgs[i] = pg
 	}
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return 0, err
 	}
@@ -968,10 +994,10 @@ type TrajectoryStats struct {
 
 // TrajectoryAggregate computes the Type-8 aggregation for one object.
 func (e *Engine) TrajectoryAggregate(ctx context.Context, table string, oid moft.Oid) (st TrajectoryStats, err error) {
-	_, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "trajectory_aggregate", table)
 	defer done(&err)
 	e.metrics().Query(8).Inc()
-	tc, err := e.table(ctx, table)
+	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return TrajectoryStats{}, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"mogis/internal/faultpoint"
 	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
 )
 
 // This file implements the engine's per-query control plane: the
@@ -81,13 +82,29 @@ func isInjected(err error) bool {
 	return errors.As(err, &f)
 }
 
-// qctl is one query's control state: the budget in force and the
-// rows/results consumed so far, shared atomically across the query's
+// qctl is one query's control state: the budget in force, the
+// rows/results consumed so far, and the cache hit/miss tally the
+// telemetry record reports, shared atomically across the query's
 // worker goroutines.
 type qctl struct {
-	budget  Budget
-	rows    atomic.Int64
-	results atomic.Int64
+	budget      Budget
+	rows        atomic.Int64
+	results     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// cacheHit tallies one engine cache lookup (LIT cache, interval
+// cache) for the query's telemetry record. Nil-safe.
+func (q *qctl) cacheHit(hit bool) {
+	if q == nil {
+		return
+	}
+	if hit {
+		q.cacheHits.Add(1)
+	} else {
+		q.cacheMisses.Add(1)
+	}
 }
 
 // step is the bare cooperative checkpoint: cancellation only.
@@ -128,9 +145,12 @@ func (q *qctl) addResults(n int64) error {
 // deadline, and returns the tracker, the (possibly deadlined) context
 // and the done func the entry point must defer with a pointer to its
 // named error result. done recovers any panic that escaped the
-// panic-isolated inner layers, releases the deadline timer, and
-// classifies the outcome into the obs counters and the trace.
-func (e *Engine) begin(ctx context.Context) (*qctl, context.Context, func(*error)) {
+// panic-isolated inner layers, releases the deadline timer, classifies
+// the outcome into the obs counters and the trace, and — when a
+// telemetry collector is attached — records one QueryRecord for the
+// op/table pair. The clock reads happen only when telemetry is on, so
+// the disabled bracket costs the same as before telemetry existed.
+func (e *Engine) begin(ctx context.Context, op, table string) (*qctl, context.Context, func(*error)) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -140,22 +160,44 @@ func (e *Engine) begin(ctx context.Context) (*qctl, context.Context, func(*error
 		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
 	}
 	qc := &qctl{budget: b}
+	tel := e.telemetry()
+	var start time.Time
+	if tel.Enabled() {
+		start = time.Now()
+	}
 	done := func(errp *error) {
 		if v := recover(); v != nil {
 			*errp = qerr.NewPanic("core/query", v)
 		}
 		cancel()
-		e.classify(*errp)
+		out := e.classify(*errp)
+		if tel.Enabled() {
+			rec := telemetry.QueryRecord{
+				Op:          op,
+				Table:       table,
+				Start:       start,
+				Duration:    time.Since(start),
+				Outcome:     out,
+				RowsScanned: qc.rows.Load(),
+				Results:     qc.results.Load(),
+				CacheHits:   qc.cacheHits.Load(),
+				CacheMisses: qc.cacheMisses.Load(),
+			}
+			if *errp != nil {
+				rec.Err = (*errp).Error()
+			}
+			tel.Record(rec)
+		}
 	}
 	return qc, ctx, done
 }
 
 // classify maps a query's final error to the robustness counters and
-// marks the trace. Shared by begin's done func and the helpers that
-// end queries off the main bracket.
-func (e *Engine) classify(err error) {
+// marks the trace, returning the telemetry outcome. Shared by begin's
+// done func and the helpers that end queries off the main bracket.
+func (e *Engine) classify(err error) telemetry.Outcome {
 	if err == nil {
-		return
+		return telemetry.OutcomeOK
 	}
 	met := e.metrics()
 	var be *BudgetError
@@ -163,14 +205,19 @@ func (e *Engine) classify(err error) {
 	case qerr.IsCancel(err):
 		met.QueriesCancelled.Inc()
 		e.mctx.Tracer().Event("cancel")
+		return telemetry.OutcomeCancelled
 	case errors.As(err, &be):
 		if be.Resource == "rows" {
 			met.BudgetRowsExceeded.Inc()
-		} else {
-			met.BudgetResultsExceeded.Inc()
+			e.mctx.Tracer().Event("budget")
+			return telemetry.OutcomeBudgetRows
 		}
+		met.BudgetResultsExceeded.Inc()
 		e.mctx.Tracer().Event("budget")
+		return telemetry.OutcomeBudgetResults
 	case qerr.IsPanic(err):
 		met.QueryPanics.Inc()
+		return telemetry.OutcomePanic
 	}
+	return telemetry.OutcomeError
 }

@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mogis/internal/core"
+	"mogis/internal/faultpoint"
+	"mogis/internal/obs"
+	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
+)
+
+// telemetryWorkload attaches an isolated collector (own registry, JSONL
+// log into buf, trace sampling off) to a robust workload's engine.
+func telemetryWorkload(t *testing.T) (*robustWorkload, *telemetry.Collector, *bytes.Buffer) {
+	t.Helper()
+	w := newRobustWorkload(t)
+	var buf bytes.Buffer
+	col := telemetry.New(telemetry.Config{
+		Registry:    obs.NewRegistry(),
+		LogWriter:   &buf,
+		SampleEvery: -1,
+	})
+	w.eng.SetTelemetry(col)
+	return w, col, &buf
+}
+
+// opRow finds one op's row in the stats table.
+func opRow(t *testing.T, col *telemetry.Collector, op string) telemetry.OpStats {
+	t.Helper()
+	for _, row := range col.Stats().Ops {
+		if row.Op == op {
+			return row
+		}
+	}
+	t.Fatalf("no stats row for op %q", op)
+	return telemetry.OpStats{}
+}
+
+// TestChaosTelemetryOutcomes drives one query shape through every
+// faultpoint error class — injected error, recovered panic,
+// cancellation, row budget, result budget, plus a clean run — and
+// asserts each class surfaces in both the /debug/stats table and the
+// structured query log.
+func TestChaosTelemetryOutcomes(t *testing.T) {
+	w, col, buf := telemetryWorkload(t)
+	pass := func(ctx context.Context) error {
+		_, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+		return err
+	}
+
+	if err := pass(context.Background()); err != nil {
+		t.Fatalf("baseline query: %v", err)
+	}
+
+	w.eng.ResetCache()
+	faultpoint.Arm(faultpoint.CoreLITBuild, faultpoint.ModeError, 0)
+	err := pass(context.Background())
+	faultpoint.Reset()
+	if err == nil {
+		t.Fatal("injected fault did not surface")
+	}
+
+	w.eng.ResetCache()
+	faultpoint.Arm(faultpoint.CoreLITBuild, faultpoint.ModePanic, 0)
+	err = pass(context.Background())
+	faultpoint.Reset()
+	if !qerr.IsPanic(err) {
+		t.Fatalf("got %v, want recovered panic", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := pass(ctx); !qerr.IsCancel(err) {
+		t.Fatalf("got %v, want cancellation", err)
+	}
+
+	w.eng.ResetCache()
+	if err := pass(core.WithBudget(context.Background(), core.Budget{MaxRows: 1})); !core.IsBudget(err) {
+		t.Fatalf("got %v, want rows budget abort", err)
+	}
+	if err := pass(core.WithBudget(context.Background(), core.Budget{MaxResults: 1})); !core.IsBudget(err) {
+		t.Fatalf("got %v, want results budget abort", err)
+	}
+
+	row := opRow(t, col, "objects_passing_through")
+	if row.Queries != 6 {
+		t.Errorf("queries = %d, want 6", row.Queries)
+	}
+	if row.Errors != 1 || row.Panics != 1 || row.Cancelled != 1 ||
+		row.BudgetRows != 1 || row.BudgetResults != 1 {
+		t.Errorf("outcome tallies wrong: %+v", row)
+	}
+
+	// Every class appears in the JSONL query log, with the error text
+	// attached to the non-ok records.
+	outcomes := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Op      string `json:"op"`
+			Outcome string `json:"outcome"`
+			Error   string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("query log line is not JSON: %v\n%s", err, line)
+		}
+		outcomes[rec.Outcome]++
+		if rec.Outcome != "ok" && rec.Error == "" {
+			t.Errorf("non-ok log record without error text: %s", line)
+		}
+	}
+	for _, want := range []string{"ok", "error", "panic", "cancelled", "budget_rows", "budget_results"} {
+		if outcomes[want] != 1 {
+			t.Errorf("query log has %d %q records, want 1 (all: %v)", outcomes[want], want, outcomes)
+		}
+	}
+}
+
+// TestEngineTelemetryPerOpRecords checks the engine bracket fills the
+// whole record: op name, table, duration, rows scanned, and the cache
+// hit/miss tally across a cold-then-warm LIT cache pair.
+func TestEngineTelemetryPerOpRecords(t *testing.T) {
+	w, col, _ := telemetryWorkload(t)
+	ctx := context.Background()
+
+	if _, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.eng.ObjectsPassingThrough(ctx, "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.eng.CountSamplesInside(ctx, "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+
+	recent := col.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d records, want 3", len(recent))
+	}
+	// Newest first: [CountSamplesInside, warm pass, cold pass].
+	cold, warm := recent[2], recent[1]
+	for _, rec := range recent {
+		if rec.Table != "FM" || rec.Duration <= 0 || rec.Outcome != telemetry.OutcomeOK {
+			t.Errorf("incomplete record: %+v", rec)
+		}
+	}
+	if cold.Op != "objects_passing_through" || warm.Op != "objects_passing_through" ||
+		recent[0].Op != "count_samples_inside" {
+		t.Fatalf("op order wrong: %v %v %v", recent[0].Op, recent[1].Op, recent[2].Op)
+	}
+	if cold.RowsScanned == 0 {
+		t.Error("cold pass scanned no rows")
+	}
+	if cold.CacheMisses == 0 {
+		t.Errorf("cold pass should miss the LIT cache: %+v", cold)
+	}
+	if warm.CacheHits == 0 {
+		t.Errorf("warm pass should hit the LIT cache: %+v", warm)
+	}
+
+	if got := opRow(t, col, "objects_passing_through").Queries; got != 2 {
+		t.Errorf("objects_passing_through queries = %d, want 2", got)
+	}
+	if got := opRow(t, col, "count_samples_inside").Queries; got != 1 {
+		t.Errorf("count_samples_inside queries = %d, want 1", got)
+	}
+
+	// Detaching the collector silences the engine even though the
+	// collector itself stays alive.
+	w.eng.SetTelemetry(nil)
+	if _, err := w.eng.CountSamplesInside(ctx, "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(col.Recent(0)); got != 3 {
+		t.Errorf("detached engine still recorded: %d records", got)
+	}
+}
+
+// TestTelemetryBracketAllocRegression pins the hot-path budget from
+// the issue: recording a query must not add heap allocations to the
+// bracket beyond the query's own work (one windowed-histogram insert
+// plus atomic adds, all allocation-free when warm).
+func TestTelemetryBracketAllocRegression(t *testing.T) {
+	w := newRobustWorkload(t)
+	ctx := context.Background()
+	query := func() {
+		if _, err := w.eng.TrajectoryAggregate(ctx, "FM", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w.eng.SetTelemetry(nil)
+	query() // warm caches
+	disabled := testing.AllocsPerRun(200, query)
+
+	col := telemetry.New(telemetry.Config{Registry: obs.NewRegistry(), SampleEvery: -1})
+	w.eng.SetTelemetry(col)
+	query() // create the op's stats row
+	enabled := testing.AllocsPerRun(200, query)
+
+	if delta := enabled - disabled; delta > 1 {
+		t.Errorf("telemetry adds %.1f allocs/query (disabled %.1f, enabled %.1f), want <= 1",
+			delta, disabled, enabled)
+	}
+}

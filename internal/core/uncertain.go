@@ -36,7 +36,7 @@ type PossiblyResult struct {
 // likely inside (interpolated crossing), or possibly inside (lifeline
 // bead at speedFactor × the object's maximum observed leg speed).
 func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (res PossiblyResult, err error) {
-	qc, ctx, done := e.begin(ctx)
+	qc, ctx, done := e.begin(ctx, "objects_possibly_passing_through", table)
 	defer done(&err)
 	if speedFactor < 1 {
 		return PossiblyResult{}, fmt.Errorf("core: speed factor must be ≥ 1, got %g", speedFactor)

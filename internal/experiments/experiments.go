@@ -756,7 +756,7 @@ func P8(iters int) Report {
 func All() []Report {
 	return []Report{
 		E1(), E2(), E3(), E4(), E5(), E6(),
-		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0),
+		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0), P11(0),
 		A1(),
 	}
 }
@@ -796,6 +796,8 @@ func ByID(id string) (Report, bool) {
 		return P9(nil, 0), true
 	case "P10":
 		return P10(0), true
+	case "P11":
+		return P11(0), true
 	case "A1":
 		return A1(), true
 	default:
@@ -805,7 +807,7 @@ func ByID(id string) (Report, bool) {
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"}
+	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"}
 	sort.Strings(ids)
 	return ids
 }

@@ -42,6 +42,7 @@ func TestPerformanceStudiesSmall(t *testing.T) {
 		// grid too coarse for any cell to sit fully inside a polygon,
 		// and the pass gate requires interior-cell hits.
 		P10(0),
+		P11(60),
 	}
 	for _, r := range cases {
 		if !r.Pass {
@@ -62,7 +63,7 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("Z9"); ok {
 		t.Error("unknown id accepted")
 	}
-	if len(IDs()) != 17 {
+	if len(IDs()) != 18 {
 		t.Errorf("IDs = %v", IDs())
 	}
 }

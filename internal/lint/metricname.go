@@ -8,20 +8,31 @@ import (
 // AnalyzerMetricName enforces the observability naming contract:
 // every metric name registered through internal/obs (Registry.Counter
 // / Gauge / Histogram), every span name (Tracer.Start), every root
-// trace name (NewTracer) and every span count key (SetCount/AddCount)
-// must be an untyped string constant in snake_case, and metric and
-// span names must be unique across the repository — EXPLAIN ANALYZE
-// looks spans up by name and the Prometheus writer keys on the metric
-// name, so a dynamic or colliding key silently merges unrelated
-// series.
+// trace name (NewTracer), every span count key (SetCount/AddCount)
+// and every structured-log attribute key (the log/slog Attr
+// constructors: slog.String, slog.Int64, ...) must be an untyped
+// string constant in snake_case, and metric and span names must be
+// unique across the repository — EXPLAIN ANALYZE looks spans up by
+// name and the Prometheus writer keys on the metric name, so a
+// dynamic or colliding key silently merges unrelated series.
 //
-// Root trace names and count keys are exempt from uniqueness: a root
-// names the whole query (the same canonical query is traced from
-// several entry points) and count keys are scoped to their span.
+// Root trace names, count keys and slog record keys are exempt from
+// uniqueness: a root names the whole query (the same canonical query
+// is traced from several entry points), count keys are scoped to
+// their span, and a log key ("op", "error") is deliberately shared by
+// every emitter so downstream queries join on it.
 var AnalyzerMetricName = &Analyzer{
 	Name: "metricname",
-	Doc:  "obs metric/span names: untyped constants, snake_case, collision-free",
+	Doc:  "obs metric/span names and slog record keys: untyped constants, snake_case, collision-free",
 	Run:  runMetricName,
+}
+
+// slogAttrFns are the log/slog Attr constructors whose first argument
+// is a record key.
+var slogAttrFns = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Duration": true, "Time": true,
+	"Any": true, "Group": true,
 }
 
 var (
@@ -45,7 +56,14 @@ func runMetricName(pkgs []*Package) []Finding {
 		consts := constIndex(p)
 		for _, f := range p.Files {
 			imports := fileImports(f)
-			if !tracerInScope(p, imports, f) {
+			obsScope := tracerInScope(p, imports, f)
+			slogScope := false
+			for _, path := range imports {
+				if path == "log/slog" {
+					slogScope = true
+				}
+			}
+			if !obsScope && !slogScope {
 				continue
 			}
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -62,6 +80,11 @@ func runMetricName(pkgs []*Package) []Finding {
 				}
 				u := nameUse{p: p, node: call, consts: consts}
 				switch {
+				case slogScope && ok && slogAttrFns[fnName] && len(call.Args) >= 1 &&
+					selOnImport(imports, call.Fun) == "log/slog":
+					u.kind, u.what = "logkey", "slog record key"
+				case !obsScope:
+					return true
 				case (fnName == "Counter" || fnName == "Gauge") && len(call.Args) == 2 && ok:
 					u.kind, u.what = "metric", fnName+" registration"
 				case fnName == "Histogram" && len(call.Args) == 3 && ok:

@@ -4,6 +4,8 @@ package bad
 import (
 	"fmt"
 
+	"log/slog"
+
 	"mogis/internal/obs"
 )
 
@@ -23,4 +25,13 @@ func spans(tr *obs.Tracer) {
 	sp2 := tr.Start(dynamicName()) // want
 	sp2.SetCount("UpperKey", 1)    // want
 	sp2.End()
+}
+
+func logAttrs(l *slog.Logger) {
+	l.LogAttrs(nil, slog.LevelInfo, "query",
+		slog.String("op", "ok_key"),
+		slog.String("durationUs", "camel-cased key"), // want
+		slog.Int64(dynamicName(), 1),                 // want
+		slog.String("kebab-key", "dashed key"),       // want
+	)
 }

@@ -2,7 +2,12 @@
 // constant; metricname must stay silent.
 package good
 
-import "mogis/internal/obs"
+import (
+	"log/slog"
+	"time"
+
+	"mogis/internal/obs"
+)
 
 // stageName shows that a named constant satisfies the contract too.
 const stageName = "stage_const"
@@ -13,6 +18,33 @@ func register(r *obs.Registry) {
 	r.Counter(`mogis_labeled_total{kind="b"}`, "help")
 	r.Gauge("mogis_level", "help")
 	r.Histogram("mogis_duration_seconds", "help", nil)
+}
+
+// registerTelemetry mirrors the telemetry collector's own counters:
+// the snake_case family with the mogis_telemetry_ prefix.
+func registerTelemetry(r *obs.Registry) {
+	r.Counter("mogis_telemetry_records_total", "help")
+	r.Counter("mogis_telemetry_log_records_total", "help")
+	r.Counter("mogis_telemetry_traces_sampled_total", "help")
+	r.Counter("mogis_telemetry_slow_queries_total", "help")
+	r.Counter("mogis_telemetry_traces_evicted_total", "help")
+}
+
+// logAttrs mirrors the structured query log: every slog record key an
+// untyped snake_case constant. The same key from several emitters is
+// fine — log keys are join keys, not registrations.
+func logAttrs(l *slog.Logger, d time.Duration) {
+	const errKey = "error"
+	l.LogAttrs(nil, slog.LevelInfo, "query",
+		slog.String("op", "objects_passing_through"),
+		slog.String("outcome", "ok"),
+		slog.Int64("duration_us", d.Microseconds()),
+		slog.Int64("rows_scanned", 0),
+		slog.Int64("cache_hits", 0),
+		slog.Time("start", time.Time{}),
+		slog.String(errKey, ""),
+	)
+	l.LogAttrs(nil, slog.LevelInfo, "query", slog.String("op", "again"))
 }
 
 func spans(tr *obs.Tracer) {

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// MetricsDump returns a flush function that writes the Default
+// registry in Prometheus text format to w at most once. CLIs that
+// offer a -metrics flag need the dump on every path out of the
+// process — a deferred call for normal returns and an explicit call
+// before os.Exit (which skips defers) — and the once-guard lets them
+// register both without printing the metrics twice.
+func MetricsDump(w io.Writer) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() { _ = Default.WritePrometheus(w) })
+	}
+}

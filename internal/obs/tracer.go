@@ -31,16 +31,27 @@ func NewTracer(name string) *Tracer {
 	return t
 }
 
+// postFinishStarts counts Start calls on a tracer whose trace already
+// finished — an instrumentation bug (a goroutine outliving its query's
+// bracket, or a tracer reused across queries). The span is dropped
+// rather than silently grafted onto the sealed trace.
+var postFinishStarts = Default.Counter("mogis_tracer_post_finish_starts_total",
+	"span starts on an already-finished tracer (instrumentation bug; span dropped)")
+
 // Start opens a child span of the innermost open span. Nil-safe: a
-// nil tracer returns a nil span.
+// nil tracer returns a nil span. Starting a span on a tracer whose
+// Finish already ran is an error-counted no-op: the sealed trace is
+// left untouched, postFinishStarts is incremented, and the returned
+// nil span absorbs the caller's End/SetCount calls.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.cur == nil { // after Finish: reattach to the root
-		t.cur = t.root
+	if t.cur == nil { // after Finish: the trace is sealed
+		postFinishStarts.Inc()
+		return nil
 	}
 	s := &Span{Name: name, start: time.Now(), parent: t.cur, tracer: t}
 	t.cur.Children = append(t.cur.Children, s)

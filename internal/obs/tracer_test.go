@@ -3,7 +3,9 @@ package obs
 import (
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestSpanNesting checks parent/child structure and sibling order:
@@ -60,13 +62,35 @@ func TestOutOfOrderEnd(t *testing.T) {
 	}
 }
 
+// TestStartAfterFinish: a finished trace is sealed. Starting a span on
+// it must not graft anything onto the tree (the old behavior silently
+// reattached to the root, corrupting retained traces); instead the
+// call is an error-counted no-op returning a nil span.
 func TestStartAfterFinish(t *testing.T) {
 	tr := NewTracer("query")
+	tr.Start("early").End()
 	tr.Finish()
+
+	before := postFinishStarts.Value()
 	s := tr.Start("late")
-	s.End()
-	if tr.Root().Find("late") == nil {
-		t.Error("span started after Finish must attach to the root")
+	if s != nil {
+		t.Errorf("Start after Finish returned %v, want nil", s)
+	}
+	s.End()            // nil-safe
+	s.SetCount("x", 1) // nil-safe
+	if got := postFinishStarts.Value(); got != before+1 {
+		t.Errorf("postFinishStarts = %d, want %d", got, before+1)
+	}
+	if tr.Root().Find("late") != nil {
+		t.Errorf("sealed trace grew a span: %s", tr.Root().Format())
+	}
+	want := []string{"query", "early"}
+	if got := tr.Root().Stages(); !reflect.DeepEqual(got, want) {
+		t.Errorf("stages = %v, want %v", got, want)
+	}
+	// Finish stays idempotent after the rejected Start.
+	if tr.Finish() != tr.Root() {
+		t.Error("Finish no longer returns the root")
 	}
 }
 
@@ -137,4 +161,74 @@ func TestSpanEvents(t *testing.T) {
 	nilTr.Event("x") // nil-safe
 	var nilSp *Span
 	nilSp.AddEvent("x") // nil-safe
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines under
+// the race detector: the span cursor is documented as a single stack,
+// but Start/End/Event/Finish must still be data-race-free when a
+// query's fan-out workers share the tracer.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer("query")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("stage")
+				sp.SetCount("tuples", int64(i))
+				sp.AddCount("tuples", 1)
+				tr.Event("tick")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root := tr.Finish()
+	if root == nil || root.Name != "query" {
+		t.Fatalf("root lost after concurrent use: %v", root)
+	}
+	if n := len(root.Stages()); n < 8*200 {
+		t.Errorf("stages = %d, want >= %d", n, 8*200)
+	}
+}
+
+// TestFormatExplainGolden pins the exact EXPLAIN ANALYZE rendering:
+// tools and transcripts (README, the pietql CLI) depend on this byte
+// layout, so a drift must be a conscious decision. Durations are set
+// directly so the output is reproducible.
+func TestFormatExplainGolden(t *testing.T) {
+	geo := &Span{
+		Name:   "geo",
+		Dur:    456 * time.Microsecond,
+		Counts: []SpanCount{{Key: "predicates", N: 2}, {Key: "ids", N: 4}},
+	}
+	geo.Children = []*Span{{Name: "overlay_lookup", Dur: 31500 * time.Nanosecond,
+		Counts: []SpanCount{{Key: "bindings", N: 4}}}}
+	mo := &Span{Name: "mo", Dur: 1230 * time.Microsecond,
+		Counts: []SpanCount{{Key: "objects", N: 7}}, Events: []string{"cancel"}}
+	root := &Span{
+		Name:     "query",
+		Dur:      2 * time.Millisecond,
+		Children: []*Span{{Name: "parse", Dur: 12 * time.Microsecond}, geo, mo},
+	}
+	out := FormatExplain(root, []Sample{
+		{Name: "mogis_overlay_hits_total", Value: 3},
+		{Name: "mogis_litcache_hits_total", Value: 0},
+		{Name: "mogis_geom_clip_total", Value: 0}, // elided
+		{Name: "mogis_moft_tuples_scanned_total", Value: 1200},
+	})
+	want := "" +
+		"query                                        2.00ms\n" +
+		"├─ parse                                     12.0µs\n" +
+		"├─ geo                                      456.0µs  [predicates=2 ids=4]\n" +
+		"│  └─ overlay_lookup                         31.5µs  [bindings=4]\n" +
+		"└─ mo                                        1.23ms  [objects=7]  {cancel}\n" +
+		"counters:\n" +
+		"  mogis_litcache_hits_total                    +0\n" +
+		"  mogis_moft_tuples_scanned_total              +1200\n" +
+		"  mogis_overlay_hits_total                     +3\n"
+	if out != want {
+		t.Errorf("FormatExplain drifted from the golden rendering.\ngot:\n%s\nwant:\n%s", out, want)
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"mogis/internal/obs"
 	"mogis/internal/olap"
 	"mogis/internal/overlay"
+	"mogis/internal/telemetry"
 	"mogis/internal/timedim"
 )
 
@@ -37,6 +38,11 @@ type System struct {
 	Cubes mdx.Catalog
 	// SchemaName is checked against the FROM clause.
 	SchemaName string
+	// Telemetry, when non-nil, receives one QueryRecord per Run (and
+	// retains sampled traces). Nil falls back to telemetry.Default —
+	// set core.Engine.SetTelemetry(nil) too if you need a fully silent
+	// system in a process with a default collector.
+	Telemetry *telemetry.Collector
 }
 
 // Outcome is the result of running a Piet-QL query.
@@ -89,24 +95,42 @@ func parse(input string) (*Query, error) {
 // per-query trace attached and renders the span tree plus
 // engine-counter deltas into Outcome.Explain. Parse failures are
 // reported as *ParseError.
-func (s *System) Run(ctx context.Context, query string) (*Outcome, error) {
+func (s *System) Run(ctx context.Context, query string) (out *Outcome, err error) {
 	start := time.Now()
 	defer func() { obs.Std.QueryDuration.Observe(time.Since(start).Seconds()) }()
+	tel := s.telemetry()
 	if rest, analyze, ok := stripExplain(query); ok {
 		if analyze {
 			return s.RunAnalyze(ctx, rest)
 		}
-		q, err := parse(rest)
+		var q *Query
+		q, err = parse(rest)
+		if tel.Enabled() {
+			tel.Record(queryRecord(opExplain, moTable(q), start, err))
+		}
 		if err != nil {
 			return nil, err
 		}
 		return &Outcome{Explain: ExplainPlan(q)}, nil
 	}
-	q, err := parse(query)
-	if err != nil {
-		return nil, err
+	var tr *obs.Tracer
+	if tel.Enabled() {
+		var restore func()
+		tr, restore = s.sampleTrace(tel)
+		defer restore()
 	}
-	return s.Eval(ctx, q)
+	q, err := parse(query)
+	if err == nil {
+		out, err = s.Eval(ctx, q)
+	}
+	if tel.Enabled() {
+		rec := queryRecord(opQuery, moTable(q), start, err)
+		tel.Record(rec)
+		if tr != nil {
+			tel.RetainTrace(tr, rec, query)
+		}
+	}
+	return out, err
 }
 
 // stripExplain removes a leading EXPLAIN [ANALYZE] (case-insensitive)
@@ -128,6 +152,8 @@ func stripExplain(query string) (rest string, analyze, ok bool) {
 // setting Outcome.Explain to the rendered span tree and the
 // engine-counter deltas the query caused.
 func (s *System) RunAnalyze(ctx context.Context, query string) (*Outcome, error) {
+	start := time.Now()
+	tel := s.telemetry()
 	tr := obs.NewTracer("query")
 	before := obs.Default.Snapshot()
 	prev := s.Ctx.Tracer()
@@ -142,6 +168,12 @@ func (s *System) RunAnalyze(ctx context.Context, query string) (*Outcome, error)
 		out, err = s.Eval(ctx, q)
 	}
 	root := tr.Finish()
+	if tel.Enabled() {
+		// EXPLAIN ANALYZE traces unconditionally; retain every one.
+		rec := queryRecord(opExplainAnalyze, moTable(q), start, err)
+		tel.Record(rec)
+		tel.RetainTrace(tr, rec, query)
+	}
 	if err != nil {
 		return nil, err
 	}

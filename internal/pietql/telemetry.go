@@ -1,0 +1,99 @@
+package pietql
+
+import (
+	"errors"
+	"time"
+
+	"mogis/internal/core"
+	"mogis/internal/obs"
+	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
+)
+
+// Telemetry integration for the Piet-QL pipeline. Every System.Run
+// produces one telemetry.QueryRecord for the whole pipeline (parse +
+// geo + OLAP + moving objects), on top of the per-entry-point records
+// the core engine emits for the MO part. Sampled queries additionally
+// run under a retained tracer, so /debug/traces serves EXPLAIN
+// ANALYZE-quality span trees for a recent cross-section of real
+// traffic without tracing every query.
+
+// The Piet-QL pipeline op names in the telemetry QueryStats table.
+const (
+	opQuery          = "pietql_query"
+	opExplain        = "pietql_explain"
+	opExplainAnalyze = "pietql_explain_analyze"
+)
+
+// OutcomeParseError is the pipeline-specific telemetry outcome for
+// queries rejected by the parser (the engine outcomes cover the rest).
+const OutcomeParseError = telemetry.Outcome("parse_error")
+
+// telemetry resolves the collector the system records to: the
+// explicitly injected one, else the process-wide default (nil = off).
+func (s *System) telemetry() *telemetry.Collector {
+	if s.Telemetry != nil {
+		return s.Telemetry
+	}
+	return telemetry.Default()
+}
+
+// classifyErr maps a pipeline error to its telemetry outcome.
+func classifyErr(err error) telemetry.Outcome {
+	var be *core.BudgetError
+	switch {
+	case err == nil:
+		return telemetry.OutcomeOK
+	case IsParseError(err):
+		return OutcomeParseError
+	case qerr.IsCancel(err):
+		return telemetry.OutcomeCancelled
+	case errors.As(err, &be):
+		if be.Resource == "rows" {
+			return telemetry.OutcomeBudgetRows
+		}
+		return telemetry.OutcomeBudgetResults
+	case qerr.IsPanic(err):
+		return telemetry.OutcomePanic
+	}
+	return telemetry.OutcomeError
+}
+
+// queryRecord assembles the pipeline-level record for one Run.
+func queryRecord(op, table string, start time.Time, err error) telemetry.QueryRecord {
+	rec := telemetry.QueryRecord{
+		Op:       op,
+		Table:    table,
+		Start:    start,
+		Duration: time.Since(start),
+		Outcome:  classifyErr(err),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	return rec
+}
+
+// moTable names the fact table of the query's moving-objects part
+// ("" when the query has none or failed to parse).
+func moTable(q *Query) string {
+	if q == nil || q.MO == nil {
+		return ""
+	}
+	return q.MO.Table
+}
+
+// sampleTrace decides whether this Run is traced: a sampled tracer is
+// installed on the model context for the duration of the query and
+// retained afterwards. The model context holds one tracer at a time —
+// the same single-query contract RunAnalyze follows — so the previous
+// tracer is restored on the way out.
+func (s *System) sampleTrace(tel *telemetry.Collector) (*obs.Tracer, func()) {
+	tr := tel.MaybeTrace()
+	if tr == nil {
+		return nil, func() {}
+	}
+	prev := s.Ctx.Tracer()
+	s.Ctx.SetTracer(tr)
+	return tr, func() { s.Ctx.SetTracer(prev) }
+}

@@ -1,0 +1,112 @@
+package pietql_test
+
+import (
+	"context"
+	"testing"
+
+	"mogis/internal/obs"
+	"mogis/internal/pietql"
+	"mogis/internal/telemetry"
+)
+
+// moQuery extends the paper example with a moving-objects part so the
+// pipeline record carries a fact table.
+const moQuery = paperQuery + `| | MOVING COUNT(*) FROM FMbus WHERE PASSES THROUGH layer.Ln`
+
+// TestSystemTelemetryRecords drives Run through its four shapes —
+// plain query, EXPLAIN, EXPLAIN ANALYZE, parse error — against an
+// injected collector and checks the per-op stats rows, the pipeline
+// records, and the retained traces.
+func TestSystemTelemetryRecords(t *testing.T) {
+	sys := system(t, true)
+	col := telemetry.New(telemetry.Config{
+		Registry:    obs.NewRegistry(),
+		SampleEvery: 1, // trace every eligible query
+	})
+	sys.Telemetry = col
+	ctx := context.Background()
+
+	if _, err := sys.Run(ctx, moQuery); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if _, err := sys.Run(ctx, "EXPLAIN "+moQuery); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if _, err := sys.Run(ctx, "EXPLAIN ANALYZE "+moQuery); err != nil {
+		t.Fatalf("explain analyze: %v", err)
+	}
+	if _, err := sys.Run(ctx, "SELECT bogus"); err == nil {
+		t.Fatal("malformed query did not error")
+	}
+
+	wantOps := map[string]int64{
+		"pietql_query":           2, // one ok, one parse error
+		"pietql_explain":         1,
+		"pietql_explain_analyze": 1,
+	}
+	stats := sys.Telemetry.Stats()
+	if len(stats.Ops) != len(wantOps) {
+		t.Fatalf("ops = %+v", stats.Ops)
+	}
+	for _, row := range stats.Ops {
+		if row.Queries != wantOps[row.Op] {
+			t.Errorf("%s queries = %d, want %d", row.Op, row.Queries, wantOps[row.Op])
+		}
+	}
+
+	recent := col.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(recent))
+	}
+	// Newest first: the parse error leads; the successful pipeline runs
+	// carry the MO fact table.
+	if recent[0].Outcome != pietql.OutcomeParseError || recent[0].Err == "" {
+		t.Errorf("parse-error record = %+v", recent[0])
+	}
+	for _, i := range []int{1, 2, 3} {
+		if recent[i].Table != "FMbus" || recent[i].Outcome != telemetry.OutcomeOK {
+			t.Errorf("recent[%d] = %+v, want ok over FMbus", i, recent[i])
+		}
+	}
+	// The parse error is also pinned in the slow/failed set.
+	slow := col.Slow(0)
+	if len(slow) != 1 || slow[0].Outcome != pietql.OutcomeParseError {
+		t.Errorf("slow = %+v", slow)
+	}
+
+	// Traces: the plain run and the parse error are sampled; EXPLAIN
+	// ANALYZE always retains its trace; bare EXPLAIN never traces.
+	traces := col.Traces(false)
+	if len(traces) != 3 {
+		t.Fatalf("retained traces = %d, want 3", len(traces))
+	}
+	byOp := map[string]int{}
+	for _, tr := range traces {
+		byOp[string(tr.Rec.Op)]++
+		if tr.Root == nil || tr.Query == "" {
+			t.Errorf("trace %d incomplete: %+v", tr.ID, tr.Rec)
+		}
+		if got, ok := col.TraceByID(tr.ID); !ok || got.ID != tr.ID {
+			t.Errorf("TraceByID(%d) lost the trace", tr.ID)
+		}
+	}
+	if byOp["pietql_query"] != 2 || byOp["pietql_explain_analyze"] != 1 {
+		t.Errorf("traced ops = %v", byOp)
+	}
+}
+
+// TestSystemTelemetryDisabled pins the default: a System with no
+// collector (and no process default) records nothing and does not
+// trace.
+func TestSystemTelemetryDisabled(t *testing.T) {
+	prev := telemetry.SetDefault(nil)
+	defer telemetry.SetDefault(prev)
+
+	sys := system(t, false)
+	if _, err := sys.Run(context.Background(), paperQuery); err != nil {
+		t.Fatal(err)
+	}
+	if tr := sys.Ctx.Tracer(); tr != nil {
+		t.Errorf("disabled run left a tracer attached: %v", tr)
+	}
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// The structured query log: one JSONL record per completed query,
+// emitted through log/slog's JSON handler so downstream tooling
+// (jq, a log shipper, the grep in a 3am incident) gets stable
+// snake_case keys instead of a formatted line. The log is entirely
+// behind the collector's enabled guard — a nil collector or a nil
+// LogWriter emits nothing and allocates nothing.
+
+// queryLog wraps the slog logger the collector emits to.
+type queryLog struct {
+	l *slog.Logger
+}
+
+func newQueryLog(w io.Writer) *queryLog {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return &queryLog{l: slog.New(h)}
+}
+
+// emit writes one query record. Attribute keys are snake_case and
+// policed by moglint's metricname analyzer.
+func (q *queryLog) emit(rec *QueryRecord) {
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs,
+		slog.String("op", rec.Op),
+		slog.String("outcome", string(rec.Outcome)),
+		slog.Int64("duration_us", rec.Duration.Microseconds()),
+		slog.Int64("rows_scanned", rec.RowsScanned),
+		slog.Int64("results", rec.Results),
+		slog.Int64("cache_hits", rec.CacheHits),
+		slog.Int64("cache_misses", rec.CacheMisses),
+		slog.Time("start", rec.Start),
+	)
+	if rec.Table != "" {
+		attrs = append(attrs, slog.String("table", rec.Table))
+	}
+	if rec.Err != "" {
+		attrs = append(attrs, slog.String("error", rec.Err))
+	}
+	q.l.LogAttrs(context.Background(), slog.LevelInfo, "query", attrs...)
+}

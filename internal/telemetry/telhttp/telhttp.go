@@ -1,0 +1,195 @@
+// Package telhttp exposes a telemetry.Collector over HTTP using only
+// the standard library:
+//
+//	/metrics           Prometheus text: the obs registry plus
+//	                   windowed per-op latency summaries
+//	/debug/stats       the QueryStats table + runtime view as JSON
+//	/debug/queries     recent and slow/failed query records as JSON
+//	/debug/traces      index of retained sampled traces
+//	/debug/traces/{id} one retained trace rendered as a span tree
+//	/debug/vars        expvar (memstats, cmdline, mogis_telemetry)
+//
+// Handlers are read-only and safe under concurrent queries; they
+// snapshot atomics and copy rings, never blocking the record path.
+package telhttp
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mogis/internal/telemetry"
+)
+
+// Handler returns the telemetry mux for c. The collector may be nil
+// (every page then reports the disabled state rather than 404ing, so
+// a probe can tell "telemetry off" from "wrong port").
+func Handler(c *telemetry.Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg := c.Config().Registry
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+		writeWindowSummaries(w, c)
+	})
+	mux.HandleFunc("GET /debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = c.WriteStatsJSON(w)
+	})
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if v := r.URL.Query().Get("max"); v != "" {
+			max, _ = strconv.Atoi(v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(queriesDoc{
+			Enabled: c.Enabled(),
+			Recent:  c.Recent(max),
+			Slow:    c.Slow(max),
+		})
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		doc := tracesDoc{Enabled: c.Enabled()}
+		for _, t := range c.Traces(false) {
+			doc.Recent = append(doc.Recent, traceSummary(t))
+		}
+		for _, t := range c.Traces(true) {
+			doc.Slow = append(doc.Slow, traceSummary(t))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "telhttp: trace id must be an integer", http.StatusBadRequest)
+			return
+		}
+		t, ok := c.TraceByID(id)
+		if !ok {
+			http.Error(w, "telhttp: no such trace (evicted or never sampled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %d  op=%s outcome=%s duration=%s\n", t.ID, t.Rec.Op, t.Rec.Outcome, t.Rec.Duration)
+		if t.Query != "" {
+			fmt.Fprintf(w, "query: %s\n", t.Query)
+		}
+		fmt.Fprintf(w, "start: %s\n\n", t.Rec.Start.Format(time.RFC3339Nano))
+		fmt.Fprint(w, t.Root.Format())
+	})
+	publishExpvarOnce()
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// queriesDoc is the /debug/queries response body.
+type queriesDoc struct {
+	Enabled bool                    `json:"enabled"`
+	Recent  []telemetry.QueryRecord `json:"recent"`
+	Slow    []telemetry.QueryRecord `json:"slow"`
+}
+
+// TraceSummary is one /debug/traces index row.
+type TraceSummary struct {
+	ID         uint64  `json:"id"`
+	Op         string  `json:"op"`
+	Query      string  `json:"query,omitempty"`
+	Outcome    string  `json:"outcome"`
+	DurationMS float64 `json:"duration_ms"`
+	Start      string  `json:"start"`
+}
+
+type tracesDoc struct {
+	Enabled bool           `json:"enabled"`
+	Recent  []TraceSummary `json:"recent"`
+	Slow    []TraceSummary `json:"slow"`
+}
+
+func traceSummary(t telemetry.TraceRecord) TraceSummary {
+	return TraceSummary{
+		ID:         t.ID,
+		Op:         t.Rec.Op,
+		Query:      t.Query,
+		Outcome:    string(t.Rec.Outcome),
+		DurationMS: float64(t.Rec.Duration.Nanoseconds()) / 1e6,
+		Start:      t.Rec.Start.Format(time.RFC3339Nano),
+	}
+}
+
+// writeWindowSummaries appends the sliding-window latency quantiles to
+// the /metrics page as a Prometheus summary-style series per op. These
+// are derived views over the windowed histograms, not registry
+// metrics, so they are rendered here rather than registered.
+func writeWindowSummaries(w io.Writer, c *telemetry.Collector) {
+	stats := c.Stats()
+	if len(stats.Ops) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP mogis_query_window_seconds windowed query latency quantiles by op (last %gs)\n", stats.WindowSeconds)
+	fmt.Fprintf(w, "# TYPE mogis_query_window_seconds summary\n")
+	for _, op := range stats.Ops {
+		fmt.Fprintf(w, "mogis_query_window_seconds{op=%q,quantile=\"0.5\"} %g\n", op.Op, op.Window.P50Secs)
+		fmt.Fprintf(w, "mogis_query_window_seconds{op=%q,quantile=\"0.9\"} %g\n", op.Op, op.Window.P90Secs)
+		fmt.Fprintf(w, "mogis_query_window_seconds{op=%q,quantile=\"0.99\"} %g\n", op.Op, op.Window.P99Secs)
+		fmt.Fprintf(w, "mogis_query_window_seconds_max{op=%q} %g\n", op.Op, op.Window.MaxSecs)
+		fmt.Fprintf(w, "mogis_query_window_seconds_count{op=%q} %d\n", op.Op, op.Window.Queries)
+	}
+}
+
+// expvarOnce guards the process-global expvar.Publish (it panics on a
+// duplicate name; two Handlers in one process share the var).
+var expvarOnce sync.Once
+
+func publishExpvarOnce() {
+	expvarOnce.Do(func() {
+		expvar.Publish("mogis_telemetry", expvar.Func(func() any {
+			return telemetry.Default().Stats()
+		}))
+	})
+}
+
+// Server is one telemetry HTTP listener.
+type Server struct {
+	// Addr is the bound address (resolves ":0" to the real port).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (e.g. "localhost:6060" or ":0") and serves the
+// telemetry mux on it in a background goroutine until Close.
+func Serve(addr string, c *telemetry.Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telhttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(c)},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

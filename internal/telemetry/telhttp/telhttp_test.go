@@ -1,0 +1,223 @@
+package telhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mogis/internal/obs"
+	"mogis/internal/telemetry"
+)
+
+func testCollector(t *testing.T) *telemetry.Collector {
+	t.Helper()
+	c := telemetry.New(telemetry.Config{
+		Registry:      obs.NewRegistry(),
+		SampleEvery:   1,
+		SlowThreshold: 50 * time.Millisecond,
+	})
+	c.Record(telemetry.QueryRecord{
+		Op: "objects_passing_through", Table: "cars",
+		Start: time.Now(), Duration: 3 * time.Millisecond,
+		Outcome: telemetry.OutcomeOK, RowsScanned: 500, CacheHits: 1,
+	})
+	c.Record(telemetry.QueryRecord{
+		Op: "objects_passing_through", Table: "cars",
+		Start: time.Now(), Duration: 80 * time.Millisecond,
+		Outcome: telemetry.OutcomeCancelled, Err: "context canceled",
+	})
+	return c
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c := testCollector(t)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, w := range []string{
+		"mogis_telemetry_records_total 2",
+		`mogis_query_window_seconds{op="objects_passing_through",quantile="0.99"}`,
+		`mogis_query_window_seconds_count{op="objects_passing_through"} 2`,
+		"# TYPE mogis_query_window_seconds summary",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metrics missing %q:\n%s", w, body)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	c := testCollector(t)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stats status = %d", code)
+	}
+	var stats telemetry.Stats
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/debug/stats is not JSON: %v", err)
+	}
+	if len(stats.Ops) != 1 || stats.Ops[0].Op != "objects_passing_through" {
+		t.Fatalf("stats ops = %+v", stats.Ops)
+	}
+	row := stats.Ops[0]
+	if row.Queries != 2 || row.Cancelled != 1 || row.RowsScanned != 500 {
+		t.Errorf("stats row wrong: %+v", row)
+	}
+	if stats.Runtime.Goroutines <= 0 || stats.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("runtime view empty: %+v", stats.Runtime)
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	c := testCollector(t)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d", code)
+	}
+	var doc struct {
+		Enabled bool                    `json:"enabled"`
+		Recent  []telemetry.QueryRecord `json:"recent"`
+		Slow    []telemetry.QueryRecord `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/queries is not JSON: %v", err)
+	}
+	if !doc.Enabled || len(doc.Recent) != 2 {
+		t.Fatalf("queries doc = %+v", doc)
+	}
+	// Newest first: the cancelled slow query leads both lists.
+	if doc.Recent[0].Outcome != telemetry.OutcomeCancelled || doc.Recent[0].Err == "" {
+		t.Errorf("recent[0] = %+v", doc.Recent[0])
+	}
+	if len(doc.Slow) != 1 || doc.Slow[0].Duration != 80*time.Millisecond {
+		t.Errorf("slow = %+v", doc.Slow)
+	}
+
+	if _, body := get(t, srv, "/debug/queries?max=1"); strings.Count(body, `"op"`) != 2 {
+		t.Errorf("max=1 should cap both lists at one record each:\n%s", body)
+	}
+}
+
+func TestTracesEndpoints(t *testing.T) {
+	c := testCollector(t)
+	tr := c.MaybeTrace()
+	tr.Start("geo").End()
+	id := c.RetainTrace(tr, telemetry.QueryRecord{
+		Op: "pietql_query", Start: time.Now(), Duration: time.Millisecond,
+		Outcome: telemetry.OutcomeOK,
+	}, "SELECT GIS districts FROM schema;")
+	if id == 0 {
+		t.Fatal("trace not retained")
+	}
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/traces")
+	if code != http.StatusOK || !strings.Contains(body, `"op": "pietql_query"`) {
+		t.Fatalf("/debug/traces status=%d body:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, fmt.Sprintf("/debug/traces/%d", id))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces/%d status = %d", id, code)
+	}
+	for _, w := range []string{"SELECT GIS districts", "└─ geo", "outcome=ok"} {
+		if !strings.Contains(body, w) {
+			t.Errorf("trace page missing %q:\n%s", w, body)
+		}
+	}
+
+	if code, _ := get(t, srv, "/debug/traces/999999"); code != http.StatusNotFound {
+		t.Errorf("missing trace status = %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/debug/traces/xyz"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id status = %d, want 400", code)
+	}
+}
+
+func TestExpvarEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testCollector(t)))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	if !strings.Contains(body, "memstats") || !strings.Contains(body, "mogis_telemetry") {
+		t.Errorf("/debug/vars missing expected vars:\n%.400s", body)
+	}
+}
+
+func TestNilCollectorHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/stats", "/debug/queries", "/debug/traces"} {
+		code, body := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Errorf("%s with nil collector status = %d", path, code)
+		}
+		if strings.Contains(body, "panic") {
+			t.Errorf("%s body suggests a panic:\n%s", path, body)
+		}
+	}
+	code, body := get(t, srv, "/debug/queries")
+	if code != http.StatusOK || !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("nil collector must report enabled=false, got:\n%s", body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testCollector(t))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/debug/stats")
+	if err != nil {
+		t.Fatalf("GET via Serve listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// Close must release the port. Re-binding the address proves it
+	// without racing another test process grabbing the freed port
+	// (which is what a "GET now fails" assertion would race with).
+	if ln, err := net.Listen("tcp", srv.Addr); err != nil {
+		t.Errorf("address not released after Close: %v", err)
+	} else {
+		ln.Close()
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil server Close: %v", err)
+	}
+}

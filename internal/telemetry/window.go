@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the sliding-window latency accounting behind
+// the QueryStats table: a ring of fixed-bucket histogram slices, each
+// covering window/winSlices of wall time. Observation is atomic-only
+// on the steady path (one bucket add, count/sum adds, a CAS'd max);
+// a per-slice mutex is taken solely when a slice rotates into a new
+// epoch, which happens once per slice duration. Quantiles are
+// estimated by merging the live slices' cumulative buckets, so p50/
+// p90/p99 always describe roughly the last Window of queries, not
+// process lifetime.
+
+// winSlices is the ring granularity: the reported window spans the
+// current slice plus winSlices-1 sealed ones, so estimates cover
+// between (winSlices-1)/winSlices and the full window of history.
+const winSlices = 6
+
+// latBoundsNS are the latency bucket upper bounds in nanoseconds
+// (1µs .. 10s in a 1-2.5-5 progression, matching obs.DefBuckets); an
+// implicit +Inf bucket catches the rest.
+var latBoundsNS = [...]int64{
+	1e3, 2500, 5e3, 1e4, 25e3, 5e4, 1e5, 25e4, 5e5,
+	1e6, 25e5, 5e6, 1e7, 25e6, 5e7, 1e8, 25e7, 5e8, 1e9, 25e8, 5e9, 1e10,
+}
+
+const numLatBuckets = len(latBoundsNS) + 1
+
+// bucketOf returns the bucket index for a duration in nanoseconds.
+func bucketOf(ns int64) int {
+	lo, hi := 0, len(latBoundsNS)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= latBoundsNS[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// histSlice is one time slice of the window: a fixed-bucket histogram
+// plus count/sum/max, all atomics. epoch is the absolute slice number
+// the counters currently describe; a reader ignores slices whose
+// epoch has fallen out of the window.
+type histSlice struct {
+	mu     sync.Mutex // rotation only
+	epoch  atomic.Int64
+	counts [numLatBuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// rotate claims the slice for a new epoch, zeroing its counters. The
+// epoch is published last, so concurrent observers of the new epoch
+// only add after the reset; an observer still holding the previous
+// epoch can at worst leak one record into the fresh slice, which the
+// window tolerates (stats are estimates, never query answers).
+func (s *histSlice) rotate(epoch int64) {
+	s.mu.Lock()
+	if s.epoch.Load() != epoch {
+		for i := range s.counts {
+			s.counts[i].Store(0)
+		}
+		s.n.Store(0)
+		s.sum.Store(0)
+		s.max.Store(0)
+		s.epoch.Store(epoch)
+	}
+	s.mu.Unlock()
+}
+
+// winHist is the sliding-window histogram: winSlices slices of
+// sliceNS nanoseconds each.
+type winHist struct {
+	sliceNS int64
+	slices  [winSlices]histSlice
+}
+
+func newWinHist(window time.Duration) *winHist {
+	sliceNS := window.Nanoseconds() / winSlices
+	if sliceNS <= 0 {
+		sliceNS = time.Second.Nanoseconds()
+	}
+	return &winHist{sliceNS: sliceNS}
+}
+
+// observe records one duration at wall time nowNS.
+func (h *winHist) observe(nowNS, durNS int64) {
+	if durNS < 0 {
+		durNS = 0
+	}
+	epoch := nowNS / h.sliceNS
+	s := &h.slices[int(epoch%winSlices)]
+	if s.epoch.Load() != epoch {
+		s.rotate(epoch)
+	}
+	s.counts[bucketOf(durNS)].Add(1)
+	s.n.Add(1)
+	s.sum.Add(durNS)
+	for {
+		m := s.max.Load()
+		if durNS <= m || s.max.CompareAndSwap(m, durNS) {
+			return
+		}
+	}
+}
+
+// WindowStats is the merged view of the live slices: observation
+// count plus estimated quantiles (seconds).
+type WindowStats struct {
+	Queries   int64   `json:"queries"`
+	MeanSecs  float64 `json:"mean_seconds"`
+	P50Secs   float64 `json:"p50_seconds"`
+	P90Secs   float64 `json:"p90_seconds"`
+	P99Secs   float64 `json:"p99_seconds"`
+	MaxSecs   float64 `json:"max_seconds"`
+	PerSecond float64 `json:"per_second"`
+}
+
+// snapshot merges the slices whose epoch is still inside the window
+// ending at nowNS and estimates the quantiles.
+func (h *winHist) snapshot(nowNS int64) WindowStats {
+	epoch := nowNS / h.sliceNS
+	minEpoch := epoch - winSlices + 1
+	var counts [numLatBuckets]int64
+	var n, sum, max int64
+	for i := range h.slices {
+		s := &h.slices[i]
+		e := s.epoch.Load()
+		if e < minEpoch || e > epoch {
+			continue
+		}
+		for b := range counts {
+			counts[b] += s.counts[b].Load()
+		}
+		n += s.n.Load()
+		sum += s.sum.Load()
+		if m := s.max.Load(); m > max {
+			max = m
+		}
+	}
+	ws := WindowStats{Queries: n, MaxSecs: float64(max) / 1e9}
+	if n == 0 {
+		return ws
+	}
+	ws.MeanSecs = float64(sum) / float64(n) / 1e9
+	ws.P50Secs = quantile(&counts, n, max, 0.50)
+	ws.P90Secs = quantile(&counts, n, max, 0.90)
+	ws.P99Secs = quantile(&counts, n, max, 0.99)
+	ws.PerSecond = float64(n) / (float64(winSlices*h.sliceNS) / 1e9)
+	return ws
+}
+
+// quantile estimates the q-quantile in seconds from cumulative bucket
+// counts: linear interpolation inside the target bucket, clamped to
+// the observed maximum (which also resolves the +Inf bucket).
+func quantile(counts *[numLatBuckets]int64, n, maxNS int64, q float64) float64 {
+	target := int64(q*float64(n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for b := 0; b < numLatBuckets; b++ {
+		prev := cum
+		cum += counts[b]
+		if cum < target {
+			continue
+		}
+		lo := int64(0)
+		if b > 0 {
+			lo = latBoundsNS[b-1]
+		}
+		hi := maxNS
+		if b < len(latBoundsNS) && latBoundsNS[b] < hi {
+			hi = latBoundsNS[b]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(target-prev) / float64(counts[b])
+		est := float64(lo) + frac*float64(hi-lo)
+		if est > float64(maxNS) {
+			est = float64(maxNS)
+		}
+		return est / 1e9
+	}
+	return float64(maxNS) / 1e9
+}
+
+// opStats is one row of the QueryStats table: cumulative outcome and
+// resource counters plus the sliding-window latency histogram for one
+// query type.
+type opStats struct {
+	op string
+
+	queries       atomic.Int64
+	errors        atomic.Int64
+	cancelled     atomic.Int64
+	budgetRows    atomic.Int64
+	budgetResults atomic.Int64
+	panics        atomic.Int64
+
+	rowsScanned atomic.Int64
+	results     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	lat *winHist
+}
+
+func newOpStats(op string, window time.Duration) *opStats {
+	return &opStats{op: op, lat: newWinHist(window)}
+}
+
+// add folds one record into the row.
+func (st *opStats) add(rec *QueryRecord) {
+	st.queries.Add(1)
+	switch rec.Outcome {
+	case OutcomeOK:
+	case OutcomeCancelled:
+		st.cancelled.Add(1)
+	case OutcomeBudgetRows:
+		st.budgetRows.Add(1)
+	case OutcomeBudgetResults:
+		st.budgetResults.Add(1)
+	case OutcomePanic:
+		st.panics.Add(1)
+	default:
+		st.errors.Add(1)
+	}
+	st.rowsScanned.Add(rec.RowsScanned)
+	st.results.Add(rec.Results)
+	st.cacheHits.Add(rec.CacheHits)
+	st.cacheMisses.Add(rec.CacheMisses)
+	end := rec.Start.Add(rec.Duration)
+	st.lat.observe(end.UnixNano(), rec.Duration.Nanoseconds())
+}

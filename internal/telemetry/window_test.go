@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1000, 0}, {1001, 1}, {2500, 1}, {2501, 2},
+		{5000, 2}, {1e10, len(latBoundsNS) - 1}, {1e10 + 1, len(latBoundsNS)},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.ns); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+	// Every bound maps inside its own bucket; one past it moves up.
+	for i, b := range latBoundsNS {
+		if got := bucketOf(b); got != i {
+			t.Errorf("bucketOf(bound %d) = %d, want %d", b, got, i)
+		}
+		if got := bucketOf(b + 1); got != i+1 {
+			t.Errorf("bucketOf(bound+1 %d) = %d, want %d", b+1, got, i+1)
+		}
+	}
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	h := newWinHist(time.Minute)
+	now := time.Now().UnixNano()
+	// 100 observations: 1ms .. 100ms.
+	for i := 1; i <= 100; i++ {
+		h.observe(now, int64(i)*int64(time.Millisecond))
+	}
+	ws := h.snapshot(now)
+	if ws.Queries != 100 {
+		t.Fatalf("queries = %d, want 100", ws.Queries)
+	}
+	if ws.MaxSecs != 0.1 {
+		t.Errorf("max = %g, want 0.1", ws.MaxSecs)
+	}
+	// The bucket layout is coarse (1-2.5-5); accept the right bucket
+	// rather than exact values.
+	within := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %gs, want in [%g, %g]", name, got, lo, hi)
+		}
+	}
+	within("p50", ws.P50Secs, 0.025, 0.075)
+	within("p90", ws.P90Secs, 0.075, 0.1)
+	within("p99", ws.P99Secs, 0.09, 0.1)
+	within("mean", ws.MeanSecs, 0.0503, 0.0507)
+	if ws.P50Secs > ws.P90Secs || ws.P90Secs > ws.P99Secs || ws.P99Secs > ws.MaxSecs {
+		t.Errorf("quantiles not monotone: %+v", ws)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	h := newWinHist(time.Minute) // 10s slices
+	base := time.Now().UnixNano()
+	h.observe(base, int64(time.Millisecond))
+	if ws := h.snapshot(base); ws.Queries != 1 {
+		t.Fatalf("fresh observation invisible: %+v", ws)
+	}
+	// Still visible within the window...
+	if ws := h.snapshot(base + 50*int64(time.Second)); ws.Queries != 1 {
+		t.Errorf("observation expired early")
+	}
+	// ...gone after the full window has passed.
+	if ws := h.snapshot(base + 2*int64(time.Minute)); ws.Queries != 0 {
+		t.Errorf("observation survived beyond the window: %+v", ws)
+	}
+}
+
+func TestWindowRotationReclaimsSlices(t *testing.T) {
+	h := newWinHist(time.Minute) // 10s slices, 6 of them
+	base := time.Now().UnixNano()
+	// Fill every slice across one full window, then wrap into the next
+	// epoch: the oldest slice is reused and its old counts must be gone.
+	for i := 0; i < winSlices+1; i++ {
+		h.observe(base+int64(i)*h.sliceNS, int64(time.Millisecond))
+	}
+	ws := h.snapshot(base + int64(winSlices)*h.sliceNS)
+	if ws.Queries != winSlices {
+		t.Errorf("after wrap queries = %d, want %d (oldest slice reclaimed)", ws.Queries, winSlices)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newWinHist(time.Minute)
+	now := time.Now().UnixNano()
+	h.observe(now, int64(42*time.Millisecond))
+	ws := h.snapshot(now)
+	for name, got := range map[string]float64{"p50": ws.P50Secs, "p99": ws.P99Secs, "max": ws.MaxSecs} {
+		if got > 0.042+1e-9 || got <= 0 {
+			t.Errorf("%s = %g, want (0, 0.042] (clamped to the observed max)", name, got)
+		}
+	}
+}
