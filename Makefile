@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
+.PHONY: all check build test race race-engine shard-race telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
 
 all: check
 
@@ -26,6 +26,13 @@ race:
 # overlay structures.
 race-engine:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/sindex/... ./internal/overlay/...
+
+# The sharded scatter-gather engine, twice, under the race detector:
+# the deterministic-merge fuzz matrix, the sharded concurrent storm
+# with interleaved invalidations, and the chaos matrix covering the
+# shard-partition faultpoint.
+shard-race:
+	$(GO) test -race -count=2 -run 'Shard|Chaos' ./internal/core/...
 
 # The telemetry service under the race detector: the collector's
 # windowed histograms and rings, the HTTP exposition handlers reading
@@ -69,12 +76,13 @@ cover:
 	$(GO) test -cover ./...
 
 # The benchmark baseline: full-size P2 (summable vs integration), P9
-# (parallel query path), and P10 (pre-aggregated grid), with
-# machine-readable ns/op in BENCH_PR3.json and a delta table against
-# the committed BENCH_PR2.json baseline. Fails if any tracked
-# ns_per_op metric regresses more than 2x.
+# (parallel query path), P10 (pre-aggregated grid), and P12 (sharded
+# scatter-gather sweep), with machine-readable ns/op in BENCH_PR7.json
+# and a delta table against the committed BENCH_PR3.json baseline.
+# Fails if any tracked ns_per_op metric regresses more than 2x; runs
+# whose recorded gomaxprocs differs from the baseline's warn instead.
 bench:
-	$(GO) run ./cmd/mobench -full -exp P2,P9,P10 -json BENCH_PR3.json -baseline BENCH_PR2.json
+	$(GO) run ./cmd/mobench -full -exp P2,P9,P10,P12 -json BENCH_PR7.json -baseline BENCH_PR3.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

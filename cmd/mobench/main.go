@@ -12,6 +12,7 @@
 //	mobench -list         # list experiment ids
 //	mobench -full         # larger sweeps for the P-experiments
 //	mobench -workers 8    # cap of the P9 worker-count sweep
+//	mobench -shards 8     # cap of the P12 shard-count sweep (0 = up to GOMAXPROCS)
 //	mobench -json out.json  # also write the reports as JSON
 //	mobench -baseline BENCH_PR2.json  # print metric deltas vs a prior run;
 //	                      # fail if any ns_per_op metric regresses >2x
@@ -46,10 +47,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P10, A1)")
+	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P12, A1)")
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "run the performance studies at full size")
 	workers := flag.Int("workers", 0, "largest worker count in the P9 fan-out sweep (0 = default {1,2,4})")
+	shards := flag.Int("shards", 0, "largest shard count in the P12 scatter-gather sweep (0 = doubling up to GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the reports (including Metrics) to this file as JSON")
 	baseline := flag.String("baseline", "", "compare metrics against a prior -json file; exit nonzero if a ns_per_op metric regresses >2x")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
@@ -88,7 +90,7 @@ func main() {
 
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
-	code := run(*exp, *full, *metrics, *workers, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile)
+	code := run(*exp, *full, *metrics, *workers, *shards, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile)
 	if *statsPath != "" {
 		if err := writeStats(*statsPath, col); err != nil {
 			fmt.Fprintf(os.Stderr, "mobench: stats: %v\n", err)
@@ -135,7 +137,8 @@ func writeStats(path string, col *telemetry.Collector) error {
 }
 
 // workerCounts expands the -workers cap into the doubling sweep P9
-// runs: 1, 2, 4, ..., max. Zero keeps P9's default.
+// runs: 1, 2, 4, ..., max. Zero keeps P9's default. The -shards cap
+// expands identically for P12's shard sweep.
 func workerCounts(max int) []int {
 	if max <= 0 {
 		return nil
@@ -148,7 +151,7 @@ func workerCounts(max int) []int {
 }
 
 // runOne resolves one experiment id at the requested size.
-func runOne(id string, full bool, workers int) (experiments.Report, bool) {
+func runOne(id string, full bool, workers, shards int) (experiments.Report, bool) {
 	id = strings.ToUpper(strings.TrimSpace(id))
 	if full {
 		switch id {
@@ -172,15 +175,20 @@ func runOne(id string, full bool, workers int) (experiments.Report, bool) {
 			return experiments.P10(4000), true
 		case "P11":
 			return experiments.P11(2000), true
+		case "P12":
+			return experiments.P12(workerCounts(shards), 4000), true
 		}
 	}
 	if id == "P9" {
 		return experiments.P9(workerCounts(workers), 0), true
 	}
+	if id == "P12" && shards > 0 {
+		return experiments.P12(workerCounts(shards), 0), true
+	}
 	return experiments.ByID(id)
 }
 
-func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpuprofile, memprofile, tracefile string) int {
+func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline, cpuprofile, memprofile, tracefile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -223,7 +231,7 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 	var reports []experiments.Report
 	if exp != "" {
 		for _, id := range strings.Split(exp, ",") {
-			r, ok := runOne(id, full, workers)
+			r, ok := runOne(id, full, workers, shards)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "mobench: unknown experiment %q (try -list)\n", strings.TrimSpace(id))
 				return 2
@@ -235,8 +243,8 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
 		}
-		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"} {
-			r, _ := runOne(id, true, workers)
+		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"} {
+			r, _ := runOne(id, true, workers, shards)
 			reports = append(reports, r)
 		}
 	} else {
@@ -278,8 +286,13 @@ func run(exp string, full, metrics bool, workers int, jsonPath, baseline, cpupro
 // compareBaseline prints a per-metric delta table between a prior
 // -json run and this one, matching metrics by (experiment id, metric
 // key). Metrics present on only one side are skipped: they are new or
-// retired, not regressions. Returns true if any shared metric whose
-// name contains "ns_per_op" got more than 2x slower.
+// retired, not regressions. When an experiment recorded a
+// "gomaxprocs" metric on both sides and the values differ, its timing
+// and speedup deltas are shown but never flagged: the runs measured
+// different parallel hardware, so a slowdown is expected, not a
+// regression (mobench warns instead of failing). Returns true if any
+// comparable metric whose name contains "ns_per_op" got more than 2x
+// slower.
 func compareBaseline(w *os.File, path string, reports []experiments.Report) (bool, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -300,6 +313,16 @@ func compareBaseline(w *os.File, path string, reports []experiments.Report) (boo
 		if len(prior) == 0 || len(r.Metrics) == 0 {
 			continue
 		}
+		procsDiffer := false
+		if oldProcs, ok := prior["gomaxprocs"]; ok {
+			if newProcs, ok := r.Metrics["gomaxprocs"]; ok && oldProcs != newProcs {
+				procsDiffer = true
+				fmt.Fprintf(os.Stderr,
+					"mobench: warning: %s baseline ran at GOMAXPROCS=%.0f, this run at %.0f; "+
+						"speedup comparisons are informational only\n",
+					r.ID, oldProcs, newProcs)
+			}
+		}
 		var rows []experiments.Row
 		for _, key := range sortedKeys(r.Metrics) {
 			oldV, ok := prior[key]
@@ -313,8 +336,12 @@ func compareBaseline(w *os.File, path string, reports []experiments.Report) (boo
 				q := newV / oldV
 				ratio = fmt.Sprintf("%.2f", q)
 				if strings.Contains(key, "ns_per_op") && q > 2.0 {
-					mark = "  REGRESSED"
-					regressed = true
+					if procsDiffer {
+						mark = "  (gomaxprocs differs; not gated)"
+					} else {
+						mark = "  REGRESSED"
+						regressed = true
+					}
 				}
 			}
 			rows = append(rows, experiments.Row{

@@ -14,6 +14,7 @@
 //	pietql -query "EXPLAIN ANALYZE SELECT layer.Ln; FROM PietSchema;"
 //	pietql query.pql
 //	pietql -city -grid 8          # synthetic city instead of the paper scenario
+//	pietql -shards 4 -city ...    # sharded scatter-gather engine (bit-identical answers)
 //	pietql -explain-remark1       # trace the paper's Remark 1 query
 //	pietql -metrics -query "..."  # dump Prometheus metrics after the run
 //	pietql -timeout 2s -max-rows 1000000 -query "..."
@@ -83,6 +84,7 @@ func main() {
 	objects := flag.Int("objects", 100, "synthetic moving objects")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	noOverlay := flag.Bool("no-overlay", false, "disable the precomputed overlay (naive geometry)")
+	shards := flag.Int("shards", 0, "partition each MOFT across N shard engines (scatter-gather with a deterministic merge; bit-identical answers); 0 or 1 = unsharded")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve the telemetry HTTP pages (/metrics, /debug/stats, /debug/queries, /debug/traces/{id}) on this address; empty disables the listener")
 	queryLogPath := flag.String("query-log", "", "append the structured JSONL query log to this file (\"-\" for stderr)")
@@ -143,6 +145,11 @@ Flags:
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
 		os.Exit(1)
+	}
+	if *shards > 1 {
+		// Swap the moving-object engine for a sharded coordinator over
+		// the same model context; answers stay bit-identical.
+		sys.Engine = core.NewSharded(sys.Ctx, *shards)
 	}
 
 	switch {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -9,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mogis/internal/agggrid"
 	"mogis/internal/faultpoint"
@@ -140,17 +140,24 @@ type tableCache struct {
 	gridUnit buildUnit
 	grid     *agggrid.Grid
 
-	imu       sync.Mutex
+	imu       sync.RWMutex
 	dead      bool // set on invalidation; stops new interval-cache inserts
-	intervals map[string]*list.Element
-	ivOrder   list.List // LRU order: front oldest, back most recent
+	intervals map[string]*intervalEntry
+	// ivGen issues strictly increasing recency stamps. A hit only takes
+	// the read lock and bumps its entry's stamp — no recency-list splice
+	// under an exclusive lock — so read-mostly workloads don't
+	// serialize; the insert path orders entries lazily, scanning for
+	// the minimum stamp when it must evict.
+	ivGen atomic.Int64
 }
 
-// intervalEntry is one memoized (polygon → per-object intervals) set,
-// stored as the value of its LRU list element.
+// intervalEntry is one memoized (polygon → per-object intervals) set.
+// stamp is its recency: stamps are unique and monotonic (ivGen), so
+// min-stamp eviction reproduces exact LRU order.
 type intervalEntry struct {
-	key string
-	m   map[moft.Oid][]traj.TimeInterval
+	key   string
+	m     map[moft.Oid][]traj.TimeInterval
+	stamp atomic.Int64
 }
 
 // build interpolates every object of the table and packs the
@@ -266,7 +273,6 @@ func (tc *tableCache) drainIntervals(met *obs.Metrics) {
 	n := len(tc.intervals)
 	tc.dead = true
 	tc.intervals = nil
-	tc.ivOrder.Init()
 	tc.imu.Unlock()
 	met.IntervalCacheEntries.Add(-int64(n))
 }
@@ -315,16 +321,16 @@ func (e *Engine) polygonIntervals(ctx context.Context, qc *qctl, tc *tableCache,
 	var key string
 	if cacheCap > 0 {
 		key = polygonKey(pg)
-		tc.imu.Lock()
-		if el, ok := tc.intervals[key]; ok {
-			tc.ivOrder.MoveToBack(el) // most recently used
-			m := el.Value.(*intervalEntry).m
-			tc.imu.Unlock()
+		tc.imu.RLock()
+		if en, ok := tc.intervals[key]; ok {
+			en.stamp.Store(tc.ivGen.Add(1)) // most recently used
+			m := en.m
+			tc.imu.RUnlock()
 			met.IntervalCacheHits.Inc()
 			qc.cacheHit(true)
 			return m, nil
 		}
-		tc.imu.Unlock()
+		tc.imu.RUnlock()
 		met.IntervalCacheMisses.Inc()
 		qc.cacheHit(false)
 	}
@@ -377,19 +383,26 @@ func (e *Engine) polygonIntervals(ctx context.Context, qc *qctl, tc *tableCache,
 		tc.imu.Lock()
 		if !tc.dead {
 			if tc.intervals == nil {
-				tc.intervals = make(map[string]*list.Element)
+				tc.intervals = make(map[string]*intervalEntry)
 			}
 			if _, dup := tc.intervals[key]; !dup {
 				// Evict least-recently-used entries until the new one
-				// fits within the cap.
+				// fits within the cap: the minimum stamp is the LRU
+				// entry (stamps are unique, so there are no ties).
 				for len(tc.intervals) >= cacheCap {
-					oldest := tc.ivOrder.Front()
-					delete(tc.intervals, oldest.Value.(*intervalEntry).key)
-					tc.ivOrder.Remove(oldest)
+					var oldest *intervalEntry
+					for _, en := range tc.intervals {
+						if oldest == nil || en.stamp.Load() < oldest.stamp.Load() {
+							oldest = en
+						}
+					}
+					delete(tc.intervals, oldest.key)
 					met.IntervalCacheEvictions.Inc()
 					met.IntervalCacheEntries.Add(-1)
 				}
-				tc.intervals[key] = tc.ivOrder.PushBack(&intervalEntry{key: key, m: out})
+				en := &intervalEntry{key: key, m: out}
+				en.stamp.Store(tc.ivGen.Add(1))
+				tc.intervals[key] = en
 				met.IntervalCacheEntries.Add(1)
 			}
 		}

@@ -87,6 +87,12 @@ type Engine struct {
 	// gridVerify cross-checks every grid-accelerated result against
 	// the slow path (the exact-identity gate).
 	gridVerify atomic.Bool
+
+	// isShard marks an engine owned by a ShardedEngine coordinator: its
+	// begin brackets chain to the coordinator's qctl (shared budget
+	// counters, no per-shard telemetry record) and countQuery skips the
+	// per-type counters so a scattered query counts once, not per shard.
+	isShard bool
 }
 
 // New creates an engine over the model context.
@@ -113,6 +119,16 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 
 // metrics returns the engine's current instrument bundle.
 func (e *Engine) metrics() *obs.Metrics { return e.met.Load() }
+
+// countQuery bumps the per-type query counter — once per logical
+// query: shard engines skip it (the coordinator counts the scattered
+// query exactly once).
+func (e *Engine) countQuery(n int) {
+	if e.isShard {
+		return
+	}
+	e.metrics().Query(n).Inc()
+}
 
 // SetTelemetry pins the engine's telemetry collector. A nil collector
 // disables recording for this engine even when a process-wide default
@@ -210,7 +226,7 @@ func (e *Engine) sampleGrid(ctx context.Context, table string) (*agggrid.Grid, e
 func (e *Engine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (v float64, err error) {
 	qc, ctx, done := e.begin(ctx, "geometric_aggregate", "")
 	defer done(&err)
-	e.metrics().Query(1).Inc()
+	e.countQuery(1)
 	if err := qc.step(ctx); err != nil {
 		return 0, err
 	}
@@ -224,7 +240,7 @@ func (e *Engine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (v f
 func (e *Engine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.FactTable, measure string) (v float64, err error) {
 	qc, ctx, done := e.begin(ctx, "summable_over_ids", "")
 	defer done(&err)
-	e.metrics().Query(2).Inc()
+	e.countQuery(2)
 	if err := qc.step(ctx); err != nil {
 		return 0, err
 	}
@@ -239,7 +255,7 @@ func (e *Engine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.F
 func (e *Engine) RegionC(ctx context.Context, f fo.Formula, out []fo.Var) (rel *fo.Relation, err error) {
 	qc, ctx, done := e.begin(ctx, "region_c", "")
 	defer done(&err)
-	e.metrics().Query(3).Inc()
+	e.countQuery(3)
 	return e.regionC(ctx, qc, f, out)
 }
 
@@ -269,7 +285,7 @@ func (e *Engine) regionC(ctx context.Context, qc *qctl, f fo.Formula, out []fo.V
 func (e *Engine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (res *olap.AggResult, err error) {
 	qc, ctx, done := e.begin(ctx, "aggregate_region", "")
 	defer done(&err)
-	e.metrics().Query(4).Inc()
+	e.countQuery(4)
 	rel, err := e.regionC(ctx, qc, f, out)
 	if err != nil {
 		return nil, err
@@ -288,7 +304,7 @@ func (e *Engine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var
 func (e *Engine) CountRegion(ctx context.Context, f fo.Formula, out []fo.Var) (n int, err error) {
 	qc, ctx, done := e.begin(ctx, "count_region", "")
 	defer done(&err)
-	e.metrics().Query(4).Inc()
+	e.countQuery(4)
 	rel, err := e.regionC(ctx, qc, f, out)
 	if err != nil {
 		return 0, err
@@ -320,7 +336,7 @@ func (e *Engine) FilterGeometriesByAggregate(ctx context.Context, layerName stri
 	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) (out []layer.Gid, err error) {
 	qc, ctx, done := e.begin(ctx, "filter_geometries_by_aggregate", "")
 	defer done(&err)
-	e.metrics().Query(5).Inc()
+	e.countQuery(5)
 	l, ok := e.mctx.GIS().Layer(layerName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown layer %q", layerName)
@@ -367,7 +383,7 @@ func (e *Engine) FilterGeometriesByAggregate(ctx context.Context, layerName stri
 func (e *Engine) ObjectsSampledAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_sampled_at", table)
 	defer done(&err)
-	e.metrics().Query(6).Inc()
+	e.countQuery(6)
 	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -458,7 +474,7 @@ func (e *Engine) checkOids(fast, slow []moft.Oid) []moft.Oid {
 func (e *Engine) ObjectsInterpolatedAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_interpolated_at", table)
 	defer done(&err)
-	e.metrics().Query(6).Inc()
+	e.countQuery(6)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -643,7 +659,7 @@ func (e *Engine) CacheStats() (tables, objects int) {
 func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_passing_through", table)
 	defer done(&err)
-	e.metrics().Query(7).Inc()
+	e.countQuery(7)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -678,7 +694,7 @@ func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geo
 func (e *Engine) ObjectsSampledInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_sampled_inside", table)
 	defer done(&err)
-	e.metrics().Query(7).Inc()
+	e.countQuery(7)
 	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -758,7 +774,7 @@ func (e *Engine) objectsSampledInsideScan(ctx context.Context, qc *qctl, tbl *mo
 func (e *Engine) CountSamplesInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (n int, err error) {
 	qc, ctx, done := e.begin(ctx, "count_samples_inside", table)
 	defer done(&err)
-	e.metrics().Query(4).Inc()
+	e.countQuery(4)
 	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return 0, err
@@ -848,7 +864,7 @@ func clampTotal(ivs []traj.TimeInterval, lo, hi float64) (sum float64, touched b
 func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
 	qc, ctx, done := e.begin(ctx, "time_spent_inside", table)
 	defer done(&err)
-	e.metrics().Query(7).Inc()
+	e.countQuery(7)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -877,7 +893,7 @@ func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Poly
 func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, center geom.Point, r float64, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_ever_within_radius", table)
 	defer done(&err)
-	e.metrics().Query(7).Inc()
+	e.countQuery(7)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -935,7 +951,7 @@ func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, cent
 func (e *Engine) CountPassingThroughGeometries(ctx context.Context, table, layerName string, ids []layer.Gid, iv timedim.Interval) (n int, err error) {
 	qc, ctx, done := e.begin(ctx, "count_passing_through_geometries", table)
 	defer done(&err)
-	e.metrics().Query(7).Inc()
+	e.countQuery(7)
 	l, ok := e.mctx.GIS().Layer(layerName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown layer %q", layerName)
@@ -996,7 +1012,7 @@ type TrajectoryStats struct {
 func (e *Engine) TrajectoryAggregate(ctx context.Context, table string, oid moft.Oid) (st TrajectoryStats, err error) {
 	qc, ctx, done := e.begin(ctx, "trajectory_aggregate", table)
 	defer done(&err)
-	e.metrics().Query(8).Inc()
+	e.countQuery(8)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return TrajectoryStats{}, err

@@ -1,0 +1,686 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mogis/internal/faultpoint"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/olap"
+	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
+	"mogis/internal/timedim"
+	"mogis/internal/traj"
+)
+
+// ShardedEngine partitions each registered MOFT by object-id hash into
+// N shard engines — each owning its own columnar snapshot, LIT cache,
+// interval cache and pre-aggregated grid — and scatters the per-object
+// query entry points across them, merging the per-shard answers in a
+// deterministic order. Because the partition function assigns every
+// object to exactly one shard and every per-object entry point returns
+// its objects in ascending oid order, a sorted merge of the disjoint
+// shard answers is bit-identical to the single-engine answer.
+//
+// Entry points that are not per-object — the formula evaluator
+// (RegionC and its aggregations, whose first-order semantics admit
+// negation and universal quantification over the whole table) and the
+// pure-GIS aggregations — route to an internal unsharded engine over
+// the original context instead; TrajectoryAggregate routes to the one
+// shard owning its object.
+//
+// The coordinator rides the engine's existing control plane: one
+// begin/done bracket per logical query (one telemetry QueryRecord,
+// one per-type counter bump), budgets enforced against the logical
+// query's shared atomic counters rather than per shard, cancellation
+// fanned out to every shard with the first typed error cancelling its
+// siblings, and panic isolation per shard.
+type ShardedEngine struct {
+	// mctx is the original, full model context; partition sources and
+	// routed queries read it.
+	mctx *fo.Context
+	// global runs the routed (formula / GIS) entry points over the full
+	// tables and owns the coordinator-side query brackets.
+	global *Engine
+	// shards run the scattered entry points, each over a derived
+	// context holding its partition of every queried table.
+	shards []*Engine
+
+	// confWorkers remembers the configured fan-out width so the
+	// per-shard split can be re-derived (0 → GOMAXPROCS).
+	confWorkers atomic.Int32
+
+	// pmu guards parts, the lazy per-table partition builds.
+	pmu   sync.RWMutex
+	parts map[string]*buildUnit
+}
+
+// NewSharded creates a coordinator with n shard engines over the
+// model context (n < 1 is clamped to 1). Tables are partitioned
+// lazily, on first query, and repartitioned after
+// InvalidateTrajectories / ResetCache.
+func NewSharded(mctx *fo.Context, n int) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	se := &ShardedEngine{
+		mctx:   mctx,
+		global: New(mctx),
+		parts:  make(map[string]*buildUnit),
+	}
+	for i := 0; i < n; i++ {
+		sh := New(mctx.Derive())
+		sh.isShard = true
+		// The coordinator's bracket records the logical query; a shard
+		// must never emit its own QueryRecord.
+		sh.SetTelemetry(nil)
+		se.shards = append(se.shards, sh)
+	}
+	se.applyWorkers()
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Context returns the original (full) model context.
+func (se *ShardedEngine) Context() *fo.Context { return se.mctx }
+
+// SetMetrics fans the metrics bundle to the coordinator and every
+// shard (the gauges use delta accounting, so several engines share one
+// bundle correctly).
+func (se *ShardedEngine) SetMetrics(m *obs.Metrics) {
+	se.global.SetMetrics(m)
+	for _, sh := range se.shards {
+		sh.SetMetrics(m)
+	}
+}
+
+// SetTelemetry pins the collector the coordinator's brackets record
+// to. Shards stay silent regardless.
+func (se *ShardedEngine) SetTelemetry(c *telemetry.Collector) {
+	se.global.SetTelemetry(c)
+}
+
+// SetWorkers bounds the total fan-out width across all shards: each
+// shard gets an equal slice (at least 1), so a scattered query keeps
+// roughly the configured concurrency instead of multiplying it by the
+// shard count. 0 restores the default GOMAXPROCS budget.
+func (se *ShardedEngine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	se.confWorkers.Store(int32(n))
+	se.applyWorkers()
+}
+
+func (se *ShardedEngine) applyWorkers() {
+	n := int(se.confWorkers.Load())
+	se.global.SetWorkers(n)
+	w := n
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	per := w / len(se.shards)
+	if per < 1 {
+		per = 1
+	}
+	for _, sh := range se.shards {
+		sh.SetWorkers(per)
+	}
+}
+
+// SetIntervalCacheCap fans the per-table interval-cache cap to every
+// shard (and the routed engine).
+func (se *ShardedEngine) SetIntervalCacheCap(n int) {
+	se.global.SetIntervalCacheCap(n)
+	for _, sh := range se.shards {
+		sh.SetIntervalCacheCap(n)
+	}
+}
+
+// SetAggGrid fans the pre-aggregated grid configuration to every
+// shard (and the routed engine).
+func (se *ShardedEngine) SetAggGrid(n int) {
+	se.global.SetAggGrid(n)
+	for _, sh := range se.shards {
+		sh.SetAggGrid(n)
+	}
+}
+
+// SetGridVerify fans verify mode to every shard (and the routed
+// engine).
+func (se *ShardedEngine) SetGridVerify(on bool) {
+	se.global.SetGridVerify(on)
+	for _, sh := range se.shards {
+		sh.SetGridVerify(on)
+	}
+}
+
+// InvalidateTrajectories drops every cache derived from the table on
+// every shard and the routed engine, and schedules the table for
+// repartitioning on its next query (call after mutating the MOFT).
+// The fan-out must always cover all shards: clearing one shard's
+// state while its siblings keep answering from the old generation
+// would break the merge identity.
+func (se *ShardedEngine) InvalidateTrajectories(table string) {
+	se.dropParts(table)
+	se.global.InvalidateTrajectories(table)
+	for _, sh := range se.shards {
+		sh.InvalidateTrajectories(table)
+	}
+}
+
+// ResetCache drops every cached table on every shard and the routed
+// engine, and forgets every partition.
+func (se *ShardedEngine) ResetCache() {
+	se.pmu.Lock()
+	se.parts = make(map[string]*buildUnit)
+	se.pmu.Unlock()
+	se.global.ResetCache()
+	for _, sh := range se.shards {
+		sh.ResetCache()
+	}
+}
+
+// CacheStats reports the aggregate litCache footprint across the
+// routed engine and every shard: objects sums every cached
+// trajectory; tables counts each logical table once (the shards cache
+// disjoint slices of the same table, so the per-engine maximum is the
+// logical count).
+func (se *ShardedEngine) CacheStats() (tables, objects int) {
+	tables, objects = se.global.CacheStats()
+	for _, sh := range se.shards {
+		st, so := sh.CacheStats()
+		if st > tables {
+			tables = st
+		}
+		objects += so
+	}
+	return tables, objects
+}
+
+// --- partitioning ----------------------------------------------------
+
+// mix64 is the splitmix64 finalizer: a stable, well-distributed hash
+// of the object id. Stability across runs (and processes) keeps the
+// partition — and therefore every per-shard cache — reproducible.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardOf is the partition function: every object id maps to exactly
+// one shard.
+func (se *ShardedEngine) shardOf(oid moft.Oid) int {
+	return int(mix64(uint64(oid)) % uint64(len(se.shards)))
+}
+
+// partEntry returns (creating if needed) the table's partition latch.
+func (se *ShardedEngine) partEntry(table string) *buildUnit {
+	se.pmu.RLock()
+	u := se.parts[table]
+	se.pmu.RUnlock()
+	if u == nil {
+		se.pmu.Lock()
+		if u = se.parts[table]; u == nil {
+			u = &buildUnit{}
+			se.parts[table] = u
+		}
+		se.pmu.Unlock()
+	}
+	return u
+}
+
+// dropParts forgets a table's partition latch so the next query
+// repartitions from the (possibly mutated) source table.
+func (se *ShardedEngine) dropParts(table string) {
+	se.pmu.Lock()
+	delete(se.parts, table)
+	se.pmu.Unlock()
+}
+
+// ensureParts partitions the table across the shards, single-flight:
+// concurrent queries against an unpartitioned table split it exactly
+// once. An abandoned build (cancel, budget, fault) resets for retry; a
+// permanent failure (unknown table) drops the latch so a later query
+// can retry after the table appears.
+func (se *ShardedEngine) ensureParts(ctx context.Context, table string) error {
+	u := se.partEntry(table)
+	_, err := u.run(ctx, "core/shard-partition", func() error {
+		return se.partition(ctx, table)
+	})
+	if err != nil && !qerr.IsCancel(err) && !qerr.IsPanic(err) && !IsBudget(err) && !isInjected(err) {
+		se.pmu.Lock()
+		if se.parts[table] == u {
+			delete(se.parts, table)
+		}
+		se.pmu.Unlock()
+	}
+	return err
+}
+
+// partition splits the source table into one MOFT per shard (same
+// name, disjoint objects) and registers each slice with its shard's
+// context, invalidating any caches a previous generation left behind.
+func (se *ShardedEngine) partition(ctx context.Context, table string) error {
+	if err := faultpoint.Hit(faultpoint.CoreShardPartition); err != nil {
+		return err
+	}
+	tbl, err := se.mctx.Table(table)
+	if err != nil {
+		return err
+	}
+	parts := make([]*moft.Table, len(se.shards))
+	for i := range parts {
+		parts[i] = moft.New(table)
+	}
+	for i, tp := range tbl.Tuples() {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		parts[se.shardOf(tp.Oid)].AddTuple(tp)
+	}
+	for i, sh := range se.shards {
+		sh.Context().AddTable(parts[i])
+		sh.InvalidateTrajectories(table)
+	}
+	return nil
+}
+
+// --- scatter-gather --------------------------------------------------
+
+// scatter runs fn once per shard, each on its own goroutine under a
+// context that (a) marks the call as one shard of qc's logical query
+// and (b) is cancelled as soon as any sibling fails. Panics in fn are
+// isolated per shard. The returned error is selected deterministically
+// — scanning shards in index order, the first non-cancellation error
+// wins, falling back to the first error — so the caller's answer does
+// not depend on goroutine scheduling.
+func (se *ShardedEngine) scatter(ctx context.Context, qc *qctl, fn func(ctx context.Context, sh *Engine, idx int) error) error {
+	qc.attachShards(len(se.shards))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(se.shards))
+	var wg sync.WaitGroup
+	for i, sh := range se.shards {
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			sctx := withShardCall(ctx, qc, i)
+			err := runProtected("core/shard", func() error {
+				return fn(sctx, sh, i)
+			})
+			if err != nil {
+				errs[i] = err
+				cancel() // first failure cancels the siblings
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !qerr.IsCancel(err) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeOids concatenates the disjoint per-shard oid lists and sorts:
+// each shard already returns ascending oids, so the sorted union is
+// bit-identical to the single-engine answer. alwaysNonNil mirrors the
+// entry point's empty-result convention (ObjectsSampledInside returns
+// a non-nil empty slice; the others return nil).
+//
+//moglint:deterministic
+func mergeOids(parts [][]moft.Oid, alwaysNonNil bool) []moft.Oid {
+	var out []moft.Oid
+	if alwaysNonNil {
+		out = make([]moft.Oid, 0)
+	}
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeDurations unions the key-disjoint per-shard duration maps.
+//
+//moglint:deterministic
+func mergeDurations(parts []map[moft.Oid]float64) map[moft.Oid]float64 {
+	out := make(map[moft.Oid]float64)
+	for _, p := range parts {
+		for oid, v := range p {
+			out[oid] = v
+		}
+	}
+	return out
+}
+
+// --- routed entry points ---------------------------------------------
+//
+// First-order formulas admit negation and universal quantification, so
+// evaluating them per partition and unioning is not sound in general;
+// they run unsharded over the full context. The pure-GIS aggregations
+// never touch a MOFT at all.
+
+// GeometricAggregate evaluates a Definition-4 geometric aggregation.
+func (se *ShardedEngine) GeometricAggregate(ctx context.Context, a gis.Aggregation) (float64, error) {
+	return se.global.GeometricAggregate(ctx, a)
+}
+
+// SummableOverIDs evaluates the summable rewriting against a GIS fact
+// table.
+func (se *ShardedEngine) SummableOverIDs(ctx context.Context, ids []layer.Gid, ft *gis.FactTable, measure string) (float64, error) {
+	return se.global.SummableOverIDs(ctx, ids, ft, measure)
+}
+
+// RegionC evaluates the formula to the paper's spatio-temporal
+// structure C over the full (unpartitioned) tables.
+func (se *ShardedEngine) RegionC(ctx context.Context, f fo.Formula, out []fo.Var) (*fo.Relation, error) {
+	return se.global.RegionC(ctx, f, out)
+}
+
+// AggregateRegion evaluates region C and applies the γ operator.
+func (se *ShardedEngine) AggregateRegion(ctx context.Context, f fo.Formula, out []fo.Var, fn olap.AggFunc, measure fo.Var, groupBy []fo.Var) (*olap.AggResult, error) {
+	return se.global.AggregateRegion(ctx, f, out, fn, measure, groupBy)
+}
+
+// CountRegion evaluates region C and returns its cardinality.
+func (se *ShardedEngine) CountRegion(ctx context.Context, f fo.Formula, out []fo.Var) (int, error) {
+	return se.global.CountRegion(ctx, f, out)
+}
+
+// FilterGeometriesByAggregate gates layer geometries on an inner
+// aggregate.
+func (se *ShardedEngine) FilterGeometriesByAggregate(ctx context.Context, layerName string, kind layer.Kind,
+	inner func(layer.Gid) (float64, error), op fo.CmpOp, threshold float64) ([]layer.Gid, error) {
+	return se.global.FilterGeometriesByAggregate(ctx, layerName, kind, inner, op, threshold)
+}
+
+// --- scattered entry points ------------------------------------------
+
+// ObjectsSampledAt returns the distinct objects with a sample exactly
+// at instant t inside pg, scattered across the shards and merged in
+// ascending oid order.
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsSampledAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_sampled_at", table)
+	defer done(&err)
+	se.global.countQuery(6)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([][]moft.Oid, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.ObjectsSampledAt(ctx, table, t, pg)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOids(parts, false), nil
+}
+
+// ObjectsInterpolatedAt returns the objects whose interpolated
+// position at instant t lies in pg.
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsInterpolatedAt(ctx context.Context, table string, t timedim.Instant, pg geom.Polygon) (out []moft.Oid, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_interpolated_at", table)
+	defer done(&err)
+	se.global.countQuery(6)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([][]moft.Oid, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.ObjectsInterpolatedAt(ctx, table, t, pg)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOids(parts, false), nil
+}
+
+// Trajectories returns the interpolated trajectory of every object in
+// the table, unioned from the shards' disjoint LIT caches. Unlike the
+// unsharded engine the returned map is a fresh union per call, but as
+// there callers must not mutate the trajectories it holds.
+func (se *ShardedEngine) Trajectories(ctx context.Context, table string) (lits map[moft.Oid]*traj.LIT, err error) {
+	qc, ctx, done := se.global.begin(ctx, "trajectories", table)
+	defer done(&err)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([]map[moft.Oid]*traj.LIT, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.Trajectories(ctx, table)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	lits = make(map[moft.Oid]*traj.LIT)
+	for _, p := range parts {
+		for oid, l := range p {
+			lits[oid] = l
+		}
+	}
+	return lits, nil
+}
+
+// ObjectsPassingThrough returns the objects whose interpolated
+// trajectory intersects pg at some time in iv.
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_passing_through", table)
+	defer done(&err)
+	se.global.countQuery(7)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([][]moft.Oid, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.ObjectsPassingThrough(ctx, table, pg, iv)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOids(parts, false), nil
+}
+
+// ObjectsSampledInside returns the objects with at least one raw
+// sample in pg during iv (always a non-nil slice, like the unsharded
+// entry point).
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsSampledInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_sampled_inside", table)
+	defer done(&err)
+	se.global.countQuery(7)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([][]moft.Oid, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.ObjectsSampledInside(ctx, table, pg, iv)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOids(parts, true), nil
+}
+
+// CountSamplesInside returns the number of MOFT samples inside pg
+// during iv, summed over the disjoint shard counts.
+//
+//moglint:deterministic
+func (se *ShardedEngine) CountSamplesInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (n int, err error) {
+	qc, ctx, done := se.global.begin(ctx, "count_samples_inside", table)
+	defer done(&err)
+	se.global.countQuery(4)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return 0, err
+	}
+	counts := make([]int, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		c, err := sh.CountSamplesInside(ctx, table, pg, iv)
+		counts[i] = c
+		return err
+	}); err != nil {
+		return 0, err
+	}
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// TimeSpentInside returns, per object, the total interpolated time
+// spent inside pg within iv, unioned from the shards' key-disjoint
+// answers.
+//
+//moglint:deterministic
+func (se *ShardedEngine) TimeSpentInside(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
+	qc, ctx, done := se.global.begin(ctx, "time_spent_inside", table)
+	defer done(&err)
+	se.global.countQuery(7)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([]map[moft.Oid]float64, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.TimeSpentInside(ctx, table, pg, iv)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeDurations(parts), nil
+}
+
+// ObjectsEverWithinRadius returns objects whose interpolated
+// trajectory comes within distance r of center during iv, with the
+// total time spent within.
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsEverWithinRadius(ctx context.Context, table string, center geom.Point, r float64, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_ever_within_radius", table)
+	defer done(&err)
+	se.global.countQuery(7)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return nil, err
+	}
+	parts := make([]map[moft.Oid]float64, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		m, err := sh.ObjectsEverWithinRadius(ctx, table, center, r, iv)
+		parts[i] = m
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeDurations(parts), nil
+}
+
+// CountPassingThroughGeometries counts the objects whose interpolated
+// trajectory intersects at least one of the given polygons during iv.
+// Each shard counts its own disjoint objects; the counts sum.
+//
+//moglint:deterministic
+func (se *ShardedEngine) CountPassingThroughGeometries(ctx context.Context, table, layerName string, ids []layer.Gid, iv timedim.Interval) (n int, err error) {
+	qc, ctx, done := se.global.begin(ctx, "count_passing_through_geometries", table)
+	defer done(&err)
+	se.global.countQuery(7)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return 0, err
+	}
+	counts := make([]int, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		c, err := sh.CountPassingThroughGeometries(ctx, table, layerName, ids, iv)
+		counts[i] = c
+		return err
+	}); err != nil {
+		return 0, err
+	}
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// TrajectoryAggregate computes the Type-8 aggregation for one object,
+// routed to the single shard owning it.
+func (se *ShardedEngine) TrajectoryAggregate(ctx context.Context, table string, oid moft.Oid) (st TrajectoryStats, err error) {
+	qc, ctx, done := se.global.begin(ctx, "trajectory_aggregate", table)
+	defer done(&err)
+	se.global.countQuery(8)
+	if err := se.ensureParts(ctx, table); err != nil {
+		return TrajectoryStats{}, err
+	}
+	idx := se.shardOf(oid)
+	qc.attachShards(len(se.shards))
+	return se.shards[idx].TrajectoryAggregate(withShardCall(ctx, qc, idx), table, oid)
+}
+
+// ObjectsPossiblyPassingThrough stratifies the objects of a table by
+// their relation to pg during iv under the lifeline-bead model,
+// scattered per shard and merged stratum by stratum.
+//
+//moglint:deterministic
+func (se *ShardedEngine) ObjectsPossiblyPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (res PossiblyResult, err error) {
+	qc, ctx, done := se.global.begin(ctx, "objects_possibly_passing_through", table)
+	defer done(&err)
+	if speedFactor < 1 {
+		return PossiblyResult{}, errSpeedFactor(speedFactor)
+	}
+	if err := se.ensureParts(ctx, table); err != nil {
+		return PossiblyResult{}, err
+	}
+	parts := make([]PossiblyResult, len(se.shards))
+	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+		r, err := sh.ObjectsPossiblyPassingThrough(ctx, table, pg, iv, speedFactor)
+		parts[i] = r
+		return err
+	}); err != nil {
+		return PossiblyResult{}, err
+	}
+	def := make([][]moft.Oid, len(parts))
+	likely := make([][]moft.Oid, len(parts))
+	possible := make([][]moft.Oid, len(parts))
+	for i, p := range parts {
+		def[i], likely[i], possible[i] = p.Definite, p.Likely, p.Possible
+	}
+	return PossiblyResult{
+		Definite: mergeOids(def, true),
+		Likely:   mergeOids(likely, false),
+		Possible: mergeOids(possible, false),
+	}, nil
+}

@@ -1,0 +1,419 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mogis/internal/core"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/qerr"
+	"mogis/internal/telemetry"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+// newShardedFixture builds one randomized city+trajectory workload
+// (the identity tests sweep several seeds) and an unsharded baseline
+// engine over it.
+func newShardedFixture(t *testing.T, seed int64) (*robustWorkload, *moft.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	city := workload.GenCity(workload.CityConfig{Seed: seed, Cols: 4, Rows: 4})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{
+		Seed:    seed * 31,
+		Objects: 40 + rng.Intn(24),
+		Samples: 20 + rng.Intn(16),
+	})
+	lo, hi, _ := fm.TimeSpan()
+	_, eng := city.Context(fm)
+	met := obs.NewMetrics(obs.NewRegistry())
+	eng.SetMetrics(met)
+	pg, ok := city.Ln.Polygon(layer.Gid(1 + rng.Intn(8)))
+	if !ok {
+		t.Fatal("city has no neighborhood polygon")
+	}
+	w := &robustWorkload{
+		eng: eng, met: met, pg: pg,
+		center: city.Extent.Center(),
+		radius: city.Extent.Width() / 4,
+		win:    timedim.Interval{Lo: lo, Hi: hi - (hi-lo)/4},
+		mid:    lo + (hi-lo)/2,
+	}
+	return w, fm
+}
+
+// shardedQueries enumerates every scattered or shard-routed entry
+// point as a (name, run) pair returning an arbitrary comparable value;
+// reflect.DeepEqual on the values is the byte-identity check (it
+// distinguishes nil from empty slices and maps).
+func shardedQueries(w *robustWorkload, q core.Querier) map[string]func(ctx context.Context) (any, error) {
+	return map[string]func(ctx context.Context) (any, error){
+		"ObjectsSampledAt": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsSampledAt(ctx, "FM", w.mid, w.pg)
+			return v, err
+		},
+		"ObjectsInterpolatedAt": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsInterpolatedAt(ctx, "FM", w.mid, w.pg)
+			return v, err
+		},
+		"Trajectories": func(ctx context.Context) (any, error) {
+			lits, err := q.Trajectories(ctx, "FM")
+			if err != nil {
+				return nil, err
+			}
+			// Compare content, not cache pointers: per-oid samples.
+			out := make(map[moft.Oid]any, len(lits))
+			for oid, l := range lits {
+				out[oid] = l.Sample()
+			}
+			return out, nil
+		},
+		"ObjectsPassingThrough": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+			return v, err
+		},
+		"ObjectsSampledInside": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsSampledInside(ctx, "FM", w.pg, w.win)
+			return v, err
+		},
+		"CountSamplesInside": func(ctx context.Context) (any, error) {
+			v, err := q.CountSamplesInside(ctx, "FM", w.pg, w.win)
+			return v, err
+		},
+		"TimeSpentInside": func(ctx context.Context) (any, error) {
+			v, err := q.TimeSpentInside(ctx, "FM", w.pg, w.win)
+			return v, err
+		},
+		"ObjectsEverWithinRadius": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsEverWithinRadius(ctx, "FM", w.center, w.radius, w.win)
+			return v, err
+		},
+		"CountPassingThroughGeometries": func(ctx context.Context) (any, error) {
+			v, err := q.CountPassingThroughGeometries(ctx, "FM", "Ln", []layer.Gid{1, 2, 3}, w.win)
+			return v, err
+		},
+		"TrajectoryAggregate": func(ctx context.Context) (any, error) {
+			v, err := q.TrajectoryAggregate(ctx, "FM", 7)
+			return v, err
+		},
+		"ObjectsPossiblyPassingThrough": func(ctx context.Context) (any, error) {
+			v, err := q.ObjectsPossiblyPassingThrough(ctx, "FM", w.pg, w.win, 1.5)
+			return v, err
+		},
+	}
+}
+
+// TestShardedDeterministicMerge is the merge-order property test: on
+// randomized tables, every sharded query method at shards = 1, 2, 3
+// and 7 must return a result byte-identical (reflect.DeepEqual,
+// including nil-vs-empty conventions) to the unsharded engine — on
+// both the grid-accelerated and the scan path.
+func TestShardedDeterministicMerge(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42} {
+		w, _ := newShardedFixture(t, seed)
+		for _, grid := range []int{0, -1} {
+			w.eng.SetAggGrid(grid)
+			w.eng.ResetCache()
+			want := map[string]any{}
+			for name, q := range shardedQueries(w, w.eng) {
+				v, err := q(context.Background())
+				if err != nil {
+					t.Fatalf("seed %d grid %d unsharded %s: %v", seed, grid, name, err)
+				}
+				want[name] = v
+			}
+			for _, shards := range []int{1, 2, 3, 7} {
+				se := core.NewSharded(w.eng.Context(), shards)
+				se.SetMetrics(w.met)
+				se.SetAggGrid(grid)
+				for name, q := range shardedQueries(w, se) {
+					got, err := q(context.Background())
+					if err != nil {
+						t.Fatalf("seed %d grid %d shards %d %s: %v", seed, grid, shards, name, err)
+					}
+					if !reflect.DeepEqual(got, want[name]) {
+						t.Errorf("seed %d grid %d shards %d %s diverged:\n got %#v\nwant %#v",
+							seed, grid, shards, name, got, want[name])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMissingObjectError: routing to the owning shard preserves
+// the unsharded error for an unknown object.
+func TestShardedMissingObjectError(t *testing.T) {
+	w := newRobustWorkload(t)
+	_, wantErr := w.eng.TrajectoryAggregate(context.Background(), "FM", 9999)
+	_, gotErr := w.sharded.TrajectoryAggregate(context.Background(), "FM", 9999)
+	if wantErr == nil || gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("sharded error %v, unsharded %v", gotErr, wantErr)
+	}
+	_, wantErr = w.eng.Trajectories(context.Background(), "NoSuchTable")
+	_, gotErr = w.sharded.Trajectories(context.Background(), "NoSuchTable")
+	if wantErr == nil || gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("sharded unknown-table error %v, unsharded %v", gotErr, wantErr)
+	}
+}
+
+// TestShardedBudgetGlobal: MaxRows bounds the whole scattered query
+// via the shared atomic counters — a budget below the total scan but
+// above any single shard's share must still trip.
+func TestShardedBudgetGlobal(t *testing.T) {
+	w := newRobustWorkload(t)
+	col := telemetry.New(telemetry.Config{Registry: obs.NewRegistry(), SampleEvery: -1})
+	w.sharded.SetTelemetry(col)
+	if _, err := w.sharded.TimeSpentInside(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Fatalf("warm query: %v", err)
+	}
+	recs := col.Recent(1)
+	if len(recs) != 1 {
+		t.Fatalf("expected 1 telemetry record, got %d", len(recs))
+	}
+	total := recs[0].RowsScanned
+	if total == 0 {
+		t.Fatal("warm query scanned no rows")
+	}
+	// Per shard ≈ total/3; a budget of total/2 cannot trip any shard
+	// alone but must trip the shared counter. The interval cache would
+	// satisfy the repeat query without scanning, so drop it first.
+	w.sharded.ResetCache()
+	ctx := core.WithBudget(context.Background(), core.Budget{MaxRows: total / 2})
+	_, err := w.sharded.TimeSpentInside(ctx, "FM", w.pg, w.win)
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.Resource != "rows" {
+		t.Errorf("Resource = %q, want rows", be.Resource)
+	}
+	// The abort left the coordinator coherent.
+	if _, err := w.sharded.TimeSpentInside(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Errorf("unbudgeted retry: %v", err)
+	}
+}
+
+// TestShardedTelemetryOneRecord: a scattered query records exactly one
+// QueryRecord, carrying per-shard rows/cache attribution that sums to
+// the record's totals — even for an entry point that nests other entry
+// points per shard.
+func TestShardedTelemetryOneRecord(t *testing.T) {
+	w := newRobustWorkload(t)
+	col := telemetry.New(telemetry.Config{Registry: obs.NewRegistry(), SampleEvery: -1})
+	w.sharded.SetTelemetry(col)
+
+	before := w.met.Query(7).Value()
+	if _, err := w.sharded.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Fatal(err)
+	}
+	recs := col.Recent(10)
+	if len(recs) != 1 {
+		t.Fatalf("scattered query recorded %d QueryRecords, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Op != "objects_passing_through" || rec.Table != "FM" {
+		t.Fatalf("record %s/%s, want objects_passing_through/FM", rec.Op, rec.Table)
+	}
+	if len(rec.Shards) != w.sharded.Shards() {
+		t.Fatalf("record has %d shard slots, want %d", len(rec.Shards), w.sharded.Shards())
+	}
+	var rows, hits, misses int64
+	for _, s := range rec.Shards {
+		rows += s.RowsScanned
+		hits += s.CacheHits
+		misses += s.CacheMisses
+	}
+	if rows != rec.RowsScanned || hits != rec.CacheHits || misses != rec.CacheMisses {
+		t.Errorf("shard attribution (%d rows, %d hits, %d misses) does not sum to record totals (%d, %d, %d)",
+			rows, hits, misses, rec.RowsScanned, rec.CacheHits, rec.CacheMisses)
+	}
+	if got := w.met.Query(7).Value(); got != before+1 {
+		t.Errorf("Query(7) counted %d for one logical query, want 1", got-before)
+	}
+
+	// Nested entry point: still exactly one record for the outer op.
+	if _, err := w.sharded.ObjectsPossiblyPassingThrough(context.Background(), "FM", w.pg, w.win, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	recs = col.Recent(10)
+	if len(recs) != 2 {
+		t.Fatalf("nested scattered query recorded %d new QueryRecords, want 1 (total 2)", len(recs)-1)
+	}
+	if recs[0].Op != "objects_possibly_passing_through" {
+		t.Fatalf("newest record op %s, want objects_possibly_passing_through", recs[0].Op)
+	}
+}
+
+// TestShardedInvalidationFanOut: after mutating the base table,
+// InvalidateTrajectories repartitions and every shard rebuilds — the
+// sharded answer tracks a fresh unsharded engine over the mutated
+// table.
+func TestShardedInvalidationFanOut(t *testing.T) {
+	w, fm := newShardedFixture(t, 99)
+	se := core.NewSharded(w.eng.Context(), 3)
+	se.SetMetrics(w.met)
+	ctx := context.Background()
+
+	beforeMut, err := se.TimeSpentInside(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a new object inside the query polygon for the whole window.
+	c := w.pg.Centroid()
+	fm.Add(8888, w.win.Lo, c.X, c.Y)
+	fm.Add(8888, w.win.Hi, c.X, c.Y)
+	w.eng.InvalidateTrajectories("FM")
+	se.InvalidateTrajectories("FM")
+
+	want, err := w.eng.TimeSpentInside(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := se.TimeSpentInside(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-invalidation sharded answer diverged:\n got %v\nwant %v", got, want)
+	}
+	if _, ok := got[8888]; !ok {
+		t.Error("mutation not visible after invalidation fan-out")
+	}
+	if reflect.DeepEqual(got, beforeMut) {
+		t.Error("answer unchanged by the mutation — stale partition served")
+	}
+}
+
+// TestShardedCancellation: a pre-cancelled context aborts a scattered
+// query with a typed cancellation before any shard commits work.
+func TestShardedCancellation(t *testing.T) {
+	w := newRobustWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.sharded.ObjectsPassingThrough(ctx, "FM", w.pg, w.win); !qerr.IsCancel(err) {
+		t.Fatalf("got %v, want cancellation", err)
+	}
+	if _, err := w.sharded.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win); err != nil {
+		t.Fatalf("query after cancelled query: %v", err)
+	}
+}
+
+// TestShardedConcurrentStorm hammers one ShardedEngine from many
+// goroutines with mixed scattered queries interleaved with
+// invalidations, checking every answer against a serial unsharded
+// engine. Run under -race (the shard-race CI job) this is the
+// coordinator's thread-safety and determinism contract.
+func TestShardedConcurrentStorm(t *testing.T) {
+	w := newRobustWorkload(t)
+	serial := core.New(w.eng.Context())
+	serial.SetMetrics(obs.NewMetrics(obs.NewRegistry()))
+	serial.SetWorkers(1)
+	ctx := context.Background()
+
+	wantPass, err := serial.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTime, err := serial.TimeSpentInside(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := serial.CountSamplesInside(ctx, "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					got, err := w.sharded.ObjectsPassingThrough(ctx, "FM", w.pg, w.win)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !eqOids(got, wantPass) {
+						errc <- fmt.Errorf("ObjectsPassingThrough diverged under load: %v", got)
+						return
+					}
+				case 1:
+					got, err := w.sharded.TimeSpentInside(ctx, "FM", w.pg, w.win)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !eqDurations(got, wantTime) {
+						errc <- fmt.Errorf("TimeSpentInside diverged under load: %v", got)
+						return
+					}
+				case 2:
+					got, err := w.sharded.CountSamplesInside(ctx, "FM", w.pg, w.win)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got != wantCount {
+						errc <- fmt.Errorf("CountSamplesInside = %d, want %d", got, wantCount)
+						return
+					}
+				case 3:
+					if i%5 == 0 {
+						w.sharded.InvalidateTrajectories("FM")
+					} else {
+						got, err := w.sharded.ObjectsSampledInside(ctx, "FM", w.pg, w.win)
+						if err != nil {
+							errc <- err
+							return
+						}
+						if got == nil {
+							errc <- fmt.Errorf("ObjectsSampledInside returned nil slice")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestShardedWorkerSplit: the configured fan-out width divides across
+// shards instead of multiplying, and clamps at 1 per shard.
+func TestShardedWorkerSplit(t *testing.T) {
+	w := newRobustWorkload(t)
+	// Smoke-check the knob end to end at a width smaller than the
+	// shard count (each shard gets the minimum of 1).
+	w.sharded.SetWorkers(2)
+	got, err := w.sharded.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sharded.SetWorkers(0)
+	again, err := w.sharded.ObjectsPassingThrough(context.Background(), "FM", w.pg, w.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqOids(got, again) {
+		t.Fatalf("worker width changed the answer: %v vs %v", got, again)
+	}
+}

@@ -31,6 +31,12 @@ type PossiblyResult struct {
 	Possible []moft.Oid
 }
 
+// errSpeedFactor is shared by the sharded coordinator so both engines
+// reject an invalid speed factor with the identical error.
+func errSpeedFactor(f float64) error {
+	return fmt.Errorf("core: speed factor must be ≥ 1, got %g", f)
+}
+
 // ObjectsPossiblyPassingThrough stratifies the objects of a table by
 // their relation to polygon pg during iv: definitely inside (sampled),
 // likely inside (interpolated crossing), or possibly inside (lifeline
@@ -39,7 +45,7 @@ func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string
 	qc, ctx, done := e.begin(ctx, "objects_possibly_passing_through", table)
 	defer done(&err)
 	if speedFactor < 1 {
-		return PossiblyResult{}, fmt.Errorf("core: speed factor must be ≥ 1, got %g", speedFactor)
+		return PossiblyResult{}, errSpeedFactor(speedFactor)
 	}
 	lits, err := e.Trajectories(ctx, table)
 	if err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"mogis/internal/moft"
@@ -131,6 +132,7 @@ func P10(objects int) Report {
 		totalSamples += n
 	}
 	mets := map[string]float64{
+		"gomaxprocs":            float64(runtime.GOMAXPROCS(0)),
 		"objects":               float64(objects),
 		"samples":               float64(fm.Len()),
 		"polygons":              float64(len(polys)),

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -508,7 +509,10 @@ func P2() Report {
 	}
 	summableTime := time.Since(t0)
 
-	mets := map[string]float64{"summable_ns_per_op": float64(summableTime.Nanoseconds())}
+	mets := map[string]float64{
+		"summable_ns_per_op": float64(summableTime.Nanoseconds()),
+		"gomaxprocs":         float64(runtime.GOMAXPROCS(0)),
+	}
 	var rows []Row
 	rows = append(rows, Row{Label: "summable Σ h'(g)", Values: []string{fmtDur(summableTime), fmt.Sprintf("%.0f", want), "0.00%"}})
 	for _, subdiv := range []int{0, 2, 4} {
@@ -756,7 +760,7 @@ func P8(iters int) Report {
 func All() []Report {
 	return []Report{
 		E1(), E2(), E3(), E4(), E5(), E6(),
-		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0), P11(0),
+		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0), P11(0), P12(nil, 0),
 		A1(),
 	}
 }
@@ -798,6 +802,8 @@ func ByID(id string) (Report, bool) {
 		return P10(0), true
 	case "P11":
 		return P11(0), true
+	case "P12":
+		return P12(nil, 0), true
 	case "A1":
 		return A1(), true
 	default:
@@ -807,7 +813,7 @@ func ByID(id string) (Report, bool) {
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"}
+	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"}
 	sort.Strings(ids)
 	return ids
 }

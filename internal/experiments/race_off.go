@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is false in ordinary builds: perf gates enforce their
+// timing bounds. See race_on.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary carries race-detector
+// instrumentation, which multiplies the nanosecond-scale paths the
+// perf gates bound (the ~200ns telemetry record path measures ~2µs
+// instrumented). Timing gates are reported but not enforced in that
+// configuration; identity gates always are.
+const raceEnabled = true

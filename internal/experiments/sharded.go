@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mogis/internal/core"
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/gis"
+	"mogis/internal/layer"
+	"mogis/internal/moft"
+	"mogis/internal/olap"
+	"mogis/internal/scenario"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+// P12 validates the sharded scatter-gather engine: first an
+// exact-identity gate running every one of the 17 query entry points
+// against both the unsharded engine and a ShardedEngine over the
+// paper's Table-1 scenario (reflect.DeepEqual, so nil-versus-empty
+// conventions count), then a shard-count sweep over a generated
+// workload at the host's real GOMAXPROCS, gating identity again at
+// every shard count and measuring scaling. Pass requires exact
+// identity everywhere; the speedup is recorded, not gated (it is
+// host-dependent, and near-linear only while shards have enough
+// objects to amortize the scatter).
+func P12(shardCounts []int, objects int) Report {
+	fail := func(err error) Report {
+		return Report{ID: "P12", Title: "sharded scatter-gather engine", Body: err.Error()}
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = defaultShardCounts()
+	}
+	if objects <= 0 {
+		objects = 1200
+	}
+	const iters = 3
+
+	gateBody, gateOK, err := shardIdentityGate()
+	if err != nil {
+		return fail(err)
+	}
+
+	// --- shard-count sweep over a generated workload -----------------
+	city := workload.GenCity(workload.CityConfig{Seed: 12, Cols: 8, Rows: 8})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{
+		Seed: 12, Objects: objects, Samples: 60, Step: 60, Speed: 3,
+	})
+	_, eng := city.Context(fm)
+	lo, hi, _ := fm.TimeSpan()
+	window := timedim.Interval{Lo: lo, Hi: hi}
+	ext := city.Extent
+	big := geom.BBox{
+		MinX: ext.MinX + 0.15*ext.Width(), MinY: ext.MinY + 0.15*ext.Height(),
+		MaxX: ext.MaxX - 0.15*ext.Width(), MaxY: ext.MaxY - 0.15*ext.Height(),
+	}.AsPolygon()
+
+	// Disable interval memoization on every engine while timing: the
+	// sweep measures scatter evaluation, not cache replay.
+	eng.SetIntervalCacheCap(-1)
+	if _, err := eng.Trajectories(qctx(), "FM"); err != nil {
+		return fail(err)
+	}
+	timeQueries := func(q core.Querier) (map[moft.Oid]float64, time.Duration, error) {
+		var out map[moft.Oid]float64
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			var err error
+			out, err = q.TimeSpentInside(qctx(), "FM", big, window)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		return out, time.Since(t0) / iters, nil
+	}
+	// One untimed pass warms the allocator so the unsharded baseline
+	// is not inflated relative to the later sharded runs.
+	if _, _, err := timeQueries(eng); err != nil {
+		return fail(err)
+	}
+	wantSpent, baseDur, err := timeQueries(eng)
+	if err != nil {
+		return fail(err)
+	}
+	wantPass, err := eng.ObjectsPassingThrough(qctx(), "FM", big, window)
+	if err != nil {
+		return fail(err)
+	}
+	wantCount, err := eng.CountSamplesInside(qctx(), "FM", big, window)
+	if err != nil {
+		return fail(err)
+	}
+
+	pass := gateOK
+	mets := map[string]float64{
+		"gomaxprocs":          float64(runtime.GOMAXPROCS(0)),
+		"objects":             float64(objects),
+		"samples":             float64(fm.Len()),
+		"unsharded_ns_per_op": float64(baseDur.Nanoseconds()),
+	}
+	rows := []Row{{Label: "unsharded", Values: []string{fmtDur(baseDur), "1.00x", "baseline"}}}
+	best := baseDur
+	for _, n := range shardCounts {
+		se := core.NewSharded(eng.Context(), n)
+		se.SetIntervalCacheCap(-1)
+		if _, err := se.Trajectories(qctx(), "FM"); err != nil {
+			return fail(err)
+		}
+		gotSpent, dur, err := timeQueries(se)
+		if err != nil {
+			return fail(err)
+		}
+		ident := "exact"
+		if !sameDurations(gotSpent, wantSpent) {
+			ident = "MISMATCH"
+			pass = false
+		}
+		gotPass, err := se.ObjectsPassingThrough(qctx(), "FM", big, window)
+		if err != nil {
+			return fail(err)
+		}
+		gotCount, err := se.CountSamplesInside(qctx(), "FM", big, window)
+		if err != nil {
+			return fail(err)
+		}
+		if !reflect.DeepEqual(gotPass, wantPass) || gotCount != wantCount {
+			ident = "MISMATCH"
+			pass = false
+		}
+		if dur < best {
+			best = dur
+		}
+		mets[fmt.Sprintf("sharded_ns_per_op_s%d", n)] = float64(dur.Nanoseconds())
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("shards=%d", n),
+			Values: []string{
+				fmtDur(dur),
+				fmt.Sprintf("%.2fx", float64(baseDur)/float64(dur)),
+				ident,
+			},
+		})
+	}
+	mets["sharded_ns_per_op"] = float64(best.Nanoseconds())
+	mets["shard_speedup"] = float64(baseDur) / float64(best)
+
+	body := gateBody
+	body += Table([]string{"engine", "TimeSpentInside/query", "speedup", "vs unsharded"}, rows)
+	body += fmt.Sprintf("  workload: %d objects, %d samples; GOMAXPROCS=%d; total worker budget is\n",
+		objects, fm.Len(), runtime.GOMAXPROCS(0))
+	body += "  constant across rows (shards split it), so the sweep isolates partitioning effects;\n"
+	body += "  pass requires exact identity at every shard count — speedup is recorded, not gated\n"
+	return Report{
+		ID:      "P12",
+		Title:   "sharded scatter-gather engine: identity gate and shard-count scaling",
+		Body:    body,
+		Pass:    pass,
+		Metrics: mets,
+	}
+}
+
+// defaultShardCounts sweeps 1, 2, ..., up to the host's real
+// GOMAXPROCS (doubling), always including GOMAXPROCS itself.
+func defaultShardCounts() []int {
+	maxN := runtime.GOMAXPROCS(0)
+	var out []int
+	for n := 1; n < maxN; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, maxN)
+}
+
+// shardIdentityGate runs all 17 Querier entry points on the paper's
+// Table-1 scenario against the unsharded engine and a 3-shard
+// coordinator, requiring reflect.DeepEqual answers (which
+// distinguishes nil from empty results). The small fixed scenario
+// keeps every comparison exact and covers the routed (formula / GIS)
+// entry points the generated sweep cannot drive.
+func shardIdentityGate() (string, bool, error) {
+	s := scenario.New()
+	se := core.NewSharded(s.Ctx, 3)
+
+	pass := true
+	var mismatches []string
+	checked := 0
+	check := func(name string, got, want any, gotErr, wantErr error) {
+		checked++
+		if (gotErr == nil) != (wantErr == nil) {
+			pass = false
+			mismatches = append(mismatches, fmt.Sprintf("%s: error %v vs %v", name, gotErr, wantErr))
+			return
+		}
+		if gotErr == nil && !reflect.DeepEqual(got, want) {
+			pass = false
+			mismatches = append(mismatches, name)
+		}
+	}
+
+	meir, _ := s.Ln.Polygon(scenario.PgMeir)
+	berchem, _ := s.Ln.Polygon(scenario.PgBerchem)
+	window := timedim.Interval{Lo: scenario.T(1), Hi: scenario.T(6)}
+	center := geom.Pt(20, 15)
+
+	// Types 1–2.
+	agg := gis.Aggregation{C: gis.Region{Polygons: []geom.Polygon{meir}}, H: gis.ConstDensity(400)}
+	gv, ge := se.GeometricAggregate(qctx(), agg)
+	wv, we := s.Engine.GeometricAggregate(qctx(), agg)
+	check("GeometricAggregate", gv, wv, ge, we)
+
+	ft := gis.NewFactTable(gis.FactSchema{Kind: layer.KindPolygon, LayerName: "Ln", Measures: []string{"population"}})
+	ft.MustSet(scenario.PgMeir, 60000)
+	ft.MustSet(scenario.PgDam, 45000)
+	ft.MustSet(scenario.PgZuid, 30000)
+	gv, ge = se.SummableOverIDs(qctx(), []layer.Gid{scenario.PgMeir, scenario.PgDam}, ft, "population")
+	wv, we = s.Engine.SummableOverIDs(qctx(), []layer.Gid{scenario.PgMeir, scenario.PgDam}, ft, "population")
+	check("SummableOverIDs", gv, wv, ge, we)
+
+	// Types 3–4: the Remark-1 motivating formula.
+	f := s.MotivatingFormula()
+	out := []fo.Var{"o", "t"}
+	grel, ge := se.RegionC(qctx(), f, out)
+	wrel, we := s.Engine.RegionC(qctx(), f, out)
+	check("RegionC", grel, wrel, ge, we)
+	gagg, ge := se.AggregateRegion(qctx(), f, out, olap.Count, "", nil)
+	wagg, we := s.Engine.AggregateRegion(qctx(), f, out, olap.Count, "", nil)
+	check("AggregateRegion", gagg, wagg, ge, we)
+	gn, ge := se.CountRegion(qctx(), f, out)
+	wn, we := s.Engine.CountRegion(qctx(), f, out)
+	check("CountRegion", gn, wn, ge, we)
+
+	// Type 5.
+	area := func(id layer.Gid) (float64, error) {
+		pg, _ := s.Ln.Polygon(id)
+		return pg.Area(), nil
+	}
+	gids, ge := se.FilterGeometriesByAggregate(qctx(), "Ln", layer.KindPolygon, area, fo.GT, 200)
+	wids, we := s.Engine.FilterGeometriesByAggregate(qctx(), "Ln", layer.KindPolygon, area, fo.GT, 200)
+	check("FilterGeometriesByAggregate", gids, wids, ge, we)
+
+	// Type 6.
+	go6, ge := se.ObjectsSampledAt(qctx(), "FMbus", scenario.T(5), berchem)
+	wo6, we := s.Engine.ObjectsSampledAt(qctx(), "FMbus", scenario.T(5), berchem)
+	check("ObjectsSampledAt", go6, wo6, ge, we)
+	go6, ge = se.ObjectsInterpolatedAt(qctx(), "FMbus", scenario.T(5), berchem)
+	wo6, we = s.Engine.ObjectsInterpolatedAt(qctx(), "FMbus", scenario.T(5), berchem)
+	check("ObjectsInterpolatedAt", go6, wo6, ge, we)
+
+	// Type 7. Trajectories compares per-object sample content: the two
+	// engines build their LITs independently, so pointers differ.
+	glits, ge := se.Trajectories(qctx(), "FMbus")
+	wlits, we := s.Engine.Trajectories(qctx(), "FMbus")
+	gsmp := map[moft.Oid]any{}
+	wsmp := map[moft.Oid]any{}
+	for oid, l := range glits {
+		gsmp[oid] = l.Sample()
+	}
+	for oid, l := range wlits {
+		wsmp[oid] = l.Sample()
+	}
+	check("Trajectories", gsmp, wsmp, ge, we)
+
+	go7, ge := se.ObjectsPassingThrough(qctx(), "FMbus", meir, window)
+	wo7, we := s.Engine.ObjectsPassingThrough(qctx(), "FMbus", meir, window)
+	check("ObjectsPassingThrough", go7, wo7, ge, we)
+	go7, ge = se.ObjectsSampledInside(qctx(), "FMbus", meir, window)
+	wo7, we = s.Engine.ObjectsSampledInside(qctx(), "FMbus", meir, window)
+	check("ObjectsSampledInside", go7, wo7, ge, we)
+	gn, ge = se.CountSamplesInside(qctx(), "FMbus", meir, window)
+	wn, we = s.Engine.CountSamplesInside(qctx(), "FMbus", meir, window)
+	check("CountSamplesInside", gn, wn, ge, we)
+	gsp, ge := se.TimeSpentInside(qctx(), "FMbus", meir, window)
+	wsp, we := s.Engine.TimeSpentInside(qctx(), "FMbus", meir, window)
+	check("TimeSpentInside", gsp, wsp, ge, we)
+	gsp, ge = se.ObjectsEverWithinRadius(qctx(), "FMbus", center, 8, window)
+	wsp, we = s.Engine.ObjectsEverWithinRadius(qctx(), "FMbus", center, 8, window)
+	check("ObjectsEverWithinRadius", gsp, wsp, ge, we)
+	gn, ge = se.CountPassingThroughGeometries(qctx(), "FMbus", "Ln",
+		[]layer.Gid{scenario.PgMeir, scenario.PgDam}, window)
+	wn, we = s.Engine.CountPassingThroughGeometries(qctx(), "FMbus", "Ln",
+		[]layer.Gid{scenario.PgMeir, scenario.PgDam}, window)
+	check("CountPassingThroughGeometries", gn, wn, ge, we)
+	gpr, ge := se.ObjectsPossiblyPassingThrough(qctx(), "FMbus", meir, window, 2)
+	wpr, we := s.Engine.ObjectsPossiblyPassingThrough(qctx(), "FMbus", meir, window, 2)
+	check("ObjectsPossiblyPassingThrough", gpr, wpr, ge, we)
+
+	// Type 8.
+	gst, ge := se.TrajectoryAggregate(qctx(), "FMbus", 2)
+	wst, we := s.Engine.TrajectoryAggregate(qctx(), "FMbus", 2)
+	check("TrajectoryAggregate", gst, wst, ge, we)
+
+	body := fmt.Sprintf("  identity gate (Table-1 scenario, 3 shards): %d/%d entry points exact\n",
+		checked-len(mismatches), checked)
+	for _, m := range mismatches {
+		body += "    MISMATCH " + m + "\n"
+	}
+	return body, pass, nil
+}

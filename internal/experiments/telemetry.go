@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"mogis/internal/obs"
@@ -96,12 +97,17 @@ func P11(iters int) Report {
 	body += fmt.Sprintf("  records captured while on: %d engine queries across %d stats rows\n",
 		recorded, engineOps)
 	body += "  expectation: recording stays within 5% of the detached engine, and the record path under 2µs\n"
+	if raceEnabled {
+		body += "  race detector enabled: instrumentation inflates both timings ~10x, so the\n"
+		body += "  bounds above are reported, not gated (the uninstrumented build enforces them)\n"
+	}
 
-	pass := recorded > 0 && (overhead <= 5.0 || recordNS < 2000)
+	pass := recorded > 0 && (overhead <= 5.0 || recordNS < 2000 || raceEnabled)
 	return Report{
 		ID: "P11", Title: "always-on telemetry overhead on the Remark-1 query",
 		Body: body, Pass: pass,
 		Metrics: map[string]float64{
+			"gomaxprocs":           float64(runtime.GOMAXPROCS(0)),
 			"ns_per_op_off":        float64(off.Nanoseconds()) / float64(iters),
 			"ns_per_op_on":         float64(on.Nanoseconds()) / float64(iters),
 			"overhead_pct":         overhead,

@@ -32,6 +32,9 @@ const (
 	// CoreIntervalInsert fires just before a computed interval set
 	// would be inserted into the interval cache.
 	CoreIntervalInsert = "core/interval-insert"
+	// CoreShardPartition fires inside the sharded engine's per-table
+	// partition build, before any shard receives its slice.
+	CoreShardPartition = "core/shard-partition"
 	// OverlayPair fires inside each overlay pair precomputation.
 	OverlayPair = "overlay/pair"
 )
@@ -44,6 +47,7 @@ func Catalog() []string {
 		CoreFanoutChunk,
 		CorePrefilter,
 		CoreIntervalInsert,
+		CoreShardPartition,
 		OverlayPair,
 	}
 }

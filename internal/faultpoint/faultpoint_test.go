@@ -89,7 +89,8 @@ func TestArmOnceDisarmsItself(t *testing.T) {
 func TestCatalogCoversConstants(t *testing.T) {
 	want := map[string]bool{
 		CoreLITBuild: true, CoreGridBuild: true, CoreFanoutChunk: true,
-		CorePrefilter: true, CoreIntervalInsert: true, OverlayPair: true,
+		CorePrefilter: true, CoreIntervalInsert: true,
+		CoreShardPartition: true, OverlayPair: true,
 	}
 	got := Catalog()
 	if len(got) != len(want) {

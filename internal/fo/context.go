@@ -2,6 +2,8 @@ package fo
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"mogis/internal/gis"
 	"mogis/internal/moft"
@@ -23,6 +25,9 @@ type ConceptBinding struct {
 // the GIS dimension (layers, α, geometric rollups), and the concept
 // bindings for application attributes.
 type Context struct {
+	// tmu guards tables (and the lits entries AddTable drops): shard
+	// coordinators repartition tables while queries resolve them.
+	tmu      sync.RWMutex
 	tables   map[string]*moft.Table
 	gisDim   *gis.Dimension
 	concepts map[string]ConceptBinding
@@ -45,18 +50,50 @@ func NewContext(g *gis.Dimension) *Context {
 // AddTable registers a moving-object fact table under its name.
 // Re-registering a name drops the cached trajectories for it.
 func (c *Context) AddTable(t *moft.Table) *Context {
+	c.tmu.Lock()
 	c.tables[t.Name()] = t
 	delete(c.lits, t.Name())
+	c.tmu.Unlock()
 	return c
 }
 
 // Table resolves a registered MOFT.
 func (c *Context) Table(name string) (*moft.Table, error) {
+	c.tmu.RLock()
 	t, ok := c.tables[name]
+	c.tmu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("fo: unknown fact table %q", name)
 	}
 	return t, nil
+}
+
+// TableNames lists the registered MOFT names in sorted order.
+func (c *Context) TableNames() []string {
+	c.tmu.RLock()
+	names := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		names = append(names, name)
+	}
+	c.tmu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Derive creates an empty sibling context sharing the GIS dimension
+// and concept bindings but owning its own (initially empty) table map.
+// Shard engines evaluate against derived contexts holding only their
+// partition of each MOFT.
+func (c *Context) Derive() *Context {
+	d := &Context{
+		tables:   make(map[string]*moft.Table),
+		gisDim:   c.gisDim,
+		concepts: make(map[string]ConceptBinding),
+	}
+	for name, b := range c.concepts {
+		d.concepts[name] = b
+	}
+	return d
 }
 
 // GIS returns the GIS dimension instance.

@@ -6,7 +6,7 @@ import (
 )
 
 // AnalyzerCacheInvalidate enforces the every-mutation-invalidates-
-// derived-state contract in its two forms:
+// derived-state contract in its three forms:
 //
 //  1. Inside a package defining a snapshot-bearing table (a struct
 //     with an atomic.Pointer snapshot field, like moft.Table's
@@ -21,6 +21,13 @@ import (
 //     R-tree, interval cache and sample grid built over the old rows.
 //     Mutations before the engine exists are fine — the caches build
 //     lazily on first query.
+//  3. Inside a package defining a shard coordinator (a struct with a
+//     slice-of-engine field, like core.ShardedEngine's shards): a
+//     method may only call InvalidateTrajectories or ResetCache on an
+//     indexed element of that slice from inside a loop that walks the
+//     whole slice. Clearing one shard's caches while its siblings keep
+//     stale trajectories splits the fleet — invalidation must fan out
+//     through the coordinator.
 var AnalyzerCacheInvalidate = &Analyzer{
 	Name: "cacheinvalidate",
 	Doc:  "table mutations must clear snapshots / invalidate engine caches",
@@ -32,6 +39,7 @@ func runCacheInvalidate(pkgs []*Package) []Finding {
 	for _, p := range pkgs {
 		out = append(out, checkSnapshotClearing(p)...)
 		out = append(out, checkEngineInvalidation(p)...)
+		out = append(out, checkShardFanOut(p)...)
 	}
 	return out
 }
@@ -409,6 +417,152 @@ func checkEngineInvalidation(p *Package) []Finding {
 						"table mutated after an engine is in scope without a later InvalidateTrajectories/ResetCache; cached trajectories, prefilter, intervals and grid go stale"))
 				}
 			}
+		}
+	}
+	return out
+}
+
+// --- rule 3: shard-fleet invalidation fan-out -------------------------
+
+// collectShardStructs finds the package's shard coordinators: structs
+// with a field holding a slice of engines ([]*Engine, []*core.Engine,
+// or any []*XxxEngine shard fleet). Returns struct name → set of shard
+// field names.
+func collectShardStructs(p *Package) map[string]map[string]bool {
+	isEngineElem := func(t ast.Expr) bool {
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		switch v := t.(type) {
+		case *ast.Ident:
+			return v.Name == "Engine" || (len(v.Name) > 6 && v.Name[len(v.Name)-6:] == "Engine")
+		case *ast.SelectorExpr:
+			return v.Sel.Name == "Engine"
+		}
+		return false
+	}
+	out := map[string]map[string]bool{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					at, ok := fld.Type.(*ast.ArrayType)
+					if !ok || at.Len != nil || !isEngineElem(at.Elt) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if out[ts.Name.Name] == nil {
+							out[ts.Name.Name] = map[string]bool{}
+						}
+						out[ts.Name.Name][name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shardSliceExpr reports whether e is recv.<field> for one of the
+// struct's shard-fleet fields, returning the field name.
+func shardSliceExpr(e ast.Expr, recv *ast.Object, fields map[string]bool) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !fields[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkShardFanOut applies rule 3: within a shard coordinator's
+// methods, an InvalidateTrajectories/ResetCache call on an indexed
+// shard (recv.shards[i].ResetCache()) is only legal when the index is
+// the key variable of an enclosing `for i := range recv.shards` loop —
+// i.e. when the method is fanning the clear across the whole fleet.
+// Range-over-element loops (for _, sh := range recv.shards) never
+// index and stay silent by construction.
+func checkShardFanOut(p *Package) []Finding {
+	shardStructs := collectShardStructs(p)
+	if len(shardStructs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recvType, _ := recvTypeName(fd)
+			fields := shardStructs[recvType]
+			if fields == nil {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			// Index variables that walk the full fleet: the key of a
+			// `for i := range recv.<shardField>` statement.
+			fanKeys := map[*ast.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, ok := shardSliceExpr(rs.X, recv, fields); !ok {
+					return true
+				}
+				if key, ok := rs.Key.(*ast.Ident); ok && key.Obj != nil {
+					fanKeys[key.Obj] = true
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "InvalidateTrajectories", "ResetCache":
+				default:
+					return true
+				}
+				ix, ok := sel.X.(*ast.IndexExpr)
+				if !ok {
+					return true
+				}
+				field, ok := shardSliceExpr(ix.X, recv, fields)
+				if !ok {
+					return true
+				}
+				if id, ok := ix.Index.(*ast.Ident); ok && id.Obj != nil && fanKeys[id.Obj] {
+					return true // full fan-out via range key
+				}
+				out = append(out, p.finding("cacheinvalidate", call,
+					"%s on a single indexed shard of %s.%s; invalidation must fan out over every shard (range the fleet), or siblings keep stale caches",
+					sel.Sel.Name, recvType, field))
+				return true
+			})
 		}
 	}
 	return out

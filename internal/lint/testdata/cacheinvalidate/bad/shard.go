@@ -1,0 +1,39 @@
+// Shard-fleet coordinators that clear a single shard's caches —
+// rule 3 of the cacheinvalidate analyzer must flag each site.
+package bad
+
+import (
+	"mogis/internal/core"
+)
+
+// Sharded fans queries across per-shard engines.
+type Sharded struct {
+	shards []*core.Engine
+}
+
+// InvalidateTrajectories clears only the first shard; its siblings
+// keep answering from stale trajectories (rule 3).
+func (s *Sharded) InvalidateTrajectories(table string) {
+	s.shards[0].InvalidateTrajectories(table) // want
+}
+
+// DropShard clears one indexed shard outside any fleet-wide loop
+// (rule 3): the index is a parameter, not a range key.
+func (s *Sharded) DropShard(i int, table string) {
+	s.shards[i].InvalidateTrajectories(table) // want
+}
+
+// ResetFirst resets a single shard's caches while the rest of the
+// fleet keeps its derived state (rule 3).
+func (s *Sharded) ResetFirst() {
+	s.shards[0].ResetCache() // want
+}
+
+// PartialReset ranges the fleet but indexes with an unrelated
+// variable, so only one shard is ever cleared (rule 3).
+func (s *Sharded) PartialReset(victim int) {
+	for i := range s.shards {
+		_ = i
+		s.shards[victim].ResetCache() // want
+	}
+}

@@ -1,0 +1,36 @@
+// Shard-fleet coordinators that fan every invalidation across the
+// whole fleet; rule 3 of cacheinvalidate must stay silent.
+package good
+
+import (
+	"mogis/internal/core"
+)
+
+// Sharded fans queries across per-shard engines.
+type Sharded struct {
+	shards []*core.Engine
+	global *core.Engine
+}
+
+// InvalidateTrajectories fans the clear through every shard via the
+// element variable — the coordinator's canonical shape.
+func (s *Sharded) InvalidateTrajectories(table string) {
+	s.global.InvalidateTrajectories(table)
+	for _, sh := range s.shards {
+		sh.InvalidateTrajectories(table)
+	}
+}
+
+// ResetCache walks the fleet by index; the range key covers every
+// shard, so the indexed call is a full fan-out.
+func (s *Sharded) ResetCache() {
+	for i := range s.shards {
+		s.shards[i].ResetCache()
+	}
+}
+
+// Shard reads one shard without touching its caches — routing a query
+// to the owning shard is fine; only invalidation must fan out.
+func (s *Sharded) Shard(i int) *core.Engine {
+	return s.shards[i]
+}

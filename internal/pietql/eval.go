@@ -26,8 +26,11 @@ import (
 // precomputed overlay (Section 5's evaluation strategy), and the MDX
 // cube catalog.
 type System struct {
-	Ctx    *fo.Context
-	Engine *core.Engine
+	Ctx *fo.Context
+	// Engine answers the moving-object queries: either an unsharded
+	// *core.Engine or a *core.ShardedEngine (pietql -shards) — both
+	// answer bit-identically behind core.Querier.
+	Engine core.Querier
 	// Kinds maps each Piet-QL-visible layer name to the geometry kind
 	// its variable ranges over.
 	Kinds map[string]layer.Kind
