@@ -76,13 +76,15 @@ cover:
 	$(GO) test -cover ./...
 
 # The benchmark baseline: full-size P2 (summable vs integration), P9
-# (parallel query path), P10 (pre-aggregated grid), and P12 (sharded
-# scatter-gather sweep), with machine-readable ns/op in BENCH_PR7.json
-# and a delta table against the committed BENCH_PR3.json baseline.
-# Fails if any tracked ns_per_op metric regresses more than 2x; runs
-# whose recorded gomaxprocs differs from the baseline's warn instead.
+# (parallel query path), P10 (pre-aggregated grid), P12 (sharded
+# scatter-gather sweep), and P13 (per-cell temporal index), with
+# machine-readable {meta, reports} JSON in BENCH_PR8.json and a delta
+# table against the committed BENCH_PR7.json baseline. Fails if any
+# tracked ns_per_op metric regresses more than 2x; runs whose recorded
+# gomaxprocs (or other meta config) differs from the baseline's warn
+# instead.
 bench:
-	$(GO) run ./cmd/mobench -full -exp P2,P9,P10,P12 -json BENCH_PR7.json -baseline BENCH_PR3.json
+	$(GO) run ./cmd/mobench -full -exp P2,P9,P10,P12,P13 -json BENCH_PR8.json -baseline BENCH_PR7.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,7 +2,7 @@
 // and recorded in EXPERIMENTS.md: the paper-artifact reproductions
 // E1–E6 (Table 1, Figure 1, Figure 2, Remark 1, the Section-4 example
 // queries, the Section-5 Piet-QL pipeline) and the performance
-// studies P1–P10.
+// studies P1–P13.
 //
 // Usage:
 //
@@ -13,7 +13,9 @@
 //	mobench -full         # larger sweeps for the P-experiments
 //	mobench -workers 8    # cap of the P9 worker-count sweep
 //	mobench -shards 8     # cap of the P12 shard-count sweep (0 = up to GOMAXPROCS)
-//	mobench -json out.json  # also write the reports as JSON
+//	mobench -grid-cells 32  # force the grid size in P10/P13's accelerated phases
+//	mobench -time-buckets 64  # force the per-cell time-bucket count (P10/P13)
+//	mobench -json out.json  # also write the reports as JSON ({meta, reports})
 //	mobench -baseline BENCH_PR2.json  # print metric deltas vs a prior run;
 //	                      # fail if any ns_per_op metric regresses >2x
 //	mobench -metrics      # dump engine metrics (Prometheus text) on exit
@@ -47,11 +49,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P12, A1)")
+	exp := flag.String("exp", "", "run experiments by id, comma-separated (E1..E6, P1..P13, A1)")
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "run the performance studies at full size")
 	workers := flag.Int("workers", 0, "largest worker count in the P9 fan-out sweep (0 = default {1,2,4})")
 	shards := flag.Int("shards", 0, "largest shard count in the P12 scatter-gather sweep (0 = doubling up to GOMAXPROCS)")
+	gridCells := flag.Int("grid-cells", 0, "grid size the grid experiments (P10, P13) use in their accelerated phases (0 = adaptive auto-sizing)")
+	timeBuckets := flag.Int("time-buckets", 0, "per-cell time buckets for the grid experiments (0 = adaptive, <0 disables the temporal index)")
 	jsonPath := flag.String("json", "", "write the reports (including Metrics) to this file as JSON")
 	baseline := flag.String("baseline", "", "compare metrics against a prior -json file; exit nonzero if a ns_per_op metric regresses >2x")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
@@ -88,9 +92,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	experiments.SetGridDefaults(*gridCells, *timeBuckets)
+	meta := benchMeta{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Full:        *full,
+		Workers:     *workers,
+		Shards:      *shards,
+		GridCells:   *gridCells,
+		TimeBuckets: *timeBuckets,
+	}
+
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
-	code := run(*exp, *full, *metrics, *workers, *shards, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile)
+	code := run(*exp, *full, *metrics, *workers, *shards, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile, meta)
 	if *statsPath != "" {
 		if err := writeStats(*statsPath, col); err != nil {
 			fmt.Fprintf(os.Stderr, "mobench: stats: %v\n", err)
@@ -177,6 +191,8 @@ func runOne(id string, full bool, workers, shards int) (experiments.Report, bool
 			return experiments.P11(2000), true
 		case "P12":
 			return experiments.P12(workerCounts(shards), 4000), true
+		case "P13":
+			return experiments.P13(4000), true
 		}
 	}
 	if id == "P9" {
@@ -188,7 +204,7 @@ func runOne(id string, full bool, workers, shards int) (experiments.Report, bool
 	return experiments.ByID(id)
 }
 
-func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline, cpuprofile, memprofile, tracefile string) int {
+func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline, cpuprofile, memprofile, tracefile string, meta benchMeta) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -243,7 +259,7 @@ func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline
 			experiments.E1(), experiments.E2(), experiments.E3(),
 			experiments.E4(), experiments.E5(), experiments.E6(),
 		}
-		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"} {
+		for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12", "P13"} {
 			r, _ := runOne(id, true, workers, shards)
 			reports = append(reports, r)
 		}
@@ -258,13 +274,13 @@ func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline
 		}
 	}
 	if jsonPath != "" {
-		if err := writeJSON(jsonPath, reports); err != nil {
+		if err := writeJSON(jsonPath, meta, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "mobench: json: %v\n", err)
 			return 2
 		}
 	}
 	if baseline != "" {
-		regressed, err := compareBaseline(os.Stdout, baseline, reports)
+		regressed, err := compareBaseline(os.Stdout, baseline, meta, reports)
 		if err != nil {
 			// A missing or unreadable baseline is a degraded run, not a
 			// failed one: first runs on a fresh checkout have no prior
@@ -283,25 +299,85 @@ func run(exp string, full, metrics bool, workers, shards int, jsonPath, baseline
 	return 0
 }
 
+// benchMeta records the run configuration alongside the reports so a
+// later -baseline comparison can tell apples from oranges: timings
+// measured under different shard counts, grid sizes or time-bucket
+// configs drift for configuration reasons, not performance ones.
+type benchMeta struct {
+	GoMaxProcs  int  `json:"gomaxprocs"`
+	Full        bool `json:"full"`
+	Workers     int  `json:"workers"`
+	Shards      int  `json:"shards"`
+	GridCells   int  `json:"grid_cells"`
+	TimeBuckets int  `json:"time_buckets"`
+}
+
+// benchFile is the on-disk shape of a -json run: a meta header plus
+// the reports. Older BENCH_*.json files are a bare report array;
+// readBench accepts both.
+type benchFile struct {
+	Meta    benchMeta            `json:"meta"`
+	Reports []experiments.Report `json:"reports"`
+}
+
+// readBench parses a benchmark JSON file in either shape. The hasMeta
+// result reports whether the file carried a meta header (legacy bare
+// arrays have no config to compare against).
+func readBench(b []byte) (benchFile, bool, error) {
+	var bf benchFile
+	if err := json.Unmarshal(b, &bf); err == nil && bf.Reports != nil {
+		return bf, true, nil
+	}
+	var old []experiments.Report
+	if err := json.Unmarshal(b, &old); err != nil {
+		return benchFile{}, false, err
+	}
+	return benchFile{Reports: old}, false, nil
+}
+
+// warnMetaDrift prints one warning per meta field that differs between
+// the baseline run and this one. Drift never fails the run: the
+// configs measured different setups, so the deltas are informational.
+func warnMetaDrift(path string, old, cur benchMeta) {
+	drift := func(field string, oldV, newV any) {
+		if oldV != newV {
+			fmt.Fprintf(os.Stderr,
+				"mobench: warning: baseline %s ran with %s=%v, this run %s=%v; deltas reflect config drift too\n",
+				path, field, oldV, field, newV)
+		}
+	}
+	drift("gomaxprocs", old.GoMaxProcs, cur.GoMaxProcs)
+	drift("full", old.Full, cur.Full)
+	drift("workers", old.Workers, cur.Workers)
+	drift("shards", old.Shards, cur.Shards)
+	drift("grid-cells", old.GridCells, cur.GridCells)
+	drift("time-buckets", old.TimeBuckets, cur.TimeBuckets)
+}
+
 // compareBaseline prints a per-metric delta table between a prior
 // -json run and this one, matching metrics by (experiment id, metric
 // key). Metrics present on only one side are skipped: they are new or
-// retired, not regressions. When an experiment recorded a
-// "gomaxprocs" metric on both sides and the values differ, its timing
-// and speedup deltas are shown but never flagged: the runs measured
-// different parallel hardware, so a slowdown is expected, not a
-// regression (mobench warns instead of failing). Returns true if any
-// comparable metric whose name contains "ns_per_op" got more than 2x
-// slower.
-func compareBaseline(w *os.File, path string, reports []experiments.Report) (bool, error) {
+// retired, not regressions. When the baseline carries a meta header,
+// every differing config field (shards, grid cells, time buckets, …)
+// is warned about first. When an experiment recorded a "gomaxprocs"
+// metric on both sides and the values differ, its timing and speedup
+// deltas are shown but never flagged: the runs measured different
+// parallel hardware, so a slowdown is expected, not a regression
+// (mobench warns instead of failing). Returns true if any comparable
+// metric whose name contains "ns_per_op" got more than 2x slower.
+func compareBaseline(w *os.File, path string, meta benchMeta, reports []experiments.Report) (bool, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
 	}
-	var old []experiments.Report
-	if err := json.Unmarshal(b, &old); err != nil {
+	bf, hasMeta, err := readBench(b)
+	if err != nil {
 		return false, err
 	}
+	if hasMeta {
+		warnMetaDrift(path, bf.Meta, meta)
+	}
+	old := bf.Reports
 	oldMets := make(map[string]map[string]float64, len(old))
 	for _, r := range old {
 		oldMets[r.ID] = r.Metrics
@@ -374,8 +450,8 @@ func fmtMetric(v float64) string {
 	return fmt.Sprintf("%.3f", v)
 }
 
-func writeJSON(path string, reports []experiments.Report) error {
-	b, err := json.MarshalIndent(reports, "", "  ")
+func writeJSON(path string, meta benchMeta, reports []experiments.Report) error {
+	b, err := json.MarshalIndent(benchFile{Meta: meta, Reports: reports}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -85,6 +85,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	noOverlay := flag.Bool("no-overlay", false, "disable the precomputed overlay (naive geometry)")
 	shards := flag.Int("shards", 0, "partition each MOFT across N shard engines (scatter-gather with a deterministic merge; bit-identical answers); 0 or 1 = unsharded")
+	timeBuckets := flag.Int("time-buckets", 0, "per-cell time buckets of the pre-aggregated sample grid (0 = adaptive, <0 disables the temporal index, n > 0 forces n buckets)")
 	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format on exit")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve the telemetry HTTP pages (/metrics, /debug/stats, /debug/queries, /debug/traces/{id}) on this address; empty disables the listener")
 	queryLogPath := flag.String("query-log", "", "append the structured JSONL query log to this file (\"-\" for stderr)")
@@ -150,6 +151,11 @@ Flags:
 		// Swap the moving-object engine for a sharded coordinator over
 		// the same model context; answers stay bit-identical.
 		sys.Engine = core.NewSharded(sys.Ctx, *shards)
+	}
+	if *timeBuckets != 0 {
+		if tb, ok := sys.Engine.(interface{ SetTimeBuckets(int) }); ok {
+			tb.SetTimeBuckets(*timeBuckets)
+		}
 	}
 
 	switch {

@@ -8,7 +8,9 @@
 //   - interior cells — not touched by any polygon boundary segment and
 //     with their center inside the polygon: every sample in them is
 //     inside, so the pre-aggregated count/bitset answers in O(1) when
-//     the time window is vacuous, and a time-only scan otherwise;
+//     the time window is vacuous, and the per-cell temporal index
+//     (see temporal.go) resolves a proper window with two binary
+//     searches plus a prefix-sum subtraction otherwise;
 //   - boundary cells — touched by a boundary segment: refined with an
 //     exact point-in-polygon test per in-window sample;
 //   - exterior cells — skipped entirely.
@@ -43,6 +45,16 @@ type Config struct {
 	// sample count (targeting ~64 samples per cell, side clamped to
 	// [8, 256]).
 	NX, NY int
+	// TimeBuckets controls the per-cell temporal index: 0 auto-sizes
+	// from the time extent, sample density, and WindowHint; a positive
+	// value forces that bucket count (clamped to [1, 256]); a negative
+	// value disables the temporal index, reverting non-vacuous windows
+	// to per-row time filters.
+	TimeBuckets int
+	// WindowHint is the typical query-interval width in model time
+	// (e.g. telemetry's observed mean window) used by auto sizing; 0
+	// means unknown.
+	WindowHint int64
 }
 
 // targetPerCell is the sample count the default sizing aims at per
@@ -71,6 +83,26 @@ type Grid struct {
 	presence []uint64
 
 	minT, maxT int64
+
+	// Temporal index (absent when nb == 0): trows re-lists each
+	// cell's rows in (instant, row) order under the same cellStart
+	// offsets; bktOff[c*(nb+1)+b] counts cell c's rows in buckets
+	// [0, b) (a per-cell prefix sum over fixed-width time buckets of
+	// width bktW); bktPresence holds one object-presence bitset per
+	// (cell, bucket).
+	nb          int
+	bktW        int64
+	trows       []int32
+	bktOff      []int32
+	bktPresence []uint64
+}
+
+// Stats reports the row-level work a query did: Rows counts the
+// sample rows examined one at a time (time filters, fringe-bucket
+// refinement, exact point-in-polygon tests); answers taken from
+// pre-aggregates contribute nothing.
+type Stats struct {
+	Rows int64
 }
 
 // Build constructs the grid for a snapshot. An empty snapshot yields a
@@ -154,6 +186,9 @@ func BuildCtx(ctx context.Context, cols *moft.Columns, cfg Config) (*Grid, error
 		cursor[c]++
 		o := cols.Obj[i]
 		g.presence[int(c)*g.words+int(o>>6)] |= 1 << uint(o&63)
+	}
+	if err := g.buildTemporal(ctx, cfg, cellOfRow); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -303,21 +338,37 @@ func (g *Grid) timeVacuous(lo, hi int64) bool {
 // closed polygon with instant in [lo, hi] — exactly what a full scan
 // with per-sample ContainsPoint would count.
 func (g *Grid) CountSamples(pg geom.Polygon, lo, hi int64, met *obs.Metrics) int {
+	n, _ := g.CountSamplesStats(pg, lo, hi, met)
+	return n
+}
+
+// CountSamplesStats is CountSamples plus the row-level work done.
+func (g *Grid) CountSamplesStats(pg geom.Polygon, lo, hi int64, met *obs.Metrics) (int, Stats) {
 	met = metricsOrNop(met)
 	cv := g.Cover(pg)
 	met.AggGridQueries.Inc()
 	met.AggGridInteriorCells.Add(int64(len(cv.Interior)))
 	met.AggGridBoundaryCells.Add(int64(len(cv.Boundary)))
 	cols, total := g.cols, 0
+	var st Stats
 	if g.timeVacuous(lo, hi) {
 		for _, c := range cv.Interior {
 			total += int(g.cellStart[c+1] - g.cellStart[c])
 		}
 		met.AggGridInteriorSamples.Add(int64(total))
+	} else if g.nb > 0 {
+		met.AggGridTemporalQueries.Inc()
+		accepted := 0
+		for _, c := range cv.Interior {
+			accepted += g.temporalCount(c, lo, hi)
+		}
+		met.AggGridInteriorSamples.Add(int64(accepted))
+		total += accepted
 	} else {
 		accepted := 0
 		for _, c := range cv.Interior {
 			for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+				st.Rows++
 				if t := cols.T[row]; t >= lo && t <= hi {
 					accepted++
 				}
@@ -328,7 +379,7 @@ func (g *Grid) CountSamples(pg geom.Polygon, lo, hi int64, met *obs.Metrics) int
 	}
 	refined := int64(0)
 	for _, c := range cv.Boundary {
-		for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+		for _, row := range g.boundaryWindow(c, lo, hi, &st) {
 			if t := cols.T[row]; t < lo || t > hi {
 				continue
 			}
@@ -339,20 +390,55 @@ func (g *Grid) CountSamples(pg geom.Polygon, lo, hi int64, met *obs.Metrics) int
 		}
 	}
 	met.AggGridRefinedSamples.Add(refined)
-	return total
+	return total, st
+}
+
+// boundaryWindow returns the rows of boundary cell c a refinement must
+// examine for window [lo, hi]: with the temporal index present, the
+// time-sorted row list narrowed to the window by two binary searches;
+// otherwise the cell's full row list (callers re-filter by instant, so
+// both shapes refine the same samples). The returned rows are counted
+// into st.
+func (g *Grid) boundaryWindow(c int32, lo, hi int64, st *Stats) []int32 {
+	if g.nb == 0 {
+		rows := g.rows[g.cellStart[c]:g.cellStart[c+1]]
+		st.Rows += int64(len(rows))
+		return rows
+	}
+	rows := g.cellTRows(c)
+	i0 := 0
+	if lo > g.minT {
+		i0 = g.searchT(rows, lo)
+	}
+	i1 := len(rows)
+	if hi < g.maxT {
+		i1 = g.searchAfter(rows, hi)
+	}
+	if i0 > i1 {
+		i0 = i1
+	}
+	st.Rows += int64(i1 - i0)
+	return rows[i0:i1]
 }
 
 // ObjectsSampled returns, in ascending order, the distinct objects
 // with at least one sample inside the closed polygon during [lo, hi].
 // The result is nil when no object qualifies.
 func (g *Grid) ObjectsSampled(pg geom.Polygon, lo, hi int64, met *obs.Metrics) []moft.Oid {
+	out, _ := g.ObjectsSampledStats(pg, lo, hi, met)
+	return out
+}
+
+// ObjectsSampledStats is ObjectsSampled plus the row-level work done.
+func (g *Grid) ObjectsSampledStats(pg geom.Polygon, lo, hi int64, met *obs.Metrics) ([]moft.Oid, Stats) {
 	met = metricsOrNop(met)
 	cv := g.Cover(pg)
 	met.AggGridQueries.Inc()
 	met.AggGridInteriorCells.Add(int64(len(cv.Interior)))
 	met.AggGridBoundaryCells.Add(int64(len(cv.Boundary)))
+	var st Stats
 	if g.words == 0 {
-		return nil
+		return nil, st
 	}
 	cols := g.cols
 	set := make([]uint64, g.words)
@@ -365,9 +451,17 @@ func (g *Grid) ObjectsSampled(pg geom.Polygon, lo, hi int64, met *obs.Metrics) [
 			}
 			interior += int64(g.cellStart[c+1] - g.cellStart[c])
 		}
+	} else if g.nb > 0 {
+		met.AggGridTemporalQueries.Inc()
+		fringe0 := st.Rows
+		for _, c := range cv.Interior {
+			interior += g.temporalObjects(c, lo, hi, set, &st)
+		}
+		met.AggGridFringeSamples.Add(st.Rows - fringe0)
 	} else {
 		for _, c := range cv.Interior {
 			for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+				st.Rows++
 				if t := cols.T[row]; t >= lo && t <= hi {
 					o := cols.Obj[row]
 					set[o>>6] |= 1 << uint(o&63)
@@ -379,7 +473,7 @@ func (g *Grid) ObjectsSampled(pg geom.Polygon, lo, hi int64, met *obs.Metrics) [
 	met.AggGridInteriorSamples.Add(interior)
 	refined := int64(0)
 	for _, c := range cv.Boundary {
-		for _, row := range g.rows[g.cellStart[c]:g.cellStart[c+1]] {
+		for _, row := range g.boundaryWindow(c, lo, hi, &st) {
 			if t := cols.T[row]; t < lo || t > hi {
 				continue
 			}
@@ -402,5 +496,5 @@ func (g *Grid) ObjectsSampled(pg geom.Polygon, lo, hi int64, met *obs.Metrics) [
 			bitsw &= bitsw - 1
 		}
 	}
-	return out
+	return out, st
 }

@@ -227,13 +227,24 @@ func (tc *tableCache) aggGrid(ctx context.Context, e *Engine, table string) (*ag
 			return err
 		}
 		n := int(e.gridCells.Load())
-		g, err := agggrid.BuildCtx(ctx, cols, agggrid.Config{NX: n, NY: n})
+		cfg := agggrid.Config{NX: n, NY: n, TimeBuckets: int(e.timeBuckets.Load())}
+		if cfg.TimeBuckets == 0 {
+			// Adaptive bucket sizing consults the observed query
+			// windows of the interval-taking grid ops (GeoBlocks-style
+			// query-driven refinement); with no telemetry or no
+			// windowed queries yet, the hint stays 0 and sizing falls
+			// back to extent + density.
+			cfg.WindowHint = e.telemetry().MeanWindow(
+				"count_samples_inside", "objects_sampled_inside")
+		}
+		g, err := agggrid.BuildCtx(ctx, cols, cfg)
 		if err != nil {
 			return err
 		}
 		tc.grid = g
 		sp.SetCount("cells", int64(g.Cells()))
 		sp.SetCount("samples", int64(cols.Len()))
+		sp.SetCount("time_buckets", int64(g.TimeBuckets()))
 		e.metrics().AggGridBuilds.Inc()
 		return nil
 	})

@@ -87,6 +87,11 @@ type Engine struct {
 	// gridVerify cross-checks every grid-accelerated result against
 	// the slow path (the exact-identity gate).
 	gridVerify atomic.Bool
+	// timeBuckets configures the grid's per-cell temporal index
+	// (0 → auto-size from extent, density and telemetry's observed
+	// query windows, n > 0 → n buckets per cell, negative → temporal
+	// index disabled).
+	timeBuckets atomic.Int32
 
 	// isShard marks an engine owned by a ShardedEngine coordinator: its
 	// begin brackets chain to the coordinator's qctl (shared budget
@@ -197,6 +202,19 @@ func (e *Engine) SetAggGrid(n int) {
 
 // gridEnabled reports whether sample queries may use the grid.
 func (e *Engine) gridEnabled() bool { return e.gridCells.Load() >= 0 }
+
+// SetTimeBuckets configures the per-cell temporal index of the sample
+// grid: n < 0 disables it (non-vacuous windows fall back to per-row
+// time filters), 0 restores adaptive sizing (seeded from the table's
+// time extent and sample density, refined by telemetry's observed
+// per-op query windows), n > 0 forces n buckets per cell. Like
+// SetAggGrid, the setting applies to grids built afterwards.
+func (e *Engine) SetTimeBuckets(n int) {
+	if n < 0 {
+		n = -1
+	}
+	e.timeBuckets.Store(int32(n))
+}
 
 // SetGridVerify toggles verify mode: every grid-accelerated result is
 // recomputed on the slow path and compared; a divergence increments
@@ -396,7 +414,10 @@ func (e *Engine) ObjectsSampledAt(ctx context.Context, table string, t timedim.I
 		if err := qc.step(ctx); err != nil {
 			return nil, err
 		}
-		out := g.ObjectsSampled(pg, int64(t), int64(t), e.metrics())
+		out, gst := g.ObjectsSampledStats(pg, int64(t), int64(t), e.metrics())
+		if err := qc.addRows(ctx, gst.Rows); err != nil {
+			return nil, err
+		}
 		if e.gridVerify.Load() {
 			slow, err := e.objectsSampledAtScan(ctx, qc, tbl, t, pg)
 			if err != nil {
@@ -660,6 +681,41 @@ func (e *Engine) ObjectsPassingThrough(ctx context.Context, table string, pg geo
 	qc, ctx, done := e.begin(ctx, "objects_passing_through", table)
 	defer done(&err)
 	e.countQuery(7)
+	qc.noteWindow(iv)
+	// Temporal prefilter: interpolated trajectories live inside the
+	// snapshot's sample time extent, so a window strictly disjoint from
+	// [minT, maxT] cannot intersect any trajectory — answer empty
+	// without building LITs or inside-intervals. Exact even for the
+	// boundary-graze semantics: clampTotal's closed clamp requires the
+	// window to touch the trajectory's time domain. Gated on the grid
+	// knob so SetAggGrid(-1) still measures the pure scan path.
+	if e.gridEnabled() {
+		tbl, terr := e.mctx.Table(table)
+		if terr != nil {
+			return nil, terr
+		}
+		cols, cerr := tbl.ColumnsCtx(ctx)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if lo, hi, ok := cols.TimeSpan(); ok && (iv.Hi < lo || iv.Lo > hi) {
+			e.metrics().AggGridTimeSkips.Inc()
+			if e.gridVerify.Load() {
+				slow, serr := e.objectsPassingThroughFull(ctx, qc, table, pg, iv)
+				if serr != nil {
+					return nil, serr
+				}
+				return e.checkOids(nil, slow), nil
+			}
+			return nil, nil
+		}
+	}
+	return e.objectsPassingThroughFull(ctx, qc, table, pg, iv)
+}
+
+// objectsPassingThroughFull is ObjectsPassingThrough past the temporal
+// prefilter: inside-intervals intersected with the query window.
+func (e *Engine) objectsPassingThroughFull(ctx context.Context, qc *qctl, table string, pg geom.Polygon, iv timedim.Interval) (out []moft.Oid, err error) {
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -695,6 +751,7 @@ func (e *Engine) ObjectsSampledInside(ctx context.Context, table string, pg geom
 	qc, ctx, done := e.begin(ctx, "objects_sampled_inside", table)
 	defer done(&err)
 	e.countQuery(7)
+	qc.noteWindow(iv)
 	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return nil, err
@@ -707,7 +764,10 @@ func (e *Engine) ObjectsSampledInside(ctx context.Context, table string, pg geom
 		if err := qc.step(ctx); err != nil {
 			return nil, err
 		}
-		out := g.ObjectsSampled(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		out, gst := g.ObjectsSampledStats(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		if err := qc.addRows(ctx, gst.Rows); err != nil {
+			return nil, err
+		}
 		if e.gridVerify.Load() {
 			slow, err := e.objectsSampledInsideScan(ctx, qc, tbl, pg, iv)
 			if err != nil {
@@ -775,6 +835,7 @@ func (e *Engine) CountSamplesInside(ctx context.Context, table string, pg geom.P
 	qc, ctx, done := e.begin(ctx, "count_samples_inside", table)
 	defer done(&err)
 	e.countQuery(4)
+	qc.noteWindow(iv)
 	tbl, err := e.mctx.Table(table)
 	if err != nil {
 		return 0, err
@@ -787,7 +848,10 @@ func (e *Engine) CountSamplesInside(ctx context.Context, table string, pg geom.P
 		if err := qc.step(ctx); err != nil {
 			return 0, err
 		}
-		n := g.CountSamples(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		n, gst := g.CountSamplesStats(pg, int64(iv.Lo), int64(iv.Hi), e.metrics())
+		if err := qc.addRows(ctx, gst.Rows); err != nil {
+			return 0, err
+		}
 		if e.gridVerify.Load() {
 			slow, err := e.countSamplesScan(ctx, qc, tbl, pg, iv)
 			if err != nil {
@@ -865,6 +929,7 @@ func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Poly
 	qc, ctx, done := e.begin(ctx, "time_spent_inside", table)
 	defer done(&err)
 	e.countQuery(7)
+	qc.noteWindow(iv)
 	tc, err := e.table(ctx, qc, table)
 	if err != nil {
 		return nil, err
@@ -892,6 +957,7 @@ func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Poly
 //moglint:deterministic
 func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, center geom.Point, r float64, iv timedim.Interval) (out map[moft.Oid]float64, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_ever_within_radius", table)
+	qc.noteWindow(iv)
 	defer done(&err)
 	e.countQuery(7)
 	tc, err := e.table(ctx, qc, table)
@@ -952,6 +1018,7 @@ func (e *Engine) CountPassingThroughGeometries(ctx context.Context, table, layer
 	qc, ctx, done := e.begin(ctx, "count_passing_through_geometries", table)
 	defer done(&err)
 	e.countQuery(7)
+	qc.noteWindow(iv)
 	l, ok := e.mctx.GIS().Layer(layerName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown layer %q", layerName)

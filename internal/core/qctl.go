@@ -10,6 +10,7 @@ import (
 	"mogis/internal/faultpoint"
 	"mogis/internal/qerr"
 	"mogis/internal/telemetry"
+	"mogis/internal/timedim"
 )
 
 // This file implements the engine's per-query control plane: the
@@ -92,6 +93,10 @@ type qctl struct {
 	results     atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// window is the query's time-interval width in model time
+	// (Hi-Lo+1), 0 for untimed queries; reported on the telemetry
+	// record so adaptive time-bucket sizing can observe the workload.
+	window atomic.Int64
 	// parent, when non-nil, is the coordinator-side tracker of the
 	// logical query this qctl is one shard of. Budget limits are
 	// enforced against the parent's counters so MaxRows/MaxResults
@@ -185,6 +190,20 @@ func (q *qctl) cacheHit(hit bool) {
 	}
 }
 
+// noteWindow records the width of the query's closed time interval on
+// the tracker (and, for a shard slice, on the logical query's
+// tracker). Inverted intervals record nothing. Nil-safe.
+func (q *qctl) noteWindow(iv timedim.Interval) {
+	if q == nil || iv.Hi < iv.Lo {
+		return
+	}
+	w := int64(iv.Hi-iv.Lo) + 1
+	q.window.Store(w)
+	if q.parent != nil {
+		q.parent.window.Store(w)
+	}
+}
+
 // step is the bare cooperative checkpoint: cancellation only.
 func (q *qctl) step(ctx context.Context) error {
 	return ctx.Err()
@@ -272,6 +291,7 @@ func (e *Engine) begin(ctx context.Context, op, table string) (*qctl, context.Co
 				CacheHits:   qc.cacheHits.Load(),
 				CacheMisses: qc.cacheMisses.Load(),
 				Shards:      qc.shardSnapshot(),
+				Window:      qc.window.Load(),
 			}
 			if *errp != nil {
 				rec.Err = (*errp).Error()

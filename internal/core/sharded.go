@@ -60,7 +60,33 @@ type ShardedEngine struct {
 
 	// pmu guards parts, the lazy per-table partition builds.
 	pmu   sync.RWMutex
-	parts map[string]*buildUnit
+	parts map[string]*partState
+}
+
+// partState is one table's partition: the single-flight latch plus
+// the per-shard sample-time spans recorded while the tuples streamed
+// through, which let interval queries skip shards whose extent cannot
+// touch the window. spans is written by the partition builder before
+// the latch closes and read only after ok(), so readers see a
+// complete slice.
+type partState struct {
+	unit  buildUnit
+	spans []shardSpan
+}
+
+// shardSpan is one shard's sample-time extent within a partitioned
+// table; n == 0 marks a shard that received no tuples.
+type shardSpan struct {
+	minT, maxT timedim.Instant
+	n          int64
+}
+
+// disjoint reports whether the closed query window cannot touch any
+// sample of the shard. Strict inequalities: a window that merely
+// grazes the extent boundary still runs the shard, preserving the
+// duration-0 graze semantics of the Type-7 queries.
+func (sp shardSpan) disjoint(iv timedim.Interval) bool {
+	return sp.n == 0 || iv.Hi < sp.minT || iv.Lo > sp.maxT
 }
 
 // NewSharded creates a coordinator with n shard engines over the
@@ -74,7 +100,7 @@ func NewSharded(mctx *fo.Context, n int) *ShardedEngine {
 	se := &ShardedEngine{
 		mctx:   mctx,
 		global: New(mctx),
-		parts:  make(map[string]*buildUnit),
+		parts:  make(map[string]*partState),
 	}
 	for i := 0; i < n; i++ {
 		sh := New(mctx.Derive())
@@ -165,6 +191,15 @@ func (se *ShardedEngine) SetGridVerify(on bool) {
 	}
 }
 
+// SetTimeBuckets fans the grid's temporal-index configuration to
+// every shard (and the routed engine).
+func (se *ShardedEngine) SetTimeBuckets(n int) {
+	se.global.SetTimeBuckets(n)
+	for _, sh := range se.shards {
+		sh.SetTimeBuckets(n)
+	}
+}
+
 // InvalidateTrajectories drops every cache derived from the table on
 // every shard and the routed engine, and schedules the table for
 // repartitioning on its next query (call after mutating the MOFT).
@@ -183,7 +218,7 @@ func (se *ShardedEngine) InvalidateTrajectories(table string) {
 // engine, and forgets every partition.
 func (se *ShardedEngine) ResetCache() {
 	se.pmu.Lock()
-	se.parts = make(map[string]*buildUnit)
+	se.parts = make(map[string]*partState)
 	se.pmu.Unlock()
 	se.global.ResetCache()
 	for _, sh := range se.shards {
@@ -228,20 +263,33 @@ func (se *ShardedEngine) shardOf(oid moft.Oid) int {
 	return int(mix64(uint64(oid)) % uint64(len(se.shards)))
 }
 
-// partEntry returns (creating if needed) the table's partition latch.
-func (se *ShardedEngine) partEntry(table string) *buildUnit {
+// partEntry returns (creating if needed) the table's partition state.
+func (se *ShardedEngine) partEntry(table string) *partState {
 	se.pmu.RLock()
-	u := se.parts[table]
+	st := se.parts[table]
 	se.pmu.RUnlock()
-	if u == nil {
+	if st == nil {
 		se.pmu.Lock()
-		if u = se.parts[table]; u == nil {
-			u = &buildUnit{}
-			se.parts[table] = u
+		if st = se.parts[table]; st == nil {
+			st = &partState{}
+			se.parts[table] = st
 		}
 		se.pmu.Unlock()
 	}
-	return u
+	return st
+}
+
+// spansFor returns the table's per-shard sample-time spans, nil until
+// a partition has completed (callers then skip nothing — the safe
+// fallback).
+func (se *ShardedEngine) spansFor(table string) []shardSpan {
+	se.pmu.RLock()
+	st := se.parts[table]
+	se.pmu.RUnlock()
+	if st == nil || !st.unit.ok() {
+		return nil
+	}
+	return st.spans
 }
 
 // dropParts forgets a table's partition latch so the next query
@@ -258,13 +306,13 @@ func (se *ShardedEngine) dropParts(table string) {
 // permanent failure (unknown table) drops the latch so a later query
 // can retry after the table appears.
 func (se *ShardedEngine) ensureParts(ctx context.Context, table string) error {
-	u := se.partEntry(table)
-	_, err := u.run(ctx, "core/shard-partition", func() error {
-		return se.partition(ctx, table)
+	st := se.partEntry(table)
+	_, err := st.unit.run(ctx, "core/shard-partition", func() error {
+		return se.partition(ctx, table, st)
 	})
 	if err != nil && !qerr.IsCancel(err) && !qerr.IsPanic(err) && !IsBudget(err) && !isInjected(err) {
 		se.pmu.Lock()
-		if se.parts[table] == u {
+		if se.parts[table] == st {
 			delete(se.parts, table)
 		}
 		se.pmu.Unlock()
@@ -275,7 +323,9 @@ func (se *ShardedEngine) ensureParts(ctx context.Context, table string) error {
 // partition splits the source table into one MOFT per shard (same
 // name, disjoint objects) and registers each slice with its shard's
 // context, invalidating any caches a previous generation left behind.
-func (se *ShardedEngine) partition(ctx context.Context, table string) error {
+// The per-shard sample-time spans are recorded on st while the tuples
+// stream through, ready for interval-time pruning.
+func (se *ShardedEngine) partition(ctx context.Context, table string, st *partState) error {
 	if err := faultpoint.Hit(faultpoint.CoreShardPartition); err != nil {
 		return err
 	}
@@ -287,18 +337,29 @@ func (se *ShardedEngine) partition(ctx context.Context, table string) error {
 	for i := range parts {
 		parts[i] = moft.New(table)
 	}
+	spans := make([]shardSpan, len(se.shards))
 	for i, tp := range tbl.Tuples() {
 		if i%checkEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		parts[se.shardOf(tp.Oid)].AddTuple(tp)
+		s := se.shardOf(tp.Oid)
+		parts[s].AddTuple(tp)
+		sp := &spans[s]
+		if sp.n == 0 || tp.T < sp.minT {
+			sp.minT = tp.T
+		}
+		if sp.n == 0 || tp.T > sp.maxT {
+			sp.maxT = tp.T
+		}
+		sp.n++
 	}
 	for i, sh := range se.shards {
 		sh.Context().AddTable(parts[i])
 		sh.InvalidateTrajectories(table)
 	}
+	st.spans = spans
 	return nil
 }
 
@@ -312,12 +373,24 @@ func (se *ShardedEngine) partition(ctx context.Context, table string) error {
 // wins, falling back to the first error — so the caller's answer does
 // not depend on goroutine scheduling.
 func (se *ShardedEngine) scatter(ctx context.Context, qc *qctl, fn func(ctx context.Context, sh *Engine, idx int) error) error {
+	return se.scatterSkip(ctx, qc, nil, fn)
+}
+
+// scatterSkip is scatter with a shard predicate: shards for which skip
+// returns true are never spawned — the caller asserts their partition
+// cannot contribute to the answer. Skipped shards still occupy their
+// attribution slot (with zero load), so the logical query keeps one
+// telemetry record covering all shards regardless of pruning.
+func (se *ShardedEngine) scatterSkip(ctx context.Context, qc *qctl, skip func(i int) bool, fn func(ctx context.Context, sh *Engine, idx int) error) error {
 	qc.attachShards(len(se.shards))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, len(se.shards))
 	var wg sync.WaitGroup
 	for i, sh := range se.shards {
+		if skip != nil && skip(i) {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, sh *Engine) {
 			defer wg.Done()
@@ -345,6 +418,32 @@ func (se *ShardedEngine) scatter(ctx context.Context, qc *qctl, fn func(ctx cont
 		}
 	}
 	return first
+}
+
+// scatterWindow scatters an interval query, skipping (not spawning)
+// the shards whose recorded sample-time extent is disjoint from the
+// window. Sound for every sample- and interpolation-level entry point:
+// a shard's trajectories, beads and samples all live inside its
+// sample-time extent, so a strictly disjoint window gets an empty
+// answer from that shard. Until the table is partitioned the spans are
+// unknown and nothing is skipped.
+func (se *ShardedEngine) scatterWindow(ctx context.Context, qc *qctl, table string, iv timedim.Interval, fn func(ctx context.Context, sh *Engine, idx int) error) error {
+	spans := se.spansFor(table)
+	if len(spans) != len(se.shards) {
+		return se.scatterSkip(ctx, qc, nil, fn)
+	}
+	skipped := int64(0)
+	err := se.scatterSkip(ctx, qc, func(i int) bool {
+		if spans[i].disjoint(iv) {
+			skipped++
+			return true
+		}
+		return false
+	}, fn)
+	if skipped > 0 {
+		se.global.metrics().ShardTimeSkips.Add(skipped)
+	}
+	return err
 }
 
 // mergeOids concatenates the disjoint per-shard oid lists and sorts:
@@ -435,7 +534,7 @@ func (se *ShardedEngine) ObjectsSampledAt(ctx context.Context, table string, t t
 		return nil, err
 	}
 	parts := make([][]moft.Oid, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, timedim.Interval{Lo: t, Hi: t}, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.ObjectsSampledAt(ctx, table, t, pg)
 		parts[i] = r
 		return err
@@ -457,7 +556,7 @@ func (se *ShardedEngine) ObjectsInterpolatedAt(ctx context.Context, table string
 		return nil, err
 	}
 	parts := make([][]moft.Oid, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, timedim.Interval{Lo: t, Hi: t}, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.ObjectsInterpolatedAt(ctx, table, t, pg)
 		parts[i] = r
 		return err
@@ -502,11 +601,12 @@ func (se *ShardedEngine) ObjectsPassingThrough(ctx context.Context, table string
 	qc, ctx, done := se.global.begin(ctx, "objects_passing_through", table)
 	defer done(&err)
 	se.global.countQuery(7)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return nil, err
 	}
 	parts := make([][]moft.Oid, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.ObjectsPassingThrough(ctx, table, pg, iv)
 		parts[i] = r
 		return err
@@ -525,11 +625,12 @@ func (se *ShardedEngine) ObjectsSampledInside(ctx context.Context, table string,
 	qc, ctx, done := se.global.begin(ctx, "objects_sampled_inside", table)
 	defer done(&err)
 	se.global.countQuery(7)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return nil, err
 	}
 	parts := make([][]moft.Oid, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.ObjectsSampledInside(ctx, table, pg, iv)
 		parts[i] = r
 		return err
@@ -547,11 +648,12 @@ func (se *ShardedEngine) CountSamplesInside(ctx context.Context, table string, p
 	qc, ctx, done := se.global.begin(ctx, "count_samples_inside", table)
 	defer done(&err)
 	se.global.countQuery(4)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return 0, err
 	}
 	counts := make([]int, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		c, err := sh.CountSamplesInside(ctx, table, pg, iv)
 		counts[i] = c
 		return err
@@ -573,11 +675,12 @@ func (se *ShardedEngine) TimeSpentInside(ctx context.Context, table string, pg g
 	qc, ctx, done := se.global.begin(ctx, "time_spent_inside", table)
 	defer done(&err)
 	se.global.countQuery(7)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return nil, err
 	}
 	parts := make([]map[moft.Oid]float64, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.TimeSpentInside(ctx, table, pg, iv)
 		parts[i] = r
 		return err
@@ -596,11 +699,12 @@ func (se *ShardedEngine) ObjectsEverWithinRadius(ctx context.Context, table stri
 	qc, ctx, done := se.global.begin(ctx, "objects_ever_within_radius", table)
 	defer done(&err)
 	se.global.countQuery(7)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return nil, err
 	}
 	parts := make([]map[moft.Oid]float64, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		m, err := sh.ObjectsEverWithinRadius(ctx, table, center, r, iv)
 		parts[i] = m
 		return err
@@ -619,11 +723,12 @@ func (se *ShardedEngine) CountPassingThroughGeometries(ctx context.Context, tabl
 	qc, ctx, done := se.global.begin(ctx, "count_passing_through_geometries", table)
 	defer done(&err)
 	se.global.countQuery(7)
+	qc.noteWindow(iv)
 	if err := se.ensureParts(ctx, table); err != nil {
 		return 0, err
 	}
 	counts := make([]int, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		c, err := sh.CountPassingThroughGeometries(ctx, table, layerName, ids, iv)
 		counts[i] = c
 		return err
@@ -658,6 +763,7 @@ func (se *ShardedEngine) TrajectoryAggregate(ctx context.Context, table string, 
 func (se *ShardedEngine) ObjectsPossiblyPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (res PossiblyResult, err error) {
 	qc, ctx, done := se.global.begin(ctx, "objects_possibly_passing_through", table)
 	defer done(&err)
+	qc.noteWindow(iv)
 	if speedFactor < 1 {
 		return PossiblyResult{}, errSpeedFactor(speedFactor)
 	}
@@ -665,7 +771,7 @@ func (se *ShardedEngine) ObjectsPossiblyPassingThrough(ctx context.Context, tabl
 		return PossiblyResult{}, err
 	}
 	parts := make([]PossiblyResult, len(se.shards))
-	if err := se.scatter(ctx, qc, func(ctx context.Context, sh *Engine, i int) error {
+	if err := se.scatterWindow(ctx, qc, table, iv, func(ctx context.Context, sh *Engine, i int) error {
 		r, err := sh.ObjectsPossiblyPassingThrough(ctx, table, pg, iv, speedFactor)
 		parts[i] = r
 		return err

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mogis/internal/fo"
+	"mogis/internal/geom"
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/telemetry"
+	"mogis/internal/timedim"
+)
+
+// TestShardedTimeSkipDeterministic pins the shard time-pruning
+// contract on a hand-built two-shard table whose shards own disjoint
+// time ranges: a window touching only one shard's extent must skip the
+// other (counted in ShardTimeSkips) without spawning it, while the
+// logical query still produces exactly one telemetry record covering
+// every shard slot — and the answers stay identical to an unsharded
+// engine. White-box: shardOf picks oids that land on different shards.
+func TestShardedTimeSkipDeterministic(t *testing.T) {
+	pick := NewSharded(fo.NewContext(nil), 2)
+	var a, b moft.Oid
+	for oid := moft.Oid(1); a == 0 || b == 0; oid++ {
+		switch pick.shardOf(oid) {
+		case 0:
+			if a == 0 {
+				a = oid
+			}
+		case 1:
+			if b == 0 {
+				b = oid
+			}
+		}
+	}
+
+	// Shard of a owns instants [0,900], shard of b owns [100000,100900].
+	fm := moft.New("FM")
+	for i := 0; i < 10; i++ {
+		fm.Add(a, timedim.Instant(i*100), 25+float64(i), 25)
+		fm.Add(b, timedim.Instant(100000+i*100), 75-float64(i), 75)
+	}
+	ctx := fo.NewContext(nil).AddTable(fm)
+	se := NewSharded(ctx, 2)
+	met := obs.NewMetrics(obs.NewRegistry())
+	se.SetMetrics(met)
+	col := telemetry.New(telemetry.Config{Registry: obs.NewRegistry(), SampleEvery: -1})
+	se.SetTelemetry(col)
+	oracle := New(fo.NewContext(nil).AddTable(fm))
+
+	pg := geom.Polygon{Shell: geom.Ring{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(0, 100)}}
+	count := func(iv timedim.Interval) int {
+		t.Helper()
+		n, err := se.CountSamplesInside(context.Background(), "FM", pg, iv)
+		if err != nil {
+			t.Fatalf("CountSamplesInside %v: %v", iv, err)
+		}
+		want, err := oracle.CountSamplesInside(context.Background(), "FM", pg, iv)
+		if err != nil {
+			t.Fatalf("oracle %v: %v", iv, err)
+		}
+		if n != want {
+			t.Fatalf("CountSamplesInside %v = %d, unsharded = %d", iv, n, want)
+		}
+		return n
+	}
+
+	cases := []struct {
+		name  string
+		iv    timedim.Interval
+		want  int
+		skips int64 // ShardTimeSkips delta
+	}{
+		{"early window prunes late shard", timedim.Interval{Lo: 0, Hi: 900}, 10, 1},
+		{"late window prunes early shard", timedim.Interval{Lo: 100000, Hi: 100900}, 10, 1},
+		{"spanning window runs both", timedim.Interval{Lo: 0, Hi: 100900}, 20, 0},
+		{"gap between shards prunes both", timedim.Interval{Lo: 5000, Hi: 90000}, 0, 2},
+		{"boundary graze runs the grazed shard", timedim.Interval{Lo: 100900, Hi: 200000}, 1, 1},
+		{"one past the extent prunes it", timedim.Interval{Lo: 100901, Hi: 200000}, 0, 2},
+	}
+	for _, tc := range cases {
+		before := met.ShardTimeSkips.Value()
+		if got := count(tc.iv); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.name, got, tc.want)
+		}
+		if d := met.ShardTimeSkips.Value() - before; d != tc.skips {
+			t.Errorf("%s: ShardTimeSkips delta = %d, want %d", tc.name, d, tc.skips)
+		}
+	}
+
+	// Even with a shard pruned, the logical query records exactly one
+	// QueryRecord whose shard attribution covers the whole fleet.
+	recs := col.Recent(1)
+	if len(recs) != 1 {
+		t.Fatalf("Recent(1) returned %d records", len(recs))
+	}
+	if got := recs[0].Op; got != "count_samples_inside" {
+		t.Errorf("newest record op = %q, want count_samples_inside", got)
+	}
+	if len(recs[0].Shards) != se.Shards() {
+		t.Errorf("record has %d shard slots, want %d (skipped shards must stay attributed)",
+			len(recs[0].Shards), se.Shards())
+	}
+	if recs[0].Window != 200000-100901+1 {
+		t.Errorf("record window = %d, want %d", recs[0].Window, 200000-100901+1)
+	}
+
+	// Instant routing prunes by time too.
+	before := met.ShardTimeSkips.Value()
+	oids, err := se.ObjectsSampledAt(context.Background(), "FM", 0, pg)
+	if err != nil {
+		t.Fatalf("ObjectsSampledAt: %v", err)
+	}
+	if len(oids) != 1 || oids[0] != a {
+		t.Errorf("ObjectsSampledAt(0) = %v, want [%d]", oids, a)
+	}
+	if d := met.ShardTimeSkips.Value() - before; d != 1 {
+		t.Errorf("ObjectsSampledAt skip delta = %d, want 1", d)
+	}
+
+	// Mutating the table and fanning invalidation must rebuild the
+	// spans: the new sample sits in the gap both shards used to skip.
+	fm.Add(b, 5000, 50, 50)
+	se.InvalidateTrajectories("FM")
+	oracle.InvalidateTrajectories("FM")
+	if got := count(timedim.Interval{Lo: 5000, Hi: 90000}); got != 1 {
+		t.Errorf("post-invalidation gap count = %d, want 1 (stale shard spans?)", got)
+	}
+}

@@ -44,6 +44,7 @@ func errSpeedFactor(f float64) error {
 func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string, pg geom.Polygon, iv timedim.Interval, speedFactor float64) (res PossiblyResult, err error) {
 	qc, ctx, done := e.begin(ctx, "objects_possibly_passing_through", table)
 	defer done(&err)
+	qc.noteWindow(iv)
 	if speedFactor < 1 {
 		return PossiblyResult{}, errSpeedFactor(speedFactor)
 	}

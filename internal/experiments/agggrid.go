@@ -111,7 +111,9 @@ func P10(objects int) Report {
 		return fail(err)
 	}
 
-	eng.SetAggGrid(0) // accelerated: pre-aggregated grid
+	cells, buckets := gridDefaults()
+	eng.SetAggGrid(cells) // accelerated: pre-aggregated grid (0 = auto)
+	eng.SetTimeBuckets(buckets)
 	fastFull, fastDur, err := timedSweep(windows[0])
 	if err != nil {
 		return fail(err)

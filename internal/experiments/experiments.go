@@ -60,6 +60,31 @@ func qctx() context.Context {
 	return baseCtx
 }
 
+var (
+	tuneMu          sync.Mutex
+	tuneGridCells   int
+	tuneTimeBuckets int
+)
+
+// SetGridDefaults overrides the grid sizing the grid experiments (P10,
+// P13) apply in their accelerated phases: cells is the SetAggGrid
+// argument (0 keeps adaptive auto-sizing), buckets the SetTimeBuckets
+// argument (0 keeps adaptive, <0 disables the temporal index).
+// cmd/mobench uses it for -grid-cells/-time-buckets, and records the
+// values in the benchmark JSON so -baseline can warn on config drift.
+func SetGridDefaults(cells, buckets int) {
+	tuneMu.Lock()
+	defer tuneMu.Unlock()
+	tuneGridCells, tuneTimeBuckets = cells, buckets
+}
+
+// gridDefaults returns the configured accelerated-phase grid sizing.
+func gridDefaults() (cells, buckets int) {
+	tuneMu.Lock()
+	defer tuneMu.Unlock()
+	return tuneGridCells, tuneTimeBuckets
+}
+
 // Report is a rendered experiment result.
 type Report struct {
 	ID    string
@@ -760,7 +785,7 @@ func P8(iters int) Report {
 func All() []Report {
 	return []Report{
 		E1(), E2(), E3(), E4(), E5(), E6(),
-		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0), P11(0), P12(nil, 0),
+		P1(nil, 0), P2(), P3(nil), P4(nil, 0), P5(nil), P6(nil, 0), P7(nil), P8(0), P9(nil, 0), P10(0), P11(0), P12(nil, 0), P13(0),
 		A1(),
 	}
 }
@@ -804,6 +829,8 @@ func ByID(id string) (Report, bool) {
 		return P11(0), true
 	case "P12":
 		return P12(nil, 0), true
+	case "P13":
+		return P13(0), true
 	case "A1":
 		return A1(), true
 	default:
@@ -813,7 +840,7 @@ func ByID(id string) (Report, bool) {
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"}
+	ids := []string{"A1", "E1", "E2", "E3", "E4", "E5", "E6", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12", "P13"}
 	sort.Strings(ids)
 	return ids
 }

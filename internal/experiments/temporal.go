@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mogis/internal/moft"
+	"mogis/internal/obs"
+	"mogis/internal/timedim"
+	"mogis/internal/workload"
+)
+
+// P13 measures the per-cell temporal index on the region×interval
+// query shape: per low-income neighborhood, count the samples inside
+// and list the distinct objects sampled inside over a sweep of narrow
+// time windows. Without the index a non-vacuous window forces a
+// per-row time filter over every cell the polygon covers; with it an
+// interior cell resolves to two binary searches plus a prefix-sum
+// subtraction, and only the two fringe buckets refine row-by-row.
+//
+// Phase 1 (identity) runs the whole sweep — narrow windows plus
+// vacuous, instant, empty and out-of-extent edge cases — under
+// SetGridVerify(true) and gates on zero AggGridMismatches AND
+// reflect.DeepEqual against the scan-path oracle. Phase 2 (timing)
+// reruns the narrow windows verify-off on three configurations: scan
+// (grid disabled), grid without temporal index, and grid with the
+// adaptive temporal index. The temporal speedup over scan is recorded
+// for the benchmark baseline; pass gates on identity only, since
+// timing is host-dependent. objects defaults to 600; mobench -full
+// runs 4000 (400k samples).
+func P13(objects int) Report {
+	fail := func(err error) Report {
+		return Report{ID: "P13", Title: "per-cell temporal index on region×interval queries", Body: err.Error()}
+	}
+	if objects <= 0 {
+		objects = 600
+	}
+	const iters = 3
+	city := workload.GenCity(workload.CityConfig{Seed: 13, Cols: 8, Rows: 8})
+	fm := workload.GenTrajectories(city.Extent, workload.TrajConfig{
+		Seed: 13, Objects: objects, Samples: 100, Step: 60, Speed: 3,
+	})
+	_, eng := city.Context(fm)
+	met := obs.NewMetrics(obs.NewRegistry())
+	eng.SetMetrics(met)
+
+	lo, hi, _ := fm.TimeSpan()
+	span := int64(hi - lo)
+	polys := city.LowIncomePolygons()
+	if len(polys) == 0 {
+		return fail(fmt.Errorf("generated city has no low-income neighborhoods"))
+	}
+
+	// Narrow windows (span/64 wide, spread across the extent) keep the
+	// queries interior-dominated and non-vacuous: the shape the
+	// temporal index exists for.
+	const slices = 12
+	narrow := make([]timedim.Interval, 0, slices)
+	for i := 0; i < slices; i++ {
+		wlo := lo + timedim.Instant(int64(i)*span/slices)
+		whi := wlo + timedim.Instant(span/64)
+		if whi > hi {
+			whi = hi
+		}
+		narrow = append(narrow, timedim.Interval{Lo: wlo, Hi: whi})
+	}
+	edge := []timedim.Interval{
+		{Lo: lo, Hi: hi},             // vacuous: covers the whole extent
+		{Lo: lo - 100, Hi: hi + 100}, // vacuous with slack
+		{Lo: lo, Hi: lo},             // instant at the extent start
+		{Lo: hi, Hi: hi},             // instant at the extent end
+		{Lo: lo - 100, Hi: lo - 1},   // entirely before the extent
+		{Lo: hi + 1, Hi: hi + 100},   // entirely after the extent
+		{Lo: lo + timedim.Instant(span/2), Hi: lo + timedim.Instant(span/2)}, // interior instant
+	}
+	all := append(append([]timedim.Interval{}, narrow...), edge...)
+
+	type answer struct {
+		counts []int
+		objs   [][]moft.Oid
+	}
+	sweep := func(ivs []timedim.Interval) ([]answer, error) {
+		out := make([]answer, len(ivs))
+		for w, iv := range ivs {
+			a := answer{counts: make([]int, len(polys)), objs: make([][]moft.Oid, len(polys))}
+			for i, pg := range polys {
+				n, err := eng.CountSamplesInside(qctx(), "FM", pg, iv)
+				if err != nil {
+					return nil, err
+				}
+				o, err := eng.ObjectsSampledInside(qctx(), "FM", pg, iv)
+				if err != nil {
+					return nil, err
+				}
+				a.counts[i], a.objs[i] = n, o
+			}
+			out[w] = a
+		}
+		return out, nil
+	}
+	timedSweep := func(ivs []timedim.Interval) ([]answer, time.Duration, error) {
+		// One untimed pass warms caches (columnar snapshot or grid).
+		if _, err := sweep(ivs); err != nil {
+			return nil, 0, err
+		}
+		var a []answer
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			var err error
+			if a, err = sweep(ivs); err != nil {
+				return nil, 0, err
+			}
+		}
+		return a, time.Since(t0) / iters, nil
+	}
+
+	// Phase 1: exact identity. Scan-path oracle first, then the
+	// temporal-index path under verify mode (every grid answer is
+	// recomputed on the slow path; divergence increments
+	// AggGridMismatches and the slow result wins).
+	cells, buckets := gridDefaults()
+	eng.SetAggGrid(-1)
+	oracle, err := sweep(all)
+	if err != nil {
+		return fail(err)
+	}
+	eng.SetAggGrid(cells)
+	eng.SetTimeBuckets(buckets)
+	eng.SetGridVerify(true)
+	verified, err := sweep(all)
+	if err != nil {
+		return fail(err)
+	}
+	eng.SetGridVerify(false)
+	identity := reflect.DeepEqual(oracle, verified)
+	mismatches := met.AggGridMismatches.Value()
+
+	// Phase 2: timing on the narrow windows only.
+	eng.SetAggGrid(-1)
+	eng.ResetCache()
+	scanAns, scanDur, err := timedSweep(narrow)
+	if err != nil {
+		return fail(err)
+	}
+	eng.SetAggGrid(cells)
+	eng.SetTimeBuckets(-1) // grid on, temporal index off: per-row time filter
+	eng.ResetCache()
+	rowAns, rowDur, err := timedSweep(narrow)
+	if err != nil {
+		return fail(err)
+	}
+	eng.SetTimeBuckets(buckets) // adaptive temporal index (0 = auto)
+	eng.ResetCache()
+	bktAns, bktDur, err := timedSweep(narrow)
+	if err != nil {
+		return fail(err)
+	}
+	timingIdent := reflect.DeepEqual(scanAns, rowAns) && reflect.DeepEqual(scanAns, bktAns)
+
+	temporalQ := met.AggGridTemporalQueries.Value()
+	fringe := met.AggGridFringeSamples.Value()
+	interior := met.AggGridInteriorCells.Value()
+	speedup := float64(scanDur) / float64(bktDur)
+	vsRow := float64(rowDur) / float64(bktDur)
+	pass := identity && timingIdent && mismatches == 0 && temporalQ > 0 && interior > 0
+
+	mets := map[string]float64{
+		"gomaxprocs":           float64(runtime.GOMAXPROCS(0)),
+		"objects":              float64(objects),
+		"samples":              float64(fm.Len()),
+		"polygons":             float64(len(polys)),
+		"windows":              float64(len(all)),
+		"scan_ns_per_op":       float64(scanDur.Nanoseconds()),
+		"grid_row_ns_per_op":   float64(rowDur.Nanoseconds()),
+		"temporal_ns_per_op":   float64(bktDur.Nanoseconds()),
+		"temporal_speedup":     speedup,
+		"temporal_vs_row_scan": vsRow,
+		"temporal_queries":     float64(temporalQ),
+		"fringe_samples":       float64(fringe),
+		"mismatches":           float64(mismatches),
+	}
+
+	ident := func(ok bool) string {
+		if ok {
+			return "exact"
+		}
+		return "MISMATCH"
+	}
+	rows := []Row{
+		{Label: "columnar scan", Values: []string{fmtDur(scanDur), "1.00x", "oracle"}},
+		{Label: "grid, per-row time filter", Values: []string{fmtDur(rowDur),
+			fmt.Sprintf("%.2fx", float64(scanDur)/float64(rowDur)), ident(reflect.DeepEqual(scanAns, rowAns))}},
+		{Label: "grid + temporal index", Values: []string{fmtDur(bktDur),
+			fmt.Sprintf("%.2fx", speedup), ident(reflect.DeepEqual(scanAns, bktAns))}},
+	}
+	body := Table([]string{"path", "sweep (count+objects, narrow windows)", "speedup", "identity"}, rows)
+	body += fmt.Sprintf("  workload: %d objects, %d samples, %d polygons × %d windows (%d narrow + %d edge cases)\n",
+		objects, fm.Len(), len(polys), len(all), len(narrow), len(edge))
+	body += fmt.Sprintf("  verify sweep: %d temporal-index answers, %d fringe samples refined, %d mismatches (%s vs oracle)\n",
+		temporalQ, fringe, mismatches, ident(identity))
+	body += "  pass requires exact identity (verify mode + DeepEqual oracle), zero mismatches, and temporal-index\n"
+	body += "  hits > 0; the speedup is recorded for the benchmark baseline, not gated (host-dependent)\n"
+	return Report{
+		ID:      "P13",
+		Title:   "per-cell temporal index vs scan on region×interval aggregates",
+		Body:    body,
+		Pass:    pass,
+		Metrics: mets,
+	}
+}

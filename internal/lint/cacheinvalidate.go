@@ -28,6 +28,15 @@ import (
 //     whole slice. Clearing one shard's caches while its siblings keep
 //     stale trajectories splits the fleet — invalidation must fan out
 //     through the coordinator.
+//  4. A coordinator that also caches derived per-table state in a map
+//     field (like core.ShardedEngine's partition map, which carries
+//     the per-shard time spans behind interval-time pruning and the
+//     grids' temporal indexes): every exported method that fans
+//     InvalidateTrajectories/ResetCache across the fleet must also
+//     clear each map field — by deleting from it, reassigning it, or
+//     calling a method of the type that does. Invalidating the shards
+//     while keeping the coordinator's derived map lets stale partition
+//     state (time spans, cached units) outlive the data it described.
 var AnalyzerCacheInvalidate = &Analyzer{
 	Name: "cacheinvalidate",
 	Doc:  "table mutations must clear snapshots / invalidate engine caches",
@@ -40,6 +49,7 @@ func runCacheInvalidate(pkgs []*Package) []Finding {
 		out = append(out, checkSnapshotClearing(p)...)
 		out = append(out, checkEngineInvalidation(p)...)
 		out = append(out, checkShardFanOut(p)...)
+		out = append(out, checkCoordinatorMapClear(p)...)
 	}
 	return out
 }
@@ -563,6 +573,174 @@ func checkShardFanOut(p *Package) []Finding {
 					sel.Sel.Name, recvType, field))
 				return true
 			})
+		}
+	}
+	return out
+}
+
+// --- rule 4: coordinator derived-map clearing -------------------------
+
+// collectMapFields returns struct name -> map-typed field names in
+// declaration order for every struct of the package.
+func collectMapFields(p *Package) map[string][]string {
+	out := map[string][]string{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					if _, ok := fld.Type.(*ast.MapType); !ok {
+						continue
+					}
+					for _, name := range fld.Names {
+						out[ts.Name.Name] = append(out[ts.Name.Name], name.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fansInvalidation reports whether the body ranges a shard-fleet field
+// of recv and calls InvalidateTrajectories/ResetCache inside the loop,
+// i.e. the method is an invalidation fan-out across the fleet.
+func fansInvalidation(fd *ast.FuncDecl, recv *ast.Object, fields map[string]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, ok := shardSliceExpr(rs.X, recv, fields); !ok {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "InvalidateTrajectories", "ResetCache":
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// clearsMapField reports whether the body deletes from or reassigns
+// recv.<field>, or (when methods is non-nil) calls a method on recv
+// that does (one level).
+func clearsMapField(fd *ast.FuncDecl, recv *ast.Object, field string, methods map[string]*ast.FuncDecl) bool {
+	if recv == nil {
+		return false
+	}
+	isRecvMap := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Obj == recv
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if isRecvMap(lhs) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			// delete(recv.field, key)
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "delete" && len(v.Args) == 2 && isRecvMap(v.Args[0]) {
+				found = true
+				return false
+			}
+			// recv.other() where other clears the map (one level).
+			if methods != nil {
+				if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+					if rid, ok := sel.X.(*ast.Ident); ok && rid.Obj == recv {
+						if callee, ok := methods[sel.Sel.Name]; ok && callee != fd {
+							if clearsMapField(callee, recvIdent(callee), field, nil) {
+								found = true
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkCoordinatorMapClear applies rule 4: on a shard coordinator that
+// also holds derived per-table state in map fields (e.g. a partition
+// map carrying the per-shard time spans behind interval-time pruning),
+// every exported method that fans InvalidateTrajectories/ResetCache
+// across the fleet must also clear each map field, or the derived
+// state outlives the data it described.
+func checkCoordinatorMapClear(p *Package) []Finding {
+	shardStructs := collectShardStructs(p)
+	if len(shardStructs) == 0 {
+		return nil
+	}
+	mapFields := collectMapFields(p)
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvType, _ := recvTypeName(fd)
+			fields := shardStructs[recvType]
+			maps := mapFields[recvType]
+			if fields == nil || len(maps) == 0 {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			if !fansInvalidation(fd, recv, fields) {
+				continue
+			}
+			methods := methodIndex(p, recvType)
+			for _, mf := range maps {
+				if !clearsMapField(fd, recv, mf, methods) {
+					out = append(out, p.finding("cacheinvalidate", fd.Name,
+						"exported method %s.%s fans invalidation over the shard fleet but never clears derived map field %s; stale partition state outlives the shards' caches",
+						recvType, fd.Name.Name, mf))
+				}
+			}
 		}
 	}
 	return out

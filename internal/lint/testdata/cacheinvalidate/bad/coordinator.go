@@ -1,0 +1,31 @@
+// Shard coordinators that fan invalidation across the fleet but keep
+// their derived partition maps — rule 4 of the cacheinvalidate
+// analyzer must flag each method.
+package bad
+
+import (
+	"mogis/internal/core"
+)
+
+// Coordinator shards a fleet and caches per-table partition state
+// (e.g. per-shard time spans) in a map keyed by table name.
+type Coordinator struct {
+	shards []*core.Engine
+	parts  map[string]int
+}
+
+// InvalidateTrajectories fans the clear through every shard but keeps
+// the stale partition entry for the table (rule 4).
+func (c *Coordinator) InvalidateTrajectories(table string) { // want
+	for _, sh := range c.shards {
+		sh.InvalidateTrajectories(table)
+	}
+}
+
+// ResetCache resets every shard by index yet leaves the whole
+// partition map intact (rule 4).
+func (c *Coordinator) ResetCache() { // want
+	for i := range c.shards {
+		c.shards[i].ResetCache()
+	}
+}

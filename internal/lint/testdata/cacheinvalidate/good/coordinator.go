@@ -1,0 +1,51 @@
+// Shard coordinators that clear their derived partition maps whenever
+// they fan invalidation across the fleet; rule 4 of cacheinvalidate
+// must stay silent.
+package good
+
+import (
+	"mogis/internal/core"
+)
+
+// Coordinator shards a fleet and caches per-table partition state
+// (e.g. per-shard time spans) in a map keyed by table name.
+type Coordinator struct {
+	shards []*core.Engine
+	parts  map[string]int
+}
+
+// InvalidateTrajectories fans the clear through every shard and drops
+// the table's partition entry via a helper (one-level transitive).
+func (c *Coordinator) InvalidateTrajectories(table string) {
+	for _, sh := range c.shards {
+		sh.InvalidateTrajectories(table)
+	}
+	c.dropParts(table)
+}
+
+// ResetCache resets every shard and reassigns the partition map, so no
+// derived state survives the fleet-wide clear.
+func (c *Coordinator) ResetCache() {
+	for i := range c.shards {
+		c.shards[i].ResetCache()
+	}
+	c.parts = make(map[string]int)
+}
+
+// DropTable deletes the partition entry inline alongside the fan-out.
+func (c *Coordinator) DropTable(table string) {
+	for _, sh := range c.shards {
+		sh.InvalidateTrajectories(table)
+	}
+	delete(c.parts, table)
+}
+
+// Parts routes a lookup without invalidating anything — read paths are
+// exempt from rule 4.
+func (c *Coordinator) Parts(table string) int {
+	return c.parts[table]
+}
+
+func (c *Coordinator) dropParts(table string) {
+	delete(c.parts, table)
+}

@@ -2,6 +2,8 @@ package moft
 
 import (
 	"context"
+	"sort"
+	"sync"
 
 	"mogis/internal/geom"
 	"mogis/internal/timedim"
@@ -31,6 +33,9 @@ type Columns struct {
 
 	box        geom.BBox
 	minT, maxT int64
+
+	tonce sync.Once
+	tperm []int32
 }
 
 // Len returns the number of rows (samples).
@@ -55,6 +60,29 @@ func (c *Columns) TimeSpan() (lo, hi timedim.Instant, ok bool) {
 		return 0, 0, false
 	}
 	return timedim.Instant(c.minT), timedim.Instant(c.maxT), true
+}
+
+// TimeOrder returns the row indices sorted by (instant, row) — a
+// stable time ordering of the whole snapshot. It is built once on
+// first use and shared between callers, so the returned slice must
+// not be mutated. Because it lives inside the snapshot, it is
+// invalidated with the snapshot: any table mutation that clears the
+// columnar cache discards the permutation too.
+func (c *Columns) TimeOrder() []int32 {
+	c.tonce.Do(func() {
+		p := make([]int32, len(c.T))
+		for i := range p {
+			p[i] = int32(i)
+		}
+		sort.Slice(p, func(i, j int) bool {
+			if c.T[p[i]] != c.T[p[j]] {
+				return c.T[p[i]] < c.T[p[j]]
+			}
+			return p[i] < p[j]
+		})
+		c.tperm = p
+	})
+	return c.tperm
 }
 
 // Columns returns the columnar snapshot of the table, building it on

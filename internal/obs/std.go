@@ -56,6 +56,10 @@ type Metrics struct {
 	AggGridInteriorSamples *Counter // samples accepted without a point-in-polygon test
 	AggGridRefinedSamples  *Counter // samples tested exactly in boundary cells
 	AggGridMismatches      *Counter // verify-mode divergences from the slow path (must stay 0)
+	AggGridTemporalQueries *Counter // non-vacuous windows answered via the per-cell temporal index
+	AggGridFringeSamples   *Counter // interior-cell rows examined in fringe time buckets
+	AggGridTimeSkips       *Counter // queries answered empty from the snapshot's time extent
+	ShardTimeSkips         *Counter // scatter shards skipped for a disjoint time extent
 
 	// Overlay precomputation (most recent build).
 	OverlayPairs        *Gauge
@@ -109,6 +113,10 @@ func NewMetrics(r *Registry) *Metrics {
 		AggGridInteriorSamples: r.Counter("mogis_agggrid_interior_samples_total", "samples accepted from interior cells without a point-in-polygon test"),
 		AggGridRefinedSamples:  r.Counter("mogis_agggrid_refined_samples_total", "boundary-cell samples tested with exact point-in-polygon"),
 		AggGridMismatches:      r.Counter("mogis_agggrid_mismatches_total", "verify-mode grid results that diverged from the slow path"),
+		AggGridTemporalQueries: r.Counter("mogis_agggrid_temporal_queries_total", "non-vacuous time windows answered via the per-cell temporal index"),
+		AggGridFringeSamples:   r.Counter("mogis_agggrid_fringe_samples_total", "interior-cell rows examined one by one in fringe time buckets"),
+		AggGridTimeSkips:       r.Counter("mogis_agggrid_time_skips_total", "interval queries answered empty because the window misses the snapshot's time extent"),
+		ShardTimeSkips:         r.Counter("mogis_shard_time_skips_total", "scatter shards skipped because their time extent misses the query window"),
 
 		OverlayPairs:        r.Gauge("mogis_overlay_pairs", "layer pairs in the most recent overlay build"),
 		OverlayRelations:    r.Gauge("mogis_overlay_relations", "directed relation entries in the most recent overlay build"),

@@ -24,6 +24,9 @@ type OpStats struct {
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// MeanWindow is the mean time-interval width of this op's
+	// windowed queries in model time (0 when none were windowed).
+	MeanWindow int64 `json:"mean_window,omitempty"`
 
 	Window WindowStats `json:"window"`
 }
@@ -77,6 +80,9 @@ func (c *Collector) Stats() Stats {
 		}
 		if total := row.CacheHits + row.CacheMisses; total > 0 {
 			row.CacheHitRatio = float64(row.CacheHits) / float64(total)
+		}
+		if n := st.windowed.Load(); n > 0 {
+			row.MeanWindow = st.windowSum.Load() / n
 		}
 		s.Ops = append(s.Ops, row)
 		return true

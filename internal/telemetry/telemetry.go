@@ -77,6 +77,10 @@ type QueryRecord struct {
 	// query ran on a core.ShardedEngine (nil for unsharded queries
 	// and for queries the coordinator routed to a single engine).
 	Shards []ShardLoad `json:"shards,omitempty"`
+	// Window is the width of the query's time interval in model time
+	// (Hi-Lo+1 of the closed interval), 0 for untimed queries. The
+	// per-op mean feeds the agg grid's adaptive time-bucket sizing.
+	Window int64 `json:"window,omitempty"`
 }
 
 // ShardLoad is one shard's contribution to a scattered query.
@@ -239,6 +243,28 @@ func (c *Collector) opStats(op string) *opStats {
 		return v.(*opStats)
 	}
 	return st
+}
+
+// MeanWindow returns the mean time-interval width (model time) of the
+// windowed queries recorded for the named ops, 0 when none have been
+// observed. The agg grid's adaptive bucket sizing uses it as the
+// query-window hint. Nil-safe.
+func (c *Collector) MeanWindow(ops ...string) int64 {
+	if c == nil {
+		return 0
+	}
+	var sum, n int64
+	for _, op := range ops {
+		if v, ok := c.ops.Load(op); ok {
+			st := v.(*opStats)
+			sum += st.windowSum.Load()
+			n += st.windowed.Load()
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
 }
 
 // Recent returns the most recent query records, newest first, up to

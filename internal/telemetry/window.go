@@ -213,6 +213,11 @@ type opStats struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// windowSum/windowed accumulate the time-interval widths of
+	// windowed queries so MeanWindow can seed adaptive time buckets.
+	windowSum atomic.Int64
+	windowed  atomic.Int64
+
 	lat *winHist
 }
 
@@ -240,6 +245,10 @@ func (st *opStats) add(rec *QueryRecord) {
 	st.results.Add(rec.Results)
 	st.cacheHits.Add(rec.CacheHits)
 	st.cacheMisses.Add(rec.CacheMisses)
+	if rec.Window > 0 {
+		st.windowSum.Add(rec.Window)
+		st.windowed.Add(1)
+	}
 	end := rec.Start.Add(rec.Duration)
 	st.lat.observe(end.UnixNano(), rec.Duration.Nanoseconds())
 }
