@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine shard-race telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint fuzz-smoke clean
+.PHONY: all check build test race race-engine shard-race telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint lint-sarif fuzz-smoke clean
 
 all: check
 
@@ -40,12 +40,19 @@ shard-race:
 telemetry:
 	$(GO) test -race -count=2 ./internal/telemetry/... ./internal/obs/...
 
-# The repository's own static analyzers (internal/lint): span
-# lifecycles, atomic-knob access, cache invalidation, determinism,
-# obs naming, and context-first plumbing on query entry points.
-# Nonzero exit on any finding.
+# The repository's own static analyzers (internal/lint), type-checked
+# and flow-aware: span lifecycles, atomic-knob access, cache
+# invalidation, determinism, obs naming, context-first plumbing, lock
+# ordering, goroutine joins, budget strides, telemetry brackets, and
+# error wrapping. Nonzero exit on any finding.
 lint:
 	$(GO) run ./cmd/moglint ./...
+
+# The same analyzers rendered as a SARIF 2.1.0 log for code-scanning
+# upload (moglint.sarif). Exit 0 even with findings: the scanning UI,
+# not the build, turns the artifact into annotations.
+lint-sarif:
+	$(GO) run ./cmd/moglint -sarif ./... > moglint.sarif
 
 # The fault-injection suite: every faultpoint site armed in every
 # mode, under the race detector — cache coherence, typed errors, and

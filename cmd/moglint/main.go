@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	moglint [-json] [-enable a,b] [-disable c] [patterns...]
+//	moglint [-json] [-sarif] [-enable a,b] [-disable c] [patterns...]
 //
 // Patterns follow go-tool conventions: ./... (everything under the
 // module), dir/... (a subtree), or plain directories. With no
@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = flag.String("disable", "", "comma-separated analyzers to skip")
-		list    = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		sarifOut = flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (always exit 0 on success)")
+		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
+		list     = flag.Bool("list", false, "list available analyzers and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: moglint [-json] [-enable a,b] [-disable c] [patterns...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: moglint [-json] [-sarif] [-enable a,b] [-disable c] [patterns...]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -73,6 +74,16 @@ func main() {
 
 	findings := lint.RunAll(analyzers, pkgs)
 
+	if *sarifOut {
+		// SARIF is for code-scanning upload: the findings travel in
+		// the artifact, so the process exits 0 and the scanning UI —
+		// not the build — turns them into annotations.
+		if err := lint.WriteSARIF(os.Stdout, root, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "moglint:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

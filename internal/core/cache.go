@@ -381,8 +381,15 @@ func (e *Engine) polygonIntervals(ctx context.Context, qc *qctl, tc *tableCache,
 	if out == nil {
 		out = make(map[moft.Oid][]traj.TimeInterval)
 	}
+	merged := 0
 	for _, m := range parts[1:] {
 		for oid, ivs := range m {
+			if merged%checkEvery == 0 {
+				if err := qc.step(ctx); err != nil {
+					return nil, err
+				}
+			}
+			merged++
 			out[oid] = ivs
 		}
 	}

@@ -725,7 +725,14 @@ func (e *Engine) objectsPassingThroughFull(ctx context.Context, qc *qctl, table 
 		return nil, err
 	}
 	out = make([]moft.Oid, 0, len(ivmap))
+	scanned := 0
 	for oid, ivs := range ivmap {
+		if scanned%checkEvery == 0 {
+			if err := qc.step(ctx); err != nil {
+				return nil, err
+			}
+		}
+		scanned++
 		for _, ti := range ivs {
 			if ti.Lo <= float64(iv.Hi) && float64(iv.Lo) <= ti.Hi {
 				out = append(out, oid)
@@ -939,7 +946,14 @@ func (e *Engine) TimeSpentInside(ctx context.Context, table string, pg geom.Poly
 		return nil, err
 	}
 	out = make(map[moft.Oid]float64, len(ivmap))
+	scanned := 0
 	for oid, ivs := range ivmap {
+		if scanned%checkEvery == 0 {
+			if err := qc.step(ctx); err != nil {
+				return nil, err
+			}
+		}
+		scanned++
 		if sum, touched := clampTotal(ivs, float64(iv.Lo), float64(iv.Hi)); touched {
 			out[oid] = sum
 		}
@@ -998,8 +1012,15 @@ func (e *Engine) ObjectsEverWithinRadius(ctx context.Context, table string, cent
 		return nil, err
 	}
 	out = make(map[moft.Oid]float64)
+	merged := 0
 	for _, local := range parts {
 		for oid, sum := range local {
+			if merged%checkEvery == 0 {
+				if err := qc.step(ctx); err != nil {
+					return nil, err
+				}
+			}
+			merged++
 			out[oid] = sum
 		}
 	}

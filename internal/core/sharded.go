@@ -585,8 +585,15 @@ func (se *ShardedEngine) Trajectories(ctx context.Context, table string) (lits m
 		return nil, err
 	}
 	lits = make(map[moft.Oid]*traj.LIT)
+	merged := 0
 	for _, p := range parts {
 		for oid, l := range p {
+			if merged%checkEvery == 0 {
+				if err := qc.step(ctx); err != nil {
+					return nil, err
+				}
+			}
+			merged++
 			lits[oid] = l
 		}
 	}

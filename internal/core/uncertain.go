@@ -57,7 +57,12 @@ func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string
 		return PossiblyResult{}, err
 	}
 	sampledSet := make(map[moft.Oid]bool, len(sampled))
-	for _, o := range sampled {
+	for i, o := range sampled {
+		if i%checkEvery == 0 {
+			if err := qc.step(ctx); err != nil {
+				return PossiblyResult{}, err
+			}
+		}
 		sampledSet[o] = true
 	}
 	interp, err := e.ObjectsPassingThrough(ctx, table, pg, iv)
@@ -65,12 +70,22 @@ func (e *Engine) ObjectsPossiblyPassingThrough(ctx context.Context, table string
 		return PossiblyResult{}, err
 	}
 	interpSet := make(map[moft.Oid]bool, len(interp))
-	for _, o := range interp {
+	for i, o := range interp {
+		if i%checkEvery == 0 {
+			if err := qc.step(ctx); err != nil {
+				return PossiblyResult{}, err
+			}
+		}
 		interpSet[o] = true
 	}
 
 	res.Definite = sampled
-	for _, o := range interp {
+	for i, o := range interp {
+		if i%checkEvery == 0 {
+			if err := qc.step(ctx); err != nil {
+				return PossiblyResult{}, err
+			}
+		}
 		if !sampledSet[o] {
 			res.Likely = append(res.Likely, o)
 		}

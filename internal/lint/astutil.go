@@ -2,59 +2,8 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
-	"strconv"
 	"strings"
 )
-
-// fileImports maps each file-local package name to its import path
-// (explicit names respected, otherwise the last path element).
-func fileImports(f *ast.File) map[string]string {
-	out := make(map[string]string, len(f.Imports))
-	for _, imp := range f.Imports {
-		path, err := strconv.Unquote(imp.Path.Value)
-		if err != nil {
-			continue
-		}
-		name := path
-		if i := strings.LastIndexByte(path, '/'); i >= 0 {
-			name = path[i+1:]
-		}
-		if imp.Name != nil {
-			name = imp.Name.Name
-			if name == "_" || name == "." {
-				continue
-			}
-		}
-		out[name] = path
-	}
-	return out
-}
-
-// pkgSel reports whether e is a selector pkg.Name where pkg is the
-// file-local name of an import whose path equals importPath.
-func pkgSel(imports map[string]string, e ast.Expr, importPath, name string) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != name {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && imports[id.Name] == importPath
-}
-
-// selOnImport returns the import path of the package a selector's
-// base identifier refers to ("" when the base is not an import).
-func selOnImport(imports map[string]string, e ast.Expr) string {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok {
-		return ""
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok || id.Obj != nil { // a resolved Obj means a local, not an import
-		return ""
-	}
-	return imports[id.Name]
-}
 
 // recvTypeName returns the base type name of a method receiver
 // ("Engine" for *Engine, Engine, or a generic instantiation) and
@@ -83,89 +32,6 @@ func recvTypeName(fd *ast.FuncDecl) (name string, pointer bool) {
 	return "", pointer
 }
 
-// constIndex collects the package-level constant names of a package
-// (parser object resolution is file-scoped, so cross-file constant
-// references need this index).
-func constIndex(p *Package) map[string]bool {
-	out := map[string]bool{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok || gd.Tok != token.CONST {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, n := range vs.Names {
-					out[n.Name] = true
-				}
-			}
-		}
-	}
-	return out
-}
-
-// isConstString reports whether e is an untyped-constant string
-// expression: a string literal, a reference to a constant, or a
-// concatenation of such.
-func isConstString(consts map[string]bool, e ast.Expr) bool {
-	switch v := e.(type) {
-	case *ast.BasicLit:
-		return v.Kind == token.STRING
-	case *ast.Ident:
-		if v.Obj != nil {
-			return v.Obj.Kind == ast.Con
-		}
-		return consts[v.Name]
-	case *ast.BinaryExpr:
-		return v.Op == token.ADD && isConstString(consts, v.X) && isConstString(consts, v.Y)
-	case *ast.ParenExpr:
-		return isConstString(consts, v.X)
-	}
-	return false
-}
-
-// constStringValue resolves the literal value of a constant string
-// expression when every part is a string literal in view; ok=false
-// when the value cannot be determined syntactically (e.g. a constant
-// declared elsewhere).
-func constStringValue(e ast.Expr) (string, bool) {
-	switch v := e.(type) {
-	case *ast.BasicLit:
-		if v.Kind != token.STRING {
-			return "", false
-		}
-		s, err := strconv.Unquote(v.Value)
-		return s, err == nil
-	case *ast.BinaryExpr:
-		if v.Op != token.ADD {
-			return "", false
-		}
-		a, okA := constStringValue(v.X)
-		b, okB := constStringValue(v.Y)
-		return a + b, okA && okB
-	case *ast.ParenExpr:
-		return constStringValue(v.X)
-	case *ast.Ident:
-		if v.Obj == nil {
-			return "", false
-		}
-		vs, ok := v.Obj.Decl.(*ast.ValueSpec)
-		if !ok {
-			return "", false
-		}
-		for i, n := range vs.Names {
-			if n.Name == v.Name && i < len(vs.Values) {
-				return constStringValue(vs.Values[i])
-			}
-		}
-	}
-	return "", false
-}
-
 // hasDirective reports whether a comment group contains the given
 // //moglint: directive line.
 func hasDirective(cg *ast.CommentGroup, directive string) bool {
@@ -189,27 +55,23 @@ func fileHasDirective(f *ast.File, directive string) bool {
 	return hasDirective(f.Doc, directive)
 }
 
-// funcResultIndex maps each function or method name of the package to
-// its sole result type expression (functions with zero or multiple
-// results are omitted). Name collisions across receivers keep the
-// first declaration — acceptable for the syntactic map-type oracle.
-func funcResultIndex(p *Package) map[string]ast.Expr {
-	out := map[string]ast.Expr{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Type.Results == nil {
+// lineDirective reports whether any comment in the file carries the
+// directive on the given line — for statements (go statements, loops)
+// that have no doc comment of their own, an end-of-line or
+// preceding-line //moglint: comment opts them out.
+func lineDirective(p *Package, f *ast.File, line int, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) != directive {
 				continue
 			}
-			if len(fd.Type.Results.List) != 1 || len(fd.Type.Results.List[0].Names) > 1 {
-				continue
-			}
-			if _, dup := out[fd.Name.Name]; !dup {
-				out[fd.Name.Name] = fd.Type.Results.List[0].Type
+			cl := p.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
 			}
 		}
 	}
-	return out
+	return false
 }
 
 // calleeName returns the bare method/function name of a call

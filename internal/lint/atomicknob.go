@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -13,13 +14,12 @@ import (
 // plain struct values, assigned, or passed around — and sync.Once /
 // sync.Mutex / sync.RWMutex / sync.WaitGroup fields must never be
 // copied or passed by value (their identity IS the synchronization).
-// Functions that take a lock- or atomic-bearing struct of the same
-// package by value are flagged for the same reason.
+// Functions that take a lock- or atomic-bearing struct by value are
+// flagged for the same reason.
 //
-// Fields are unexported, so per-package analysis sees every access
-// site; matching is by field name against the package's guarded
-// structs (a syntactic approximation that is exact while field names
-// stay unique, which the fixtures and tree keep true).
+// Fields resolve through go/types selections, so renamed imports,
+// embedded structs and aliased types all classify correctly; the
+// name-collision caveat of the syntactic version is gone.
 var AnalyzerAtomicKnob = &Analyzer{
 	Name: "atomicknob",
 	Doc:  "atomic knob fields only via Load/Store/CAS; sync fields never by value",
@@ -40,91 +40,57 @@ var syncValueTypes = map[string]bool{
 	"Map": true, "Cond": true, "Pool": true,
 }
 
-// guardedFields indexes, per package, which field names are atomic
-// and which are sync-typed, plus the struct types carrying them.
-type guardedFields struct {
-	atomic  map[string]string // field name → struct type name
-	syncs   map[string]string
-	structs map[string]bool // struct type names with any guarded field
-}
-
-// isAtomicFieldType matches atomic.X and atomic.Pointer[T] field
-// declarations (resolving the file-local name of sync/atomic).
-func isAtomicFieldType(imports map[string]string, t ast.Expr) bool {
-	switch v := t.(type) {
-	case *ast.SelectorExpr:
-		if id, ok := v.X.(*ast.Ident); ok && imports[id.Name] == "sync/atomic" {
-			return true
-		}
-	case *ast.IndexExpr:
-		return isAtomicFieldType(imports, v.X)
-	case *ast.IndexListExpr:
-		return isAtomicFieldType(imports, v.X)
-	}
-	return false
-}
-
-// isSyncFieldType matches sync.Once, sync.Mutex, sync.RWMutex, etc.
-func isSyncFieldType(imports map[string]string, t ast.Expr) bool {
-	sel, ok := t.(*ast.SelectorExpr)
-	if !ok || !syncValueTypes[sel.Sel.Name] {
+// isAtomicType reports whether t is a type from sync/atomic
+// (atomic.Int64, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
 		return false
 	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && imports[id.Name] == "sync"
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
 }
 
-// collectGuarded indexes the package's guarded struct fields.
-func collectGuarded(p *Package) guardedFields {
-	g := guardedFields{
-		atomic:  map[string]string{},
-		syncs:   map[string]string{},
-		structs: map[string]bool{},
+// isSyncValueType reports whether t is one of the sync types whose
+// by-value copy loses synchronization identity.
+func isSyncValueType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || !syncValueTypes[n.Obj().Name()] {
+		return false
 	}
-	for _, f := range p.Files {
-		imports := fileImports(f)
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, fld := range st.Fields.List {
-					for _, name := range fld.Names {
-						if isAtomicFieldType(imports, fld.Type) {
-							g.atomic[name.Name] = ts.Name.Name
-							g.structs[ts.Name.Name] = true
-						}
-						if isSyncFieldType(imports, fld.Type) {
-							g.syncs[name.Name] = ts.Name.Name
-							g.structs[ts.Name.Name] = true
-						}
-					}
-				}
-			}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync"
+}
+
+// guardedStruct reports whether t is a named struct type directly
+// declaring an atomic- or sync-typed field.
+func guardedStruct(t types.Type) (name string, guarded bool) {
+	n := namedType(t)
+	if n == nil {
+		return "", false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isAtomicType(ft) || isSyncValueType(ft) {
+			return n.Obj().Name(), true
 		}
 	}
-	return g
+	return "", false
 }
 
 func runAtomicKnob(pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
-		g := collectGuarded(p)
-		if len(g.structs) == 0 {
+		if p.Info == nil {
 			continue
 		}
 		for _, f := range p.Files {
-			out = append(out, checkAtomicAccess(p, g, f)...)
-			out = append(out, checkByValueSigs(p, g, f)...)
+			out = append(out, checkAtomicAccess(p, f)...)
+			out = append(out, checkByValueSigs(p, f)...)
 		}
 	}
 	return out
@@ -132,27 +98,25 @@ func runAtomicKnob(pkgs []*Package) []Finding {
 
 // checkAtomicAccess flags guarded-field selectors used outside the
 // allowed forms.
-func checkAtomicAccess(p *Package, g guardedFields, f *ast.File) []Finding {
+func checkAtomicAccess(p *Package, f *ast.File) []Finding {
 	var out []Finding
 	walkWithParents(f, func(n ast.Node, parents []ast.Node) {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return
 		}
-		owner, isAtomic := g.atomic[sel.Sel.Name]
-		syncOwner, isSync := g.syncs[sel.Sel.Name]
+		fld := p.selectionField(sel)
+		if fld == nil {
+			return
+		}
+		isAtomic := isAtomicType(fld.Type())
+		isSync := isSyncValueType(fld.Type())
 		if !isAtomic && !isSync {
 			return
 		}
-		// Only field accesses: the base must itself be an expression
-		// (x.field), not a package qualifier, and the name must not be
-		// the Sel of an outer selector we already inspected.
-		if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil {
-			// Could be a package qualifier (pkg.Name); skip if it
-			// resolves to an import.
-			if _, imported := fileImports(f)[id.Name]; imported {
-				return
-			}
+		owner := p.fieldOwnerName(fld)
+		if owner == "" {
+			owner = "?"
 		}
 		if len(parents) == 0 {
 			return
@@ -187,27 +151,39 @@ func checkAtomicAccess(p *Package, g guardedFields, f *ast.File) []Finding {
 		} else {
 			out = append(out, p.finding("atomicknob", sel,
 				"sync field %s.%s copied or passed by value; synchronization identity is lost",
-				syncOwner, sel.Sel.Name))
+				owner, sel.Sel.Name))
 		}
 	})
 	return out
 }
 
 // checkByValueSigs flags function signatures (params, results,
-// receivers) that take a guarded struct of this package by value.
-func checkByValueSigs(p *Package, g guardedFields, f *ast.File) []Finding {
+// receivers) that take a guarded struct by value.
+func checkByValueSigs(p *Package, f *ast.File) []Finding {
 	var out []Finding
 	check := func(fl *ast.FieldList, what string) {
 		if fl == nil {
 			return
 		}
 		for _, fld := range fl.List {
-			id, ok := fld.Type.(*ast.Ident)
-			if !ok || !g.structs[id.Name] {
+			t := p.typeOf(fld.Type)
+			if t == nil {
 				continue
 			}
-			out = append(out, p.finding("atomicknob", fld,
-				"%s of lock/atomic-bearing struct %s passed by value; use *%s", what, id.Name, id.Name))
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue // by pointer: identity preserved
+			}
+			if isSyncValueType(t) || isAtomicType(t) {
+				n := namedType(t)
+				out = append(out, p.finding("atomicknob", fld,
+					"%s takes %s by value; synchronization identity is lost, use a pointer",
+					what, n.Obj().Name()))
+				continue
+			}
+			if name, guarded := guardedStruct(t); guarded {
+				out = append(out, p.finding("atomicknob", fld,
+					"%s of lock/atomic-bearing struct %s passed by value; use *%s", what, name, name))
+			}
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {

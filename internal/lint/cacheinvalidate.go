@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+	"strings"
 )
 
 // AnalyzerCacheInvalidate enforces the every-mutation-invalidates-
@@ -62,52 +64,32 @@ type snapshotStruct struct {
 }
 
 // collectSnapshotStructs finds the package's snapshot-bearing structs:
-// at least one atomic.Pointer field and at least one slice field.
+// at least one atomic.Pointer field and at least one slice field,
+// classified through go/types so aliased imports resolve.
 func collectSnapshotStructs(p *Package) map[string]*snapshotStruct {
 	out := map[string]*snapshotStruct{}
-	for _, f := range p.Files {
-		imports := fileImports(f)
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok {
-				continue
+	structFields(p, func(name *ast.Ident, st *ast.StructType) {
+		ss := &snapshotStruct{name: name.Name, sliceSet: map[string]bool{}}
+		for _, fld := range st.Fields.List {
+			t := p.typeOf(fld.Type)
+			isPtr := typeIs(t, "sync/atomic", "Pointer")
+			isSlice := false
+			if t != nil {
+				_, isSlice = t.Underlying().(*types.Slice)
 			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
+			for _, fname := range fld.Names {
+				if isPtr {
+					ss.snapFields = append(ss.snapFields, fname.Name)
 				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				ss := &snapshotStruct{name: ts.Name.Name, sliceSet: map[string]bool{}}
-				for _, fld := range st.Fields.List {
-					isPtr := false
-					switch t := fld.Type.(type) {
-					case *ast.IndexExpr:
-						if sel, ok := t.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Pointer" {
-							if id, ok := sel.X.(*ast.Ident); ok && imports[id.Name] == "sync/atomic" {
-								isPtr = true
-							}
-						}
-					}
-					_, isSlice := fld.Type.(*ast.ArrayType)
-					for _, name := range fld.Names {
-						if isPtr {
-							ss.snapFields = append(ss.snapFields, name.Name)
-						}
-						if isSlice {
-							ss.sliceSet[name.Name] = true
-						}
-					}
-				}
-				if len(ss.snapFields) > 0 && len(ss.sliceSet) > 0 {
-					out[ss.name] = ss
+				if isSlice {
+					ss.sliceSet[fname.Name] = true
 				}
 			}
 		}
-	}
+		if len(ss.snapFields) > 0 && len(ss.sliceSet) > 0 {
+			out[ss.name] = ss
+		}
+	})
 	return out
 }
 
@@ -260,124 +242,74 @@ func checkSnapshotClearing(p *Package) []Finding {
 // --- rule 2: engine-visible mutations ---------------------------------
 
 // isTableMutationCall matches the moft.Table mutators — Add(oid, t,
-// x, y) and AddTuple(tp) — on a receiver that resolves to a fact
-// table (declared from moft.New, a Context.Table lookup, a Filter
-// derivation, ReadCSV, or a *moft.Table parameter). Unresolvable
-// receivers are not flagged.
-func isTableMutationCall(call *ast.CallExpr) bool {
+// x, y) and AddTuple(tp) — on any expression whose static type is
+// moft.Table; the declaration form of the receiver no longer matters.
+func isTableMutationCall(p *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	switch sel.Sel.Name {
-	case "AddTuple":
-		if len(call.Args) != 1 {
-			return false
-		}
-	case "Add":
-		if len(call.Args) != 4 {
-			return false
-		}
+	case "AddTuple", "Add":
 	default:
 		return false
 	}
-	return isTableExpr(sel.X)
+	return typeIsTail(p.typeOf(sel.X), "moft", "Table")
 }
 
-// isTableExpr reports whether e syntactically denotes a *moft.Table.
-func isTableExpr(e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	if !ok || id.Obj == nil {
-		return false
-	}
-	switch decl := id.Obj.Decl.(type) {
-	case *ast.AssignStmt:
-		if len(decl.Rhs) != 1 {
-			return false
-		}
-		call, ok := decl.Rhs[0].(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		switch calleeName(call) {
-		case "Table", "Filter", "ReadCSV":
-			return true
-		case "New":
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if pid, ok := sel.X.(*ast.Ident); ok {
-					return pid.Name == "moft"
-				}
-			}
-		}
-	case *ast.Field:
-		t := decl.Type
-		if st, ok := t.(*ast.StarExpr); ok {
-			t = st.X
-		}
-		switch v := t.(type) {
-		case *ast.SelectorExpr:
-			return v.Sel.Name == "Table"
-		case *ast.Ident:
-			return v.Name == "Table"
-		}
-	}
-	return false
+// isEngineValue reports whether t is a named Engine type (the core
+// engine or a fixture stand-in carrying the same name).
+func isEngineValue(t types.Type) bool {
+	return typeNameIs(t, "Engine")
 }
 
 // enginePos returns the earliest position at which a query engine is
-// in scope in the function: the position of an assignment from
-// core.New / New, or the function start when an engine arrives via
-// parameter, receiver, or an Engine field selector. token.NoPos when
-// no engine is visible.
-func enginePos(fd *ast.FuncDecl) token.Pos {
-	isEngineType := func(t ast.Expr) bool {
-		if st, ok := t.(*ast.StarExpr); ok {
-			t = st.X
-		}
-		switch v := t.(type) {
-		case *ast.Ident:
-			return v.Name == "Engine"
-		case *ast.SelectorExpr:
-			return v.Sel.Name == "Engine"
-		}
-		return false
-	}
+// in scope in the function: the position of a call producing an
+// *Engine, or the function start when an engine arrives via
+// parameter, receiver, or a field selector of Engine type.
+// token.NoPos when no engine is visible.
+func enginePos(p *Package, fd *ast.FuncDecl) token.Pos {
 	if fd.Recv != nil {
 		for _, fld := range fd.Recv.List {
-			if isEngineType(fld.Type) {
+			if isEngineValue(p.typeOf(fld.Type)) {
 				return fd.Body.Pos()
 			}
 		}
 	}
 	if fd.Type.Params != nil {
 		for _, fld := range fd.Type.Params.List {
-			if isEngineType(fld.Type) {
+			if isEngineValue(p.typeOf(fld.Type)) {
 				return fd.Body.Pos()
 			}
 		}
 	}
+	// A selector that is only ever the target of an assignment is the
+	// engine's construction, not evidence it already exists.
+	assigned := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				assigned[lhs] = true
+			}
+		}
+		return true
+	})
 	pos := token.NoPos
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.SelectorExpr:
-			// s.Engine.Method(...): an engine held in a field is in
+			// s.Engine.Method(...): an engine read from a field is in
 			// scope for the whole function.
-			if v.Sel.Name == "Engine" {
+			if isEngineValue(p.typeOf(v)) && p.selectionField(v) != nil && !assigned[v] {
 				pos = fd.Body.Pos()
 				return false
 			}
 		case *ast.CallExpr:
-			if name := calleeName(v); name == "New" || name == "NewEngine" {
-				if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
-					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "core" {
-						if pos == token.NoPos || v.Pos() < pos {
-							pos = v.Pos()
-						}
-					}
-				} else if name == "NewEngine" {
-					if pos == token.NoPos || v.Pos() < pos {
-						pos = v.Pos()
-					}
+			// A call producing an engine (core.New, ...) brings it in
+			// scope from the call onward.
+			if isEngineValue(p.typeOf(v)) {
+				if pos == token.NoPos || v.Pos() < pos {
+					pos = v.Pos()
 				}
 			}
 		}
@@ -399,7 +331,7 @@ func checkEngineInvalidation(p *Package) []Finding {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			engine := enginePos(fd)
+			engine := enginePos(p, fd)
 			if engine == token.NoPos {
 				continue
 			}
@@ -410,7 +342,7 @@ func checkEngineInvalidation(p *Package) []Finding {
 				if !ok {
 					return true
 				}
-				if isTableMutationCall(call) && call.Pos() > engine {
+				if isTableMutationCall(p, call) && call.Pos() > engine {
 					mutations = append(mutations, call)
 				}
 				switch calleeName(call) {
@@ -439,49 +371,29 @@ func checkEngineInvalidation(p *Package) []Finding {
 // or any []*XxxEngine shard fleet). Returns struct name → set of shard
 // field names.
 func collectShardStructs(p *Package) map[string]map[string]bool {
-	isEngineElem := func(t ast.Expr) bool {
-		if st, ok := t.(*ast.StarExpr); ok {
-			t = st.X
-		}
-		switch v := t.(type) {
-		case *ast.Ident:
-			return v.Name == "Engine" || (len(v.Name) > 6 && v.Name[len(v.Name)-6:] == "Engine")
-		case *ast.SelectorExpr:
-			return v.Sel.Name == "Engine"
-		}
-		return false
+	isEngineElem := func(t types.Type) bool {
+		n := namedType(t)
+		return n != nil && strings.HasSuffix(n.Obj().Name(), "Engine")
 	}
 	out := map[string]map[string]bool{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok {
+	structFields(p, func(name *ast.Ident, st *ast.StructType) {
+		for _, fld := range st.Fields.List {
+			t := p.typeOf(fld.Type)
+			if t == nil {
 				continue
 			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
+			sl, ok := t.Underlying().(*types.Slice)
+			if !ok || !isEngineElem(sl.Elem()) {
+				continue
+			}
+			for _, fname := range fld.Names {
+				if out[name.Name] == nil {
+					out[name.Name] = map[string]bool{}
 				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, fld := range st.Fields.List {
-					at, ok := fld.Type.(*ast.ArrayType)
-					if !ok || at.Len != nil || !isEngineElem(at.Elt) {
-						continue
-					}
-					for _, name := range fld.Names {
-						if out[ts.Name.Name] == nil {
-							out[ts.Name.Name] = map[string]bool{}
-						}
-						out[ts.Name.Name][name.Name] = true
-					}
-				}
+				out[name.Name][fname.Name] = true
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -584,32 +496,20 @@ func checkShardFanOut(p *Package) []Finding {
 // declaration order for every struct of the package.
 func collectMapFields(p *Package) map[string][]string {
 	out := map[string][]string{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok {
+	structFields(p, func(name *ast.Ident, st *ast.StructType) {
+		for _, fld := range st.Fields.List {
+			t := p.typeOf(fld.Type)
+			if t == nil {
 				continue
 			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, fld := range st.Fields.List {
-					if _, ok := fld.Type.(*ast.MapType); !ok {
-						continue
-					}
-					for _, name := range fld.Names {
-						out[ts.Name.Name] = append(out[ts.Name.Name], name.Name)
-					}
-				}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				continue
+			}
+			for _, fname := range fld.Names {
+				out[name.Name] = append(out[name.Name], fname.Name)
 			}
 		}
-	}
+	})
 	return out
 }
 

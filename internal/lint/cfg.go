@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file implements the minimal intra-function control-flow graph
+// the flow-aware analyzers (telemetrybracket foremost) reason over.
+// Each basic block holds the statements that execute together;
+// successors model if/else arms, loop back-edges and switch clauses.
+// break/continue are approximated (break exits the innermost
+// loop/switch, continue re-enters the innermost loop header); goto and
+// labeled branches fall back to conservative edges to the exit, which
+// errs toward reporting a path rather than missing one.
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. entry leads
+// to the first statement; exit is the virtual block every return and
+// the final fall-through feed into.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+type cfgBuilder struct {
+	g *funcCFG
+	// innermost enclosing targets for break/continue
+	breakTo    []*cfgBlock
+	continueTo []*cfgBlock
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.exit = b.newBlock()
+	g.entry = b.newBlock()
+	last := b.stmts(g.entry, body.List)
+	if last != nil {
+		b.edge(last, g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmts threads a statement list through cur, returning the block
+// control falls out of (nil when every path diverted — returned,
+// branched, or looped away).
+func (b *cfgBuilder) stmts(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminal statement still gets a
+			// block so its statements are inspectable.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch v := s.(type) {
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		b.edge(cur, b.g.exit)
+		return nil
+	case *ast.BranchStmt:
+		cur.stmts = append(cur.stmts, s)
+		switch v.Tok.String() {
+		case "break":
+			if v.Label == nil && len(b.breakTo) > 0 {
+				b.edge(cur, b.breakTo[len(b.breakTo)-1])
+				return nil
+			}
+		case "continue":
+			if v.Label == nil && len(b.continueTo) > 0 {
+				b.edge(cur, b.continueTo[len(b.continueTo)-1])
+				return nil
+			}
+		case "fallthrough":
+			return cur // handled by clause chaining approximation below
+		}
+		// goto / labeled break / labeled continue: conservatively an
+		// edge to exit (a path that leaves without further statements).
+		b.edge(cur, b.g.exit)
+		return nil
+	case *ast.BlockStmt:
+		return b.stmts(cur, v.List)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			cur = b.stmt(cur, v.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		cur.stmts = append(cur.stmts, s) // the condition evaluates here
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		if last := b.stmts(then, v.Body.List); last != nil {
+			b.edge(last, join)
+		}
+		if v.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			if last := b.stmt(els, v.Else); last != nil {
+				b.edge(last, join)
+			}
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+	case *ast.ForStmt:
+		if v.Init != nil {
+			cur = b.stmt(cur, v.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		head := b.newBlock()
+		head.stmts = append(head.stmts, s) // condition/post anchor
+		b.edge(cur, head)
+		after := b.newBlock()
+		if v.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, head)
+		if last := b.stmts(body, v.Body.List); last != nil {
+			b.edge(last, head)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		if v.Cond == nil {
+			// for {}: only break reaches after; keep after in the graph.
+			_ = after
+		}
+		return after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.stmts = append(head.stmts, s)
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after) // empty collection
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, head)
+		if last := b.stmts(body, v.Body.List); last != nil {
+			b.edge(last, head)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		return after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		cur.stmts = append(cur.stmts, s)
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				// init already covered: evaluate in cur
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+			hasDefault = false
+		}
+		join := b.newBlock()
+		b.breakTo = append(b.breakTo, join)
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch cl := c.(type) {
+			case *ast.CaseClause:
+				body = cl.Body
+				if cl.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				body = cl.Body
+				if cl.Comm == nil {
+					hasDefault = true
+				}
+			}
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if last := b.stmts(blk, body); last != nil {
+				b.edge(last, join)
+			}
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		if _, isSelect := s.(*ast.SelectStmt); isSelect && !hasDefault && len(clauses) > 0 {
+			// a select without default blocks until a case fires: no
+			// fall-through edge needed beyond the clauses.
+		} else {
+			b.edge(cur, join) // no clause matched / default fall-through
+		}
+		return join
+	case *ast.LabeledStmt:
+		return b.stmt(cur, v.Stmt)
+	default:
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+// blockOf returns the basic block whose stmts contain s (by identity),
+// or nil.
+func (g *funcCFG) blockOf(s ast.Stmt) *cfgBlock {
+	for _, blk := range g.blocks {
+		for _, t := range blk.stmts {
+			if t == s {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from along successor
+// edges, optionally skipping one barrier block (barrier may be nil).
+// from == to requires an actual cycle unless zeroLen is true.
+func (g *funcCFG) reaches(from, to, barrier *cfgBlock, zeroLen bool) bool {
+	if zeroLen && from == to {
+		return true
+	}
+	seen := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{}
+	push := func(b *cfgBlock) {
+		if b != nil && b != barrier && !seen[b] {
+			seen[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, s := range from.succs {
+		push(s)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		for _, s := range b.succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// dominatesExit reports whether every path from entry to exit passes
+// through blk: removing blk must make exit unreachable.
+func (g *funcCFG) dominatesExit(blk *cfgBlock) bool {
+	if blk == g.entry {
+		return true
+	}
+	return !g.reaches(g.entry, g.exit, blk, true)
+}
+
+// inCycle reports whether blk can reach itself (i.e. lies on a loop).
+func (g *funcCFG) inCycle(blk *cfgBlock) bool {
+	return g.reaches(blk, blk, nil, false)
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // AnalyzerCtxFirst enforces the cancellation-plumbing contract that
@@ -18,10 +19,10 @@ import (
 //     expression, so fan-out work cannot detach from the query's
 //     cancellation scope.
 //
-// The check is syntactic: a context parameter is recognized as a
-// pkg.Context selector on an import of the standard "context"
-// package, and rule 3 accepts any mention of the context variable (or
-// an explicit context.Background()/context.TODO(), which documents a
+// Parameter types resolve through go/types, so renamed context
+// imports and files that never import context at all are both
+// checked; rule 3 accepts any mention of the context variable (or an
+// explicit context.Background()/context.TODO(), which documents a
 // deliberate detach). A `//moglint:ctxexempt` directive on the
 // function's doc comment skips it entirely.
 var AnalyzerCtxFirst = &Analyzer{
@@ -33,40 +34,34 @@ var AnalyzerCtxFirst = &Analyzer{
 func runCtxFirst(pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
 		for _, f := range p.Files {
-			imports := fileImports(f)
-			if imports["context"] != "context" {
-				continue // file cannot name the context type
-			}
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
 				if !ok || hasDirective(fd.Doc, "moglint:ctxexempt") {
 					continue
 				}
-				out = append(out, checkCtxFirst(p, imports, fd)...)
+				out = append(out, checkCtxFirst(p, fd)...)
 			}
 		}
 	}
 	return out
 }
 
-// isCtxParamType reports whether t is the context.Context type.
-func isCtxParamType(imports map[string]string, t ast.Expr) bool {
-	return pkgSel(imports, t, "context", "Context")
-}
-
 // ctxParam locates the first context.Context parameter of fd: the
 // flattened position it starts at (a field with k names occupies k
 // positions), its name, and its resolved object. found=false when the
 // function takes no context.
-func ctxParam(imports map[string]string, fd *ast.FuncDecl) (pos int, name string, obj *ast.Object, found bool) {
+func ctxParam(p *Package, fd *ast.FuncDecl) (pos int, name string, obj *ast.Object, found bool) {
 	n := 0
 	for _, field := range fd.Type.Params.List {
 		width := len(field.Names)
 		if width == 0 {
 			width = 1 // unnamed parameter
 		}
-		if isCtxParamType(imports, field.Type) {
+		if isContextType(p.typeOf(field.Type)) {
 			if len(field.Names) > 0 {
 				return n, field.Names[0].Name, field.Names[0].Obj, true
 			}
@@ -78,30 +73,36 @@ func ctxParam(imports map[string]string, fd *ast.FuncDecl) (pos int, name string
 }
 
 // lastResultIsError reports whether fd's final result type is the
-// builtin error.
-func lastResultIsError(fd *ast.FuncDecl) bool {
+// builtin error interface itself.
+func lastResultIsError(p *Package, fd *ast.FuncDecl) bool {
 	r := fd.Type.Results
 	if r == nil || len(r.List) == 0 {
 		return false
 	}
-	id, ok := r.List[len(r.List)-1].Type.(*ast.Ident)
-	return ok && id.Name == "error"
+	t := p.typeOf(r.List[len(r.List)-1].Type)
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
 // entryPointReceiver reports whether fd is a method on one of the
 // engine facades whose exported error-returning methods form the
 // query API.
-func entryPointReceiver(fd *ast.FuncDecl) bool {
-	name, _ := recvTypeName(fd)
-	return name == "Engine" || name == "System"
+func entryPointReceiver(p *Package, fd *ast.FuncDecl) bool {
+	n := p.receiverType(fd)
+	if n == nil {
+		// Fall back to the syntactic receiver name when the checker
+		// could not resolve the type.
+		name, _ := recvTypeName(fd)
+		return name == "Engine" || name == "System"
+	}
+	return n.Obj().Name() == "Engine" || n.Obj().Name() == "System"
 }
 
-func checkCtxFirst(p *Package, imports map[string]string, fd *ast.FuncDecl) []Finding {
+func checkCtxFirst(p *Package, fd *ast.FuncDecl) []Finding {
 	var out []Finding
-	pos, name, obj, found := ctxParam(imports, fd)
+	pos, name, obj, found := ctxParam(p, fd)
 
 	// Rule 1: exported query entry points must accept a context.
-	if !found && entryPointReceiver(fd) && fd.Name.IsExported() && lastResultIsError(fd) {
+	if !found && entryPointReceiver(p, fd) && fd.Name.IsExported() && lastResultIsError(p, fd) {
 		recv, _ := recvTypeName(fd)
 		out = append(out, p.finding("ctxfirst", fd.Name,
 			"exported query entry point %s.%s returns error but takes no context.Context", recv, fd.Name.Name))
@@ -125,7 +126,7 @@ func checkCtxFirst(p *Package, imports map[string]string, fd *ast.FuncDecl) []Fi
 		if !ok {
 			return true
 		}
-		if !mentionsCtx(gs.Call, imports, name, obj) {
+		if !mentionsCtx(p, gs.Call, name, obj) {
 			out = append(out, p.finding("ctxfirst", gs,
 				"goroutine in %s does not reference its context %q (cancellation cannot reach it)", fd.Name.Name, name))
 		}
@@ -138,7 +139,7 @@ func checkCtxFirst(p *Package, imports map[string]string, fd *ast.FuncDecl) []Fi
 // variable (by object identity, falling back to the name for idents
 // the parser could not resolve) or makes an explicit
 // context.Background()/context.TODO() detach.
-func mentionsCtx(root ast.Node, imports map[string]string, name string, obj *ast.Object) bool {
+func mentionsCtx(p *Package, root ast.Node, name string, obj *ast.Object) bool {
 	found := false
 	ast.Inspect(root, func(n ast.Node) bool {
 		if found {
@@ -151,7 +152,7 @@ func mentionsCtx(root ast.Node, imports map[string]string, name string, obj *ast
 				return false
 			}
 		case *ast.CallExpr:
-			if pkgSel(imports, v.Fun, "context", "Background") || pkgSel(imports, v.Fun, "context", "TODO") {
+			if p.pkgFunc(v, "context", "Background") || p.pkgFunc(v, "context", "TODO") {
 				found = true
 				return false
 			}

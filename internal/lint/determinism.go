@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // DeterministicDirective marks a function (in its doc comment) or a
@@ -21,9 +22,9 @@ const DeterministicDirective = "moglint:deterministic"
 //     the loop must be followed by a sort of that slice in the same
 //     function, or the result order changes between runs.
 //
-// Map-ness is resolved syntactically: make(map...), map literals, map
-// parameters, and calls to same-package functions returning a map.
-// Expressions the oracle cannot resolve are not flagged.
+// Map-ness, time.Now and math/rand all resolve through go/types, so
+// aliased imports, named map types and map-returning methods from
+// other packages are seen.
 var AnalyzerDeterminism = &Analyzer{
 	Name: "determinism",
 	Doc:  "deterministic hot paths: no wall-clock, no rand, no map-ordered results",
@@ -33,9 +34,7 @@ var AnalyzerDeterminism = &Analyzer{
 func runDeterminism(pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
-		results := funcResultIndex(p)
 		for _, f := range p.Files {
-			imports := fileImports(f)
 			fileScoped := fileHasDirective(f, DeterministicDirective)
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
@@ -45,88 +44,52 @@ func runDeterminism(pkgs []*Package) []Finding {
 				if !fileScoped && !hasDirective(fd.Doc, DeterministicDirective) {
 					continue
 				}
-				out = append(out, checkDeterministic(p, imports, results, fd)...)
+				out = append(out, checkDeterministic(p, fd)...)
 			}
 		}
 	}
 	return out
 }
 
-func checkDeterministic(p *Package, imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl) []Finding {
+func checkDeterministic(p *Package, fd *ast.FuncDecl) []Finding {
 	var out []Finding
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.CallExpr:
-			if pkgSel(imports, v.Fun, "time", "Now") {
+			if p.pkgFunc(v, "time", "Now") {
 				out = append(out, p.finding("determinism", v,
 					"time.Now in deterministic function %s; answers must be bit-identical run to run", fd.Name.Name))
 			}
 		case *ast.SelectorExpr:
-			if path := selOnImport(imports, v); path == "math/rand" || path == "math/rand/v2" {
-				out = append(out, p.finding("determinism", v,
-					"math/rand use in deterministic function %s", fd.Name.Name))
+			if obj := p.objectOf(v.Sel); obj != nil && obj.Pkg() != nil {
+				if path := obj.Pkg().Path(); path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, p.finding("determinism", v,
+						"math/rand use in deterministic function %s", fd.Name.Name))
+				}
 			}
 		case *ast.RangeStmt:
-			out = append(out, checkMapRange(p, imports, results, fd, v)...)
+			out = append(out, checkMapRange(p, fd, v)...)
 		}
 		return true
 	})
 	return out
 }
 
-// isMapExpr is the syntactic map-type oracle.
-func isMapExpr(imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl, e ast.Expr) bool {
-	switch v := e.(type) {
-	case *ast.CompositeLit:
-		_, ok := v.Type.(*ast.MapType)
-		return ok
-	case *ast.CallExpr:
-		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
-			_, ok := v.Args[0].(*ast.MapType)
-			return ok
-		}
-		if name := calleeName(v); name != "" {
-			if res, ok := results[name]; ok {
-				_, isMap := res.(*ast.MapType)
-				return isMap
-			}
-		}
-	case *ast.Ident:
-		if v.Obj == nil {
-			return false
-		}
-		switch decl := v.Obj.Decl.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range decl.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok && id.Obj == v.Obj {
-					if len(decl.Rhs) == 1 {
-						return isMapExpr(imports, results, fd, decl.Rhs[0])
-					}
-					if i < len(decl.Rhs) {
-						return isMapExpr(imports, results, fd, decl.Rhs[i])
-					}
-				}
-			}
-		case *ast.ValueSpec:
-			if decl.Type != nil {
-				_, ok := decl.Type.(*ast.MapType)
-				return ok
-			}
-			if len(decl.Values) == 1 {
-				return isMapExpr(imports, results, fd, decl.Values[0])
-			}
-		case *ast.Field:
-			_, ok := decl.Type.(*ast.MapType)
-			return ok
-		}
+// isMapExpr asks the type checker whether e's underlying type is a
+// map.
+func (p *Package) isMapExpr(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
 	}
-	return false
+	_, ok := t.Underlying().(*types.Map)
+	return ok
 }
 
 // checkMapRange flags map-iteration result assembly without a
 // restoring sort.
-func checkMapRange(p *Package, imports map[string]string, results map[string]ast.Expr, fd *ast.FuncDecl, rng *ast.RangeStmt) []Finding {
-	if !isMapExpr(imports, results, fd, rng.X) {
+func checkMapRange(p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) []Finding {
+	if !p.isMapExpr(rng.X) {
 		return nil
 	}
 	// Collect appends inside the range body whose target is declared
@@ -151,7 +114,7 @@ func checkMapRange(p *Package, imports map[string]string, results map[string]ast
 		if declaredWithin(target.Obj, rng.Body) {
 			return true // scratch slice local to the iteration
 		}
-		if sortedAfter(fd, target.Obj, rng.End()) {
+		if sortedAfter(p, fd, target.Obj, rng.End()) {
 			return true
 		}
 		out = append(out, p.finding("determinism", as,
@@ -175,19 +138,18 @@ func declaredWithin(obj *ast.Object, n ast.Node) bool {
 // sortedAfter reports whether the function sorts the given slice
 // variable (sort.Slice, sort.SliceStable, sort.Sort, sort.Strings,
 // sort.Ints, sort.Float64s, or slices.Sort*) at a position after pos.
-func sortedAfter(fd *ast.FuncDecl, obj *ast.Object, pos token.Pos) bool {
+func sortedAfter(p *Package, fd *ast.FuncDecl, obj *ast.Object, pos token.Pos) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || found || call.Pos() < pos {
 			return !found
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
+		fn := p.calleeObj(call)
+		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
 			return true
 		}
 		for _, arg := range call.Args {

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerErrWrap keeps the typed error taxonomy (qerr codes, budget
+// errors) intact across package boundaries. The engine's callers
+// branch on errors.Is/errors.As; any code path that matches on error
+// text instead silently breaks when a message is reworded. Four
+// shapes are findings:
+//
+//   - err.Error() compared with == or != — match errors.Is instead;
+//   - err.Error() passed to a strings.* predicate
+//     (Contains/HasPrefix/...) — the message is not an API;
+//   - fmt.Errorf with an error-typed operand but no %w verb — the
+//     wrapped cause is flattened to text and errors.As can no longer
+//     reach it across the package boundary;
+//   - a type assertion or type switch directly on an error-typed
+//     value — errors.As unwraps chains, a bare assertion does not.
+//
+// All resolution is type-based: any expression whose static type is
+// the error interface counts, not just variables named err. A
+// `//moglint:stringerr` directive on the enclosing function's doc
+// comment exempts it (e.g. golden-output tests that assert exact
+// messages).
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "typed errors cross boundaries via %w and errors.Is/As, never string matching",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || hasDirective(fd.Doc, "moglint:stringerr") {
+					continue
+				}
+				out = append(out, p.checkErrWrap(fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// isErrorTextExpr reports whether e is a call of Error() on an
+// error-typed value — the message text of an error.
+func (p *Package) isErrorTextExpr(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(p.typeOf(sel.X))
+}
+
+func (p *Package) checkErrWrap(fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if (v.Op == token.EQL || v.Op == token.NEQ) &&
+				(p.isErrorTextExpr(v.X) || p.isErrorTextExpr(v.Y)) {
+				out = append(out, p.finding("errwrap", v,
+					"%s compares err.Error() text with %s; use errors.Is against the typed sentinel", fd.Name.Name, v.Op))
+			}
+		case *ast.CallExpr:
+			out = append(out, p.checkErrCall(fd, v)...)
+		case *ast.TypeAssertExpr:
+			if v.Type != nil && isErrorType(p.typeOf(v.X)) {
+				out = append(out, p.finding("errwrap", v,
+					"%s type-asserts on an error value; use errors.As, which unwraps %%w chains", fd.Name.Name))
+			}
+		case *ast.TypeSwitchStmt:
+			if assertsError(p, v) {
+				out = append(out, p.finding("errwrap", v,
+					"%s type-switches on an error value; use errors.As, which unwraps %%w chains", fd.Name.Name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (p *Package) checkErrCall(fd *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	var out []Finding
+
+	// strings.* predicate fed error text.
+	if obj := p.calleeObj(call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "strings" {
+		for _, a := range call.Args {
+			if p.isErrorTextExpr(a) {
+				out = append(out, p.finding("errwrap", call,
+					"%s matches err.Error() text with strings.%s; error messages are not an API, use errors.Is/As", fd.Name.Name, obj.Name()))
+				break
+			}
+		}
+	}
+
+	// fmt.Errorf flattening an error without %w.
+	if p.pkgFunc(call, "fmt", "Errorf") && len(call.Args) > 1 {
+		format, ok := p.constString(call.Args[0])
+		if ok && !strings.Contains(format, "%w") {
+			for _, a := range call.Args[1:] {
+				if isErrorType(p.typeOf(a)) || p.isErrorTextExpr(a) {
+					out = append(out, p.finding("errwrap", call,
+						"fmt.Errorf in %s flattens an error without %%w; errors.As cannot reach the cause across package boundaries", fd.Name.Name))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assertsError reports whether a type switch's operand is error-typed:
+// `switch e := err.(type)` or `switch err.(type)`.
+func assertsError(p *Package, ts *ast.TypeSwitchStmt) bool {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	return x != nil && isErrorType(p.typeOf(x))
+}

@@ -19,18 +19,38 @@
 //   - ctxfirst       — exported query entry points on Engine/System
 //     take context.Context as their first parameter, any context
 //     parameter is first, and goroutines spawned in ctx-first
-//     functions reference that context.
+//     functions reference that context;
+//   - lockorder      — no blocking operation (channel send/receive,
+//     select without default, WaitGroup.Wait) runs under a held
+//     mutex, and locks are acquired in one global order;
+//   - goroutinejoin  — every go statement carries a join discipline
+//     (WaitGroup, channel, or context), or an explicit
+//     //moglint:detached annotation;
+//   - budgetstride   — loops over MOFT rows on budget-governed paths
+//     call the query controller within checkEvery rows;
+//   - telemetrybracket — exported Querier methods on the engine
+//     facades run the telemetry begin/done bracket exactly once on
+//     every return path, verified over the control-flow graph;
+//   - errwrap        — typed qerr/budget errors cross package
+//     boundaries via %w and errors.Is/As, never string matching.
 //
-// The suite is stdlib-only (go/parser + go/ast + go/token); analyzers
-// work on syntax with small per-package symbol tables rather than full
-// type information, so each check is a documented approximation that
-// errs toward silence on constructs it cannot resolve.
+// The suite is stdlib-only, but no longer syntax-only: the loader
+// (load.go) type-checks every package with go/types, resolving
+// imports from compiler export data (go/importer) with a source
+// fallback, and hands each analyzer a shared *types.Info. Checks
+// resolve receivers, fields, and constants by type identity rather
+// than name matching, and the flow-aware analyzers reason over a
+// per-function control-flow graph (cfg.go). Each check remains a
+// documented approximation that errs toward silence on constructs it
+// cannot resolve; deliberate exceptions are declared in code with
+// //moglint: directives rather than suppressed silently.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 )
 
@@ -49,7 +69,7 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Package is one parsed (not type-checked) package: the unit the
+// Package is one parsed and type-checked package: the unit the
 // loader produces and analyzers consume. Test files are excluded —
 // tests deliberately violate invariants (out-of-order span ends,
 // ad-hoc tracers) to exercise them.
@@ -58,6 +78,16 @@ type Package struct {
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
+
+	// Types and Info carry the shared go/types view of the package;
+	// every analyzer resolves identifiers, selections and constants
+	// through Info instead of name heuristics. TypeErrors collects what
+	// the checker could not resolve — analyzers err toward silence on
+	// such code, and cmd/moglint reports the errors separately so an
+	// unresolvable tree cannot masquerade as a clean one.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
 }
 
 // Analyzer is one codified invariant. Run receives every loaded
@@ -78,6 +108,11 @@ func All() []*Analyzer {
 		AnalyzerDeterminism,
 		AnalyzerMetricName,
 		AnalyzerCtxFirst,
+		AnalyzerLockOrder,
+		AnalyzerGoroutineJoin,
+		AnalyzerBudgetStride,
+		AnalyzerTelemetryBracket,
+		AnalyzerErrWrap,
 	}
 }
 

@@ -2,25 +2,54 @@ package lint
 
 import (
 	"bufio"
-	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// loadFixture parses one fixture package (testdata/<analyzer>/<kind>).
+// fixtureLoader is shared across fixture tests so the module packages
+// fixtures import (mogis/internal/obs, ...) type-check once.
+var (
+	fixtureOnce   sync.Once
+	fixtureShared *Loader
+	fixtureErr    error
+)
+
+// loadFixture parses and type-checks one fixture package
+// (testdata/<analyzer>/<kind>). Fixtures must type-check cleanly:
+// a fixture the checker cannot resolve silently weakens every
+// type-driven analyzer it exercises.
 func loadFixture(t *testing.T, analyzer, kind string) *Package {
 	t.Helper()
+	fixtureOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		root, mod, err := ModuleRoot(wd)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureShared = NewLoader(root, mod)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
 	dir := filepath.Join("testdata", analyzer, kind)
-	fset := token.NewFileSet()
-	p, err := LoadDir(fset, dir, "fixture/"+analyzer+"/"+kind)
+	p, err := fixtureShared.LoadDir(dir, "fixture/"+analyzer+"/"+kind)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
 	if p == nil {
 		t.Fatalf("fixture %s holds no Go files", dir)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
 	}
 	return p
 }
@@ -123,12 +152,17 @@ func checkFixtures(t *testing.T, name string) {
 	}
 }
 
-func TestSpanEndFixtures(t *testing.T)         { checkFixtures(t, "spanend") }
-func TestAtomicKnobFixtures(t *testing.T)      { checkFixtures(t, "atomicknob") }
-func TestCacheInvalidateFixtures(t *testing.T) { checkFixtures(t, "cacheinvalidate") }
-func TestDeterminismFixtures(t *testing.T)     { checkFixtures(t, "determinism") }
-func TestMetricNameFixtures(t *testing.T)      { checkFixtures(t, "metricname") }
-func TestCtxFirstFixtures(t *testing.T)        { checkFixtures(t, "ctxfirst") }
+func TestSpanEndFixtures(t *testing.T)          { checkFixtures(t, "spanend") }
+func TestAtomicKnobFixtures(t *testing.T)       { checkFixtures(t, "atomicknob") }
+func TestCacheInvalidateFixtures(t *testing.T)  { checkFixtures(t, "cacheinvalidate") }
+func TestDeterminismFixtures(t *testing.T)      { checkFixtures(t, "determinism") }
+func TestMetricNameFixtures(t *testing.T)       { checkFixtures(t, "metricname") }
+func TestCtxFirstFixtures(t *testing.T)         { checkFixtures(t, "ctxfirst") }
+func TestLockOrderFixtures(t *testing.T)        { checkFixtures(t, "lockorder") }
+func TestGoroutineJoinFixtures(t *testing.T)    { checkFixtures(t, "goroutinejoin") }
+func TestBudgetStrideFixtures(t *testing.T)     { checkFixtures(t, "budgetstride") }
+func TestTelemetryBracketFixtures(t *testing.T) { checkFixtures(t, "telemetrybracket") }
+func TestErrWrapFixtures(t *testing.T)          { checkFixtures(t, "errwrap") }
 
 // TestRunAllOrdersFindings pins the stable output contract: findings
 // sort by file, line, column, analyzer.
@@ -188,6 +222,11 @@ func TestSelfClean(t *testing.T) {
 	}
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s does not type-check: %v", p.Path, terr)
+		}
 	}
 	for _, f := range RunAll(All(), pkgs) {
 		t.Errorf("repository is not lint-clean: %s", f.String())

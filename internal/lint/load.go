@@ -1,14 +1,23 @@
 package lint
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // ModuleRoot walks upward from dir to the nearest directory holding a
@@ -45,10 +54,44 @@ func skipDir(name string) bool {
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-// LoadDir parses the non-test Go files of one directory as a Package.
-// Returns nil (no error) when the directory holds no non-test Go
-// files.
-func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
+// Loader parses and type-checks packages of one module with the
+// stdlib type checker, sharing one *token.FileSet and one *types.Info
+// universe across every package it loads. Module-local imports are
+// type-checked from source, recursively and cached; imports outside
+// the module (the standard library) resolve through compiled export
+// data served by `go list -export` out of the go build cache, falling
+// back to type-checking the standard library from GOROOT source when
+// the go tool is unavailable.
+type Loader struct {
+	Root    string // module root directory
+	ModPath string // module path from go.mod
+	Fset    *token.FileSet
+
+	mu      sync.Mutex
+	checked map[string]*Package // import path → checked package (nil while in progress)
+	exports map[string]string   // external import path → export-data file
+	pending map[string]bool     // external paths seen but not yet resolved
+	expImp  types.Importer      // gc-export importer (lazy)
+	srcImp  types.Importer      // source fallback when the go tool is missing
+	goList  bool                // go list probed and working
+	probed  bool
+}
+
+// NewLoader returns a loader rooted at the module.
+func NewLoader(root, modPath string) *Loader {
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    token.NewFileSet(),
+		checked: map[string]*Package{},
+		exports: map[string]string{},
+		pending: map[string]bool{},
+	}
+}
+
+// parseDir parses the non-test Go files of one directory. Returns
+// (nil, nil) when the directory holds no non-test Go files.
+func (l *Loader) parseDir(dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -59,10 +102,16 @@ func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Respect //go:build constraints and GOOS/GOARCH file suffixes
+		// for the default build configuration, so tag-paired files
+		// (race_on.go / race_off.go) do not both land in one package.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue
+		}
 		// Object resolution (the parser default) links identifier uses
-		// to their file-local declarations; the analyzers lean on it
-		// for scope-exact variable tracking.
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		// to their file-local declarations; some analyzers still lean
+		// on it for scope-exact variable tracking alongside types.Info.
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -71,11 +120,213 @@ func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
-	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}, nil
+	p := &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files}
+	l.mu.Lock()
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || l.isLocal(path) || path == "unsafe" {
+				continue
+			}
+			if _, ok := l.exports[path]; !ok {
+				l.pending[path] = true
+			}
+		}
+	}
+	l.mu.Unlock()
+	return p, nil
+}
+
+// isLocal reports whether the import path lies inside the module.
+func (l *Loader) isLocal(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// localDir maps a module-local import path to its directory.
+func (l *Loader) localDir(path string) string {
+	if path == l.ModPath {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(path, l.ModPath+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// LoadDir parses and type-checks one directory as the package with
+// the given import path. The import path decides how the package's
+// own module-local imports resolve; paths outside the module (fixture
+// trees) are fine — their imports still resolve through the module.
+// Returns (nil, nil) when the directory holds no non-test Go files.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.checked[importPath]; ok {
+		l.mu.Unlock()
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+		return p, nil
+	}
+	l.checked[importPath] = nil // in progress
+	l.mu.Unlock()
+
+	p, err := l.parseDir(dir, importPath)
+	if err != nil {
+		l.forget(importPath)
+		return nil, err
+	}
+	if p == nil {
+		l.forget(importPath)
+		return nil, nil
+	}
+	l.check(p)
+	l.mu.Lock()
+	l.checked[importPath] = p
+	l.mu.Unlock()
+	return p, nil
+}
+
+func (l *Loader) forget(importPath string) {
+	l.mu.Lock()
+	delete(l.checked, importPath)
+	l.mu.Unlock()
+}
+
+// check runs the type checker over a parsed package, recording the
+// shared *types.Info and any type errors on it. Type errors never
+// abort the load: analyzers err toward silence on what they cannot
+// resolve, and the caller decides whether unresolved code is fatal.
+func (l *Loader) check(p *Package) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(p.Path, l.Fset, p.Files, info)
+	p.Types = tpkg
+	p.Info = info
+}
+
+// Import resolves one import for the type checker: module-local
+// packages from source (recursively, cached), everything else through
+// export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isLocal(path) {
+		p, err := l.LoadDir(l.localDir(path), path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: type-checking %s failed", path)
+		}
+		return p.Types, nil
+	}
+	return l.importExternal(path)
+}
+
+// importExternal resolves a non-module import. The first call probes
+// the go tool; when it works, `go list -export -deps` resolves every
+// pending external path (and its transitive dependencies) to export
+// files in one batch out of the build cache. Without a go tool the
+// stdlib source importer takes over.
+func (l *Loader) importExternal(path string) (*types.Package, error) {
+	l.mu.Lock()
+	if !l.probed {
+		l.probed = true
+		l.goList = exec.Command("go", "version").Run() == nil
+		if !l.goList {
+			l.srcImp = importer.ForCompiler(l.Fset, "source", nil)
+		}
+	}
+	if !l.goList {
+		imp := l.srcImp
+		l.mu.Unlock()
+		return imp.(types.ImporterFrom).ImportFrom(path, l.Root, 0)
+	}
+	if _, ok := l.exports[path]; !ok {
+		l.pending[path] = true
+	}
+	if len(l.pending) > 0 {
+		want := make([]string, 0, len(l.pending))
+		for p := range l.pending {
+			want = append(want, p)
+		}
+		sort.Strings(want)
+		l.pending = map[string]bool{}
+		if err := l.resolveExports(want); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	if l.expImp == nil {
+		l.expImp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	}
+	imp := l.expImp
+	l.mu.Unlock()
+	return imp.Import(path)
+}
+
+// resolveExports runs one `go list -export -deps` batch over the given
+// import paths, recording every resulting export-data file. Called
+// with l.mu held.
+func (l *Loader) resolveExports(paths []string) error {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-f", "{{.ImportPath}}\x01{{.Export}}"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Root
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: go list -export: %w\n%s", err, stderr.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		ip, exp, ok := strings.Cut(line, "\x01")
+		if !ok || ip == "" || exp == "" {
+			continue
+		}
+		l.exports[ip] = exp
+	}
+	return nil
+}
+
+// lookup serves export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	exp, ok := l.exports[path]
+	if !ok {
+		// A transitive dependency the batch missed: resolve it alone.
+		if err := l.resolveExports([]string{path}); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+		exp, ok = l.exports[path]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(exp)
 }
 
 // Load resolves go-style package patterns (./..., dir/..., plain
-// directories) relative to root and parses every matched package.
+// directories) relative to root, then parses and type-checks every
+// matched package with a shared Loader.
 func Load(root, modPath string, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -122,7 +373,7 @@ func Load(root, modPath string, patterns []string) ([]*Package, error) {
 	}
 	sort.Strings(dirs)
 
-	fset := token.NewFileSet()
+	l := NewLoader(root, modPath)
 	var pkgs []*Package
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
@@ -133,7 +384,7 @@ func Load(root, modPath string, patterns []string) ([]*Package, error) {
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		p, err := LoadDir(fset, dir, importPath)
+		p, err := l.LoadDir(dir, importPath)
 		if err != nil {
 			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
 		}

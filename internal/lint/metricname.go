@@ -42,30 +42,35 @@ var (
 
 // nameUse is one collected naming call site.
 type nameUse struct {
-	p      *Package
-	node   ast.Node
-	kind   string // "metric", "span", "root", "key"
-	what   string // human label for messages
-	arg    ast.Expr
-	consts map[string]bool
+	p    *Package
+	node ast.Node
+	kind string // "metric", "span", "root", "key", "logkey"
+	what string // human label for messages
+	arg  ast.Expr
+}
+
+// isRegistryExpr reports whether e's static type is obs.Registry.
+func (p *Package) isRegistryExpr(e ast.Expr) bool {
+	return typeIsTail(p.typeOf(e), "obs", "Registry")
+}
+
+// isSpanExpr reports whether e's static type is obs.Span.
+func (p *Package) isSpanExpr(e ast.Expr) bool {
+	return typeIsTail(p.typeOf(e), "obs", "Span")
+}
+
+// isObsNewTracer matches a call to the obs package's NewTracer — by
+// callee object, so renamed imports resolve.
+func (p *Package) isObsNewTracer(call *ast.CallExpr) bool {
+	fn := p.calleeObj(call)
+	return fn != nil && fn.Name() == "NewTracer" &&
+		fn.Pkg() != nil && pathTail(fn.Pkg().Path()) == "obs"
 }
 
 func runMetricName(pkgs []*Package) []Finding {
 	var uses []nameUse
 	for _, p := range pkgs {
-		consts := constIndex(p)
 		for _, f := range p.Files {
-			imports := fileImports(f)
-			obsScope := tracerInScope(p, imports, f)
-			slogScope := false
-			for _, path := range imports {
-				if path == "log/slog" {
-					slogScope = true
-				}
-			}
-			if !obsScope && !slogScope {
-				continue
-			}
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -78,22 +83,23 @@ func runMetricName(pkgs []*Package) []Finding {
 				} else if id, ok := call.Fun.(*ast.Ident); ok {
 					fnName = id.Name
 				}
-				u := nameUse{p: p, node: call, consts: consts}
+				u := nameUse{p: p, node: call}
+				fnObj := p.calleeObj(call)
 				switch {
-				case slogScope && ok && slogAttrFns[fnName] && len(call.Args) >= 1 &&
-					selOnImport(imports, call.Fun) == "log/slog":
+				case ok && slogAttrFns[fnName] && len(call.Args) >= 1 &&
+					fnObj != nil && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "log/slog":
 					u.kind, u.what = "logkey", "slog record key"
-				case !obsScope:
-					return true
-				case (fnName == "Counter" || fnName == "Gauge") && len(call.Args) == 2 && ok:
+				case (fnName == "Counter" || fnName == "Gauge") && len(call.Args) == 2 && ok &&
+					p.isRegistryExpr(sel.X):
 					u.kind, u.what = "metric", fnName+" registration"
-				case fnName == "Histogram" && len(call.Args) == 3 && ok:
+				case fnName == "Histogram" && len(call.Args) == 3 && ok && p.isRegistryExpr(sel.X):
 					u.kind, u.what = "metric", "Histogram registration"
-				case fnName == "Start" && len(call.Args) == 1 && ok && isTracerExpr(imports, sel.X):
+				case fnName == "Start" && len(call.Args) == 1 && ok && p.isTracerExpr(sel.X):
 					u.kind, u.what = "span", "span name"
-				case fnName == "NewTracer" && len(call.Args) == 1:
+				case fnName == "NewTracer" && len(call.Args) == 1 && p.isObsNewTracer(call):
 					u.kind, u.what = "root", "root trace name"
-				case (fnName == "SetCount" || fnName == "AddCount") && len(call.Args) == 2 && ok:
+				case (fnName == "SetCount" || fnName == "AddCount") && len(call.Args) == 2 && ok &&
+					p.isSpanExpr(sel.X):
 					u.kind, u.what = "key", "span count key"
 				default:
 					return true
@@ -108,14 +114,11 @@ func runMetricName(pkgs []*Package) []Finding {
 	var out []Finding
 	firstSite := map[string]nameUse{} // "<kind>\x00<value>" → first registration
 	for _, u := range uses {
-		if !isConstString(u.consts, u.arg) {
+		val, ok := u.p.constString(u.arg)
+		if !ok {
 			out = append(out, u.p.finding("metricname", u.arg,
 				"%s built dynamically; obs names must be untyped string constants", u.what))
 			continue
-		}
-		val, ok := constStringValue(u.arg)
-		if !ok {
-			continue // constant, but declared out of view: shape checks skipped
 		}
 		re := spanNameRE
 		if u.kind == "metric" {

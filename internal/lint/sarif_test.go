@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteSARIF pins the shape code-scanning uploads depend on:
+// version 2.1.0, one run, every analyzer listed as a rule, and
+// root-relative forward-slash file URIs.
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "spanend", File: "/repo/internal/core/engine.go", Line: 42, Col: 7, Message: "span leaked"},
+		{Analyzer: "errwrap", File: "/elsewhere/x.go", Line: 1, Col: 1, Message: "text match"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", All(), findings); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "moglint" {
+		t.Errorf("driver name = %q, want moglint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(All()); got != want {
+		t.Errorf("rules = %d, want one per analyzer (%d)", got, want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "spanend" || first.Level != "error" {
+		t.Errorf("first result = %s/%s, want spanend/error", first.RuleID, first.Level)
+	}
+	if uri := first.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/core/engine.go" {
+		t.Errorf("uri = %q, want repo-relative internal/core/engine.go", uri)
+	}
+	if line := first.Locations[0].PhysicalLocation.Region.StartLine; line != 42 {
+		t.Errorf("startLine = %d, want 42", line)
+	}
+	// A finding outside the root keeps its absolute path.
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; !strings.HasPrefix(uri, "/elsewhere") {
+		t.Errorf("outside-root uri = %q, want absolute", uri)
+	}
+
+	// A clean run is still a valid, uploadable log.
+	buf.Reset()
+	if err := WriteSARIF(&buf, "/repo", All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty findings should render an empty results array:\n%s", buf.String())
+	}
+}

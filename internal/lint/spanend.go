@@ -16,7 +16,8 @@ import (
 // a conditional closes the span only for the paths of that branch, a
 // defer closes it for everything after the defer statement, and
 // statements inside function literals are ignored (they may never
-// run).
+// run). Tracer and span expressions resolve through go/types, so a
+// renamed import or an accessor returning *obs.Tracer both count.
 var AnalyzerSpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "obs spans must be ended on every path out of the opening function",
@@ -27,61 +28,16 @@ func runSpanEnd(pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
 		for _, f := range p.Files {
-			imports := fileImports(f)
-			if !tracerInScope(p, imports, f) {
-				continue
-			}
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
 					continue
 				}
-				out = append(out, checkFuncSpans(p, imports, fd)...)
+				out = append(out, checkFuncSpans(p, fd)...)
 			}
 		}
 	}
 	return out
-}
-
-// importsObs reports whether the file can see the obs tracer at all
-// (imports an "obs" package or is the obs package itself).
-func importsObs(p *Package, imports map[string]string) bool {
-	if pathTail(p.Path) == "obs" {
-		return true
-	}
-	for _, path := range imports {
-		if pathTail(path) == "obs" {
-			return true
-		}
-	}
-	return false
-}
-
-// usesTracerAccessor reports whether the file calls a no-arg Tracer()
-// accessor — packages like internal/fo reach the tracer through an
-// evaluation-context interface without importing obs directly.
-func usesTracerAccessor(f *ast.File) bool {
-	found := false
-	ast.Inspect(f, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Tracer" && len(call.Args) == 0 {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// tracerInScope is the file gate shared by spanend and metricname.
-func tracerInScope(p *Package, imports map[string]string, f *ast.File) bool {
-	return importsObs(p, imports) || usesTracerAccessor(f)
 }
 
 func pathTail(path string) string {
@@ -93,64 +49,25 @@ func pathTail(path string) string {
 	return path
 }
 
-// isTracerExpr reports whether e syntactically denotes an obs.Tracer:
-// a Tracer() accessor call, an obs.NewTracer call, or an identifier
-// declared from either (or as a *Tracer parameter).
-func isTracerExpr(imports map[string]string, e ast.Expr) bool {
-	switch v := e.(type) {
-	case *ast.CallExpr:
-		switch fn := v.Fun.(type) {
-		case *ast.SelectorExpr:
-			if fn.Sel.Name == "Tracer" || fn.Sel.Name == "NewTracer" {
-				return true
-			}
-		case *ast.Ident:
-			if fn.Name == "NewTracer" {
-				return true
-			}
-		}
-	case *ast.Ident:
-		if v.Obj == nil {
-			return false
-		}
-		switch decl := v.Obj.Decl.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range decl.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok && id.Obj == v.Obj && i < len(decl.Rhs) {
-					return isTracerExpr(imports, decl.Rhs[i])
-				}
-			}
-			if len(decl.Rhs) == 1 {
-				return isTracerExpr(imports, decl.Rhs[0])
-			}
-		case *ast.Field:
-			t := decl.Type
-			if st, ok := t.(*ast.StarExpr); ok {
-				t = st.X
-			}
-			if sel, ok := t.(*ast.SelectorExpr); ok {
-				return sel.Sel.Name == "Tracer"
-			}
-			if id, ok := t.(*ast.Ident); ok {
-				return id.Name == "Tracer"
-			}
-		}
-	}
-	return false
+// isTracerExpr reports whether e denotes an obs.Tracer under the type
+// checker — a *Tracer variable, field, or the result of an accessor
+// like ctx.Tracer(), regardless of import name.
+func (p *Package) isTracerExpr(e ast.Expr) bool {
+	return typeIsTail(p.typeOf(e), "obs", "Tracer")
 }
 
 // isSpanCall reports whether call creates a span: tracer.Start(name)
-// or tracer.Root().
-func isSpanCall(imports map[string]string, call *ast.CallExpr) bool {
+// or tracer.Root() on anything whose static type is obs.Tracer.
+func (p *Package) isSpanCall(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	switch sel.Sel.Name {
 	case "Start":
-		return len(call.Args) == 1 && isTracerExpr(imports, sel.X)
+		return len(call.Args) == 1 && p.isTracerExpr(sel.X)
 	case "Root":
-		return len(call.Args) == 0 && isTracerExpr(imports, sel.X)
+		return len(call.Args) == 0 && p.isTracerExpr(sel.X)
 	}
 	return false
 }
@@ -165,7 +82,7 @@ type spanVar struct {
 
 // checkFuncSpans finds every span opened in fd and verifies each is
 // ended on all paths.
-func checkFuncSpans(p *Package, imports map[string]string, fd *ast.FuncDecl) []Finding {
+func checkFuncSpans(p *Package, fd *ast.FuncDecl) []Finding {
 	var out []Finding
 	var spans []spanVar
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -175,7 +92,7 @@ func checkFuncSpans(p *Package, imports map[string]string, fd *ast.FuncDecl) []F
 		case *ast.AssignStmt:
 			for i, rhs := range v.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isSpanCall(imports, call) {
+				if !ok || !p.isSpanCall(call) {
 					continue
 				}
 				if i >= len(v.Lhs) {
@@ -190,7 +107,7 @@ func checkFuncSpans(p *Package, imports map[string]string, fd *ast.FuncDecl) []F
 				spans = append(spans, spanVar{obj: id.Obj, name: id.Name, start: v})
 			}
 		case *ast.ExprStmt:
-			if call, ok := v.X.(*ast.CallExpr); ok && isSpanCall(imports, call) {
+			if call, ok := v.X.(*ast.CallExpr); ok && p.isSpanCall(call) {
 				out = append(out, p.finding("spanend", call,
 					"span from %s is discarded and can never be ended", calleeName(call)))
 			}
@@ -199,7 +116,7 @@ func checkFuncSpans(p *Package, imports map[string]string, fd *ast.FuncDecl) []F
 	})
 
 	for _, sv := range spans {
-		out = append(out, checkSpanPaths(p, imports, fd, sv)...)
+		out = append(out, checkSpanPaths(p, fd, sv)...)
 	}
 	return out
 }
@@ -208,7 +125,6 @@ func checkFuncSpans(p *Package, imports map[string]string, fd *ast.FuncDecl) []F
 // span variable.
 type spanWalk struct {
 	p        *Package
-	imports  map[string]string
 	sv       spanVar
 	active   bool // start statement passed
 	closed   bool // End/defer End/Finish dominates from here on
@@ -218,8 +134,8 @@ type spanWalk struct {
 // checkSpanPaths walks the function body in source order, activating
 // at the span's Start statement and flagging every return reachable
 // while the span is still open.
-func checkSpanPaths(p *Package, imports map[string]string, fd *ast.FuncDecl, sv spanVar) []Finding {
-	w := &spanWalk{p: p, imports: imports, sv: sv}
+func checkSpanPaths(p *Package, fd *ast.FuncDecl, sv spanVar) []Finding {
+	w := &spanWalk{p: p, sv: sv}
 	w.stmts(fd.Body.List)
 	if w.active && !w.closed && len(w.findings) == 0 {
 		w.findings = append(w.findings, p.finding("spanend", sv.start,
@@ -241,7 +157,7 @@ func (w *spanWalk) closesSpan(call *ast.CallExpr) bool {
 		id, ok := sel.X.(*ast.Ident)
 		return ok && id.Obj == w.sv.obj
 	case "Finish":
-		return isTracerExpr(w.imports, sel.X)
+		return w.p.isTracerExpr(sel.X)
 	}
 	return false
 }

@@ -20,9 +20,9 @@ func (e *Engine) Snapshot() {
 	_ = w
 }
 
-// consume takes a sync.Once by value — not itself flagged (the param
-// type is not a struct of this package), but passing the field is.
-func consume(o sync.Once) bool { return false }
+// consume takes a sync.Once by value — flagged now that the analyzer
+// resolves real types, and passing the field is flagged too.
+func consume(o sync.Once) bool { return false } // want
 
 // Pass hands the once field to a by-value parameter, losing its
 // identity.

@@ -1,0 +1,80 @@
+// Package good checks the query budget within checkEvery rows on
+// every governed scan.
+package good
+
+import (
+	"context"
+
+	"mogis/internal/moft"
+)
+
+type qctl struct{}
+
+func (q *qctl) step(ctx context.Context) error             { return nil }
+func (q *qctl) addRows(ctx context.Context, n int64) error { return nil }
+func (q *qctl) addResults(n int64) error                   { return nil }
+
+const checkEvery = 1024
+
+// unconditional checks the budget on every row.
+func unconditional(ctx context.Context, qc *qctl, cols *moft.Columns) error {
+	for r := 0; r < cols.Len(); r++ {
+		if err := qc.step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moduloStride uses the engine's i%256 pattern.
+func moduloStride(ctx context.Context, qc *qctl, cand []moft.Oid) error {
+	for i, oid := range cand {
+		if i%256 == 255 {
+			if err := qc.addRows(ctx, 256); err != nil {
+				return err
+			}
+		}
+		_ = oid
+	}
+	return nil
+}
+
+// pendingThreshold accumulates and flushes at the checkEvery constant,
+// which the type checker folds to 1024.
+func pendingThreshold(ctx context.Context, qc *qctl, cols *moft.Columns) error {
+	pending := int64(0)
+	for r := 0; r < cols.Len(); r++ {
+		pending++
+		if pending >= checkEvery {
+			if err := qc.addRows(ctx, pending); err != nil {
+				return err
+			}
+			pending = 0
+		}
+	}
+	return nil
+}
+
+// nestedInner is covered by the check in its outermost row-scan loop.
+func nestedInner(ctx context.Context, qc *qctl, cols *moft.Columns) error {
+	for i := 0; i < cols.NumObjects(); i++ {
+		if err := qc.step(ctx); err != nil {
+			return err
+		}
+		lo, hi := cols.ObjectRange(i)
+		for r := lo; r < hi; r++ {
+			_ = cols.T[r]
+		}
+	}
+	return nil
+}
+
+// notGoverned has no controller in scope: index builders and loaders
+// may scan freely.
+func notGoverned(cols *moft.Columns) int {
+	n := 0
+	for r := 0; r < cols.Len(); r++ {
+		n++
+	}
+	return n
+}

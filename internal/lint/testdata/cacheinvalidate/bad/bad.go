@@ -7,6 +7,7 @@ import (
 
 	"mogis/internal/core"
 	"mogis/internal/fo"
+	"mogis/internal/moft"
 )
 
 type Columns struct{}
@@ -31,15 +32,15 @@ func (t *Table) Set(i, v int) { // want
 // refill mutates a fact table while an engine is in scope and never
 // invalidates it (rule 2).
 func refill(eng *core.Engine, ctx *fo.Context) {
-	tb := ctx.Table("bus")
+	tb, _ := ctx.Table("bus")
 	tb.Add(1, 2, 3, 4) // want
 }
 
 // lateMutation invalidates, then mutates again afterwards (rule 2:
 // the invalidation must come after the last mutation).
 func lateMutation(eng *core.Engine, ctx *fo.Context) {
-	tb := ctx.Table("bus")
-	tb.AddTuple(nil)
+	tb, _ := ctx.Table("bus")
+	tb.AddTuple(moft.Tuple{})
 	eng.InvalidateTrajectories("bus")
-	tb.AddTuple(nil) // want
+	tb.AddTuple(moft.Tuple{}) // want
 }

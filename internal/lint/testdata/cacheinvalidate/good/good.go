@@ -7,6 +7,7 @@ import (
 
 	"mogis/internal/core"
 	"mogis/internal/fo"
+	"mogis/internal/moft"
 )
 
 type Columns struct{}
@@ -36,23 +37,23 @@ func (t *Table) Len() int { return len(t.tuples) }
 
 // refill invalidates the engine after the mutation (rule 2).
 func refill(eng *core.Engine, ctx *fo.Context) {
-	tb := ctx.Table("bus")
+	tb, _ := ctx.Table("bus")
 	tb.Add(1, 2, 3, 4)
-	tb.AddTuple(nil)
+	tb.AddTuple(moft.Tuple{})
 	eng.InvalidateTrajectories("bus")
 }
 
 // load mutates before any engine exists — the caches build lazily on
 // first query, so nothing can go stale.
 func load(ctx *fo.Context) {
-	tb := ctx.Table("bus")
+	tb, _ := ctx.Table("bus")
 	tb.Add(1, 2, 3, 4)
 }
 
 // build mutates first and only then creates the engine (rule 2:
 // mutations before the engine are fine).
 func build(ctx *fo.Context) *core.Engine {
-	tb := ctx.Table("bus")
+	tb, _ := ctx.Table("bus")
 	tb.Add(1, 2, 3, 4)
 	return core.New(ctx)
 }

@@ -1,0 +1,77 @@
+// Package bad matches error text and concrete types instead of using
+// the errors.Is/As protocol over wrapped chains.
+package bad
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func do() error { return errSentinel }
+
+// compareText branches on the exact message, which breaks on any
+// rewording.
+func compareText() bool {
+	err := do()
+	return err.Error() == "sentinel" // want
+}
+
+// notEqualText is the same defect with the other operator and order.
+func notEqualText() bool {
+	err := do()
+	return "sentinel" != err.Error() // want
+}
+
+// containsText greps the message.
+func containsText() bool {
+	err := do()
+	return strings.Contains(err.Error(), "sent") // want
+}
+
+// prefixText matches on a message prefix.
+func prefixText() bool {
+	return strings.HasPrefix(do().Error(), "sen") // want
+}
+
+// flatten loses the cause: %v renders text, errors.As finds nothing.
+func flatten() error {
+	if err := do(); err != nil {
+		return fmt.Errorf("query failed: %v", err) // want
+	}
+	return nil
+}
+
+// flattenText flattens via Error() rather than the value.
+func flattenText() error {
+	if err := do(); err != nil {
+		return fmt.Errorf("query failed: %s", err.Error()) // want
+	}
+	return nil
+}
+
+// assert reaches for the concrete type without unwrapping.
+func assert() int {
+	err := do()
+	if ce, ok := err.(*codeError); ok { // want
+		return ce.code
+	}
+	return 0
+}
+
+// switchOnType has the same defect in switch form.
+func switchOnType() int {
+	err := do()
+	switch e := err.(type) { // want
+	case *codeError:
+		return e.code
+	default:
+		return 0
+	}
+}

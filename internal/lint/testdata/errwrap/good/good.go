@@ -1,0 +1,58 @@
+// Package good crosses package boundaries with wrapped, typed errors.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func do() error { return errSentinel }
+
+// compareTyped branches with errors.Is, which survives wrapping.
+func compareTyped() bool {
+	return errors.Is(do(), errSentinel)
+}
+
+// wrap preserves the chain with %w.
+func wrap() error {
+	if err := do(); err != nil {
+		return fmt.Errorf("query failed: %w", err)
+	}
+	return nil
+}
+
+// asTyped unwraps with errors.As.
+func asTyped() int {
+	var ce *codeError
+	if errors.As(do(), &ce) {
+		return ce.code
+	}
+	return 0
+}
+
+// logText renders the message for humans; only matching on it is
+// banned.
+func logText() string {
+	return fmt.Sprintf("saw: %v", do())
+}
+
+// assertNonError type-asserts an any value, which is out of scope.
+func assertNonError(v any) int {
+	if n, ok := v.(int); ok {
+		return n
+	}
+	return 0
+}
+
+// golden asserts exact text deliberately, e.g. a golden-output test.
+//
+//moglint:stringerr
+func golden() bool {
+	return do().Error() == "sentinel"
+}

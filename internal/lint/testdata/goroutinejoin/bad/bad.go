@@ -1,0 +1,26 @@
+// Package bad spawns goroutines nothing can join or cancel.
+package bad
+
+import "fmt"
+
+// fireAndForget has no WaitGroup, channel, or context anywhere in the
+// spawned expression.
+func fireAndForget() {
+	go func() { // want
+		fmt.Println("orphan")
+	}()
+}
+
+// namedOrphan calls a plain function with plain arguments.
+func namedOrphan(n int) {
+	go work(n) // want
+}
+
+// loopSpawner leaks one orphan per item.
+func loopSpawner(items []int) {
+	for _, it := range items {
+		go work(it) // want
+	}
+}
+
+func work(n int) { _ = n }

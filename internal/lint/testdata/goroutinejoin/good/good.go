@@ -1,0 +1,68 @@
+// Package good spawns goroutines only with a visible join or
+// cancellation discipline, or an explicit detach annotation.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+// waitGroupJoin registers the worker before spawning and waits.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = n
+	}()
+	wg.Wait()
+}
+
+// channelJoin receives the worker's result.
+func channelJoin() int {
+	out := make(chan int, 1)
+	go func() { out <- 1 }()
+	return <-out
+}
+
+// fieldWaitGroup reaches the WaitGroup through a struct field.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) spawn(n int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_ = n
+	}()
+}
+
+// ctxInherit lets cancellation reach the worker.
+func ctxInherit(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// groupGo delegates the join to an errgroup-style group.
+type group struct{}
+
+func (g *group) Go(fn func() error) {}
+
+func groupGo(g *group) {
+	go g.Go(func() error { return nil })
+}
+
+// annotated is a deliberate process-lifetime loop and says so.
+func annotated() {
+	go serviceLoop() //moglint:detached
+}
+
+// annotatedAbove carries the directive on the preceding line.
+func annotatedAbove() {
+	//moglint:detached
+	go serviceLoop()
+}
+
+func serviceLoop() {}

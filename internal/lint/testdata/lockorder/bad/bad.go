@@ -1,0 +1,68 @@
+// Package bad holds mutexes across blocking operations and acquires
+// two locks in opposite orders at different sites.
+package bad
+
+import "sync"
+
+type store struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	ch  chan int
+	wg  sync.WaitGroup
+}
+
+// sendUnderLock blocks on a channel send while holding mu.
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want
+	s.mu.Unlock()
+}
+
+// recvUnderDeferredLock holds mu for the whole body via defer and
+// then blocks on a receive.
+func (s *store) recvUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-s.ch // want
+	return v
+}
+
+// waitUnderLock blocks on WaitGroup.Wait with mu held.
+func (s *store) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want
+	s.mu.Unlock()
+}
+
+// selectUnderLock blocks on a default-less select with mu held.
+func (s *store) selectUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want
+	case v := <-s.ch:
+		return v
+	}
+}
+
+// reacquire locks mu twice on one path; sync.Mutex is not reentrant.
+func (s *store) reacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want
+	s.mu.Unlock()
+}
+
+// lockAB establishes the mu-before-aux order.
+func (s *store) lockAB() {
+	s.mu.Lock()
+	s.aux.Lock()
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+// lockBA acquires the same pair in the opposite order: ABBA.
+func (s *store) lockBA() {
+	s.aux.Lock()
+	s.mu.Lock() // want
+	s.mu.Unlock()
+	s.aux.Unlock()
+}

@@ -1,0 +1,72 @@
+// Package good blocks only outside critical sections and acquires
+// locks in one global order.
+package good
+
+import "sync"
+
+type store struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	ch  chan int
+	wg  sync.WaitGroup
+}
+
+// sendOutsideLock releases before blocking.
+func (s *store) sendOutsideLock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// orderSiteA and orderSiteB agree on mu before aux.
+func (s *store) orderSiteA() {
+	s.mu.Lock()
+	s.aux.Lock()
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) orderSiteB() {
+	s.mu.Lock()
+	s.aux.Lock()
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+// condWait is exempt: sync.Cond.Wait releases the lock while blocked.
+func (s *store) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	c.Wait()
+	s.mu.Unlock()
+}
+
+// goroutineBody does not inherit the spawner's held set; the send
+// blocks the worker, not the lock holder.
+func (s *store) goroutineBody(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.ch <- v
+	}()
+}
+
+// selectDefault never blocks.
+func (s *store) selectDefault() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// waitAfterUnlock joins the workers with no lock held.
+func (s *store) waitAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

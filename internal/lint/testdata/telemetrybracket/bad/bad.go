@@ -1,0 +1,91 @@
+// Package bad violates the telemetry begin/done bracket contract in
+// every way the analyzer must catch.
+package bad
+
+import "context"
+
+type qctl struct{}
+
+// Engine mirrors the core engine facade; begin opens the bracket.
+type Engine struct{}
+
+func (e *Engine) begin(ctx context.Context, op, table string) (*qctl, context.Context, func(*error)) {
+	return &qctl{}, ctx, func(*error) {}
+}
+
+func cond() bool { return true }
+
+// NoBracket is an exported Querier method that never records.
+func (e *Engine) NoBracket(ctx context.Context, table string) error { // want
+	return nil
+}
+
+// LateDefer lets control branch between begin and the defer; an early
+// return escapes the bracket.
+func (e *Engine) LateDefer(ctx context.Context, table string) (err error) {
+	qc, ctx, done := e.begin(ctx, "late", table) // want
+	if cond() {
+		return nil
+	}
+	defer done(&err)
+	_, _ = qc, ctx
+	return nil
+}
+
+// ConditionalBracket records only one arm; the other path exits
+// unobserved.
+func (e *Engine) ConditionalBracket(ctx context.Context, table string) (err error) {
+	if cond() {
+		qc, ctx2, done := e.begin(ctx, "cond", table) // want
+		defer done(&err)
+		_, _ = qc, ctx2
+	}
+	return nil
+}
+
+// LoopedBracket opens the bracket once per iteration.
+func (e *Engine) LoopedBracket(ctx context.Context, tables []string) (err error) {
+	for _, t := range tables {
+		qc, ctx2, done := e.begin(ctx, "loop", t) // want
+		defer done(&err)
+		_, _ = qc, ctx2
+	}
+	return nil
+}
+
+// DoubleBracket records the same query twice.
+func (e *Engine) DoubleBracket(ctx context.Context, table string) (err error) {
+	qc, ctx, done := e.begin(ctx, "one", table)
+	defer done(&err)
+	qc2, ctx2, done2 := e.begin(ctx, "two", table) // want
+	defer done2(&err)
+	_, _, _, _ = qc, ctx, qc2, ctx2
+	return nil
+}
+
+// WrongErr defers done against a local, so the classifier never sees
+// the method's real outcome.
+func (e *Engine) WrongErr(ctx context.Context, table string) (err error) {
+	var localErr error
+	qc, ctx, done := e.begin(ctx, "wrong", table) // want
+	defer done(&localErr)
+	_, _ = qc, ctx
+	return localErr
+}
+
+// NoNamedErr has no named error result for done to observe.
+func (e *Engine) NoNamedErr(ctx context.Context, table string) error { // want
+	qc, ctx, done := e.begin(ctx, "anon", table)
+	var err error
+	defer done(&err)
+	_, _ = qc, ctx
+	return err
+}
+
+// helper opens a bracket outside any Querier method, double-recording
+// every query routed through it.
+func helper(e *Engine, ctx context.Context) {
+	qc, c, done := e.begin(ctx, "helper", "t") // want
+	defer done(nil)
+	_, _ = qc, c
+}

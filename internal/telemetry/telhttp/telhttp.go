@@ -182,7 +182,9 @@ func Serve(addr string, c *telemetry.Collector) (*Server, error) {
 		srv:  &http.Server{Handler: Handler(c)},
 		ln:   ln,
 	}
-	go func() { _ = s.srv.Serve(ln) }()
+	// The accept loop lives until Close stops the listener; Serve's
+	// return value is the ErrServerClosed it reports then.
+	go func() { _ = s.srv.Serve(ln) }() //moglint:detached
 	return s, nil
 }
 
