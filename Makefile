@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-engine shard-race telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint lint-sarif fuzz-smoke clean
+.PHONY: all check build test race race-engine shard-race serve-race serve-smoke telemetry chaos cover bench microbench experiments experiments-full fmt fmt-check vet vet-strict lint lint-sarif fuzz-smoke clean
 
 all: check
 
 # The full pre-merge gate: compile, formatting, vet, the moglint
 # invariant analyzers, tests, race detector, the repeated
-# concurrent-engine stress pass, and the telemetry-service race pass.
-check: build fmt-check vet lint test race race-engine telemetry
+# concurrent-engine stress pass, the telemetry-service race pass, and
+# the network front door race pass.
+check: build fmt-check vet lint test race race-engine telemetry serve-race
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,19 @@ shard-race:
 # while queries record, and the obs tracer/registry they build on.
 telemetry:
 	$(GO) test -race -count=2 ./internal/telemetry/... ./internal/obs/...
+
+# The network front door, twice, under the race detector: admission
+# control and backpressure, the SSE hub with the 2000-subscriber load
+# gate, the server chaos matrix (accept/write/subscriber/shutdown),
+# and the graceful-drain regressions.
+serve-race:
+	$(GO) test -race -count=2 ./internal/server/...
+
+# End-to-end daemon smoke test: build mogisd, start it, query, ingest
+# a geofence-crossing batch under an SSE subscriber, scrape /metrics,
+# then SIGTERM and assert a clean drain.
+serve-smoke:
+	./scripts/mogisd_smoke.sh
 
 # The repository's own static analyzers (internal/lint), type-checked
 # and flow-aware: span lifecycles, atomic-knob access, cache

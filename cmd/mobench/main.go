@@ -27,6 +27,9 @@
 //
 // A missing or malformed -baseline file is not fatal: mobench warns
 // on stderr, skips the delta table, and exits by the run's own result.
+//
+// Exit codes: 0 success, 1 experiment failure, 2 setup/regression
+// error, 4 interrupted (SIGINT/SIGTERM cancelled the run).
 package main
 
 import (
@@ -35,11 +38,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
 	"strings"
+	"syscall"
 
 	"mogis/internal/core"
 	"mogis/internal/experiments"
@@ -69,13 +74,20 @@ func main() {
 	maxResults := flag.Int64("max-results", 0, "per-query budget on result items for every engine call (0 = unlimited)")
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the running experiments through the
+	// same context plumbing as -timeout (exit 4); a second signal
+	// kills the process outright.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	baseCtx := sigCtx
 	if *timeout > 0 || *maxRows > 0 || *maxResults > 0 {
-		experiments.SetBaseContext(core.WithBudget(context.Background(), core.Budget{
+		baseCtx = core.WithBudget(baseCtx, core.Budget{
 			MaxRows:    *maxRows,
 			MaxResults: *maxResults,
 			Timeout:    *timeout,
-		}))
+		})
 	}
+	experiments.SetBaseContext(baseCtx)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -105,6 +117,11 @@ func main() {
 	// os.Exit skips defers, so the profile/metrics teardown lives in
 	// run; main only translates its code.
 	code := run(*exp, *full, *metrics, *workers, *shards, *jsonPath, *baseline, *cpuprofile, *memprofile, *tracefile, meta)
+	if sigCtx.Err() != nil {
+		// The run was interrupted; the documented cancellation code
+		// wins over whatever partial results produced.
+		code = 4
+	}
 	if *statsPath != "" {
 		if err := writeStats(*statsPath, col); err != nil {
 			fmt.Fprintf(os.Stderr, "mobench: stats: %v\n", err)

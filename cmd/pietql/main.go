@@ -33,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mogis/internal/core"
@@ -60,10 +62,16 @@ var queryLimits struct {
 	maxResults int64
 }
 
-// queryContext builds the per-query context: a wall-clock deadline
-// from -timeout and a core.Budget from -max-rows/-max-results.
+// baseCtx is the process-lifetime context: main swaps in the
+// signal.NotifyContext so SIGINT/SIGTERM cancels through the same
+// plumbing as -timeout, and an interrupted query exits 4.
+var baseCtx = context.Background()
+
+// queryContext builds the per-query context: the signal-aware base, a
+// wall-clock deadline from -timeout and a core.Budget from
+// -max-rows/-max-results.
 func queryContext() (context.Context, context.CancelFunc) {
-	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	ctx, cancel := baseCtx, context.CancelFunc(func() {})
 	if queryLimits.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, queryLimits.timeout)
 	}
@@ -110,6 +118,12 @@ Flags:
 	}
 	flag.Parse()
 
+	// Ctrl-C cancels the running query through the normal context
+	// plumbing (exit 4); a second signal kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	baseCtx = ctx
+
 	if *verbose {
 		obs.SetLogOutput(os.Stderr)
 	}
@@ -145,6 +159,9 @@ Flags:
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pietql: %v\n", err)
+		if qerr.IsCancel(err) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 	if *shards > 1 {
@@ -354,7 +371,7 @@ func loadSystem(dir string, withOverlay bool) (*pietql.System, error) {
 			}
 			pairs = append(pairs, overlay.Pair{A: refN, B: overlay.Ref{Layer: name, Kind: kind}})
 		}
-		ov, err := overlay.Precompute(context.Background(), layers, pairs)
+		ov, err := overlay.Precompute(baseCtx, layers, pairs)
 		if err != nil {
 			return nil, err
 		}
@@ -379,7 +396,7 @@ func buildSystem(useCity bool, grid, objects int, seed int64, withOverlay bool) 
 		}
 		sys.Cubes["CityCube"] = &mdx.Cube{Name: "CityCube", Fact: populationCube(s.Neighborhoods)}
 		if withOverlay {
-			ov, err := overlay.Precompute(context.Background(), map[string]*layer.Layer{
+			ov, err := overlay.Precompute(baseCtx, map[string]*layer.Layer{
 				"Ln": s.Ln, "Lr": s.Lr, "Ls": s.Ls, "Lstores": s.Lstores, "Lh": s.Lh,
 			}, defaultPairs())
 			if err != nil {
@@ -405,7 +422,7 @@ func buildSystem(useCity bool, grid, objects int, seed int64, withOverlay bool) 
 		Cubes:      mdx.Catalog{"CityCube": &mdx.Cube{Name: "CityCube", Fact: populationCube(city.Neighborhoods)}},
 	}
 	if withOverlay {
-		ov, err := overlay.Precompute(context.Background(), city.Layers(), defaultPairs())
+		ov, err := overlay.Precompute(baseCtx, city.Layers(), defaultPairs())
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,20 @@ const (
 	CoreShardPartition = "core/shard-partition"
 	// OverlayPair fires inside each overlay pair precomputation.
 	OverlayPair = "overlay/pair"
+	// ServerAccept fires in the mogisd listener's accept path, before
+	// the accepted connection is handed to the HTTP server. The accept
+	// loop must absorb the fault and keep serving.
+	ServerAccept = "server/accept"
+	// ServerWrite fires just before a response body write on the query
+	// path and before each SSE event write, modelling a mid-write
+	// failure to a client.
+	ServerWrite = "server/write"
+	// ServerSubscriber fires in the SSE subscriber's flush loop; delay
+	// mode models a stalled consumer, error/panic a broken one.
+	ServerSubscriber = "server/subscriber"
+	// ServerShutdown fires at the start of the daemon's drain sequence;
+	// shutdown must complete within its budget regardless.
+	ServerShutdown = "server/shutdown"
 )
 
 // Catalog returns every known site name, in stable order.
@@ -49,6 +63,10 @@ func Catalog() []string {
 		CoreIntervalInsert,
 		CoreShardPartition,
 		OverlayPair,
+		ServerAccept,
+		ServerWrite,
+		ServerSubscriber,
+		ServerShutdown,
 	}
 }
 

@@ -91,6 +91,8 @@ func TestCatalogCoversConstants(t *testing.T) {
 		CoreLITBuild: true, CoreGridBuild: true, CoreFanoutChunk: true,
 		CorePrefilter: true, CoreIntervalInsert: true,
 		CoreShardPartition: true, OverlayPair: true,
+		ServerAccept: true, ServerWrite: true,
+		ServerSubscriber: true, ServerShutdown: true,
 	}
 	got := Catalog()
 	if len(got) != len(want) {

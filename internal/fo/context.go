@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mogis/internal/gis"
 	"mogis/internal/moft"
@@ -34,8 +35,9 @@ type Context struct {
 	// lits caches per-table interpolated trajectories for InterpFact.
 	lits map[string]map[moft.Oid]*traj.LIT
 	// tracer, when non-nil, receives one span per evaluation stage of
-	// queries run against this context (attach per query).
-	tracer *obs.Tracer
+	// queries run against this context. Atomic: concurrent servers
+	// attach/detach sampled tracers while other queries evaluate.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // NewContext creates a context over a GIS dimension instance.
@@ -101,17 +103,25 @@ func (c *Context) GIS() *gis.Dimension { return c.gisDim }
 
 // SetTracer attaches a query trace to the context (nil detaches).
 // Evaluation stages — formula planning, FO evaluation, trajectory
-// interpolation, aggregation — record spans on it. Attachment is not
-// synchronized: attach one tracer per query from the evaluating
-// goroutine.
+// interpolation, aggregation — record spans on it. The context holds
+// one tracer at a time; concurrent pipelines should claim it with
+// CompareAndSwapTracer instead of clobbering an in-flight trace.
 func (c *Context) SetTracer(t *obs.Tracer) *Context {
-	c.tracer = t
+	c.tracer.Store(t)
 	return c
+}
+
+// CompareAndSwapTracer attaches next only if old is still the current
+// tracer, and reports whether it did. Samplers pass (nil, tr) to claim
+// an idle context and (tr, nil) to release it, so two concurrent
+// sampled queries cannot tear each other's traces.
+func (c *Context) CompareAndSwapTracer(old, next *obs.Tracer) bool {
+	return c.tracer.CompareAndSwap(old, next)
 }
 
 // Tracer returns the attached query trace (nil when tracing is off;
 // nil tracers produce no-op spans).
-func (c *Context) Tracer() *obs.Tracer { return c.tracer }
+func (c *Context) Tracer() *obs.Tracer { return c.tracer.Load() }
 
 // BindConcept registers a concept name.
 func (c *Context) BindConcept(name string, dim *olap.Dimension, level olap.Level) *Context {

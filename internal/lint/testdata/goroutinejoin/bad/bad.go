@@ -24,3 +24,19 @@ func loopSpawner(items []int) {
 }
 
 func work(n int) { _ = n }
+
+// handleRequest mimics an HTTP handler firing a per-request
+// background notification; nothing joins it before the response.
+func handleRequest(id int) {
+	go notify(id) // want
+}
+
+// serveListener mimics an accept loop spawned without the detach
+// annotation: process-lifetime intent, but silent about it.
+func serveListener(serve func() error) {
+	go func() { // want
+		_ = serve()
+	}()
+}
+
+func notify(int) {}

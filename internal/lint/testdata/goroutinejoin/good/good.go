@@ -66,3 +66,32 @@ func annotatedAbove() {
 }
 
 func serviceLoop() {}
+
+// hub mirrors a server fan-out hub: every subscriber handler joins the
+// drain WaitGroup, so graceful shutdown can await the whole flock.
+type hub struct {
+	drainWG sync.WaitGroup
+	wake    chan struct{}
+}
+
+func (h *hub) serveSubscriber(handler func(<-chan struct{})) {
+	h.drainWG.Add(1)
+	go func() {
+		defer h.drainWG.Done()
+		handler(h.wake)
+	}()
+}
+
+// awaitDrain converts the WaitGroup into a selectable channel; both
+// join disciplines appear in the spawned expression.
+func (h *hub) awaitDrain() <-chan struct{} {
+	done := make(chan struct{})
+	go func() { h.drainWG.Wait(); close(done) }()
+	return done
+}
+
+// serveAccepted is a process-lifetime accept loop stopped by closing
+// the listener in Shutdown — deliberately detached, and says so.
+func serveAccepted(serve func() error) {
+	go func() { _ = serve() }() //moglint:detached
+}

@@ -89,3 +89,12 @@ func helper(e *Engine, ctx context.Context) {
 	defer done(nil)
 	_, _ = qc, c
 }
+
+// serveQuery mimics an HTTP handler shim that opens the engine
+// bracket itself instead of letting the Querier method record; every
+// routed query is double-counted.
+func serveQuery(e *Engine, ctx context.Context, table string) {
+	qc, c, done := e.begin(ctx, "http_query", table) // want
+	defer done(nil)
+	_, _ = qc, c
+}

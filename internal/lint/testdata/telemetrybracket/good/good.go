@@ -76,3 +76,16 @@ func validate(table string) error {
 	}
 	return nil
 }
+
+// ServeCount is server-shaped: bracket once up front, then fan the
+// work out to a joined worker goroutine. The closure opens no bracket
+// of its own — the method's bracket already observes the outcome.
+func (e *Engine) ServeCount(ctx context.Context, table string) (err error) {
+	qc, ctx, done := e.begin(ctx, "serve_count", table)
+	defer done(&err)
+	out := make(chan error, 1)
+	go func() { out <- nil }()
+	_ = qc
+	_ = ctx
+	return <-out
+}

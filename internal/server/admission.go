@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Admission errors, mapped to load-shedding status codes by the
+// endpoint wrapper: a full queue sheds immediately with 429, a request
+// that waited its whole queue budget without getting a slot sheds with
+// 503. Both carry Retry-After.
+var (
+	errQueueFull   = errors.New("server: admission queue full")
+	errQueueWait   = errors.New("server: timed out waiting for an admission slot")
+	errDraining    = errors.New("server: draining, not accepting new work")
+	errSubsAtLimit = errors.New("server: subscriber limit reached")
+)
+
+// admission is the front door's concurrency gate: at most maxInFlight
+// requests execute at once, at most maxQueue more wait — each for at
+// most maxWait, observing its own request context the whole time, so a
+// client that gives up (or whose deadline passes) leaves the queue
+// immediately instead of holding a queue slot for work nobody wants.
+type admission struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	maxWait time.Duration
+	met     *serverMetrics
+}
+
+func newAdmission(maxInFlight, maxQueue int, maxWait time.Duration, met *serverMetrics) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+		met:     met,
+	}
+}
+
+// acquire admits the request or reports why it was shed. The fast path
+// costs one channel operation; the queued path counts toward the
+// bounded wait queue and races the slot against the request context
+// and the queue-wait deadline.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.met.admissionShed.Inc()
+		return errQueueFull
+	}
+	defer func() { <-a.queue }()
+	a.met.admissionQueued.Inc()
+	t := time.NewTimer(a.maxWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		a.met.admissionShed.Inc()
+		return errQueueWait
+	}
+}
+
+// release frees the admitted request's slot.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the currently admitted request count (telemetry).
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued reports the currently waiting request count (telemetry).
+func (a *admission) queued() int { return len(a.queue) }

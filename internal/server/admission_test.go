@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mogis/internal/faultpoint"
+	"mogis/internal/obs"
+)
+
+func testMetrics() *serverMetrics { return newServerMetrics(obs.NewRegistry()) }
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 0, time.Second, testMetrics())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Errorf("inFlight = %d", got)
+	}
+	a.release()
+	a.release()
+	if got := a.inFlight(); got != 0 {
+		t.Errorf("inFlight after release = %d", got)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 0, time.Second, testMetrics())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	a.release()
+}
+
+func TestAdmissionQueueWaitTimeout(t *testing.T) {
+	a := newAdmission(1, 1, 20*time.Millisecond, testMetrics())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.acquire(context.Background())
+	if !errors.Is(err, errQueueWait) {
+		t.Fatalf("err = %v, want errQueueWait", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("shed before the queue-wait deadline")
+	}
+	a.release()
+}
+
+func TestAdmissionQueuedRequestGetsFreedSlot(t *testing.T) {
+	a := newAdmission(1, 1, time.Second, testMetrics())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errc := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errc <- a.acquire(context.Background())
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.release()
+	wg.Wait()
+	if err := <-errc; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionObservesContext(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute, testMetrics())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errc := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errc <- a.acquire(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire = %v, want context.Canceled", err)
+	}
+	// The abandoned wait released its queue slot.
+	if got := a.queued(); got != 0 {
+		t.Errorf("queued = %d after cancelled wait", got)
+	}
+	a.release()
+}
+
+// TestAdmissionHTTPShedding drives the 429 + Retry-After contract
+// through the mux: one slot, no queue, slot held by a slow query.
+func TestAdmissionHTTPShedding(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = -1 // no wait queue: overflow sheds immediately
+	})
+	s.sys.Engine.ResetCache()
+	faultpoint.Arm(faultpoint.CoreLITBuild, faultpoint.ModeDelay, 300*time.Millisecond)
+	defer faultpoint.Reset()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(s, "POST", "/query", moQuery, nil)
+	}()
+	// Wait until the slow query holds the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.adm.inFlight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.adm.inFlight() == 0 {
+		t.Fatal("slow query never admitted")
+	}
+
+	w := do(s, "POST", "/query", geoQuery, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if e := decodeError(t, w); e.Code != "admission_queue_full" {
+		t.Errorf("code %q", e.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	wg.Wait()
+
+	// Load gone: the same request is admitted and succeeds.
+	faultpoint.Reset()
+	if w := do(s, "POST", "/query", geoQuery, nil); w.Code != http.StatusOK {
+		t.Fatalf("after shed: %d %s", w.Code, w.Body.String())
+	}
+	if s.met.admissionShed.Value() == 0 {
+		t.Error("admission shed not counted")
+	}
+}
+
+// TestAdmissionHTTPQueueWait drives the bounded-queue 503 contract:
+// one slot, one queue seat with a tiny wait budget.
+func TestAdmissionHTTPQueueWait(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = 1
+		c.QueueWait = 30 * time.Millisecond
+	})
+	s.sys.Engine.ResetCache()
+	faultpoint.Arm(faultpoint.CoreLITBuild, faultpoint.ModeDelay, 400*time.Millisecond)
+	defer faultpoint.Reset()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(s, "POST", "/query", moQuery, nil)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.adm.inFlight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	w := do(s, "POST", "/query", geoQuery, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if e := decodeError(t, w); e.Code != "admission_wait_timeout" {
+		t.Errorf("code %q", e.Code)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,334 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mogis/internal/faultpoint"
+)
+
+// serverChaosSites maps each server/* faultpoint to the chaos cell
+// that exercises it. Each cell runs under an armed site+mode and must
+// leave the daemon able to serve the identical request afterwards.
+var serverChaosSites = []string{
+	faultpoint.ServerAccept,
+	faultpoint.ServerWrite,
+	faultpoint.ServerSubscriber,
+	faultpoint.ServerShutdown,
+}
+
+// TestServerChaosCatalogCovered pins that this matrix exercises every
+// server/* site in the faultpoint catalog.
+func TestServerChaosCatalogCovered(t *testing.T) {
+	want := map[string]bool{}
+	for _, s := range serverChaosSites {
+		want[s] = true
+	}
+	for _, name := range faultpoint.Catalog() {
+		if !strings.HasPrefix(name, "server/") {
+			continue
+		}
+		if !want[name] {
+			t.Errorf("faultpoint %s has no chaos coverage in serverChaosSites", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("chaos matrix lists %s, which is not in the catalog", name)
+	}
+}
+
+// gateGoroutines fails the test if the goroutine count has not
+// settled back near the baseline within 2s.
+func gateGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines stranded: before=%d after=%d", before, n)
+	}
+}
+
+// TestChaosServerAccept: injected accept failures in every mode are
+// absorbed by the listener — counted, retried — and the daemon keeps
+// accepting connections.
+func TestChaosServerAccept(t *testing.T) {
+	s, base := startServer(t, nil)
+	baselineResp := httpGetBody(t, base+"/healthz")
+
+	for _, mode := range []faultpoint.Mode{faultpoint.ModeError, faultpoint.ModePanic, faultpoint.ModeDelay} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			faultsBefore := s.met.acceptFaults.Value()
+			// ArmOnce: the fault fires on the next two accept-loop
+			// entries and then disarms itself; a permanently armed error
+			// site would (correctly) absorb forever and accept nothing.
+			faultpoint.ArmOnce(faultpoint.ServerAccept, mode, 5*time.Millisecond, 2)
+			got := httpGetBody(t, base+"/healthz")
+			if got != baselineResp {
+				t.Errorf("response diverged under %s: %q vs %q", mode, got, baselineResp)
+			}
+			if mode != faultpoint.ModeDelay {
+				// The loop was parked inside Accept when we armed, so the
+				// injections fire after it hands off that connection and
+				// loops back — poll for the absorbed-fault count.
+				deadline := time.Now().Add(2 * time.Second)
+				for s.met.acceptFaults.Value() == faultsBefore && time.Now().Before(deadline) {
+					time.Sleep(2 * time.Millisecond)
+				}
+				if s.met.acceptFaults.Value() == faultsBefore {
+					t.Errorf("accept fault not counted under %s", mode)
+				}
+			}
+			faultpoint.Reset()
+			// Disarm-retry: identical request, identical answer.
+			if got := httpGetBody(t, base+"/healthz"); got != baselineResp {
+				t.Errorf("retry diverged: %q", got)
+			}
+			gateGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosServerWrite: a mid-write failure surfaces as a typed 500
+// (error mode), a recovered panic (panic mode), or a slow-but-correct
+// response (delay mode); after disarming the identical query succeeds.
+func TestChaosServerWrite(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	baseline := do(s, "POST", "/query", geoQuery, nil)
+	if baseline.Code != http.StatusOK {
+		t.Fatal(baseline.Body.String())
+	}
+	// Responses embed a per-request id; compare the stable rendering.
+	baseText := decodeQuery(t, baseline).Text
+
+	for _, mode := range []faultpoint.Mode{faultpoint.ModeError, faultpoint.ModePanic, faultpoint.ModeDelay} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			faultpoint.Arm(faultpoint.ServerWrite, mode, 10*time.Millisecond)
+			w := do(s, "POST", "/query", geoQuery, nil)
+			faultpoint.Reset()
+			switch mode {
+			case faultpoint.ModeError:
+				if w.Code != http.StatusInternalServerError {
+					t.Fatalf("status %d, want 500", w.Code)
+				}
+				if e := decodeError(t, w); e.Code != "injected_fault" {
+					t.Errorf("code %q", e.Code)
+				}
+			case faultpoint.ModePanic:
+				if w.Code != http.StatusInternalServerError {
+					t.Fatalf("status %d, want 500", w.Code)
+				}
+				if e := decodeError(t, w); e.Code != "panic" || e.ID == 0 {
+					t.Errorf("panic body %+v", e)
+				}
+			case faultpoint.ModeDelay:
+				if w.Code != http.StatusOK {
+					t.Fatalf("delayed status %d", w.Code)
+				}
+				if got := decodeQuery(t, w).Text; got != baseText {
+					t.Errorf("delayed response diverged: %q", got)
+				}
+			}
+			// Disarm-retry must match the baseline rendering.
+			w = do(s, "POST", "/query", geoQuery, nil)
+			if w.Code != http.StatusOK {
+				t.Fatalf("retry status %d after %s", w.Code, mode)
+			}
+			if got := decodeQuery(t, w).Text; got != baseText {
+				t.Errorf("retry diverged after %s: %q", mode, got)
+			}
+			gateGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosServerSubscriber: a fault in the subscriber flush loop
+// disconnects that subscriber per the slow-consumer policy — and only
+// that subscriber; the hub, other clients and the daemon survive, and
+// a reconnect works once disarmed.
+func TestChaosServerSubscriber(t *testing.T) {
+	s, base := startServer(t, nil)
+
+	for _, mode := range []faultpoint.Mode{faultpoint.ModeError, faultpoint.ModePanic, faultpoint.ModeDelay} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			c := dialSSE(t, base, "")
+			c.next(t) // hello
+			waitSubs(t, s, 1)
+
+			faultpoint.Arm(faultpoint.ServerSubscriber, mode, 10*time.Millisecond)
+			s.hub.mu.Lock()
+			s.hub.publishLocked(Event{Type: "enter", Table: "FMbus", Oid: 4242, Zone: 1})
+			s.hub.mu.Unlock()
+
+			if mode == faultpoint.ModeDelay {
+				// Delay only: the event still arrives.
+				typ, ev := c.next(t)
+				if typ != "enter" || ev.Oid != 4242 {
+					t.Fatalf("frame %s %+v", typ, ev)
+				}
+			} else {
+				// Error/panic: the stream dies and the subscriber is
+				// reaped from the hub.
+				waitSubs(t, s, 0)
+			}
+			faultpoint.Reset()
+			c.close()
+			waitSubs(t, s, 0)
+
+			// Disarmed retry: a fresh subscriber works end to end.
+			c2 := dialSSE(t, base, "")
+			c2.next(t) // hello
+			waitSubs(t, s, 1)
+			s.hub.mu.Lock()
+			s.hub.publishLocked(Event{Type: "enter", Table: "FMbus", Oid: 4243, Zone: 2})
+			s.hub.mu.Unlock()
+			if typ, ev := c2.next(t); typ != "enter" || ev.Oid != 4243 {
+				t.Fatalf("retry frame %s %+v", typ, ev)
+			}
+			c2.close()
+			waitSubs(t, s, 0)
+			gateGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosServerShutdown: injected faults in the drain sequence are
+// absorbed in every mode — shutdown still drains subscribers, still
+// completes, still leaves no goroutines behind.
+func TestChaosServerShutdown(t *testing.T) {
+	for _, mode := range []faultpoint.Mode{faultpoint.ModeError, faultpoint.ModePanic, faultpoint.ModeDelay} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			s, _ := newTestServer(t, nil)
+			if err := s.Start("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			base := "http://" + s.Addr()
+			c := dialSSE(t, base, "")
+			c.next(t) // hello
+			waitSubs(t, s, 1)
+
+			faultpoint.Arm(faultpoint.ServerShutdown, mode, 10*time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := s.Shutdown(ctx)
+			cancel()
+			faultpoint.Reset()
+			if err != nil {
+				t.Fatalf("shutdown under %s: %v", mode, err)
+			}
+			if mode != faultpoint.ModeDelay && s.met.shutdownFaults.Value() == 0 {
+				t.Errorf("shutdown fault not counted under %s", mode)
+			}
+			if typ, _ := c.next(t); typ != "shutdown" {
+				t.Errorf("subscriber missed the shutdown frame under %s: %q", mode, typ)
+			}
+			c.close()
+			if n := s.Subscribers(); n != 0 {
+				t.Errorf("%d subscribers after drain", n)
+			}
+			gateGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosShutdownRace: concurrent Shutdown calls and in-flight
+// requests race cleanly — exactly one drain, no deadlock, no leaks.
+func TestChaosShutdownRace(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, _ := newTestServer(t, nil)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	stop := make(chan struct{})
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(base+"/query", "text/plain", strings.NewReader(geoQuery))
+			if err != nil {
+				return // listener is down: drain won the race
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			errs <- s.Shutdown(ctx)
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent shutdown: %v", err)
+		}
+	}
+	close(stop)
+	<-reqDone
+	gateGoroutines(t, before)
+}
+
+func decodeQuery(t *testing.T, w *httptest.ResponseRecorder) queryResponse {
+	t.Helper()
+	var q queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &q); err != nil {
+		t.Fatalf("query body %q: %v", w.Body.String(), err)
+	}
+	return q
+}
+
+func waitSubs(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Subscribers() != want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Subscribers(); got != want {
+		t.Fatalf("subscribers = %d, want %d", got, want)
+	}
+}
+
+// noKeepAlive dials a fresh connection per request, so every GET
+// actually exercises the accept path (pooled keep-alive connections
+// would bypass the listener entirely).
+var noKeepAlive = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := noKeepAlive.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

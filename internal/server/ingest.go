@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mogis/internal/moft"
+	"mogis/internal/timedim"
+)
+
+// maxIngestBody bounds one /ingest batch (~8 MiB of CSV is on the
+// order of 200k position updates — far past any sane batch).
+const maxIngestBody = 8 << 20
+
+// ingestResponse is the JSON shape of a successful /ingest.
+type ingestResponse struct {
+	ID    uint64 `json:"id"`
+	Table string `json:"table"`
+	// Rows is the number of position updates applied.
+	Rows int `json:"rows"`
+	// Events is the number of geofence events the batch published.
+	Events int `json:"events"`
+}
+
+// handleIngest streams position updates — CSV lines "oid,t,x,y" —
+// into the named MOFT. The table is replaced copy-on-write (the MOFT
+// loading contract is single-threaded, so in-flight queries keep
+// reading the old immutable table), engine trajectory caches are
+// invalidated, and each applied row is folded into the geofence hub.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, id uint64) error {
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		return &httpError{status: http.StatusBadRequest, code: "bad_request",
+			err: fmt.Errorf("missing table parameter")}
+	}
+
+	var rows []moft.Tuple
+	sc := bufio.NewScanner(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		tp, err := parseIngestLine(text)
+		if err != nil {
+			return &httpError{status: http.StatusBadRequest, code: "bad_request",
+				err: fmt.Errorf("line %d: %w", line, err)}
+		}
+		rows = append(rows, tp)
+	}
+	if err := sc.Err(); err != nil {
+		return &httpError{status: http.StatusBadRequest, code: "bad_request",
+			err: fmt.Errorf("reading body: %w", err)}
+	}
+	if len(rows) == 0 {
+		return &httpError{status: http.StatusBadRequest, code: "bad_request",
+			err: fmt.Errorf("empty batch: no position updates in body")}
+	}
+
+	events, err := s.applyIngest(table, rows)
+	if err != nil {
+		return err
+	}
+	s.met.ingestRows.Add(int64(len(rows)))
+	return writeJSON(w, http.StatusOK, ingestResponse{
+		ID: id, Table: table, Rows: len(rows), Events: events,
+	})
+}
+
+// parseIngestLine parses one "oid,t,x,y" update.
+func parseIngestLine(text string) (moft.Tuple, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) != 4 {
+		return moft.Tuple{}, fmt.Errorf("want oid,t,x,y, got %d fields", len(parts))
+	}
+	oid, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return moft.Tuple{}, fmt.Errorf("oid: %w", err)
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return moft.Tuple{}, fmt.Errorf("t: %w", err)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		return moft.Tuple{}, fmt.Errorf("x: %w", err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+	if err != nil {
+		return moft.Tuple{}, fmt.Errorf("y: %w", err)
+	}
+	return moft.Tuple{Oid: moft.Oid(oid), T: timedim.Instant(ts), X: x, Y: y}, nil
+}
+
+// applyIngest installs the batch: build a replacement table from the
+// current tuples plus the batch, swap it into the model context, drop
+// the engine's cached state for the table, then publish geofence
+// transitions. Batches are serialized by ingestMu — the copy-on-write
+// scheme needs a stable "current" table per batch — while queries keep
+// running against whichever table version they started with.
+func (s *Server) applyIngest(table string, rows []moft.Tuple) (events int, err error) {
+	s.ingestMu.Lock()
+	old, err := s.sys.Ctx.Table(table)
+	if err != nil {
+		s.ingestMu.Unlock()
+		return 0, &httpError{status: http.StatusNotFound, code: "unknown_table",
+			err: fmt.Errorf("table %q: %w", table, err)}
+	}
+	next := moft.New(table)
+	for _, tp := range old.Tuples() {
+		next.AddTuple(tp)
+	}
+	for _, tp := range rows {
+		next.AddTuple(tp)
+	}
+	s.sys.Ctx.AddTable(next)
+	s.sys.Engine.InvalidateTrajectories(table)
+	s.ingestMu.Unlock()
+
+	if s.hub != nil {
+		for _, tp := range rows {
+			events += s.hub.observe(table, tp.Oid, tp.T, tp.X, tp.Y)
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sseSink is an in-process ResponseWriter for driving thousands of
+// /events handlers without TCP sockets or fd limits. It satisfies
+// http.ResponseController's needs (FlushError, SetWriteDeadline) so
+// the handler's per-write deadline path runs for real. failAfter > 0
+// simulates a broken peer: writes start failing after that many
+// frames, which must disconnect the subscriber.
+type sseSink struct {
+	header    http.Header
+	frames    atomic.Int64
+	failAfter int64
+}
+
+func (w *sseSink) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *sseSink) WriteHeader(int) {}
+
+func (w *sseSink) Write(b []byte) (int, error) {
+	n := w.frames.Add(1)
+	if w.failAfter > 0 && n > w.failAfter {
+		return 0, errors.New("simulated broken pipe")
+	}
+	return len(b), nil
+}
+
+func (w *sseSink) FlushError() error { return nil }
+
+func (w *sseSink) SetWriteDeadline(time.Time) error { return nil }
+
+// TestLoadSubscribersAndStorm is the capacity gate: ≥2000 concurrent
+// SSE subscribers while a query+ingest storm runs, then a graceful
+// shutdown that drains every stream within budget and strands no
+// goroutines. Run under -race (the Makefile serve-race target does).
+func TestLoadSubscribersAndStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	s, _ := newTestServer(t, func(c *Config) {
+		c.SubscriberQueue = 8 // small queue: the storm must exercise lagged shedding
+		c.DrainBudget = 15 * time.Second
+	})
+
+	const (
+		nSubs    = 2100 // ≥2000 healthy even after the broken peers drop
+		nBroken  = 50   // every failAfter-th sink starts failing writes
+		nQueryG  = 16
+		nIngestG = 4
+		stormDur = 500 * time.Millisecond
+	)
+
+	// --- Fan in the subscribers. Each handler runs on its own
+	// goroutine, exactly like a net/http connection goroutine would.
+	var subWG sync.WaitGroup
+	sinks := make([]*sseSink, nSubs)
+	cancels := make([]context.CancelFunc, nSubs)
+	for i := 0; i < nSubs; i++ {
+		sink := &sseSink{}
+		if i < nBroken {
+			sink.failAfter = 2 // hello + one event, then broken pipe
+		}
+		sinks[i] = sink
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		req := httptest.NewRequest("GET", "/events", nil).WithContext(ctx)
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			s.mux.ServeHTTP(sink, req)
+		}()
+	}
+	t.Cleanup(func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+		subWG.Wait()
+	})
+
+	// Every healthy subscriber must register and get its hello frame.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Subscribers() < nSubs && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.Subscribers(); n < 2000 {
+		t.Fatalf("only %d subscribers registered, need ≥2000", n)
+	}
+
+	// --- Storm: queries and geofence-triggering ingest, concurrently.
+	stop := make(chan struct{})
+	var stormWG sync.WaitGroup
+	var queries, ingests, unexpected atomic.Int64
+	for g := 0; g < nQueryG; g++ {
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := do(s, "POST", "/query", geoQuery, nil)
+				switch w.Code {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					queries.Add(1)
+				default:
+					unexpected.Add(1)
+					t.Errorf("storm query: status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}()
+	}
+	for g := 0; g < nIngestG; g++ {
+		stormWG.Add(1)
+		go func(g int) {
+			defer stormWG.Done()
+			oid, tick := 20000+g*1000, 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tick++
+				// Bounce one object per goroutine in and out of the unit
+				// squares so every batch publishes enter+leave fan-out.
+				x := 0.5
+				if tick%2 == 0 {
+					x = -50.0
+				}
+				body := fmt.Sprintf("%d,%d,%g,0.5\n", oid, tick*10, x)
+				w := do(s, "POST", "/ingest?table=FMbus", body, nil)
+				switch w.Code {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					ingests.Add(1)
+				default:
+					unexpected.Add(1)
+					t.Errorf("storm ingest: status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	time.Sleep(stormDur)
+	close(stop)
+	stormWG.Wait()
+
+	if queries.Load() == 0 || ingests.Load() == 0 {
+		t.Fatalf("storm too quiet: %d queries, %d ingests", queries.Load(), ingests.Load())
+	}
+	// Fan-out reached the flock: beyond hellos, event frames landed.
+	var frames int64
+	for _, sink := range sinks {
+		frames += sink.frames.Load()
+	}
+	if frames < int64(nSubs)*2 {
+		t.Errorf("only %d frames across %d subscribers; fan-out did not reach the flock", frames, nSubs)
+	}
+	// The broken peers were reaped by the write-error path.
+	brokenDeadline := time.Now().Add(5 * time.Second)
+	for s.Subscribers() > nSubs-nBroken && time.Now().Before(brokenDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.Subscribers(); n > nSubs-nBroken {
+		t.Errorf("%d subscribers still attached; broken peers not reaped", n)
+	}
+
+	// --- Graceful shutdown: every stream drains within budget.
+	drainStart := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown under load: %v", err)
+	}
+	drain := time.Since(drainStart)
+	if drain > 15*time.Second {
+		t.Errorf("drain took %v, over budget", drain)
+	}
+	subWG.Wait()
+	if n := s.Subscribers(); n != 0 {
+		t.Errorf("%d subscribers survived the drain", n)
+	}
+
+	// --- No goroutine may outlive the party.
+	gateDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+4 && time.Now().Before(gateDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+4 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines: baseline %d, now %d\n%s", baseline, n,
+			strings.Split(string(buf[:runtime.Stack(buf, true)]), "\n\n")[0])
+	}
+	t.Logf("load: %d subscribers, %d queries, %d ingests, %d frames, drain %v",
+		nSubs, queries.Load(), ingests.Load(), frames, drain)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mogis/internal/faultpoint"
+)
+
+// handleEvents serves GET /events: a Server-Sent-Events stream of
+// geofence enter/leave transitions. The handler runs entirely on the
+// net/http connection goroutine — no goroutine of its own — and is
+// joined to the hub's drain group, so graceful shutdown can wait for
+// every stream to flush its shutdown event and exit.
+//
+// Slow-consumer policy, in order: the per-subscriber queue drops its
+// oldest event on overflow and the client gets one "lagged" event
+// carrying the dropped count; a client whose TCP window stays full
+// past the stall deadline fails the deadline-bounded write and is
+// disconnected.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id uint64) error {
+	if s.hub == nil {
+		return &httpError{status: http.StatusNotFound, code: "no_geofence_layer",
+			err: fmt.Errorf("no geofence layer configured; start mogisd with -geofence-layer")}
+	}
+	// maxEvents lets scripted clients (curl transcripts, tests) bound
+	// the stream; 0 streams until disconnect or shutdown.
+	maxEvents := 0
+	if v := r.URL.Query().Get("max_events"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return &httpError{status: http.StatusBadRequest, code: "bad_request",
+				err: fmt.Errorf("parameter max_events: %q is not a non-negative integer", v)}
+		}
+		maxEvents = n
+	}
+
+	sub, err := s.hub.subscribe()
+	if err != nil {
+		return err
+	}
+	defer s.hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	if err := s.flushSSE(rc, w, Event{Type: "hello", Seq: s.hub.seq.Load()}); err != nil {
+		return err
+	}
+
+	heartbeat := s.cfg.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	tick := time.NewTicker(heartbeat)
+	defer tick.Stop()
+
+	ctx := r.Context()
+	sent := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-s.hub.closed:
+			// Drain what's pending, then say goodbye. Write errors on
+			// the way out are moot — the stream is ending either way.
+			evs, _ := sub.drain()
+			for _, ev := range evs {
+				if err := s.flushSSE(rc, w, ev); err != nil {
+					return nil
+				}
+			}
+			_ = s.flushSSE(rc, w, Event{Type: "shutdown"})
+			return nil
+		case <-tick.C:
+			if err := s.writeDeadlined(rc, w, []byte(": ping\n\n")); err != nil {
+				s.met.subscriberStall.Inc()
+				return err
+			}
+		case <-sub.wake:
+			if err := faultpoint.Hit(faultpoint.ServerSubscriber); err != nil {
+				s.met.writeFaults.Inc()
+				return err
+			}
+			evs, dropped := sub.drain()
+			if dropped > 0 {
+				s.met.subscriberLags.Inc()
+				lag := Event{Type: "lagged", Dropped: dropped}
+				if err := s.flushSSE(rc, w, lag); err != nil {
+					s.met.subscriberStall.Inc()
+					return err
+				}
+			}
+			for _, ev := range evs {
+				if err := s.flushSSE(rc, w, ev); err != nil {
+					s.met.subscriberStall.Inc()
+					return err
+				}
+				sent++
+				if maxEvents > 0 && sent >= maxEvents {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// flushSSE writes one SSE frame ("event: <type>" + JSON data) under
+// the stall deadline and flushes it to the socket.
+func (s *Server) flushSSE(rc *http.ResponseController, w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("encoding event: %w", err)
+	}
+	frame := make([]byte, 0, len(data)+32)
+	frame = append(frame, "event: "...)
+	frame = append(frame, ev.Type...)
+	frame = append(frame, "\ndata: "...)
+	frame = append(frame, data...)
+	frame = append(frame, "\n\n"...)
+	return s.writeDeadlined(rc, w, frame)
+}
+
+// writeDeadlined performs one deadline-bounded write + flush. The
+// per-write deadline implements the stall half of the slow-consumer
+// policy and deliberately overrides the server-wide WriteTimeout,
+// which would otherwise kill every long-lived stream.
+func (s *Server) writeDeadlined(rc *http.ResponseController, w http.ResponseWriter, frame []byte) error {
+	stall := s.cfg.StallDeadline
+	if stall <= 0 {
+		stall = 5 * time.Second
+	}
+	if err := rc.SetWriteDeadline(time.Now().Add(stall)); err != nil {
+		return fmt.Errorf("setting write deadline: %w", err)
+	}
+	if err := faultpoint.Hit(faultpoint.ServerWrite); err != nil {
+		s.met.writeFaults.Inc()
+		return err
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("writing frame: %w", err)
+	}
+	if err := rc.Flush(); err != nil {
+		return fmt.Errorf("flushing frame: %w", err)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@
 package telhttp
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -171,7 +172,10 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. "localhost:6060" or ":0") and serves the
-// telemetry mux on it in a background goroutine until Close.
+// telemetry mux on it in a background goroutine until Close or
+// Shutdown. The listener is hardened against misbehaving peers: a
+// header-read timeout, a write timeout bounding each (small, bounded)
+// debug page, and a header-size cap.
 func Serve(addr string, c *telemetry.Collector) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -179,19 +183,34 @@ func Serve(addr string, c *telemetry.Collector) (*Server, error) {
 	}
 	s := &Server{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: Handler(c)},
-		ln:   ln,
+		srv: &http.Server{
+			Handler:           Handler(c),
+			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			MaxHeaderBytes:    1 << 20,
+		},
+		ln: ln,
 	}
-	// The accept loop lives until Close stops the listener; Serve's
-	// return value is the ErrServerClosed it reports then.
+	// The accept loop lives until Close/Shutdown stops the listener;
+	// Serve's return value is the ErrServerClosed it reports then.
 	go func() { _ = s.srv.Serve(ln) }() //moglint:detached
 	return s, nil
 }
 
-// Close stops the listener and in-flight handlers.
+// Close stops the listener and in-flight handlers immediately.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the listener and waits for in-flight requests to
+// complete, bounded by ctx. A scrape racing the drain finishes its
+// response instead of getting a reset.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

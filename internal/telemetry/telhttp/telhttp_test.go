@@ -1,12 +1,15 @@
 package telhttp
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -219,5 +222,90 @@ func TestServeBindsAndCloses(t *testing.T) {
 	var nilSrv *Server
 	if err := nilSrv.Close(); err != nil {
 		t.Errorf("nil server Close: %v", err)
+	}
+}
+
+// TestShutdownDrainsInFlight pins the graceful half of the Serve
+// lifecycle: a request already being read when Shutdown begins still
+// gets its complete response, and Shutdown returns cleanly after.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testCollector(t))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	// Open the connection and send only part of the request, so the
+	// server sees an active conn that Shutdown must wait for.
+	conn, err := net.Dial("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /debug/stats HTTP/1.1\r\nHost: x\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to accept and start reading the header.
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// Complete the request mid-drain; it must be answered in full.
+	if _, err := io.WriteString(conn, "Connection: close\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutines") {
+		t.Errorf("drained response: status %d body %q", resp.StatusCode, body)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	var nilSrv *Server
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := nilSrv.Shutdown(ctx); err != nil {
+		t.Errorf("nil server Shutdown: %v", err)
+	}
+}
+
+// TestServeCloseCycleNoLeak churns the listener lifecycle: 100
+// Serve/Close rounds must not accrete goroutines (each round spawns
+// one Serve goroutine that must exit with its listener).
+func TestServeCloseCycleNoLeak(t *testing.T) {
+	c := testCollector(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		srv, err := Serve("127.0.0.1:0", c)
+		if err != nil {
+			t.Fatalf("cycle %d: Serve: %v", i, err)
+		}
+		// Odd cycles exercise a served request before teardown.
+		if i%2 == 1 {
+			resp, err := http.Get("http://" + srv.Addr + "/metrics")
+			if err != nil {
+				t.Fatalf("cycle %d: GET: %v", i, err)
+			}
+			resp.Body.Close()
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("cycle %d: Close: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines grew across 100 Serve/Close cycles: before=%d after=%d", before, n)
 	}
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for mogisd: start the daemon on an ephemeral
+# port, run a query (good and bad), ingest a geofence-crossing batch
+# while an SSE subscriber watches, scrape the telemetry surface, then
+# SIGTERM and assert a clean drain with no subscribers left behind.
+#
+# Needs: go, curl. Used by `make serve-smoke` and the serve CI job.
+set -eu
+
+tmp="$(mktemp -d)"
+log="$tmp/mogisd.log"
+events="$tmp/events.txt"
+pid=""
+
+fail() {
+	echo "SMOKE FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$log" >&2 || true
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -KILL "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "smoke: building mogisd"
+go build -o "$tmp/mogisd" ./cmd/mogisd
+
+echo "smoke: starting daemon"
+"$tmp/mogisd" -addr 127.0.0.1:0 -heartbeat 1s 2>"$log" &
+pid=$!
+
+# The daemon prints "serving table FMbus on http://<addr>" once up.
+base=""
+for _ in $(seq 1 100); do
+	base="$(sed -n 's#.*serving table .* on http://\([^ ]*\).*#\1#p' "$log" | head -1)"
+	[ -n "$base" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "daemon died during startup"
+	sleep 0.1
+done
+[ -n "$base" ] && base="http://$base" || fail "daemon never reported its address"
+echo "smoke: daemon at $base"
+
+# 1. A geo query succeeds and lists the neighborhood layer.
+out="$(curl -sf "$base/query" -d 'SELECT layer.Ln; FROM PietSchema;')" \
+	|| fail "query request failed"
+echo "$out" | grep -q '"geo_ids"' || fail "query response missing geo_ids: $out"
+
+# 2. A parse error is a typed 400, not a 500.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/query" -d 'SELECT nonsense')"
+[ "$code" = "400" ] || fail "parse error returned $code, want 400"
+
+# 3. Geofence stream: subscribe, then bounce an object in and out of a
+# neighborhood; the subscriber must see enter and leave.
+curl -sN --max-time 10 "$base/events?max_events=2" >"$events" &
+sse=$!
+sleep 0.3
+curl -sf "$base/ingest?table=FMbus" --data-binary $'9901,10,0.5,0.5\n' >/dev/null \
+	|| fail "ingest (enter) failed"
+curl -sf "$base/ingest?table=FMbus" --data-binary $'9901,20,-50.0,-50.0\n' >/dev/null \
+	|| fail "ingest (leave) failed"
+wait "$sse" || fail "event stream ended badly"
+grep -q 'event: enter' "$events" || fail "no enter event: $(cat "$events")"
+grep -q 'event: leave' "$events" || fail "no leave event: $(cat "$events")"
+
+# 4. The telemetry surface serves from the same mux.
+curl -sf "$base/metrics" | grep -q 'mogis_server_requests_total' \
+	|| fail "/metrics missing server counters"
+curl -sf "$base/debug/stats" | grep -q '"goroutines"' \
+	|| fail "/debug/stats missing runtime view"
+
+# 5. The subscriber is gone again before we drain.
+for _ in $(seq 1 50); do
+	subs="$(curl -sf "$base/healthz" | sed -n 's/.*"subscribers": *\([0-9]*\).*/\1/p')"
+	[ "$subs" = "0" ] && break
+	sleep 0.1
+done
+[ "$subs" = "0" ] || fail "subscriber still attached before drain: $subs"
+
+# 6. Graceful stop: SIGTERM must exit 0 and report a clean shutdown.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" = "0" ] || fail "daemon exited $rc on SIGTERM, want 0"
+grep -q 'clean shutdown' "$log" || fail "daemon never reported a clean shutdown"
+
+echo "smoke: OK"
